@@ -1,0 +1,54 @@
+//! Filter-chain configurations of the paper's Figure 10 head-to-head
+//! (backs experiment E5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emd_bench::setup::{
+    build_reduction, chained_pipeline, flow_sample, red_emd_pipeline, refiner, tiling_bench,
+    Scale, Strategy,
+};
+use emd_query::{Filter, FullLbImFilter, Pipeline};
+use std::hint::black_box;
+
+fn chaining_configurations(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 10,
+        color_per_class: 4,
+        queries: 4,
+        sample: 10,
+    };
+    let bench = tiling_bench(&scale, 12);
+    let flows = flow_sample(&bench, scale.sample, 13);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, 14);
+    let query = &bench.queries[0];
+
+    let mut group = c.benchmark_group("chaining");
+    group.sample_size(10);
+
+    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    group.bench_function("scan", |b| {
+        b.iter(|| black_box(scan.knn(query, 10).expect("valid")))
+    });
+
+    let lb_im: Vec<Box<dyn Filter>> = vec![Box::new(
+        FullLbImFilter::new(bench.database.clone(), &bench.cost).expect("consistent"),
+    )];
+    let lb_im_pipeline = Pipeline::new(lb_im, refiner(&bench)).expect("consistent");
+    group.bench_function("lbim_then_emd", |b| {
+        b.iter(|| black_box(lb_im_pipeline.knn(query, 10).expect("valid")))
+    });
+
+    let red_emd = red_emd_pipeline(&bench, reduction.clone());
+    group.bench_function("redemd_then_emd", |b| {
+        b.iter(|| black_box(red_emd.knn(query, 10).expect("valid")))
+    });
+
+    let full_chain = chained_pipeline(&bench, reduction);
+    group.bench_function("redim_redemd_emd", |b| {
+        b.iter(|| black_box(full_chain.knn(query, 10).expect("valid")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, chaining_configurations);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! The paper's motivation in one bench: exact EMD cost grows superlinearly
+//! in the histogram dimensionality (Section 2), which is why reduced-
+//! dimensionality filtering wins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emd_bench::setup::{tiling_bench, Scale};
+use emd_core::{emd, ground, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_histogram(dim: usize, rng: &mut StdRng) -> Histogram {
+    let bins: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+    Histogram::normalized(bins).expect("positive mass")
+}
+
+fn emd_vs_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_vs_dimensionality");
+    for dim in [8usize, 16, 32, 64, 96] {
+        let mut rng = StdRng::seed_from_u64(dim as u64);
+        let cost = ground::linear(dim).expect("valid dim");
+        let pairs: Vec<(Histogram, Histogram)> = (0..8)
+            .map(|_| (random_histogram(dim, &mut rng), random_histogram(dim, &mut rng)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(emd(x, y, &cost).expect("valid instance"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn emd_on_realistic_features(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 2,
+        color_per_class: 2,
+        queries: 2,
+        sample: 4,
+    };
+    let bench = tiling_bench(&scale, 1);
+    let x = &bench.database[0];
+    let y = &bench.database[1];
+    c.bench_function("emd_tiling_96d_pair", |b| {
+        b.iter(|| black_box(emd(x, y, &bench.cost).expect("valid")))
+    });
+}
+
+criterion_group!(benches, emd_vs_dimensionality, emd_on_realistic_features);
+criterion_main!(benches);

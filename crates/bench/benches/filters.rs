@@ -1,0 +1,61 @@
+//! Per-pair cost of every filter distance in the toolbox, tightest to
+//! cheapest — the trade-off that pipeline ordering exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emd_bench::setup::{build_reduction, flow_sample, tiling_bench, Scale, Strategy};
+use emd_core::ground::Metric;
+use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
+use emd_core::{emd, ground};
+use emd_reduction::ReducedEmd;
+use std::hint::black_box;
+
+fn filter_costs(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 4,
+        color_per_class: 4,
+        queries: 2,
+        sample: 6,
+    };
+    let bench = tiling_bench(&scale, 4);
+    let x = &bench.queries[0];
+    let y = &bench.database[0];
+    let mut group = c.benchmark_group("filter_pair_cost");
+
+    group.bench_function("exact_emd_96d", |b| {
+        b.iter(|| black_box(emd(x, y, &bench.cost).expect("valid")))
+    });
+
+    let lb_im = LbIm::new((*bench.cost).clone());
+    group.bench_function("lb_im_96d", |b| {
+        b.iter(|| black_box(lb_im.bound(x, y).expect("valid")))
+    });
+
+    let centroid = CentroidBound::new(ground::grid2_positions(12, 8), Metric::Euclidean)
+        .expect("valid positions");
+    group.bench_function("centroid_96d", |b| {
+        b.iter(|| black_box(centroid.bound(x, y).expect("valid")))
+    });
+
+    let scaled = ScaledL1::new(&bench.cost);
+    group.bench_function("scaled_l1_96d", |b| {
+        b.iter(|| black_box(scaled.bound(x, y).expect("valid")))
+    });
+
+    let flows = flow_sample(&bench, scale.sample, 5);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, 6);
+    let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated");
+    let rx = reduced.reduce_first(x).expect("dims ok");
+    let ry = reduced.reduce_second(y).expect("dims ok");
+    group.bench_function("red_emd_12d", |b| {
+        b.iter(|| black_box(reduced.distance_reduced(&rx, &ry).expect("valid")))
+    });
+    let red_im = LbIm::new(reduced.reduced_cost().clone());
+    group.bench_function("red_im_12d", |b| {
+        b.iter(|| black_box(red_im.bound(&rx, &ry).expect("valid")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, filter_costs);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end k-NN query cost: sequential scan vs the reduced pipelines
+//! (backs experiment E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emd_bench::setup::{
+    build_reduction, chained_pipeline, flow_sample, refiner, tiling_bench, Scale, Strategy,
+};
+use emd_query::Pipeline;
+use std::hint::black_box;
+
+fn knn_query(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 12,
+        color_per_class: 4,
+        queries: 4,
+        sample: 10,
+    };
+    let bench = tiling_bench(&scale, 8);
+    let flows = flow_sample(&bench, scale.sample, 9);
+    let query = &bench.queries[0];
+
+    let mut group = c.benchmark_group("knn_query");
+    group.sample_size(10);
+
+    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    group.bench_function("sequential_scan", |b| {
+        b.iter(|| black_box(scan.knn(query, 10).expect("valid query")))
+    });
+
+    for d_red in [8usize, 16, 32] {
+        let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, d_red, 11);
+        let pipeline = chained_pipeline(&bench, reduction);
+        group.bench_with_input(
+            BenchmarkId::new("chained", d_red),
+            &d_red,
+            |b, _| b.iter(|| black_box(pipeline.knn(query, 10).expect("valid query"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, knn_query);
+criterion_main!(benches);

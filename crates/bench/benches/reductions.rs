@@ -1,0 +1,55 @@
+//! Costs of building reductions (preprocessing) and of evaluating the
+//! reduced EMD at different target dimensionalities (the flexibility
+//! knob of the paper — backs experiments E1/E4/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emd_bench::setup::{build_reduction, flow_sample, tiling_bench, Scale, Strategy};
+use emd_reduction::ReducedEmd;
+use std::hint::black_box;
+
+fn bench_scale() -> Scale {
+    Scale {
+        tiling_per_class: 6,
+        color_per_class: 4,
+        queries: 4,
+        sample: 8,
+    }
+}
+
+fn reduced_emd_evaluation(c: &mut Criterion) {
+    let scale = bench_scale();
+    let bench = tiling_bench(&scale, 2);
+    let flows = flow_sample(&bench, scale.sample, 3);
+    let mut group = c.benchmark_group("reduced_emd_eval");
+    for d_red in [4usize, 8, 16, 32] {
+        let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, d_red, 5);
+        let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated");
+        let rx = reduced.reduce_first(&bench.queries[0]).expect("dims ok");
+        let ry = reduced.reduce_second(&bench.database[0]).expect("dims ok");
+        group.bench_with_input(BenchmarkId::from_parameter(d_red), &d_red, |b, _| {
+            b.iter(|| black_box(reduced.distance_reduced(&rx, &ry).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+fn reduction_construction(c: &mut Criterion) {
+    let scale = bench_scale();
+    let bench = tiling_bench(&scale, 2);
+    let flows = flow_sample(&bench, scale.sample, 3);
+    let mut group = c.benchmark_group("reduction_construction");
+    group.sample_size(10);
+    for strategy in [Strategy::KMed, Strategy::FbModKMed, Strategy::FbAllKMed] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| black_box(build_reduction(strategy, &bench, &flows, 12, 7)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reduced_emd_evaluation, reduction_construction);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [IDS...] [--full] [--json PATH]
+//!
+//!   IDS     experiment ids (e1..e10, a1..a3); default: all
+//!   --full  paper-scale corpora (much slower than the default quick run)
+//!   --json  additionally write the tables as JSON to PATH
+//! ```
+
+use emd_bench::experiments;
+use emd_bench::report::Table;
+use emd_bench::setup::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut run_all = false;
+    let mut full = false;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [IDS...] [--full] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            "all" => run_all = true,
+            id => ids.push(id.to_owned()),
+        }
+    }
+
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let quick = !full;
+    println!(
+        "# flexemd experiment suite ({} scale)",
+        if full { "full" } else { "quick" }
+    );
+
+    let mut tables: Vec<Table> = Vec::new();
+    let started = Instant::now();
+    let flush = || {
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    };
+    if run_all || ids.is_empty() {
+        // Run one at a time so progress is visible as it happens.
+        for id in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2",
+            "a3", "a4",
+        ] {
+            let table = experiments::by_id(id, &scale, quick).expect("known id");
+            println!("\n{table}");
+            flush();
+            tables.push(table);
+        }
+    } else {
+        for id in &ids {
+            match experiments::by_id(id, &scale, quick) {
+                Some(table) => {
+                    println!("\n{table}");
+                    flush();
+                    tables.push(table);
+                }
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "\n# suite finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = json_path {
+        match serde_json::to_vec_pretty(&tables).map(|bytes| std::fs::write(&path, bytes)) {
+            Ok(Ok(())) => println!("# wrote {path}"),
+            Ok(Err(e)) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("failed to serialize tables: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

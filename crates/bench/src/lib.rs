@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # emd-bench
+//!
+//! The experiment harness that regenerates the paper's tables and figures
+//! (as reconstructed in DESIGN.md / EXPERIMENTS.md) plus the ablations.
+//!
+//! * [`report`] — plain-text/JSON table rendering.
+//! * [`setup`] — seeded corpora, workloads and reduction construction
+//!   shared by all experiments.
+//! * [`experiments`] — one function per experiment (E1-E10, A1-A3), each
+//!   returning a [`report::Table`].
+//!
+//! Run `cargo run --release -p emd-bench --bin experiments -- all` for the
+//! full suite, or pass experiment ids (`e1 e5 a2 ...`). `--full` scales
+//! the corpora up to paper-like sizes (slower).
+
+pub mod experiments;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,138 @@
+//! Table rendering for the experiment harness.
+
+use serde::Serialize;
+use std::fmt;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Title matching the EXPERIMENTS.md index.
+    pub title: String,
+    /// Free-form notes (parameters, seeds, expectations).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            notes: Vec::new(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+}
+
+/// Format a float with three significant decimals, trimming noise.
+pub fn fnum(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_owned()
+    } else if value.abs() >= 100.0 {
+        format!("{value:.1}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for note in &self.notes {
+            writeln!(f, "   {note}")?;
+        }
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "   {}", header.join("  "))?;
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "   {}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "   {}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut table = Table::new("E0", "demo", &["d'", "candidates"]);
+        table.note("n=100");
+        table.row(vec!["8".into(), "12.5".into()]);
+        table.row(vec!["16".into(), "3.1".into()]);
+        let text = table.to_string();
+        assert!(text.contains("E0"));
+        assert!(text.contains("candidates"));
+        assert!(text.contains("12.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut table = Table::new("E0", "demo", &["a", "b"]);
+        table.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_serialization_is_stable() {
+        let mut table = Table::new("E1", "demo", &["a"]);
+        table.note("n=1");
+        table.row(vec!["7".into()]);
+        let json = serde_json::to_value(&table).unwrap();
+        assert_eq!(json["id"], "E1");
+        assert_eq!(json["columns"][0], "a");
+        assert_eq!(json["rows"][0][0], "7");
+        assert_eq!(json["notes"][0], "n=1");
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.12345), "0.1235");
+        assert_eq!(fnum(3.4567891), "3.457");
+        assert_eq!(fnum(1234.5), "1234.5");
+    }
+}

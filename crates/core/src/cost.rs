@@ -1,0 +1,277 @@
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The ground-distance matrix `C = [c_ij]` of Definition 1.
+///
+/// `c_ij` is the cost of moving one unit of mass from bin `i` of the first
+/// operand to bin `j` of the second. The matrix may be rectangular
+/// (`rows != cols`), which the paper's reduced EMD needs when query and
+/// database histograms are reduced to different dimensionalities
+/// (`R1 != R2` in Definition 4).
+///
+/// Invariants: all entries finite and non-negative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "CostMatrixRepr", into = "CostMatrixRepr")]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Box<[f64]>,
+}
+
+/// Serialization shim keeping the on-disk format explicit.
+#[derive(Serialize, Deserialize)]
+struct CostMatrixRepr {
+    rows: usize,
+    cols: usize,
+    entries: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Build a cost matrix from a row-major entry buffer.
+    pub fn new(rows: usize, cols: usize, entries: Vec<f64>) -> Result<Self, CoreError> {
+        if rows == 0 || cols == 0 || entries.len() != rows * cols {
+            return Err(CoreError::CostShape {
+                rows,
+                cols,
+                len: entries.len(),
+            });
+        }
+        for (k, &value) in entries.iter().enumerate() {
+            if value < 0.0 || !value.is_finite() {
+                return Err(CoreError::InvalidCost {
+                    row: k / cols,
+                    col: k % cols,
+                    value,
+                });
+            }
+        }
+        Ok(CostMatrix {
+            rows,
+            cols,
+            entries: entries.into_boxed_slice(),
+        })
+    }
+
+    /// Build a square cost matrix from a cost function over bin indices.
+    pub fn from_fn(dim: usize, cost: impl Fn(usize, usize) -> f64) -> Result<Self, CoreError> {
+        let cost = &cost;
+        let entries: Vec<f64> = (0..dim)
+            .flat_map(|i| (0..dim).map(move |j| cost(i, j)))
+            .collect();
+        Self::new(dim, dim, entries)
+    }
+
+    /// Number of rows (first-operand dimensionality).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (second-operand dimensionality).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Cost entry `c_ij`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.entries[i * self.cols + j]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.entries[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw row-major entries.
+    #[inline]
+    pub fn entries(&self) -> &[f64] {
+        &self.entries
+    }
+
+    /// Transpose the matrix (swap operand roles).
+    pub fn transposed(&self) -> CostMatrix {
+        let mut entries = vec![0.0; self.entries.len()];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                entries[j * self.rows + i] = self.at(i, j);
+            }
+        }
+        CostMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            entries: entries.into_boxed_slice(),
+        }
+    }
+
+    /// Smallest off-diagonal entry of a square matrix; used by the
+    /// scaled-L1 lower bound. `None` for 1x1 matrices.
+    pub fn min_off_diagonal(&self) -> Option<f64> {
+        debug_assert!(self.is_square());
+        let mut min = f64::INFINITY;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    min = min.min(self.at(i, j));
+                }
+            }
+        }
+        min.is_finite().then_some(min)
+    }
+
+    /// Entrywise comparison `self <= other` — the partial order of the
+    /// paper's Theorem 2 (monotony of the EMD in the cost matrix).
+    pub fn dominated_by(&self, other: &CostMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|(a, b)| a <= b)
+    }
+
+    /// Check the metric axioms on a square matrix: zero diagonal, symmetry
+    /// and the triangle inequality, each within tolerance `tol`. `O(d^3)` —
+    /// intended for construction-time validation and tests, not hot paths.
+    pub fn is_metric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let d = self.rows;
+        for i in 0..d {
+            if self.at(i, i).abs() > tol {
+                return false;
+            }
+            for j in 0..d {
+                if (self.at(i, j) - self.at(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        for i in 0..d {
+            for k in 0..d {
+                let direct = self.at(i, k);
+                for j in 0..d {
+                    if direct > self.at(i, j) + self.at(j, k) + tol {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl TryFrom<CostMatrixRepr> for CostMatrix {
+    type Error = CoreError;
+
+    fn try_from(repr: CostMatrixRepr) -> Result<Self, Self::Error> {
+        CostMatrix::new(repr.rows, repr.cols, repr.entries)
+    }
+}
+
+impl From<CostMatrix> for CostMatrixRepr {
+    fn from(matrix: CostMatrix) -> Self {
+        CostMatrixRepr {
+            rows: matrix.rows,
+            cols: matrix.cols,
+            entries: matrix.entries.into_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_matches_manual_layout() {
+        let c = CostMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        assert_eq!(c.at(0, 2), 2.0);
+        assert_eq!(c.at(2, 0), 2.0);
+        assert_eq!(c.row(1), &[1.0, 0.0, 1.0]);
+        assert!(c.is_square());
+    }
+
+    #[test]
+    fn rejects_negative_entries() {
+        assert!(matches!(
+            CostMatrix::new(2, 2, vec![0.0, 1.0, -1.0, 0.0]).unwrap_err(),
+            CoreError::InvalidCost { row: 1, col: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        assert!(matches!(
+            CostMatrix::new(2, 2, vec![0.0; 3]).unwrap_err(),
+            CoreError::CostShape { .. }
+        ));
+        assert!(matches!(
+            CostMatrix::new(0, 2, vec![]).unwrap_err(),
+            CoreError::CostShape { .. }
+        ));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let c = CostMatrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = c.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.at(2, 0), 3.0);
+        assert_eq!(t.transposed(), c);
+    }
+
+    #[test]
+    fn min_off_diagonal_skips_diagonal() {
+        let c = CostMatrix::new(2, 2, vec![0.0, 3.0, 5.0, 0.0]).unwrap();
+        assert_eq!(c.min_off_diagonal(), Some(3.0));
+        let tiny = CostMatrix::new(1, 1, vec![0.0]).unwrap();
+        assert_eq!(tiny.min_off_diagonal(), None);
+    }
+
+    #[test]
+    fn linear_chain_is_metric() {
+        let c = CostMatrix::from_fn(5, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        assert!(c.is_metric(1e-12));
+    }
+
+    #[test]
+    fn squared_distances_are_not_metric() {
+        // Squared Euclidean violates the triangle inequality.
+        let c = CostMatrix::from_fn(3, |i, j| {
+            let d = i as f64 - j as f64;
+            d * d
+        })
+        .unwrap();
+        assert!(!c.is_metric(1e-12));
+    }
+
+    #[test]
+    fn dominance_is_entrywise() {
+        let small = CostMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        let large = CostMatrix::from_fn(3, |i, j| 2.0 * (i as f64 - j as f64).abs()).unwrap();
+        assert!(small.dominated_by(&large));
+        assert!(!large.dominated_by(&small));
+        assert!(small.dominated_by(&small));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CostMatrix::from_fn(3, |i, j| (i as f64 - j as f64).abs()).unwrap();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CostMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

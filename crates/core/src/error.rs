@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors reported by `emd-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A histogram entry is negative or non-finite.
+    InvalidMass {
+        /// Index of the offending bin.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The histogram is empty.
+    EmptyHistogram,
+    /// Total mass differs from 1 by more than [`crate::MASS_EPS`]
+    /// and normalization was not requested.
+    NotNormalized {
+        /// The actual total mass.
+        total: f64,
+    },
+    /// Total mass is zero (or negative), so the histogram cannot be
+    /// normalized.
+    ZeroMass,
+    /// Operand dimensionalities do not match the cost matrix shape.
+    DimensionMismatch {
+        /// Rows of the cost matrix (first-operand dimensionality).
+        expected_rows: usize,
+        /// Columns of the cost matrix (second-operand dimensionality).
+        expected_cols: usize,
+        /// Dimensionality of the first operand.
+        got_rows: usize,
+        /// Dimensionality of the second operand.
+        got_cols: usize,
+    },
+    /// A cost entry is negative or non-finite.
+    InvalidCost {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Cost matrix buffer length does not factor into the declared shape.
+    CostShape {
+        /// Declared rows.
+        rows: usize,
+        /// Declared columns.
+        cols: usize,
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// The underlying LP solver failed (numerical pathology).
+    Solver(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidMass { index, value } => {
+                write!(f, "invalid histogram mass at {index}: {value}")
+            }
+            CoreError::EmptyHistogram => write!(f, "histogram has no bins"),
+            CoreError::NotNormalized { total } => {
+                write!(f, "histogram total mass {total} != 1")
+            }
+            CoreError::ZeroMass => write!(f, "histogram has zero total mass"),
+            CoreError::DimensionMismatch {
+                expected_rows,
+                expected_cols,
+                got_rows,
+                got_cols,
+            } => write!(
+                f,
+                "dimension mismatch: cost is {expected_rows}x{expected_cols}, \
+                 operands are {got_rows} and {got_cols}"
+            ),
+            CoreError::InvalidCost { row, col, value } => {
+                write!(f, "invalid cost at ({row}, {col}): {value}")
+            }
+            CoreError::CostShape { rows, cols, len } => {
+                write!(f, "cost buffer of {len} entries cannot be {rows}x{cols}")
+            }
+            CoreError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

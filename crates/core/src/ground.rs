@@ -1,0 +1,223 @@
+//! Ground-distance constructors for common multimedia feature spaces.
+//!
+//! The EMD's cost matrix encodes the geometry of the feature space. This
+//! module builds cost matrices for the geometries used in the paper's
+//! application domains: 1-D chains (e.g. brightness histograms), 2-D image
+//! tilings (the RETINA-style grid features of \[14\]) and 3-D color cubes
+//! (quantized RGB/HSV histograms), plus arbitrary point sets.
+
+use crate::cost::CostMatrix;
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The metric applied to bin positions in feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Manhattan distance (L1).
+    Manhattan,
+    /// Euclidean distance (L2).
+    Euclidean,
+    /// Chebyshev distance (L-infinity).
+    Chebyshev,
+}
+
+impl Metric {
+    /// Distance between two points of equal dimensionality.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Cost matrix for a 1-D chain of `dim` bins: `c_ij = |i - j|`.
+/// This is the ground distance of the paper's Figure 1.
+pub fn linear(dim: usize) -> Result<CostMatrix, CoreError> {
+    CostMatrix::from_fn(dim, |i, j| (i as f64 - j as f64).abs())
+}
+
+/// Cost matrix for a `width x height` image tiling, bins in row-major
+/// order, with the chosen metric on tile centers. This is the geometry of
+/// the grid-based features the paper generalizes in Section 3.1.
+pub fn grid2(width: usize, height: usize, metric: Metric) -> Result<CostMatrix, CoreError> {
+    let positions: Vec<[f64; 2]> = (0..width * height)
+        .map(|k| [(k % width) as f64, (k / width) as f64])
+        .collect();
+    CostMatrix::from_fn(width * height, |i, j| {
+        metric.distance(&positions[i], &positions[j])
+    })
+}
+
+/// Cost matrix for a quantized 3-D feature cube (e.g. an `r x g x b` color
+/// histogram), bins in `r`-major order, with the chosen metric on cell
+/// centers.
+pub fn grid3(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    metric: Metric,
+) -> Result<CostMatrix, CoreError> {
+    let positions: Vec<[f64; 3]> = (0..nx * ny * nz)
+        .map(|k| {
+            let x = k / (ny * nz);
+            let y = (k / nz) % ny;
+            let z = k % nz;
+            [x as f64, y as f64, z as f64]
+        })
+        .collect();
+    CostMatrix::from_fn(nx * ny * nz, |i, j| {
+        metric.distance(&positions[i], &positions[j])
+    })
+}
+
+/// Cost matrix from explicit bin positions in an arbitrary feature space.
+pub fn from_points(points: &[Vec<f64>], metric: Metric) -> Result<CostMatrix, CoreError> {
+    if points.is_empty() {
+        return Err(CoreError::CostShape {
+            rows: 0,
+            cols: 0,
+            len: 0,
+        });
+    }
+    CostMatrix::from_fn(points.len(), |i, j| metric.distance(&points[i], &points[j]))
+}
+
+/// Saturate a ground distance at threshold `tau`:
+/// `c'_ij = min(c_ij, tau)`. Rubner's classic robustification; saturation
+/// preserves the metric axioms and keeps far-apart bins from dominating the
+/// distance.
+pub fn saturated(cost: &CostMatrix, tau: f64) -> Result<CostMatrix, CoreError> {
+    CostMatrix::new(
+        cost.rows(),
+        cost.cols(),
+        cost.entries().iter().map(|&c| c.min(tau)).collect(),
+    )
+}
+
+/// Bin positions for [`grid2`], exposed for filters that need feature-space
+/// coordinates (e.g. the centroid lower bound).
+pub fn grid2_positions(width: usize, height: usize) -> Vec<Vec<f64>> {
+    (0..width * height)
+        .map(|k| vec![(k % width) as f64, (k / width) as f64])
+        .collect()
+}
+
+/// Bin positions for [`grid3`], `r`-major order.
+pub fn grid3_positions(nx: usize, ny: usize, nz: usize) -> Vec<Vec<f64>> {
+    (0..nx * ny * nz)
+        .map(|k| {
+            vec![
+                (k / (ny * nz)) as f64,
+                ((k / nz) % ny) as f64,
+                (k % nz) as f64,
+            ]
+        })
+        .collect()
+}
+
+/// Bin positions for [`linear`].
+pub fn linear_positions(dim: usize) -> Vec<Vec<f64>> {
+    (0..dim).map(|i| vec![i as f64]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_figure_one() {
+        let c = linear(6).unwrap();
+        assert_eq!(c.at(0, 0), 0.0);
+        assert_eq!(c.at(2, 0), 2.0);
+        assert_eq!(c.at(4, 0), 4.0);
+        assert!(c.is_metric(1e-12));
+    }
+
+    #[test]
+    fn grid2_neighbors_at_distance_one() {
+        let c = grid2(4, 3, Metric::Euclidean).unwrap();
+        assert_eq!(c.rows(), 12);
+        // Horizontally adjacent tiles 0 and 1.
+        assert!((c.at(0, 1) - 1.0).abs() < 1e-12);
+        // Vertically adjacent tiles 0 and 4.
+        assert!((c.at(0, 4) - 1.0).abs() < 1e-12);
+        // Diagonal tiles 0 and 5.
+        assert!((c.at(0, 5) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!(c.is_metric(1e-9));
+    }
+
+    #[test]
+    fn grid2_positions_agree_with_grid2() {
+        let positions = grid2_positions(4, 3);
+        let c = grid2(4, 3, Metric::Euclidean).unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                let expected = Metric::Euclidean.distance(&positions[i], &positions[j]);
+                assert!((c.at(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn grid3_corner_distances() {
+        let c = grid3(2, 2, 2, Metric::Manhattan).unwrap();
+        assert_eq!(c.rows(), 8);
+        // Opposite corners of the unit cube under L1: 3.
+        assert!((c.at(0, 7) - 3.0).abs() < 1e-12);
+        assert!(c.is_metric(1e-9));
+    }
+
+    #[test]
+    fn grid3_positions_agree_with_grid3() {
+        let positions = grid3_positions(2, 3, 2);
+        let c = grid3(2, 3, 2, Metric::Euclidean).unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                let expected = Metric::Euclidean.distance(&positions[i], &positions[j]);
+                assert!((c.at(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn from_points_arbitrary_space() {
+        let points = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        let c = from_points(&points, Metric::Euclidean).unwrap();
+        assert!((c.at(0, 1) - 5.0).abs() < 1e-12);
+        assert!(from_points(&[], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn saturation_caps_and_stays_metric() {
+        let c = linear(8).unwrap();
+        let s = saturated(&c, 2.5).unwrap();
+        assert_eq!(s.at(0, 7), 2.5);
+        assert_eq!(s.at(0, 1), 1.0);
+        assert!(s.is_metric(1e-12));
+        assert!(s.dominated_by(&c));
+    }
+
+    #[test]
+    fn chebyshev_metric() {
+        assert_eq!(
+            Metric::Chebyshev.distance(&[0.0, 0.0], &[2.0, 5.0]),
+            5.0
+        );
+        assert_eq!(
+            Metric::Manhattan.distance(&[0.0, 0.0], &[2.0, 5.0]),
+            7.0
+        );
+    }
+}

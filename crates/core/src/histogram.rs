@@ -1,0 +1,251 @@
+use crate::error::CoreError;
+use crate::MASS_EPS;
+use serde::{Deserialize, Serialize};
+
+/// A non-negative feature vector of normalized total mass — the operand
+/// type of Definition 1 in the paper.
+///
+/// Invariants (enforced at construction):
+/// * at least one bin,
+/// * every entry finite and `>= 0`,
+/// * entries sum to 1 within [`MASS_EPS`].
+///
+/// Histograms are immutable after construction; this keeps every
+/// `Histogram` in the database valid for the lifetime of an index built
+/// over it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+pub struct Histogram {
+    bins: Box<[f64]>,
+}
+
+impl Histogram {
+    /// Wrap an already-normalized mass vector.
+    pub fn new(bins: Vec<f64>) -> Result<Self, CoreError> {
+        Self::validate_entries(&bins)?;
+        let total: f64 = bins.iter().sum();
+        if (total - 1.0).abs() > MASS_EPS {
+            return Err(CoreError::NotNormalized { total });
+        }
+        Ok(Histogram {
+            bins: bins.into_boxed_slice(),
+        })
+    }
+
+    /// Normalize an arbitrary non-negative vector to total mass 1 and wrap
+    /// it. Fails on zero total mass.
+    pub fn normalized(bins: Vec<f64>) -> Result<Self, CoreError> {
+        Self::validate_entries(&bins)?;
+        let total: f64 = bins.iter().sum();
+        if total <= 0.0 {
+            return Err(CoreError::ZeroMass);
+        }
+        let bins: Vec<f64> = bins.iter().map(|x| x / total).collect();
+        Ok(Histogram {
+            bins: bins.into_boxed_slice(),
+        })
+    }
+
+    /// A histogram with all mass in a single bin — the witness construction
+    /// used in the paper's Theorem 2 and Theorem 3 proofs.
+    pub fn unit(dim: usize, bin: usize) -> Result<Self, CoreError> {
+        if dim == 0 {
+            return Err(CoreError::EmptyHistogram);
+        }
+        if bin >= dim {
+            return Err(CoreError::InvalidMass {
+                index: bin,
+                value: f64::NAN,
+            });
+        }
+        let mut bins = vec![0.0; dim];
+        bins[bin] = 1.0;
+        Ok(Histogram {
+            bins: bins.into_boxed_slice(),
+        })
+    }
+
+    /// The uniform histogram `1/d` in every bin.
+    pub fn uniform(dim: usize) -> Result<Self, CoreError> {
+        if dim == 0 {
+            return Err(CoreError::EmptyHistogram);
+        }
+        Ok(Histogram {
+            bins: vec![1.0 / dim as f64; dim].into_boxed_slice(),
+        })
+    }
+
+    fn validate_entries(bins: &[f64]) -> Result<(), CoreError> {
+        if bins.is_empty() {
+            return Err(CoreError::EmptyHistogram);
+        }
+        for (index, &value) in bins.iter().enumerate() {
+            if value < 0.0 || !value.is_finite() {
+                return Err(CoreError::InvalidMass { index, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of bins `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin masses.
+    #[inline]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Mass in bin `i`.
+    #[inline]
+    pub fn mass(&self, i: usize) -> f64 {
+        self.bins[i]
+    }
+
+    /// Total mass (1 up to rounding).
+    pub fn total_mass(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Iterate over `(bin, mass)` pairs with strictly positive mass.
+    /// Multimedia histograms are typically sparse; the EMD solver strips
+    /// zero bins through this iterator.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.bins
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, mass)| mass > 0.0)
+    }
+
+    /// Number of bins with strictly positive mass.
+    pub fn support_size(&self) -> usize {
+        self.bins.iter().filter(|&&mass| mass > 0.0).count()
+    }
+
+    /// Manhattan (L1) distance between two histograms of equal
+    /// dimensionality. Used by the scaled-L1 lower bound and in tests.
+    pub fn l1_distance(&self, other: &Histogram) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.bins
+            .iter()
+            .zip(other.bins.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+impl TryFrom<Vec<f64>> for Histogram {
+    type Error = CoreError;
+
+    fn try_from(bins: Vec<f64>) -> Result<Self, Self::Error> {
+        Histogram::new(bins)
+    }
+}
+
+impl From<Histogram> for Vec<f64> {
+    fn from(histogram: Histogram) -> Self {
+        histogram.bins.into_vec()
+    }
+}
+
+impl AsRef<[f64]> for Histogram {
+    fn as_ref(&self) -> &[f64] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normalized() {
+        let h = Histogram::new(vec![0.5, 0.0, 0.2, 0.0, 0.3, 0.0]).unwrap();
+        assert_eq!(h.dim(), 6);
+        assert!((h.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(h.support_size(), 3);
+    }
+
+    #[test]
+    fn rejects_unnormalized() {
+        assert!(matches!(
+            Histogram::new(vec![0.5, 0.6]).unwrap_err(),
+            CoreError::NotNormalized { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_and_nan() {
+        assert!(matches!(
+            Histogram::new(vec![1.5, -0.5]).unwrap_err(),
+            CoreError::InvalidMass { index: 1, .. }
+        ));
+        assert!(matches!(
+            Histogram::new(vec![f64::NAN, 1.0]).unwrap_err(),
+            CoreError::InvalidMass { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            Histogram::new(vec![]).unwrap_err(),
+            CoreError::EmptyHistogram
+        );
+    }
+
+    #[test]
+    fn normalizes() {
+        let h = Histogram::normalized(vec![2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(h.bins(), &[0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalization_rejects_zero_mass() {
+        assert_eq!(
+            Histogram::normalized(vec![0.0, 0.0]).unwrap_err(),
+            CoreError::ZeroMass
+        );
+    }
+
+    #[test]
+    fn unit_and_uniform() {
+        let u = Histogram::unit(4, 2).unwrap();
+        assert_eq!(u.bins(), &[0.0, 0.0, 1.0, 0.0]);
+        assert!(Histogram::unit(4, 4).is_err());
+        let f = Histogram::uniform(4).unwrap();
+        assert!(f.bins().iter().all(|&x| (x - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn nonzero_iterates_support() {
+        let h = Histogram::new(vec![0.5, 0.0, 0.5]).unwrap();
+        let support: Vec<_> = h.nonzero().collect();
+        assert_eq!(support, vec![(0, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn l1_distance_matches_manual() {
+        let x = Histogram::new(vec![0.5, 0.0, 0.2, 0.0, 0.3, 0.0]).unwrap();
+        let y = Histogram::new(vec![0.0, 0.5, 0.0, 0.2, 0.0, 0.3]).unwrap();
+        assert!((x.l1_distance(&y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = Histogram::new(vec![0.25, 0.75]).unwrap();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let result: Result<Histogram, _> = serde_json::from_str("[0.5, 0.6]");
+        assert!(result.is_err());
+    }
+}

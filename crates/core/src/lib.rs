@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # emd-core
+//!
+//! The Earth Mover's Distance (EMD) and its classic lower-bounding filters,
+//! as defined in Section 2 of Wichterich et al., SIGMOD 2008 (building on
+//! Rubner et al. and Assent et al.).
+//!
+//! * [`Histogram`] — non-negative feature vectors of normalized total mass
+//!   (Definition 1 operands).
+//! * [`CostMatrix`] / [`ground`] — the ground-distance matrix `C = [c_ij]`
+//!   plus constructors for common feature-space geometries (1-D chains, 2-D
+//!   image tilings, 3-D color cubes).
+//! * [`emd`] / [`emd_with_flows`] — the exact EMD via the transportation
+//!   simplex of `emd-transport`, with zero-mass bins stripped before
+//!   solving.
+//! * [`lower_bounds`] — LB_IM (independent minimization), the Rubner
+//!   centroid bound, and a scaled-L1 bound; all are complete filters for
+//!   multistep query processing.
+
+mod cost;
+mod emd;
+mod error;
+pub mod flow;
+pub mod ground;
+mod histogram;
+pub mod lower_bounds;
+pub mod upper_bound;
+
+pub use cost::CostMatrix;
+pub use emd::{emd, emd_1d_manhattan, emd_rectangular, emd_with_flows, EmdReport};
+pub use error::CoreError;
+pub use histogram::Histogram;
+pub use upper_bound::{emd_upper_greedy, emd_upper_vogel};
+
+/// Tolerance for mass normalization checks: histograms must total 1 within
+/// this bound. Matches the balance tolerance of the LP layer.
+pub const MASS_EPS: f64 = 1e-7;

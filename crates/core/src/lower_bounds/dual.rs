@@ -1,0 +1,207 @@
+use crate::cost::CostMatrix;
+use crate::error::CoreError;
+use crate::histogram::Histogram;
+
+/// Anchor (dual-feasibility) lower bound for the EMD.
+///
+/// By weak LP duality, any potentials `(u, v)` with `u_i + v_j <= c_ij`
+/// satisfy `u . x + v . y <= EMD_C(x, y)`. For a *metric* ground distance
+/// the distance-to-anchor columns of the cost matrix are such potentials:
+/// for every anchor bin `a`, the triangle inequality gives
+/// `|c_ia - c_ja| <= c_ij`, so both `(c_.a, -c_.a)` and its negation are
+/// dual feasible and
+///
+/// ```text
+/// EMD_C(x, y) >= | sum_i x_i c_ia  -  sum_j y_j c_ja |
+/// ```
+///
+/// for every anchor `a`; the bound reported is the maximum over the
+/// configured anchors. After precomputing one projection per anchor per
+/// histogram, each evaluation is `O(#anchors)` — by far the cheapest
+/// bound in this crate, suited as the first stage of a standalone filter
+/// ranking.
+///
+/// The constructor verifies dual feasibility of every anchor directly
+/// (`O(d^2)` per anchor), so non-metric cost matrices are rejected rather
+/// than silently producing an invalid bound.
+#[derive(Debug, Clone)]
+pub struct AnchorBound {
+    /// `projections[a]` = the anchor-`a` cost column (length `d`).
+    projections: Vec<Vec<f64>>,
+    dim: usize,
+}
+
+impl AnchorBound {
+    /// Build the bound from explicit anchor bins of a square cost matrix.
+    pub fn new(cost: &CostMatrix, anchors: &[usize]) -> Result<Self, CoreError> {
+        if !cost.is_square() || anchors.is_empty() {
+            return Err(CoreError::CostShape {
+                rows: cost.rows(),
+                cols: cost.cols(),
+                len: anchors.len(),
+            });
+        }
+        let d = cost.rows();
+        let mut projections = Vec::with_capacity(anchors.len());
+        for &anchor in anchors {
+            if anchor >= d {
+                return Err(CoreError::InvalidCost {
+                    row: anchor,
+                    col: anchor,
+                    value: f64::NAN,
+                });
+            }
+            let column: Vec<f64> = (0..d).map(|i| cost.at(i, anchor)).collect();
+            // Dual feasibility: |c_ia - c_ja| <= c_ij for all i, j.
+            for i in 0..d {
+                for j in 0..d {
+                    if (column[i] - column[j]).abs() > cost.at(i, j) + 1e-9 {
+                        return Err(CoreError::InvalidCost {
+                            row: i,
+                            col: j,
+                            value: cost.at(i, j),
+                        });
+                    }
+                }
+            }
+            projections.push(column);
+        }
+        Ok(AnchorBound {
+            projections,
+            dim: d,
+        })
+    }
+
+    /// Build the bound with `count` anchors spread evenly over the bins.
+    pub fn with_spread_anchors(cost: &CostMatrix, count: usize) -> Result<Self, CoreError> {
+        let d = cost.rows();
+        let count = count.clamp(1, d);
+        let anchors: Vec<usize> = (0..count).map(|k| k * d / count).collect();
+        Self::new(cost, &anchors)
+    }
+
+    /// Number of anchors.
+    pub fn num_anchors(&self) -> usize {
+        self.projections.len()
+    }
+
+    /// Expected histogram dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Project a histogram onto every anchor: `out[a] = sum_i x_i c_ia`.
+    /// Precompute this once per database object.
+    pub fn project(&self, x: &Histogram) -> Result<Vec<f64>, CoreError> {
+        if x.dim() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected_rows: self.dim,
+                expected_cols: self.dim,
+                got_rows: x.dim(),
+                got_cols: x.dim(),
+            });
+        }
+        Ok(self
+            .projections
+            .iter()
+            .map(|column| x.nonzero().map(|(i, mass)| mass * column[i]).sum())
+            .collect())
+    }
+
+    /// Bound from two precomputed projections.
+    #[inline]
+    pub fn bound_from_projections(&self, px: &[f64], py: &[f64]) -> f64 {
+        debug_assert_eq!(px.len(), self.projections.len());
+        debug_assert_eq!(py.len(), self.projections.len());
+        px.iter()
+            .zip(py)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Evaluate the bound on raw histograms (projects both first).
+    pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
+        let px = self.project(x)?;
+        let py = self.project(y)?;
+        Ok(self.bound_from_projections(&px, &py))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::emd;
+    use crate::ground;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn lower_bounds_figure_one() {
+        let x = h(&[0.5, 0.0, 0.2, 0.0, 0.3, 0.0]);
+        let y = h(&[0.0, 0.5, 0.0, 0.2, 0.0, 0.3]);
+        let c = ground::linear(6).unwrap();
+        let bound = AnchorBound::with_spread_anchors(&c, 3).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+        let lb = bound.bound(&x, &y).unwrap();
+        assert!(lb <= exact + 1e-12);
+        // On a 1-D chain the anchor-0 projection is the first moment:
+        // the pure-shift pair has moment difference exactly 1.0 = EMD.
+        assert!((lb - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_on_unit_histograms_with_anchor_at_target() {
+        let c = ground::linear(5).unwrap();
+        let bound = AnchorBound::new(&c, &[4]).unwrap();
+        let x = Histogram::unit(5, 1).unwrap();
+        let y = Histogram::unit(5, 4).unwrap();
+        // |c(1,4) - c(4,4)| = 3 = exact EMD.
+        assert!((bound.bound(&x, &y).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_metric_costs() {
+        // Squared distances violate the triangle inequality.
+        let c = CostMatrix::from_fn(4, |i, j| {
+            let d = i as f64 - j as f64;
+            d * d
+        })
+        .unwrap();
+        assert!(AnchorBound::with_spread_anchors(&c, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_anchors_and_shapes() {
+        let c = ground::linear(4).unwrap();
+        assert!(AnchorBound::new(&c, &[7]).is_err());
+        assert!(AnchorBound::new(&c, &[]).is_err());
+        let bound = AnchorBound::new(&c, &[0]).unwrap();
+        assert!(bound.project(&h(&[0.5, 0.5])).is_err());
+    }
+
+    #[test]
+    fn more_anchors_never_loosen() {
+        let c = ground::grid2(3, 3, ground::Metric::Manhattan).unwrap();
+        let x = h(&[0.3, 0.0, 0.1, 0.0, 0.2, 0.0, 0.1, 0.0, 0.3]);
+        let y = h(&[0.0, 0.2, 0.0, 0.3, 0.0, 0.2, 0.0, 0.3, 0.0]);
+        let few = AnchorBound::with_spread_anchors(&c, 1).unwrap();
+        let many = AnchorBound::with_spread_anchors(&c, 9).unwrap();
+        assert!(many.bound(&x, &y).unwrap() >= few.bound(&x, &y).unwrap() - 1e-12);
+        let exact = emd(&x, &y, &c).unwrap();
+        assert!(many.bound(&x, &y).unwrap() <= exact + 1e-12);
+    }
+
+    #[test]
+    fn projections_reuse_matches_direct() {
+        let c = ground::linear(6).unwrap();
+        let bound = AnchorBound::with_spread_anchors(&c, 3).unwrap();
+        let x = h(&[0.5, 0.0, 0.2, 0.0, 0.3, 0.0]);
+        let y = h(&[0.0, 0.5, 0.0, 0.2, 0.0, 0.3]);
+        let px = bound.project(&x).unwrap();
+        let py = bound.project(&y).unwrap();
+        let direct = bound.bound(&x, &y).unwrap();
+        assert_eq!(bound.bound_from_projections(&px, &py), direct);
+    }
+}

@@ -1,0 +1,202 @@
+use crate::cost::CostMatrix;
+use crate::error::CoreError;
+use crate::histogram::Histogram;
+
+/// The *independent minimization* lower bound LB_IM (Assent et al., ICDE
+/// 2006 — reference \[1\] of the paper).
+///
+/// The EMD's linear program is relaxed by minimizing each source row
+/// independently: the mass `x_i` of source bin `i` is routed to the
+/// globally cheapest target bins, respecting the per-bin capacities `y_j`
+/// but *not* sharing them across rows. Every feasible EMD flow satisfies
+/// the per-row constraints, so the relaxed optimum under-estimates the
+/// EMD. The symmetric column-wise relaxation is also a lower bound; the
+/// reported value is the larger of the two.
+///
+/// Cost rows/columns are sorted once at construction and shared across all
+/// subsequent evaluations, giving `O(d^2)` per pair after `O(d^2 log d)`
+/// setup.
+#[derive(Debug, Clone)]
+pub struct LbIm {
+    cost: CostMatrix,
+    /// `row_order[i]` = target indices sorted by ascending `c_ij`.
+    row_order: Vec<Vec<u32>>,
+    /// `col_order[j]` = source indices sorted by ascending `c_ij`.
+    col_order: Vec<Vec<u32>>,
+}
+
+impl LbIm {
+    /// Precompute sort orders for the given (possibly rectangular) cost
+    /// matrix.
+    pub fn new(cost: CostMatrix) -> Self {
+        let rows = cost.rows();
+        let cols = cost.cols();
+        let mut row_order = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = cost.row(i);
+            let mut order: Vec<u32> = (0..cols as u32).collect();
+            order.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]));
+            row_order.push(order);
+        }
+        let mut col_order = Vec::with_capacity(cols);
+        for j in 0..cols {
+            let mut order: Vec<u32> = (0..rows as u32).collect();
+            order.sort_by(|&a, &b| cost.at(a as usize, j).total_cmp(&cost.at(b as usize, j)));
+            col_order.push(order);
+        }
+        LbIm {
+            cost,
+            row_order,
+            col_order,
+        }
+    }
+
+    /// The cost matrix this bound was built for.
+    pub fn cost(&self) -> &CostMatrix {
+        &self.cost
+    }
+
+    /// Evaluate the bound. `x` must have `cost.rows()` bins and `y`
+    /// `cost.cols()` bins.
+    pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
+        if x.dim() != self.cost.rows() || y.dim() != self.cost.cols() {
+            return Err(CoreError::DimensionMismatch {
+                expected_rows: self.cost.rows(),
+                expected_cols: self.cost.cols(),
+                got_rows: x.dim(),
+                got_cols: y.dim(),
+            });
+        }
+        let rows = self.relax_rows(x, y);
+        let cols = self.relax_cols(x, y);
+        Ok(rows.max(cols))
+    }
+
+    /// Row-wise relaxation: route each `x_i` to the cheapest targets under
+    /// capacities `y_j`.
+    fn relax_rows(&self, x: &Histogram, y: &Histogram) -> f64 {
+        let mut total = 0.0;
+        for (i, mass) in x.nonzero() {
+            let mut remaining = mass;
+            let row = self.cost.row(i);
+            for &j in &self.row_order[i] {
+                let capacity = y.mass(j as usize);
+                if capacity <= 0.0 {
+                    continue;
+                }
+                let shipped = remaining.min(capacity);
+                total += shipped * row[j as usize];
+                remaining -= shipped;
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// Column-wise relaxation: fill each `y_j` from the cheapest sources
+    /// under capacities `x_i`.
+    fn relax_cols(&self, x: &Histogram, y: &Histogram) -> f64 {
+        let mut total = 0.0;
+        for (j, mass) in y.nonzero() {
+            let mut remaining = mass;
+            for &i in &self.col_order[j] {
+                let capacity = x.mass(i as usize);
+                if capacity <= 0.0 {
+                    continue;
+                }
+                let shipped = remaining.min(capacity);
+                total += shipped * self.cost.at(i as usize, j);
+                remaining -= shipped;
+                if remaining <= 0.0 {
+                    break;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::emd;
+    use crate::ground;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn lower_bounds_the_emd_on_figure_one() {
+        let x = h(&[0.5, 0.0, 0.2, 0.0, 0.3, 0.0]);
+        let y = h(&[0.0, 0.5, 0.0, 0.2, 0.0, 0.3]);
+        let c = ground::linear(6).unwrap();
+        let bound = LbIm::new(c.clone());
+        let lb = bound.bound(&x, &y).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+        assert!(lb <= exact + 1e-12, "lb {lb} must not exceed emd {exact}");
+        assert!(lb > 0.0, "bound should separate distinct histograms");
+    }
+
+    #[test]
+    fn exact_on_unit_histograms() {
+        // With all mass in one bin each, the relaxation is the original
+        // problem, so the bound is tight.
+        let x = Histogram::unit(5, 1).unwrap();
+        let y = Histogram::unit(5, 4).unwrap();
+        let c = ground::linear(5).unwrap();
+        let bound = LbIm::new(c.clone());
+        let lb = bound.bound(&x, &y).unwrap();
+        assert!((lb - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_for_identical_histograms() {
+        let x = h(&[0.3, 0.3, 0.4]);
+        let c = ground::linear(3).unwrap();
+        let bound = LbIm::new(c);
+        assert_eq!(bound.bound(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let bound = LbIm::new(ground::linear(3).unwrap());
+        let x = h(&[0.5, 0.5]);
+        let y = h(&[0.4, 0.3, 0.3]);
+        assert!(matches!(
+            bound.bound(&x, &y).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn column_relaxation_can_dominate() {
+        // Asymmetric costs make one relaxation strictly better; the max
+        // must pick it up. Construct a case and just check both orders
+        // produce consistent bounds <= EMD.
+        let x = h(&[0.9, 0.1, 0.0]);
+        let y = h(&[0.0, 0.1, 0.9]);
+        let c = CostMatrix::new(
+            3,
+            3,
+            vec![0.0, 1.0, 5.0, 1.0, 0.0, 1.0, 5.0, 1.0, 0.0],
+        )
+        .unwrap();
+        let bound = LbIm::new(c.clone());
+        let lb = bound.bound(&x, &y).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+        assert!(lb <= exact + 1e-12);
+    }
+
+    #[test]
+    fn rectangular_cost_supported() {
+        let x = h(&[0.5, 0.5]);
+        let y = h(&[0.25, 0.25, 0.5]);
+        let c = CostMatrix::new(2, 3, vec![0.0, 1.0, 2.0, 2.0, 1.0, 0.0]).unwrap();
+        let bound = LbIm::new(c);
+        let lb = bound.bound(&x, &y).unwrap();
+        assert!(lb >= 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the exact EMD and its classic lower bounds.
+
+use emd_core::ground::{self, Metric};
+use emd_core::lower_bounds::{AnchorBound, CentroidBound, LbIm, ScaledL1};
+use emd_core::{emd, emd_1d_manhattan, emd_with_flows, CostMatrix, Histogram};
+use proptest::prelude::*;
+
+fn histogram(dim: usize) -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, dim).prop_filter_map("positive total mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+/// A sparse histogram: most bins zero, as in real multimedia features.
+fn sparse_histogram(dim: usize) -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(prop::option::weighted(0.3, 0.01_f64..1.0), dim).prop_filter_map(
+        "positive total mass",
+        |raw| {
+            let bins: Vec<f64> = raw.into_iter().map(|x| x.unwrap_or(0.0)).collect();
+            let total: f64 = bins.iter().sum();
+            (total > 1e-6)
+                .then(|| Histogram::new(bins.iter().map(|x| x / total).collect()).ok())
+                .flatten()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// LP solution equals the closed-form CDF distance on 1-D chains.
+    #[test]
+    fn matches_1d_closed_form(x in histogram(12), y in histogram(12)) {
+        let c = ground::linear(12).unwrap();
+        let lp = emd(&x, &y, &c).unwrap();
+        let oracle = emd_1d_manhattan(&x, &y);
+        prop_assert!((lp - oracle).abs() < 1e-9, "lp {lp} != oracle {oracle}");
+    }
+
+    /// Same, on sparse histograms (exercises the zero-bin stripping).
+    #[test]
+    fn matches_1d_closed_form_sparse(x in sparse_histogram(24), y in sparse_histogram(24)) {
+        let c = ground::linear(24).unwrap();
+        let lp = emd(&x, &y, &c).unwrap();
+        let oracle = emd_1d_manhattan(&x, &y);
+        prop_assert!((lp - oracle).abs() < 1e-9);
+    }
+
+    /// Metric axioms under a metric ground distance: identity, symmetry
+    /// and the triangle inequality.
+    #[test]
+    fn metric_axioms(
+        x in histogram(9),
+        y in histogram(9),
+        z in histogram(9),
+    ) {
+        let c = ground::grid2(3, 3, Metric::Euclidean).unwrap();
+        let d_xy = emd(&x, &y, &c).unwrap();
+        let d_yx = emd(&y, &x, &c).unwrap();
+        let d_xz = emd(&x, &z, &c).unwrap();
+        let d_zy = emd(&z, &y, &c).unwrap();
+        prop_assert!(emd(&x, &x, &c).unwrap().abs() < 1e-9);
+        prop_assert!((d_xy - d_yx).abs() < 1e-9, "symmetry");
+        prop_assert!(d_xy <= d_xz + d_zy + 1e-9, "triangle inequality");
+        prop_assert!(d_xy >= -1e-12, "non-negativity");
+    }
+
+    /// The reported flows are feasible and reproduce the objective.
+    #[test]
+    fn flows_reconstruct_distance(x in sparse_histogram(16), y in sparse_histogram(16)) {
+        let c = ground::grid2(4, 4, Metric::Manhattan).unwrap();
+        let report = emd_with_flows(&x, &y, &c).unwrap();
+        let mut row_sums = [0.0; 16];
+        let mut col_sums = [0.0; 16];
+        let mut objective = 0.0;
+        for &(i, j, f) in &report.flows {
+            prop_assert!(f > 0.0);
+            row_sums[i] += f;
+            col_sums[j] += f;
+            objective += f * c.at(i, j);
+        }
+        for i in 0..16 {
+            prop_assert!((row_sums[i] - x.mass(i)).abs() < 1e-8);
+            prop_assert!((col_sums[i] - y.mass(i)).abs() < 1e-8);
+        }
+        prop_assert!((objective - report.distance).abs() < 1e-8);
+    }
+
+    /// Every classic lower bound under-estimates the exact EMD.
+    #[test]
+    fn classic_bounds_are_lower_bounds(x in histogram(12), y in histogram(12)) {
+        let c = ground::grid2(4, 3, Metric::Euclidean).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+
+        let im = LbIm::new(c.clone());
+        prop_assert!(im.bound(&x, &y).unwrap() <= exact + 1e-9);
+
+        let centroid = CentroidBound::new(
+            ground::grid2_positions(4, 3),
+            Metric::Euclidean,
+        ).unwrap();
+        prop_assert!(centroid.bound(&x, &y).unwrap() <= exact + 1e-9);
+
+        let scaled = ScaledL1::new(&c);
+        prop_assert!(scaled.bound(&x, &y).unwrap() <= exact + 1e-9);
+
+        let anchor = AnchorBound::with_spread_anchors(&c, 4).unwrap();
+        prop_assert!(anchor.bound(&x, &y).unwrap() <= exact + 1e-9);
+    }
+
+    /// EMD monotony in the cost matrix (paper Theorem 2, forward
+    /// direction): scaling costs up cannot decrease the distance.
+    #[test]
+    fn monotone_in_costs(x in histogram(8), y in histogram(8), bump in 0.0_f64..3.0) {
+        let small = ground::linear(8).unwrap();
+        let large = CostMatrix::new(
+            8,
+            8,
+            small
+                .entries()
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| if k / 8 == k % 8 { c } else { c + bump })
+                .collect(),
+        )
+        .unwrap();
+        let d_small = emd(&x, &y, &small).unwrap();
+        let d_large = emd(&x, &y, &large).unwrap();
+        prop_assert!(d_small <= d_large + 1e-9);
+    }
+
+    /// Saturating the ground distance can only shrink the EMD.
+    #[test]
+    fn saturation_shrinks(x in histogram(10), y in histogram(10), tau in 0.5_f64..5.0) {
+        let c = ground::linear(10).unwrap();
+        let s = ground::saturated(&c, tau).unwrap();
+        let full = emd(&x, &y, &c).unwrap();
+        let capped = emd(&x, &y, &s).unwrap();
+        prop_assert!(capped <= full + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sandwich property: every lower bound <= exact EMD <= every upper
+    /// bound, on random sparse histograms.
+    #[test]
+    fn sandwich_bounds(x in sparse_histogram(16), y in sparse_histogram(16)) {
+        use emd_core::{emd_upper_greedy, emd_upper_vogel};
+        let c = ground::grid2(4, 4, Metric::Euclidean).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+        let im = LbIm::new(c.clone());
+        let lower = im.bound(&x, &y).unwrap();
+        let upper_v = emd_upper_vogel(&x, &y, &c).unwrap();
+        let upper_g = emd_upper_greedy(&x, &y, &c).unwrap();
+        prop_assert!(lower <= exact + 1e-9);
+        prop_assert!(exact <= upper_v + 1e-9);
+        prop_assert!(exact <= upper_g + 1e-9);
+    }
+
+    /// The Vogel upper bound is close to optimal: a loose sanity band that
+    /// documents its practical quality on smooth instances.
+    #[test]
+    fn vogel_upper_bound_is_reasonable(x in histogram(12), y in histogram(12)) {
+        use emd_core::emd_upper_vogel;
+        let c = ground::linear(12).unwrap();
+        let exact = emd(&x, &y, &c).unwrap();
+        let upper = emd_upper_vogel(&x, &y, &c).unwrap();
+        // Vogel never exceeds 3x the optimum on these instances; the bound
+        // here is intentionally slack — the property that matters is
+        // upper >= exact, checked in sandwich_bounds.
+        prop_assert!(upper <= exact.max(1e-9) * 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+use emd_core::{CostMatrix, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// A bundled retrieval corpus: feature histograms, their class labels, the
+/// ground-distance cost matrix and (when the feature space has an explicit
+/// geometry) the bin positions.
+///
+/// Every generator in this crate returns a `Dataset`; the query engine and
+/// the experiment harness consume them uniformly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"tiling-12x8"`.
+    pub name: String,
+    /// Feature histograms, all of one dimensionality.
+    pub histograms: Vec<Histogram>,
+    /// Class label of each histogram (same length as `histograms`).
+    pub labels: Vec<u32>,
+    /// Ground distance between bins.
+    pub cost: CostMatrix,
+    /// Bin positions in feature space, when meaningful (enables the
+    /// centroid lower bound).
+    pub positions: Option<Vec<Vec<f64>>>,
+}
+
+impl Dataset {
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.cost.rows()
+    }
+
+    /// Check internal consistency; generators uphold this by construction,
+    /// deserialized corpora are checked by [`crate::io::load`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.histograms.len() != self.labels.len() {
+            return Err(format!(
+                "{} histograms but {} labels",
+                self.histograms.len(),
+                self.labels.len()
+            ));
+        }
+        if !self.cost.is_square() {
+            return Err("cost matrix must be square".into());
+        }
+        let dim = self.cost.rows();
+        if let Some(bad) = self.histograms.iter().position(|h| h.dim() != dim) {
+            return Err(format!(
+                "histogram {bad} has dimensionality {} != {dim}",
+                self.histograms[bad].dim()
+            ));
+        }
+        if let Some(positions) = &self.positions {
+            if positions.len() != dim {
+                return Err(format!(
+                    "{} positions for {dim} bins",
+                    positions.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Split off the last `count` objects as a disjoint query set. Used by
+    /// workload builders so queries are drawn from the same distribution
+    /// but are not database members.
+    pub fn split_queries(mut self, count: usize) -> (Dataset, Vec<Histogram>) {
+        let count = count.min(self.histograms.len());
+        let keep = self.histograms.len() - count;
+        let queries = self.histograms.split_off(keep);
+        self.labels.truncate(keep);
+        (self, queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            histograms: vec![
+                Histogram::new(vec![0.5, 0.5, 0.0]).unwrap(),
+                Histogram::new(vec![0.0, 0.5, 0.5]).unwrap(),
+                Histogram::new(vec![1.0, 0.0, 0.0]).unwrap(),
+            ],
+            labels: vec![0, 1, 0],
+            cost: ground::linear(3).unwrap(),
+            positions: Some(ground::linear_positions(3)),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent() {
+        assert!(tiny().validate().is_ok());
+        assert_eq!(tiny().len(), 3);
+        assert_eq!(tiny().dim(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let mut bad = tiny();
+        bad.labels.pop();
+        assert!(bad.validate().is_err());
+
+        let mut bad = tiny();
+        bad.histograms[0] = Histogram::new(vec![0.5, 0.5]).unwrap();
+        assert!(bad.validate().is_err());
+
+        let mut bad = tiny();
+        bad.positions = Some(vec![vec![0.0]]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn split_queries_is_disjoint() {
+        let (database, queries) = tiny().split_queries(1);
+        assert_eq!(database.len(), 2);
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].bins(), &[1.0, 0.0, 0.0]);
+        assert_eq!(database.labels.len(), 2);
+    }
+
+    #[test]
+    fn split_queries_caps_at_len() {
+        let (database, queries) = tiny().split_queries(10);
+        assert_eq!(database.len(), 0);
+        assert_eq!(queries.len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Dataset (de)serialization.
+//!
+//! Corpora and workloads are stored as JSON so experiment runs are
+//! reproducible and individual artifacts can be inspected by hand.
+
+use crate::dataset::Dataset;
+use crate::workload::Workload;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// IO/parse error wrapper.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The payload parsed but is internally inconsistent.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Save a dataset as JSON.
+pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    Ok(fs::write(path, serde_json::to_vec(dataset)?)?)
+}
+
+/// Load and validate a dataset from JSON.
+pub fn load(path: &Path) -> Result<Dataset, IoError> {
+    let dataset: Dataset = serde_json::from_slice(&fs::read(path)?)?;
+    dataset.validate().map_err(IoError::Invalid)?;
+    Ok(dataset)
+}
+
+/// Save a workload as JSON.
+pub fn save_workload(workload: &Workload, path: &Path) -> Result<(), IoError> {
+    Ok(fs::write(path, serde_json::to_vec(workload)?)?)
+}
+
+/// Load a workload from JSON.
+pub fn load_workload(path: &Path) -> Result<Workload, IoError> {
+    Ok(serde_json::from_slice(&fs::read(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{self, GaussianParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dataset_roundtrip() {
+        let params = GaussianParams {
+            dim: 8,
+            num_classes: 2,
+            per_class: 3,
+            ..GaussianParams::default()
+        };
+        let dataset = gaussian::generate(&params, &mut StdRng::seed_from_u64(0));
+        let dir = std::env::temp_dir().join("flexemd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.json");
+        save(&dataset, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(dataset.histograms, loaded.histograms);
+        assert_eq!(dataset.labels, loaded.labels);
+        assert_eq!(dataset.cost, loaded.cost);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("flexemd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(matches!(load(&path).unwrap_err(), IoError::Json(_)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file() {
+        let path = std::env::temp_dir().join("flexemd-io-test/nope.json");
+        assert!(matches!(load(&path).unwrap_err(), IoError::Io(_)));
+    }
+}

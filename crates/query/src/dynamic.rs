@@ -1,0 +1,325 @@
+//! A mutable EMD retrieval index.
+//!
+//! [`Pipeline`](crate::Pipeline) indexes an immutable database snapshot —
+//! the setting of the paper's experiments. Real deployments also insert
+//! and delete objects; `DynamicIndex` supports both while keeping the
+//! reduced (filter) representation of every object in sync, so queries
+//! retain the complete filter-and-refine behaviour without rebuilds.
+//!
+//! Deletions use tombstones: ids are stable, storage is reclaimed by
+//! [`DynamicIndex::compact`]. Queries run the same KNOP algorithm as the
+//! static pipeline, restricted to live objects.
+
+use crate::error::QueryError;
+use crate::stats::QueryStats;
+use crate::Neighbor;
+use emd_core::{emd_rectangular, CostMatrix, Histogram};
+use emd_reduction::ReducedEmd;
+use std::sync::Arc;
+
+/// A mutable database with a reduced-EMD filter kept in sync.
+///
+/// ```
+/// use emd_core::{ground, Histogram};
+/// use emd_query::DynamicIndex;
+/// use emd_reduction::{CombiningReduction, ReducedEmd};
+/// use std::sync::Arc;
+///
+/// let cost = Arc::new(ground::linear(4)?);
+/// let reduced = ReducedEmd::new(&cost, CombiningReduction::new(vec![0, 0, 1, 1], 2)?)?;
+/// let mut index = DynamicIndex::new(cost, reduced)?;
+///
+/// let a = index.insert(Histogram::new(vec![1.0, 0.0, 0.0, 0.0])?)?;
+/// let b = index.insert(Histogram::new(vec![0.0, 0.0, 0.0, 1.0])?)?;
+/// let (nearest, _) = index.knn(&Histogram::new(vec![0.9, 0.1, 0.0, 0.0])?, 1)?;
+/// assert_eq!(nearest[0].id, a);
+///
+/// index.remove(a);
+/// let (nearest, _) = index.knn(&Histogram::new(vec![0.9, 0.1, 0.0, 0.0])?, 1)?;
+/// assert_eq!(nearest[0].id, b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicIndex {
+    cost: Arc<CostMatrix>,
+    reduced: ReducedEmd,
+    /// Original histograms; `None` marks a deleted id.
+    objects: Vec<Option<Histogram>>,
+    /// Reduced (database-side) representation of each live object.
+    reduced_objects: Vec<Option<Histogram>>,
+    live: usize,
+}
+
+impl DynamicIndex {
+    /// Create an empty index for histograms matching `cost`, filtered by
+    /// the given reduced EMD (its `R2` side applies to stored objects).
+    pub fn new(cost: Arc<CostMatrix>, reduced: ReducedEmd) -> Result<Self, QueryError> {
+        if reduced.r2().original_dim() != cost.cols() {
+            return Err(QueryError::Reduction(format!(
+                "reduction covers {} dimensions, cost matrix {}",
+                reduced.r2().original_dim(),
+                cost.cols()
+            )));
+        }
+        Ok(DynamicIndex {
+            cost,
+            reduced,
+            objects: Vec::new(),
+            reduced_objects: Vec::new(),
+            live: 0,
+        })
+    }
+
+    /// Number of live (not deleted) objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live objects remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a histogram; returns its stable id.
+    pub fn insert(&mut self, histogram: Histogram) -> Result<usize, QueryError> {
+        if histogram.dim() != self.cost.cols() {
+            return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
+                expected_rows: self.cost.rows(),
+                expected_cols: self.cost.cols(),
+                got_rows: histogram.dim(),
+                got_cols: histogram.dim(),
+            }));
+        }
+        let reduced = self.reduced.reduce_second(&histogram)?;
+        let id = self.objects.len();
+        self.objects.push(Some(histogram));
+        self.reduced_objects.push(Some(reduced));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Delete by id. Returns `true` if the object existed and was live.
+    pub fn remove(&mut self, id: usize) -> bool {
+        match self.objects.get_mut(id) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.reduced_objects[id] = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fetch a live object.
+    pub fn get(&self, id: usize) -> Option<&Histogram> {
+        self.objects.get(id).and_then(Option::as_ref)
+    }
+
+    /// Drop tombstones, renumbering ids densely. Returns the mapping
+    /// `new_id -> old_id`.
+    pub fn compact(&mut self) -> Vec<usize> {
+        let mut mapping = Vec::with_capacity(self.live);
+        let mut objects = Vec::with_capacity(self.live);
+        let mut reduced_objects = Vec::with_capacity(self.live);
+        for (old_id, slot) in self.objects.drain(..).enumerate() {
+            if let Some(histogram) = slot {
+                mapping.push(old_id);
+                objects.push(Some(histogram));
+            }
+        }
+        reduced_objects.extend(self.reduced_objects.drain(..).flatten().map(Some));
+        debug_assert_eq!(objects.len(), reduced_objects.len());
+        self.objects = objects;
+        self.reduced_objects = reduced_objects;
+        mapping
+    }
+
+    /// Exact k-NN over the live objects: reduced-EMD filter ranking
+    /// followed by KNOP-style refinement (complete — identical results to
+    /// scanning every live object with the exact EMD).
+    pub fn knn(
+        &self,
+        query: &Histogram,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if self.live == 0 {
+            return Err(QueryError::EmptyDatabase);
+        }
+        let reduced_query = self.reduced.reduce_first(query)?;
+
+        // Filter scan over live objects.
+        let mut ranking: Vec<(usize, f64)> = Vec::with_capacity(self.live);
+        for (id, slot) in self.reduced_objects.iter().enumerate() {
+            if let Some(reduced_object) = slot {
+                let bound = self
+                    .reduced
+                    .distance_reduced(&reduced_query, reduced_object)?;
+                ranking.push((id, bound));
+            }
+        }
+        let filter_evaluations = ranking.len();
+        ranking.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        // KNOP refinement.
+        let mut neighbors: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut refinements = 0usize;
+        for &(id, bound) in &ranking {
+            if neighbors.len() >= k && bound > neighbors[k - 1].distance {
+                break;
+            }
+            let object = self.objects[id].as_ref().expect("live id");
+            let distance = emd_rectangular(query, object, &self.cost)?;
+            refinements += 1;
+            if neighbors.len() < k {
+                let position = neighbors.partition_point(|n| n.distance <= distance);
+                neighbors.insert(position, Neighbor { id, distance });
+            } else if distance < neighbors[k - 1].distance {
+                let position = neighbors.partition_point(|n| n.distance <= distance);
+                neighbors.insert(position, Neighbor { id, distance });
+                neighbors.pop();
+            }
+        }
+
+        let results = neighbors.len();
+        Ok((
+            neighbors,
+            QueryStats {
+                filter_evaluations: vec![("red-emd".to_owned(), filter_evaluations)],
+                refinements,
+                results,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::brute_force_knn;
+    use emd_core::ground;
+    use emd_reduction::CombiningReduction;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    fn index() -> DynamicIndex {
+        let cost = Arc::new(ground::linear(4).unwrap());
+        let r = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        DynamicIndex::new(cost, reduced).unwrap()
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut index = index();
+        let a = index.insert(h(&[1.0, 0.0, 0.0, 0.0])).unwrap();
+        let b = index.insert(h(&[0.0, 0.0, 0.0, 1.0])).unwrap();
+        let c = index.insert(h(&[0.5, 0.5, 0.0, 0.0])).unwrap();
+        assert_eq!(index.len(), 3);
+
+        let query = h(&[0.9, 0.1, 0.0, 0.0]);
+        let (neighbors, stats) = index.knn(&query, 2).unwrap();
+        assert_eq!(neighbors[0].id, a);
+        assert_eq!(neighbors[1].id, c);
+        assert_eq!(stats.filter_evaluations[0].1, 3);
+
+        assert!(index.remove(a));
+        assert!(!index.remove(a), "double delete is a no-op");
+        assert_eq!(index.len(), 2);
+        let (neighbors, _) = index.knn(&query, 2).unwrap();
+        assert_eq!(neighbors[0].id, c);
+        assert_eq!(neighbors[1].id, b);
+        assert!(index.get(a).is_none());
+        assert!(index.get(b).is_some());
+    }
+
+    #[test]
+    fn matches_brute_force_after_churn() {
+        let mut index = index();
+        let mut live = Vec::new();
+        for i in 0..12 {
+            let mut bins = vec![0.1; 4];
+            bins[i % 4] += 0.6;
+            let histogram = Histogram::normalized(bins).unwrap();
+            let id = index.insert(histogram.clone()).unwrap();
+            live.push((id, histogram));
+        }
+        // Delete every third object.
+        live.retain(|(id, _)| {
+            if id % 3 == 0 {
+                assert!(index.remove(*id));
+                false
+            } else {
+                true
+            }
+        });
+
+        let cost = ground::linear(4).unwrap();
+        let query = h(&[0.25, 0.25, 0.3, 0.2]);
+        let database: Vec<Histogram> = live.iter().map(|(_, h)| h.clone()).collect();
+        let expected = brute_force_knn(&query, &database, &cost, 3).unwrap();
+        let (got, _) = index.knn(&query, 3).unwrap();
+        let expected_distances: Vec<i64> = expected
+            .iter()
+            .map(|n| (n.distance * 1e9).round() as i64)
+            .collect();
+        let got_distances: Vec<i64> = got
+            .iter()
+            .map(|n| (n.distance * 1e9).round() as i64)
+            .collect();
+        assert_eq!(got_distances, expected_distances);
+    }
+
+    #[test]
+    fn compact_renumbers_densely() {
+        let mut index = index();
+        let a = index.insert(h(&[1.0, 0.0, 0.0, 0.0])).unwrap();
+        let b = index.insert(h(&[0.0, 1.0, 0.0, 0.0])).unwrap();
+        let c = index.insert(h(&[0.0, 0.0, 1.0, 0.0])).unwrap();
+        index.remove(b);
+        let mapping = index.compact();
+        assert_eq!(mapping, vec![a, c]);
+        assert_eq!(index.len(), 2);
+        let query = h(&[0.0, 0.0, 0.9, 0.1]);
+        let (neighbors, _) = index.knn(&query, 1).unwrap();
+        assert_eq!(neighbors[0].id, 1, "c is now id 1");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut index = index();
+        assert!(index.insert(h(&[0.5, 0.5])).is_err());
+        assert!(matches!(
+            index.knn(&h(&[0.25, 0.25, 0.25, 0.25]), 1).unwrap_err(),
+            QueryError::EmptyDatabase
+        ));
+        index.insert(h(&[1.0, 0.0, 0.0, 0.0])).unwrap();
+        assert!(matches!(
+            index.knn(&h(&[0.25, 0.25, 0.25, 0.25]), 0).unwrap_err(),
+            QueryError::ZeroK
+        ));
+        assert!(!index.remove(999));
+    }
+
+    #[test]
+    fn completeness_with_loose_reduction() {
+        // An all-in-one-group reduction has bound 0 everywhere: the filter
+        // is useless but the results must still be exact.
+        let cost = Arc::new(ground::linear(4).unwrap());
+        let r = CombiningReduction::new(vec![0, 0, 0, 0], 1).unwrap();
+        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        let mut index = DynamicIndex::new(cost.clone(), reduced).unwrap();
+        for i in 0..4 {
+            index.insert(Histogram::unit(4, i).unwrap()).unwrap();
+        }
+        let query = Histogram::unit(4, 2).unwrap();
+        let (neighbors, stats) = index.knn(&query, 2).unwrap();
+        assert_eq!(neighbors[0].id, 2);
+        assert_eq!(stats.refinements, 4, "useless filter refines everything");
+    }
+}

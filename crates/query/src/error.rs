@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors reported by `emd-query`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Error from the EMD core (dimension mismatch, solver failure, ...).
+    Core(emd_core::CoreError),
+    /// Error from the reduction layer.
+    Reduction(String),
+    /// The database is empty but a query was issued.
+    EmptyDatabase,
+    /// `k = 0` requested.
+    ZeroK,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Core(e) => write!(f, "core error: {e}"),
+            QueryError::Reduction(msg) => write!(f, "reduction error: {msg}"),
+            QueryError::EmptyDatabase => write!(f, "query against an empty database"),
+            QueryError::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<emd_core::CoreError> for QueryError {
+    fn from(e: emd_core::CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<emd_reduction::ReductionError> for QueryError {
+    fn from(e: emd_reduction::ReductionError) -> Self {
+        QueryError::Reduction(e.to_string())
+    }
+}

@@ -1,0 +1,718 @@
+//! Filter distances over an indexed database.
+//!
+//! A [`Filter`] holds everything that can be precomputed *per database*
+//! (reduced vectors, sorted cost rows, centroids); [`Filter::prepare`]
+//! builds the cheap *per-query* state (the reduced query, its centroid,
+//! ...), and [`PreparedFilter::distance`] evaluates one object in the hot
+//! loop, counting evaluations for the experiment harness.
+//!
+//! All filters except [`EmdDistance`] are lower bounds of the exact EMD,
+//! so any of them — and any chain of them ordered by increasing tightness
+//! — yields complete multistep query processing (GEMINI/KNOP, \[10, 18\]).
+
+use crate::error::QueryError;
+use emd_core::ground::Metric;
+use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
+use emd_core::{emd_rectangular, CostMatrix, Histogram};
+use emd_reduction::ReducedEmd;
+use std::sync::Arc;
+
+/// A database-indexed distance function, instantiable per query.
+pub trait Filter {
+    /// Stage name used in statistics (e.g. `"red-emd(d'=8)"`).
+    fn name(&self) -> &str;
+    /// Number of indexed objects.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Build the per-query evaluator.
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError>;
+}
+
+/// Per-query filter state; evaluates single objects.
+pub trait PreparedFilter {
+    /// Distance from the prepared query to database object `id`.
+    ///
+    /// # Panics
+    /// May panic on out-of-range ids; shape mismatches are ruled out at
+    /// [`Filter`] construction.
+    fn distance(&mut self, id: usize) -> f64;
+    /// Number of `distance` calls so far.
+    fn evaluations(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------
+// Exact EMD (refinement distance / no-filter baseline)
+// ---------------------------------------------------------------------
+
+/// The exact, original-dimensionality EMD. Used as the refinement
+/// distance of every pipeline and as the sequential-scan baseline.
+#[derive(Debug, Clone)]
+pub struct EmdDistance {
+    name: String,
+    database: Arc<Vec<Histogram>>,
+    cost: Arc<CostMatrix>,
+}
+
+impl EmdDistance {
+    /// Index a database for exact EMD evaluation.
+    pub fn new(database: Arc<Vec<Histogram>>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
+        for h in database.iter() {
+            check_dim(h, cost.cols())?;
+        }
+        Ok(EmdDistance {
+            name: format!("emd(d={})", cost.rows()),
+            database,
+            cost,
+        })
+    }
+
+    /// The ground-distance matrix.
+    pub fn cost(&self) -> &CostMatrix {
+        &self.cost
+    }
+
+    /// The indexed histograms.
+    pub fn database(&self) -> &[Histogram] {
+        &self.database
+    }
+}
+
+impl Filter for EmdDistance {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        check_dim(query, self.cost.rows())?;
+        Ok(Box::new(PreparedEmd {
+            query: query.clone(),
+            database: &self.database,
+            cost: &self.cost,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedEmd<'a> {
+    query: Histogram,
+    database: &'a [Histogram],
+    cost: &'a CostMatrix,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedEmd<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        emd_rectangular(&self.query, &self.database[id], self.cost)
+            .expect("shapes validated at construction")
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reduced EMD (the paper's Red-EMD filter)
+// ---------------------------------------------------------------------
+
+/// The paper's dimensionality-reduction filter: reduced-vector EMD under
+/// the optimal reduced cost matrix. Database vectors are reduced once at
+/// construction; the query is reduced once per query.
+#[derive(Debug, Clone)]
+pub struct ReducedEmdFilter {
+    name: String,
+    reduced: ReducedEmd,
+    reduced_database: Vec<Histogram>,
+}
+
+impl ReducedEmdFilter {
+    /// Reduce and index a database.
+    pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
+        let reduced_database = database
+            .iter()
+            .map(|h| reduced.reduce_second(h))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReducedEmdFilter {
+            name: format!(
+                "red-emd(d'={}/{})",
+                reduced.r1().reduced_dim(),
+                reduced.r2().reduced_dim()
+            ),
+            reduced,
+            reduced_database,
+        })
+    }
+
+    /// The underlying reduced EMD (reductions + reduced cost matrix).
+    pub fn reduced(&self) -> &ReducedEmd {
+        &self.reduced
+    }
+
+    /// The reduced database vectors.
+    pub fn reduced_database(&self) -> &[Histogram] {
+        &self.reduced_database
+    }
+}
+
+impl Filter for ReducedEmdFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.reduced_database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        let reduced_query = self.reduced.reduce_first(query)?;
+        Ok(Box::new(PreparedReducedEmd {
+            reduced_query,
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedReducedEmd<'a> {
+    reduced_query: Histogram,
+    filter: &'a ReducedEmdFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedReducedEmd<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter
+            .reduced
+            .distance_reduced(&self.reduced_query, &self.filter.reduced_database[id])
+            .expect("shapes validated at construction")
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+// ---------------------------------------------------------------------
+// LB_IM on reduced features (the paper's Red-IM filter, Figure 10)
+// ---------------------------------------------------------------------
+
+/// LB_IM evaluated on the *reduced* vectors under the *reduced* cost
+/// matrix — filter 1 of the paper's chained setup (Figure 10). A lower
+/// bound of the reduced EMD, hence transitively of the exact EMD.
+#[derive(Debug, Clone)]
+pub struct ReducedImFilter {
+    name: String,
+    bound: LbIm,
+    reduced: ReducedEmd,
+    reduced_database: Vec<Histogram>,
+}
+
+impl ReducedImFilter {
+    /// Reduce and index a database.
+    pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
+        let reduced_database = database
+            .iter()
+            .map(|h| reduced.reduce_second(h))
+            .collect::<Result<Vec<_>, _>>()?;
+        let bound = LbIm::new(reduced.reduced_cost().clone());
+        Ok(ReducedImFilter {
+            name: format!(
+                "red-im(d'={}/{})",
+                reduced.r1().reduced_dim(),
+                reduced.r2().reduced_dim()
+            ),
+            bound,
+            reduced,
+            reduced_database,
+        })
+    }
+}
+
+impl Filter for ReducedImFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.reduced_database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        let reduced_query = self.reduced.reduce_first(query)?;
+        Ok(Box::new(PreparedReducedIm {
+            reduced_query,
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedReducedIm<'a> {
+    reduced_query: Histogram,
+    filter: &'a ReducedImFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedReducedIm<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter
+            .bound
+            .bound(&self.reduced_query, &self.filter.reduced_database[id])
+            .expect("shapes validated at construction")
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+// ---------------------------------------------------------------------
+// Classic full-dimensional filters
+// ---------------------------------------------------------------------
+
+/// LB_IM on the original dimensionality (the baseline filter of
+/// reference \[1\], used standalone for comparison).
+#[derive(Debug, Clone)]
+pub struct FullLbImFilter {
+    name: String,
+    bound: LbIm,
+    database: Arc<Vec<Histogram>>,
+}
+
+impl FullLbImFilter {
+    /// Index a database.
+    pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
+        for h in database.iter() {
+            check_dim(h, cost.cols())?;
+        }
+        Ok(FullLbImFilter {
+            name: format!("lb-im(d={})", cost.rows()),
+            bound: LbIm::new(cost.clone()),
+            database,
+        })
+    }
+}
+
+impl Filter for FullLbImFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        check_dim(query, self.bound.cost().rows())?;
+        Ok(Box::new(PreparedFullIm {
+            query: query.clone(),
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedFullIm<'a> {
+    query: Histogram,
+    filter: &'a FullLbImFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedFullIm<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter
+            .bound
+            .bound(&self.query, &self.filter.database[id])
+            .expect("shapes validated at construction")
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// Rubner's centroid bound as a filter: database centroids are
+/// precomputed, each evaluation is one `metric` call in feature space.
+#[derive(Debug, Clone)]
+pub struct CentroidFilter {
+    name: String,
+    bound: CentroidBound,
+    database_centroids: Vec<Vec<f64>>,
+    metric: Metric,
+}
+
+impl CentroidFilter {
+    /// Index a database given the bin positions inducing the ground
+    /// distance.
+    pub fn new(
+        database: &[Histogram],
+        positions: Vec<Vec<f64>>,
+        metric: Metric,
+    ) -> Result<Self, QueryError> {
+        let bound = CentroidBound::new(positions, metric)?;
+        let database_centroids = database
+            .iter()
+            .map(|h| {
+                check_dim(h, bound.dim())?;
+                Ok(bound.centroid(h))
+            })
+            .collect::<Result<Vec<_>, QueryError>>()?;
+        Ok(CentroidFilter {
+            name: format!("centroid(d={})", bound.dim()),
+            bound,
+            database_centroids,
+            metric,
+        })
+    }
+}
+
+impl Filter for CentroidFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.database_centroids.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        check_dim(query, self.bound.dim())?;
+        Ok(Box::new(PreparedCentroid {
+            query_centroid: self.bound.centroid(query),
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedCentroid<'a> {
+    query_centroid: Vec<f64>,
+    filter: &'a CentroidFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedCentroid<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter
+            .metric
+            .distance(&self.query_centroid, &self.filter.database_centroids[id])
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// The scaled-L1 bound as a filter — the cheapest possible first stage.
+#[derive(Debug, Clone)]
+pub struct ScaledL1Filter {
+    name: String,
+    bound: ScaledL1,
+    database: Arc<Vec<Histogram>>,
+}
+
+impl ScaledL1Filter {
+    /// Index a database.
+    pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
+        for h in database.iter() {
+            check_dim(h, cost.cols())?;
+        }
+        Ok(ScaledL1Filter {
+            name: format!("scaled-l1(d={})", cost.rows()),
+            bound: ScaledL1::new(cost),
+            database,
+        })
+    }
+}
+
+impl Filter for ScaledL1Filter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        Ok(Box::new(PreparedScaledL1 {
+            query: query.clone(),
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedScaledL1<'a> {
+    query: Histogram,
+    filter: &'a ScaledL1Filter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedScaledL1<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter
+            .bound
+            .bound(&self.query, &self.filter.database[id])
+            .expect("shapes validated at construction")
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// The anchor (weak-duality) bound as a filter: database projections are
+/// precomputed, each evaluation is `O(#anchors)` — the cheapest filter in
+/// the toolbox. Requires a metric ground distance (validated at
+/// construction). Not comparable to the reduced EMD, so use it standalone
+/// in front of the refiner rather than inside a Red-IM/Red-EMD chain.
+#[derive(Debug, Clone)]
+pub struct AnchorFilter {
+    name: String,
+    bound: emd_core::lower_bounds::AnchorBound,
+    database_projections: Vec<Vec<f64>>,
+}
+
+impl AnchorFilter {
+    /// Index a database with `anchors` spread anchor bins.
+    pub fn new(
+        database: &[Histogram],
+        cost: &CostMatrix,
+        anchors: usize,
+    ) -> Result<Self, QueryError> {
+        let bound = emd_core::lower_bounds::AnchorBound::with_spread_anchors(cost, anchors)?;
+        let database_projections = database
+            .iter()
+            .map(|h| Ok(bound.project(h)?))
+            .collect::<Result<Vec<_>, QueryError>>()?;
+        Ok(AnchorFilter {
+            name: format!("anchor(a={})", bound.num_anchors()),
+            bound,
+            database_projections,
+        })
+    }
+}
+
+impl Filter for AnchorFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.database_projections.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        let query_projection = self.bound.project(query)?;
+        Ok(Box::new(PreparedAnchor {
+            query_projection,
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
+
+struct PreparedAnchor<'a> {
+    query_projection: Vec<f64>,
+    filter: &'a AnchorFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedAnchor<'_> {
+    fn distance(&mut self, id: usize) -> f64 {
+        self.evaluations += 1;
+        self.filter.bound.bound_from_projections(
+            &self.query_projection,
+            &self.filter.database_projections[id],
+        )
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+fn check_dim(h: &Histogram, expected: usize) -> Result<(), QueryError> {
+    if h.dim() != expected {
+        return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
+            expected_rows: expected,
+            expected_cols: expected,
+            got_rows: h.dim(),
+            got_cols: h.dim(),
+        }));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::{emd, ground};
+    use emd_reduction::CombiningReduction;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    fn database() -> (Arc<Vec<Histogram>>, Arc<CostMatrix>) {
+        let db = vec![
+            h(&[1.0, 0.0, 0.0, 0.0]),
+            h(&[0.0, 1.0, 0.0, 0.0]),
+            h(&[0.25, 0.25, 0.25, 0.25]),
+            h(&[0.0, 0.0, 0.5, 0.5]),
+        ];
+        (Arc::new(db), Arc::new(ground::linear(4).unwrap()))
+    }
+
+    #[test]
+    fn exact_filter_matches_direct_emd() {
+        let (db, cost) = database();
+        let filter = EmdDistance::new(db.clone(), cost.clone()).unwrap();
+        let query = h(&[0.5, 0.5, 0.0, 0.0]);
+        let mut prepared = filter.prepare(&query).unwrap();
+        for (id, object) in db.iter().enumerate() {
+            let expected = emd(&query, object, &cost).unwrap();
+            assert!((prepared.distance(id) - expected).abs() < 1e-12);
+        }
+        assert_eq!(prepared.evaluations(), 4);
+    }
+
+    #[test]
+    fn all_filters_lower_bound_exact() {
+        let (db, cost) = database();
+        let query = h(&[0.4, 0.1, 0.3, 0.2]);
+        let reduction = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+        let reduced = ReducedEmd::new(&cost, reduction).unwrap();
+
+        let filters: Vec<Box<dyn Filter>> = vec![
+            Box::new(ReducedEmdFilter::new(&db, reduced.clone()).unwrap()),
+            Box::new(ReducedImFilter::new(&db, reduced).unwrap()),
+            Box::new(FullLbImFilter::new(db.clone(), &cost).unwrap()),
+            Box::new(
+                CentroidFilter::new(&db, ground::linear_positions(4), Metric::Manhattan)
+                    .unwrap(),
+            ),
+            Box::new(ScaledL1Filter::new(db.clone(), &cost).unwrap()),
+        ];
+        let exact = EmdDistance::new(db.clone(), cost.clone()).unwrap();
+        let mut exact_prepared = exact.prepare(&query).unwrap();
+        for filter in &filters {
+            let mut prepared = filter.prepare(&query).unwrap();
+            for id in 0..db.len() {
+                let bound = prepared.distance(id);
+                let truth = exact_prepared.distance(id);
+                assert!(
+                    bound <= truth + 1e-9,
+                    "{} returned {bound} > exact {truth} for object {id}",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn red_im_lower_bounds_red_emd() {
+        // The Figure 10 chain requires each stage to bound the next.
+        let (db, cost) = database();
+        let query = h(&[0.1, 0.2, 0.3, 0.4]);
+        let reduction = CombiningReduction::new(vec![0, 1, 1, 0], 2).unwrap();
+        let reduced = ReducedEmd::new(&cost, reduction).unwrap();
+        let red_emd = ReducedEmdFilter::new(&db, reduced.clone()).unwrap();
+        let red_im = ReducedImFilter::new(&db, reduced).unwrap();
+        let mut p_emd = red_emd.prepare(&query).unwrap();
+        let mut p_im = red_im.prepare(&query).unwrap();
+        for id in 0..db.len() {
+            assert!(p_im.distance(id) <= p_emd.distance(id) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn construction_rejects_dimension_mismatch() {
+        let (db, _) = database();
+        let wrong_cost = Arc::new(ground::linear(3).unwrap());
+        assert!(EmdDistance::new(db.clone(), wrong_cost.clone()).is_err());
+        assert!(FullLbImFilter::new(db, &wrong_cost).is_err());
+    }
+
+    #[test]
+    fn prepare_rejects_mismatched_query() {
+        let (db, cost) = database();
+        let filter = EmdDistance::new(db, cost).unwrap();
+        assert!(filter.prepare(&h(&[0.5, 0.5])).is_err());
+    }
+
+    #[test]
+    fn asymmetric_reduction_filter() {
+        // Query stays at full dimensionality, database is halved.
+        let (db, cost) = database();
+        let r1 = CombiningReduction::identity(4).unwrap();
+        let r2 = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+        let reduced = ReducedEmd::with_asymmetric(&cost, r1, r2).unwrap();
+        let filter = ReducedEmdFilter::new(&db, reduced).unwrap();
+        let query = h(&[0.4, 0.1, 0.3, 0.2]);
+        let exact = EmdDistance::new(db.clone(), cost).unwrap();
+        let mut p = filter.prepare(&query).unwrap();
+        let mut e = exact.prepare(&query).unwrap();
+        for id in 0..db.len() {
+            assert!(p.distance(id) <= e.distance(id) + 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod anchor_tests {
+    use super::*;
+    use emd_core::{emd, ground};
+    use std::sync::Arc;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn anchor_filter_lower_bounds_and_is_complete() {
+        let db = Arc::new(vec![
+            h(&[1.0, 0.0, 0.0, 0.0]),
+            h(&[0.0, 0.5, 0.5, 0.0]),
+            h(&[0.0, 0.0, 0.0, 1.0]),
+            h(&[0.25, 0.25, 0.25, 0.25]),
+        ]);
+        let cost = Arc::new(ground::linear(4).unwrap());
+        let filter = AnchorFilter::new(&db, &cost, 2).unwrap();
+        let query = h(&[0.6, 0.4, 0.0, 0.0]);
+        {
+            let mut prepared = filter.prepare(&query).unwrap();
+            for (id, object) in db.iter().enumerate() {
+                let exact = emd(&query, object, &cost).unwrap();
+                assert!(prepared.distance(id) <= exact + 1e-9);
+            }
+        }
+        // Standalone anchor -> EMD pipeline returns brute-force results.
+        let pipeline = crate::pipeline::Pipeline::new(
+            vec![Box::new(filter)],
+            EmdDistance::new(db.clone(), cost.clone()).unwrap(),
+        )
+        .unwrap();
+        let (got, stats) = pipeline.knn(&query, 2).unwrap();
+        let expected = crate::scan::brute_force_knn(&query, &db, &cost, 2).unwrap();
+        assert_eq!(
+            got.iter().map(|n| n.id).collect::<Vec<_>>(),
+            expected.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        assert!(stats.refinements <= db.len());
+    }
+}

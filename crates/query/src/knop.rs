@@ -1,0 +1,220 @@
+//! The optimal multistep k-NN algorithm (Figure 11 of the paper, after
+//! Seidl & Kriegel's KNOP) and the corresponding complete range query.
+//!
+//! Both consume a lower-bounding filter [`Ranking`] and refine candidates
+//! with the exact distance. KNOP is *optimal* in the number of
+//! refinements: it refines exactly the objects whose filter distance does
+//! not exceed the k-th exact nearest-neighbor distance — no multistep
+//! algorithm using the same filter can refine fewer (see \[18\]).
+
+use crate::filters::PreparedFilter;
+use crate::ranking::Ranking;
+use crate::Neighbor;
+
+/// k-NN by filter ranking + refinement (Figure 11).
+///
+/// Returns the exact k nearest neighbors in ascending distance order and
+/// the number of refinements performed. Completeness requires `ranking`'s
+/// distances to lower-bound `refiner`'s.
+pub fn knn(
+    ranking: &mut dyn Ranking,
+    refiner: &mut dyn PreparedFilter,
+    k: usize,
+) -> (Vec<Neighbor>, usize) {
+    assert!(k >= 1, "k-NN requires k >= 1");
+    let mut neighbors: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    let mut refinements = 0usize;
+
+    // Phase 1: refine k initial candidates from the ranking.
+    while neighbors.len() < k {
+        let Some((id, _)) = ranking.next() else {
+            // Fewer than k objects in the database.
+            neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+            return (neighbors, refinements);
+        };
+        let distance = refiner.distance(id);
+        refinements += 1;
+        neighbors.push(Neighbor { id, distance });
+    }
+    neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+
+    // Phase 2: keep pulling while the filter distance can still beat the
+    // current k-th exact distance.
+    while let Some((id, filter_distance)) = ranking.next() {
+        let kth = neighbors[k - 1].distance;
+        if filter_distance > kth {
+            // Lower-bounding filter: every remaining object's exact
+            // distance is >= its filter distance > kth. Done.
+            break;
+        }
+        let distance = refiner.distance(id);
+        refinements += 1;
+        if distance < kth {
+            let position = neighbors
+                .partition_point(|n| n.distance <= distance);
+            neighbors.insert(position, Neighbor { id, distance });
+            neighbors.pop();
+        }
+    }
+    (neighbors, refinements)
+}
+
+/// Complete range query: all objects with exact distance `<= epsilon`.
+///
+/// Pulls candidates while their filter distance is within `epsilon`
+/// (lower-bounding ⇒ nothing beyond can qualify), refines each, and keeps
+/// the true hits, sorted ascending.
+pub fn range(
+    ranking: &mut dyn Ranking,
+    refiner: &mut dyn PreparedFilter,
+    epsilon: f64,
+) -> (Vec<Neighbor>, usize) {
+    let mut hits = Vec::new();
+    let mut refinements = 0usize;
+    while let Some((id, filter_distance)) = ranking.next() {
+        if filter_distance > epsilon {
+            break;
+        }
+        let distance = refiner.distance(id);
+        refinements += 1;
+        if distance <= epsilon {
+            hits.push(Neighbor { id, distance });
+        }
+    }
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    (hits, refinements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::QueryError;
+    use crate::filters::Filter;
+    use crate::ranking::EagerRanking;
+    use emd_core::Histogram;
+
+    struct TableFilter {
+        table: Vec<f64>,
+    }
+
+    struct PreparedTable<'a> {
+        table: &'a [f64],
+        evaluations: usize,
+    }
+
+    impl Filter for TableFilter {
+        fn name(&self) -> &str {
+            "table"
+        }
+        fn len(&self) -> usize {
+            self.table.len()
+        }
+        fn prepare(
+            &self,
+            _query: &Histogram,
+        ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+            Ok(Box::new(PreparedTable {
+                table: &self.table,
+                evaluations: 0,
+            }))
+        }
+    }
+
+    impl PreparedFilter for PreparedTable<'_> {
+        fn distance(&mut self, id: usize) -> f64 {
+            self.evaluations += 1;
+            self.table[id]
+        }
+        fn evaluations(&self) -> usize {
+            self.evaluations
+        }
+    }
+
+    fn query() -> Histogram {
+        Histogram::new(vec![1.0]).unwrap()
+    }
+
+    /// exact[i] >= filter[i] everywhere: a valid lower-bounding filter.
+    fn setup() -> (TableFilter, TableFilter) {
+        let filter = TableFilter {
+            table: vec![2.0, 0.5, 3.0, 0.0, 1.0, 4.5],
+        };
+        let exact = TableFilter {
+            table: vec![2.5, 1.5, 3.0, 0.2, 2.8, 5.0],
+        };
+        (filter, exact)
+    }
+
+    #[test]
+    fn knn_returns_true_neighbors() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
+        let (neighbors, refinements) = knn(&mut ranking, exact_prepared.as_mut(), 3);
+        let ids: Vec<_> = neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1, 0], "true 3-NN by exact distance");
+        // Optimality: object 5 (filter 4.5 > kth exact 2.5) is never
+        // refined; object 2 and 4 must be (filter <= 2.5).
+        assert!(refinements <= 5);
+        assert!(refinements >= 3);
+    }
+
+    #[test]
+    fn knn_handles_small_database() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 2);
+        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 5);
+        assert_eq!(neighbors.len(), 2);
+        assert!(neighbors[0].distance <= neighbors[1].distance);
+    }
+
+    #[test]
+    fn knn_distances_ascending() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
+        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 6);
+        for pair in neighbors.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        assert_eq!(neighbors.len(), 6);
+    }
+
+    #[test]
+    fn range_returns_exactly_the_hits() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
+        let (hits, refinements) = range(&mut ranking, exact_prepared.as_mut(), 2.5);
+        let ids: Vec<_> = hits.iter().map(|n| n.id).collect();
+        // exact <= 2.5: objects 3 (0.2), 1 (1.5), 0 (2.5). Object 4 has
+        // filter 1.0 <= 2.5 but exact 2.8: refined yet rejected.
+        assert_eq!(ids, vec![3, 1, 0]);
+        assert_eq!(refinements, 4);
+    }
+
+    #[test]
+    fn range_with_zero_epsilon() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
+        let (hits, _) = range(&mut ranking, exact_prepared.as_mut(), 0.0);
+        assert!(hits.is_empty(), "no exact distance is 0.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "k-NN requires k >= 1")]
+    fn knn_rejects_zero_k() {
+        let (filter, exact) = setup();
+        let mut filter_prepared = filter.prepare(&query()).unwrap();
+        let mut exact_prepared = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
+        let _ = knn(&mut ranking, exact_prepared.as_mut(), 0);
+    }
+}

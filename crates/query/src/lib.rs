@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # emd-query
+//!
+//! Multistep filter-and-refine query processing for EMD similarity search
+//! (Section 4 of the paper).
+//!
+//! * [`Filter`] / [`PreparedFilter`] — lower-bounding filter distances
+//!   over an indexed database; implementations cover the paper's reduced
+//!   EMD (`Red-EMD`), LB_IM on reduced features (`Red-IM`), the classic
+//!   full-dimensional filters, and the exact EMD itself (as the
+//!   refinement distance).
+//! * [`ranking`] — lazy ascending-distance rankings, including the
+//!   ranking-over-ranking chaining of Figure 12.
+//! * [`knop`] — the optimal multistep k-NN algorithm (Figure 11, after
+//!   Seidl & Kriegel) and the corresponding complete range query.
+//! * [`pipeline`] — end-to-end query pipelines (Figure 10:
+//!   `Red-IM -> Red-EMD -> exact EMD`) with per-stage statistics.
+//! * [`scan`] — the sequential-scan baseline.
+
+pub mod dynamic;
+mod error;
+pub mod filters;
+pub mod knop;
+pub mod pipeline;
+pub mod ranking;
+pub mod scan;
+mod stats;
+pub mod vptree;
+
+pub use error::QueryError;
+pub use filters::{
+    AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,
+    ReducedEmdFilter, ReducedImFilter, ScaledL1Filter,
+};
+pub use dynamic::DynamicIndex;
+pub use pipeline::Pipeline;
+pub use vptree::VpTree;
+pub use stats::QueryStats;
+
+/// A retrieval result: database object id plus its exact distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the object in the database.
+    pub id: usize,
+    /// Exact (refined) distance to the query.
+    pub distance: f64,
+}

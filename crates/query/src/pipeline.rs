@@ -1,0 +1,279 @@
+//! End-to-end multistep query pipelines (Figure 10 of the paper).
+//!
+//! A [`Pipeline`] chains any number of lower-bounding filter stages —
+//! ordered loosest/cheapest to tightest/most expensive, each stage
+//! required to lower-bound the next — in front of the exact EMD
+//! refinement. The paper's flagship configuration is
+//! `Red-IM -> Red-EMD -> EMD`; a pipeline with zero stages degrades to the
+//! sequential scan.
+
+use crate::error::QueryError;
+use crate::filters::{EmdDistance, Filter, PreparedFilter};
+use crate::knop;
+use crate::ranking::{ChainedRanking, EagerRanking, Ranking};
+use crate::stats::QueryStats;
+use crate::Neighbor;
+use emd_core::Histogram;
+
+/// A filter chain plus the exact refinement distance.
+pub struct Pipeline {
+    stages: Vec<Box<dyn Filter>>,
+    refiner: EmdDistance,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stage_names())
+            .field("refiner", &self.refiner.name())
+            .finish()
+    }
+}
+
+/// Query mode dispatched by [`Pipeline::run`].
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Knn(usize),
+    Range(f64),
+}
+
+impl Pipeline {
+    /// Assemble a pipeline. `stages` are consumed in order: `stages[0]`
+    /// produces the base ranking, later stages re-rank lazily. Every
+    /// stage must index the same database as `refiner` and lower-bound
+    /// the next stage (unchecked — establishing the bound chain is the
+    /// caller's modelling decision, cf. Section 4).
+    pub fn new(stages: Vec<Box<dyn Filter>>, refiner: EmdDistance) -> Result<Self, QueryError> {
+        if refiner.is_empty() {
+            return Err(QueryError::EmptyDatabase);
+        }
+        for stage in &stages {
+            if stage.len() != refiner.len() {
+                return Err(QueryError::Reduction(format!(
+                    "stage {} indexes {} objects, refiner {}",
+                    stage.name(),
+                    stage.len(),
+                    refiner.len()
+                )));
+            }
+        }
+        Ok(Pipeline { stages, refiner })
+    }
+
+    /// A pipeline without filters: pure sequential scan baseline.
+    pub fn sequential(refiner: EmdDistance) -> Result<Self, QueryError> {
+        Self::new(Vec::new(), refiner)
+    }
+
+    /// Names of the filter stages, in chain order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of database objects.
+    pub fn len(&self) -> usize {
+        self.refiner.len()
+    }
+
+    /// Whether the database is empty (never true for a constructed
+    /// pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.refiner.is_empty()
+    }
+
+    /// Exact k-nearest-neighbor query with per-stage statistics.
+    pub fn knn(&self, query: &Histogram, k: usize) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        self.run(query, Mode::Knn(k))
+    }
+
+    /// Exact range query with per-stage statistics.
+    pub fn range(
+        &self,
+        query: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        self.run(query, Mode::Range(epsilon))
+    }
+
+    fn run(
+        &self,
+        query: &Histogram,
+        mode: Mode,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let mut refiner = self.refiner.prepare(query)?;
+
+        // Sequential scan: refine every object once and read the answer
+        // off the exact ranking.
+        if self.stages.is_empty() {
+            let mut ranking = EagerRanking::new(refiner.as_mut(), self.refiner.len());
+            let mut neighbors = Vec::new();
+            while let Some((id, distance)) = ranking.next() {
+                match mode {
+                    Mode::Knn(k) if neighbors.len() >= k => break,
+                    Mode::Range(epsilon) if distance > epsilon => break,
+                    _ => neighbors.push(Neighbor { id, distance }),
+                }
+            }
+            let stats = QueryStats {
+                filter_evaluations: Vec::new(),
+                refinements: refiner.evaluations(),
+                results: neighbors.len(),
+            };
+            return Ok((neighbors, stats));
+        }
+
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> = self
+            .stages
+            .iter()
+            .map(|stage| stage.prepare(query))
+            .collect::<Result<_, _>>()?;
+
+        let (neighbors, refinements) = {
+            let mut stage_iter = prepared.iter_mut();
+            let first = stage_iter.next().expect("stages checked non-empty");
+            let mut ranking: Box<dyn Ranking + '_> =
+                Box::new(EagerRanking::new(first.as_mut(), self.refiner.len()));
+            for stage in stage_iter {
+                ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
+            }
+            match mode {
+                Mode::Knn(k) => knop::knn(ranking.as_mut(), refiner.as_mut(), k),
+                Mode::Range(epsilon) => knop::range(ranking.as_mut(), refiner.as_mut(), epsilon),
+            }
+        };
+
+        let stats = QueryStats {
+            filter_evaluations: self
+                .stages
+                .iter()
+                .zip(prepared.iter())
+                .map(|(stage, p)| (stage.name().to_owned(), p.evaluations()))
+                .collect(),
+            refinements,
+            results: neighbors.len(),
+        };
+        Ok((neighbors, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{ReducedEmdFilter, ReducedImFilter};
+    use emd_core::{ground, CostMatrix};
+    use emd_reduction::{CombiningReduction, ReducedEmd};
+    use std::sync::Arc;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    fn database() -> (Arc<Vec<Histogram>>, Arc<CostMatrix>) {
+        let db = vec![
+            h(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            h(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
+            h(&[0.0, 0.5, 0.5, 0.0, 0.0, 0.0]),
+            h(&[0.0, 0.0, 0.0, 0.5, 0.5, 0.0]),
+            h(&[0.0, 0.0, 0.0, 0.0, 0.5, 0.5]),
+            h(&[0.2, 0.2, 0.2, 0.2, 0.1, 0.1]),
+            h(&[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
+            h(&[0.1, 0.0, 0.0, 0.0, 0.0, 0.9]),
+        ];
+        (Arc::new(db), Arc::new(ground::linear(6).unwrap()))
+    }
+
+    fn full_pipeline() -> Pipeline {
+        let (db, cost) = database();
+        let r = CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        let red_im = ReducedImFilter::new(&db, reduced.clone()).unwrap();
+        let red_emd = ReducedEmdFilter::new(&db, reduced).unwrap();
+        let refiner = EmdDistance::new(db, cost).unwrap();
+        Pipeline::new(vec![Box::new(red_im), Box::new(red_emd)], refiner).unwrap()
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_scan() {
+        let (db, cost) = database();
+        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let pipeline = full_pipeline();
+        for query in [
+            h(&[0.9, 0.1, 0.0, 0.0, 0.0, 0.0]),
+            h(&[0.0, 0.0, 0.3, 0.4, 0.3, 0.0]),
+            h(&[1.0 / 6.0; 6]),
+        ] {
+            for k in [1, 3, 5] {
+                let (expected, _) = scan.knn(&query, k).unwrap();
+                let (got, stats) = pipeline.knn(&query, k).unwrap();
+                // Equal-distance results may come back in either order;
+                // compare (distance, id) pairs canonically sorted.
+                let canonical = |neighbors: &[crate::Neighbor]| {
+                    let mut pairs: Vec<(i64, usize)> = neighbors
+                        .iter()
+                        .map(|n| ((n.distance * 1e9).round() as i64, n.id))
+                        .collect();
+                    pairs.sort_unstable();
+                    pairs
+                };
+                assert_eq!(canonical(&got), canonical(&expected), "k={k} completeness");
+                assert!(stats.refinements <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn chained_pipeline_reduces_stage_two_evaluations() {
+        let pipeline = full_pipeline();
+        let query = h(&[0.9, 0.1, 0.0, 0.0, 0.0, 0.0]);
+        let (_, stats) = pipeline.knn(&query, 2).unwrap();
+        // Stage 1 (Red-IM) scans everything; stage 2 (Red-EMD) must not.
+        assert_eq!(stats.filter_evaluations[0].1, 8);
+        assert!(
+            stats.filter_evaluations[1].1 <= 8,
+            "stage 2 evaluated {} objects",
+            stats.filter_evaluations[1].1
+        );
+        assert!(stats.refinements <= stats.filter_evaluations[1].1.max(2));
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let (db, cost) = database();
+        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let pipeline = full_pipeline();
+        let query = h(&[0.0, 0.3, 0.4, 0.3, 0.0, 0.0]);
+        let (expected, _) = scan.range(&query, 1.0).unwrap();
+        let (got, _) = pipeline.range(&query, 1.0).unwrap();
+        assert_eq!(
+            got.iter().map(|n| n.id).collect::<Vec<_>>(),
+            expected.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sequential_scan_counts_all_refinements() {
+        let (db, cost) = database();
+        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let (_, stats) = scan.knn(&h(&[1.0 / 6.0; 6]), 3).unwrap();
+        assert_eq!(stats.refinements, 8);
+        assert!(stats.filter_evaluations.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_database_and_zero_k() {
+        let (_, cost) = database();
+        let empty = EmdDistance::new(Arc::new(Vec::new()), cost).unwrap();
+        assert!(matches!(
+            Pipeline::sequential(empty).unwrap_err(),
+            QueryError::EmptyDatabase
+        ));
+        let pipeline = full_pipeline();
+        assert!(matches!(
+            pipeline.knn(&h(&[1.0 / 6.0; 6]), 0).unwrap_err(),
+            QueryError::ZeroK
+        ));
+    }
+}

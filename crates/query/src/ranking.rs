@@ -1,0 +1,280 @@
+//! Ascending-distance rankings over filter distances.
+//!
+//! Multistep algorithms consume database objects in ascending order of a
+//! lower-bounding filter distance. [`EagerRanking`] materializes one
+//! filter stage (each object evaluated exactly once, as a sequential
+//! filter scan does); [`ChainedRanking`] implements the
+//! ranking-over-ranking `getNext` of the paper's Figure 12, evaluating its
+//! (tighter, more expensive) filter *only* for objects that survive the
+//! base ranking's frontier.
+
+use crate::filters::PreparedFilter;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Yields `(object id, filter distance)` in ascending distance order.
+pub trait Ranking {
+    /// Next-best object, or `None` when exhausted.
+    fn next(&mut self) -> Option<(usize, f64)>;
+}
+
+/// Total-ordered f64 wrapper for heap keys (distances are never NaN:
+/// filters validate inputs at construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A fully materialized ranking: evaluates the filter for every object,
+/// sorts once, then pops in ascending order.
+#[derive(Debug)]
+pub struct EagerRanking {
+    /// Sorted descending so `pop` yields ascending.
+    sorted: Vec<(usize, f64)>,
+}
+
+impl EagerRanking {
+    /// Evaluate `filter` on all `len` objects and sort.
+    pub fn new(filter: &mut dyn PreparedFilter, len: usize) -> Self {
+        let mut sorted: Vec<(usize, f64)> =
+            (0..len).map(|id| (id, filter.distance(id))).collect();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
+        EagerRanking { sorted }
+    }
+}
+
+impl Ranking for EagerRanking {
+    fn next(&mut self) -> Option<(usize, f64)> {
+        self.sorted.pop()
+    }
+}
+
+/// Figure 12: a ranking with respect to a tighter filter, computed lazily
+/// on top of a base ranking of a looser filter.
+///
+/// Invariant required for correctness: the base ranking's distance is a
+/// lower bound of this ranking's filter distance on every object (each
+/// chain stage bounds the next — the paper's chaining condition). Then an
+/// object from the candidate heap may be emitted as soon as its (tight)
+/// distance does not exceed the base ranking's frontier: every unseen
+/// object's tight distance is at least its base distance, which is at
+/// least the frontier.
+pub struct ChainedRanking<'a> {
+    base: Box<dyn Ranking + 'a>,
+    filter: &'a mut dyn PreparedFilter,
+    /// Candidates pulled from the base, keyed by the tight distance.
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    /// Peeked-but-unconsumed base frontier.
+    frontier: Option<(usize, f64)>,
+    base_exhausted: bool,
+}
+
+impl<'a> ChainedRanking<'a> {
+    /// Chain `filter` on top of `base`.
+    pub fn new(base: Box<dyn Ranking + 'a>, filter: &'a mut dyn PreparedFilter) -> Self {
+        ChainedRanking {
+            base,
+            filter,
+            heap: BinaryHeap::new(),
+            frontier: None,
+            base_exhausted: false,
+        }
+    }
+
+    fn advance_base(&mut self) {
+        debug_assert!(self.frontier.is_none());
+        match self.base.next() {
+            Some(item) => self.frontier = Some(item),
+            None => self.base_exhausted = true,
+        }
+    }
+}
+
+impl Ranking for ChainedRanking<'_> {
+    fn next(&mut self) -> Option<(usize, f64)> {
+        loop {
+            if self.frontier.is_none() && !self.base_exhausted {
+                self.advance_base();
+            }
+            match (self.heap.peek(), self.frontier) {
+                // Heap top is safe to emit: no unseen object can beat it.
+                (Some(&Reverse((Key(top), _))), Some((_, base_distance)))
+                    if top <= base_distance =>
+                {
+                    let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
+                    return Some((id, distance));
+                }
+                // Frontier might still produce something smaller: consume
+                // it, evaluate the tight filter, and keep pulling.
+                (_, Some((id, _))) => {
+                    let tight = self.filter.distance(id);
+                    self.heap.push(Reverse((Key(tight), id)));
+                    self.frontier = None;
+                }
+                // Base exhausted: drain the heap.
+                (Some(_), None) => {
+                    let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
+                    return Some((id, distance));
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::QueryError;
+    use crate::filters::Filter;
+    use emd_core::Histogram;
+
+    /// Test filter backed by a fixed distance table.
+    struct TableFilter {
+        name: String,
+        table: Vec<f64>,
+    }
+
+    struct PreparedTable<'a> {
+        table: &'a [f64],
+        evaluations: usize,
+    }
+
+    impl Filter for TableFilter {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn len(&self) -> usize {
+            self.table.len()
+        }
+        fn prepare(
+            &self,
+            _query: &Histogram,
+        ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+            Ok(Box::new(PreparedTable {
+                table: &self.table,
+                evaluations: 0,
+            }))
+        }
+    }
+
+    impl PreparedFilter for PreparedTable<'_> {
+        fn distance(&mut self, id: usize) -> f64 {
+            self.evaluations += 1;
+            self.table[id]
+        }
+        fn evaluations(&self) -> usize {
+            self.evaluations
+        }
+    }
+
+    fn query() -> Histogram {
+        Histogram::new(vec![1.0]).unwrap()
+    }
+
+    #[test]
+    fn eager_ranking_ascending() {
+        let filter = TableFilter {
+            name: "t".into(),
+            table: vec![3.0, 1.0, 2.0, 0.5],
+        };
+        let mut prepared = filter.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(prepared.as_mut(), 4);
+        let order: Vec<_> = std::iter::from_fn(|| ranking.next()).collect();
+        assert_eq!(
+            order,
+            vec![(3, 0.5), (1, 1.0), (2, 2.0), (0, 3.0)]
+        );
+        assert_eq!(prepared.evaluations(), 4);
+    }
+
+    #[test]
+    fn chained_ranking_matches_direct_ranking() {
+        // Base (loose) distances lower-bound tight distances.
+        let loose = TableFilter {
+            name: "loose".into(),
+            table: vec![1.0, 0.5, 2.0, 0.0, 1.5],
+        };
+        let tight = TableFilter {
+            name: "tight".into(),
+            table: vec![1.5, 2.5, 2.0, 0.5, 3.0],
+        };
+        let mut loose_prepared = loose.prepare(&query()).unwrap();
+        let mut tight_prepared = tight.prepare(&query()).unwrap();
+        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5));
+        let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
+        let order: Vec<_> = std::iter::from_fn(|| chained.next()).collect();
+        assert_eq!(
+            order,
+            vec![(3, 0.5), (0, 1.5), (2, 2.0), (1, 2.5), (4, 3.0)]
+        );
+    }
+
+    #[test]
+    fn chained_ranking_evaluates_lazily() {
+        // The first result should not require evaluating every object's
+        // tight distance: object 3 has loose 0.0 / tight 0.5, and the next
+        // loose frontier (0.5) stops the pull at tight <= frontier...
+        let loose = TableFilter {
+            name: "loose".into(),
+            table: vec![1.0, 5.0, 6.0, 0.0, 7.0],
+        };
+        let tight = TableFilter {
+            name: "tight".into(),
+            table: vec![1.5, 5.5, 6.5, 0.9, 7.5],
+        };
+        let mut loose_prepared = loose.prepare(&query()).unwrap();
+        let mut tight_prepared = tight.prepare(&query()).unwrap();
+        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5));
+        let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
+        assert_eq!(chained.next(), Some((3, 0.9)));
+        // Tight evaluations so far: object 3 (frontier 1.0 allows emit
+        // after evaluating only it... the pull sequence evaluates 3 and
+        // then peeks frontier 1.0 >= 0.9).
+        drop(chained);
+        assert!(
+            tight_prepared.evaluations() <= 2,
+            "expected lazy evaluation, got {}",
+            tight_prepared.evaluations()
+        );
+    }
+
+    #[test]
+    fn chained_ranking_handles_empty_base() {
+        let tight = TableFilter {
+            name: "tight".into(),
+            table: vec![],
+        };
+        let mut tight_prepared = tight.prepare(&query()).unwrap();
+        let base = Box::new(EagerRanking {
+            sorted: Vec::new(),
+        });
+        let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
+        assert_eq!(chained.next(), None);
+        assert_eq!(chained.next(), None);
+    }
+
+    #[test]
+    fn ties_are_deterministic() {
+        let filter = TableFilter {
+            name: "t".into(),
+            table: vec![1.0, 1.0, 1.0],
+        };
+        let mut prepared = filter.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(prepared.as_mut(), 3);
+        let ids: Vec<_> = std::iter::from_fn(|| ranking.next()).map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Brute-force oracles.
+//!
+//! Independent of the ranking/KNOP machinery, these free functions compute
+//! exact k-NN and range answers by evaluating the EMD against every
+//! database object. Tests use them to prove completeness of the multistep
+//! pipelines; benches use them as the no-filter baseline cost.
+
+use crate::error::QueryError;
+use crate::Neighbor;
+use emd_core::{emd, CostMatrix, Histogram};
+
+/// Exact k-NN by full scan. Returns up to `k` neighbors in ascending
+/// distance order (ties broken by id).
+pub fn brute_force_knn(
+    query: &Histogram,
+    database: &[Histogram],
+    cost: &CostMatrix,
+    k: usize,
+) -> Result<Vec<Neighbor>, QueryError> {
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
+    let mut neighbors = database
+        .iter()
+        .enumerate()
+        .map(|(id, object)| {
+            Ok(Neighbor {
+                id,
+                distance: emd(query, object, cost)?,
+            })
+        })
+        .collect::<Result<Vec<_>, QueryError>>()?;
+    neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
+/// Exact range query by full scan, ascending distance order.
+pub fn brute_force_range(
+    query: &Histogram,
+    database: &[Histogram],
+    cost: &CostMatrix,
+    epsilon: f64,
+) -> Result<Vec<Neighbor>, QueryError> {
+    let mut hits = Vec::new();
+    for (id, object) in database.iter().enumerate() {
+        let distance = emd(query, object, cost)?;
+        if distance <= epsilon {
+            hits.push(Neighbor { id, distance });
+        }
+    }
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn knn_finds_nearest() {
+        let database = vec![
+            h(&[0.0, 0.0, 1.0]),
+            h(&[0.0, 1.0, 0.0]),
+            h(&[1.0, 0.0, 0.0]),
+        ];
+        let cost = ground::linear(3).unwrap();
+        let query = h(&[0.9, 0.1, 0.0]);
+        let neighbors = brute_force_knn(&query, &database, &cost, 2).unwrap();
+        assert_eq!(neighbors[0].id, 2);
+        assert_eq!(neighbors[1].id, 1);
+        assert!(brute_force_knn(&query, &database, &cost, 0).is_err());
+    }
+
+    #[test]
+    fn range_includes_boundary() {
+        let database = vec![h(&[1.0, 0.0]), h(&[0.0, 1.0])];
+        let cost = ground::linear(2).unwrap();
+        let query = h(&[1.0, 0.0]);
+        let hits = brute_force_range(&query, &database, &cost, 1.0).unwrap();
+        assert_eq!(hits.len(), 2, "distance exactly 1.0 is included");
+        let hits = brute_force_range(&query, &database, &cost, 0.5).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+/// Per-query cost accounting.
+///
+/// The paper's evaluation reports the number of expensive refinements
+/// (full-dimensional EMD computations) and the per-stage filter
+/// evaluations — the quantities that dimensionality reduction exists to
+/// shrink. All counters in this crate feed into `QueryStats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// `(stage name, evaluations)` for every filter stage, in chain order.
+    pub filter_evaluations: Vec<(String, usize)>,
+    /// Number of exact (original-dimensionality) EMD computations.
+    pub refinements: usize,
+    /// Number of results returned.
+    pub results: usize,
+}
+
+impl QueryStats {
+    /// Total filter evaluations across all stages.
+    pub fn total_filter_evaluations(&self) -> usize {
+        self.filter_evaluations.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Merge another query's stats into an aggregate (stage lists must
+    /// match in order; missing stages are appended).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        for (index, (name, count)) in other.filter_evaluations.iter().enumerate() {
+            match self.filter_evaluations.get_mut(index) {
+                Some((existing, total)) if existing == name => *total += count,
+                _ => self.filter_evaluations.push((name.clone(), *count)),
+            }
+        }
+        self.refinements += other.refinements;
+        self.results += other.results;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_matching_stages() {
+        let mut total = QueryStats {
+            filter_evaluations: vec![("red-im".into(), 100), ("red-emd".into(), 10)],
+            refinements: 5,
+            results: 10,
+        };
+        total.accumulate(&QueryStats {
+            filter_evaluations: vec![("red-im".into(), 100), ("red-emd".into(), 20)],
+            refinements: 7,
+            results: 10,
+        });
+        assert_eq!(total.filter_evaluations[0].1, 200);
+        assert_eq!(total.filter_evaluations[1].1, 30);
+        assert_eq!(total.refinements, 12);
+        assert_eq!(total.results, 20);
+        assert_eq!(total.total_filter_evaluations(), 230);
+    }
+}

@@ -1,0 +1,122 @@
+//! Completeness of multistep query processing: against random databases,
+//! queries and reductions, the filter-and-refine pipelines return exactly
+//! the brute-force answers (no false dismissals — the paper's central
+//! correctness claim for its filters).
+
+use emd_core::{ground, Histogram};
+use emd_query::scan::{brute_force_knn, brute_force_range};
+use emd_query::{EmdDistance, Neighbor, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use emd_reduction::{CombiningReduction, ReducedEmd};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, DIM).prop_filter_map("positive mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+fn reduction() -> impl Strategy<Value = CombiningReduction> {
+    (1..=DIM).prop_flat_map(|k| {
+        (
+            Just(k),
+            prop::collection::vec(0..k, DIM),
+            prop::sample::subsequence((0..DIM).collect::<Vec<_>>(), k),
+        )
+            .prop_map(|(k, mut assignment, seeds)| {
+                for (group, &dimension) in seeds.iter().enumerate() {
+                    assignment[dimension] = group;
+                }
+                CombiningReduction::new(assignment, k).expect("valid by construction")
+            })
+    })
+}
+
+/// Canonicalize results so equal-distance ties compare equal.
+fn canonical(neighbors: &[Neighbor]) -> Vec<(i64, usize)> {
+    let mut pairs: Vec<(i64, usize)> = neighbors
+        .iter()
+        .map(|n| ((n.distance * 1e9).round() as i64, n.id))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chained Red-IM -> Red-EMD -> EMD k-NN equals brute force.
+    #[test]
+    fn chained_knn_is_complete(
+        database in prop::collection::vec(histogram(), 4..14),
+        query in histogram(),
+        r in reduction(),
+        k in 1usize..6,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Arc::new(database);
+        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        let pipeline = Pipeline::new(
+            vec![
+                Box::new(ReducedImFilter::new(&database, reduced.clone()).unwrap()),
+                Box::new(ReducedEmdFilter::new(&database, reduced).unwrap()),
+            ],
+            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+        )
+        .unwrap();
+
+        let expected = brute_force_knn(&query, &database, &cost, k).unwrap();
+        let (got, stats) = pipeline.knn(&query, k).unwrap();
+        prop_assert_eq!(canonical(&got), canonical(&expected));
+        prop_assert!(stats.refinements <= database.len());
+    }
+
+    /// Single-stage Red-EMD range query equals brute force.
+    #[test]
+    fn range_is_complete(
+        database in prop::collection::vec(histogram(), 4..12),
+        query in histogram(),
+        r in reduction(),
+        epsilon in 0.0_f64..3.0,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Arc::new(database);
+        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        let pipeline = Pipeline::new(
+            vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
+            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+        )
+        .unwrap();
+
+        let expected = brute_force_range(&query, &database, &cost, epsilon).unwrap();
+        let (got, _) = pipeline.range(&query, epsilon).unwrap();
+        prop_assert_eq!(canonical(&got), canonical(&expected));
+    }
+
+    /// Asymmetric reductions (query unreduced) are also complete.
+    #[test]
+    fn asymmetric_knn_is_complete(
+        database in prop::collection::vec(histogram(), 4..10),
+        query in histogram(),
+        r2 in reduction(),
+        k in 1usize..4,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Arc::new(database);
+        let r1 = CombiningReduction::identity(DIM).unwrap();
+        let reduced = ReducedEmd::with_asymmetric(&cost, r1, r2).unwrap();
+        let pipeline = Pipeline::new(
+            vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
+            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+        )
+        .unwrap();
+        let expected = brute_force_knn(&query, &database, &cost, k).unwrap();
+        let (got, _) = pipeline.knn(&query, k).unwrap();
+        prop_assert_eq!(canonical(&got), canonical(&expected));
+    }
+}

@@ -1,0 +1,239 @@
+//! Globally optimal reductions by exhaustive enumeration.
+//!
+//! Section 3.2.2 of the paper notes that the truly optimal reduction
+//! (Definition 6: fewest candidates over a query workload) requires an
+//! infeasibly large search — `d^(d-d') * |w| * |DB|` reduced EMDs. For
+//! *tiny* dimensionalities the search is still tractable, which makes it a
+//! valuable oracle: the heuristics of Sections 3.3/3.4 can be validated
+//! against the true optimum in tests and ablation benches.
+//!
+//! Two optimality criteria are provided:
+//! * [`optimal_by_tightness`] — maximizes the expected tightness
+//!   (Equation 12), the objective the FB heuristics climb.
+//! * [`optimal_by_candidates`] — minimizes the total number of range-query
+//!   candidates over a workload (Definition 6 verbatim).
+
+use crate::flow_sample::FlowSample;
+use crate::matrix::CombiningReduction;
+use crate::reduced_emd::ReducedEmd;
+use crate::tightness::TightnessEvaluator;
+use crate::ReductionError;
+use emd_core::{CostMatrix, Histogram};
+
+/// Iterate over all partitions of `0..d` into exactly `k` non-empty,
+/// unlabeled groups (restricted growth strings), invoking `visit` with the
+/// assignment vector of each.
+fn for_each_partition(d: usize, k: usize, mut visit: impl FnMut(&[usize])) {
+    // Restricted growth string a[0..d]: a[i] <= max(a[0..i]) + 1, with the
+    // extra constraint that exactly k distinct values appear.
+    fn recurse(
+        assignment: &mut Vec<usize>,
+        used: usize,
+        d: usize,
+        k: usize,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        let position = assignment.len();
+        if position == d {
+            if used == k {
+                visit(assignment);
+            }
+            return;
+        }
+        // After consuming this slot on an existing group, the remaining
+        // slots must still be able to open the missing groups.
+        let remaining = d - position;
+        for value in 0..used.min(k) {
+            if used + remaining > k {
+                assignment.push(value);
+                recurse(assignment, used, d, k, visit);
+                assignment.pop();
+            }
+        }
+        if used < k {
+            assignment.push(used);
+            recurse(assignment, used + 1, d, k, visit);
+            assignment.pop();
+        }
+    }
+    let mut assignment = Vec::with_capacity(d);
+    recurse(&mut assignment, 0, d, k, &mut visit);
+}
+
+/// The reduction to `k` dimensions maximizing expected tightness
+/// (Equation 12). Exponential in `d` — intended for `d <= 12`.
+pub fn optimal_by_tightness(
+    flows: &FlowSample,
+    cost: &CostMatrix,
+    k: usize,
+) -> Result<(CombiningReduction, f64), ReductionError> {
+    let d = flows.dim();
+    if k == 0 || k > d {
+        return Err(ReductionError::InvalidTargetDimension {
+            original_dim: d,
+            reduced_dim: k,
+        });
+    }
+    let mut evaluator = TightnessEvaluator::new(d);
+    let mut best: Option<(CombiningReduction, f64)> = None;
+    let mut error = None;
+    for_each_partition(d, k, |assignment| {
+        if error.is_some() {
+            return;
+        }
+        match CombiningReduction::new(assignment.to_vec(), k) {
+            Ok(r) => {
+                let tightness = evaluator.tightness(flows, cost, &r);
+                if best.as_ref().is_none_or(|(_, t)| tightness > *t) {
+                    best = Some((r, tightness));
+                }
+            }
+            Err(e) => error = Some(e),
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    best.ok_or(ReductionError::InvalidTargetDimension {
+        original_dim: d,
+        reduced_dim: k,
+    })
+}
+
+/// Definition 6 verbatim: the reduction to `k` dimensions minimizing the
+/// total candidate count of the workload's range queries against the
+/// database. Exponential in `d` *times* `|w| * |DB|` reduced EMDs —
+/// strictly a test oracle.
+pub fn optimal_by_candidates(
+    cost: &CostMatrix,
+    database: &[Histogram],
+    workload: &[(Histogram, f64)],
+    k: usize,
+) -> Result<(CombiningReduction, usize), ReductionError> {
+    let d = cost.rows();
+    if k == 0 || k > d {
+        return Err(ReductionError::InvalidTargetDimension {
+            original_dim: d,
+            reduced_dim: k,
+        });
+    }
+    let mut best: Option<(CombiningReduction, usize)> = None;
+    let mut error: Option<ReductionError> = None;
+    for_each_partition(d, k, |assignment| {
+        if error.is_some() {
+            return;
+        }
+        let result = (|| -> Result<(CombiningReduction, usize), ReductionError> {
+            let r = CombiningReduction::new(assignment.to_vec(), k)?;
+            let reduced = ReducedEmd::new(cost, r.clone())?;
+            let mut candidates = 0usize;
+            for (query, epsilon) in workload {
+                let rq = reduced.reduce_first(query)?;
+                for object in database {
+                    let ro = reduced.reduce_second(object)?;
+                    if reduced.distance_reduced(&rq, &ro)? <= *epsilon {
+                        candidates += 1;
+                    }
+                }
+            }
+            Ok((r, candidates))
+        })();
+        match result {
+            Ok((r, candidates)) => {
+                if best.as_ref().is_none_or(|(_, c)| candidates < *c) {
+                    best = Some((r, candidates));
+                }
+            }
+            Err(e) => error = Some(e),
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    best.ok_or(ReductionError::InvalidTargetDimension {
+        original_dim: d,
+        reduced_dim: k,
+    })
+}
+
+/// Number of partitions of `d` elements into exactly `k` non-empty groups
+/// (Stirling numbers of the second kind). Used to size enumeration tests.
+pub fn stirling2(d: usize, k: usize) -> u128 {
+    if k == 0 {
+        return u128::from(d == 0);
+    }
+    if k > d {
+        return 0;
+    }
+    let mut row = vec![0u128; k + 1];
+    row[0] = 1; // S(0, 0)
+    for n in 1..=d {
+        for j in (1..=k.min(n)).rev() {
+            row[j] = j as u128 * row[j] + row[j - 1];
+        }
+        row[0] = 0;
+    }
+    row[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::{fb_all, FbOptions};
+    use emd_core::ground;
+
+    #[test]
+    fn partition_count_matches_stirling() {
+        for (d, k) in [(4, 2), (5, 3), (6, 2), (6, 4)] {
+            let mut count = 0u128;
+            for_each_partition(d, k, |_| count += 1);
+            assert_eq!(count, stirling2(d, k), "partitions of {d} into {k}");
+        }
+    }
+
+    #[test]
+    fn stirling_known_values() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(5, 3), 25);
+        assert_eq!(stirling2(10, 5), 42525);
+        assert_eq!(stirling2(3, 5), 0);
+    }
+
+    #[test]
+    fn partitions_are_valid_reductions() {
+        for_each_partition(5, 3, |assignment| {
+            assert!(CombiningReduction::new(assignment.to_vec(), 3).is_ok());
+        });
+    }
+
+    #[test]
+    fn exhaustive_tightness_dominates_fb_all() {
+        // The oracle is a global optimum, so it must match or beat the
+        // heuristic.
+        let cost = ground::linear(6).unwrap();
+        let mut flows_dense = vec![0.0; 36];
+        // Concentrated flows between 0<->5 and 1<->2.
+        flows_dense[5] = 0.3;
+        flows_dense[30] = 0.3;
+        flows_dense[8] = 0.2;
+        flows_dense[13] = 0.2;
+        let flows = FlowSample::from_dense(6, flows_dense).unwrap();
+        let (_, best_tightness) = optimal_by_tightness(&flows, &cost, 3).unwrap();
+        let heuristic = fb_all(
+            CombiningReduction::base(6, 3).unwrap(),
+            &flows,
+            &cost,
+            FbOptions::default(),
+        );
+        assert!(best_tightness >= heuristic.tightness - 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let flows = FlowSample::from_dense(3, vec![0.0; 9]).unwrap();
+        let cost = ground::linear(3).unwrap();
+        assert!(optimal_by_tightness(&flows, &cost, 0).is_err());
+        assert!(optimal_by_tightness(&flows, &cost, 4).is_err());
+    }
+}

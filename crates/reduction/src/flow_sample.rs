@@ -1,0 +1,300 @@
+//! Step 1 and 2 of the flow-based reduction (Figure 6): sample the
+//! database and aggregate the optimal EMD flows of all sample pairs into
+//! the average flow matrix `F^S`.
+
+use crate::ReductionError;
+use emd_core::flow::FlowAccumulator;
+use emd_core::{emd_with_flows, CostMatrix, Histogram};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The aggregated flow information of a database sample.
+#[derive(Debug, Clone)]
+pub struct FlowSample {
+    dim: usize,
+    /// Dense row-major average flow matrix `F^S`.
+    average: Vec<f64>,
+    /// Number of histogram pairs that contributed.
+    pairs: usize,
+}
+
+impl FlowSample {
+    /// Compute `F^S` from a sample of histograms by solving the *unreduced*
+    /// EMD for every unordered pair and summing both flow orientations
+    /// (`F(x,y)` and its transpose `F(y,x)`), which matches the paper's
+    /// sum over all ordered pairs.
+    ///
+    /// This is the paper's one-off preprocessing investment: `O(|S|^2)`
+    /// full-dimensional EMD computations, repaid by faster queries.
+    pub fn from_histograms(
+        sample: &[Histogram],
+        cost: &CostMatrix,
+    ) -> Result<Self, ReductionError> {
+        if sample.len() < 2 {
+            return Err(ReductionError::SampleTooSmall(sample.len()));
+        }
+        let dim = cost.rows();
+        debug_assert!(cost.is_square());
+        for h in sample {
+            if h.dim() != dim {
+                return Err(ReductionError::DimensionMismatch {
+                    expected: dim,
+                    got: h.dim(),
+                });
+            }
+        }
+        let mut accumulator = FlowAccumulator::new(dim);
+        let mut transposed: Vec<(usize, usize, f64)> = Vec::new();
+        for (a, x) in sample.iter().enumerate() {
+            for y in sample.iter().skip(a + 1) {
+                let report = emd_with_flows(x, y, cost)?;
+                accumulator.add(&report.flows);
+                transposed.clear();
+                transposed.extend(report.flows.iter().map(|&(i, j, f)| (j, i, f)));
+                accumulator.add(&transposed);
+            }
+        }
+        Ok(FlowSample {
+            dim,
+            average: accumulator.average(),
+            pairs: accumulator.count(),
+        })
+    }
+
+    /// Parallel variant of [`FlowSample::from_histograms`]: the `|S|^2`
+    /// EMD solves are independent, so the pair list is striped across
+    /// `threads` scoped worker threads whose partial accumulations are
+    /// merged. Produces bit-identical results to the sequential version
+    /// (addition order within each accumulator cell is fixed by the
+    /// striping, and the final merge sums disjoint partials).
+    pub fn from_histograms_parallel(
+        sample: &[Histogram],
+        cost: &CostMatrix,
+        threads: usize,
+    ) -> Result<Self, ReductionError> {
+        if sample.len() < 2 {
+            return Err(ReductionError::SampleTooSmall(sample.len()));
+        }
+        let dim = cost.rows();
+        for h in sample {
+            if h.dim() != dim {
+                return Err(ReductionError::DimensionMismatch {
+                    expected: dim,
+                    got: h.dim(),
+                });
+            }
+        }
+        let threads = threads.max(1);
+        let pairs: Vec<(usize, usize)> = (0..sample.len())
+            .flat_map(|a| ((a + 1)..sample.len()).map(move |b| (a, b)))
+            .collect();
+
+        let mut accumulator = FlowAccumulator::new(dim);
+        let partials = std::thread::scope(|scope| {
+            let chunk = pairs.len().div_ceil(threads);
+            pairs
+                .chunks(chunk.max(1))
+                .map(|slice| {
+                    scope.spawn(move || -> Result<FlowAccumulator, ReductionError> {
+                        let mut local = FlowAccumulator::new(dim);
+                        let mut transposed: Vec<(usize, usize, f64)> = Vec::new();
+                        for &(a, b) in slice {
+                            let report = emd_with_flows(&sample[a], &sample[b], cost)?;
+                            local.add(&report.flows);
+                            transposed.clear();
+                            transposed
+                                .extend(report.flows.iter().map(|&(i, j, f)| (j, i, f)));
+                            local.add(&transposed);
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("flow worker does not panic"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+        for partial in &partials {
+            accumulator.merge(partial);
+        }
+        Ok(FlowSample {
+            dim,
+            average: accumulator.average(),
+            pairs: accumulator.count(),
+        })
+    }
+
+    /// Wrap a precomputed dense flow matrix (row-major `dim x dim`).
+    pub fn from_dense(dim: usize, average: Vec<f64>) -> Result<Self, ReductionError> {
+        if average.len() != dim * dim {
+            return Err(ReductionError::DimensionMismatch {
+                expected: dim * dim,
+                got: average.len(),
+            });
+        }
+        Ok(FlowSample {
+            dim,
+            average,
+            pairs: 0,
+        })
+    }
+
+    /// Histogram dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of (ordered) pairs aggregated.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Average flow from original dimension `i` to `j`.
+    #[inline]
+    pub fn flow(&self, i: usize, j: usize) -> f64 {
+        self.average[i * self.dim + j]
+    }
+
+    /// The dense average flow matrix.
+    pub fn dense(&self) -> &[f64] {
+        &self.average
+    }
+}
+
+/// Draw a random sample of `size` histograms from a database (without
+/// replacement; the whole database if `size >= len`).
+pub fn draw_sample<'a>(
+    database: &'a [Histogram],
+    size: usize,
+    rng: &mut impl Rng,
+) -> Vec<&'a Histogram> {
+    let mut indices: Vec<usize> = (0..database.len()).collect();
+    indices.shuffle(rng);
+    indices.truncate(size.min(database.len()));
+    indices.into_iter().map(|i| &database[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn aggregates_pairwise_flows() {
+        let sample = vec![h(&[1.0, 0.0, 0.0]), h(&[0.0, 0.0, 1.0])];
+        let cost = ground::linear(3).unwrap();
+        let flows = FlowSample::from_histograms(&sample, &cost).unwrap();
+        // One unordered pair, aggregated in both orientations.
+        assert_eq!(flows.pairs(), 2);
+        // Average of f(0->2)=1 in one orientation and 0 in the other: 0.5.
+        assert!((flows.flow(0, 2) - 0.5).abs() < 1e-12);
+        assert!((flows.flow(2, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(flows.flow(0, 1), 0.0);
+    }
+
+    #[test]
+    fn flow_matrix_is_symmetric_for_symmetric_costs() {
+        let sample = vec![
+            h(&[0.5, 0.3, 0.2]),
+            h(&[0.1, 0.1, 0.8]),
+            h(&[0.3, 0.4, 0.3]),
+        ];
+        let cost = ground::linear(3).unwrap();
+        let flows = FlowSample::from_histograms(&sample, &cost).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((flows.flow(i, j) - flows.flow(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn total_average_flow_equals_total_mass() {
+        // Each pair's flow matrix ships total mass 1, so the average over
+        // pairs also sums to 1.
+        let sample = vec![
+            h(&[0.5, 0.5, 0.0, 0.0]),
+            h(&[0.0, 0.0, 0.5, 0.5]),
+            h(&[0.25, 0.25, 0.25, 0.25]),
+        ];
+        let cost = ground::linear(4).unwrap();
+        let flows = FlowSample::from_histograms(&sample, &cost).unwrap();
+        let total: f64 = flows.dense().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_small_samples_and_mismatches() {
+        let cost = ground::linear(3).unwrap();
+        assert!(matches!(
+            FlowSample::from_histograms(&[h(&[1.0, 0.0, 0.0])], &cost).unwrap_err(),
+            ReductionError::SampleTooSmall(1)
+        ));
+        let mixed = vec![h(&[1.0, 0.0, 0.0]), h(&[0.5, 0.5])];
+        assert!(matches!(
+            FlowSample::from_histograms(&mixed, &cost).unwrap_err(),
+            ReductionError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn draw_sample_without_replacement() {
+        let database: Vec<Histogram> = (0..10)
+            .map(|i| {
+                let mut bins = vec![0.0; 10];
+                bins[i] = 1.0;
+                Histogram::new(bins).unwrap()
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = draw_sample(&database, 4, &mut rng);
+        assert_eq!(sample.len(), 4);
+        // Oversized requests return the whole database.
+        let all = draw_sample(&database, 100, &mut rng);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let sample: Vec<Histogram> = (0..7)
+            .map(|i| {
+                let mut bins = vec![0.05; 8];
+                bins[i % 8] += 0.6;
+                Histogram::normalized(bins).unwrap()
+            })
+            .collect();
+        let cost = ground::linear(8).unwrap();
+        let sequential = FlowSample::from_histograms(&sample, &cost).unwrap();
+        for threads in [1, 2, 4, 16] {
+            let parallel =
+                FlowSample::from_histograms_parallel(&sample, &cost, threads).unwrap();
+            assert_eq!(parallel.pairs(), sequential.pairs());
+            for (a, b) in parallel.dense().iter().zip(sequential.dense()) {
+                assert!((a - b).abs() < 1e-12, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_small_samples() {
+        let cost = ground::linear(3).unwrap();
+        assert!(matches!(
+            FlowSample::from_histograms_parallel(&[h(&[1.0, 0.0, 0.0])], &cost, 4)
+                .unwrap_err(),
+            ReductionError::SampleTooSmall(1)
+        ));
+    }
+
+    #[test]
+    fn from_dense_validates_shape() {
+        assert!(FlowSample::from_dense(2, vec![0.0; 4]).is_ok());
+        assert!(FlowSample::from_dense(2, vec![0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # emd-reduction
+//!
+//! Flexible, lower-bounding dimensionality reduction for the Earth Mover's
+//! Distance — the primary contribution of Wichterich et al., SIGMOD 2008
+//! (Section 3).
+//!
+//! * [`CombiningReduction`] — the 0/1 *combining* reduction matrices of
+//!   Definition 3: every original dimension is assigned to exactly one
+//!   reduced dimension and no reduced dimension is empty.
+//! * [`reduce_cost_matrix`] — the **optimal reduced cost matrix** of
+//!   Definition 5 (`c'_{i'j'} = min{c_ij}` over the combined groups),
+//!   proven in the paper to be the greatest lower bound for fixed
+//!   reduction matrices (Theorems 1 and 3).
+//! * [`ReducedEmd`] — the reduced EMD of Definition 4, supporting
+//!   different query/database reductions (`R1 != R2`).
+//! * [`kmedoids`] — the data-independent clustering-based reduction of
+//!   Section 3.3.
+//! * [`flow_sample`] / [`tightness`] / [`fb`] — the data-dependent
+//!   flow-based reductions FB-Mod and FB-All of Section 3.4 (Figures 6-9).
+//! * [`exhaustive`] — globally optimal reductions by enumeration (tiny
+//!   dimensionalities only; used to validate the heuristics).
+//! * [`grid`] — the grid-merging special case of reference \[14\] that the
+//!   paper generalizes.
+//! * [`pca`] — a PCA-guided combining reduction, standing in for the
+//!   paper's (negative) PCA experiment; see DESIGN.md.
+
+mod error;
+pub mod exhaustive;
+pub mod fb;
+pub mod flow_sample;
+pub mod grid;
+pub mod kmedoids;
+mod matrix;
+pub mod pca;
+mod reduced_cost;
+mod reduced_emd;
+pub mod tightness;
+
+pub use error::ReductionError;
+pub use matrix::CombiningReduction;
+pub use reduced_cost::reduce_cost_matrix;
+pub use reduced_emd::ReducedEmd;

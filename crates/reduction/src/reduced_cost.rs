@@ -1,0 +1,146 @@
+//! The optimal reduced cost matrix (Definition 5).
+//!
+//! For reduction matrices `R1` (first operand) and `R2` (second operand),
+//! the reduced ground distance is
+//!
+//! ```text
+//! c'_{i'j'} = min{ c_ij | r1_{ii'} = 1  and  r2_{jj'} = 1 }
+//! ```
+//!
+//! Theorem 1 of the paper proves that the EMD under `C'` on the reduced
+//! vectors lower-bounds the EMD under `C` on the originals; Theorem 3
+//! proves no entry of `C'` can be increased without losing the bound —
+//! taking minima over the merged cells is *optimal*.
+
+use crate::matrix::CombiningReduction;
+use crate::ReductionError;
+use emd_core::CostMatrix;
+
+/// Compute the optimal reduced cost matrix for (possibly different)
+/// operand reductions. `cost` must be `r1.original_dim() x
+/// r2.original_dim()`.
+pub fn reduce_cost_matrix(
+    cost: &CostMatrix,
+    r1: &CombiningReduction,
+    r2: &CombiningReduction,
+) -> Result<CostMatrix, ReductionError> {
+    if cost.rows() != r1.original_dim() {
+        return Err(ReductionError::DimensionMismatch {
+            expected: cost.rows(),
+            got: r1.original_dim(),
+        });
+    }
+    if cost.cols() != r2.original_dim() {
+        return Err(ReductionError::DimensionMismatch {
+            expected: cost.cols(),
+            got: r2.original_dim(),
+        });
+    }
+    let d1 = r1.reduced_dim();
+    let d2 = r2.reduced_dim();
+    let mut entries = vec![f64::INFINITY; d1 * d2];
+    // One pass over the original matrix: scatter-min into the reduced cell.
+    for i in 0..cost.rows() {
+        let target_row = r1.target_of(i) * d2;
+        let row = cost.row(i);
+        for (j, &c) in row.iter().enumerate() {
+            let cell = target_row + r2.target_of(j);
+            if c < entries[cell] {
+                entries[cell] = c;
+            }
+        }
+    }
+    debug_assert!(
+        entries.iter().all(|e| e.is_finite()),
+        "every reduced cell receives at least one original entry \
+         because no reduced dimension is empty"
+    );
+    Ok(CostMatrix::new(d1, d2, entries)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+
+    #[test]
+    fn figure_five_example() {
+        // Figure 5 of the paper: its 4x4 cost matrix, merging {d1, d2} and
+        // {d3, d4}, yields C' = [[0, 2], [2, 0]] — the preserved
+        // inter-cluster distance is c23 = c32 = 2.
+        let cost = CostMatrix::new(
+            4,
+            4,
+            vec![
+                0.0, 1.0, 3.0, 4.0, //
+                1.0, 0.0, 2.0, 3.0, //
+                3.0, 2.0, 0.0, 1.0, //
+                4.0, 3.0, 1.0, 0.0,
+            ],
+        )
+        .unwrap();
+        let r = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+        let reduced = reduce_cost_matrix(&cost, &r, &r).unwrap();
+        assert_eq!(reduced.rows(), 2);
+        assert_eq!(reduced.entries(), &[0.0, 2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn section_321_worst_case_example() {
+        // Section 3.2.1: x = e_2, y = e_3 (one-based) under the 4-d chain;
+        // merging {0,1} and {2,3} must keep c'(0,1) = c(1,2) = 1.
+        let cost = ground::linear(4).unwrap();
+        let r = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+        let reduced = reduce_cost_matrix(&cost, &r, &r).unwrap();
+        assert_eq!(reduced.at(0, 1), 1.0);
+    }
+
+    #[test]
+    fn asymmetric_reductions() {
+        // R1 merges nothing (identity), R2 merges everything: the reduced
+        // matrix is d x 1 with row minima.
+        let cost = ground::linear(3).unwrap();
+        let r1 = CombiningReduction::identity(3).unwrap();
+        let r2 = CombiningReduction::new(vec![0, 0, 0], 1).unwrap();
+        let reduced = reduce_cost_matrix(&cost, &r1, &r2).unwrap();
+        assert_eq!(reduced.rows(), 3);
+        assert_eq!(reduced.cols(), 1);
+        // Row minima of the chain matrix are all 0 (the diagonal).
+        assert_eq!(reduced.entries(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_reduction_is_identity() {
+        let cost = ground::grid2(2, 2, ground::Metric::Manhattan).unwrap();
+        let r = CombiningReduction::identity(4).unwrap();
+        let reduced = reduce_cost_matrix(&cost, &r, &r).unwrap();
+        assert_eq!(reduced, cost);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let cost = ground::linear(4).unwrap();
+        let r3 = CombiningReduction::identity(3).unwrap();
+        let r4 = CombiningReduction::identity(4).unwrap();
+        assert!(reduce_cost_matrix(&cost, &r3, &r4).is_err());
+        assert!(reduce_cost_matrix(&cost, &r4, &r3).is_err());
+    }
+
+    #[test]
+    fn reduced_entries_are_minima() {
+        let cost = ground::grid2(3, 2, ground::Metric::Euclidean).unwrap();
+        let r = CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        let reduced = reduce_cost_matrix(&cost, &r, &r).unwrap();
+        let groups = r.groups();
+        for (gi, group_i) in groups.iter().enumerate() {
+            for (gj, group_j) in groups.iter().enumerate() {
+                let cost = &cost;
+                let expected = group_i
+                    .iter()
+                    .flat_map(|&i| group_j.iter().map(move |&j| cost.at(i, j)))
+                    .fold(f64::INFINITY, f64::min);
+                assert!((reduced.at(gi, gj) - expected).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # emd-transport
+//!
+//! A from-scratch solver for the *balanced transportation problem*, the
+//! linear program underlying the Earth Mover's Distance:
+//!
+//! ```text
+//! minimize   sum_{i,j} c[i][j] * f[i][j]
+//! subject to sum_j f[i][j] = supply[i]   for all i
+//!            sum_i f[i][j] = demand[j]   for all j
+//!            f[i][j] >= 0
+//! ```
+//!
+//! Two independent exact solvers are provided:
+//!
+//! * [`solve`] — the **transportation simplex** (MODI / u-v method) with a
+//!   Vogel-approximation initial basis. This is the production solver used
+//!   by `emd-core` for all EMD computations; its typical runtime is
+//!   superlinear (empirically ~cubic) in the number of bins, which is the
+//!   very cost the SIGMOD 2008 paper's dimensionality reduction attacks.
+//! * [`ssp::solve_ssp`] — **successive shortest paths** with Dijkstra and
+//!   node potentials. Slower in practice but structurally unrelated to the
+//!   simplex, which makes it a trustworthy cross-check in tests.
+//!
+//! Both solvers accept rectangular cost matrices (`m` sources, `n` targets),
+//! which the paper needs for reduced EMDs with differing query/database
+//! dimensionalities (`R1 != R2`).
+
+mod error;
+mod problem;
+mod simplex;
+pub mod ssp;
+mod tree;
+mod vogel;
+
+pub use error::TransportError;
+pub use problem::{Solution, TransportProblem};
+pub use simplex::{solve, solve_with_options, SimplexOptions};
+pub use vogel::{initial_basis, InitialBasis};
+
+/// Absolute tolerance used throughout the crate for feasibility and
+/// optimality tests on `f64` quantities.
+///
+/// Masses handled by the EMD are normalized to total 1, so an absolute
+/// tolerance is appropriate; it sits far below any meaningful flow while
+/// staying far above accumulated rounding error for the tableau sizes
+/// (up to a few hundred bins) this crate targets.
+pub const EPS: f64 = 1e-12;
+
+/// Looser tolerance for user-facing feasibility checks (balance of total
+/// supply and demand). Inputs typically come from normalized histograms
+/// whose sums carry accumulated rounding error.
+pub const BALANCE_EPS: f64 = 1e-7;

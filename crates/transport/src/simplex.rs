@@ -1,0 +1,313 @@
+//! The transportation simplex (MODI / u-v method).
+//!
+//! Starting from a Vogel initial basis, each iteration
+//!
+//! 1. computes dual variables `u`, `v` from the basis tree,
+//! 2. searches for a non-basic cell with negative reduced cost
+//!    `c[i][j] - u[i] - v[j]` (Dantzig most-negative rule, falling back to
+//!    Bland's rule after a long run of degenerate pivots to guarantee
+//!    termination),
+//! 3. pivots: the entering cell closes a unique cycle in the basis tree;
+//!    flow is shifted around the cycle until a basic cell hits zero, which
+//!    leaves the basis.
+
+use crate::error::TransportError;
+use crate::problem::{Solution, TransportProblem};
+use crate::tree::BasisTree;
+use crate::vogel;
+use crate::EPS;
+
+/// Tunables for [`solve_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard cap on pivot iterations; `None` chooses `64 * (m + n) + 4096`,
+    /// far above what non-pathological instances need.
+    pub max_iterations: Option<usize>,
+    /// Number of consecutive degenerate pivots after which the pricing rule
+    /// switches from most-negative to Bland's anti-cycling rule.
+    pub degenerate_pivot_limit: usize,
+    /// Reduced costs above `-optimality_tolerance` count as non-negative.
+    pub optimality_tolerance: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: None,
+            degenerate_pivot_limit: 64,
+            optimality_tolerance: 1e-10,
+        }
+    }
+}
+
+/// Solve a transportation problem with default options.
+pub fn solve(problem: &TransportProblem) -> Result<Solution, TransportError> {
+    solve_with_options(problem, SimplexOptions::default())
+}
+
+/// Solve a transportation problem with explicit [`SimplexOptions`].
+pub fn solve_with_options(
+    problem: &TransportProblem,
+    options: SimplexOptions,
+) -> Result<Solution, TransportError> {
+    let m = problem.num_sources();
+    let n = problem.num_targets();
+
+    // Trivial tableaus need no pivoting: with a single row or column the
+    // initial basis is the unique (hence optimal) solution.
+    let initial = vogel::initial_basis(problem);
+    if m == 1 || n == 1 {
+        return Ok(solution_from_cells(problem, &initial.cells));
+    }
+
+    let mut tree = BasisTree::new(m, n, &initial.cells);
+    let max_iterations = options
+        .max_iterations
+        .unwrap_or_else(|| 64 * (m + n) + 4096);
+    let tol = options.optimality_tolerance;
+
+    // Scratch buffers reused across iterations.
+    let mut u: Vec<f64> = Vec::new();
+    let mut v: Vec<f64> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new();
+    let mut parent: Vec<(usize, usize)> = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
+
+    let mut degenerate_run = 0usize;
+    for _ in 0..max_iterations {
+        tree.duals(|i, j| problem.cost(i, j), &mut u, &mut v, &mut stack);
+
+        let use_bland = degenerate_run >= options.degenerate_pivot_limit;
+        let entering = find_entering(problem, &u, &v, tol, use_bland);
+        let Some((ei, ej)) = entering else {
+            return Ok(extract_solution(problem, &tree));
+        };
+
+        // The entering edge (ei, ej) closes a cycle with the tree path from
+        // demand node of ej back to supply node ei. Walking the cycle from
+        // the entering edge, signs alternate starting with '-' on the first
+        // path edge (it shares the demand node with the entering '+' edge).
+        let path = tree.path(tree.demand_node(ej), ei, &mut parent, &mut queue);
+
+        let mut theta = f64::INFINITY;
+        let mut leaving: Option<usize> = None;
+        for (k, &id) in path.iter().enumerate() {
+            if k % 2 == 0 {
+                let flow = tree.edge(id).flow;
+                // Strict '<' keeps the first minimal edge, which together
+                // with Bland pricing yields a terminating pivot rule.
+                if flow < theta {
+                    theta = flow;
+                    leaving = Some(id);
+                }
+            }
+        }
+        let leaving = leaving.expect("cycle has at least one '-' edge");
+
+        for (k, &id) in path.iter().enumerate() {
+            let flow = tree.edge_flow_mut(id);
+            if k % 2 == 0 {
+                *flow = (*flow - theta).max(0.0);
+            } else {
+                *flow += theta;
+            }
+        }
+        tree.remove(leaving);
+        tree.insert(ei, ej, theta);
+
+        if theta <= EPS {
+            degenerate_run += 1;
+        } else {
+            degenerate_run = 0;
+        }
+    }
+
+    Err(TransportError::IterationLimit {
+        iterations: max_iterations,
+    })
+}
+
+/// Price the non-basic cells. Returns the entering cell or `None` at
+/// optimality. Cells currently in the basis have reduced cost ~0 and are
+/// naturally skipped by the negativity test.
+// Indexed loops mirror the (i, j) tableau coordinates of the MODI method.
+#[allow(clippy::needless_range_loop)]
+fn find_entering(
+    problem: &TransportProblem,
+    u: &[f64],
+    v: &[f64],
+    tol: f64,
+    bland: bool,
+) -> Option<(usize, usize)> {
+    let m = problem.num_sources();
+    let n = problem.num_targets();
+    let mut best: Option<(usize, usize)> = None;
+    let mut best_reduced = -tol;
+    for i in 0..m {
+        let row = problem.cost_row(i);
+        let ui = u[i];
+        for j in 0..n {
+            let reduced = row[j] - ui - v[j];
+            if reduced < best_reduced {
+                if bland {
+                    // First (lexicographically smallest) improving cell.
+                    return Some((i, j));
+                }
+                best_reduced = reduced;
+                best = Some((i, j));
+            }
+        }
+    }
+    best
+}
+
+fn extract_solution(problem: &TransportProblem, tree: &BasisTree) -> Solution {
+    let mut flows = Vec::new();
+    let mut objective = 0.0;
+    for id in tree.live_edges() {
+        let edge = tree.edge(id);
+        if edge.flow > EPS {
+            objective += edge.flow * problem.cost(edge.row, edge.col);
+            flows.push((edge.row, edge.col, edge.flow));
+        }
+    }
+    Solution { objective, flows }
+}
+
+fn solution_from_cells(problem: &TransportProblem, cells: &[(usize, usize, f64)]) -> Solution {
+    let mut flows = Vec::new();
+    let mut objective = 0.0;
+    for &(i, j, f) in cells {
+        if f > EPS {
+            objective += f * problem.cost(i, j);
+            flows.push((i, j, f));
+        }
+    }
+    Solution { objective, flows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_unwrap(supplies: Vec<f64>, demands: Vec<f64>, costs: Vec<f64>) -> Solution {
+        let problem = TransportProblem::new(supplies, demands, costs).unwrap();
+        let solution = solve(&problem).unwrap();
+        assert!(solution.check_feasible(&problem, 1e-9));
+        solution
+    }
+
+    #[test]
+    fn identity_costs_zero() {
+        let solution = solve_unwrap(
+            vec![0.25, 0.25, 0.5],
+            vec![0.25, 0.25, 0.5],
+            vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0],
+        );
+        assert!(solution.objective.abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_instance() {
+        // Classic 3x4 instance; cross-checked against the independent SSP
+        // solver and against a hand-constructed feasible solution of cost
+        // 455, which upper-bounds the optimum.
+        let supplies = vec![15.0, 25.0, 10.0];
+        let demands = vec![5.0, 15.0, 15.0, 15.0];
+        let costs = vec![
+            10.0, 2.0, 20.0, 11.0, //
+            12.0, 7.0, 9.0, 20.0, //
+            4.0, 14.0, 16.0, 18.0,
+        ];
+        let problem =
+            TransportProblem::new(supplies.clone(), demands.clone(), costs.clone()).unwrap();
+        let solution = solve_unwrap(supplies, demands, costs);
+        let reference = crate::ssp::solve_ssp(&problem).unwrap();
+        assert!((solution.objective - reference.objective).abs() < 1e-9);
+        assert!(solution.objective <= 455.0 + 1e-9);
+    }
+
+    #[test]
+    fn paper_figure_one_x_vs_y() {
+        // Figure 1 of the paper: EMD(x, y) = 1.0 with |i-j| ground distance.
+        let x = vec![0.5, 0.0, 0.2, 0.0, 0.3, 0.0];
+        let y = vec![0.0, 0.5, 0.0, 0.2, 0.0, 0.3];
+        let costs: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i as f64 - j as f64).abs()))
+            .collect();
+        let solution = solve_unwrap(x, y, costs);
+        assert!((solution.objective - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure_one_x_vs_z() {
+        // Figure 1 of the paper: EMD(x, z) = 1.6.
+        let x = vec![0.5, 0.0, 0.2, 0.0, 0.3, 0.0];
+        let z = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let costs: Vec<f64> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i as f64 - j as f64).abs()))
+            .collect();
+        let solution = solve_unwrap(x, z, costs);
+        assert!((solution.objective - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        let s = solve_unwrap(vec![1.0], vec![0.5, 0.5], vec![2.0, 4.0]);
+        assert!((s.objective - 3.0).abs() < 1e-12);
+        let s = solve_unwrap(vec![0.5, 0.5], vec![1.0], vec![2.0, 4.0]);
+        assert!((s.objective - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_tableau() {
+        let s = solve_unwrap(
+            vec![0.5, 0.5],
+            vec![0.2, 0.3, 0.5],
+            vec![1.0, 2.0, 3.0, 3.0, 2.0, 1.0],
+        );
+        // Optimal: x0 -> y0 (0.2 * 1), x0 -> y1 (0.3 * 2), x1 -> y2 (0.5 * 1)
+        assert!((s.objective - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_masses() {
+        // Many zero supplies/demands and exactly matching masses.
+        let s = solve_unwrap(
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+            (0..16).map(|k| ((k / 4) as f64 - (k % 4) as f64).abs()).collect(),
+        );
+        assert!((s.objective - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let problem = TransportProblem::new(
+            vec![0.3, 0.3, 0.4],
+            vec![0.2, 0.5, 0.3],
+            vec![4.0, 1.0, 3.0, 2.0, 5.0, 2.0, 3.0, 3.0, 1.0],
+        )
+        .unwrap();
+        let err = solve_with_options(
+            &problem,
+            SimplexOptions {
+                max_iterations: Some(0),
+                ..SimplexOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::IterationLimit { .. }));
+    }
+
+    #[test]
+    fn solution_flows_are_positive() {
+        let s = solve_unwrap(
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+            vec![0.0, 1.0, 1.0, 0.0],
+        );
+        assert!(s.flows.iter().all(|&(_, _, f)| f > 0.0));
+        assert!(s.objective.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Spanning-tree representation of a transportation-simplex basis.
+//!
+//! Nodes `0..m` are supply nodes, nodes `m..m+n` are demand nodes. A basis
+//! of the transportation polytope is a spanning tree with exactly
+//! `m + n - 1` edges, each edge being a basic tableau cell `(i, j)`.
+
+/// One basic cell of the tableau, stored as a tree edge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Edge {
+    pub row: usize,
+    pub col: usize,
+    pub flow: f64,
+    /// Dead edges remain in the slot vector after removal so that edge ids
+    /// stay stable; their slots are recycled through the free list.
+    pub alive: bool,
+}
+
+/// The simplex basis as an adjacency-list spanning tree.
+#[derive(Debug, Clone)]
+pub(crate) struct BasisTree {
+    m: usize,
+    n: usize,
+    edges: Vec<Edge>,
+    free: Vec<usize>,
+    /// `adjacency[node]` holds edge ids incident to `node`.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl BasisTree {
+    pub fn new(m: usize, n: usize, cells: &[(usize, usize, f64)]) -> Self {
+        let mut tree = BasisTree {
+            m,
+            n,
+            edges: Vec::with_capacity(cells.len()),
+            free: Vec::new(),
+            adjacency: vec![Vec::new(); m + n],
+        };
+        for &(row, col, flow) in cells {
+            tree.insert(row, col, flow);
+        }
+        debug_assert_eq!(tree.num_edges(), m + n - 1);
+        tree
+    }
+
+    #[inline]
+    pub fn demand_node(&self, col: usize) -> usize {
+        self.m + col
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() - self.free.len()
+    }
+
+    #[inline]
+    pub fn edge(&self, id: usize) -> &Edge {
+        debug_assert!(self.edges[id].alive);
+        &self.edges[id]
+    }
+
+    #[inline]
+    pub fn edge_flow_mut(&mut self, id: usize) -> &mut f64 {
+        debug_assert!(self.edges[id].alive);
+        &mut self.edges[id].flow
+    }
+
+    pub fn insert(&mut self, row: usize, col: usize, flow: f64) -> usize {
+        let edge = Edge {
+            row,
+            col,
+            flow,
+            alive: true,
+        };
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.edges[slot] = edge;
+                slot
+            }
+            None => {
+                self.edges.push(edge);
+                self.edges.len() - 1
+            }
+        };
+        self.adjacency[row].push(id);
+        let demand = self.demand_node(col);
+        self.adjacency[demand].push(id);
+        id
+    }
+
+    pub fn remove(&mut self, id: usize) {
+        let Edge { row, col, .. } = self.edges[id];
+        debug_assert!(self.edges[id].alive);
+        self.edges[id].alive = false;
+        self.free.push(id);
+        let demand = self.demand_node(col);
+        for node in [row, demand] {
+            let list = &mut self.adjacency[node];
+            let pos = list
+                .iter()
+                .position(|&e| e == id)
+                .expect("edge registered in adjacency");
+            list.swap_remove(pos);
+        }
+    }
+
+    /// Iterate over the ids of live edges.
+    pub fn live_edges(&self) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive)
+            .map(|(id, _)| id)
+    }
+
+    /// Compute the dual variables `u` (supplies) and `v` (demands) defined
+    /// by `u[i] + v[j] = cost(i, j)` on every basic cell, anchored at
+    /// `u[0] = 0`. Traverses the spanning tree once.
+    pub fn duals(
+        &self,
+        cost: impl Fn(usize, usize) -> f64,
+        u: &mut Vec<f64>,
+        v: &mut Vec<f64>,
+        stack: &mut Vec<usize>,
+    ) {
+        u.clear();
+        u.resize(self.m, f64::NAN);
+        v.clear();
+        v.resize(self.n, f64::NAN);
+        stack.clear();
+        u[0] = 0.0;
+        stack.push(0);
+        while let Some(node) = stack.pop() {
+            for &id in &self.adjacency[node] {
+                let edge = &self.edges[id];
+                let (supply, demand) = (edge.row, edge.col);
+                if node < self.m {
+                    // node is the supply endpoint; propagate to the demand.
+                    if v[demand].is_nan() {
+                        v[demand] = cost(supply, demand) - u[supply];
+                        stack.push(self.demand_node(demand));
+                    }
+                } else if u[supply].is_nan() {
+                    u[supply] = cost(supply, demand) - v[demand];
+                    stack.push(supply);
+                }
+            }
+        }
+        debug_assert!(
+            u.iter().chain(v.iter()).all(|x| !x.is_nan()),
+            "basis must span all nodes"
+        );
+    }
+
+    /// Find the unique tree path from `start` to `goal` and return its edge
+    /// ids in path order. `parent` and `queue` are caller-provided scratch
+    /// buffers to avoid per-call allocation.
+    pub fn path(
+        &self,
+        start: usize,
+        goal: usize,
+        parent: &mut Vec<(usize, usize)>,
+        queue: &mut Vec<usize>,
+    ) -> Vec<usize> {
+        const UNSEEN: usize = usize::MAX;
+        parent.clear();
+        parent.resize(self.m + self.n, (UNSEEN, UNSEEN));
+        queue.clear();
+        queue.push(start);
+        parent[start] = (start, UNSEEN);
+        let mut head = 0;
+        'bfs: while head < queue.len() {
+            let node = queue[head];
+            head += 1;
+            for &id in &self.adjacency[node] {
+                let edge = &self.edges[id];
+                let other = if node < self.m {
+                    self.demand_node(edge.col)
+                } else {
+                    edge.row
+                };
+                if parent[other].0 == UNSEEN {
+                    parent[other] = (node, id);
+                    if other == goal {
+                        break 'bfs;
+                    }
+                    queue.push(other);
+                }
+            }
+        }
+        debug_assert!(parent[goal].0 != UNSEEN, "tree must connect all nodes");
+        let mut path = Vec::new();
+        let mut node = goal;
+        while node != start {
+            let (prev, id) = parent[node];
+            path.push(id);
+            node = prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Basis for a 2x2 tableau:  edges (0,0), (0,1), (1,1).
+    fn small_tree() -> BasisTree {
+        BasisTree::new(2, 2, &[(0, 0, 0.25), (0, 1, 0.25), (1, 1, 0.5)])
+    }
+
+    #[test]
+    fn duals_satisfy_basic_cells() {
+        let tree = small_tree();
+        let cost = |i: usize, j: usize| (i * 2 + j) as f64 + 1.0;
+        let (mut u, mut v, mut stack) = (Vec::new(), Vec::new(), Vec::new());
+        tree.duals(cost, &mut u, &mut v, &mut stack);
+        for id in tree.live_edges() {
+            let e = tree.edge(id);
+            assert!((u[e.row] + v[e.col] - cost(e.row, e.col)).abs() < 1e-12);
+        }
+        assert_eq!(u[0], 0.0);
+    }
+
+    #[test]
+    fn path_connects_endpoints() {
+        let tree = small_tree();
+        let (mut parent, mut queue) = (Vec::new(), Vec::new());
+        // Path from supply 1 (node 1) to demand 0 (node 2):
+        // (1,1) -> (0,1) -> (0,0)
+        let path = tree.path(1, 2, &mut parent, &mut queue);
+        assert_eq!(path.len(), 3);
+        let rows: Vec<_> = path.iter().map(|&id| tree.edge(id).row).collect();
+        assert_eq!(rows, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn remove_and_insert_recycle_slots() {
+        let mut tree = small_tree();
+        assert_eq!(tree.num_edges(), 3);
+        tree.remove(1);
+        assert_eq!(tree.num_edges(), 2);
+        let id = tree.insert(1, 0, 0.1);
+        assert_eq!(id, 1, "freed slot should be recycled");
+        assert_eq!(tree.num_edges(), 3);
+        assert_eq!(tree.edge(id).row, 1);
+        assert_eq!(tree.edge(id).col, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based cross-validation of the two exact solvers.
+//!
+//! The transportation simplex and the successive-shortest-paths solver share
+//! no code beyond the problem representation; agreement on random instances
+//! is strong evidence that both are correct.
+
+use emd_transport::{solve, ssp::solve_ssp, TransportProblem};
+use proptest::prelude::*;
+
+/// Strategy: a normalized mass vector of the given length with at least one
+/// strictly positive entry.
+fn mass_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0_f64..1.0, len).prop_filter_map(
+        "total mass must be positive",
+        |raw| {
+            let total: f64 = raw.iter().sum();
+            (total > 1e-6).then(|| raw.iter().map(|x| x / total).collect())
+        },
+    )
+}
+
+fn cost_matrix(m: usize, n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0_f64..10.0, m * n)
+}
+
+/// A random balanced instance with dimensions in `2..=max_dim`.
+fn instance(max_dim: usize) -> impl Strategy<Value = TransportProblem> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(|(m, n)| {
+        (mass_vector(m), mass_vector(n), cost_matrix(m, n)).prop_map(
+            |(supplies, demands, costs)| {
+                TransportProblem::new(supplies, demands, costs)
+                    .expect("generated instances are valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Simplex and SSP find the same minimum on random instances.
+    #[test]
+    fn simplex_matches_ssp(problem in instance(9)) {
+        let simplex = solve(&problem).expect("simplex solves valid instances");
+        let reference = solve_ssp(&problem).expect("ssp solves valid instances");
+        prop_assert!(
+            (simplex.objective - reference.objective).abs() < 1e-8,
+            "simplex {} != ssp {}",
+            simplex.objective,
+            reference.objective
+        );
+    }
+
+    /// The simplex solution is feasible: flows are non-negative and satisfy
+    /// the source/target constraints exactly.
+    #[test]
+    fn simplex_solution_is_feasible(problem in instance(10)) {
+        let solution = solve(&problem).expect("simplex solves valid instances");
+        prop_assert!(solution.check_feasible(&problem, 1e-8));
+    }
+
+    /// Swapping supplies and demands while transposing the cost matrix
+    /// leaves the objective unchanged.
+    #[test]
+    fn transposition_symmetry(problem in instance(8)) {
+        let m = problem.num_sources();
+        let n = problem.num_targets();
+        let mut transposed = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                transposed[j * m + i] = problem.cost(i, j);
+            }
+        }
+        let flipped = TransportProblem::new(
+            problem.demands().to_vec(),
+            problem.supplies().to_vec(),
+            transposed,
+        )
+        .expect("transposed instance is valid");
+        let a = solve(&problem).unwrap();
+        let b = solve(&flipped).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-8);
+    }
+
+    /// Scaling all costs by a non-negative factor scales the objective.
+    #[test]
+    fn cost_scaling_linearity(problem in instance(7), factor in 0.0_f64..5.0) {
+        let scaled_costs: Vec<f64> = problem.costs().iter().map(|c| c * factor).collect();
+        let scaled = TransportProblem::new(
+            problem.supplies().to_vec(),
+            problem.demands().to_vec(),
+            scaled_costs,
+        )
+        .expect("scaled instance is valid");
+        let base = solve(&problem).unwrap();
+        let scaled_solution = solve(&scaled).unwrap();
+        prop_assert!((scaled_solution.objective - factor * base.objective).abs() < 1e-7);
+    }
+
+    /// Zero-cost diagonal with identical supply/demand vectors gives
+    /// objective zero (mass can stay in place for free).
+    #[test]
+    fn identity_transport_is_free(mass in mass_vector(8)) {
+        let d = mass.len();
+        let mut costs = vec![1.0; d * d];
+        for i in 0..d {
+            costs[i * d + i] = 0.0;
+        }
+        let problem = TransportProblem::new(mass.clone(), mass, costs).unwrap();
+        let solution = solve(&problem).unwrap();
+        prop_assert!(solution.objective.abs() < 1e-10);
+    }
+}

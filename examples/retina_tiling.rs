@@ -1,0 +1,76 @@
+//! Spatial grid-tiling retrieval — the RETINA-like scenario of reference
+//! [14] that the paper's reductions generalize: 12x8 tiled image features
+//! (96 dimensions) with a Euclidean ground distance between tiles.
+//!
+//! Compares three ways to pick the reduced dimensions at the same d':
+//! the rigid 2x2 block merging of [14], the paper's k-medoids clustering,
+//! and the flow-based FB-Mod — demonstrating why *flexible* reductions
+//! matter.
+//!
+//! ```sh
+//! cargo run --release --example retina_tiling
+//! ```
+
+use flexemd::data::tiling::{self, TilingParams};
+use flexemd::query::{EmdDistance, Pipeline, ReducedEmdFilter};
+use flexemd::reduction::fb::{fb_mod, FbOptions};
+use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
+use flexemd::reduction::grid::block_merge;
+use flexemd::reduction::kmedoids::kmedoids_reduction;
+use flexemd::reduction::{CombiningReduction, ReducedEmd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = TilingParams {
+        width: 12,
+        height: 8,
+        num_classes: 6,
+        per_class: 50,
+        ..TilingParams::default()
+    };
+    println!("generating synthetic retina-like corpus (12x8 tiling, 96-d)...");
+    let dataset = tiling::generate(&params, &mut rng);
+    let (dataset, queries) = dataset.split_queries(10);
+    let cost = Arc::new(dataset.cost.clone());
+    let database = Arc::new(dataset.histograms);
+
+    // The rigid 2x2 block merge of [14] only offers d' = 24 on a 12x8
+    // grid; the paper's reductions can target ANY d' — here 24 for a
+    // like-for-like comparison and 16 to show the flexibility.
+    println!("building reductions (grid is fixed to d'=24; flexible ones also try d'=16)...");
+    let grid = block_merge(12, 8, 2, 2)?; // the rigid factor-4 merge of [14]
+    let kmed = kmedoids_reduction(&cost, 24, &mut rng)?.reduction;
+    let sample: Vec<_> = draw_sample(&database, 20, &mut rng).into_iter().cloned().collect();
+    let flows = FlowSample::from_histograms(&sample, &cost)?;
+    let fb = fb_mod(kmed.clone(), &flows, &cost, FbOptions::default()).reduction;
+    let kmed16 = kmedoids_reduction(&cost, 16, &mut rng)?.reduction;
+    let fb16 = fb_mod(kmed16.clone(), &flows, &cost, FbOptions::default()).reduction;
+
+    let candidates = |reduction: CombiningReduction| -> Result<f64, Box<dyn std::error::Error>> {
+        let reduced = ReducedEmd::new(&cost, reduction)?;
+        let pipeline = Pipeline::new(
+            vec![Box::new(ReducedEmdFilter::new(&database, reduced)?)],
+            EmdDistance::new(database.clone(), cost.clone())?,
+        )?;
+        let mut total = 0usize;
+        for query in &queries {
+            let (_, stats) = pipeline.knn(query, 10)?;
+            total += stats.refinements;
+        }
+        Ok(total as f64 / queries.len() as f64)
+    };
+
+    println!("\nmean exact-EMD candidates per 10-NN query (of {} objects):", database.len());
+    println!("  d'=24  grid 2x2 blocks [14] : {:.1}", candidates(grid)?);
+    println!("  d'=24  k-medoids (paper 3.3): {:.1}", candidates(kmed)?);
+    println!("  d'=24  FB-Mod    (paper 3.4): {:.1}", candidates(fb)?);
+    println!("  d'=16  k-medoids            : {:.1}   <- no grid analogue exists", candidates(kmed16)?);
+    println!("  d'=16  FB-Mod               : {:.1}   <- cheaper filter, freely chosen d'", candidates(fb16)?);
+    println!("\nall reductions return exactly the same neighbors (lossless filters);");
+    println!("fewer candidates = fewer expensive 96-d EMD computations, and the");
+    println!("flexible reductions work at dimensionalities the grid merge cannot offer.");
+    Ok(())
+}

@@ -1,0 +1,328 @@
+//! `flexemd` — command-line front end for EMD similarity search.
+//!
+//! ```text
+//! flexemd generate --kind tiling|color|gaussian --out data.json
+//!                  [--classes N] [--per-class N] [--seed S]
+//! flexemd info     --data data.json
+//! flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
+//!                  --dims D --out reduction.json [--sample N] [--seed S]
+//! flexemd query    --data data.json --reduction reduction.json
+//!                  [--k K] [--query I] [--chain]
+//! ```
+//!
+//! `generate` writes a synthetic corpus; `reduce` builds and stores a
+//! combining reduction for it; `query` runs a complete k-NN query through
+//! the filter-and-refine pipeline and reports what the filter saved.
+
+use flexemd::core::Histogram;
+use flexemd::data::{io as dataio, Dataset};
+use flexemd::query::{EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
+use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
+use flexemd::reduction::grid::block_merge;
+use flexemd::reduction::kmedoids::kmedoids_reduction_restarts;
+use flexemd::reduction::{CombiningReduction, ReducedEmd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = match Options::parse(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => generate(&options),
+        "info" => info(&options),
+        "reduce" => reduce(&options),
+        "query" => query(&options),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+flexemd — EMD similarity search with flexible dimensionality reduction
+
+USAGE:
+  flexemd generate --kind tiling|color|gaussian --out data.json
+                   [--classes N] [--per-class N] [--seed S]
+  flexemd info     --data data.json
+  flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
+                   --dims D --out reduction.json [--sample N] [--seed S]
+  flexemd query    --data data.json --reduction reduction.json
+                   [--k K] [--query I] [--chain]";
+
+/// Parsed `--key value` options (every option takes a value except
+/// `--chain`).
+struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            if key == "chain" {
+                values.insert(key.to_owned(), "true".to_owned());
+                continue;
+            }
+            let Some(value) = args.next() else {
+                return Err(format!("--{key} requires a value"));
+            };
+            values.insert(key.to_owned(), value);
+        }
+        Ok(Options { values })
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{raw}`")),
+            None => Ok(default),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    fn path(&self, key: &str) -> Result<PathBuf, String> {
+        Ok(PathBuf::from(self.required(key)?))
+    }
+}
+
+fn generate(options: &Options) -> Result<(), String> {
+    let kind = options.required("kind")?;
+    let out = options.path("out")?;
+    let classes = options.numeric("classes", 6usize)?;
+    let per_class = options.numeric("per-class", 50usize)?;
+    let seed = options.numeric("seed", 42u64)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let dataset = match kind {
+        "tiling" => flexemd::data::tiling::generate(
+            &flexemd::data::tiling::TilingParams {
+                num_classes: classes,
+                per_class,
+                ..Default::default()
+            },
+            &mut rng,
+        ),
+        "color" => flexemd::data::color::generate(
+            &flexemd::data::color::ColorParams {
+                num_classes: classes,
+                per_class,
+                ..Default::default()
+            },
+            &mut rng,
+        ),
+        "gaussian" => flexemd::data::gaussian::generate(
+            &flexemd::data::gaussian::GaussianParams {
+                num_classes: classes,
+                per_class,
+                ..Default::default()
+            },
+            &mut rng,
+        ),
+        other => return Err(format!("unknown corpus kind `{other}`")),
+    };
+    dataio::save(&dataset, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} objects, {} dimensions) to {}",
+        dataset.name,
+        dataset.len(),
+        dataset.dim(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn info(options: &Options) -> Result<(), String> {
+    let dataset = load_dataset(&options.path("data")?)?;
+    println!("corpus      : {}", dataset.name);
+    println!("objects     : {}", dataset.len());
+    println!("dimensions  : {}", dataset.dim());
+    let classes = dataset.labels.iter().collect::<std::collections::HashSet<_>>();
+    println!("classes     : {}", classes.len());
+    println!(
+        "metric cost : {}",
+        if dataset.cost.is_metric(1e-9) { "yes" } else { "no" }
+    );
+    let mean_support: f64 = dataset
+        .histograms
+        .iter()
+        .map(|h| h.support_size() as f64)
+        .sum::<f64>()
+        / dataset.len().max(1) as f64;
+    println!("mean support: {mean_support:.1} non-zero bins");
+    Ok(())
+}
+
+fn reduce(options: &Options) -> Result<(), String> {
+    let dataset = load_dataset(&options.path("data")?)?;
+    let method = options.required("method")?;
+    let dims = options.numeric("dims", 0usize)?;
+    let out = options.path("out")?;
+    let sample_size = options.numeric("sample", 24usize)?;
+    let seed = options.numeric("seed", 42u64)?;
+    if dims == 0 || dims > dataset.dim() {
+        return Err(format!(
+            "--dims must be between 1 and {} (got {dims})",
+            dataset.dim()
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let kmed = || -> Result<CombiningReduction, String> {
+        Ok(
+            kmedoids_reduction_restarts(&dataset.cost, dims, 4, &mut StdRng::seed_from_u64(seed))
+                .map_err(|e| e.to_string())?
+                .reduction,
+        )
+    };
+    let flows = |rng: &mut StdRng| -> Result<FlowSample, String> {
+        let sample: Vec<Histogram> = draw_sample(&dataset.histograms, sample_size, rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        FlowSample::from_histograms_parallel(&sample, &dataset.cost, threads)
+            .map_err(|e| e.to_string())
+    };
+
+    let reduction = match method {
+        "kmed" => kmed()?,
+        "fb-mod" => {
+            let flows = flows(&mut rng)?;
+            fb_mod(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction
+        }
+        "fb-all" => {
+            let flows = flows(&mut rng)?;
+            fb_all(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction
+        }
+        "grid" => {
+            // Infer a tiling from the corpus name ("tiling-WxH").
+            let (width, height) = dataset
+                .name
+                .strip_prefix("tiling-")
+                .and_then(|s| s.split_once('x'))
+                .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                .ok_or("--method grid needs a tiling corpus (name `tiling-WxH`)")?;
+            let block = ((width * height) as f64 / dims as f64).sqrt().ceil() as usize;
+            block_merge(width, height, block.max(1), block.max(1))
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown reduction method `{other}`")),
+    };
+
+    let json = serde_json::to_vec(&reduction).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} -> {} reduction ({} groups) to {}",
+        reduction.original_dim(),
+        reduction.reduced_dim(),
+        reduction.reduced_dim(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn query(options: &Options) -> Result<(), String> {
+    let dataset = load_dataset(&options.path("data")?)?;
+    let reduction: CombiningReduction = serde_json::from_slice(
+        &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let k = options.numeric("k", 10usize)?;
+    let query_index = options.numeric("query", 0usize)?;
+    if query_index >= dataset.len() {
+        return Err(format!(
+            "--query index {query_index} out of range (corpus has {})",
+            dataset.len()
+        ));
+    }
+
+    let cost = Arc::new(dataset.cost.clone());
+    let database = Arc::new(dataset.histograms.clone());
+    let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+    if options.flag("chain") {
+        stages.push(Box::new(
+            ReducedImFilter::new(&database, reduced.clone()).map_err(|e| e.to_string())?,
+        ));
+    }
+    stages.push(Box::new(
+        ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
+    ));
+    let pipeline = Pipeline::new(
+        stages,
+        EmdDistance::new(database.clone(), cost).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let query = &database[query_index];
+    let started = std::time::Instant::now();
+    let (neighbors, stats) = pipeline.knn(query, k).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+
+    println!(
+        "{}-NN of object {query_index} (class {}):",
+        k, dataset.labels[query_index]
+    );
+    for n in &neighbors {
+        println!(
+            "  #{:<5} distance {:<10.5} class {}",
+            n.id, n.distance, dataset.labels[n.id]
+        );
+    }
+    println!();
+    for (stage, evaluations) in &stats.filter_evaluations {
+        println!("{stage:<20} {evaluations} evaluations");
+    }
+    println!(
+        "exact EMD refinements: {} of {} objects ({:.1}%)",
+        stats.refinements,
+        database.len(),
+        100.0 * stats.refinements as f64 / database.len() as f64
+    );
+    println!("query time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
+    Ok(())
+}
+
+fn load_dataset(path: &Path) -> Result<Dataset, String> {
+    dataio::load(path).map_err(|e| e.to_string())
+}

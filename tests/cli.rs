@@ -1,0 +1,89 @@
+//! End-to-end test of the `flexemd` command-line tool: generate a corpus,
+//! build a reduction, run a query — all through the real binary.
+
+use std::process::Command;
+
+fn flexemd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flexemd"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexemd-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow() {
+    let dir = temp_dir();
+    let data = dir.join("corpus.json");
+    let reduction = dir.join("reduction.json");
+
+    let generate = flexemd()
+        .args([
+            "generate", "--kind", "gaussian", "--out",
+        ])
+        .arg(&data)
+        .args(["--classes", "3", "--per-class", "12", "--seed", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        generate.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&generate.stderr)
+    );
+    assert!(data.exists());
+
+    let info = flexemd().arg("info").arg("--data").arg(&data).output().unwrap();
+    assert!(info.status.success());
+    let info_text = String::from_utf8_lossy(&info.stdout).to_string();
+    assert!(info_text.contains("objects     : 36"), "{info_text}");
+    assert!(info_text.contains("metric cost : yes"), "{info_text}");
+
+    let reduce = flexemd()
+        .arg("reduce")
+        .arg("--data")
+        .arg(&data)
+        .args(["--method", "kmed", "--dims", "6", "--out"])
+        .arg(&reduction)
+        .output()
+        .unwrap();
+    assert!(
+        reduce.status.success(),
+        "reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+
+    let query = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--chain"])
+        .output()
+        .unwrap();
+    assert!(
+        query.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&query.stderr)
+    );
+    let query_text = String::from_utf8_lossy(&query.stdout).to_string();
+    // The query object is its own nearest neighbor at distance 0.
+    assert!(query_text.contains("#1"), "{query_text}");
+    assert!(query_text.contains("refinements"), "{query_text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_input() {
+    let unknown = flexemd().arg("frobnicate").output().unwrap();
+    assert!(!unknown.status.success());
+
+    let missing = flexemd().args(["info", "--data", "/nonexistent/x.json"]).output().unwrap();
+    assert!(!missing.status.success());
+
+    let no_command = flexemd().output().unwrap();
+    assert!(!no_command.status.success());
+}
