@@ -1,10 +1,13 @@
 //! Filter-chain configurations of the paper's Figure 10 head-to-head
 //! (backs experiment E5).
+// Benchmark glue: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used, missing_docs)]
+#![allow(clippy::semicolon_if_nothing_returned)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use emd_bench::setup::{
-    build_reduction, chained_pipeline, flow_sample, red_emd_pipeline, refiner, tiling_bench,
-    Scale, Strategy,
+    build_reduction, chained_pipeline, flow_sample, red_emd_pipeline, refiner, tiling_bench, Scale,
+    Strategy,
 };
 use emd_query::{Filter, FullLbImFilter, Pipeline};
 use std::hint::black_box;

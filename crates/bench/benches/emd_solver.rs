@@ -1,6 +1,9 @@
 //! The paper's motivation in one bench: exact EMD cost grows superlinearly
 //! in the histogram dimensionality (Section 2), which is why reduced-
 //! dimensionality filtering wins.
+// Benchmark glue: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used, missing_docs)]
+#![allow(clippy::semicolon_if_nothing_returned)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{tiling_bench, Scale};
@@ -20,7 +23,12 @@ fn emd_vs_dimensionality(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(dim as u64);
         let cost = ground::linear(dim).expect("valid dim");
         let pairs: Vec<(Histogram, Histogram)> = (0..8)
-            .map(|_| (random_histogram(dim, &mut rng), random_histogram(dim, &mut rng)))
+            .map(|_| {
+                (
+                    random_histogram(dim, &mut rng),
+                    random_histogram(dim, &mut rng),
+                )
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
             b.iter(|| {

@@ -1,6 +1,10 @@
 //! End-to-end k-NN query cost: sequential scan vs the reduced pipelines
 //! (backs experiment E4).
 
+// Benchmark glue: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used, missing_docs)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{
     build_reduction, chained_pipeline, flow_sample, refiner, tiling_bench, Scale, Strategy,
@@ -24,17 +28,15 @@ fn knn_query(c: &mut Criterion) {
 
     let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
     group.bench_function("sequential_scan", |b| {
-        b.iter(|| black_box(scan.knn(query, 10).expect("valid query")))
+        b.iter(|| black_box(scan.knn(query, 10).expect("valid query")));
     });
 
     for d_red in [8usize, 16, 32] {
         let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, d_red, 11);
         let pipeline = chained_pipeline(&bench, reduction);
-        group.bench_with_input(
-            BenchmarkId::new("chained", d_red),
-            &d_red,
-            |b, _| b.iter(|| black_box(pipeline.knn(query, 10).expect("valid query"))),
-        );
+        group.bench_with_input(BenchmarkId::new("chained", d_red), &d_red, |b, _| {
+            b.iter(|| black_box(pipeline.knn(query, 10).expect("valid query")))
+        });
     }
     group.finish();
 }

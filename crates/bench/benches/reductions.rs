@@ -1,6 +1,9 @@
 //! Costs of building reductions (preprocessing) and of evaluating the
 //! reduced EMD at different target dimensionalities (the flexibility
 //! knob of the paper — backs experiments E1/E4/E9).
+// Benchmark glue: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used, missing_docs)]
+#![allow(clippy::semicolon_if_nothing_returned)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{build_reduction, flow_sample, tiling_bench, Scale, Strategy};
@@ -43,9 +46,7 @@ fn reduction_construction(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,
-            |b, &strategy| {
-                b.iter(|| black_box(build_reduction(strategy, &bench, &flows, 12, 7)))
-            },
+            |b, &strategy| b.iter(|| black_box(build_reduction(strategy, &bench, &flows, 12, 7))),
         );
     }
     group.finish();

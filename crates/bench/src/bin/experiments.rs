@@ -8,6 +8,9 @@
 //!   --json  additionally write the tables as JSON to PATH
 //! ```
 
+// CLI glue: panicking on a malformed run is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use emd_bench::experiments;
 use emd_bench::report::Table;
 use emd_bench::setup::Scale;
@@ -56,8 +59,8 @@ fn main() -> ExitCode {
     if run_all || ids.is_empty() {
         // Run one at a time so progress is visible as it happens.
         for id in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2",
-            "a3", "a4",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3",
+            "a4",
         ] {
             let table = experiments::by_id(id, &scale, quick).expect("known id");
             println!("\n{table}");

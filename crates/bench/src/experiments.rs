@@ -3,8 +3,8 @@
 
 use crate::report::{fnum, Table};
 use crate::setup::{
-    build_reduction, chained_pipeline, color_bench, flow_sample, measure_knn,
-    mean_tightness_ratio, red_emd_pipeline, refiner, tiling_bench, Bench, Scale, Strategy,
+    build_reduction, chained_pipeline, color_bench, flow_sample, mean_tightness_ratio, measure_knn,
+    red_emd_pipeline, refiner, tiling_bench, Bench, Scale, Strategy,
 };
 use emd_query::{Filter, FullLbImFilter, Pipeline, ReducedEmdFilter};
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};
@@ -68,7 +68,14 @@ pub fn e1(scale: &Scale, quick: bool) -> Table {
     let mut table = Table::new(
         "E1",
         "candidates vs reduced dimensionality d' (tiling, 96-d)",
-        &["d'", "KMed", "FB-Mod(Base)", "FB-Mod(KMed)", "FB-All(Base)", "FB-All(KMed)"],
+        &[
+            "d'",
+            "KMed",
+            "FB-Mod(Base)",
+            "FB-Mod(KMed)",
+            "FB-All(Base)",
+            "FB-All(KMed)",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     candidates_sweep(&mut table, &bench, &reduced_dims_96(quick), scale.sample);
@@ -81,7 +88,14 @@ pub fn e2(scale: &Scale, quick: bool) -> Table {
     let mut table = Table::new(
         "E2",
         "candidates vs reduced dimensionality d' (color, 216-d)",
-        &["d'", "KMed", "FB-Mod(Base)", "FB-Mod(KMed)", "FB-All(Base)", "FB-All(KMed)"],
+        &[
+            "d'",
+            "KMed",
+            "FB-Mod(Base)",
+            "FB-Mod(KMed)",
+            "FB-All(Base)",
+            "FB-All(KMed)",
+        ],
     );
     let bench = color_bench(scale, SEED);
     candidates_sweep(&mut table, &bench, &reduced_dims_216(quick), scale.sample);
@@ -94,7 +108,15 @@ pub fn e3(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "E3",
         "filter selectivity (mean candidate fraction of the database)",
-        &["corpus", "d'", "KMed", "FB-Mod(Base)", "FB-Mod(KMed)", "FB-All(Base)", "FB-All(KMed)"],
+        &[
+            "corpus",
+            "d'",
+            "KMed",
+            "FB-Mod(Base)",
+            "FB-Mod(KMed)",
+            "FB-All(Base)",
+            "FB-All(KMed)",
+        ],
     );
     for (bench, d_red) in [
         (tiling_bench(scale, SEED), 12usize),
@@ -151,7 +173,13 @@ pub fn e5(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "E5",
         "chaining filters (tiling, 96-d, d'=12, k=10)",
-        &["configuration", "stage-1 evals", "stage-2 evals", "refinements", "ms/query"],
+        &[
+            "configuration",
+            "stage-1 evals",
+            "stage-2 evals",
+            "refinements",
+            "ms/query",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
@@ -232,7 +260,13 @@ pub fn e7(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "E7",
         "scalability in database size (tiling, 96-d, d'=12, k=10)",
-        &["N", "refinements", "candidate fraction", "ms/query", "scan ms/query"],
+        &[
+            "N",
+            "refinements",
+            "candidate fraction",
+            "ms/query",
+            "scan ms/query",
+        ],
     );
     for factor in [1usize, 2, 4, 8] {
         let sub_scale = Scale {
@@ -269,7 +303,12 @@ pub fn e8(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "E8",
         "flow sample size |S| ablation (tiling, 96-d, d'=12, k=10)",
-        &["|S|", "FB-Mod(KMed) cand.", "FB-All(KMed) cand.", "sampling [s]"],
+        &[
+            "|S|",
+            "FB-Mod(KMed) cand.",
+            "FB-All(KMed) cand.",
+            "sampling [s]",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     for sample in [6usize, 12, 24, 48] {
@@ -287,7 +326,9 @@ pub fn e8(scale: &Scale, _quick: bool) -> Table {
         cells.push(fnum(sampling_time));
         table.row(cells);
     }
-    table.note("expectation: quality saturates at moderate |S| while sampling cost grows quadratically");
+    table.note(
+        "expectation: quality saturates at moderate |S| while sampling cost grows quadratically",
+    );
     table
 }
 
@@ -296,7 +337,13 @@ pub fn e9(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "E9",
         "preprocessing cost (tiling, 96-d)",
-        &["d'", "k-medoids [ms]", "flow sampling [ms]", "FB-Mod opt [ms]", "FB-All opt [ms]"],
+        &[
+            "d'",
+            "k-medoids [ms]",
+            "flow sampling [ms]",
+            "FB-Mod opt [ms]",
+            "FB-All opt [ms]",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     let started = Instant::now();
@@ -334,7 +381,14 @@ pub fn e10(scale: &Scale, quick: bool) -> Table {
     let mut table = Table::new(
         "E10",
         "lower-bound tightness: mean Red-EMD / EMD vs d' (tiling, 96-d)",
-        &["d'", "KMed", "FB-Mod(Base)", "FB-Mod(KMed)", "FB-All(Base)", "FB-All(KMed)"],
+        &[
+            "d'",
+            "KMed",
+            "FB-Mod(Base)",
+            "FB-Mod(KMed)",
+            "FB-All(Base)",
+            "FB-All(KMed)",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
@@ -356,7 +410,12 @@ pub fn a1(scale: &Scale, _quick: bool) -> Table {
     let mut table = Table::new(
         "A1",
         "FB improvement threshold (THRESH) ablation (tiling, d'=12)",
-        &["THRESH", "FB-All tightness", "FB-All reassigns", "candidates"],
+        &[
+            "THRESH",
+            "FB-All tightness",
+            "FB-All reassigns",
+            "candidates",
+        ],
     );
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
@@ -394,10 +453,13 @@ pub fn a2(scale: &Scale, _quick: bool) -> Table {
     let r_db = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
     for (label, r_query) in [
         ("8 (symmetric)", r_db.clone()),
-        ("96 (identity)", CombiningReduction::identity(bench.dim()).expect("valid")),
+        (
+            "96 (identity)",
+            CombiningReduction::identity(bench.dim()).expect("valid"),
+        ),
     ] {
-        let reduced = ReducedEmd::with_asymmetric(&bench.cost, r_query, r_db.clone())
-            .expect("validated");
+        let reduced =
+            ReducedEmd::with_asymmetric(&bench.cost, r_query, r_db.clone()).expect("validated");
         let stages: Vec<Box<dyn Filter>> = vec![Box::new(
             ReducedEmdFilter::new(&bench.database, reduced).expect("consistent"),
         )];
@@ -478,7 +540,9 @@ pub fn e11(scale: &Scale, _quick: bool) -> Table {
             fnum(started.elapsed().as_secs_f64() * 1e3 / n),
         ]);
     }
-    table.note("epsilon = exact 10-NN distance per query (Definition 6); hits >= 10 by construction");
+    table.note(
+        "epsilon = exact 10-NN distance per query (Definition 6); hits >= 10 by construction",
+    );
     table
 }
 
@@ -510,7 +574,7 @@ pub fn a4(scale: &Scale, _quick: bool) -> Table {
 
     // VP-tree over the exact EMD.
     let started = Instant::now();
-    let tree = emd_query::VpTree::build(database.clone(), cost.clone()).expect("non-empty");
+    let tree = emd_query::VpTree::build(database, cost).expect("non-empty");
     let tree_build_ms = started.elapsed().as_secs_f64() * 1e3;
     let started = Instant::now();
     let mut tree_distances = 0usize;

@@ -1,4 +1,8 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The harness is experiment glue, not library surface: a panic on a
+// malformed experiment is the desired behavior, not an error to route.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 
 //! # emd-bench
 //!

@@ -1,10 +1,9 @@
 //! Table rendering for the experiment harness.
 
-use serde::Serialize;
 use std::fmt;
 
 /// One regenerated table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `"E1"`.
     pub id: String,
@@ -17,6 +16,14 @@ pub struct Table {
     /// Row cells, already formatted.
     pub rows: Vec<Vec<String>>,
 }
+
+serde::impl_serde_struct!(Table {
+    id,
+    title,
+    notes,
+    columns,
+    rows,
+});
 
 impl Table {
     /// Start an empty table.

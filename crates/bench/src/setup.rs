@@ -112,7 +112,10 @@ fn shuffle(mut dataset: Dataset, seed: u64) -> Dataset {
     use rand::seq::SliceRandom;
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.shuffle(&mut StdRng::seed_from_u64(seed));
-    let histograms = order.iter().map(|&i| dataset.histograms[i].clone()).collect();
+    let histograms = order
+        .iter()
+        .map(|&i| dataset.histograms[i].clone())
+        .collect();
     let labels = order.iter().map(|&i| dataset.labels[i]).collect();
     dataset.histograms = histograms;
     dataset.labels = labels;
@@ -226,8 +229,9 @@ pub fn chained_pipeline(bench: &Bench, reduction: CombiningReduction) -> Pipelin
 /// A single-stage `Red-EMD -> EMD` pipeline.
 pub fn red_emd_pipeline(bench: &Bench, reduction: CombiningReduction) -> Pipeline {
     let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated reduction");
-    let stages: Vec<Box<dyn Filter>> =
-        vec![Box::new(ReducedEmdFilter::new(&bench.database, reduced).expect("consistent"))];
+    let stages: Vec<Box<dyn Filter>> = vec![Box::new(
+        ReducedEmdFilter::new(&bench.database, reduced).expect("consistent"),
+    )];
     Pipeline::new(stages, refiner(bench)).expect("consistent")
 }
 
@@ -271,11 +275,7 @@ pub fn measure_knn(pipeline: &Pipeline, queries: &[Histogram], k: usize) -> Work
 /// Mean tightness ratio `reduced_emd / exact_emd` over query-database
 /// pairs (0 treated as perfectly tight when both are 0). The selectivity
 /// proxy of experiment E10.
-pub fn mean_tightness_ratio(
-    bench: &Bench,
-    reduction: &CombiningReduction,
-    pairs: usize,
-) -> f64 {
+pub fn mean_tightness_ratio(bench: &Bench, reduction: &CombiningReduction, pairs: usize) -> f64 {
     let reduced = ReducedEmd::new(&bench.cost, reduction.clone()).expect("validated");
     let mut total = 0.0;
     let mut count = 0usize;

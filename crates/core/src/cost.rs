@@ -1,5 +1,4 @@
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 
 /// The ground-distance matrix `C = [c_ij]` of Definition 1.
 ///
@@ -10,8 +9,7 @@ use serde::{Deserialize, Serialize};
 /// (`R1 != R2` in Definition 4).
 ///
 /// Invariants: all entries finite and non-negative.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "CostMatrixRepr", into = "CostMatrixRepr")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostMatrix {
     rows: usize,
     cols: usize,
@@ -19,15 +17,29 @@ pub struct CostMatrix {
 }
 
 /// Serialization shim keeping the on-disk format explicit.
-#[derive(Serialize, Deserialize)]
 struct CostMatrixRepr {
     rows: usize,
     cols: usize,
     entries: Vec<f64>,
 }
 
+serde::impl_serde_struct!(CostMatrixRepr {
+    rows,
+    cols,
+    entries
+});
+
+// Deserialization re-validates through `CostMatrix::new` (the
+// `try_from`/`into` serde pattern).
+serde::impl_serde_via!(CostMatrix => CostMatrixRepr);
+
 impl CostMatrix {
     /// Build a cost matrix from a row-major entry buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] when `entries` is not `rows * cols`
+    /// long, is empty, or contains a negative or non-finite cost.
     pub fn new(rows: usize, cols: usize, entries: Vec<f64>) -> Result<Self, CoreError> {
         if rows == 0 || cols == 0 || entries.len() != rows * cols {
             return Err(CoreError::CostShape {
@@ -53,6 +65,11 @@ impl CostMatrix {
     }
 
     /// Build a square cost matrix from a cost function over bin indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] when `dim` is zero or `cost` produces a
+    /// negative or non-finite value for any bin pair.
     pub fn from_fn(dim: usize, cost: impl Fn(usize, usize) -> f64) -> Result<Self, CoreError> {
         let cost = &cost;
         let entries: Vec<f64> = (0..dim)

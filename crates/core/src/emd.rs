@@ -22,6 +22,12 @@ pub struct EmdReport {
 
 /// Compute the EMD between two histograms of equal dimensionality under a
 /// square cost matrix.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] when the operands or the cost
+/// matrix disagree on dimensionality, and [`CoreError::Solver`] if the
+/// underlying transportation simplex rejects the instance.
 pub fn emd(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<f64, CoreError> {
     Ok(solve_stripped(x, y, cost)?.distance)
 }
@@ -29,6 +35,11 @@ pub fn emd(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<f64, CoreE
 /// Compute the EMD and return the optimal flow matrix along with it.
 /// The flows feed the paper's flow-based reduction (Section 3.4), which
 /// aggregates them over a database sample.
+///
+/// # Errors
+///
+/// Same failure modes as [`emd`]: [`CoreError::DimensionMismatch`] on shape
+/// disagreement and [`CoreError::Solver`] on LP-level failures.
 pub fn emd_with_flows(
     x: &Histogram,
     y: &Histogram,
@@ -41,19 +52,17 @@ pub fn emd_with_flows(
 /// a rectangular cost matrix — the "minor extension of Definition 1"
 /// (Section 3.1) needed when query and database vectors are reduced by
 /// different reduction matrices (`R1 != R2`).
-pub fn emd_rectangular(
-    x: &Histogram,
-    y: &Histogram,
-    cost: &CostMatrix,
-) -> Result<f64, CoreError> {
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] when `x` does not match
+/// `cost.rows()` or `y` does not match `cost.cols()`, and
+/// [`CoreError::Solver`] if the transportation solver fails.
+pub fn emd_rectangular(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<f64, CoreError> {
     Ok(solve_stripped(x, y, cost)?.distance)
 }
 
-fn solve_stripped(
-    x: &Histogram,
-    y: &Histogram,
-    cost: &CostMatrix,
-) -> Result<EmdReport, CoreError> {
+fn solve_stripped(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<EmdReport, CoreError> {
     if cost.rows() != x.dim() || cost.cols() != y.dim() {
         return Err(CoreError::DimensionMismatch {
             expected_rows: cost.rows(),
@@ -66,13 +75,16 @@ fn solve_stripped(
     // Identical operands under a square matrix with zero diagonal have
     // distance 0 with the identity flow; skip the LP.
     if cost.is_square() && x == y {
+        // float: exact — identity shortcut requires an exactly zero diagonal, else fall through to the LP
         let diagonal_free = x.nonzero().all(|(i, _)| cost.at(i, i) == 0.0);
         if diagonal_free {
             let flows = x.nonzero().map(|(i, mass)| (i, i, mass)).collect();
-            return Ok(EmdReport {
+            let report = EmdReport {
                 distance: 0.0,
                 flows,
-            });
+            };
+            crate::certify::debug_certify_report(x, y, cost, &report);
+            return Ok(report);
         }
     }
 
@@ -98,10 +110,12 @@ fn solve_stripped(
         .into_iter()
         .map(|(i, j, f)| (x_index[i], y_index[j], f))
         .collect();
-    Ok(EmdReport {
+    let report = EmdReport {
         distance: solution.objective,
         flows,
-    })
+    };
+    crate::certify::debug_certify_report(x, y, cost, &report);
+    Ok(report)
 }
 
 /// Closed-form EMD for the 1-D chain ground distance `c_ij = |i - j|`:
@@ -146,7 +160,7 @@ mod tests {
         let y = h(&[0.0, 0.5, 0.0, 0.2, 0.0, 0.3]);
         let c = ground::linear(6).unwrap();
         let report = emd_with_flows(&x, &y, &c).unwrap();
-        let mut flows = report.flows.clone();
+        let mut flows = report.flows;
         flows.sort_by_key(|&(i, j, _)| (i, j));
         // Optimal flow per the paper: f12=0.5, f34=0.2, f56=0.3
         // (one-based in the paper; zero-based here).

@@ -8,10 +8,9 @@
 
 use crate::cost::CostMatrix;
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 
 /// The metric applied to bin positions in feature space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
     /// Manhattan distance (L1).
     Manhattan,
@@ -20,6 +19,12 @@ pub enum Metric {
     /// Chebyshev distance (L-infinity).
     Chebyshev,
 }
+
+serde::impl_serde_unit_enum!(Metric {
+    Manhattan,
+    Euclidean,
+    Chebyshev
+});
 
 impl Metric {
     /// Distance between two points of equal dimensionality.
@@ -44,6 +49,10 @@ impl Metric {
 
 /// Cost matrix for a 1-D chain of `dim` bins: `c_ij = |i - j|`.
 /// This is the ground distance of the paper's Figure 1.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCost`] when `dim` is zero.
 pub fn linear(dim: usize) -> Result<CostMatrix, CoreError> {
     CostMatrix::from_fn(dim, |i, j| (i as f64 - j as f64).abs())
 }
@@ -51,6 +60,10 @@ pub fn linear(dim: usize) -> Result<CostMatrix, CoreError> {
 /// Cost matrix for a `width x height` image tiling, bins in row-major
 /// order, with the chosen metric on tile centers. This is the geometry of
 /// the grid-based features the paper generalizes in Section 3.1.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCost`] when either side of the grid is zero.
 pub fn grid2(width: usize, height: usize, metric: Metric) -> Result<CostMatrix, CoreError> {
     let positions: Vec<[f64; 2]> = (0..width * height)
         .map(|k| [(k % width) as f64, (k / width) as f64])
@@ -63,12 +76,11 @@ pub fn grid2(width: usize, height: usize, metric: Metric) -> Result<CostMatrix, 
 /// Cost matrix for a quantized 3-D feature cube (e.g. an `r x g x b` color
 /// histogram), bins in `r`-major order, with the chosen metric on cell
 /// centers.
-pub fn grid3(
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    metric: Metric,
-) -> Result<CostMatrix, CoreError> {
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCost`] when any cube side is zero.
+pub fn grid3(nx: usize, ny: usize, nz: usize, metric: Metric) -> Result<CostMatrix, CoreError> {
     let positions: Vec<[f64; 3]> = (0..nx * ny * nz)
         .map(|k| {
             let x = k / (ny * nz);
@@ -83,6 +95,11 @@ pub fn grid3(
 }
 
 /// Cost matrix from explicit bin positions in an arbitrary feature space.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCost`] when `points` is empty or the points do
+/// not all share one dimensionality.
 pub fn from_points(points: &[Vec<f64>], metric: Metric) -> Result<CostMatrix, CoreError> {
     if points.is_empty() {
         return Err(CoreError::CostShape {
@@ -98,6 +115,10 @@ pub fn from_points(points: &[Vec<f64>], metric: Metric) -> Result<CostMatrix, Co
 /// `c'_ij = min(c_ij, tau)`. Rubner's classic robustification; saturation
 /// preserves the metric axioms and keeps far-apart bins from dominating the
 /// distance.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidCost`] when `tau` is negative or non-finite.
 pub fn saturated(cost: &CostMatrix, tau: f64) -> Result<CostMatrix, CoreError> {
     CostMatrix::new(
         cost.rows(),
@@ -211,13 +232,7 @@ mod tests {
 
     #[test]
     fn chebyshev_metric() {
-        assert_eq!(
-            Metric::Chebyshev.distance(&[0.0, 0.0], &[2.0, 5.0]),
-            5.0
-        );
-        assert_eq!(
-            Metric::Manhattan.distance(&[0.0, 0.0], &[2.0, 5.0]),
-            7.0
-        );
+        assert_eq!(Metric::Chebyshev.distance(&[0.0, 0.0], &[2.0, 5.0]), 5.0);
+        assert_eq!(Metric::Manhattan.distance(&[0.0, 0.0], &[2.0, 5.0]), 7.0);
     }
 }

@@ -1,6 +1,5 @@
 use crate::error::CoreError;
 use crate::MASS_EPS;
-use serde::{Deserialize, Serialize};
 
 /// A non-negative feature vector of normalized total mass — the operand
 /// type of Definition 1 in the paper.
@@ -13,14 +12,24 @@ use serde::{Deserialize, Serialize};
 /// Histograms are immutable after construction; this keeps every
 /// `Histogram` in the database valid for the lifetime of an index built
 /// over it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bins: Box<[f64]>,
 }
 
+// Serialize as the raw mass vector; deserialization re-validates through
+// `Histogram::new` (the `try_from`/`into` serde pattern).
+serde::impl_serde_via!(Histogram => Vec<f64>);
+
 impl Histogram {
     /// Wrap an already-normalized mass vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistogram`] for an empty vector,
+    /// [`CoreError::InvalidMass`] for a negative or non-finite bin, and
+    /// [`CoreError::NotNormalized`] when the total mass is off 1 by more than
+    /// [`crate::MASS_EPS`].
     pub fn new(bins: Vec<f64>) -> Result<Self, CoreError> {
         Self::validate_entries(&bins)?;
         let total: f64 = bins.iter().sum();
@@ -34,6 +43,13 @@ impl Histogram {
 
     /// Normalize an arbitrary non-negative vector to total mass 1 and wrap
     /// it. Fails on zero total mass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistogram`] for an empty vector,
+    /// [`CoreError::InvalidMass`] for a negative or non-finite bin, and
+    /// [`CoreError::ZeroMass`] when the total mass is zero (nothing to
+    /// normalize).
     pub fn normalized(bins: Vec<f64>) -> Result<Self, CoreError> {
         Self::validate_entries(&bins)?;
         let total: f64 = bins.iter().sum();
@@ -48,6 +64,11 @@ impl Histogram {
 
     /// A histogram with all mass in a single bin — the witness construction
     /// used in the paper's Theorem 2 and Theorem 3 proofs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistogram`] when `dim` is zero and
+    /// [`CoreError::DimensionMismatch`] when `bin` is out of range.
     pub fn unit(dim: usize, bin: usize) -> Result<Self, CoreError> {
         if dim == 0 {
             return Err(CoreError::EmptyHistogram);
@@ -66,6 +87,10 @@ impl Histogram {
     }
 
     /// The uniform histogram `1/d` in every bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyHistogram`] when `dim` is zero.
     pub fn uniform(dim: usize) -> Result<Self, CoreError> {
         if dim == 0 {
             return Err(CoreError::EmptyHistogram);

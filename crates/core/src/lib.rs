@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # emd-core
@@ -18,6 +19,7 @@
 //!   centroid bound, and a scaled-L1 bound; all are complete filters for
 //!   multistep query processing.
 
+pub mod certify;
 mod cost;
 mod emd;
 mod error;

@@ -27,6 +27,11 @@ pub struct CentroidBound {
 impl CentroidBound {
     /// Build the bound from bin positions in feature space. All positions
     /// must share one dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] when `positions` is empty or the
+    /// positions do not all share one dimensionality.
     pub fn new(positions: Vec<Vec<f64>>, metric: Metric) -> Result<Self, CoreError> {
         let Some(first) = positions.first() else {
             return Err(CoreError::EmptyHistogram);
@@ -64,6 +69,11 @@ impl CentroidBound {
     }
 
     /// Evaluate the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when either operand's
+    /// dimensionality differs from the number of bin positions.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
         if x.dim() != self.positions.len() || y.dim() != self.positions.len() {
             return Err(CoreError::DimensionMismatch {
@@ -94,8 +104,7 @@ mod tests {
         let x = h(&[0.5, 0.0, 0.2, 0.0, 0.3, 0.0]);
         let y = h(&[0.0, 0.5, 0.0, 0.2, 0.0, 0.3]);
         let c = ground::linear(6).unwrap();
-        let bound =
-            CentroidBound::new(ground::linear_positions(6), Metric::Manhattan).unwrap();
+        let bound = CentroidBound::new(ground::linear_positions(6), Metric::Manhattan).unwrap();
         let lb = bound.bound(&x, &y).unwrap();
         let exact = emd(&x, &y, &c).unwrap();
         assert!(lb <= exact + 1e-12);
@@ -106,8 +115,7 @@ mod tests {
 
     #[test]
     fn tight_on_unit_histograms() {
-        let bound =
-            CentroidBound::new(ground::grid2_positions(3, 3), Metric::Euclidean).unwrap();
+        let bound = CentroidBound::new(ground::grid2_positions(3, 3), Metric::Euclidean).unwrap();
         let x = Histogram::unit(9, 0).unwrap();
         let y = Histogram::unit(9, 8).unwrap();
         // Corner (0,0) to corner (2,2): 2*sqrt(2).
@@ -117,8 +125,7 @@ mod tests {
 
     #[test]
     fn zero_for_identical() {
-        let bound =
-            CentroidBound::new(ground::linear_positions(4), Metric::Euclidean).unwrap();
+        let bound = CentroidBound::new(ground::linear_positions(4), Metric::Euclidean).unwrap();
         let x = h(&[0.25, 0.25, 0.25, 0.25]);
         assert_eq!(bound.bound(&x, &x).unwrap(), 0.0);
     }
@@ -127,8 +134,7 @@ mod tests {
     fn can_be_zero_for_distinct_histograms() {
         // Symmetric redistributions share a centroid: the bound is 0 even
         // though the EMD is positive — it is a bound, not a distance.
-        let bound =
-            CentroidBound::new(ground::linear_positions(3), Metric::Euclidean).unwrap();
+        let bound = CentroidBound::new(ground::linear_positions(3), Metric::Euclidean).unwrap();
         let x = h(&[0.5, 0.0, 0.5]);
         let y = h(&[0.0, 1.0, 0.0]);
         assert_eq!(bound.bound(&x, &y).unwrap(), 0.0);
@@ -136,18 +142,13 @@ mod tests {
 
     #[test]
     fn rejects_mixed_position_dims() {
-        assert!(CentroidBound::new(
-            vec![vec![0.0], vec![0.0, 1.0]],
-            Metric::Euclidean
-        )
-        .is_err());
+        assert!(CentroidBound::new(vec![vec![0.0], vec![0.0, 1.0]], Metric::Euclidean).is_err());
         assert!(CentroidBound::new(vec![], Metric::Euclidean).is_err());
     }
 
     #[test]
     fn dimension_mismatch_reported() {
-        let bound =
-            CentroidBound::new(ground::linear_positions(3), Metric::Euclidean).unwrap();
+        let bound = CentroidBound::new(ground::linear_positions(3), Metric::Euclidean).unwrap();
         let x = h(&[0.5, 0.5]);
         let y = h(&[0.5, 0.25, 0.25]);
         assert!(matches!(

@@ -33,6 +33,12 @@ pub struct AnchorBound {
 
 impl AnchorBound {
     /// Build the bound from explicit anchor bins of a square cost matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] when `cost` is not square, `anchors` is
+    /// empty, an anchor index is out of range, or the anchor-induced dual vector
+    /// violates feasibility.
     pub fn new(cost: &CostMatrix, anchors: &[usize]) -> Result<Self, CoreError> {
         if !cost.is_square() || anchors.is_empty() {
             return Err(CoreError::CostShape {
@@ -48,6 +54,7 @@ impl AnchorBound {
                 return Err(CoreError::InvalidCost {
                     row: anchor,
                     col: anchor,
+                    // float: nan — placeholder overwritten below; NaN guarantees a missed write is caught
                     value: f64::NAN,
                 });
             }
@@ -73,11 +80,52 @@ impl AnchorBound {
     }
 
     /// Build the bound with `count` anchors spread evenly over the bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] when `count` is zero or exceeds the
+    /// number of bins, or propagates any [`AnchorBound::new`] failure.
     pub fn with_spread_anchors(cost: &CostMatrix, count: usize) -> Result<Self, CoreError> {
         let d = cost.rows();
         let count = count.clamp(1, d);
         let anchors: Vec<usize> = (0..count).map(|k| k * d / count).collect();
         Self::new(cost, &anchors)
+    }
+
+    /// Re-audit dual feasibility of every stored anchor column against
+    /// `cost`: `|c_ia - c_ja| <= c_ij + tol` for all `i, j`. The
+    /// constructor enforces this once; the audit lets certificate tests
+    /// re-verify the invariant against a possibly different cost matrix
+    /// (weak duality only holds for the matrix the columns came from).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCost`] naming the first violating
+    /// `(i, j)` pair, or [`CoreError::DimensionMismatch`] if `cost` does
+    /// not match the bound's dimensionality.
+    pub fn verify_dual_feasible(&self, cost: &CostMatrix, tol: f64) -> Result<(), CoreError> {
+        if !cost.is_square() || cost.rows() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected_rows: self.dim,
+                expected_cols: self.dim,
+                got_rows: cost.rows(),
+                got_cols: cost.cols(),
+            });
+        }
+        for column in &self.projections {
+            for i in 0..self.dim {
+                for j in 0..self.dim {
+                    if (column[i] - column[j]).abs() > cost.at(i, j) + tol {
+                        return Err(CoreError::InvalidCost {
+                            row: i,
+                            col: j,
+                            value: cost.at(i, j),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of anchors.
@@ -92,6 +140,11 @@ impl AnchorBound {
 
     /// Project a histogram onto every anchor: `out[a] = sum_i x_i c_ia`.
     /// Precompute this once per database object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when `x` does not match the cost
+    /// matrix the bound was built from.
     pub fn project(&self, x: &Histogram) -> Result<Vec<f64>, CoreError> {
         if x.dim() != self.dim {
             return Err(CoreError::DimensionMismatch {
@@ -120,6 +173,11 @@ impl AnchorBound {
     }
 
     /// Evaluate the bound on raw histograms (projects both first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when either operand's
+    /// dimensionality differs from the bound's bin count.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
         let px = self.project(x)?;
         let py = self.project(y)?;

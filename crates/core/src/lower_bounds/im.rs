@@ -58,6 +58,11 @@ impl LbIm {
 
     /// Evaluate the bound. `x` must have `cost.rows()` bins and `y`
     /// `cost.cols()` bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when the operand shapes disagree
+    /// with the cost matrix.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
         if x.dim() != self.cost.rows() || y.dim() != self.cost.cols() {
             return Err(CoreError::DimensionMismatch {
@@ -147,7 +152,7 @@ mod tests {
         let x = Histogram::unit(5, 1).unwrap();
         let y = Histogram::unit(5, 4).unwrap();
         let c = ground::linear(5).unwrap();
-        let bound = LbIm::new(c.clone());
+        let bound = LbIm::new(c);
         let lb = bound.bound(&x, &y).unwrap();
         assert!((lb - 3.0).abs() < 1e-12);
     }
@@ -178,12 +183,7 @@ mod tests {
         // produce consistent bounds <= EMD.
         let x = h(&[0.9, 0.1, 0.0]);
         let y = h(&[0.0, 0.1, 0.9]);
-        let c = CostMatrix::new(
-            3,
-            3,
-            vec![0.0, 1.0, 5.0, 1.0, 0.0, 1.0, 5.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let c = CostMatrix::new(3, 3, vec![0.0, 1.0, 5.0, 1.0, 0.0, 1.0, 5.0, 1.0, 0.0]).unwrap();
         let bound = LbIm::new(c.clone());
         let lb = bound.bound(&x, &y).unwrap();
         let exact = emd(&x, &y, &c).unwrap();

@@ -27,6 +27,7 @@ impl ScaledL1 {
     /// to zero (a valid, if useless, bound) rather than returning an error.
     pub fn new(cost: &CostMatrix) -> Self {
         debug_assert!(cost.is_square());
+        // float: exact — the shortcut is only sound for an exactly zero diagonal
         let diagonal_zero = (0..cost.rows()).all(|i| cost.at(i, i) == 0.0);
         let factor = if diagonal_zero {
             cost.min_off_diagonal().unwrap_or(0.0) / 2.0
@@ -45,6 +46,11 @@ impl ScaledL1 {
     }
 
     /// Evaluate the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] when the operand shapes disagree
+    /// with the bound's dimensionality.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
         if x.dim() != self.dim || y.dim() != self.dim {
             return Err(CoreError::DimensionMismatch {

@@ -24,11 +24,12 @@ use crate::histogram::Histogram;
 use emd_transport::{initial_basis, TransportProblem};
 
 /// Upper bound from the Vogel initial solution (no simplex pivots).
-pub fn emd_upper_vogel(
-    x: &Histogram,
-    y: &Histogram,
-    cost: &CostMatrix,
-) -> Result<f64, CoreError> {
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] on operand/cost shape disagreement
+/// and [`CoreError::Solver`] if Vogel's initial basis cannot be built.
+pub fn emd_upper_vogel(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<f64, CoreError> {
     check_dims(x, y, cost)?;
     let (x_index, supplies): (Vec<usize>, Vec<f64>) = x.nonzero().unzip();
     let (y_index, demands): (Vec<usize>, Vec<f64>) = y.nonzero().unzip();
@@ -51,11 +52,12 @@ pub fn emd_upper_vogel(
 /// ascending, each shipped to the residual capacity of its row/column.
 /// Always feasible-completing because the final pass ships leftovers at
 /// whatever cost remains.
-pub fn emd_upper_greedy(
-    x: &Histogram,
-    y: &Histogram,
-    cost: &CostMatrix,
-) -> Result<f64, CoreError> {
+///
+/// # Errors
+///
+/// Returns [`CoreError::DimensionMismatch`] when the operand shapes disagree
+/// with the cost matrix.
+pub fn emd_upper_greedy(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<f64, CoreError> {
     check_dims(x, y, cost)?;
     let (x_index, mut supplies): (Vec<usize>, Vec<f64>) = x.nonzero().unzip();
     let (y_index, mut demands): (Vec<usize>, Vec<f64>) = y.nonzero().unzip();

@@ -1,5 +1,8 @@
 //! Property-based tests for the exact EMD and its classic lower bounds.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_core::ground::{self, Metric};
 use emd_core::lower_bounds::{AnchorBound, CentroidBound, LbIm, ScaledL1};
 use emd_core::{emd, emd_1d_manhattan, emd_with_flows, CostMatrix, Histogram};
@@ -173,6 +176,6 @@ proptest! {
         // Vogel never exceeds 3x the optimum on these instances; the bound
         // here is intentionally slack — the property that matters is
         // upper >= exact, checked in sandwich_bounds.
-        prop_assert!(upper <= exact.max(1e-9) * 3.0 + 1e-9);
+        prop_assert!(upper <= exact.max(1e-9).mul_add(3.0, 1e-9));
     }
 }

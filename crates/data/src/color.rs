@@ -47,6 +47,7 @@ impl Default for ColorParams {
 }
 
 /// Generate a color corpus. Deterministic for a fixed RNG.
+#[allow(clippy::expect_used)]
 pub fn generate(params: &ColorParams, rng: &mut impl Rng) -> Dataset {
     let ColorParams {
         side,
@@ -86,9 +87,9 @@ pub fn generate(params: &ColorParams, rng: &mut impl Rng) -> Dataset {
             bins.iter_mut().for_each(|b| *b = 0.0);
             for &(center, weight) in palette {
                 let jittered = [
-                    center[0] + sample_normal(rng) * center_jitter,
-                    center[1] + sample_normal(rng) * center_jitter,
-                    center[2] + sample_normal(rng) * center_jitter,
+                    sample_normal(rng).mul_add(center_jitter, center[0]),
+                    sample_normal(rng).mul_add(center_jitter, center[1]),
+                    sample_normal(rng).mul_add(center_jitter, center[2]),
                 ];
                 let sigma = mode_sigma * rng.gen_range(0.8..1.25);
                 let w = weight * rng.gen_range(0.7..1.3);
@@ -111,11 +112,11 @@ pub fn generate(params: &ColorParams, rng: &mut impl Rng) -> Dataset {
                 // fall back to a single bin at the nearest mode.
                 let center = palette[0].0;
                 let clamp = |v: f64| (v.max(0.0).min(side as f64 - 1.0)).round() as usize;
-                let bin = clamp(center[0]) * side * side
-                    + clamp(center[1]) * side
-                    + clamp(center[2]);
+                let bin =
+                    clamp(center[0]) * side * side + clamp(center[1]) * side + clamp(center[2]);
                 bins[bin] = 1.0;
             }
+            // lint: allow(panic): the smoothing floor guarantees strictly positive mass
             histograms.push(Histogram::normalized(bins.clone()).expect("mass ensured"));
             labels.push(class as u32);
         }
@@ -126,6 +127,7 @@ pub fn generate(params: &ColorParams, rng: &mut impl Rng) -> Dataset {
         histograms,
         labels,
         cost: ground::grid3(side, side, side, ground::Metric::Euclidean)
+            // lint: allow(panic): quantization levels are a non-zero compile-time choice
             .expect("valid cube dimensions"),
         positions: Some(positions),
     }

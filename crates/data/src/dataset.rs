@@ -1,5 +1,4 @@
 use emd_core::{CostMatrix, Histogram};
-use serde::{Deserialize, Serialize};
 
 /// A bundled retrieval corpus: feature histograms, their class labels, the
 /// ground-distance cost matrix and (when the feature space has an explicit
@@ -7,7 +6,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Every generator in this crate returns a `Dataset`; the query engine and
 /// the experiment harness consume them uniformly.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Human-readable name, e.g. `"tiling-12x8"`.
     pub name: String,
@@ -21,6 +20,14 @@ pub struct Dataset {
     /// centroid lower bound).
     pub positions: Option<Vec<Vec<f64>>>,
 }
+
+serde::impl_serde_struct!(Dataset {
+    name,
+    histograms,
+    labels,
+    cost,
+    positions,
+});
 
 impl Dataset {
     /// Number of objects.
@@ -40,6 +47,11 @@ impl Dataset {
 
     /// Check internal consistency; generators uphold this by construction,
     /// deserialized corpora are checked by [`crate::io::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency found:
+    /// a shape mismatch, a non-normalized histogram, or an invalid cost entry.
     pub fn validate(&self) -> Result<(), String> {
         if self.histograms.len() != self.labels.len() {
             return Err(format!(
@@ -60,10 +72,7 @@ impl Dataset {
         }
         if let Some(positions) = &self.positions {
             if positions.len() != dim {
-                return Err(format!(
-                    "{} positions for {dim} bins",
-                    positions.len()
-                ));
+                return Err(format!("{} positions for {dim} bins", positions.len()));
             }
         }
         Ok(())

@@ -38,6 +38,7 @@ impl Default for GaussianParams {
 }
 
 /// Generate a 1-D mixture corpus. Deterministic for a fixed RNG.
+#[allow(clippy::expect_used)]
 pub fn generate(params: &GaussianParams, rng: &mut impl Rng) -> Dataset {
     let GaussianParams {
         dim,
@@ -53,7 +54,7 @@ pub fn generate(params: &GaussianParams, rng: &mut impl Rng) -> Dataset {
     for class in 0..num_classes {
         let base = (class as f64 + 0.5) * dim as f64 / num_classes as f64;
         for _ in 0..per_class {
-            let center = base + sample_normal(rng) * center_jitter;
+            let center = sample_normal(rng).mul_add(center_jitter, base);
             let spread = sigma * rng.gen_range(0.8..1.25);
             let inv = 1.0 / (2.0 * spread * spread);
             let bins: Vec<f64> = (0..dim)
@@ -62,6 +63,7 @@ pub fn generate(params: &GaussianParams, rng: &mut impl Rng) -> Dataset {
                     (-d * d * inv).exp() + 1e-6
                 })
                 .collect();
+            // lint: allow(panic): the additive floor guarantees strictly positive mass
             histograms.push(Histogram::normalized(bins).expect("floor guarantees mass"));
             labels.push(class as u32);
         }
@@ -71,6 +73,7 @@ pub fn generate(params: &GaussianParams, rng: &mut impl Rng) -> Dataset {
         name: format!("gaussian-{dim}"),
         histograms,
         labels,
+        // lint: allow(panic): generator parameters guarantee dim > 0
         cost: ground::linear(dim).expect("dim > 0"),
         positions: Some(ground::linear_positions(dim)),
     }

@@ -45,11 +45,21 @@ impl From<serde_json::Error> for IoError {
 }
 
 /// Save a dataset as JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError`] when serialization fails or the file cannot be
+/// written.
 pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
     Ok(fs::write(path, serde_json::to_vec(dataset)?)?)
 }
 
 /// Load and validate a dataset from JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError`] when the file cannot be read, is not valid JSON, or
+/// fails [`Dataset::validate`].
 pub fn load(path: &Path) -> Result<Dataset, IoError> {
     let dataset: Dataset = serde_json::from_slice(&fs::read(path)?)?;
     dataset.validate().map_err(IoError::Invalid)?;
@@ -57,11 +67,20 @@ pub fn load(path: &Path) -> Result<Dataset, IoError> {
 }
 
 /// Save a workload as JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError`] when serialization fails or the file cannot be
+/// written.
 pub fn save_workload(workload: &Workload, path: &Path) -> Result<(), IoError> {
     Ok(fs::write(path, serde_json::to_vec(workload)?)?)
 }
 
 /// Load a workload from JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError`] when the file cannot be read or is not valid JSON.
 pub fn load_workload(path: &Path) -> Result<Workload, IoError> {
     Ok(serde_json::from_slice(&fs::read(path)?)?)
 }

@@ -51,6 +51,7 @@ impl Default for TilingParams {
 }
 
 /// Generate a tiling corpus. Deterministic for a fixed RNG.
+#[allow(clippy::expect_used)]
 pub fn generate(params: &TilingParams, rng: &mut impl Rng) -> Dataset {
     let TilingParams {
         width,
@@ -86,8 +87,8 @@ pub fn generate(params: &TilingParams, rng: &mut impl Rng) -> Dataset {
         for _ in 0..per_class {
             bins.iter_mut().for_each(|b| *b = 0.0);
             for &(cx, cy, weight) in template {
-                let x = cx + sample_normal(rng) * center_jitter;
-                let y = cy + sample_normal(rng) * center_jitter;
+                let x = sample_normal(rng).mul_add(center_jitter, cx);
+                let y = sample_normal(rng).mul_add(center_jitter, cy);
                 let sigma = blob_sigma * rng.gen_range(0.8..1.25);
                 let w = weight * rng.gen_range(0.7..1.3);
                 splat(&mut bins, width, height, x, y, sigma, w);
@@ -98,6 +99,7 @@ pub fn generate(params: &TilingParams, rng: &mut impl Rng) -> Dataset {
                 *b += 1e-4;
             }
             histograms
+                // lint: allow(panic): the additive floor guarantees strictly positive mass
                 .push(Histogram::normalized(bins.clone()).expect("floor guarantees mass"));
             labels.push(class as u32);
         }
@@ -108,6 +110,7 @@ pub fn generate(params: &TilingParams, rng: &mut impl Rng) -> Dataset {
         histograms,
         labels,
         cost: ground::grid2(width, height, ground::Metric::Euclidean)
+            // lint: allow(panic): generator parameters guarantee non-zero grid sides
             .expect("valid grid dimensions"),
         positions: Some(ground::grid2_positions(width, height)),
     }
@@ -124,7 +127,7 @@ fn splat(bins: &mut [f64], width: usize, height: usize, x: f64, y: f64, sigma: f
             let dx = tx as f64 - x;
             let dy = ty as f64 - y;
             bins[ty as usize * width + tx as usize] +=
-                weight * (-(dx * dx + dy * dy) * inv).exp();
+                weight * (-dx.mul_add(dx, dy * dy) * inv).exp();
         }
     }
 }

@@ -7,16 +7,17 @@
 //! result set as the k-NN query (Section 4's correspondence).
 
 use emd_core::{emd, CoreError, CostMatrix, Histogram};
-use serde::{Deserialize, Serialize};
 
 /// A query workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Query histograms.
     pub queries: Vec<Histogram>,
     /// Range thresholds; empty for pure k-NN workloads.
     pub epsilons: Vec<f64>,
 }
+
+serde::impl_serde_struct!(Workload { queries, epsilons });
 
 impl Workload {
     /// A k-NN workload: queries without thresholds.
@@ -31,6 +32,11 @@ impl Workload {
     /// database neighbor of query `i`. Costs `|queries| * |database|`
     /// exact EMD computations — a one-off workload-construction step, as
     /// in the paper's experimental setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when `k` is zero or exceeds the database size, or
+    /// when an exact EMD computation fails during calibration.
     pub fn range_from_knn(
         queries: Vec<Histogram>,
         database: &[Histogram],
@@ -98,8 +104,7 @@ mod tests {
         ];
         let cost = ground::linear(4).unwrap();
         let query = h(&[1.0, 0.0, 0.0, 0.0]);
-        let workload =
-            Workload::range_from_knn(vec![query], &database, &cost, 3).unwrap();
+        let workload = Workload::range_from_knn(vec![query], &database, &cost, 3).unwrap();
         assert!((workload.epsilons[0] - 2.0).abs() < 1e-12);
     }
 
@@ -114,8 +119,7 @@ mod tests {
         let cost = ground::linear(3).unwrap();
         let query = h(&[0.9, 0.1, 0.0]);
         let k = 2;
-        let workload =
-            Workload::range_from_knn(vec![query.clone()], &database, &cost, k).unwrap();
+        let workload = Workload::range_from_knn(vec![query.clone()], &database, &cost, k).unwrap();
         let eps = workload.epsilons[0];
         let within = database
             .iter()

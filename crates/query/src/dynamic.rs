@@ -53,6 +53,11 @@ pub struct DynamicIndex {
 impl DynamicIndex {
     /// Create an empty index for histograms matching `cost`, filtered by
     /// the given reduced EMD (its `R2` side applies to stored objects).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the reduced EMD's original dimensionality
+    /// disagrees with `cost`.
     pub fn new(cost: Arc<CostMatrix>, reduced: ReducedEmd) -> Result<Self, QueryError> {
         if reduced.r2().original_dim() != cost.cols() {
             return Err(QueryError::Reduction(format!(
@@ -81,6 +86,11 @@ impl DynamicIndex {
     }
 
     /// Insert a histogram; returns its stable id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the histogram's dimensionality disagrees with
+    /// the index, or the reduction of the new object fails.
     pub fn insert(&mut self, histogram: Histogram) -> Result<usize, QueryError> {
         if histogram.dim() != self.cost.cols() {
             return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
@@ -138,6 +148,11 @@ impl DynamicIndex {
     /// Exact k-NN over the live objects: reduced-EMD filter ranking
     /// followed by KNOP-style refinement (complete — identical results to
     /// scanning every live object with the exact EMD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on query shape mismatch or if an exact EMD
+    /// refinement fails.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -171,6 +186,8 @@ impl DynamicIndex {
             if neighbors.len() >= k && bound > neighbors[k - 1].distance {
                 break;
             }
+            #[allow(clippy::expect_used)]
+            // lint: allow(panic): `live` only contains ids whose slot is Some by construction
             let object = self.objects[id].as_ref().expect("live id");
             let distance = emd_rectangular(query, object, &self.cost)?;
             refinements += 1;
@@ -313,7 +330,7 @@ mod tests {
         let cost = Arc::new(ground::linear(4).unwrap());
         let r = CombiningReduction::new(vec![0, 0, 0, 0], 1).unwrap();
         let reduced = ReducedEmd::new(&cost, r).unwrap();
-        let mut index = DynamicIndex::new(cost.clone(), reduced).unwrap();
+        let mut index = DynamicIndex::new(cost, reduced).unwrap();
         for i in 0..4 {
             index.insert(Histogram::unit(4, i).unwrap()).unwrap();
         }

@@ -58,6 +58,11 @@ pub struct EmdDistance {
 
 impl EmdDistance {
     /// Index a database for exact EMD evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when a database histogram disagrees with `cost` in
+    /// dimensionality.
     pub fn new(database: Arc<Vec<Histogram>>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
         for h in database.iter() {
             check_dim(h, cost.cols())?;
@@ -108,9 +113,11 @@ struct PreparedEmd<'a> {
 }
 
 impl PreparedFilter for PreparedEmd<'_> {
+    #[allow(clippy::expect_used)]
     fn distance(&mut self, id: usize) -> f64 {
         self.evaluations += 1;
         emd_rectangular(&self.query, &self.database[id], self.cost)
+            // lint: allow(panic): operand shapes are validated in `new`, reduce cannot fail here
             .expect("shapes validated at construction")
     }
 
@@ -135,6 +142,11 @@ pub struct ReducedEmdFilter {
 
 impl ReducedEmdFilter {
     /// Reduce and index a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when a database histogram cannot be reduced by
+    /// `reduced` (shape mismatch).
     pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
         let reduced_database = database
             .iter()
@@ -188,11 +200,13 @@ struct PreparedReducedEmd<'a> {
 }
 
 impl PreparedFilter for PreparedReducedEmd<'_> {
+    #[allow(clippy::expect_used)]
     fn distance(&mut self, id: usize) -> f64 {
         self.evaluations += 1;
         self.filter
             .reduced
             .distance_reduced(&self.reduced_query, &self.filter.reduced_database[id])
+            // lint: allow(panic): operand shapes are validated in `new`, reduce cannot fail here
             .expect("shapes validated at construction")
     }
 
@@ -218,6 +232,11 @@ pub struct ReducedImFilter {
 
 impl ReducedImFilter {
     /// Reduce and index a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when a database histogram cannot be reduced by
+    /// `reduced` (shape mismatch).
     pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
         let reduced_database = database
             .iter()
@@ -263,11 +282,13 @@ struct PreparedReducedIm<'a> {
 }
 
 impl PreparedFilter for PreparedReducedIm<'_> {
+    #[allow(clippy::expect_used)]
     fn distance(&mut self, id: usize) -> f64 {
         self.evaluations += 1;
         self.filter
             .bound
             .bound(&self.reduced_query, &self.filter.reduced_database[id])
+            // lint: allow(panic): operand shapes are validated in `new`, the bound cannot fail here
             .expect("shapes validated at construction")
     }
 
@@ -291,6 +312,11 @@ pub struct FullLbImFilter {
 
 impl FullLbImFilter {
     /// Index a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the bound cannot be built for `cost` or a
+    /// database histogram disagrees with it in dimensionality.
     pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
         for h in database.iter() {
             check_dim(h, cost.cols())?;
@@ -329,11 +355,13 @@ struct PreparedFullIm<'a> {
 }
 
 impl PreparedFilter for PreparedFullIm<'_> {
+    #[allow(clippy::expect_used)]
     fn distance(&mut self, id: usize) -> f64 {
         self.evaluations += 1;
         self.filter
             .bound
             .bound(&self.query, &self.filter.database[id])
+            // lint: allow(panic): operand shapes are validated in `new`, the bound cannot fail here
             .expect("shapes validated at construction")
     }
 
@@ -355,6 +383,11 @@ pub struct CentroidFilter {
 impl CentroidFilter {
     /// Index a database given the bin positions inducing the ground
     /// distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the centroid bound rejects `positions` or a
+    /// database histogram disagrees with them in dimensionality.
     pub fn new(
         database: &[Histogram],
         positions: Vec<Vec<f64>>,
@@ -425,6 +458,11 @@ pub struct ScaledL1Filter {
 
 impl ScaledL1Filter {
     /// Index a database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when `cost` is rejected by the scaled-LP bound or a
+    /// database histogram disagrees with it in dimensionality.
     pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
         for h in database.iter() {
             check_dim(h, cost.cols())?;
@@ -462,11 +500,13 @@ struct PreparedScaledL1<'a> {
 }
 
 impl PreparedFilter for PreparedScaledL1<'_> {
+    #[allow(clippy::expect_used)]
     fn distance(&mut self, id: usize) -> f64 {
         self.evaluations += 1;
         self.filter
             .bound
             .bound(&self.query, &self.filter.database[id])
+            // lint: allow(panic): operand shapes are validated in `new`, projection cannot fail here
             .expect("shapes validated at construction")
     }
 
@@ -489,6 +529,11 @@ pub struct AnchorFilter {
 
 impl AnchorFilter {
     /// Index a database with `anchors` spread anchor bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the anchor bound cannot be built (bad anchor
+    /// count) or a database projection fails.
     pub fn new(
         database: &[Histogram],
         cost: &CostMatrix,
@@ -603,12 +648,11 @@ mod tests {
             Box::new(ReducedImFilter::new(&db, reduced).unwrap()),
             Box::new(FullLbImFilter::new(db.clone(), &cost).unwrap()),
             Box::new(
-                CentroidFilter::new(&db, ground::linear_positions(4), Metric::Manhattan)
-                    .unwrap(),
+                CentroidFilter::new(&db, ground::linear_positions(4), Metric::Manhattan).unwrap(),
             ),
             Box::new(ScaledL1Filter::new(db.clone(), &cost).unwrap()),
         ];
-        let exact = EmdDistance::new(db.clone(), cost.clone()).unwrap();
+        let exact = EmdDistance::new(db.clone(), cost).unwrap();
         let mut exact_prepared = exact.prepare(&query).unwrap();
         for filter in &filters {
             let mut prepared = filter.prepare(&query).unwrap();

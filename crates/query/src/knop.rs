@@ -27,13 +27,14 @@ pub fn knn(
 
     // Phase 1: refine k initial candidates from the ranking.
     while neighbors.len() < k {
-        let Some((id, _)) = ranking.next() else {
+        let Some((id, filter_distance)) = ranking.next() else {
             // Fewer than k objects in the database.
             neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
             return (neighbors, refinements);
         };
         let distance = refiner.distance(id);
         refinements += 1;
+        emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
         neighbors.push(Neighbor { id, distance });
     }
     neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
@@ -49,9 +50,9 @@ pub fn knn(
         }
         let distance = refiner.distance(id);
         refinements += 1;
+        emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
         if distance < kth {
-            let position = neighbors
-                .partition_point(|n| n.distance <= distance);
+            let position = neighbors.partition_point(|n| n.distance <= distance);
             neighbors.insert(position, Neighbor { id, distance });
             neighbors.pop();
         }
@@ -77,6 +78,11 @@ pub fn range(
         }
         let distance = refiner.distance(id);
         refinements += 1;
+        emd_core::certify::debug_check_lower_bound(
+            "range filter ranking",
+            filter_distance,
+            distance,
+        );
         if distance <= epsilon {
             hits.push(Neighbor { id, distance });
         }
@@ -109,10 +115,7 @@ mod tests {
         fn len(&self) -> usize {
             self.table.len()
         }
-        fn prepare(
-            &self,
-            _query: &Histogram,
-        ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        fn prepare(&self, _query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
             Ok(Box::new(PreparedTable {
                 table: &self.table,
                 evaluations: 0,

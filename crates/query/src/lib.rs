@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # emd-query
@@ -28,15 +29,15 @@ pub mod scan;
 mod stats;
 pub mod vptree;
 
+pub use dynamic::DynamicIndex;
 pub use error::QueryError;
 pub use filters::{
     AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,
     ReducedEmdFilter, ReducedImFilter, ScaledL1Filter,
 };
-pub use dynamic::DynamicIndex;
 pub use pipeline::Pipeline;
-pub use vptree::VpTree;
 pub use stats::QueryStats;
+pub use vptree::VpTree;
 
 /// A retrieval result: database object id plus its exact distance.
 #[derive(Debug, Clone, Copy, PartialEq)]

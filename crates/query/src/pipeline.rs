@@ -43,6 +43,11 @@ impl Pipeline {
     /// stage must index the same database as `refiner` and lower-bound
     /// the next stage (unchecked — establishing the bound chain is the
     /// caller's modelling decision, cf. Section 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when `stages` is empty or a stage indexes a
+    /// database of a different size than `refiner`.
     pub fn new(stages: Vec<Box<dyn Filter>>, refiner: EmdDistance) -> Result<Self, QueryError> {
         if refiner.is_empty() {
             return Err(QueryError::EmptyDatabase);
@@ -61,6 +66,11 @@ impl Pipeline {
     }
 
     /// A pipeline without filters: pure sequential scan baseline.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` keeps the constructor
+    /// signature uniform with [`Pipeline::new`].
     pub fn sequential(refiner: EmdDistance) -> Result<Self, QueryError> {
         Self::new(Vec::new(), refiner)
     }
@@ -82,7 +92,16 @@ impl Pipeline {
     }
 
     /// Exact k-nearest-neighbor query with per-stage statistics.
-    pub fn knn(&self, query: &Histogram, k: usize) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on query shape mismatch or when a filter or the
+    /// exact refiner fails mid-query.
+    pub fn knn(
+        &self,
+        query: &Histogram,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
         if k == 0 {
             return Err(QueryError::ZeroK);
         }
@@ -90,6 +109,11 @@ impl Pipeline {
     }
 
     /// Exact range query with per-stage statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on query shape mismatch, a negative `epsilon`, or
+    /// a filter/refiner failure mid-query.
     pub fn range(
         &self,
         query: &Histogram,
@@ -133,6 +157,8 @@ impl Pipeline {
 
         let (neighbors, refinements) = {
             let mut stage_iter = prepared.iter_mut();
+            #[allow(clippy::expect_used)]
+            // lint: allow(panic): `Pipeline::new` rejects empty stage lists
             let first = stage_iter.next().expect("stages checked non-empty");
             let mut ranking: Box<dyn Ranking + '_> =
                 Box::new(EagerRanking::new(first.as_mut(), self.refiner.len()));

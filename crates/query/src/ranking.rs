@@ -48,8 +48,7 @@ pub struct EagerRanking {
 impl EagerRanking {
     /// Evaluate `filter` on all `len` objects and sort.
     pub fn new(filter: &mut dyn PreparedFilter, len: usize) -> Self {
-        let mut sorted: Vec<(usize, f64)> =
-            (0..len).map(|id| (id, filter.distance(id))).collect();
+        let mut sorted: Vec<(usize, f64)> = (0..len).map(|id| (id, filter.distance(id))).collect();
         sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
         EagerRanking { sorted }
     }
@@ -113,6 +112,8 @@ impl Ranking for ChainedRanking<'_> {
                 (Some(&Reverse((Key(top), _))), Some((_, base_distance)))
                     if top <= base_distance =>
                 {
+                    #[allow(clippy::expect_used)]
+                    // lint: allow(panic): pop follows a successful peek on the same heap
                     let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
                     return Some((id, distance));
                 }
@@ -125,6 +126,8 @@ impl Ranking for ChainedRanking<'_> {
                 }
                 // Base exhausted: drain the heap.
                 (Some(_), None) => {
+                    #[allow(clippy::expect_used)]
+                    // lint: allow(panic): pop follows a successful peek on the same heap
                     let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
                     return Some((id, distance));
                 }
@@ -159,10 +162,7 @@ mod tests {
         fn len(&self) -> usize {
             self.table.len()
         }
-        fn prepare(
-            &self,
-            _query: &Histogram,
-        ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        fn prepare(&self, _query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
             Ok(Box::new(PreparedTable {
                 table: &self.table,
                 evaluations: 0,
@@ -193,10 +193,7 @@ mod tests {
         let mut prepared = filter.prepare(&query()).unwrap();
         let mut ranking = EagerRanking::new(prepared.as_mut(), 4);
         let order: Vec<_> = std::iter::from_fn(|| ranking.next()).collect();
-        assert_eq!(
-            order,
-            vec![(3, 0.5), (1, 1.0), (2, 2.0), (0, 3.0)]
-        );
+        assert_eq!(order, vec![(3, 0.5), (1, 1.0), (2, 2.0), (0, 3.0)]);
         assert_eq!(prepared.evaluations(), 4);
     }
 
@@ -258,9 +255,7 @@ mod tests {
             table: vec![],
         };
         let mut tight_prepared = tight.prepare(&query()).unwrap();
-        let base = Box::new(EagerRanking {
-            sorted: Vec::new(),
-        });
+        let base = Box::new(EagerRanking { sorted: Vec::new() });
         let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
         assert_eq!(chained.next(), None);
         assert_eq!(chained.next(), None);
@@ -274,7 +269,9 @@ mod tests {
         };
         let mut prepared = filter.prepare(&query()).unwrap();
         let mut ranking = EagerRanking::new(prepared.as_mut(), 3);
-        let ids: Vec<_> = std::iter::from_fn(|| ranking.next()).map(|(id, _)| id).collect();
+        let ids: Vec<_> = std::iter::from_fn(|| ranking.next())
+            .map(|(id, _)| id)
+            .collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 }

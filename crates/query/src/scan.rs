@@ -11,6 +11,11 @@ use emd_core::{emd, CostMatrix, Histogram};
 
 /// Exact k-NN by full scan. Returns up to `k` neighbors in ascending
 /// distance order (ties broken by id).
+///
+/// # Errors
+///
+/// Returns [`QueryError`] when the query or a database histogram disagrees
+/// with `cost`, or an exact EMD computation fails.
 pub fn brute_force_knn(
     query: &Histogram,
     database: &[Histogram],
@@ -36,6 +41,11 @@ pub fn brute_force_knn(
 }
 
 /// Exact range query by full scan, ascending distance order.
+///
+/// # Errors
+///
+/// Returns [`QueryError`] when shapes disagree with `cost`, `epsilon` is
+/// negative, or an exact EMD computation fails.
 pub fn brute_force_range(
     query: &Histogram,
     database: &[Histogram],

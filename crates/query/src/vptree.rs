@@ -57,10 +57,12 @@ impl VpTree {
     /// mass 1 — both enforced elsewhere in this workspace; the metric
     /// property of `cost` is the caller's responsibility and can be
     /// checked with [`CostMatrix::is_metric`].
-    pub fn build(
-        database: Arc<Vec<Histogram>>,
-        cost: Arc<CostMatrix>,
-    ) -> Result<Self, QueryError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when a database histogram disagrees with `cost` in
+    /// dimensionality or a vantage-point distance computation fails.
+    pub fn build(database: Arc<Vec<Histogram>>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
         if database.is_empty() {
             return Err(QueryError::EmptyDatabase);
         }
@@ -97,6 +99,11 @@ impl VpTree {
 
     /// Exact k-NN by best-first traversal with triangle-inequality
     /// pruning. Returns ascending by distance (ties by id), plus stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on query shape mismatch or when a distance
+    /// computation fails during traversal.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -121,6 +128,11 @@ impl VpTree {
     }
 
     /// Exact range query with triangle-inequality pruning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on query shape mismatch, a negative `epsilon`, or
+    /// a failed distance computation during traversal.
     pub fn range(
         &self,
         query: &Histogram,
@@ -370,7 +382,7 @@ mod tests {
         }
         let database = Arc::new(database);
         let cost = Arc::new(ground::linear(20).unwrap());
-        let tree = VpTree::build(database.clone(), cost.clone()).unwrap();
+        let tree = VpTree::build(database.clone(), cost).unwrap();
         let (_, stats) = tree.knn(&database[0], 3).unwrap();
         assert!(
             stats.distance_computations < database.len(),

@@ -3,6 +3,9 @@
 //! the brute-force answers (no false dismissals — the paper's central
 //! correctness claim for its filters).
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_core::{ground, Histogram};
 use emd_query::scan::{brute_force_knn, brute_force_range};
 use emd_query::{EmdDistance, Neighbor, Pipeline, ReducedEmdFilter, ReducedImFilter};

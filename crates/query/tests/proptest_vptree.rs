@@ -1,6 +1,9 @@
 //! Property-based validation of the VP-tree against brute force under a
 //! metric ground distance.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_core::{ground, Histogram};
 use emd_query::scan::{brute_force_knn, brute_force_range};
 use emd_query::VpTree;

@@ -51,7 +51,10 @@ impl fmt::Display for ReductionError {
                  but only {reduced_dim} reduced dimensions exist"
             ),
             ReductionError::EmptyReducedDimension(i) => {
-                write!(f, "reduced dimension {i} has no assigned original dimensions")
+                write!(
+                    f,
+                    "reduced dimension {i} has no assigned original dimensions"
+                )
             }
             ReductionError::InvalidTargetDimension {
                 original_dim,

@@ -62,6 +62,12 @@ fn for_each_partition(d: usize, k: usize, mut visit: impl FnMut(&[usize])) {
 
 /// The reduction to `k` dimensions maximizing expected tightness
 /// (Equation 12). Exponential in `d` — intended for `d <= 12`.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `k` is zero or exceeds the flow sample's
+/// dimensionality, when shapes disagree, or when a candidate reduction fails
+/// to build.
 pub fn optimal_by_tightness(
     flows: &FlowSample,
     cost: &CostMatrix,
@@ -104,6 +110,11 @@ pub fn optimal_by_tightness(
 /// total candidate count of the workload's range queries against the
 /// database. Exponential in `d` *times* `|w| * |DB|` reduced EMDs —
 /// strictly a test oracle.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `k` is out of range or shapes disagree,
+/// and propagates any reduced-EMD evaluation failure over the workload.
 pub fn optimal_by_candidates(
     cost: &CostMatrix,
     database: &[Histogram],

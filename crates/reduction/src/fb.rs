@@ -108,9 +108,7 @@ pub fn fb_mod(
         // Figure 8 stops when the scan returns to the last-changed
         // dimension without further changes; the extra counter also stops
         // a change-free very first pass.
-        if (orig_dim == last_changed && visited_without_change > 0)
-            || visited_without_change >= d
-        {
+        if (orig_dim == last_changed && visited_without_change > 0) || visited_without_change >= d {
             break;
         }
     }
@@ -144,8 +142,8 @@ pub fn fb_all(
                 if red_dim == r.target_of(orig_dim) {
                     continue;
                 }
-                let Some(swap_tightness) = evaluator
-                    .tightness_with_reassignment(flows, cost, &mut r, orig_dim, red_dim)
+                let Some(swap_tightness) =
+                    evaluator.tightness_with_reassignment(flows, cost, &mut r, orig_dim, red_dim)
                 else {
                     continue;
                 };
@@ -235,7 +233,8 @@ mod tests {
         let a = result.reduction.target_of(0);
         let b = result.reduction.target_of(4);
         assert_ne!(
-            a, b,
+            a,
+            b,
             "bins 0 and 4 carry the dominant cross-flow and must not merge: {:?}",
             result.reduction.assignment()
         );
@@ -248,12 +247,7 @@ mod tests {
         let flows = FlowSample::from_histograms(&sample, &cost).unwrap();
         let base = CombiningReduction::base(6, 3).unwrap();
         let first = fb_all(base, &flows, &cost, FbOptions::default());
-        let second = fb_all(
-            first.reduction.clone(),
-            &flows,
-            &cost,
-            FbOptions::default(),
-        );
+        let second = fb_all(first.reduction.clone(), &flows, &cost, FbOptions::default());
         assert_eq!(second.reassignments, 0);
         assert_eq!(first.reduction, second.reduction);
     }

@@ -26,6 +26,11 @@ impl FlowSample {
     ///
     /// This is the paper's one-off preprocessing investment: `O(|S|^2)`
     /// full-dimensional EMD computations, repaid by faster queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when the sample is empty, histograms disagree
+    /// in dimensionality with `cost`, or an exact EMD computation fails.
     pub fn from_histograms(
         sample: &[Histogram],
         cost: &CostMatrix,
@@ -67,6 +72,11 @@ impl FlowSample {
     /// merged. Produces bit-identical results to the sequential version
     /// (addition order within each accumulator cell is fixed by the
     /// striping, and the final merge sums disjoint partials).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FlowSample::from_histograms`]; `threads == 0` is
+    /// also rejected.
     pub fn from_histograms_parallel(
         sample: &[Histogram],
         cost: &CostMatrix,
@@ -90,6 +100,7 @@ impl FlowSample {
             .collect();
 
         let mut accumulator = FlowAccumulator::new(dim);
+        #[allow(clippy::expect_used)]
         let partials = std::thread::scope(|scope| {
             let chunk = pairs.len().div_ceil(threads);
             pairs
@@ -102,8 +113,7 @@ impl FlowSample {
                             let report = emd_with_flows(&sample[a], &sample[b], cost)?;
                             local.add(&report.flows);
                             transposed.clear();
-                            transposed
-                                .extend(report.flows.iter().map(|&(i, j, f)| (j, i, f)));
+                            transposed.extend(report.flows.iter().map(|&(i, j, f)| (j, i, f)));
                             local.add(&transposed);
                         }
                         Ok(local)
@@ -111,6 +121,7 @@ impl FlowSample {
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
+                // lint: allow(panic): propagating a worker panic is the only sound response to one
                 .map(|handle| handle.join().expect("flow worker does not panic"))
                 .collect::<Result<Vec<_>, _>>()
         })?;
@@ -125,6 +136,11 @@ impl FlowSample {
     }
 
     /// Wrap a precomputed dense flow matrix (row-major `dim x dim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `average` is not `dim * dim` long or
+    /// contains a negative or non-finite flow.
     pub fn from_dense(dim: usize, average: Vec<f64>) -> Result<Self, ReductionError> {
         if average.len() != dim * dim {
             return Err(ReductionError::DimensionMismatch {
@@ -273,8 +289,7 @@ mod tests {
         let cost = ground::linear(8).unwrap();
         let sequential = FlowSample::from_histograms(&sample, &cost).unwrap();
         for threads in [1, 2, 4, 16] {
-            let parallel =
-                FlowSample::from_histograms_parallel(&sample, &cost, threads).unwrap();
+            let parallel = FlowSample::from_histograms_parallel(&sample, &cost, threads).unwrap();
             assert_eq!(parallel.pairs(), sequential.pairs());
             for (a, b) in parallel.dense().iter().zip(sequential.dense()) {
                 assert!((a - b).abs() < 1e-12, "threads={threads}");
@@ -286,8 +301,7 @@ mod tests {
     fn parallel_rejects_small_samples() {
         let cost = ground::linear(3).unwrap();
         assert!(matches!(
-            FlowSample::from_histograms_parallel(&[h(&[1.0, 0.0, 0.0])], &cost, 4)
-                .unwrap_err(),
+            FlowSample::from_histograms_parallel(&[h(&[1.0, 0.0, 0.0])], &cost, 4).unwrap_err(),
             ReductionError::SampleTooSmall(1)
         ));
     }

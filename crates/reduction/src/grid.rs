@@ -14,6 +14,10 @@ use crate::ReductionError;
 /// Merge a `width x height` tiling (row-major bins) into blocks of
 /// `block_w x block_h` tiles. Partial blocks at the right/bottom edges are
 /// allowed and simply contain fewer tiles.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when any of the four sizes is zero.
 pub fn block_merge(
     width: usize,
     height: usize,
@@ -42,6 +46,10 @@ pub fn block_merge(
 /// further level merges 2x2 blocks of the previous level's tiles.
 /// Returns the reductions from original resolution down to a single tile
 /// (the last level where the grid still shrinks).
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when either side of the grid is zero.
 pub fn hierarchy(width: usize, height: usize) -> Result<Vec<CombiningReduction>, ReductionError> {
     let mut levels = Vec::new();
     let mut block = 1usize;

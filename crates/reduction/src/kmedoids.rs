@@ -36,6 +36,11 @@ pub struct KMedoids {
 /// medoid, then greedily applies the best medoid/non-medoid swap until no
 /// swap improves the total distance (the PAM-style procedure sketched in
 /// Section 3.3). Deterministic for a fixed RNG.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `cost` is not square, `k` is zero, or `k`
+/// exceeds the number of dimensions.
 pub fn kmedoids_reduction(
     cost: &CostMatrix,
     k: usize,
@@ -99,6 +104,12 @@ pub fn kmedoids_reduction(
 /// result with the smallest total distance. PAM-style greedy search only
 /// finds local optima; a handful of restarts reliably smooths out bad
 /// initial medoid draws at linear extra preprocessing cost.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `restarts` is zero or any single
+/// [`kmedoids_reduction`] run fails.
+#[allow(clippy::expect_used)]
 pub fn kmedoids_reduction_restarts(
     cost: &CostMatrix,
     k: usize,
@@ -116,6 +127,7 @@ pub fn kmedoids_reduction_restarts(
             best = Some(candidate);
         }
     }
+    // lint: allow(panic): restarts >= 1 is validated above, so `best` is always Some
     Ok(best.expect("restarts >= 1"))
 }
 

@@ -1,6 +1,5 @@
 use crate::error::ReductionError;
 use emd_core::Histogram;
-use serde::{Deserialize, Serialize};
 
 /// A *combining* dimensionality reduction (Definition 3 of the paper).
 ///
@@ -27,8 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((reduced.mass(1) - 0.7).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(try_from = "ReductionRepr", into = "ReductionRepr")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CombiningReduction {
     assignment: Box<[u32]>,
     reduced_dim: usize,
@@ -36,15 +34,29 @@ pub struct CombiningReduction {
     group_sizes: Box<[u32]>,
 }
 
-#[derive(Serialize, Deserialize)]
 struct ReductionRepr {
     assignment: Vec<u32>,
     reduced_dim: usize,
 }
 
+serde::impl_serde_struct!(ReductionRepr {
+    assignment,
+    reduced_dim
+});
+
+// Deserialization re-validates through `CombiningReduction::new` (the
+// `try_from`/`into` serde pattern).
+serde::impl_serde_via!(CombiningReduction => ReductionRepr);
+
 impl CombiningReduction {
     /// Build a reduction from an assignment vector
     /// (`assignment[i]` = reduced dimension of original dimension `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `reduced_dim` is zero or larger than the
+    /// original dimensionality, an assignment target is out of range, or some
+    /// reduced dimension receives no original dimension.
     pub fn new(assignment: Vec<usize>, reduced_dim: usize) -> Result<Self, ReductionError> {
         let original_dim = assignment.len();
         if reduced_dim == 0 || reduced_dim > original_dim {
@@ -77,6 +89,11 @@ impl CombiningReduction {
     /// Build a reduction from explicit groups: `groups[i']` lists the
     /// original dimensions combined into reduced dimension `i'`. The
     /// groups must partition `0..d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when the groups do not partition `0..d`:
+    /// an empty group, a duplicated dimension, or a gap.
     pub fn from_groups(groups: &[Vec<usize>]) -> Result<Self, ReductionError> {
         let original_dim: usize = groups.iter().map(Vec::len).sum();
         let mut assignment = vec![usize::MAX; original_dim];
@@ -99,6 +116,10 @@ impl CombiningReduction {
     }
 
     /// The identity reduction (`d' = d`, every dimension its own group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `dim` is zero.
     pub fn identity(dim: usize) -> Result<Self, ReductionError> {
         Self::new((0..dim).collect(), dim)
     }
@@ -113,6 +134,11 @@ impl CombiningReduction {
     /// `d' - 1` dimensions pinned to their own group, everything else in
     /// the last group", the closest valid analogue that gives the
     /// optimizer the same freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `reduced_dim` is zero or exceeds
+    /// `original_dim`.
     pub fn base(original_dim: usize, reduced_dim: usize) -> Result<Self, ReductionError> {
         if reduced_dim == 0 || reduced_dim > original_dim {
             return Err(ReductionError::InvalidTargetDimension {
@@ -120,9 +146,7 @@ impl CombiningReduction {
                 reduced_dim,
             });
         }
-        let assignment = (0..original_dim)
-            .map(|i| i.min(reduced_dim - 1))
-            .collect();
+        let assignment = (0..original_dim).map(|i| i.min(reduced_dim - 1)).collect();
         Self::new(assignment, reduced_dim)
     }
 
@@ -187,6 +211,11 @@ impl CombiningReduction {
 
     /// Apply the reduction to a histogram: `x' = x * R`
     /// (mass of each group summed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError::DimensionMismatch`]-style failures when `x` does
+    /// not have the reduction's original dimensionality.
     pub fn reduce(&self, x: &Histogram) -> Result<Histogram, ReductionError> {
         if x.dim() != self.assignment.len() {
             return Err(ReductionError::DimensionMismatch {

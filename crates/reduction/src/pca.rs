@@ -30,6 +30,11 @@ pub struct Pca {
 
 /// Compute the top `m` principal components of the sample covariance by
 /// power iteration with deflation. `O(m * iters * d^2)`.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when the sample is empty, `m` is zero, or `m`
+/// exceeds the sample dimensionality.
 pub fn pca(sample: &[Histogram], m: usize) -> Result<Pca, ReductionError> {
     if sample.len() < 2 {
         return Err(ReductionError::SampleTooSmall(sample.len()));
@@ -127,6 +132,11 @@ fn normalize(v: &mut [f64]) -> f64 {
 /// Cluster the original dimensions by their eigenvalue-scaled PCA loadings
 /// (k-means in component space) and return the induced combining
 /// reduction.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `k` or `components` is out of range for
+/// the sample, or when the underlying [`pca`] run fails.
 pub fn pca_guided_reduction(
     sample: &[Histogram],
     k: usize,

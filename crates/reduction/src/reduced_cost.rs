@@ -19,6 +19,11 @@ use emd_core::CostMatrix;
 /// Compute the optimal reduced cost matrix for (possibly different)
 /// operand reductions. `cost` must be `r1.original_dim() x
 /// r2.original_dim()`.
+///
+/// # Errors
+///
+/// Returns [`ReductionError`] when `cost` does not measure
+/// `r1.original_dim() x r2.original_dim()`.
 pub fn reduce_cost_matrix(
     cost: &CostMatrix,
     r1: &CombiningReduction,

@@ -25,6 +25,12 @@ impl ReducedEmd {
     /// Prepare a reduced EMD with different first/second operand
     /// reductions (e.g. a mild query reduction and an aggressive database
     /// reduction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `cost` does not match the operand
+    /// reductions' original dimensionalities, or the reduced cost matrix fails
+    /// to build.
     pub fn with_asymmetric(
         cost: &CostMatrix,
         r1: CombiningReduction,
@@ -40,6 +46,10 @@ impl ReducedEmd {
 
     /// Prepare a symmetric reduced EMD (`R1 = R2 = r`), the common case of
     /// Sections 3.3 and 3.4.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReducedEmd::with_asymmetric`] with `r1 = r2 = r`.
     pub fn new(cost: &CostMatrix, r: CombiningReduction) -> Result<Self, ReductionError> {
         Self::with_asymmetric(cost, r.clone(), r)
     }
@@ -60,17 +70,32 @@ impl ReducedEmd {
     }
 
     /// Reduce a first-operand (query-side) histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `x` does not have the first reduction's
+    /// original dimensionality.
     pub fn reduce_first(&self, x: &Histogram) -> Result<Histogram, ReductionError> {
         self.r1.reduce(x)
     }
 
     /// Reduce a second-operand (database-side) histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when `y` does not have the second reduction's
+    /// original dimensionality.
     pub fn reduce_second(&self, y: &Histogram) -> Result<Histogram, ReductionError> {
         self.r2.reduce(y)
     }
 
     /// The reduced EMD on *original-dimensionality* operands: reduces both
     /// and solves the small LP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] on operand shape mismatch or when the small LP
+    /// fails to solve.
     pub fn distance(&self, x: &Histogram, y: &Histogram) -> Result<f64, ReductionError> {
         let rx = self.r1.reduce(x)?;
         let ry = self.r2.reduce(y)?;
@@ -80,11 +105,12 @@ impl ReducedEmd {
     /// The reduced EMD on *already reduced* operands. Query processing
     /// reduces every database histogram once at build time and the query
     /// once per query, then calls this in the hot loop.
-    pub fn distance_reduced(
-        &self,
-        rx: &Histogram,
-        ry: &Histogram,
-    ) -> Result<f64, ReductionError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReductionError`] when the reduced operands disagree with the
+    /// reduced cost matrix or the small LP fails to solve.
+    pub fn distance_reduced(&self, rx: &Histogram, ry: &Histogram) -> Result<f64, ReductionError> {
         Ok(emd_rectangular(rx, ry, &self.reduced_cost)?)
     }
 }

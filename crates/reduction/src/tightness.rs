@@ -183,7 +183,7 @@ mod tests {
             .unwrap();
         assert_eq!(r, snapshot, "temporary reassignment must be reverted");
         // Check the returned value against an explicit clone-and-modify.
-        let mut modified = snapshot.clone();
+        let mut modified = snapshot;
         assert!(modified.try_reassign(1, 1));
         let expected = evaluator.tightness(&flows, &cost, &modified);
         assert!((moved - expected).abs() < 1e-12);

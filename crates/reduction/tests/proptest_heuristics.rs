@@ -2,6 +2,9 @@
 //! (complementing `proptest_theorems.rs`, which checks the paper's
 //! theorems about *any* reduction).
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_core::{CostMatrix, Histogram};
 use emd_reduction::exhaustive::optimal_by_tightness;
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};

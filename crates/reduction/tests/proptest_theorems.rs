@@ -1,5 +1,8 @@
 //! Property-based checks of the paper's Theorems 1-3 on random instances.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_core::{emd, ground, CostMatrix, Histogram};
 use emd_reduction::{reduce_cost_matrix, CombiningReduction, ReducedEmd};
 use proptest::prelude::*;

@@ -45,6 +45,13 @@ pub enum TransportError {
         /// The exhausted iteration budget.
         iterations: usize,
     },
+    /// An internal solver invariant was violated. Indicates a bug in the
+    /// solver (or memory corruption), never bad input; reported as an
+    /// error instead of a panic so library callers stay panic-free.
+    Internal {
+        /// Description of the violated invariant.
+        detail: &'static str,
+    },
 }
 
 /// Which side of the tableau an error refers to.
@@ -92,6 +99,9 @@ impl fmt::Display for TransportError {
             }
             TransportError::IterationLimit { iterations } => {
                 write!(f, "simplex did not converge within {iterations} iterations")
+            }
+            TransportError::Internal { detail } => {
+                write!(f, "internal solver invariant violated: {detail}")
             }
         }
     }

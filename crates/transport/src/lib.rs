@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # emd-transport
@@ -27,6 +28,7 @@
 //! which the paper needs for reduced EMDs with differing query/database
 //! dimensionalities (`R1 != R2`).
 
+pub mod certify;
 mod error;
 mod problem;
 mod simplex;
@@ -34,6 +36,7 @@ pub mod ssp;
 mod tree;
 mod vogel;
 
+pub use certify::{certify_basis, certify_solution, CertificateViolation};
 pub use error::TransportError;
 pub use problem::{Solution, TransportProblem};
 pub use simplex::{solve, solve_with_options, SimplexOptions};

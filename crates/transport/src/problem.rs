@@ -22,6 +22,15 @@ impl TransportProblem {
     /// row-major order. Returns an error for negative masses, a
     /// supply/demand imbalance beyond [`BALANCE_EPS`], shape mismatches or
     /// non-finite costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::NegativeMass`] for negative masses,
+    /// [`TransportError::EmptySide`] for an empty operand,
+    /// [`TransportError::CostShape`] when `costs` is not
+    /// `supplies.len() * demands.len()` long, [`TransportError::NonFiniteCost`]
+    /// for NaN/infinite costs, and [`TransportError::Unbalanced`] when total
+    /// supply and demand differ by more than [`BALANCE_EPS`].
     pub fn new(
         supplies: Vec<f64>,
         demands: Vec<f64>,
@@ -87,15 +96,22 @@ impl TransportProblem {
     /// Absorb sub-tolerance rounding drift into the largest demand so that
     /// total supply equals total demand bit-exactly where possible.
     fn rebalance(&mut self, drift: f64) {
+        // float: exact — zero drift means the operands were exactly balanced; no tolerance wanted
         if drift == 0.0 {
             return;
         }
-        let (argmax, _) = self
+        // `new` rejects empty demand vectors before calling `rebalance`,
+        // so `max_by` cannot return `None`; the early return keeps this
+        // path panic-free.
+        let Some((argmax, _)) = self
             .demands
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("demands verified non-empty");
+        else {
+            debug_assert!(false, "rebalance called with empty demands");
+            return;
+        };
         self.demands[argmax] = (self.demands[argmax] + drift).max(0.0);
     }
 

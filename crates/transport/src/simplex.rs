@@ -41,11 +41,23 @@ impl Default for SimplexOptions {
 }
 
 /// Solve a transportation problem with default options.
+///
+/// # Errors
+///
+/// Propagates any [`TransportError`] from the solve: degenerate inputs rejected
+/// by validation, iteration-limit exhaustion, or an internal invariant
+/// violation.
 pub fn solve(problem: &TransportProblem) -> Result<Solution, TransportError> {
     solve_with_options(problem, SimplexOptions::default())
 }
 
 /// Solve a transportation problem with explicit [`SimplexOptions`].
+///
+/// # Errors
+///
+/// Returns [`TransportError::IterationLimit`] when the pivot budget in
+/// `options` is exhausted before reaching optimality, and
+/// [`TransportError::Internal`] if a pivot cycle is structurally malformed.
 pub fn solve_with_options(
     problem: &TransportProblem,
     options: SimplexOptions,
@@ -57,7 +69,9 @@ pub fn solve_with_options(
     // initial basis is the unique (hence optimal) solution.
     let initial = vogel::initial_basis(problem);
     if m == 1 || n == 1 {
-        return Ok(solution_from_cells(problem, &initial.cells));
+        let solution = solution_from_cells(problem, &initial.cells);
+        crate::certify::debug_certify_solution(problem, &solution, "simplex (trivial tableau)");
+        return Ok(solution);
     }
 
     let mut tree = BasisTree::new(m, n, &initial.cells);
@@ -80,7 +94,9 @@ pub fn solve_with_options(
         let use_bland = degenerate_run >= options.degenerate_pivot_limit;
         let entering = find_entering(problem, &u, &v, tol, use_bland);
         let Some((ei, ej)) = entering else {
-            return Ok(extract_solution(problem, &tree));
+            let solution = extract_solution(problem, &tree);
+            crate::certify::debug_certify_solution(problem, &solution, "simplex");
+            return Ok(solution);
         };
 
         // The entering edge (ei, ej) closes a cycle with the tree path from
@@ -102,7 +118,14 @@ pub fn solve_with_options(
                 }
             }
         }
-        let leaving = leaving.expect("cycle has at least one '-' edge");
+        let Some(leaving) = leaving else {
+            // The cycle alternates signs starting with '-', so a missing
+            // leaving edge means the basis tree lost an edge: a solver
+            // bug, reported rather than panicking.
+            return Err(TransportError::Internal {
+                detail: "pivot cycle has no '-' edge to leave the basis",
+            });
+        };
 
         for (k, &id) in path.iter().enumerate() {
             let flow = tree.edge_flow_mut(id);
@@ -276,7 +299,9 @@ mod tests {
         let s = solve_unwrap(
             vec![0.0, 1.0, 0.0, 0.0],
             vec![0.0, 0.0, 1.0, 0.0],
-            (0..16).map(|k| ((k / 4) as f64 - (k % 4) as f64).abs()).collect(),
+            (0..16)
+                .map(|k| ((k / 4) as f64 - (k % 4) as f64).abs())
+                .collect(),
         );
         assert!((s.objective - 1.0).abs() < 1e-12);
     }
@@ -302,11 +327,7 @@ mod tests {
 
     #[test]
     fn solution_flows_are_positive() {
-        let s = solve_unwrap(
-            vec![0.5, 0.5],
-            vec![0.5, 0.5],
-            vec![0.0, 1.0, 1.0, 0.0],
-        );
+        let s = solve_unwrap(vec![0.5, 0.5], vec![0.5, 0.5], vec![0.0, 1.0, 1.0, 0.0]);
         assert!(s.flows.iter().all(|&(_, _, f)| f > 0.0));
         assert!(s.objective.abs() < 1e-12);
     }

@@ -53,6 +53,13 @@ impl PartialOrd for HeapEntry {
 /// Rejects negative costs with [`TransportError::NonFiniteCost`]-style
 /// validation performed by [`TransportProblem::new`]; negative costs are
 /// reported via `debug_assert` as the EMD never produces them.
+///
+/// # Errors
+///
+/// Returns [`TransportError::Internal`]-style failures only through
+/// `debug_assert`; in release builds the solver is total for every problem
+/// accepted by [`TransportProblem::new`]. The `Result` return keeps the
+/// signature aligned with [`crate::solve`] for cross-checking.
 pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError> {
     let m = problem.num_sources();
     let n = problem.num_targets();
@@ -103,7 +110,13 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
             if problem.demands()[j] <= 0.0 {
                 continue;
             }
-            add_arc(&mut graph, 1 + i, 1 + m + j, f64::INFINITY, problem.cost(i, j));
+            add_arc(
+                &mut graph,
+                1 + i,
+                1 + m + j,
+                f64::INFINITY,
+                problem.cost(i, j),
+            );
         }
     }
 
@@ -202,7 +215,9 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
             }
         }
     }
-    Ok(Solution { objective, flows })
+    let solution = Solution { objective, flows };
+    crate::certify::debug_certify_solution(problem, &solution, "ssp");
+    Ok(solution)
 }
 
 #[cfg(test)]

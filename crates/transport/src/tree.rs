@@ -94,11 +94,13 @@ impl BasisTree {
         let demand = self.demand_node(col);
         for node in [row, demand] {
             let list = &mut self.adjacency[node];
-            let pos = list
-                .iter()
-                .position(|&e| e == id)
-                .expect("edge registered in adjacency");
-            list.swap_remove(pos);
+            // `insert` registers every edge with both endpoints, so the
+            // lookup cannot miss; the fallback keeps this path panic-free.
+            if let Some(pos) = list.iter().position(|&e| e == id) {
+                list.swap_remove(pos);
+            } else {
+                debug_assert!(false, "edge {id} missing from adjacency of node {node}");
+            }
         }
     }
 
@@ -122,8 +124,10 @@ impl BasisTree {
         stack: &mut Vec<usize>,
     ) {
         u.clear();
+        // float: nan — deliberate poison: any dual read before assignment must be visible
         u.resize(self.m, f64::NAN);
         v.clear();
+        // float: nan — deliberate poison: any dual read before assignment must be visible
         v.resize(self.n, f64::NAN);
         stack.clear();
         u[0] = 0.0;

@@ -2,6 +2,9 @@
 //! ties everywhere, duplicate costs — the cases that break naive simplex
 //! implementations (cycling, lost basis edges).
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_transport::{solve, ssp::solve_ssp, TransportProblem};
 use proptest::prelude::*;
 

@@ -4,19 +4,19 @@
 //! no code beyond the problem representation; agreement on random instances
 //! is strong evidence that both are correct.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use emd_transport::{solve, ssp::solve_ssp, TransportProblem};
 use proptest::prelude::*;
 
 /// Strategy: a normalized mass vector of the given length with at least one
 /// strictly positive entry.
 fn mass_vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0_f64..1.0, len).prop_filter_map(
-        "total mass must be positive",
-        |raw| {
-            let total: f64 = raw.iter().sum();
-            (total > 1e-6).then(|| raw.iter().map(|x| x / total).collect())
-        },
-    )
+    prop::collection::vec(0.0_f64..1.0, len).prop_filter_map("total mass must be positive", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6).then(|| raw.iter().map(|x| x / total).collect())
+    })
 }
 
 fn cost_matrix(m: usize, n: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -94,7 +94,7 @@ proptest! {
         .expect("scaled instance is valid");
         let base = solve(&problem).unwrap();
         let scaled_solution = solve(&scaled).unwrap();
-        prop_assert!((scaled_solution.objective - factor * base.objective).abs() < 1e-7);
+        prop_assert!((factor.mul_add(-base.objective, scaled_solution.objective)).abs() < 1e-7);
     }
 
     /// Zero-cost diagonal with identical supply/demand vectors gives

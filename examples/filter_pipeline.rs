@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let chain = Pipeline::new(stages, EmdDistance::new(database.clone(), cost.clone())?)?;
     let (neighbors, stats) = chain.knn(query, 5)?;
-    println!("Figure 10 chain (Red-IM -> Red-EMD -> EMD), N = {}:", database.len());
+    println!(
+        "Figure 10 chain (Red-IM -> Red-EMD -> EMD), N = {}:",
+        database.len()
+    );
     for (stage, evaluations) in &stats.filter_evaluations {
         println!("  {stage:<18} {evaluations} evaluations");
     }
@@ -68,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  identical results  yes (completeness, Theorem 1)");
 
     // --- Ground truth ----------------------------------------------------
-    let scan = Pipeline::sequential(EmdDistance::new(database.clone(), cost)?)?;
+    let scan = Pipeline::sequential(EmdDistance::new(database, cost)?)?;
     let (truth, scan_stats) = scan.knn(query, 5)?;
     assert_eq!(
         truth.iter().map(|n| n.id).collect::<Vec<_>>(),

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         use rand::seq::SliceRandom;
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         order.shuffle(&mut rng);
-        dataset.histograms = order.iter().map(|&i| dataset.histograms[i].clone()).collect();
+        dataset.histograms = order
+            .iter()
+            .map(|&i| dataset.histograms[i].clone())
+            .collect();
         dataset.labels = order.iter().map(|&i| dataset.labels[i]).collect();
     }
     let query_labels: Vec<u32> = dataset.labels[dataset.len() - 8..].to_vec();
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d_red = 18;
     println!("sampling EMD flows (|S| = 24) and optimizing a {d_red}-d reduction...");
     let started = Instant::now();
-    let sample: Vec<_> = draw_sample(&database, 24, &mut rng).into_iter().cloned().collect();
+    let sample: Vec<_> = draw_sample(&database, 24, &mut rng)
+        .into_iter()
+        .cloned()
+        .collect();
     let flows = FlowSample::from_histograms(&sample, &cost)?;
     let kmed = kmedoids_reduction(&cost, d_red, &mut rng)?.reduction;
     let optimized = fb_all(kmed, &flows, &cost, FbOptions::default());

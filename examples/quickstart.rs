@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. Complete k-NN search through the filter ---------------------
-    let database = Arc::new(vec![x.clone(), y.clone(), z.clone()]);
+    let database = Arc::new(vec![x.clone(), y, z]);
     let cost = Arc::new(cost);
     let pipeline = Pipeline::new(
         vec![Box::new(ReducedEmdFilter::new(&database, reduced)?)],

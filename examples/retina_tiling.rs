@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building reductions (grid is fixed to d'=24; flexible ones also try d'=16)...");
     let grid = block_merge(12, 8, 2, 2)?; // the rigid factor-4 merge of [14]
     let kmed = kmedoids_reduction(&cost, 24, &mut rng)?.reduction;
-    let sample: Vec<_> = draw_sample(&database, 20, &mut rng).into_iter().cloned().collect();
+    let sample: Vec<_> = draw_sample(&database, 20, &mut rng)
+        .into_iter()
+        .cloned()
+        .collect();
     let flows = FlowSample::from_histograms(&sample, &cost)?;
     let fb = fb_mod(kmed.clone(), &flows, &cost, FbOptions::default()).reduction;
     let kmed16 = kmedoids_reduction(&cost, 16, &mut rng)?.reduction;
@@ -63,12 +66,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(total as f64 / queries.len() as f64)
     };
 
-    println!("\nmean exact-EMD candidates per 10-NN query (of {} objects):", database.len());
+    println!(
+        "\nmean exact-EMD candidates per 10-NN query (of {} objects):",
+        database.len()
+    );
     println!("  d'=24  grid 2x2 blocks [14] : {:.1}", candidates(grid)?);
     println!("  d'=24  k-medoids (paper 3.3): {:.1}", candidates(kmed)?);
     println!("  d'=24  FB-Mod    (paper 3.4): {:.1}", candidates(fb)?);
-    println!("  d'=16  k-medoids            : {:.1}   <- no grid analogue exists", candidates(kmed16)?);
-    println!("  d'=16  FB-Mod               : {:.1}   <- cheaper filter, freely chosen d'", candidates(fb16)?);
+    println!(
+        "  d'=16  k-medoids            : {:.1}   <- no grid analogue exists",
+        candidates(kmed16)?
+    );
+    println!(
+        "  d'=16  FB-Mod               : {:.1}   <- cheaper filter, freely chosen d'",
+        candidates(fb16)?
+    );
     println!("\nall reductions return exactly the same neighbors (lossless filters);");
     println!("fewer candidates = fewer expensive 96-d EMD computations, and the");
     println!("flexible reductions work at dimensionalities the grid merge cannot offer.");

@@ -1,0 +1,22 @@
+//! Runner configuration, mirroring `proptest::test_runner::Config`.
+
+/// How many cases to run per property. Only `cases` is honored by the
+/// shim; upstream's remaining knobs have no analogue here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}

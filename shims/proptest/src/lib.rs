@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace replaces
+//! its external `proptest` dev-dependency with this local shim. It
+//! implements the API subset the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_filter_map` and `prop_flat_map`,
+//! * range and tuple strategies, [`Just`],
+//! * `prop::collection::vec`, `prop::option::weighted`,
+//!   `prop::sample::select`, `prop::sample::subsequence`,
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   [`prop_assert!`] and [`prop_assert_eq!`].
+//!
+//! Differences from upstream: generation is plain seeded random sampling
+//! with **no shrinking** — a failing case reports its case index and seed
+//! instead of a minimized input — and there is no persistent failure
+//! database. Seeds derive deterministically from the test's module path
+//! and name, so failures reproduce across runs; set `PROPTEST_SHIM_SEED`
+//! to explore a different stream.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+
+mod config;
+mod runner;
+
+pub use config::ProptestConfig;
+pub use runner::TestRunner;
+pub use strategy::{Just, Strategy};
+
+/// Everything the property suites import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::runner::TestRunner;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` module alias exposed by the upstream prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies via `pattern in strategy` clauses.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new(
+                $config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($strategy,)+);
+            runner.run(&strategy, |($($pat,)+)| $body);
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Assert inside a property test. In this shim a failure panics directly
+/// (the runner annotates the failing case before propagating).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assert inside a property test; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Inequality assert inside a property test; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0_f64..1.0, n in 3usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_length_range(
+            items in prop::collection::vec(0.0_f64..1.0, 4..14),
+        ) {
+            prop_assert!((4..14).contains(&items.len()));
+        }
+
+        #[test]
+        fn filter_map_only_yields_mapped(
+            total in prop::collection::vec(0.0_f64..1.0, 8).prop_filter_map(
+                "positive sum",
+                |raw| {
+                    let sum: f64 = raw.iter().sum();
+                    (sum > 1e-6).then_some(sum)
+                },
+            ),
+        ) {
+            prop_assert!(total > 1e-6);
+        }
+
+        #[test]
+        fn flat_map_composes(
+            (len, items) in (1usize..5).prop_flat_map(|len| {
+                (Just(len), prop::collection::vec(0_u64..10, len))
+            }),
+        ) {
+            prop_assert_eq!(items.len(), len);
+        }
+
+        #[test]
+        fn subsequence_is_sorted_subset(
+            seeds in prop::sample::subsequence((0..10).collect::<Vec<usize>>(), 4),
+        ) {
+            prop_assert_eq!(seeds.len(), 4);
+            prop_assert!(seeds.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![1, 3, 5])) {
+            prop_assert!([1, 3, 5].contains(&x));
+        }
+
+        #[test]
+        fn weighted_option_mixes(
+            options in prop::collection::vec(
+                prop::option::weighted(0.4, Just(1.0_f64)),
+                64,
+            ),
+        ) {
+            // With 64 draws at p = 0.4 both outcomes appear essentially
+            // always (P[miss] < 1e-8 per side).
+            prop_assert!(options.iter().any(Option::is_some));
+            prop_assert!(options.iter().any(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let collect = || {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16), "seed-probe");
+            let mut seen = Vec::new();
+            runner.run(&(0.0_f64..1.0,), |(x,)| seen.push(x));
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn impossible_filter_reports_rejection() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "reject-probe");
+        let strategy = ((0.0_f64..1.0).prop_filter("never", |_| false),);
+        runner.run(&strategy, |(_x,)| {});
+    }
+}

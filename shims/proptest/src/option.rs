@@ -1,0 +1,29 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A strategy yielding `Some(inner)` with probability `probability`,
+/// `None` otherwise.
+pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+    Weighted { probability, inner }
+}
+
+/// See [`weighted`].
+pub struct Weighted<S> {
+    probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Option<S::Value>> {
+        if rng.gen_bool(self.probability) {
+            self.inner.generate(rng).map(Some)
+        } else {
+            Some(None)
+        }
+    }
+}

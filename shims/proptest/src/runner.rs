@@ -1,0 +1,77 @@
+//! The case loop driving each property test.
+
+use crate::config::ProptestConfig;
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Generation attempts allowed per case before the strategy is declared
+/// too restrictive.
+const MAX_REJECTS_PER_CASE: u32 = 65_536;
+
+/// Drives one property: seeds an RNG from the test name, generates
+/// `config.cases` inputs and runs the test body on each.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+    seed: u64,
+    name: String,
+}
+
+impl TestRunner {
+    /// Build a runner for the named test. The seed derives from the name
+    /// (FNV-1a), XORed with `PROPTEST_SHIM_SEED` when that is set, so runs
+    /// are deterministic per test but can be steered externally.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325_u64;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            seed ^= extra;
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Run the property. Panics (failing the enclosing `#[test]`) when the
+    /// body panics or the strategy rejects too many generation attempts;
+    /// the failing case index and seed are printed first so the failure
+    /// reproduces.
+    pub fn run<S: Strategy>(&mut self, strategy: &S, mut test: impl FnMut(S::Value)) {
+        for case in 0..self.config.cases {
+            let value = self.generate_one(strategy, case);
+            let result = catch_unwind(AssertUnwindSafe(|| test(value)));
+            if let Err(panic) = result {
+                eprintln!(
+                    "proptest shim: property '{}' failed at case {case}/{} (seed {:#x}); \
+                     rerun reproduces deterministically",
+                    self.name, self.config.cases, self.seed
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    fn generate_one<S: Strategy>(&mut self, strategy: &S, case: u32) -> S::Value {
+        for _ in 0..MAX_REJECTS_PER_CASE {
+            if let Some(value) = strategy.generate(&mut self.rng) {
+                return value;
+            }
+        }
+        panic!(
+            "proptest shim: strategy for '{}' rejected {MAX_REJECTS_PER_CASE} \
+             attempts at case {case} — filter too restrictive",
+            self.name
+        );
+    }
+}

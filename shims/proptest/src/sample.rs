@@ -1,0 +1,60 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A strategy picking one element of `values` uniformly.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        let index = rng.gen_range(0..self.values.len());
+        Some(self.values[index].clone())
+    }
+}
+
+/// A strategy picking a random subsequence of exactly `count` elements,
+/// preserving the original order.
+pub fn subsequence<T: Clone>(values: Vec<T>, count: usize) -> Subsequence<T> {
+    assert!(
+        count <= values.len(),
+        "subsequence of {count} from {} values",
+        values.len()
+    );
+    Subsequence { values, count }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    count: usize,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<Vec<T>> {
+        let mut indices: Vec<usize> = (0..self.values.len()).collect();
+        indices.shuffle(rng);
+        indices.truncate(self.count);
+        indices.sort_unstable();
+        Some(
+            indices
+                .into_iter()
+                .map(|i| self.values[i].clone())
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace replaces
+//! its external `serde` dependency with this local shim. Instead of the
+//! upstream visitor architecture, everything routes through a concrete
+//! JSON-like [`Value`] tree: [`Serialize`] renders into a `Value`,
+//! [`Deserialize`] reads back out of one. The `serde_json` shim supplies
+//! the text round-trip.
+//!
+//! There is no proc-macro `#[derive(Serialize, Deserialize)]`; the
+//! workspace's handful of serializable types use the declarative macros
+//! exported here instead:
+//!
+//! * [`impl_serde_struct!`] — plain structs, field-by-field,
+//! * [`impl_serde_via!`] — the `#[serde(try_from = "...", into = "...")]`
+//!   pattern: serialize through a conversion type, validate on the way in,
+//! * [`impl_serde_unit_enum!`] — C-like enums as variant-name strings.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON-shaped value tree — the interchange format between [`Serialize`]
+/// and [`Deserialize`]. Object entries keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all numbers are `f64`, as in JavaScript).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup in an object; `None` for other shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable shape name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+/// Deserialization failure: a message plus nothing else — the shim keeps
+/// no position information.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    fn type_mismatch(expected: &'static str, got: &Value) -> Self {
+        DeError::custom(format!("expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The `Value` representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a `Value`, validating invariants.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            other => Err(DeError::type_mismatch("number", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let Value::Number(n) = value else {
+                    return Err(DeError::type_mismatch("integer", value));
+                };
+                if n.fract() != 0.0 || !n.is_finite() {
+                    return Err(DeError::custom(format!("expected integer, found {n}")));
+                }
+                if *n < <$t>::MIN as f64 || *n > <$t>::MAX as f64 {
+                    return Err(DeError::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(*n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Implement [`Serialize`] and [`Deserialize`] for a plain struct,
+/// field by field — the stand-in for `#[derive(Serialize, Deserialize)]`.
+///
+/// Missing object keys deserialize as `Value::Null`, so `Option` fields
+/// tolerate omission, mirroring serde's default behavior for options.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_owned(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::DeError> {
+                if !matches!(value, $crate::Value::Object(_)) {
+                    return Err($crate::DeError::custom(format!(
+                        "expected object for {}",
+                        stringify!($ty)
+                    )));
+                }
+                Ok($ty {
+                    $($field: $crate::Deserialize::from_value(
+                        value.get(stringify!($field)).unwrap_or(&$crate::Value::Null),
+                    )
+                    .map_err(|e| $crate::DeError::custom(format!(
+                        "{}.{}: {e}",
+                        stringify!($ty),
+                        stringify!($field)
+                    )))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement serde through a conversion type — the stand-in for
+/// `#[serde(try_from = "Repr", into = "Repr")]`: serialization clones and
+/// converts into `Repr`; deserialization parses a `Repr` and runs it back
+/// through `TryFrom`, so every decoded value passes the same validation as
+/// constructed ones.
+#[macro_export]
+macro_rules! impl_serde_via {
+    ($ty:ty => $repr:ty) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let repr: $repr = <$repr>::from(self.clone());
+                $crate::Serialize::to_value(&repr)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::DeError> {
+                let repr: $repr = $crate::Deserialize::from_value(value)?;
+                <$ty>::try_from(repr).map_err($crate::DeError::custom)
+            }
+        }
+    };
+}
+
+/// Implement serde for a C-like enum as its variant name — the stand-in
+/// for `#[derive(Serialize, Deserialize)]` on unit-variant enums.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::Value::String(name.to_owned())
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::DeError> {
+                let $crate::Value::String(name) = value else {
+                    return Err($crate::DeError::custom(format!(
+                        "expected variant string for {}",
+                        stringify!($ty)
+                    )));
+                };
+                match name.as_str() {
+                    $(stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::DeError::custom(format!(
+                        "unknown {} variant: {other}",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        label: Option<String>,
+    }
+
+    impl_serde_struct!(Point { x, label });
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point {
+            x: 1.5,
+            label: Some("origin-ish".to_owned()),
+        };
+        let back = Point::from_value(&p.to_value()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn missing_key_is_null() {
+        let value = Value::Object(vec![("x".to_owned(), Value::Number(2.0))]);
+        let p = Point::from_value(&value).unwrap();
+        assert_eq!(
+            p,
+            Point {
+                x: 2.0,
+                label: None
+            }
+        );
+    }
+
+    #[test]
+    fn integer_bounds_checked() {
+        assert!(u32::from_value(&Value::Number(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Number(0.5)).is_err());
+        assert_eq!(u32::from_value(&Value::Number(7.0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![(
+            "rows".to_owned(),
+            Value::Array(vec![Value::String("7".to_owned())]),
+        )]);
+        assert_eq!(v["rows"][0], "7");
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

@@ -176,11 +176,18 @@ fn info(options: &Options) -> Result<(), String> {
     println!("corpus      : {}", dataset.name);
     println!("objects     : {}", dataset.len());
     println!("dimensions  : {}", dataset.dim());
-    let classes = dataset.labels.iter().collect::<std::collections::HashSet<_>>();
+    let classes = dataset
+        .labels
+        .iter()
+        .collect::<std::collections::HashSet<_>>();
     println!("classes     : {}", classes.len());
     println!(
         "metric cost : {}",
-        if dataset.cost.is_metric(1e-9) { "yes" } else { "no" }
+        if dataset.cost.is_metric(1e-9) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     let mean_support: f64 = dataset
         .histograms
@@ -243,8 +250,7 @@ fn reduce(options: &Options) -> Result<(), String> {
                 .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
                 .ok_or("--method grid needs a tiling corpus (name `tiling-WxH`)")?;
             let block = ((width * height) as f64 / dims as f64).sqrt().ceil() as usize;
-            block_merge(width, height, block.max(1), block.max(1))
-                .map_err(|e| e.to_string())?
+            block_merge(width, height, block.max(1), block.max(1)).map_err(|e| e.to_string())?
         }
         other => return Err(format!("unknown reduction method `{other}`")),
     };

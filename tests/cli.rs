@@ -1,6 +1,9 @@
 //! End-to-end test of the `flexemd` command-line tool: generate a corpus,
 //! build a reduction, run a query — all through the real binary.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 fn flexemd() -> Command {
@@ -20,9 +23,7 @@ fn full_workflow() {
     let reduction = dir.join("reduction.json");
 
     let generate = flexemd()
-        .args([
-            "generate", "--kind", "gaussian", "--out",
-        ])
+        .args(["generate", "--kind", "gaussian", "--out"])
         .arg(&data)
         .args(["--classes", "3", "--per-class", "12", "--seed", "5"])
         .output()
@@ -34,7 +35,12 @@ fn full_workflow() {
     );
     assert!(data.exists());
 
-    let info = flexemd().arg("info").arg("--data").arg(&data).output().unwrap();
+    let info = flexemd()
+        .arg("info")
+        .arg("--data")
+        .arg(&data)
+        .output()
+        .unwrap();
     assert!(info.status.success());
     let info_text = String::from_utf8_lossy(&info.stdout).to_string();
     assert!(info_text.contains("objects     : 36"), "{info_text}");
@@ -81,7 +87,10 @@ fn rejects_bad_input() {
     let unknown = flexemd().arg("frobnicate").output().unwrap();
     assert!(!unknown.status.success());
 
-    let missing = flexemd().args(["info", "--data", "/nonexistent/x.json"]).output().unwrap();
+    let missing = flexemd()
+        .args(["info", "--data", "/nonexistent/x.json"])
+        .output()
+        .unwrap();
     assert!(!missing.status.success());
 
     let no_command = flexemd().output().unwrap();

@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: generated corpus -> preprocessing ->
 //! reductions -> multistep queries, verified against brute force.
 
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use flexemd::core::{emd, Histogram};
 use flexemd::data::gaussian::{self, GaussianParams};
 use flexemd::data::tiling::{self, TilingParams};
@@ -58,9 +61,11 @@ fn tiling_corpus_full_pipeline_is_complete() {
             Box::new(ReducedImFilter::new(&database, reduced.clone()).unwrap()),
             Box::new(ReducedEmdFilter::new(&database, reduced).unwrap()),
         ];
-        let pipeline =
-            Pipeline::new(stages, EmdDistance::new(database.clone(), cost.clone()).unwrap())
-                .unwrap();
+        let pipeline = Pipeline::new(
+            stages,
+            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+        )
+        .unwrap();
         for query in &queries {
             let expected = brute_force_knn(query, &database, &cost, 5).unwrap();
             let (got, stats) = pipeline.knn(query, 5).unwrap();
@@ -159,8 +164,12 @@ fn artifacts_roundtrip_through_json() {
     // The loaded artifacts still produce identical reduced distances.
     let a = ReducedEmd::new(&dataset.cost, reduction).unwrap();
     let b = ReducedEmd::new(&loaded.cost, loaded_reduction).unwrap();
-    let d_a = a.distance(&dataset.histograms[0], &dataset.histograms[1]).unwrap();
-    let d_b = b.distance(&loaded.histograms[0], &loaded.histograms[1]).unwrap();
+    let d_a = a
+        .distance(&dataset.histograms[0], &dataset.histograms[1])
+        .unwrap();
+    let d_b = b
+        .distance(&loaded.histograms[0], &loaded.histograms[1])
+        .unwrap();
     assert_eq!(d_a, d_b);
     std::fs::remove_file(&dataset_path).unwrap();
 }
@@ -181,19 +190,13 @@ fn calibrated_range_queries_return_at_least_k() {
     let cost = Arc::new(dataset.cost.clone());
     let database = Arc::new(dataset.histograms);
 
-    let workload = flexemd::data::Workload::range_from_knn(
-        queries,
-        &database,
-        &cost,
-        5,
-    )
-    .unwrap();
+    let workload = flexemd::data::Workload::range_from_knn(queries, &database, &cost, 5).unwrap();
 
     let reduction = kmedoidize(&cost, 5);
     let reduced = ReducedEmd::new(&cost, reduction).unwrap();
     let pipeline = Pipeline::new(
         vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
-        EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+        EmdDistance::new(database.clone(), cost).unwrap(),
     )
     .unwrap();
 
@@ -206,7 +209,10 @@ fn calibrated_range_queries_return_at_least_k() {
     }
 }
 
-fn kmedoidize(cost: &flexemd::core::CostMatrix, k: usize) -> flexemd::reduction::CombiningReduction {
+fn kmedoidize(
+    cost: &flexemd::core::CostMatrix,
+    k: usize,
+) -> flexemd::reduction::CombiningReduction {
     kmedoids_reduction(cost, k, &mut StdRng::seed_from_u64(3))
         .unwrap()
         .reduction
