@@ -1,0 +1,48 @@
+//! Wall-clock scaling of `Executor::run_batch` across worker threads
+//! (backs experiment E12 — the engine's parallel batch path).
+// Benchmark glue: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used, missing_docs)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emd_bench::setup::{
+    build_reduction, chained_executor, flow_sample, tiling_bench, Scale, Strategy,
+};
+use emd_query::Query;
+use std::hint::black_box;
+
+fn batch_knn(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 12,
+        color_per_class: 4,
+        queries: 8,
+        sample: 10,
+    };
+    let bench = tiling_bench(&scale, 21);
+    let flows = flow_sample(&bench, scale.sample, 22);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, 23);
+    let executor = chained_executor(&bench, reduction);
+    let workload: Vec<Query> = bench
+        .queries
+        .iter()
+        .map(|q| Query::knn(q.clone(), 10))
+        .collect();
+
+    // The parity the engine guarantees: threads only change wall-clock.
+    let (sequential, sequential_stats) = executor.run_batch(&workload, 1).expect("valid");
+    let (threaded, threaded_stats) = executor.run_batch(&workload, 4).expect("valid");
+    assert_eq!(sequential, threaded, "threaded batch diverged");
+    assert_eq!(sequential_stats, threaded_stats, "merged stats diverged");
+
+    let mut group = c.benchmark_group("batch_knn");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(executor.run_batch(&workload, t).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_knn);
+criterion_main!(benches);

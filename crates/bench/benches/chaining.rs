@@ -6,10 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use emd_bench::setup::{
-    build_reduction, chained_pipeline, flow_sample, red_emd_pipeline, refiner, tiling_bench, Scale,
-    Strategy,
+    build_reduction, chained_executor, flow_sample, red_emd_executor, refiner, scan_executor,
+    tiling_bench, Scale, Strategy,
 };
-use emd_query::{Filter, FullLbImFilter, Pipeline};
+use emd_query::{Executor, Filter, FullLbImFilter, QueryPlan};
 use std::hint::black_box;
 
 fn chaining_configurations(c: &mut Criterion) {
@@ -27,25 +27,26 @@ fn chaining_configurations(c: &mut Criterion) {
     let mut group = c.benchmark_group("chaining");
     group.sample_size(10);
 
-    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    let scan = scan_executor(&bench);
     group.bench_function("scan", |b| {
         b.iter(|| black_box(scan.knn(query, 10).expect("valid")))
     });
 
     let lb_im: Vec<Box<dyn Filter>> = vec![Box::new(
-        FullLbImFilter::new(bench.database.clone(), &bench.cost).expect("consistent"),
+        FullLbImFilter::new(&bench.database).expect("consistent"),
     )];
-    let lb_im_pipeline = Pipeline::new(lb_im, refiner(&bench)).expect("consistent");
+    let lb_im_executor =
+        Executor::new(QueryPlan::new(lb_im, Box::new(refiner(&bench))).expect("consistent"));
     group.bench_function("lbim_then_emd", |b| {
-        b.iter(|| black_box(lb_im_pipeline.knn(query, 10).expect("valid")))
+        b.iter(|| black_box(lb_im_executor.knn(query, 10).expect("valid")))
     });
 
-    let red_emd = red_emd_pipeline(&bench, reduction.clone());
+    let red_emd = red_emd_executor(&bench, reduction.clone());
     group.bench_function("redemd_then_emd", |b| {
         b.iter(|| black_box(red_emd.knn(query, 10).expect("valid")))
     });
 
-    let full_chain = chained_pipeline(&bench, reduction);
+    let full_chain = chained_executor(&bench, reduction);
     group.bench_function("redim_redemd_emd", |b| {
         b.iter(|| black_box(full_chain.knn(query, 10).expect("valid")))
     });

@@ -49,8 +49,8 @@ fn emd_on_realistic_features(c: &mut Criterion) {
         sample: 4,
     };
     let bench = tiling_bench(&scale, 1);
-    let x = &bench.database[0];
-    let y = &bench.database[1];
+    let x = &bench.database.histograms()[0];
+    let y = &bench.database.histograms()[1];
     c.bench_function("emd_tiling_96d_pair", |b| {
         b.iter(|| black_box(emd(x, y, &bench.cost).expect("valid")))
     });

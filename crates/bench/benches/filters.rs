@@ -21,7 +21,7 @@ fn filter_costs(c: &mut Criterion) {
     };
     let bench = tiling_bench(&scale, 4);
     let x = &bench.queries[0];
-    let y = &bench.database[0];
+    let y = &bench.database.histograms()[0];
     let mut group = c.benchmark_group("filter_pair_cost");
 
     group.bench_function("exact_emd_96d", |b| {

@@ -7,9 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{
-    build_reduction, chained_pipeline, flow_sample, refiner, tiling_bench, Scale, Strategy,
+    build_reduction, chained_executor, flow_sample, scan_executor, tiling_bench, Scale, Strategy,
 };
-use emd_query::Pipeline;
 use std::hint::black_box;
 
 fn knn_query(c: &mut Criterion) {
@@ -26,16 +25,16 @@ fn knn_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("knn_query");
     group.sample_size(10);
 
-    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    let scan = scan_executor(&bench);
     group.bench_function("sequential_scan", |b| {
         b.iter(|| black_box(scan.knn(query, 10).expect("valid query")));
     });
 
     for d_red in [8usize, 16, 32] {
         let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, d_red, 11);
-        let pipeline = chained_pipeline(&bench, reduction);
+        let executor = chained_executor(&bench, reduction);
         group.bench_with_input(BenchmarkId::new("chained", d_red), &d_red, |b, _| {
-            b.iter(|| black_box(pipeline.knn(query, 10).expect("valid query")))
+            b.iter(|| black_box(executor.knn(query, 10).expect("valid query")))
         });
     }
     group.finish();

@@ -28,7 +28,9 @@ fn reduced_emd_evaluation(c: &mut Criterion) {
         let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, d_red, 5);
         let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated");
         let rx = reduced.reduce_first(&bench.queries[0]).expect("dims ok");
-        let ry = reduced.reduce_second(&bench.database[0]).expect("dims ok");
+        let ry = reduced
+            .reduce_second(&bench.database.histograms()[0])
+            .expect("dims ok");
         group.bench_with_input(BenchmarkId::from_parameter(d_red), &d_red, |b, _| {
             b.iter(|| black_box(reduced.distance_reduced(&rx, &ry).expect("valid")))
         });

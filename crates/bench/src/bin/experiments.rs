@@ -1,11 +1,13 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [IDS...] [--full] [--json PATH]
+//! experiments [IDS...] [--full] [--smoke] [--json PATH]
 //!
-//!   IDS     experiment ids (e1..e10, a1..a3); default: all
-//!   --full  paper-scale corpora (much slower than the default quick run)
-//!   --json  additionally write the tables as JSON to PATH
+//!   IDS      experiment ids (e1..e12, a1..a4); default: all
+//!   --full   paper-scale corpora (much slower than the default quick run)
+//!   --smoke  CI mode: tiny corpus, runs the batch-executor parity check
+//!            (E12) and exits non-zero if threaded != sequential
+//!   --json   additionally write the tables as JSON to PATH
 //! ```
 
 // CLI glue: panicking on a malformed run is the desired behavior.
@@ -17,6 +19,34 @@ use emd_bench::setup::Scale;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// `--smoke`: exercise the engine end to end at a tiny scale. Runs the
+/// E12 batch experiment and fails the process when any threaded batch
+/// diverges from the sequential run — the tentpole's bit-identity
+/// guarantee, checked in release mode on every CI push.
+fn smoke() -> ExitCode {
+    let scale = Scale {
+        tiling_per_class: 6,
+        color_per_class: 4,
+        queries: 6,
+        sample: 8,
+    };
+    let table = experiments::e12(&scale, true);
+    println!("\n{table}");
+    let diverged: Vec<&str> = table
+        .rows
+        .iter()
+        .filter(|row| row[3] != "true")
+        .map(|row| row[0].as_str())
+        .collect();
+    if diverged.is_empty() {
+        println!("# smoke OK: batch execution bit-identical across thread counts");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("# smoke FAILED: thread counts {diverged:?} diverged from sequential");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
@@ -27,6 +57,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => full = true,
+            "--smoke" => return smoke(),
             "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
                 None => {
@@ -35,7 +66,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: experiments [IDS...] [--full] [--json PATH]");
+                eprintln!("usage: experiments [IDS...] [--full] [--smoke] [--json PATH]");
                 return ExitCode::SUCCESS;
             }
             "all" => run_all = true,
@@ -59,8 +90,8 @@ fn main() -> ExitCode {
     if run_all || ids.is_empty() {
         // Run one at a time so progress is visible as it happens.
         for id in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3",
-            "a4",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2",
+            "a3", "a4",
         ] {
             let table = experiments::by_id(id, &scale, quick).expect("known id");
             println!("\n{table}");

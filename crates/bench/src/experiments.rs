@@ -3,10 +3,10 @@
 
 use crate::report::{fnum, Table};
 use crate::setup::{
-    build_reduction, chained_pipeline, color_bench, flow_sample, mean_tightness_ratio, measure_knn,
-    red_emd_pipeline, refiner, tiling_bench, Bench, Scale, Strategy,
+    build_reduction, chained_executor, color_bench, flow_sample, mean_tightness_ratio, measure_knn,
+    red_emd_executor, refiner, scan_executor, tiling_bench, Bench, Scale, Strategy,
 };
-use emd_query::{Filter, FullLbImFilter, Pipeline, ReducedEmdFilter};
+use emd_query::{Database, Executor, Filter, FullLbImFilter, Query, QueryPlan, ReducedEmdFilter};
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};
 use emd_reduction::flow_sample::draw_sample;
 use emd_reduction::kmedoids::kmedoids_reduction;
@@ -55,8 +55,8 @@ fn candidates_sweep(table: &mut Table, bench: &Bench, dims: &[usize], sample: us
         let mut cells = vec![d_red.to_string()];
         for strategy in Strategy::all() {
             let reduction = build_reduction(strategy, bench, &flows, d_red, SEED ^ 0xbead);
-            let pipeline = red_emd_pipeline(bench, reduction);
-            let measurement = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+            let executor = red_emd_executor(bench, reduction);
+            let measurement = measure_knn(&executor, &bench.queries, K_DEFAULT);
             cells.push(fnum(measurement.refinements));
         }
         table.row(cells);
@@ -127,8 +127,8 @@ pub fn e3(scale: &Scale, _quick: bool) -> Table {
         let mut cells = vec![bench.name.clone(), d_red.to_string()];
         for strategy in Strategy::all() {
             let reduction = build_reduction(strategy, &bench, &flows, d_red, SEED ^ 0xbead);
-            let pipeline = red_emd_pipeline(&bench, reduction);
-            let measurement = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+            let executor = red_emd_executor(&bench, reduction);
+            let measurement = measure_knn(&executor, &bench.queries, K_DEFAULT);
             cells.push(fnum(measurement.refinements / n));
         }
         table.row(cells);
@@ -147,7 +147,7 @@ pub fn e4(scale: &Scale, quick: bool) -> Table {
     );
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
-    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    let scan = scan_executor(&bench);
     let scan_time = measure_knn(&scan, &bench.queries, K_DEFAULT)
         .time_per_query
         .as_secs_f64()
@@ -156,8 +156,8 @@ pub fn e4(scale: &Scale, quick: bool) -> Table {
         let mut cells = vec![d_red.to_string()];
         for strategy in [Strategy::KMed, Strategy::FbAllKMed] {
             let reduction = build_reduction(strategy, &bench, &flows, d_red, SEED ^ 0xbead);
-            let pipeline = chained_pipeline(&bench, reduction);
-            let measurement = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+            let executor = chained_executor(&bench, reduction);
+            let measurement = measure_knn(&executor, &bench.queries, K_DEFAULT);
             cells.push(fnum(measurement.time_per_query.as_secs_f64() * 1e3));
         }
         cells.push(fnum(scan_time));
@@ -184,10 +184,9 @@ pub fn e5(scale: &Scale, _quick: bool) -> Table {
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
     let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, SEED ^ 0xbead);
-    let reduced = ReducedEmd::new(&bench.cost, reduction.clone()).expect("validated");
 
-    let mut run = |name: &str, pipeline: Pipeline| {
-        let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+    let mut run = |name: &str, executor: Executor| {
+        let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
         let stage = |i: usize| {
             m.stage_evaluations
                 .get(i)
@@ -203,29 +202,27 @@ pub fn e5(scale: &Scale, _quick: bool) -> Table {
         ]);
     };
 
-    run(
-        "seq. scan",
-        Pipeline::sequential(refiner(&bench)).expect("non-empty"),
-    );
+    run("seq. scan", scan_executor(&bench));
     run(
         "LB-IM(96) -> EMD",
-        Pipeline::new(
-            vec![Box::new(
-                FullLbImFilter::new(bench.database.clone(), &bench.cost).expect("consistent"),
-            )],
-            refiner(&bench),
-        )
-        .expect("consistent"),
+        Executor::new(
+            QueryPlan::new(
+                vec![Box::new(
+                    FullLbImFilter::new(&bench.database).expect("consistent"),
+                )],
+                Box::new(refiner(&bench)),
+            )
+            .expect("consistent"),
+        ),
     );
     run(
         "Red-EMD -> EMD",
-        red_emd_pipeline(&bench, reduction.clone()),
+        red_emd_executor(&bench, reduction.clone()),
     );
     run(
         "Red-IM -> Red-EMD -> EMD",
-        chained_pipeline(&bench, reduction),
+        chained_executor(&bench, reduction),
     );
-    let _ = reduced;
     table.note("expectation: the chained Red-IM stage removes most Red-EMD evaluations at negligible cost; both reduced pipelines beat the full-dimensional LB-IM filter in time");
     table
 }
@@ -240,10 +237,10 @@ pub fn e6(scale: &Scale, _quick: bool) -> Table {
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
     let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, SEED ^ 0xbead);
-    let pipeline = chained_pipeline(&bench, reduction);
+    let executor = chained_executor(&bench, reduction);
     for k in [1usize, 5, 10, 20, 50] {
         let k = k.min(bench.database.len());
-        let m = measure_knn(&pipeline, &bench.queries, k);
+        let m = measure_knn(&executor, &bench.queries, k);
         table.row(vec![
             k.to_string(),
             fnum(m.refinements),
@@ -276,9 +273,9 @@ pub fn e7(scale: &Scale, _quick: bool) -> Table {
         let bench = tiling_bench(&sub_scale, SEED);
         let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
         let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, SEED ^ 0xbead);
-        let pipeline = chained_pipeline(&bench, reduction);
-        let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
-        let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+        let executor = chained_executor(&bench, reduction);
+        let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
+        let scan = scan_executor(&bench);
         // Scan time extrapolated from a few queries to keep E7 fast.
         let scan_queries = &bench.queries[..bench.queries.len().min(5)];
         let scan_time = measure_knn(&scan, scan_queries, K_DEFAULT)
@@ -319,8 +316,8 @@ pub fn e8(scale: &Scale, _quick: bool) -> Table {
         let mut cells = vec![sample.to_string()];
         for strategy in [Strategy::FbModKMed, Strategy::FbAllKMed] {
             let reduction = build_reduction(strategy, &bench, &flows, 12, SEED ^ 0xbead);
-            let pipeline = red_emd_pipeline(&bench, reduction);
-            let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+            let executor = red_emd_executor(&bench, reduction);
+            let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
             cells.push(fnum(m.refinements));
         }
         cells.push(fnum(sampling_time));
@@ -428,8 +425,8 @@ pub fn a1(scale: &Scale, _quick: bool) -> Table {
             ..FbOptions::default()
         };
         let result = fb_all(kmed.clone(), &flows, &bench.cost, options);
-        let pipeline = red_emd_pipeline(&bench, result.reduction.clone());
-        let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+        let executor = red_emd_executor(&bench, result.reduction.clone());
+        let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
         table.row(vec![
             format!("{threshold:.0e}"),
             fnum(result.tightness),
@@ -463,8 +460,9 @@ pub fn a2(scale: &Scale, _quick: bool) -> Table {
         let stages: Vec<Box<dyn Filter>> = vec![Box::new(
             ReducedEmdFilter::new(&bench.database, reduced).expect("consistent"),
         )];
-        let pipeline = Pipeline::new(stages, refiner(&bench)).expect("consistent");
-        let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+        let executor =
+            Executor::new(QueryPlan::new(stages, Box::new(refiner(&bench))).expect("consistent"));
+        let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
         table.row(vec![
             label.to_owned(),
             "8".to_owned(),
@@ -486,7 +484,7 @@ pub fn a3(scale: &Scale, _quick: bool) -> Table {
     let bench = tiling_bench(scale, SEED);
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
     let mut rng = StdRng::seed_from_u64(SEED ^ 0x9ca);
-    let sample: Vec<_> = draw_sample(&bench.database, scale.sample, &mut rng)
+    let sample: Vec<_> = draw_sample(bench.database.histograms(), scale.sample, &mut rng)
         .into_iter()
         .cloned()
         .collect();
@@ -494,8 +492,8 @@ pub fn a3(scale: &Scale, _quick: bool) -> Table {
     let kmed = build_reduction(Strategy::KMed, &bench, &flows, 12, SEED ^ 0xbead);
     let fb = build_reduction(Strategy::FbAllKMed, &bench, &flows, 12, SEED ^ 0xbead);
     for (label, reduction) in [("PCA-guided", pca), ("KMed", kmed), ("FB-All(KMed)", fb)] {
-        let pipeline = red_emd_pipeline(&bench, reduction.clone());
-        let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+        let executor = red_emd_executor(&bench, reduction.clone());
+        let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
         let ratio = mean_tightness_ratio(&bench, &reduction, 300);
         table.row(vec![label.to_owned(), fnum(m.refinements), fnum(ratio)]);
     }
@@ -516,19 +514,19 @@ pub fn e11(scale: &Scale, _quick: bool) -> Table {
     // so range results coincide with the k-NN results.
     let workload = emd_data::Workload::range_from_knn(
         bench.queries.clone(),
-        &bench.database,
+        bench.database.histograms(),
         &bench.cost,
         K_DEFAULT,
     )
     .expect("non-degenerate workload");
     for strategy in Strategy::all() {
         let reduction = build_reduction(strategy, &bench, &flows, 12, SEED ^ 0xbead);
-        let pipeline = red_emd_pipeline(&bench, reduction);
+        let executor = red_emd_executor(&bench, reduction);
         let mut refinements = 0usize;
         let mut hits = 0usize;
         let started = Instant::now();
         for (query, epsilon) in workload.ranges() {
-            let (results, stats) = pipeline.range(query, epsilon).expect("consistent");
+            let (results, stats) = executor.range(query, epsilon).expect("consistent");
             refinements += stats.refinements;
             hits += results.len();
         }
@@ -546,13 +544,9 @@ pub fn e11(scale: &Scale, _quick: bool) -> Table {
     table
 }
 
-/// A4: VP-tree metric index vs the filter pipeline.
-pub fn a4(scale: &Scale, _quick: bool) -> Table {
-    let mut table = Table::new(
-        "A4",
-        "metric index (VP-tree) vs reduction filter pipeline (gaussian, 32-d, k=10)",
-        &["approach", "exact EMDs/query", "ms/query", "build [ms]"],
-    );
+/// Seeded 32-d Gaussian bench shared by A4 and E12 (at `Scale::full`
+/// this is the tentpole's ~1k-object corpus: 6 classes x 205 per class).
+fn gaussian_bench(scale: &Scale) -> Bench {
     use emd_data::gaussian::{self, GaussianParams};
     let params = GaussianParams {
         dim: 32,
@@ -563,18 +557,29 @@ pub fn a4(scale: &Scale, _quick: bool) -> Table {
     let dataset = gaussian::generate(&params, &mut StdRng::seed_from_u64(SEED));
     let (dataset, queries) = dataset.split_queries(scale.queries);
     let cost = std::sync::Arc::new(dataset.cost.clone());
-    let database = std::sync::Arc::new(dataset.histograms);
-    let bench = Bench {
+    let database =
+        Database::new(dataset.histograms, cost.clone()).expect("dataset is self-consistent");
+    Bench {
         name: dataset.name,
-        database: database.clone(),
-        cost: cost.clone(),
+        database,
+        cost,
         queries,
         positions: dataset.positions,
-    };
+    }
+}
+
+/// A4: VP-tree metric index vs the filter pipeline.
+pub fn a4(scale: &Scale, _quick: bool) -> Table {
+    let mut table = Table::new(
+        "A4",
+        "metric index (VP-tree) vs reduction filter pipeline (gaussian, 32-d, k=10)",
+        &["approach", "exact EMDs/query", "ms/query", "build [ms]"],
+    );
+    let bench = gaussian_bench(scale);
 
     // VP-tree over the exact EMD.
     let started = Instant::now();
-    let tree = emd_query::VpTree::build(database, cost).expect("non-empty");
+    let tree = emd_query::VpTree::build(&bench.database).expect("non-empty");
     let tree_build_ms = started.elapsed().as_secs_f64() * 1e3;
     let started = Instant::now();
     let mut tree_distances = 0usize;
@@ -594,9 +599,9 @@ pub fn a4(scale: &Scale, _quick: bool) -> Table {
     let started = Instant::now();
     let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
     let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
-    let pipeline = chained_pipeline(&bench, reduction);
+    let executor = chained_executor(&bench, reduction);
     let pipeline_build_ms = started.elapsed().as_secs_f64() * 1e3;
-    let m = measure_knn(&pipeline, &bench.queries, K_DEFAULT);
+    let m = measure_knn(&executor, &bench.queries, K_DEFAULT);
     table.row(vec![
         "Red-IM -> Red-EMD -> EMD (d'=8)".to_owned(),
         fnum(m.refinements),
@@ -604,7 +609,7 @@ pub fn a4(scale: &Scale, _quick: bool) -> Table {
         fnum(pipeline_build_ms),
     ]);
 
-    let scan = Pipeline::sequential(refiner(&bench)).expect("non-empty");
+    let scan = scan_executor(&bench);
     let s = measure_knn(&scan, &bench.queries, K_DEFAULT);
     table.row(vec![
         "sequential scan".to_owned(),
@@ -613,6 +618,56 @@ pub fn a4(scale: &Scale, _quick: bool) -> Table {
         "0".to_owned(),
     ]);
     table.note("both index and pipeline are exact; the comparison is exact-EMD computations per query and build cost");
+    table
+}
+
+/// E12: parallel batch-query throughput of the executor. One shared
+/// executor, one workload; `run_batch` across worker-thread counts must
+/// return results and merged stats bit-identical to the sequential run,
+/// with the wall-clock speedup as the payoff.
+pub fn e12(scale: &Scale, _quick: bool) -> Table {
+    let mut table = Table::new(
+        "E12",
+        "parallel batch k-NN throughput (gaussian, 32-d, d'=8, k=10)",
+        &["threads", "ms/query", "speedup", "matches sequential"],
+    );
+    let bench = gaussian_bench(scale);
+    let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
+    let executor = chained_executor(&bench, reduction);
+    let workload: Vec<Query> = bench
+        .queries
+        .iter()
+        .map(|q| Query::knn(q.clone(), K_DEFAULT))
+        .collect();
+    table.note(format!(
+        "database {} ({} objects), batch of {} queries on one shared snapshot; \
+         host exposes {} core(s) — wall-clock speedup needs more than one",
+        bench.name,
+        bench.database.len(),
+        workload.len(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    let (baseline, baseline_stats) = executor.run_batch(&workload, 1).expect("consistent plan");
+    let mut sequential_ms = 0.0_f64;
+    for threads in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        let (results, stats) = executor
+            .run_batch(&workload, threads)
+            .expect("consistent plan");
+        let ms = started.elapsed().as_secs_f64() * 1e3 / workload.len().max(1) as f64;
+        if threads == 1 {
+            sequential_ms = ms;
+        }
+        let identical = results == baseline && stats == baseline_stats;
+        table.row(vec![
+            threads.to_string(),
+            fnum(ms),
+            fnum(sequential_ms / ms.max(1e-12)),
+            identical.to_string(),
+        ]);
+    }
+    table.note("results and accumulated stats are bit-identical across thread counts; only wall-clock changes");
     table
 }
 
@@ -630,6 +685,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e9(scale, quick),
         e10(scale, quick),
         e11(scale, quick),
+        e12(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -651,6 +707,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e9" => Some(e9(scale, quick)),
         "e10" => Some(e10(scale, quick)),
         "e11" => Some(e11(scale, quick)),
+        "e12" => Some(e12(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),
@@ -696,5 +753,14 @@ mod tests {
     fn a2_smoke() {
         let table = a2(&tiny(), true);
         assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn e12_batches_match_sequential() {
+        let table = e12(&tiny(), true);
+        assert_eq!(table.rows.len(), 4);
+        for row in &table.rows {
+            assert_eq!(row[3], "true", "thread count {} diverged", row[0]);
+        }
     }
 }

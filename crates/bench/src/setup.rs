@@ -1,11 +1,19 @@
 //! Shared experiment setup: seeded corpora, workloads, reduction
 //! construction and query measurement.
+//!
+//! Every corpus is materialized once as an immutable [`Database`]
+//! snapshot; experiments build [`QueryPlan`]s over it and run them
+//! through an [`Executor`], so the harness measures exactly the code
+//! path the library's entry points use.
 
 use emd_core::{CostMatrix, Histogram};
 use emd_data::color::{self, ColorParams};
 use emd_data::tiling::{self, TilingParams};
 use emd_data::Dataset;
-use emd_query::{EmdDistance, Filter, Pipeline, QueryStats, ReducedEmdFilter, ReducedImFilter};
+use emd_query::{
+    Database, EmdDistance, Executor, Filter, QueryPlan, QueryStats, ReducedEmdFilter,
+    ReducedImFilter,
+};
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};
 use emd_reduction::flow_sample::{draw_sample, FlowSample};
 use emd_reduction::kmedoids::kmedoids_reduction;
@@ -51,14 +59,13 @@ impl Scale {
     }
 }
 
-/// A corpus split into database and query set, with shared handles the
-/// query filters need.
+/// A corpus split into an immutable database snapshot and a query set.
 pub struct Bench {
     /// Corpus name (e.g. `"tiling-12x8"`).
     pub name: String,
-    /// Database histograms (shared with the query filters).
-    pub database: Arc<Vec<Histogram>>,
-    /// Ground-distance matrix.
+    /// Immutable snapshot shared by every plan built over this bench.
+    pub database: Database,
+    /// Ground-distance matrix (also reachable via `database.cost()`).
     pub cost: Arc<CostMatrix>,
     /// Held-out query histograms.
     pub queries: Vec<Histogram>,
@@ -72,9 +79,11 @@ impl Bench {
         let positions = dataset.positions.clone();
         let cost = Arc::new(dataset.cost.clone());
         let (database, query_set) = dataset.split_queries(queries);
+        let database =
+            Database::new(database.histograms, cost.clone()).expect("dataset is self-consistent");
         Bench {
             name,
-            database: Arc::new(database.histograms),
+            database,
             cost,
             queries: query_set,
             positions,
@@ -167,7 +176,7 @@ impl Strategy {
 /// and parallelize perfectly (results are identical to sequential).
 pub fn flow_sample(bench: &Bench, sample_size: usize, seed: u64) -> FlowSample {
     let mut rng = StdRng::seed_from_u64(seed);
-    let sample: Vec<Histogram> = draw_sample(&bench.database, sample_size, &mut rng)
+    let sample: Vec<Histogram> = draw_sample(bench.database.histograms(), sample_size, &mut rng)
         .into_iter()
         .cloned()
         .collect();
@@ -215,32 +224,37 @@ pub fn build_reduction_with_options(
     }
 }
 
-/// Build the paper's Figure 10 pipeline (`Red-IM -> Red-EMD -> EMD`) for a
-/// symmetric reduction.
-pub fn chained_pipeline(bench: &Bench, reduction: CombiningReduction) -> Pipeline {
+/// Build the paper's Figure 10 plan (`Red-IM -> Red-EMD -> EMD`) for a
+/// symmetric reduction and wrap it in an executor.
+pub fn chained_executor(bench: &Bench, reduction: CombiningReduction) -> Executor {
     let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated reduction");
     let stages: Vec<Box<dyn Filter>> = vec![
         Box::new(ReducedImFilter::new(&bench.database, reduced.clone()).expect("consistent")),
         Box::new(ReducedEmdFilter::new(&bench.database, reduced).expect("consistent")),
     ];
-    Pipeline::new(stages, refiner(bench)).expect("consistent")
+    Executor::new(QueryPlan::new(stages, Box::new(refiner(bench))).expect("consistent"))
 }
 
-/// A single-stage `Red-EMD -> EMD` pipeline.
-pub fn red_emd_pipeline(bench: &Bench, reduction: CombiningReduction) -> Pipeline {
+/// A single-stage `Red-EMD -> EMD` plan wrapped in an executor.
+pub fn red_emd_executor(bench: &Bench, reduction: CombiningReduction) -> Executor {
     let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated reduction");
     let stages: Vec<Box<dyn Filter>> = vec![Box::new(
         ReducedEmdFilter::new(&bench.database, reduced).expect("consistent"),
     )];
-    Pipeline::new(stages, refiner(bench)).expect("consistent")
+    Executor::new(QueryPlan::new(stages, Box::new(refiner(bench))).expect("consistent"))
+}
+
+/// The zero-stage sequential-scan plan (exact EMD against every object).
+pub fn scan_executor(bench: &Bench) -> Executor {
+    Executor::new(QueryPlan::sequential(Box::new(refiner(bench))).expect("non-empty database"))
 }
 
 /// The exact-EMD refiner over the bench database.
 pub fn refiner(bench: &Bench) -> EmdDistance {
-    EmdDistance::new(bench.database.clone(), bench.cost.clone()).expect("consistent")
+    EmdDistance::new(&bench.database).expect("consistent")
 }
 
-/// Averaged measurements of a k-NN workload against one pipeline.
+/// Averaged measurements of a k-NN workload against one plan.
 #[derive(Debug, Clone)]
 pub struct WorkloadMeasurement {
     /// Mean refinements (candidate count) per query.
@@ -252,11 +266,11 @@ pub struct WorkloadMeasurement {
 }
 
 /// Run every query at the given `k` and average the statistics.
-pub fn measure_knn(pipeline: &Pipeline, queries: &[Histogram], k: usize) -> WorkloadMeasurement {
+pub fn measure_knn(executor: &Executor, queries: &[Histogram], k: usize) -> WorkloadMeasurement {
     let mut total = QueryStats::default();
     let started = Instant::now();
     for query in queries {
-        let (_, stats) = pipeline.knn(query, k).expect("consistent pipeline");
+        let (_, stats) = executor.knn(query, k).expect("consistent plan");
         total.accumulate(&stats);
     }
     let elapsed = started.elapsed();
@@ -280,7 +294,7 @@ pub fn mean_tightness_ratio(bench: &Bench, reduction: &CombiningReduction, pairs
     let mut total = 0.0;
     let mut count = 0usize;
     'outer: for query in &bench.queries {
-        for object in bench.database.iter() {
+        for object in bench.database.histograms() {
             if count >= pairs {
                 break 'outer;
             }
@@ -328,20 +342,20 @@ mod tests {
     }
 
     #[test]
-    fn measured_pipeline_is_complete() {
+    fn measured_plan_is_complete() {
         let bench = tiling_bench(&tiny_scale(), 23);
         let flows = flow_sample(&bench, 6, 29);
         let reduction = build_reduction(Strategy::FbModKMed, &bench, &flows, 8, 31);
-        let pipeline = chained_pipeline(&bench, reduction);
-        let scan = Pipeline::sequential(refiner(&bench)).unwrap();
+        let chained = chained_executor(&bench, reduction);
+        let scan = scan_executor(&bench);
         let query = &bench.queries[0];
         let (expected, _) = scan.knn(query, 3).unwrap();
-        let (got, _) = pipeline.knn(query, 3).unwrap();
+        let (got, _) = chained.knn(query, 3).unwrap();
         assert_eq!(
             got.iter().map(|n| n.id).collect::<Vec<_>>(),
             expected.iter().map(|n| n.id).collect::<Vec<_>>()
         );
-        let measurement = measure_knn(&pipeline, &bench.queries, 3);
+        let measurement = measure_knn(&chained, &bench.queries, 3);
         assert!(measurement.refinements >= 3.0);
         assert!(measurement.refinements <= bench.database.len() as f64);
     }

@@ -1,0 +1,74 @@
+//! Tentpole acceptance check: on a ~1k-object Gaussian corpus,
+//! `Executor::run_batch` with 4 worker threads returns neighbors and
+//! merged stats bit-identical to the sequential run.
+
+// Test code: panicking on a malformed fixture is the desired behavior.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use emd_bench::setup::{build_reduction, chained_executor, flow_sample, Bench, Scale, Strategy};
+use emd_data::gaussian::{self, GaussianParams};
+use emd_query::{Database, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn gaussian_1k_bench(queries: usize) -> Bench {
+    let params = GaussianParams {
+        dim: 32,
+        num_classes: 8,
+        per_class: 125 + queries.div_ceil(8),
+        ..GaussianParams::default()
+    };
+    let dataset = gaussian::generate(&params, &mut StdRng::seed_from_u64(0x1000));
+    let (dataset, query_set) = dataset.split_queries(queries);
+    let cost = Arc::new(dataset.cost.clone());
+    let database = Database::new(dataset.histograms, cost.clone()).expect("consistent dataset");
+    Bench {
+        name: dataset.name,
+        database,
+        cost,
+        queries: query_set,
+        positions: dataset.positions,
+    }
+}
+
+#[test]
+fn four_thread_batch_is_bit_identical_on_1k_gaussian() {
+    let bench = gaussian_1k_bench(8);
+    assert!(
+        bench.database.len() >= 1000,
+        "corpus too small: {}",
+        bench.database.len()
+    );
+
+    let scale = Scale {
+        tiling_per_class: 0,
+        color_per_class: 0,
+        queries: 8,
+        sample: 10,
+    };
+    let flows = flow_sample(&bench, scale.sample, 0x1001);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, 0x1002);
+    let executor = chained_executor(&bench, reduction);
+
+    let workload: Vec<Query> = bench
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 2 == 0 {
+                Query::knn(q.clone(), 10)
+            } else {
+                Query::range(q.clone(), (i as f64).mul_add(0.1, 0.5))
+            }
+        })
+        .collect();
+
+    let (sequential, sequential_stats) = executor.run_batch(&workload, 1).expect("valid workload");
+    let (threaded, threaded_stats) = executor.run_batch(&workload, 4).expect("valid workload");
+
+    // Bit-identical: same ids AND the exact same f64 distances, per query.
+    assert_eq!(sequential, threaded);
+    assert_eq!(sequential_stats, threaded_stats);
+    assert_eq!(sequential.len(), workload.len());
+}

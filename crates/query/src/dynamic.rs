@@ -1,4 +1,4 @@
-//! A mutable EMD retrieval index.
+//! A mutable EMD retrieval index with copy-on-write snapshots.
 //!
 //! [`Pipeline`](crate::Pipeline) indexes an immutable database snapshot —
 //! the setting of the paper's experiments. Real deployments also insert
@@ -7,10 +7,16 @@
 //! retain the complete filter-and-refine behaviour without rebuilds.
 //!
 //! Deletions use tombstones: ids are stable, storage is reclaimed by
-//! [`DynamicIndex::compact`]. Queries run the same KNOP algorithm as the
-//! static pipeline, restricted to live objects.
+//! [`DynamicIndex::compact`]. Storage lives behind `Arc`s mutated with
+//! [`Arc::make_mut`]: taking a [`DynamicSnapshot`] is O(live) in ids and
+//! copies **no histogram data**, and later mutations copy-on-write
+//! without disturbing outstanding snapshots. Queries execute through the
+//! shared engine [`Executor`](crate::Executor) — the KNOP refinement loop
+//! lives only in [`knop`](crate::knop), not here.
 
+use crate::engine::{Executor, QueryPlan};
 use crate::error::QueryError;
+use crate::filters::{Filter, PreparedFilter};
 use crate::stats::QueryStats;
 use crate::Neighbor;
 use emd_core::{emd_rectangular, CostMatrix, Histogram};
@@ -43,10 +49,11 @@ use std::sync::Arc;
 pub struct DynamicIndex {
     cost: Arc<CostMatrix>,
     reduced: ReducedEmd,
-    /// Original histograms; `None` marks a deleted id.
-    objects: Vec<Option<Histogram>>,
+    /// Original histograms; `None` marks a deleted id. Shared with
+    /// snapshots, mutated copy-on-write.
+    objects: Arc<Vec<Option<Histogram>>>,
     /// Reduced (database-side) representation of each live object.
-    reduced_objects: Vec<Option<Histogram>>,
+    reduced_objects: Arc<Vec<Option<Histogram>>>,
     live: usize,
 }
 
@@ -69,8 +76,8 @@ impl DynamicIndex {
         Ok(DynamicIndex {
             cost,
             reduced,
-            objects: Vec::new(),
-            reduced_objects: Vec::new(),
+            objects: Arc::new(Vec::new()),
+            reduced_objects: Arc::new(Vec::new()),
             live: 0,
         })
     }
@@ -102,23 +109,25 @@ impl DynamicIndex {
         }
         let reduced = self.reduced.reduce_second(&histogram)?;
         let id = self.objects.len();
-        self.objects.push(Some(histogram));
-        self.reduced_objects.push(Some(reduced));
+        Arc::make_mut(&mut self.objects).push(Some(histogram));
+        Arc::make_mut(&mut self.reduced_objects).push(Some(reduced));
         self.live += 1;
         Ok(id)
     }
 
     /// Delete by id. Returns `true` if the object existed and was live.
     pub fn remove(&mut self, id: usize) -> bool {
-        match self.objects.get_mut(id) {
-            Some(slot @ Some(_)) => {
-                *slot = None;
-                self.reduced_objects[id] = None;
-                self.live -= 1;
-                true
-            }
-            _ => false,
+        if self.get(id).is_none() {
+            return false;
         }
+        if let Some(slot) = Arc::make_mut(&mut self.objects).get_mut(id) {
+            *slot = None;
+        }
+        if let Some(slot) = Arc::make_mut(&mut self.reduced_objects).get_mut(id) {
+            *slot = None;
+        }
+        self.live -= 1;
+        true
     }
 
     /// Fetch a live object.
@@ -127,32 +136,83 @@ impl DynamicIndex {
     }
 
     /// Drop tombstones, renumbering ids densely. Returns the mapping
-    /// `new_id -> old_id`.
+    /// `new_id -> old_id`. Outstanding snapshots keep the old id space
+    /// (copy-on-write).
     pub fn compact(&mut self) -> Vec<usize> {
         let mut mapping = Vec::with_capacity(self.live);
         let mut objects = Vec::with_capacity(self.live);
         let mut reduced_objects = Vec::with_capacity(self.live);
-        for (old_id, slot) in self.objects.drain(..).enumerate() {
+        for (old_id, slot) in Arc::make_mut(&mut self.objects).drain(..).enumerate() {
             if let Some(histogram) = slot {
                 mapping.push(old_id);
                 objects.push(Some(histogram));
             }
         }
-        reduced_objects.extend(self.reduced_objects.drain(..).flatten().map(Some));
+        reduced_objects.extend(
+            Arc::make_mut(&mut self.reduced_objects)
+                .drain(..)
+                .flatten()
+                .map(Some),
+        );
         debug_assert_eq!(objects.len(), reduced_objects.len());
-        self.objects = objects;
-        self.reduced_objects = reduced_objects;
+        self.objects = Arc::new(objects);
+        self.reduced_objects = Arc::new(reduced_objects);
         mapping
     }
 
-    /// Exact k-NN over the live objects: reduced-EMD filter ranking
-    /// followed by KNOP-style refinement (complete — identical results to
-    /// scanning every live object with the exact EMD).
+    /// An immutable, queryable snapshot of the current live objects.
+    ///
+    /// Cheap: shares the histogram storage with the index (ids only are
+    /// materialized); later [`insert`](Self::insert) /
+    /// [`remove`](Self::remove) / [`compact`](Self::compact) calls
+    /// copy-on-write and leave the snapshot untouched.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] on query shape mismatch or if an exact EMD
-    /// refinement fails.
+    /// Returns [`QueryError::EmptyDatabase`] when no live objects remain.
+    pub fn snapshot(&self) -> Result<DynamicSnapshot, QueryError> {
+        if self.live == 0 {
+            return Err(QueryError::EmptyDatabase);
+        }
+        let ids: Arc<Vec<usize>> = Arc::new(
+            self.objects
+                .iter()
+                .enumerate()
+                .filter_map(|(id, slot)| slot.as_ref().map(|_| id))
+                .collect(),
+        );
+        let stage = LiveReducedFilter {
+            name: format!(
+                "red-emd(d'={}/{})",
+                self.reduced.r1().reduced_dim(),
+                self.reduced.r2().reduced_dim()
+            ),
+            reduced: self.reduced.clone(),
+            reduced_objects: Arc::clone(&self.reduced_objects),
+            ids: Arc::clone(&ids),
+        };
+        let refiner = LiveEmdFilter {
+            name: format!("emd(d={})", self.cost.rows()),
+            cost: Arc::clone(&self.cost),
+            objects: Arc::clone(&self.objects),
+            ids: Arc::clone(&ids),
+        };
+        let plan = QueryPlan::new(vec![Box::new(stage)], Box::new(refiner))?;
+        Ok(DynamicSnapshot {
+            executor: Executor::new(plan),
+            ids,
+        })
+    }
+
+    /// Exact k-NN over the live objects: reduced-EMD filter ranking
+    /// followed by KNOP refinement in the shared engine (complete —
+    /// identical results to scanning every live object with the exact
+    /// EMD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on `k = 0`, an empty index, a query shape
+    /// mismatch, or if an exact EMD refinement fails.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -161,62 +221,224 @@ impl DynamicIndex {
         if k == 0 {
             return Err(QueryError::ZeroK);
         }
-        if self.live == 0 {
-            return Err(QueryError::EmptyDatabase);
-        }
+        self.snapshot()?.knn(query, k)
+    }
+
+    /// Exact range query over the live objects (all live objects with
+    /// exact distance `<= epsilon`, ascending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on a negative or non-finite `epsilon`, an
+    /// empty index, a query shape mismatch, or a refinement failure.
+    pub fn range(
+        &self,
+        query: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        self.snapshot()?.range(query, epsilon)
+    }
+}
+
+/// An immutable view of a [`DynamicIndex`] at snapshot time: queries run
+/// through the shared [`Executor`] against the live objects, returning
+/// their *stable* ids. Unaffected by later index mutations.
+#[derive(Debug)]
+pub struct DynamicSnapshot {
+    executor: Executor,
+    /// Dense (engine) id -> stable (index) id.
+    ids: Arc<Vec<usize>>,
+}
+
+impl DynamicSnapshot {
+    /// Number of live objects captured.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the snapshot is empty (never true: empty indexes refuse to
+    /// snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The underlying executor (dense ids; use
+    /// [`knn`](Self::knn)/[`range`](Self::range) for stable ids).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Exact k-NN with stable ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] under the same conditions as
+    /// [`Executor::knn`].
+    pub fn knn(
+        &self,
+        query: &Histogram,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let (neighbors, stats) = self.executor.knn(query, k)?;
+        Ok((self.remap(neighbors)?, stats))
+    }
+
+    /// Exact range query with stable ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] under the same conditions as
+    /// [`Executor::range`].
+    pub fn range(
+        &self,
+        query: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let (neighbors, stats) = self.executor.range(query, epsilon)?;
+        Ok((self.remap(neighbors)?, stats))
+    }
+
+    fn remap(&self, neighbors: Vec<Neighbor>) -> Result<Vec<Neighbor>, QueryError> {
+        neighbors
+            .into_iter()
+            .map(|n| {
+                let id = *self.ids.get(n.id).ok_or(QueryError::UnknownObject(n.id))?;
+                Ok(Neighbor {
+                    id,
+                    distance: n.distance,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Reduced-EMD filter over the live subset of a dynamic index's storage.
+/// Dense ids; no histogram data copied.
+#[derive(Debug)]
+struct LiveReducedFilter {
+    name: String,
+    reduced: ReducedEmd,
+    reduced_objects: Arc<Vec<Option<Histogram>>>,
+    ids: Arc<Vec<usize>>,
+}
+
+impl Filter for LiveReducedFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
         let reduced_query = self.reduced.reduce_first(query)?;
+        Ok(Box::new(PreparedLiveReduced {
+            reduced_query,
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
 
-        // Filter scan over live objects.
-        let mut ranking: Vec<(usize, f64)> = Vec::with_capacity(self.live);
-        for (id, slot) in self.reduced_objects.iter().enumerate() {
-            if let Some(reduced_object) = slot {
-                let bound = self
-                    .reduced
-                    .distance_reduced(&reduced_query, reduced_object)?;
-                ranking.push((id, bound));
-            }
+struct PreparedLiveReduced<'a> {
+    reduced_query: Histogram,
+    filter: &'a LiveReducedFilter,
+    evaluations: usize,
+}
+
+impl PreparedFilter for PreparedLiveReduced<'_> {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
+        self.evaluations += 1;
+        let stable = *self
+            .filter
+            .ids
+            .get(id)
+            .ok_or(QueryError::UnknownObject(id))?;
+        let reduced_object = self
+            .filter
+            .reduced_objects
+            .get(stable)
+            .and_then(Option::as_ref)
+            .ok_or(QueryError::UnknownObject(stable))?;
+        Ok(self
+            .filter
+            .reduced
+            .distance_reduced(&self.reduced_query, reduced_object)?)
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// Exact EMD refiner over the live subset of a dynamic index's storage.
+#[derive(Debug)]
+struct LiveEmdFilter {
+    name: String,
+    cost: Arc<CostMatrix>,
+    objects: Arc<Vec<Option<Histogram>>>,
+    ids: Arc<Vec<usize>>,
+}
+
+impl Filter for LiveEmdFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        if query.dim() != self.cost.rows() {
+            return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
+                expected_rows: self.cost.rows(),
+                expected_cols: self.cost.cols(),
+                got_rows: query.dim(),
+                got_cols: query.dim(),
+            }));
         }
-        let filter_evaluations = ranking.len();
-        ranking.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ok(Box::new(PreparedLiveEmd {
+            query: query.clone(),
+            filter: self,
+            evaluations: 0,
+        }))
+    }
+}
 
-        // KNOP refinement.
-        let mut neighbors: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        let mut refinements = 0usize;
-        for &(id, bound) in &ranking {
-            if neighbors.len() >= k && bound > neighbors[k - 1].distance {
-                break;
-            }
-            #[allow(clippy::expect_used)]
-            // lint: allow(panic): `live` only contains ids whose slot is Some by construction
-            let object = self.objects[id].as_ref().expect("live id");
-            let distance = emd_rectangular(query, object, &self.cost)?;
-            refinements += 1;
-            if neighbors.len() < k {
-                let position = neighbors.partition_point(|n| n.distance <= distance);
-                neighbors.insert(position, Neighbor { id, distance });
-            } else if distance < neighbors[k - 1].distance {
-                let position = neighbors.partition_point(|n| n.distance <= distance);
-                neighbors.insert(position, Neighbor { id, distance });
-                neighbors.pop();
-            }
-        }
+struct PreparedLiveEmd<'a> {
+    query: Histogram,
+    filter: &'a LiveEmdFilter,
+    evaluations: usize,
+}
 
-        let results = neighbors.len();
-        Ok((
-            neighbors,
-            QueryStats {
-                filter_evaluations: vec![("red-emd".to_owned(), filter_evaluations)],
-                refinements,
-                results,
-            },
-        ))
+impl PreparedFilter for PreparedLiveEmd<'_> {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
+        self.evaluations += 1;
+        let stable = *self
+            .filter
+            .ids
+            .get(id)
+            .ok_or(QueryError::UnknownObject(id))?;
+        let object = self
+            .filter
+            .objects
+            .get(stable)
+            .and_then(Option::as_ref)
+            .ok_or(QueryError::UnknownObject(stable))?;
+        Ok(emd_rectangular(&self.query, object, &self.filter.cost)?)
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::brute_force_knn;
+    use crate::scan::{brute_force_knn, brute_force_range};
     use emd_core::ground;
     use emd_reduction::CombiningReduction;
 
@@ -320,6 +542,12 @@ mod tests {
             index.knn(&h(&[0.25, 0.25, 0.25, 0.25]), 0).unwrap_err(),
             QueryError::ZeroK
         ));
+        assert!(matches!(
+            index
+                .range(&h(&[0.25, 0.25, 0.25, 0.25]), f64::NAN)
+                .unwrap_err(),
+            QueryError::InvalidEpsilon(_)
+        ));
         assert!(!index.remove(999));
     }
 
@@ -338,5 +566,135 @@ mod tests {
         let (neighbors, stats) = index.knn(&query, 2).unwrap();
         assert_eq!(neighbors[0].id, 2);
         assert_eq!(stats.refinements, 4, "useless filter refines everything");
+    }
+
+    /// Sort (distance, id) pairs canonically so equal-distance results
+    /// compare deterministically across implementations.
+    fn canonical(neighbors: &[Neighbor]) -> Vec<(i64, usize)> {
+        let mut pairs: Vec<(i64, usize)> = neighbors
+            .iter()
+            .map(|n| ((n.distance * 1e9).round() as i64, n.id))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn interleaved_churn_matches_brute_force() {
+        // Satellite: interleave insert/remove/compact with k-NN *and*
+        // range queries, asserting against the brute-force oracles over
+        // exactly the live objects after every phase.
+        let cost = ground::linear(4).unwrap();
+        let queries = [
+            h(&[0.25, 0.25, 0.25, 0.25]),
+            h(&[0.7, 0.1, 0.1, 0.1]),
+            h(&[0.0, 0.2, 0.3, 0.5]),
+        ];
+        let mut index = index();
+        // live: stable id -> histogram, tracking the oracle database.
+        let mut live: Vec<(usize, Histogram)> = Vec::new();
+
+        let check = |index: &DynamicIndex, live: &[(usize, Histogram)]| {
+            let database: Vec<Histogram> = live.iter().map(|(_, h)| h.clone()).collect();
+            for query in &queries {
+                for k in [1, 2, 4] {
+                    let expected = brute_force_knn(query, &database, &cost, k).unwrap();
+                    let (got, _) = index.knn(query, k).unwrap();
+                    assert_eq!(got.len(), expected.len().min(k));
+                    assert_eq!(
+                        canonical(&got).iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+                        canonical(&expected)
+                            .iter()
+                            .map(|(d, _)| *d)
+                            .collect::<Vec<_>>(),
+                        "k-NN distances diverge from brute force"
+                    );
+                }
+                for epsilon in [0.3, 0.8, 2.0] {
+                    let expected = brute_force_range(query, &database, &cost, epsilon).unwrap();
+                    let (got, _) = index.range(query, epsilon).unwrap();
+                    // Range hits are a set: map got ids back through live
+                    // to histogram-level identity via distances.
+                    assert_eq!(
+                        canonical(&got).iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+                        canonical(&expected)
+                            .iter()
+                            .map(|(d, _)| *d)
+                            .collect::<Vec<_>>(),
+                        "range hits diverge from brute force at eps={epsilon}"
+                    );
+                }
+            }
+        };
+
+        // Phase 1: bulk insert.
+        for i in 0..10 {
+            let mut bins = vec![0.05; 4];
+            bins[i % 4] += 0.5;
+            bins[(i + 1) % 4] += 0.3;
+            let histogram = Histogram::normalized(bins).unwrap();
+            let id = index.insert(histogram.clone()).unwrap();
+            live.push((id, histogram));
+        }
+        check(&index, &live);
+
+        // Phase 2: remove some, insert more.
+        live.retain(|(id, _)| {
+            if id % 3 == 1 {
+                assert!(index.remove(*id));
+                false
+            } else {
+                true
+            }
+        });
+        for i in 0..4 {
+            let histogram = Histogram::unit(4, i).unwrap();
+            let id = index.insert(histogram.clone()).unwrap();
+            live.push((id, histogram));
+        }
+        check(&index, &live);
+
+        // Phase 3: compact (renumbers), then more churn.
+        let mapping = index.compact();
+        assert_eq!(mapping.len(), live.len());
+        live = mapping
+            .iter()
+            .enumerate()
+            .map(|(new_id, old_id)| {
+                let (_, histogram) = live
+                    .iter()
+                    .find(|(id, _)| id == old_id)
+                    .expect("mapping covers live ids");
+                (new_id, histogram.clone())
+            })
+            .collect();
+        check(&index, &live);
+
+        let last = live.last().unwrap().0;
+        assert!(index.remove(last));
+        live.pop();
+        check(&index, &live);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_mutations() {
+        let mut index = index();
+        let a = index.insert(h(&[1.0, 0.0, 0.0, 0.0])).unwrap();
+        let b = index.insert(h(&[0.0, 0.0, 0.0, 1.0])).unwrap();
+        let snapshot = index.snapshot().unwrap();
+        assert_eq!(snapshot.len(), 2);
+
+        // Mutate after snapshotting: remove a, insert a closer object.
+        assert!(index.remove(a));
+        index.insert(h(&[0.9, 0.1, 0.0, 0.0])).unwrap();
+
+        let query = h(&[1.0, 0.0, 0.0, 0.0]);
+        // The snapshot still sees the original two objects...
+        let (frozen, _) = snapshot.knn(&query, 1).unwrap();
+        assert_eq!(frozen[0].id, a);
+        // ...while the index sees the new state.
+        let (current, _) = index.knn(&query, 2).unwrap();
+        assert_ne!(current[0].id, a);
+        assert_eq!(current[1].id, b);
     }
 }

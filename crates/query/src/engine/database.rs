@@ -1,0 +1,132 @@
+//! The shared, immutable database snapshot all filters index.
+//!
+//! Before the engine existed, every [`Filter`](crate::Filter) held its own
+//! `Arc<Vec<Histogram>>` handle and its own copy of the ground-distance
+//! matrix pointer, and nothing guaranteed two stages of one pipeline were
+//! even looking at the same data. [`Database`] fixes the ownership story:
+//! the histograms live once, in a single contiguous `Arc<[Histogram]>`
+//! arena allocation, together with the cost matrix that defines distances
+//! over them. Filters clone the (cheap, reference-counted) handle, so a
+//! whole plan — and every plan built over the same snapshot — shares one
+//! copy of the data.
+
+use crate::error::QueryError;
+use emd_core::{CostMatrix, Histogram};
+use std::sync::Arc;
+
+/// An immutable snapshot of a histogram database plus its ground-distance
+/// matrix.
+///
+/// Cloning a `Database` is two atomic reference-count increments; the
+/// histogram arena itself is never duplicated. All filter constructors
+/// take `&Database` and keep a clone, which is what makes a multi-stage
+/// [`QueryPlan`](crate::QueryPlan) a set of views over one arena rather
+/// than a set of private copies.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// Contiguous arena of all database histograms, in id order.
+    histograms: Arc<[Histogram]>,
+    /// Ground-distance matrix; database objects index its columns.
+    cost: Arc<CostMatrix>,
+}
+
+impl Database {
+    /// Build a snapshot from owned histograms, validating every object
+    /// against the cost matrix once — downstream filters rely on this and
+    /// skip per-object shape checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when a histogram's dimensionality disagrees
+    /// with `cost.cols()`.
+    pub fn new(histograms: Vec<Histogram>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
+        for h in &histograms {
+            if h.dim() != cost.cols() {
+                return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
+                    expected_rows: cost.rows(),
+                    expected_cols: cost.cols(),
+                    got_rows: h.dim(),
+                    got_cols: h.dim(),
+                }));
+            }
+        }
+        Ok(Database {
+            histograms: histograms.into(),
+            cost,
+        })
+    }
+
+    /// Number of objects in the snapshot.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Whether the snapshot holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// Dimensionality of the database-side histograms.
+    pub fn dim(&self) -> usize {
+        self.cost.cols()
+    }
+
+    /// All histograms, in id order.
+    pub fn histograms(&self) -> &[Histogram] {
+        &self.histograms
+    }
+
+    /// One object by id.
+    pub fn get(&self, id: usize) -> Option<&Histogram> {
+        self.histograms.get(id)
+    }
+
+    /// The ground-distance matrix.
+    pub fn cost(&self) -> &CostMatrix {
+        &self.cost
+    }
+
+    /// Shared handle to the ground-distance matrix.
+    pub fn cost_arc(&self) -> &Arc<CostMatrix> {
+        &self.cost
+    }
+
+    /// Shared handle to the histogram arena (test-only: lets tests assert
+    /// snapshots share one allocation).
+    #[cfg(test)]
+    pub(crate) fn arena(&self) -> &Arc<[Histogram]> {
+        &self.histograms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+
+    #[test]
+    fn snapshot_is_shared_not_copied() {
+        let cost = Arc::new(ground::linear(3).unwrap());
+        let db = Database::new(
+            vec![
+                Histogram::unit(3, 0).unwrap(),
+                Histogram::unit(3, 2).unwrap(),
+            ],
+            cost,
+        )
+        .unwrap();
+        let view = db.clone();
+        assert!(Arc::ptr_eq(db.arena(), view.arena()));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.dim(), 3);
+        assert!(!db.is_empty());
+        assert_eq!(db.get(1), Some(&Histogram::unit(3, 2).unwrap()));
+        assert!(db.get(2).is_none());
+    }
+
+    #[test]
+    fn rejects_mismatched_histograms() {
+        let cost = Arc::new(ground::linear(3).unwrap());
+        assert!(Database::new(vec![Histogram::unit(4, 0).unwrap()], cost).is_err());
+    }
+}

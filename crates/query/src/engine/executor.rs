@@ -1,0 +1,252 @@
+//! The one execution path for every query in the workspace.
+//!
+//! [`Executor::run`] is where a [`QueryPlan`] meets a query: it prepares
+//! the per-query filter state, stacks the lazy
+//! [`ChainedRanking`](crate::ranking::ChainedRanking)s of Figure 12, and
+//! hands the final ranking to the KNOP refinement loop in
+//! [`knop`](crate::knop) — the *only* call site of that loop. The static
+//! [`Pipeline`](crate::Pipeline), the mutable
+//! [`DynamicIndex`](crate::DynamicIndex) and the brute-force
+//! [`scan`](crate::scan) oracles all execute through here.
+//!
+//! [`Executor::run_batch`] fans a query workload across std scoped
+//! threads; per-thread [`QueryStats`] are merged with
+//! [`QueryStats::accumulate`], and results are bit-identical to the
+//! sequential path because each query runs the exact same single-query
+//! code on an immutable shared plan.
+
+use crate::error::QueryError;
+use crate::filters::PreparedFilter;
+use crate::knop;
+use crate::ranking::{ChainedRanking, EagerRanking, Ranking};
+use crate::stats::QueryStats;
+use crate::Neighbor;
+use emd_core::Histogram;
+
+use super::plan::{Query, QueryMode, QueryPlan};
+
+/// Executes [`QueryPlan`]s: sequentially, or batched across threads.
+#[derive(Debug)]
+pub struct Executor {
+    plan: QueryPlan,
+}
+
+impl Executor {
+    /// Wrap a plan for execution.
+    pub fn new(plan: QueryPlan) -> Self {
+        Executor { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the plan (e.g. to
+    /// [`seed_estimates`](QueryPlan::seed_estimates) from history).
+    pub fn plan_mut(&mut self) -> &mut QueryPlan {
+        &mut self.plan
+    }
+
+    /// Number of database objects the plan indexes.
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Whether the indexed database is empty (never true for a
+    /// constructed executor).
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// Exact k-nearest-neighbor query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] for `k = 0`, a query shape mismatch, or a
+    /// filter/refiner failure mid-query.
+    pub fn knn(
+        &self,
+        query: &Histogram,
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        self.execute(query, QueryMode::Knn(k))
+    }
+
+    /// Exact range query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] for a negative or non-finite `epsilon`, a
+    /// query shape mismatch, or a filter/refiner failure mid-query.
+    pub fn range(
+        &self,
+        query: &Histogram,
+        epsilon: f64,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        self.execute(query, QueryMode::Range(epsilon))
+    }
+
+    /// Run one [`Query`] (k-NN or range, as its mode says).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] under the same conditions as [`Executor::knn`]
+    /// and [`Executor::range`].
+    pub fn run(&self, query: &Query) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        self.execute(&query.histogram, query.mode)
+    }
+
+    /// Run a batch of queries across `threads` std scoped threads,
+    /// returning per-query results in input order plus the merged
+    /// statistics.
+    ///
+    /// Results and statistics are bit-identical to running the same
+    /// queries sequentially: every query executes the same single-query
+    /// path against the same immutable plan, and the per-thread
+    /// [`QueryStats`] merge ([`QueryStats::accumulate`]) is a plain sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`QueryError`] (by query index) any query
+    /// produced.
+    pub fn run_batch(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, QueryStats), QueryError> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            let mut results = Vec::with_capacity(queries.len());
+            let mut total = QueryStats::default();
+            for query in queries {
+                let (neighbors, stats) = self.run(query)?;
+                total.accumulate(&stats);
+                results.push(neighbors);
+            }
+            return Ok((results, total));
+        }
+
+        // Contiguous chunks keep per-query results trivially reorderable:
+        // thread t owns queries [t * chunk, (t + 1) * chunk).
+        let chunk = queries.len().div_ceil(threads);
+        type ChunkResult = Result<(Vec<Vec<Neighbor>>, QueryStats), QueryError>;
+        let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+            // Spawn every chunk before joining any: joining lazily off the
+            // spawn iterator would serialize the batch.
+            let mut handles = Vec::with_capacity(threads);
+            for chunk_queries in queries.chunks(chunk) {
+                handles.push(scope.spawn(move || -> ChunkResult {
+                    let mut results = Vec::with_capacity(chunk_queries.len());
+                    let mut total = QueryStats::default();
+                    for query in chunk_queries {
+                        let (neighbors, stats) = self.run(query)?;
+                        total.accumulate(&stats);
+                        results.push(neighbors);
+                    }
+                    Ok((results, total))
+                }));
+            }
+            let mut collected = Vec::with_capacity(handles.len());
+            for handle in handles {
+                collected.push(match handle.join() {
+                    Ok(result) => result,
+                    Err(_) => Err(QueryError::Reduction(
+                        "batch worker thread panicked".to_owned(),
+                    )),
+                });
+            }
+            collected
+        });
+
+        let mut results = Vec::with_capacity(queries.len());
+        let mut total = QueryStats::default();
+        for chunk_result in chunk_results {
+            let (chunk_neighbors, chunk_stats) = chunk_result?;
+            total.accumulate(&chunk_stats);
+            results.extend(chunk_neighbors);
+        }
+        Ok((results, total))
+    }
+
+    fn execute(
+        &self,
+        query: &Histogram,
+        mode: QueryMode,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        match mode {
+            QueryMode::Knn(0) => return Err(QueryError::ZeroK),
+            QueryMode::Range(epsilon) if epsilon.is_nan() || epsilon < 0.0 => {
+                return Err(QueryError::InvalidEpsilon(epsilon));
+            }
+            _ => {}
+        }
+        let mut refiner = self.plan.refiner().prepare(query)?;
+
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> = self
+            .plan
+            .stages()
+            .iter()
+            .map(|stage| stage.prepare(query))
+            .collect::<Result<_, _>>()?;
+
+        let Some((first, rest)) = prepared.split_first_mut() else {
+            // Zero-stage plan — the sequential scan: refine every object
+            // once and read the answer off the exact ranking.
+            let neighbors = scan_ranking(refiner.as_mut(), self.plan.len(), mode)?;
+            let stats = QueryStats {
+                filter_evaluations: Vec::new(),
+                refinements: refiner.evaluations(),
+                results: neighbors.len(),
+            };
+            return Ok((neighbors, stats));
+        };
+
+        let (neighbors, refinements) = {
+            let mut ranking: Box<dyn Ranking + '_> =
+                Box::new(EagerRanking::new(first.as_mut(), self.plan.len())?);
+            for stage in rest {
+                ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
+            }
+            match mode {
+                QueryMode::Knn(k) => knop::knn(ranking.as_mut(), refiner.as_mut(), k)?,
+                QueryMode::Range(epsilon) => {
+                    knop::range(ranking.as_mut(), refiner.as_mut(), epsilon)?
+                }
+            }
+        };
+
+        let stats = QueryStats {
+            filter_evaluations: self
+                .plan
+                .stages()
+                .iter()
+                .zip(prepared.iter())
+                .map(|(stage, p)| (stage.name().to_owned(), p.evaluations()))
+                .collect(),
+            refinements,
+            results: neighbors.len(),
+        };
+        Ok((neighbors, stats))
+    }
+}
+
+/// Read a query answer directly off an exact-distance ranking (the
+/// zero-stage scan path; no KNOP loop involved — there is nothing left to
+/// refine).
+fn scan_ranking(
+    refiner: &mut dyn PreparedFilter,
+    len: usize,
+    mode: QueryMode,
+) -> Result<Vec<Neighbor>, QueryError> {
+    let mut ranking = EagerRanking::new(refiner, len)?;
+    let mut neighbors = Vec::new();
+    while let Some((id, distance)) = ranking.next()? {
+        match mode {
+            QueryMode::Knn(k) if neighbors.len() >= k => break,
+            QueryMode::Range(epsilon) if distance > epsilon => break,
+            _ => neighbors.push(Neighbor { id, distance }),
+        }
+    }
+    Ok(neighbors)
+}

@@ -1,0 +1,27 @@
+//! The query engine: one snapshot, one plan, one executor.
+//!
+//! Section 4's multistep query processing used to be implemented three
+//! times over — the static [`Pipeline`](crate::Pipeline), the mutable
+//! [`DynamicIndex`](crate::DynamicIndex) and the brute-force
+//! [`scan`](crate::scan) oracles each walked their own copy of the
+//! database with their own refinement loop. This module is the single
+//! execution layer they all share now:
+//!
+//! * [`Database`] — an immutable snapshot: all histograms in one shared
+//!   contiguous arena, paired with the ground-distance matrix. Filters
+//!   hold cheap reference-counted views instead of private copies.
+//! * [`QueryPlan`] — the declarative filter chain
+//!   (`Red-IM -> Red-EMD -> ... -> EMD`) with per-stage cost estimates
+//!   seeded from [`QueryStats`](crate::QueryStats) history.
+//! * [`Executor`] — prepares per-query state, chains the lazy rankings of
+//!   Figure 12, and invokes the KNOP loop in [`knop`](crate::knop)
+//!   exactly once per query. [`Executor::run_batch`] fans workloads
+//!   across std scoped threads with deterministic, bit-identical results.
+
+mod database;
+mod executor;
+mod plan;
+
+pub use database::Database;
+pub use executor::Executor;
+pub use plan::{Query, QueryMode, QueryPlan, StageEstimate};

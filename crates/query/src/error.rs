@@ -11,6 +11,10 @@ pub enum QueryError {
     EmptyDatabase,
     /// `k = 0` requested.
     ZeroK,
+    /// A range query with a negative or non-finite epsilon.
+    InvalidEpsilon(f64),
+    /// An object id outside the indexed database was evaluated.
+    UnknownObject(usize),
 }
 
 impl fmt::Display for QueryError {
@@ -20,6 +24,15 @@ impl fmt::Display for QueryError {
             QueryError::Reduction(msg) => write!(f, "reduction error: {msg}"),
             QueryError::EmptyDatabase => write!(f, "query against an empty database"),
             QueryError::ZeroK => write!(f, "k must be at least 1"),
+            QueryError::InvalidEpsilon(epsilon) => {
+                write!(
+                    f,
+                    "range epsilon must be finite and non-negative, got {epsilon}"
+                )
+            }
+            QueryError::UnknownObject(id) => {
+                write!(f, "object id {id} is outside the indexed database")
+            }
         }
     }
 }

@@ -1,15 +1,20 @@
-//! Filter distances over an indexed database.
+//! Filter distances over an indexed database snapshot.
 //!
 //! A [`Filter`] holds everything that can be precomputed *per database*
-//! (reduced vectors, sorted cost rows, centroids); [`Filter::prepare`]
-//! builds the cheap *per-query* state (the reduced query, its centroid,
-//! ...), and [`PreparedFilter::distance`] evaluates one object in the hot
-//! loop, counting evaluations for the experiment harness.
+//! (reduced vectors, sorted cost rows, centroids) over a shared
+//! [`Database`] snapshot; [`Filter::prepare`] builds the cheap
+//! *per-query* state (the reduced query, its centroid, ...), and
+//! [`PreparedFilter::distance`] evaluates one object in the hot loop,
+//! counting evaluations for the experiment harness.
 //!
 //! All filters except [`EmdDistance`] are lower bounds of the exact EMD,
 //! so any of them — and any chain of them ordered by increasing tightness
 //! — yields complete multistep query processing (GEMINI/KNOP, \[10, 18\]).
+//! Filters are `Send + Sync` by construction so a
+//! [`QueryPlan`](crate::QueryPlan) can be shared across the batch
+//! executor's threads.
 
+use crate::engine::Database;
 use crate::error::QueryError;
 use emd_core::ground::Metric;
 use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
@@ -18,7 +23,10 @@ use emd_reduction::ReducedEmd;
 use std::sync::Arc;
 
 /// A database-indexed distance function, instantiable per query.
-pub trait Filter {
+///
+/// `Send + Sync` is a supertrait so plans built from boxed filters can be
+/// shared by reference across the batch executor's worker threads.
+pub trait Filter: Send + Sync {
     /// Stage name used in statistics (e.g. `"red-emd(d'=8)"`).
     fn name(&self) -> &str;
     /// Number of indexed objects.
@@ -35,12 +43,18 @@ pub trait Filter {
 pub trait PreparedFilter {
     /// Distance from the prepared query to database object `id`.
     ///
-    /// # Panics
-    /// May panic on out-of-range ids; shape mismatches are ruled out at
-    /// [`Filter`] construction.
-    fn distance(&mut self, id: usize) -> f64;
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] on an out-of-range id or when the
+    /// underlying distance computation fails (solver failure); shape
+    /// mismatches are ruled out at [`Filter`] construction.
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError>;
     /// Number of `distance` calls so far.
     fn evaluations(&self) -> usize;
+}
+
+fn object(database: &[Histogram], id: usize) -> Result<&Histogram, QueryError> {
+    database.get(id).ok_or(QueryError::UnknownObject(id))
 }
 
 // ---------------------------------------------------------------------
@@ -48,40 +62,36 @@ pub trait PreparedFilter {
 // ---------------------------------------------------------------------
 
 /// The exact, original-dimensionality EMD. Used as the refinement
-/// distance of every pipeline and as the sequential-scan baseline.
+/// distance of every plan and as the sequential-scan baseline.
 #[derive(Debug, Clone)]
 pub struct EmdDistance {
     name: String,
-    database: Arc<Vec<Histogram>>,
-    cost: Arc<CostMatrix>,
+    database: Database,
 }
 
 impl EmdDistance {
-    /// Index a database for exact EMD evaluation.
+    /// Index a database snapshot for exact EMD evaluation.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when a database histogram disagrees with `cost` in
-    /// dimensionality.
-    pub fn new(database: Arc<Vec<Histogram>>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
-        for h in database.iter() {
-            check_dim(h, cost.cols())?;
-        }
+    /// Infallible today (the snapshot is already validated against its
+    /// cost matrix); the `Result` keeps the constructor uniform with the
+    /// other filters.
+    pub fn new(database: &Database) -> Result<Self, QueryError> {
         Ok(EmdDistance {
-            name: format!("emd(d={})", cost.rows()),
-            database,
-            cost,
+            name: format!("emd(d={})", database.cost().rows()),
+            database: database.clone(),
         })
     }
 
     /// The ground-distance matrix.
     pub fn cost(&self) -> &CostMatrix {
-        &self.cost
+        self.database.cost()
     }
 
     /// The indexed histograms.
     pub fn database(&self) -> &[Histogram] {
-        &self.database
+        self.database.histograms()
     }
 }
 
@@ -95,11 +105,11 @@ impl Filter for EmdDistance {
     }
 
     fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
-        check_dim(query, self.cost.rows())?;
+        check_dim(query, self.database.cost().rows())?;
         Ok(Box::new(PreparedEmd {
             query: query.clone(),
-            database: &self.database,
-            cost: &self.cost,
+            database: self.database.histograms(),
+            cost: self.database.cost(),
             evaluations: 0,
         }))
     }
@@ -113,12 +123,13 @@ struct PreparedEmd<'a> {
 }
 
 impl PreparedFilter for PreparedEmd<'_> {
-    #[allow(clippy::expect_used)]
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        emd_rectangular(&self.query, &self.database[id], self.cost)
-            // lint: allow(panic): operand shapes are validated in `new`, reduce cannot fail here
-            .expect("shapes validated at construction")
+        Ok(emd_rectangular(
+            &self.query,
+            object(self.database, id)?,
+            self.cost,
+        )?)
     }
 
     fn evaluations(&self) -> usize {
@@ -137,18 +148,19 @@ impl PreparedFilter for PreparedEmd<'_> {
 pub struct ReducedEmdFilter {
     name: String,
     reduced: ReducedEmd,
-    reduced_database: Vec<Histogram>,
+    reduced_database: Arc<[Histogram]>,
 }
 
 impl ReducedEmdFilter {
-    /// Reduce and index a database.
+    /// Reduce and index a database snapshot.
     ///
     /// # Errors
     ///
     /// Returns [`QueryError`] when a database histogram cannot be reduced by
     /// `reduced` (shape mismatch).
-    pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
+    pub fn new(database: &Database, reduced: ReducedEmd) -> Result<Self, QueryError> {
         let reduced_database = database
+            .histograms()
             .iter()
             .map(|h| reduced.reduce_second(h))
             .collect::<Result<Vec<_>, _>>()?;
@@ -159,7 +171,7 @@ impl ReducedEmdFilter {
                 reduced.r2().reduced_dim()
             ),
             reduced,
-            reduced_database,
+            reduced_database: reduced_database.into(),
         })
     }
 
@@ -200,14 +212,12 @@ struct PreparedReducedEmd<'a> {
 }
 
 impl PreparedFilter for PreparedReducedEmd<'_> {
-    #[allow(clippy::expect_used)]
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter
-            .reduced
-            .distance_reduced(&self.reduced_query, &self.filter.reduced_database[id])
-            // lint: allow(panic): operand shapes are validated in `new`, reduce cannot fail here
-            .expect("shapes validated at construction")
+        Ok(self.filter.reduced.distance_reduced(
+            &self.reduced_query,
+            object(&self.filter.reduced_database, id)?,
+        )?)
     }
 
     fn evaluations(&self) -> usize {
@@ -227,18 +237,19 @@ pub struct ReducedImFilter {
     name: String,
     bound: LbIm,
     reduced: ReducedEmd,
-    reduced_database: Vec<Histogram>,
+    reduced_database: Arc<[Histogram]>,
 }
 
 impl ReducedImFilter {
-    /// Reduce and index a database.
+    /// Reduce and index a database snapshot.
     ///
     /// # Errors
     ///
     /// Returns [`QueryError`] when a database histogram cannot be reduced by
     /// `reduced` (shape mismatch).
-    pub fn new(database: &[Histogram], reduced: ReducedEmd) -> Result<Self, QueryError> {
+    pub fn new(database: &Database, reduced: ReducedEmd) -> Result<Self, QueryError> {
         let reduced_database = database
+            .histograms()
             .iter()
             .map(|h| reduced.reduce_second(h))
             .collect::<Result<Vec<_>, _>>()?;
@@ -251,7 +262,7 @@ impl ReducedImFilter {
             ),
             bound,
             reduced,
-            reduced_database,
+            reduced_database: reduced_database.into(),
         })
     }
 }
@@ -282,14 +293,12 @@ struct PreparedReducedIm<'a> {
 }
 
 impl PreparedFilter for PreparedReducedIm<'_> {
-    #[allow(clippy::expect_used)]
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter
-            .bound
-            .bound(&self.reduced_query, &self.filter.reduced_database[id])
-            // lint: allow(panic): operand shapes are validated in `new`, the bound cannot fail here
-            .expect("shapes validated at construction")
+        Ok(self.filter.bound.bound(
+            &self.reduced_query,
+            object(&self.filter.reduced_database, id)?,
+        )?)
     }
 
     fn evaluations(&self) -> usize {
@@ -307,24 +316,21 @@ impl PreparedFilter for PreparedReducedIm<'_> {
 pub struct FullLbImFilter {
     name: String,
     bound: LbIm,
-    database: Arc<Vec<Histogram>>,
+    database: Database,
 }
 
 impl FullLbImFilter {
-    /// Index a database.
+    /// Index a database snapshot under its own cost matrix.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when the bound cannot be built for `cost` or a
-    /// database histogram disagrees with it in dimensionality.
-    pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
-        for h in database.iter() {
-            check_dim(h, cost.cols())?;
-        }
+    /// Infallible today (the snapshot is already validated); the `Result`
+    /// keeps the constructor uniform with the other filters.
+    pub fn new(database: &Database) -> Result<Self, QueryError> {
         Ok(FullLbImFilter {
-            name: format!("lb-im(d={})", cost.rows()),
-            bound: LbIm::new(cost.clone()),
-            database,
+            name: format!("lb-im(d={})", database.cost().rows()),
+            bound: LbIm::new(database.cost().clone()),
+            database: database.clone(),
         })
     }
 }
@@ -355,14 +361,12 @@ struct PreparedFullIm<'a> {
 }
 
 impl PreparedFilter for PreparedFullIm<'_> {
-    #[allow(clippy::expect_used)]
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter
+        Ok(self
+            .filter
             .bound
-            .bound(&self.query, &self.filter.database[id])
-            // lint: allow(panic): operand shapes are validated in `new`, the bound cannot fail here
-            .expect("shapes validated at construction")
+            .bound(&self.query, object(self.filter.database.histograms(), id)?)?)
     }
 
     fn evaluations(&self) -> usize {
@@ -381,26 +385,27 @@ pub struct CentroidFilter {
 }
 
 impl CentroidFilter {
-    /// Index a database given the bin positions inducing the ground
-    /// distance.
+    /// Index a database snapshot given the bin positions inducing the
+    /// ground distance.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when the centroid bound rejects `positions` or a
-    /// database histogram disagrees with them in dimensionality.
+    /// Returns [`QueryError`] when the centroid bound rejects `positions`
+    /// or their dimensionality disagrees with the snapshot.
     pub fn new(
-        database: &[Histogram],
+        database: &Database,
         positions: Vec<Vec<f64>>,
         metric: Metric,
     ) -> Result<Self, QueryError> {
         let bound = CentroidBound::new(positions, metric)?;
+        if !database.is_empty() {
+            check_dim_count(database.dim(), bound.dim())?;
+        }
         let database_centroids = database
+            .histograms()
             .iter()
-            .map(|h| {
-                check_dim(h, bound.dim())?;
-                Ok(bound.centroid(h))
-            })
-            .collect::<Result<Vec<_>, QueryError>>()?;
+            .map(|h| bound.centroid(h))
+            .collect();
         Ok(CentroidFilter {
             name: format!("centroid(d={})", bound.dim()),
             bound,
@@ -436,11 +441,14 @@ struct PreparedCentroid<'a> {
 }
 
 impl PreparedFilter for PreparedCentroid<'_> {
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter
-            .metric
-            .distance(&self.query_centroid, &self.filter.database_centroids[id])
+        let centroid = self
+            .filter
+            .database_centroids
+            .get(id)
+            .ok_or(QueryError::UnknownObject(id))?;
+        Ok(self.filter.metric.distance(&self.query_centroid, centroid))
     }
 
     fn evaluations(&self) -> usize {
@@ -453,24 +461,21 @@ impl PreparedFilter for PreparedCentroid<'_> {
 pub struct ScaledL1Filter {
     name: String,
     bound: ScaledL1,
-    database: Arc<Vec<Histogram>>,
+    database: Database,
 }
 
 impl ScaledL1Filter {
-    /// Index a database.
+    /// Index a database snapshot under its own cost matrix.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when `cost` is rejected by the scaled-LP bound or a
-    /// database histogram disagrees with it in dimensionality.
-    pub fn new(database: Arc<Vec<Histogram>>, cost: &CostMatrix) -> Result<Self, QueryError> {
-        for h in database.iter() {
-            check_dim(h, cost.cols())?;
-        }
+    /// Infallible today (the snapshot is already validated); the `Result`
+    /// keeps the constructor uniform with the other filters.
+    pub fn new(database: &Database) -> Result<Self, QueryError> {
         Ok(ScaledL1Filter {
-            name: format!("scaled-l1(d={})", cost.rows()),
-            bound: ScaledL1::new(cost),
-            database,
+            name: format!("scaled-l1(d={})", database.cost().rows()),
+            bound: ScaledL1::new(database.cost()),
+            database: database.clone(),
         })
     }
 }
@@ -500,14 +505,12 @@ struct PreparedScaledL1<'a> {
 }
 
 impl PreparedFilter for PreparedScaledL1<'_> {
-    #[allow(clippy::expect_used)]
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter
+        Ok(self
+            .filter
             .bound
-            .bound(&self.query, &self.filter.database[id])
-            // lint: allow(panic): operand shapes are validated in `new`, projection cannot fail here
-            .expect("shapes validated at construction")
+            .bound(&self.query, object(self.filter.database.histograms(), id)?)?)
     }
 
     fn evaluations(&self) -> usize {
@@ -528,19 +531,17 @@ pub struct AnchorFilter {
 }
 
 impl AnchorFilter {
-    /// Index a database with `anchors` spread anchor bins.
+    /// Index a database snapshot with `anchors` spread anchor bins.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when the anchor bound cannot be built (bad anchor
-    /// count) or a database projection fails.
-    pub fn new(
-        database: &[Histogram],
-        cost: &CostMatrix,
-        anchors: usize,
-    ) -> Result<Self, QueryError> {
-        let bound = emd_core::lower_bounds::AnchorBound::with_spread_anchors(cost, anchors)?;
+    /// Returns [`QueryError`] when the anchor bound cannot be built (bad
+    /// anchor count) or a database projection fails.
+    pub fn new(database: &Database, anchors: usize) -> Result<Self, QueryError> {
+        let bound =
+            emd_core::lower_bounds::AnchorBound::with_spread_anchors(database.cost(), anchors)?;
         let database_projections = database
+            .histograms()
             .iter()
             .map(|h| Ok(bound.project(h)?))
             .collect::<Result<Vec<_>, QueryError>>()?;
@@ -578,12 +579,17 @@ struct PreparedAnchor<'a> {
 }
 
 impl PreparedFilter for PreparedAnchor<'_> {
-    fn distance(&mut self, id: usize) -> f64 {
+    fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        self.filter.bound.bound_from_projections(
-            &self.query_projection,
-            &self.filter.database_projections[id],
-        )
+        let projection = self
+            .filter
+            .database_projections
+            .get(id)
+            .ok_or(QueryError::UnknownObject(id))?;
+        Ok(self
+            .filter
+            .bound
+            .bound_from_projections(&self.query_projection, projection))
     }
 
     fn evaluations(&self) -> usize {
@@ -592,12 +598,16 @@ impl PreparedFilter for PreparedAnchor<'_> {
 }
 
 fn check_dim(h: &Histogram, expected: usize) -> Result<(), QueryError> {
-    if h.dim() != expected {
+    check_dim_count(h.dim(), expected)
+}
+
+fn check_dim_count(got: usize, expected: usize) -> Result<(), QueryError> {
+    if got != expected {
         return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
             expected_rows: expected,
             expected_cols: expected,
-            got_rows: h.dim(),
-            got_cols: h.dim(),
+            got_rows: got,
+            got_cols: got,
         }));
     }
     Ok(())
@@ -613,52 +623,56 @@ mod tests {
         Histogram::new(bins.to_vec()).unwrap()
     }
 
-    fn database() -> (Arc<Vec<Histogram>>, Arc<CostMatrix>) {
+    fn database() -> Database {
         let db = vec![
             h(&[1.0, 0.0, 0.0, 0.0]),
             h(&[0.0, 1.0, 0.0, 0.0]),
             h(&[0.25, 0.25, 0.25, 0.25]),
             h(&[0.0, 0.0, 0.5, 0.5]),
         ];
-        (Arc::new(db), Arc::new(ground::linear(4).unwrap()))
+        Database::new(db, Arc::new(ground::linear(4).unwrap())).unwrap()
     }
 
     #[test]
     fn exact_filter_matches_direct_emd() {
-        let (db, cost) = database();
-        let filter = EmdDistance::new(db.clone(), cost.clone()).unwrap();
+        let db = database();
+        let filter = EmdDistance::new(&db).unwrap();
         let query = h(&[0.5, 0.5, 0.0, 0.0]);
         let mut prepared = filter.prepare(&query).unwrap();
-        for (id, object) in db.iter().enumerate() {
-            let expected = emd(&query, object, &cost).unwrap();
-            assert!((prepared.distance(id) - expected).abs() < 1e-12);
+        for (id, object) in db.histograms().iter().enumerate() {
+            let expected = emd(&query, object, db.cost()).unwrap();
+            assert!((prepared.distance(id).unwrap() - expected).abs() < 1e-12);
         }
         assert_eq!(prepared.evaluations(), 4);
+        assert!(matches!(
+            prepared.distance(4).unwrap_err(),
+            QueryError::UnknownObject(4)
+        ));
     }
 
     #[test]
     fn all_filters_lower_bound_exact() {
-        let (db, cost) = database();
+        let db = database();
         let query = h(&[0.4, 0.1, 0.3, 0.2]);
         let reduction = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
-        let reduced = ReducedEmd::new(&cost, reduction).unwrap();
+        let reduced = ReducedEmd::new(db.cost(), reduction).unwrap();
 
         let filters: Vec<Box<dyn Filter>> = vec![
             Box::new(ReducedEmdFilter::new(&db, reduced.clone()).unwrap()),
             Box::new(ReducedImFilter::new(&db, reduced).unwrap()),
-            Box::new(FullLbImFilter::new(db.clone(), &cost).unwrap()),
+            Box::new(FullLbImFilter::new(&db).unwrap()),
             Box::new(
                 CentroidFilter::new(&db, ground::linear_positions(4), Metric::Manhattan).unwrap(),
             ),
-            Box::new(ScaledL1Filter::new(db.clone(), &cost).unwrap()),
+            Box::new(ScaledL1Filter::new(&db).unwrap()),
         ];
-        let exact = EmdDistance::new(db.clone(), cost).unwrap();
+        let exact = EmdDistance::new(&db).unwrap();
         let mut exact_prepared = exact.prepare(&query).unwrap();
         for filter in &filters {
             let mut prepared = filter.prepare(&query).unwrap();
             for id in 0..db.len() {
-                let bound = prepared.distance(id);
-                let truth = exact_prepared.distance(id);
+                let bound = prepared.distance(id).unwrap();
+                let truth = exact_prepared.distance(id).unwrap();
                 assert!(
                     bound <= truth + 1e-9,
                     "{} returned {bound} > exact {truth} for object {id}",
@@ -671,48 +685,47 @@ mod tests {
     #[test]
     fn red_im_lower_bounds_red_emd() {
         // The Figure 10 chain requires each stage to bound the next.
-        let (db, cost) = database();
+        let db = database();
         let query = h(&[0.1, 0.2, 0.3, 0.4]);
         let reduction = CombiningReduction::new(vec![0, 1, 1, 0], 2).unwrap();
-        let reduced = ReducedEmd::new(&cost, reduction).unwrap();
+        let reduced = ReducedEmd::new(db.cost(), reduction).unwrap();
         let red_emd = ReducedEmdFilter::new(&db, reduced.clone()).unwrap();
         let red_im = ReducedImFilter::new(&db, reduced).unwrap();
         let mut p_emd = red_emd.prepare(&query).unwrap();
         let mut p_im = red_im.prepare(&query).unwrap();
         for id in 0..db.len() {
-            assert!(p_im.distance(id) <= p_emd.distance(id) + 1e-9);
+            assert!(p_im.distance(id).unwrap() <= p_emd.distance(id).unwrap() + 1e-9);
         }
     }
 
     #[test]
-    fn construction_rejects_dimension_mismatch() {
-        let (db, _) = database();
+    fn snapshot_construction_rejects_dimension_mismatch() {
+        let db = database();
         let wrong_cost = Arc::new(ground::linear(3).unwrap());
-        assert!(EmdDistance::new(db.clone(), wrong_cost.clone()).is_err());
-        assert!(FullLbImFilter::new(db, &wrong_cost).is_err());
+        assert!(Database::new(db.histograms().to_vec(), wrong_cost).is_err());
     }
 
     #[test]
     fn prepare_rejects_mismatched_query() {
-        let (db, cost) = database();
-        let filter = EmdDistance::new(db, cost).unwrap();
+        let db = database();
+        let filter = EmdDistance::new(&db).unwrap();
         assert!(filter.prepare(&h(&[0.5, 0.5])).is_err());
     }
 
     #[test]
     fn asymmetric_reduction_filter() {
         // Query stays at full dimensionality, database is halved.
-        let (db, cost) = database();
+        let db = database();
         let r1 = CombiningReduction::identity(4).unwrap();
         let r2 = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
-        let reduced = ReducedEmd::with_asymmetric(&cost, r1, r2).unwrap();
+        let reduced = ReducedEmd::with_asymmetric(db.cost(), r1, r2).unwrap();
         let filter = ReducedEmdFilter::new(&db, reduced).unwrap();
         let query = h(&[0.4, 0.1, 0.3, 0.2]);
-        let exact = EmdDistance::new(db.clone(), cost).unwrap();
+        let exact = EmdDistance::new(&db).unwrap();
         let mut p = filter.prepare(&query).unwrap();
         let mut e = exact.prepare(&query).unwrap();
         for id in 0..db.len() {
-            assert!(p.distance(id) <= e.distance(id) + 1e-9);
+            assert!(p.distance(id).unwrap() <= e.distance(id).unwrap() + 1e-9);
         }
     }
 }
@@ -720,6 +733,7 @@ mod tests {
 #[cfg(test)]
 mod anchor_tests {
     use super::*;
+    use crate::engine::{Executor, QueryPlan};
     use emd_core::{emd, ground};
     use std::sync::Arc;
 
@@ -729,30 +743,35 @@ mod anchor_tests {
 
     #[test]
     fn anchor_filter_lower_bounds_and_is_complete() {
-        let db = Arc::new(vec![
-            h(&[1.0, 0.0, 0.0, 0.0]),
-            h(&[0.0, 0.5, 0.5, 0.0]),
-            h(&[0.0, 0.0, 0.0, 1.0]),
-            h(&[0.25, 0.25, 0.25, 0.25]),
-        ]);
-        let cost = Arc::new(ground::linear(4).unwrap());
-        let filter = AnchorFilter::new(&db, &cost, 2).unwrap();
+        let db = Database::new(
+            vec![
+                h(&[1.0, 0.0, 0.0, 0.0]),
+                h(&[0.0, 0.5, 0.5, 0.0]),
+                h(&[0.0, 0.0, 0.0, 1.0]),
+                h(&[0.25, 0.25, 0.25, 0.25]),
+            ],
+            Arc::new(ground::linear(4).unwrap()),
+        )
+        .unwrap();
+        let filter = AnchorFilter::new(&db, 2).unwrap();
         let query = h(&[0.6, 0.4, 0.0, 0.0]);
         {
             let mut prepared = filter.prepare(&query).unwrap();
-            for (id, object) in db.iter().enumerate() {
-                let exact = emd(&query, object, &cost).unwrap();
-                assert!(prepared.distance(id) <= exact + 1e-9);
+            for (id, object) in db.histograms().iter().enumerate() {
+                let exact = emd(&query, object, db.cost()).unwrap();
+                assert!(prepared.distance(id).unwrap() <= exact + 1e-9);
             }
         }
-        // Standalone anchor -> EMD pipeline returns brute-force results.
-        let pipeline = crate::pipeline::Pipeline::new(
-            vec![Box::new(filter)],
-            EmdDistance::new(db.clone(), cost.clone()).unwrap(),
-        )
-        .unwrap();
-        let (got, stats) = pipeline.knn(&query, 2).unwrap();
-        let expected = crate::scan::brute_force_knn(&query, &db, &cost, 2).unwrap();
+        // Standalone anchor -> EMD plan returns brute-force results.
+        let executor = Executor::new(
+            QueryPlan::new(
+                vec![Box::new(filter)],
+                Box::new(EmdDistance::new(&db).unwrap()),
+            )
+            .unwrap(),
+        );
+        let (got, stats) = executor.knn(&query, 2).unwrap();
+        let expected = crate::scan::brute_force_knn(&query, db.histograms(), db.cost(), 2).unwrap();
         assert_eq!(
             got.iter().map(|n| n.id).collect::<Vec<_>>(),
             expected.iter().map(|n| n.id).collect::<Vec<_>>()

@@ -6,7 +6,13 @@
 //! refinements: it refines exactly the objects whose filter distance does
 //! not exceed the k-th exact nearest-neighbor distance — no multistep
 //! algorithm using the same filter can refine fewer (see \[18\]).
+//!
+//! This module is the **only** implementation of the refinement loop in
+//! the workspace; every entry point — [`Pipeline`](crate::Pipeline),
+//! [`DynamicIndex`](crate::DynamicIndex), the brute-force oracles — runs
+//! it through the [`Executor`](crate::Executor).
 
+use crate::error::QueryError;
 use crate::filters::PreparedFilter;
 use crate::ranking::Ranking;
 use crate::Neighbor;
@@ -16,23 +22,30 @@ use crate::Neighbor;
 /// Returns the exact k nearest neighbors in ascending distance order and
 /// the number of refinements performed. Completeness requires `ranking`'s
 /// distances to lower-bound `refiner`'s.
+///
+/// # Errors
+///
+/// Returns [`QueryError::ZeroK`] for `k = 0` and propagates ranking or
+/// refiner failures.
 pub fn knn(
     ranking: &mut dyn Ranking,
     refiner: &mut dyn PreparedFilter,
     k: usize,
-) -> (Vec<Neighbor>, usize) {
-    assert!(k >= 1, "k-NN requires k >= 1");
+) -> Result<(Vec<Neighbor>, usize), QueryError> {
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
     let mut neighbors: Vec<Neighbor> = Vec::with_capacity(k + 1);
     let mut refinements = 0usize;
 
     // Phase 1: refine k initial candidates from the ranking.
     while neighbors.len() < k {
-        let Some((id, filter_distance)) = ranking.next() else {
+        let Some((id, filter_distance)) = ranking.next()? else {
             // Fewer than k objects in the database.
             neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-            return (neighbors, refinements);
+            return Ok((neighbors, refinements));
         };
-        let distance = refiner.distance(id);
+        let distance = refiner.distance(id)?;
         refinements += 1;
         emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
         neighbors.push(Neighbor { id, distance });
@@ -41,14 +54,15 @@ pub fn knn(
 
     // Phase 2: keep pulling while the filter distance can still beat the
     // current k-th exact distance.
-    while let Some((id, filter_distance)) = ranking.next() {
+    while let Some((id, filter_distance)) = ranking.next()? {
+        // bounds: phase 1 established neighbors.len() == k >= 1
         let kth = neighbors[k - 1].distance;
         if filter_distance > kth {
             // Lower-bounding filter: every remaining object's exact
             // distance is >= its filter distance > kth. Done.
             break;
         }
-        let distance = refiner.distance(id);
+        let distance = refiner.distance(id)?;
         refinements += 1;
         emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
         if distance < kth {
@@ -57,7 +71,7 @@ pub fn knn(
             neighbors.pop();
         }
     }
-    (neighbors, refinements)
+    Ok((neighbors, refinements))
 }
 
 /// Complete range query: all objects with exact distance `<= epsilon`.
@@ -65,18 +79,22 @@ pub fn knn(
 /// Pulls candidates while their filter distance is within `epsilon`
 /// (lower-bounding ⇒ nothing beyond can qualify), refines each, and keeps
 /// the true hits, sorted ascending.
+///
+/// # Errors
+///
+/// Propagates ranking or refiner failures.
 pub fn range(
     ranking: &mut dyn Ranking,
     refiner: &mut dyn PreparedFilter,
     epsilon: f64,
-) -> (Vec<Neighbor>, usize) {
+) -> Result<(Vec<Neighbor>, usize), QueryError> {
     let mut hits = Vec::new();
     let mut refinements = 0usize;
-    while let Some((id, filter_distance)) = ranking.next() {
+    while let Some((id, filter_distance)) = ranking.next()? {
         if filter_distance > epsilon {
             break;
         }
-        let distance = refiner.distance(id);
+        let distance = refiner.distance(id)?;
         refinements += 1;
         emd_core::certify::debug_check_lower_bound(
             "range filter ranking",
@@ -88,13 +106,12 @@ pub fn range(
         }
     }
     hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-    (hits, refinements)
+    Ok((hits, refinements))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::QueryError;
     use crate::filters::Filter;
     use crate::ranking::EagerRanking;
     use emd_core::Histogram;
@@ -124,9 +141,12 @@ mod tests {
     }
 
     impl PreparedFilter for PreparedTable<'_> {
-        fn distance(&mut self, id: usize) -> f64 {
+        fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
             self.evaluations += 1;
-            self.table[id]
+            self.table
+                .get(id)
+                .copied()
+                .ok_or(QueryError::UnknownObject(id))
         }
         fn evaluations(&self) -> usize {
             self.evaluations
@@ -153,8 +173,8 @@ mod tests {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
-        let (neighbors, refinements) = knn(&mut ranking, exact_prepared.as_mut(), 3);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6).unwrap();
+        let (neighbors, refinements) = knn(&mut ranking, exact_prepared.as_mut(), 3).unwrap();
         let ids: Vec<_> = neighbors.iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![3, 1, 0], "true 3-NN by exact distance");
         // Optimality: object 5 (filter 4.5 > kth exact 2.5) is never
@@ -168,8 +188,8 @@ mod tests {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 2);
-        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 5);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 2).unwrap();
+        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 5).unwrap();
         assert_eq!(neighbors.len(), 2);
         assert!(neighbors[0].distance <= neighbors[1].distance);
     }
@@ -179,8 +199,8 @@ mod tests {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
-        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 6);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6).unwrap();
+        let (neighbors, _) = knn(&mut ranking, exact_prepared.as_mut(), 6).unwrap();
         for pair in neighbors.windows(2) {
             assert!(pair[0].distance <= pair[1].distance);
         }
@@ -192,8 +212,8 @@ mod tests {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
-        let (hits, refinements) = range(&mut ranking, exact_prepared.as_mut(), 2.5);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6).unwrap();
+        let (hits, refinements) = range(&mut ranking, exact_prepared.as_mut(), 2.5).unwrap();
         let ids: Vec<_> = hits.iter().map(|n| n.id).collect();
         // exact <= 2.5: objects 3 (0.2), 1 (1.5), 0 (2.5). Object 4 has
         // filter 1.0 <= 2.5 but exact 2.8: refined yet rejected.
@@ -206,18 +226,20 @@ mod tests {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
-        let (hits, _) = range(&mut ranking, exact_prepared.as_mut(), 0.0);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6).unwrap();
+        let (hits, _) = range(&mut ranking, exact_prepared.as_mut(), 0.0).unwrap();
         assert!(hits.is_empty(), "no exact distance is 0.0");
     }
 
     #[test]
-    #[should_panic(expected = "k-NN requires k >= 1")]
     fn knn_rejects_zero_k() {
         let (filter, exact) = setup();
         let mut filter_prepared = filter.prepare(&query()).unwrap();
         let mut exact_prepared = exact.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6);
-        let _ = knn(&mut ranking, exact_prepared.as_mut(), 0);
+        let mut ranking = EagerRanking::new(filter_prepared.as_mut(), 6).unwrap();
+        assert!(matches!(
+            knn(&mut ranking, exact_prepared.as_mut(), 0),
+            Err(QueryError::ZeroK)
+        ));
     }
 }

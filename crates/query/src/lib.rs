@@ -4,22 +4,35 @@
 //! # emd-query
 //!
 //! Multistep filter-and-refine query processing for EMD similarity search
-//! (Section 4 of the paper).
+//! (Section 4 of the paper), unified behind one query engine.
 //!
+//! ## Layers
+//!
+//! * [`engine`] — the execution core: [`Database`] (a shared immutable
+//!   snapshot holding every histogram once, in a contiguous arena),
+//!   [`QueryPlan`] (the declarative filter chain
+//!   `Red-IM -> Red-EMD -> ... -> EMD` with per-stage cost estimates
+//!   seeded from [`QueryStats`] history), and [`Executor`] (the single
+//!   owner of query execution, including parallel
+//!   [`run_batch`](Executor::run_batch)).
 //! * [`Filter`] / [`PreparedFilter`] — lower-bounding filter distances
-//!   over an indexed database; implementations cover the paper's reduced
+//!   over a database snapshot; implementations cover the paper's reduced
 //!   EMD (`Red-EMD`), LB_IM on reduced features (`Red-IM`), the classic
 //!   full-dimensional filters, and the exact EMD itself (as the
 //!   refinement distance).
 //! * [`ranking`] — lazy ascending-distance rankings, including the
 //!   ranking-over-ranking chaining of Figure 12.
 //! * [`knop`] — the optimal multistep k-NN algorithm (Figure 11, after
-//!   Seidl & Kriegel) and the corresponding complete range query.
-//! * [`pipeline`] — end-to-end query pipelines (Figure 10:
-//!   `Red-IM -> Red-EMD -> exact EMD`) with per-stage statistics.
-//! * [`scan`] — the sequential-scan baseline.
+//!   Seidl & Kriegel) and the corresponding complete range query; the
+//!   only refinement loop in the workspace.
+//! * [`pipeline`] — the [`Pipeline`] façade (Figure 10 configurations)
+//!   over plan + executor.
+//! * [`dynamic`] — a mutable index with copy-on-write snapshots that
+//!   execute through the same engine.
+//! * [`scan`] — brute-force oracles, implemented as zero-stage plans.
 
 pub mod dynamic;
+pub mod engine;
 mod error;
 pub mod filters;
 pub mod knop;
@@ -30,6 +43,7 @@ mod stats;
 pub mod vptree;
 
 pub use dynamic::DynamicIndex;
+pub use engine::{Database, Executor, Query, QueryMode, QueryPlan, StageEstimate};
 pub use error::QueryError;
 pub use filters::{
     AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,

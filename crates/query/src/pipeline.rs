@@ -6,35 +6,24 @@
 //! refinement. The paper's flagship configuration is
 //! `Red-IM -> Red-EMD -> EMD`; a pipeline with zero stages degrades to the
 //! sequential scan.
+//!
+//! Since the engine refactor, `Pipeline` is a thin convenience façade: it
+//! assembles a [`QueryPlan`](crate::QueryPlan) and delegates every query
+//! to an [`Executor`](crate::Executor), which owns the single KNOP
+//! refinement loop shared by all entry points.
 
+use crate::engine::{Executor, QueryPlan};
 use crate::error::QueryError;
-use crate::filters::{EmdDistance, Filter, PreparedFilter};
-use crate::knop;
-use crate::ranking::{ChainedRanking, EagerRanking, Ranking};
+use crate::filters::{EmdDistance, Filter};
 use crate::stats::QueryStats;
 use crate::Neighbor;
 use emd_core::Histogram;
 
-/// A filter chain plus the exact refinement distance.
+/// A filter chain plus the exact refinement distance, executed through
+/// the shared query [`Executor`].
+#[derive(Debug)]
 pub struct Pipeline {
-    stages: Vec<Box<dyn Filter>>,
-    refiner: EmdDistance,
-}
-
-impl std::fmt::Debug for Pipeline {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pipeline")
-            .field("stages", &self.stage_names())
-            .field("refiner", &self.refiner.name())
-            .finish()
-    }
-}
-
-/// Query mode dispatched by [`Pipeline::run`].
-#[derive(Debug, Clone, Copy)]
-enum Mode {
-    Knn(usize),
-    Range(f64),
+    executor: Executor,
 }
 
 impl Pipeline {
@@ -46,150 +35,85 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] when `stages` is empty or a stage indexes a
-    /// database of a different size than `refiner`.
+    /// Returns [`QueryError`] when the database is empty or a stage
+    /// indexes a database of a different size than `refiner`.
     pub fn new(stages: Vec<Box<dyn Filter>>, refiner: EmdDistance) -> Result<Self, QueryError> {
-        if refiner.is_empty() {
-            return Err(QueryError::EmptyDatabase);
-        }
-        for stage in &stages {
-            if stage.len() != refiner.len() {
-                return Err(QueryError::Reduction(format!(
-                    "stage {} indexes {} objects, refiner {}",
-                    stage.name(),
-                    stage.len(),
-                    refiner.len()
-                )));
-            }
-        }
-        Ok(Pipeline { stages, refiner })
+        Ok(Pipeline {
+            executor: Executor::new(QueryPlan::new(stages, Box::new(refiner))?),
+        })
     }
 
     /// A pipeline without filters: pure sequential scan baseline.
     ///
     /// # Errors
     ///
-    /// Currently infallible in practice; the `Result` keeps the constructor
-    /// signature uniform with [`Pipeline::new`].
+    /// Returns [`QueryError::EmptyDatabase`] for an empty database.
     pub fn sequential(refiner: EmdDistance) -> Result<Self, QueryError> {
         Self::new(Vec::new(), refiner)
     }
 
+    /// The underlying executor (e.g. for batch execution via
+    /// [`Executor::run_batch`]).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Unwrap into the underlying executor.
+    pub fn into_executor(self) -> Executor {
+        self.executor
+    }
+
     /// Names of the filter stages, in chain order.
     pub fn stage_names(&self) -> Vec<&str> {
-        self.stages.iter().map(|s| s.name()).collect()
+        self.executor.plan().stage_names()
     }
 
     /// Number of database objects.
     pub fn len(&self) -> usize {
-        self.refiner.len()
+        self.executor.len()
     }
 
     /// Whether the database is empty (never true for a constructed
     /// pipeline).
     pub fn is_empty(&self) -> bool {
-        self.refiner.is_empty()
+        self.executor.is_empty()
     }
 
     /// Exact k-nearest-neighbor query with per-stage statistics.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] on query shape mismatch or when a filter or the
-    /// exact refiner fails mid-query.
+    /// Returns [`QueryError`] on `k = 0`, a query shape mismatch, or when
+    /// a filter or the exact refiner fails mid-query.
     pub fn knn(
         &self,
         query: &Histogram,
         k: usize,
     ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
-        if k == 0 {
-            return Err(QueryError::ZeroK);
-        }
-        self.run(query, Mode::Knn(k))
+        self.executor.knn(query, k)
     }
 
     /// Exact range query with per-stage statistics.
     ///
     /// # Errors
     ///
-    /// Returns [`QueryError`] on query shape mismatch, a negative `epsilon`, or
-    /// a filter/refiner failure mid-query.
+    /// Returns [`QueryError`] on a query shape mismatch, a negative
+    /// `epsilon`, or a filter/refiner failure mid-query.
     pub fn range(
         &self,
         query: &Histogram,
         epsilon: f64,
     ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
-        self.run(query, Mode::Range(epsilon))
-    }
-
-    fn run(
-        &self,
-        query: &Histogram,
-        mode: Mode,
-    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
-        let mut refiner = self.refiner.prepare(query)?;
-
-        // Sequential scan: refine every object once and read the answer
-        // off the exact ranking.
-        if self.stages.is_empty() {
-            let mut ranking = EagerRanking::new(refiner.as_mut(), self.refiner.len());
-            let mut neighbors = Vec::new();
-            while let Some((id, distance)) = ranking.next() {
-                match mode {
-                    Mode::Knn(k) if neighbors.len() >= k => break,
-                    Mode::Range(epsilon) if distance > epsilon => break,
-                    _ => neighbors.push(Neighbor { id, distance }),
-                }
-            }
-            let stats = QueryStats {
-                filter_evaluations: Vec::new(),
-                refinements: refiner.evaluations(),
-                results: neighbors.len(),
-            };
-            return Ok((neighbors, stats));
-        }
-
-        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> = self
-            .stages
-            .iter()
-            .map(|stage| stage.prepare(query))
-            .collect::<Result<_, _>>()?;
-
-        let (neighbors, refinements) = {
-            let mut stage_iter = prepared.iter_mut();
-            #[allow(clippy::expect_used)]
-            // lint: allow(panic): `Pipeline::new` rejects empty stage lists
-            let first = stage_iter.next().expect("stages checked non-empty");
-            let mut ranking: Box<dyn Ranking + '_> =
-                Box::new(EagerRanking::new(first.as_mut(), self.refiner.len()));
-            for stage in stage_iter {
-                ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
-            }
-            match mode {
-                Mode::Knn(k) => knop::knn(ranking.as_mut(), refiner.as_mut(), k),
-                Mode::Range(epsilon) => knop::range(ranking.as_mut(), refiner.as_mut(), epsilon),
-            }
-        };
-
-        let stats = QueryStats {
-            filter_evaluations: self
-                .stages
-                .iter()
-                .zip(prepared.iter())
-                .map(|(stage, p)| (stage.name().to_owned(), p.evaluations()))
-                .collect(),
-            refinements,
-            results: neighbors.len(),
-        };
-        Ok((neighbors, stats))
+        self.executor.range(query, epsilon)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Database;
     use crate::filters::{ReducedEmdFilter, ReducedImFilter};
-    use emd_core::{ground, CostMatrix};
+    use emd_core::ground;
     use emd_reduction::{CombiningReduction, ReducedEmd};
     use std::sync::Arc;
 
@@ -197,7 +121,7 @@ mod tests {
         Histogram::new(bins.to_vec()).unwrap()
     }
 
-    fn database() -> (Arc<Vec<Histogram>>, Arc<CostMatrix>) {
+    fn database() -> Database {
         let db = vec![
             h(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
             h(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0]),
@@ -208,23 +132,23 @@ mod tests {
             h(&[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
             h(&[0.1, 0.0, 0.0, 0.0, 0.0, 0.9]),
         ];
-        (Arc::new(db), Arc::new(ground::linear(6).unwrap()))
+        Database::new(db, Arc::new(ground::linear(6).unwrap())).unwrap()
     }
 
     fn full_pipeline() -> Pipeline {
-        let (db, cost) = database();
+        let db = database();
         let r = CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
-        let reduced = ReducedEmd::new(&cost, r).unwrap();
+        let reduced = ReducedEmd::new(db.cost(), r).unwrap();
         let red_im = ReducedImFilter::new(&db, reduced.clone()).unwrap();
         let red_emd = ReducedEmdFilter::new(&db, reduced).unwrap();
-        let refiner = EmdDistance::new(db, cost).unwrap();
+        let refiner = EmdDistance::new(&db).unwrap();
         Pipeline::new(vec![Box::new(red_im), Box::new(red_emd)], refiner).unwrap()
     }
 
     #[test]
     fn pipeline_matches_sequential_scan() {
-        let (db, cost) = database();
-        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let db = database();
+        let scan = Pipeline::sequential(EmdDistance::new(&db).unwrap()).unwrap();
         let pipeline = full_pipeline();
         for query in [
             h(&[0.9, 0.1, 0.0, 0.0, 0.0, 0.0]),
@@ -267,8 +191,8 @@ mod tests {
 
     #[test]
     fn range_query_matches_scan() {
-        let (db, cost) = database();
-        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let db = database();
+        let scan = Pipeline::sequential(EmdDistance::new(&db).unwrap()).unwrap();
         let pipeline = full_pipeline();
         let query = h(&[0.0, 0.3, 0.4, 0.3, 0.0, 0.0]);
         let (expected, _) = scan.range(&query, 1.0).unwrap();
@@ -281,8 +205,8 @@ mod tests {
 
     #[test]
     fn sequential_scan_counts_all_refinements() {
-        let (db, cost) = database();
-        let scan = Pipeline::sequential(EmdDistance::new(db, cost).unwrap()).unwrap();
+        let db = database();
+        let scan = Pipeline::sequential(EmdDistance::new(&db).unwrap()).unwrap();
         let (_, stats) = scan.knn(&h(&[1.0 / 6.0; 6]), 3).unwrap();
         assert_eq!(stats.refinements, 8);
         assert!(stats.filter_evaluations.is_empty());
@@ -290,8 +214,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_database_and_zero_k() {
-        let (_, cost) = database();
-        let empty = EmdDistance::new(Arc::new(Vec::new()), cost).unwrap();
+        let db = database();
+        let empty_db = Database::new(Vec::new(), Arc::new(ground::linear(6).unwrap())).unwrap();
+        let empty = EmdDistance::new(&empty_db).unwrap();
         assert!(matches!(
             Pipeline::sequential(empty).unwrap_err(),
             QueryError::EmptyDatabase
@@ -301,5 +226,10 @@ mod tests {
             pipeline.knn(&h(&[1.0 / 6.0; 6]), 0).unwrap_err(),
             QueryError::ZeroK
         ));
+        assert!(matches!(
+            pipeline.range(&h(&[1.0 / 6.0; 6]), -0.5).unwrap_err(),
+            QueryError::InvalidEpsilon(_)
+        ));
+        let _ = db;
     }
 }

@@ -6,16 +6,23 @@
 //! filter scan does); [`ChainedRanking`] implements the
 //! ranking-over-ranking `getNext` of the paper's Figure 12, evaluating its
 //! (tighter, more expensive) filter *only* for objects that survive the
-//! base ranking's frontier.
+//! base ranking's frontier. Both propagate filter errors instead of
+//! panicking, so a failed solver call surfaces as a
+//! [`QueryError`] from the executor.
 
+use crate::error::QueryError;
 use crate::filters::PreparedFilter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Yields `(object id, filter distance)` in ascending distance order.
 pub trait Ranking {
-    /// Next-best object, or `None` when exhausted.
-    fn next(&mut self) -> Option<(usize, f64)>;
+    /// Next-best object, or `Ok(None)` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when the underlying filter evaluation fails.
+    fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError>;
 }
 
 /// Total-ordered f64 wrapper for heap keys (distances are never NaN:
@@ -47,16 +54,23 @@ pub struct EagerRanking {
 
 impl EagerRanking {
     /// Evaluate `filter` on all `len` objects and sort.
-    pub fn new(filter: &mut dyn PreparedFilter, len: usize) -> Self {
-        let mut sorted: Vec<(usize, f64)> = (0..len).map(|id| (id, filter.distance(id))).collect();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] when any filter evaluation fails.
+    pub fn new(filter: &mut dyn PreparedFilter, len: usize) -> Result<Self, QueryError> {
+        let mut sorted = Vec::with_capacity(len);
+        for id in 0..len {
+            sorted.push((id, filter.distance(id)?));
+        }
         sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
-        EagerRanking { sorted }
+        Ok(EagerRanking { sorted })
     }
 }
 
 impl Ranking for EagerRanking {
-    fn next(&mut self) -> Option<(usize, f64)> {
-        self.sorted.pop()
+    fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError> {
+        Ok(self.sorted.pop())
     }
 }
 
@@ -92,46 +106,41 @@ impl<'a> ChainedRanking<'a> {
         }
     }
 
-    fn advance_base(&mut self) {
+    fn advance_base(&mut self) -> Result<(), QueryError> {
         debug_assert!(self.frontier.is_none());
-        match self.base.next() {
+        match self.base.next()? {
             Some(item) => self.frontier = Some(item),
             None => self.base_exhausted = true,
         }
+        Ok(())
     }
 }
 
 impl Ranking for ChainedRanking<'_> {
-    fn next(&mut self) -> Option<(usize, f64)> {
+    fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError> {
         loop {
             if self.frontier.is_none() && !self.base_exhausted {
-                self.advance_base();
+                self.advance_base()?;
             }
-            match (self.heap.peek(), self.frontier) {
+            let emit_top = match (self.heap.peek(), self.frontier) {
                 // Heap top is safe to emit: no unseen object can beat it.
-                (Some(&Reverse((Key(top), _))), Some((_, base_distance)))
-                    if top <= base_distance =>
-                {
-                    #[allow(clippy::expect_used)]
-                    // lint: allow(panic): pop follows a successful peek on the same heap
-                    let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
-                    return Some((id, distance));
-                }
-                // Frontier might still produce something smaller: consume
-                // it, evaluate the tight filter, and keep pulling.
-                (_, Some((id, _))) => {
-                    let tight = self.filter.distance(id);
-                    self.heap.push(Reverse((Key(tight), id)));
-                    self.frontier = None;
-                }
+                (Some(&Reverse((Key(top), _))), Some((_, base_distance))) => top <= base_distance,
                 // Base exhausted: drain the heap.
-                (Some(_), None) => {
-                    #[allow(clippy::expect_used)]
-                    // lint: allow(panic): pop follows a successful peek on the same heap
-                    let Reverse((Key(distance), id)) = self.heap.pop().expect("peeked");
-                    return Some((id, distance));
+                (Some(_), None) => true,
+                (None, None) => return Ok(None),
+                (None, Some(_)) => false,
+            };
+            if emit_top {
+                if let Some(Reverse((Key(distance), id))) = self.heap.pop() {
+                    return Ok(Some((id, distance)));
                 }
-                (None, None) => return None,
+                continue;
+            }
+            // Frontier might still produce something smaller: consume it,
+            // evaluate the tight filter, and keep pulling.
+            if let Some((id, _)) = self.frontier.take() {
+                let tight = self.filter.distance(id)?;
+                self.heap.push(Reverse((Key(tight), id)));
             }
         }
     }
@@ -140,7 +149,6 @@ impl Ranking for ChainedRanking<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::QueryError;
     use crate::filters::Filter;
     use emd_core::Histogram;
 
@@ -171,9 +179,12 @@ mod tests {
     }
 
     impl PreparedFilter for PreparedTable<'_> {
-        fn distance(&mut self, id: usize) -> f64 {
+        fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
             self.evaluations += 1;
-            self.table[id]
+            self.table
+                .get(id)
+                .copied()
+                .ok_or(QueryError::UnknownObject(id))
         }
         fn evaluations(&self) -> usize {
             self.evaluations
@@ -184,6 +195,14 @@ mod tests {
         Histogram::new(vec![1.0]).unwrap()
     }
 
+    fn drain(ranking: &mut dyn Ranking) -> Vec<(usize, f64)> {
+        let mut order = Vec::new();
+        while let Some(item) = ranking.next().unwrap() {
+            order.push(item);
+        }
+        order
+    }
+
     #[test]
     fn eager_ranking_ascending() {
         let filter = TableFilter {
@@ -191,10 +210,26 @@ mod tests {
             table: vec![3.0, 1.0, 2.0, 0.5],
         };
         let mut prepared = filter.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(prepared.as_mut(), 4);
-        let order: Vec<_> = std::iter::from_fn(|| ranking.next()).collect();
-        assert_eq!(order, vec![(3, 0.5), (1, 1.0), (2, 2.0), (0, 3.0)]);
+        let mut ranking = EagerRanking::new(prepared.as_mut(), 4).unwrap();
+        assert_eq!(
+            drain(&mut ranking),
+            vec![(3, 0.5), (1, 1.0), (2, 2.0), (0, 3.0)]
+        );
         assert_eq!(prepared.evaluations(), 4);
+    }
+
+    #[test]
+    fn eager_ranking_propagates_filter_errors() {
+        let filter = TableFilter {
+            name: "t".into(),
+            table: vec![1.0],
+        };
+        let mut prepared = filter.prepare(&query()).unwrap();
+        // Asking for more objects than the table holds fails fast.
+        assert!(matches!(
+            EagerRanking::new(prepared.as_mut(), 2),
+            Err(QueryError::UnknownObject(1))
+        ));
     }
 
     #[test]
@@ -210,11 +245,10 @@ mod tests {
         };
         let mut loose_prepared = loose.prepare(&query()).unwrap();
         let mut tight_prepared = tight.prepare(&query()).unwrap();
-        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5));
+        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5).unwrap());
         let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
-        let order: Vec<_> = std::iter::from_fn(|| chained.next()).collect();
         assert_eq!(
-            order,
+            drain(&mut chained),
             vec![(3, 0.5), (0, 1.5), (2, 2.0), (1, 2.5), (4, 3.0)]
         );
     }
@@ -222,8 +256,8 @@ mod tests {
     #[test]
     fn chained_ranking_evaluates_lazily() {
         // The first result should not require evaluating every object's
-        // tight distance: object 3 has loose 0.0 / tight 0.5, and the next
-        // loose frontier (0.5) stops the pull at tight <= frontier...
+        // tight distance: object 3 has loose 0.0 / tight 0.9, and the next
+        // loose frontier (1.0) stops the pull at tight <= frontier.
         let loose = TableFilter {
             name: "loose".into(),
             table: vec![1.0, 5.0, 6.0, 0.0, 7.0],
@@ -234,12 +268,9 @@ mod tests {
         };
         let mut loose_prepared = loose.prepare(&query()).unwrap();
         let mut tight_prepared = tight.prepare(&query()).unwrap();
-        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5));
+        let base = Box::new(EagerRanking::new(loose_prepared.as_mut(), 5).unwrap());
         let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
-        assert_eq!(chained.next(), Some((3, 0.9)));
-        // Tight evaluations so far: object 3 (frontier 1.0 allows emit
-        // after evaluating only it... the pull sequence evaluates 3 and
-        // then peeks frontier 1.0 >= 0.9).
+        assert_eq!(chained.next().unwrap(), Some((3, 0.9)));
         drop(chained);
         assert!(
             tight_prepared.evaluations() <= 2,
@@ -257,8 +288,8 @@ mod tests {
         let mut tight_prepared = tight.prepare(&query()).unwrap();
         let base = Box::new(EagerRanking { sorted: Vec::new() });
         let mut chained = ChainedRanking::new(base, tight_prepared.as_mut());
-        assert_eq!(chained.next(), None);
-        assert_eq!(chained.next(), None);
+        assert_eq!(chained.next().unwrap(), None);
+        assert_eq!(chained.next().unwrap(), None);
     }
 
     #[test]
@@ -268,10 +299,8 @@ mod tests {
             table: vec![1.0, 1.0, 1.0],
         };
         let mut prepared = filter.prepare(&query()).unwrap();
-        let mut ranking = EagerRanking::new(prepared.as_mut(), 3);
-        let ids: Vec<_> = std::iter::from_fn(|| ranking.next())
-            .map(|(id, _)| id)
-            .collect();
+        let mut ranking = EagerRanking::new(prepared.as_mut(), 3).unwrap();
+        let ids: Vec<_> = drain(&mut ranking).into_iter().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 }

@@ -1,21 +1,36 @@
 //! Brute-force oracles.
 //!
-//! Independent of the ranking/KNOP machinery, these free functions compute
-//! exact k-NN and range answers by evaluating the EMD against every
-//! database object. Tests use them to prove completeness of the multistep
-//! pipelines; benches use them as the no-filter baseline cost.
+//! These free functions compute exact k-NN and range answers by refining
+//! every database object. Tests use them to prove completeness of the
+//! multistep pipelines; benches use them as the no-filter baseline cost.
+//!
+//! Since the engine refactor they are front-ends over a *zero-stage*
+//! [`QueryPlan`](crate::QueryPlan) run by the shared
+//! [`Executor`](crate::Executor) — the same sequential-scan path every
+//! zero-stage pipeline takes, so the oracles and the engine cannot drift
+//! apart.
 
+use crate::engine::{Database, Executor, QueryPlan};
 use crate::error::QueryError;
+use crate::filters::EmdDistance;
 use crate::Neighbor;
-use emd_core::{emd, CostMatrix, Histogram};
+use emd_core::{CostMatrix, Histogram};
+use std::sync::Arc;
+
+fn scan_executor(database: &[Histogram], cost: &CostMatrix) -> Result<Executor, QueryError> {
+    let db = Database::new(database.to_vec(), Arc::new(cost.clone()))?;
+    Ok(Executor::new(QueryPlan::sequential(Box::new(
+        EmdDistance::new(&db)?,
+    ))?))
+}
 
 /// Exact k-NN by full scan. Returns up to `k` neighbors in ascending
 /// distance order (ties broken by id).
 ///
 /// # Errors
 ///
-/// Returns [`QueryError`] when the query or a database histogram disagrees
-/// with `cost`, or an exact EMD computation fails.
+/// Returns [`QueryError`] when `k = 0`, the query or a database histogram
+/// disagrees with `cost`, or an exact EMD computation fails.
 pub fn brute_force_knn(
     query: &Histogram,
     database: &[Histogram],
@@ -25,18 +40,10 @@ pub fn brute_force_knn(
     if k == 0 {
         return Err(QueryError::ZeroK);
     }
-    let mut neighbors = database
-        .iter()
-        .enumerate()
-        .map(|(id, object)| {
-            Ok(Neighbor {
-                id,
-                distance: emd(query, object, cost)?,
-            })
-        })
-        .collect::<Result<Vec<_>, QueryError>>()?;
-    neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-    neighbors.truncate(k);
+    if database.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (neighbors, _) = scan_executor(database, cost)?.knn(query, k)?;
     Ok(neighbors)
 }
 
@@ -45,21 +52,17 @@ pub fn brute_force_knn(
 /// # Errors
 ///
 /// Returns [`QueryError`] when shapes disagree with `cost`, `epsilon` is
-/// negative, or an exact EMD computation fails.
+/// negative or non-finite, or an exact EMD computation fails.
 pub fn brute_force_range(
     query: &Histogram,
     database: &[Histogram],
     cost: &CostMatrix,
     epsilon: f64,
 ) -> Result<Vec<Neighbor>, QueryError> {
-    let mut hits = Vec::new();
-    for (id, object) in database.iter().enumerate() {
-        let distance = emd(query, object, cost)?;
-        if distance <= epsilon {
-            hits.push(Neighbor { id, distance });
-        }
+    if database.is_empty() {
+        return Ok(Vec::new());
     }
-    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    let (hits, _) = scan_executor(database, cost)?.range(query, epsilon)?;
     Ok(hits)
 }
 
@@ -96,5 +99,15 @@ mod tests {
         assert_eq!(hits.len(), 2, "distance exactly 1.0 is included");
         let hits = brute_force_range(&query, &database, &cost, 0.5).unwrap();
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_database_returns_empty_answers() {
+        let cost = ground::linear(2).unwrap();
+        let query = h(&[1.0, 0.0]);
+        assert!(brute_force_knn(&query, &[], &cost, 3).unwrap().is_empty());
+        assert!(brute_force_range(&query, &[], &cost, 1.0)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -20,13 +20,22 @@ impl QueryStats {
         self.filter_evaluations.iter().map(|(_, n)| n).sum()
     }
 
-    /// Merge another query's stats into an aggregate (stage lists must
-    /// match in order; missing stages are appended).
+    /// Merge another query's stats into an aggregate. Stages are matched
+    /// *by name* wherever they sit in either list (chains of different
+    /// shapes merge correctly); unseen stages are appended in encounter
+    /// order. The merge is associative and commutative up to stage order,
+    /// which is what makes parallel batch execution
+    /// ([`Executor::run_batch`](crate::Executor::run_batch)) produce
+    /// totals identical to a sequential run.
     pub fn accumulate(&mut self, other: &QueryStats) {
-        for (index, (name, count)) in other.filter_evaluations.iter().enumerate() {
-            match self.filter_evaluations.get_mut(index) {
-                Some((existing, total)) if existing == name => *total += count,
-                _ => self.filter_evaluations.push((name.clone(), *count)),
+        for (name, count) in &other.filter_evaluations {
+            match self
+                .filter_evaluations
+                .iter_mut()
+                .find(|(existing, _)| existing == name)
+            {
+                Some((_, total)) => *total += count,
+                None => self.filter_evaluations.push((name.clone(), *count)),
             }
         }
         self.refinements += other.refinements;
@@ -55,5 +64,55 @@ mod tests {
         assert_eq!(total.refinements, 12);
         assert_eq!(total.results, 20);
         assert_eq!(total.total_filter_evaluations(), 230);
+    }
+
+    #[test]
+    fn accumulate_merges_mismatched_chains_by_name() {
+        // Regression: positional matching used to append a duplicate
+        // entry when stage lists disagreed at some index, double-counting
+        // the stage in totals.
+        let mut total = QueryStats {
+            filter_evaluations: vec![("red-im".into(), 100)],
+            refinements: 1,
+            results: 1,
+        };
+        total.accumulate(&QueryStats {
+            filter_evaluations: vec![("scaled-l1".into(), 50), ("red-im".into(), 30)],
+            refinements: 2,
+            results: 3,
+        });
+        assert_eq!(
+            total.filter_evaluations,
+            vec![("red-im".into(), 130), ("scaled-l1".into(), 50)],
+            "stages merge by name, no duplicates"
+        );
+        assert_eq!(total.total_filter_evaluations(), 180);
+        assert_eq!(total.refinements, 3);
+        assert_eq!(total.results, 4);
+    }
+
+    #[test]
+    fn accumulate_is_order_insensitive_in_totals() {
+        let a = QueryStats {
+            filter_evaluations: vec![("s1".into(), 10), ("s2".into(), 5)],
+            refinements: 2,
+            results: 1,
+        };
+        let b = QueryStats {
+            filter_evaluations: vec![("s2".into(), 7)],
+            refinements: 1,
+            results: 2,
+        };
+        let mut ab = QueryStats::default();
+        ab.accumulate(&a);
+        ab.accumulate(&b);
+        let mut ba = QueryStats::default();
+        ba.accumulate(&b);
+        ba.accumulate(&a);
+        for stats in [&ab, &ba] {
+            assert_eq!(stats.total_filter_evaluations(), 22);
+            assert_eq!(stats.refinements, 3);
+            assert_eq!(stats.results, 3);
+        }
     }
 }

@@ -13,11 +13,11 @@
 //! inequality prunes aggressively. The ablation bench (A4) puts both
 //! approaches side by side.
 
+use crate::engine::Database;
 use crate::error::QueryError;
 use crate::Neighbor;
 use emd_core::{emd, CostMatrix, Histogram};
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
 /// One tree node: a vantage object, the median distance to its subtree,
 /// and the inner (<= radius) / outer (> radius) children.
@@ -34,8 +34,7 @@ const NO_CHILD: i32 = -1;
 /// A static VP-tree over a histogram database under the exact EMD.
 #[derive(Debug, Clone)]
 pub struct VpTree {
-    database: Arc<Vec<Histogram>>,
-    cost: Arc<CostMatrix>,
+    database: Database,
     nodes: Vec<Node>,
     root: i32,
 }
@@ -62,15 +61,15 @@ impl VpTree {
     ///
     /// Returns [`QueryError`] when a database histogram disagrees with `cost` in
     /// dimensionality or a vantage-point distance computation fails.
-    pub fn build(database: Arc<Vec<Histogram>>, cost: Arc<CostMatrix>) -> Result<Self, QueryError> {
+    pub fn build(database: &Database) -> Result<Self, QueryError> {
         if database.is_empty() {
             return Err(QueryError::EmptyDatabase);
         }
-        for h in database.iter() {
-            if h.dim() != cost.rows() {
+        for h in database.histograms() {
+            if h.dim() != database.cost().rows() {
                 return Err(QueryError::Core(emd_core::CoreError::DimensionMismatch {
-                    expected_rows: cost.rows(),
-                    expected_cols: cost.cols(),
+                    expected_rows: database.cost().rows(),
+                    expected_cols: database.cost().cols(),
                     got_rows: h.dim(),
                     got_cols: h.dim(),
                 }));
@@ -78,10 +77,9 @@ impl VpTree {
         }
         let mut ids: Vec<u32> = (0..database.len() as u32).collect();
         let mut nodes = Vec::with_capacity(database.len());
-        let root = build_recursive(&database, &cost, &mut ids, &mut nodes)?;
+        let root = build_recursive(database.histograms(), database.cost(), &mut ids, &mut nodes)?;
         Ok(VpTree {
-            database,
-            cost,
+            database: database.clone(),
             nodes,
             root,
         })
@@ -152,7 +150,11 @@ impl VpTree {
         stats: &mut VpSearchStats,
     ) -> Result<f64, QueryError> {
         stats.distance_computations += 1;
-        Ok(emd(query, &self.database[object as usize], &self.cost)?)
+        let object = self
+            .database
+            .get(object as usize)
+            .ok_or(QueryError::UnknownObject(object as usize))?;
+        Ok(emd(query, object, self.database.cost())?)
     }
 
     fn search(
@@ -312,6 +314,7 @@ mod tests {
     use emd_core::ground;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
 
     fn random_database(n: usize, dim: usize, seed: u64) -> Vec<Histogram> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -325,14 +328,15 @@ mod tests {
 
     #[test]
     fn knn_matches_brute_force() {
-        let database = Arc::new(random_database(40, 8, 1));
         let cost = Arc::new(ground::linear(8).unwrap());
         assert!(cost.is_metric(1e-9), "pruning requires a metric");
-        let tree = VpTree::build(database.clone(), cost.clone()).unwrap();
+        let database = Database::new(random_database(40, 8, 1), cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
         let queries = random_database(5, 8, 2);
         for query in &queries {
             for k in [1, 3, 7] {
-                let expected = brute_force_knn(query, &database, &cost, k).unwrap();
+                let expected =
+                    brute_force_knn(query, database.histograms(), database.cost(), k).unwrap();
                 let (got, stats) = tree.knn(query, k).unwrap();
                 let e: Vec<i64> = expected
                     .iter()
@@ -350,13 +354,15 @@ mod tests {
 
     #[test]
     fn range_matches_brute_force() {
-        let database = Arc::new(random_database(30, 6, 3));
         let cost = Arc::new(ground::linear(6).unwrap());
-        let tree = VpTree::build(database.clone(), cost.clone()).unwrap();
+        let database = Database::new(random_database(30, 6, 3), cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
         let queries = random_database(4, 6, 4);
         for query in &queries {
             for epsilon in [0.1, 0.5, 1.5] {
-                let expected = brute_force_range(query, &database, &cost, epsilon).unwrap();
+                let expected =
+                    brute_force_range(query, database.histograms(), database.cost(), epsilon)
+                        .unwrap();
                 let (got, _) = tree.range(query, epsilon).unwrap();
                 assert_eq!(
                     got.iter().map(|n| n.id).collect::<Vec<_>>(),
@@ -380,10 +386,10 @@ mod tests {
                 database.push(Histogram::normalized(bins).unwrap());
             }
         }
-        let database = Arc::new(database);
         let cost = Arc::new(ground::linear(20).unwrap());
-        let tree = VpTree::build(database.clone(), cost).unwrap();
-        let (_, stats) = tree.knn(&database[0], 3).unwrap();
+        let database = Database::new(database, cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
+        let (_, stats) = tree.knn(database.get(0).unwrap(), 3).unwrap();
         assert!(
             stats.distance_computations < database.len(),
             "expected pruning, got {} of {}",
@@ -394,9 +400,9 @@ mod tests {
 
     #[test]
     fn single_object_tree() {
-        let database = Arc::new(vec![Histogram::unit(3, 1).unwrap()]);
         let cost = Arc::new(ground::linear(3).unwrap());
-        let tree = VpTree::build(database, cost).unwrap();
+        let database = Database::new(vec![Histogram::unit(3, 1).unwrap()], cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
         let query = Histogram::unit(3, 0).unwrap();
         let (neighbors, _) = tree.knn(&query, 5).unwrap();
         assert_eq!(neighbors.len(), 1);
@@ -406,12 +412,13 @@ mod tests {
     #[test]
     fn rejects_empty_and_zero_k() {
         let cost = Arc::new(ground::linear(3).unwrap());
+        let empty = Database::new(Vec::new(), cost.clone()).unwrap();
         assert!(matches!(
-            VpTree::build(Arc::new(Vec::new()), cost.clone()).unwrap_err(),
+            VpTree::build(&empty).unwrap_err(),
             QueryError::EmptyDatabase
         ));
-        let database = Arc::new(vec![Histogram::unit(3, 0).unwrap()]);
-        let tree = VpTree::build(database, cost).unwrap();
+        let database = Database::new(vec![Histogram::unit(3, 0).unwrap()], cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
         assert!(matches!(
             tree.knn(&Histogram::unit(3, 0).unwrap(), 0).unwrap_err(),
             QueryError::ZeroK
@@ -421,9 +428,9 @@ mod tests {
     #[test]
     fn duplicate_objects_are_all_retrievable() {
         let h = Histogram::new(vec![0.5, 0.5]).unwrap();
-        let database = Arc::new(vec![h.clone(), h.clone(), h.clone()]);
         let cost = Arc::new(ground::linear(2).unwrap());
-        let tree = VpTree::build(database, cost).unwrap();
+        let database = Database::new(vec![h.clone(), h.clone(), h.clone()], cost).unwrap();
+        let tree = VpTree::build(&database).unwrap();
         let (neighbors, _) = tree.knn(&h, 3).unwrap();
         assert_eq!(neighbors.len(), 3);
         assert!(neighbors.iter().all(|n| n.distance < 1e-12));

@@ -8,7 +8,7 @@
 
 use emd_core::{ground, Histogram};
 use emd_query::scan::{brute_force_knn, brute_force_range};
-use emd_query::{EmdDistance, Neighbor, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use emd_query::{Database, EmdDistance, Neighbor, Pipeline, ReducedEmdFilter, ReducedImFilter};
 use emd_reduction::{CombiningReduction, ReducedEmd};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -62,18 +62,18 @@ proptest! {
         k in 1usize..6,
     ) {
         let cost = Arc::new(ground::linear(DIM).unwrap());
-        let database = Arc::new(database);
+        let database = Database::new(database, cost.clone()).unwrap();
         let reduced = ReducedEmd::new(&cost, r).unwrap();
         let pipeline = Pipeline::new(
             vec![
                 Box::new(ReducedImFilter::new(&database, reduced.clone()).unwrap()),
                 Box::new(ReducedEmdFilter::new(&database, reduced).unwrap()),
             ],
-            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+            EmdDistance::new(&database).unwrap(),
         )
         .unwrap();
 
-        let expected = brute_force_knn(&query, &database, &cost, k).unwrap();
+        let expected = brute_force_knn(&query, database.histograms(), &cost, k).unwrap();
         let (got, stats) = pipeline.knn(&query, k).unwrap();
         prop_assert_eq!(canonical(&got), canonical(&expected));
         prop_assert!(stats.refinements <= database.len());
@@ -88,15 +88,15 @@ proptest! {
         epsilon in 0.0_f64..3.0,
     ) {
         let cost = Arc::new(ground::linear(DIM).unwrap());
-        let database = Arc::new(database);
+        let database = Database::new(database, cost.clone()).unwrap();
         let reduced = ReducedEmd::new(&cost, r).unwrap();
         let pipeline = Pipeline::new(
             vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
-            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+            EmdDistance::new(&database).unwrap(),
         )
         .unwrap();
 
-        let expected = brute_force_range(&query, &database, &cost, epsilon).unwrap();
+        let expected = brute_force_range(&query, database.histograms(), &cost, epsilon).unwrap();
         let (got, _) = pipeline.range(&query, epsilon).unwrap();
         prop_assert_eq!(canonical(&got), canonical(&expected));
     }
@@ -110,15 +110,15 @@ proptest! {
         k in 1usize..4,
     ) {
         let cost = Arc::new(ground::linear(DIM).unwrap());
-        let database = Arc::new(database);
+        let database = Database::new(database, cost.clone()).unwrap();
         let r1 = CombiningReduction::identity(DIM).unwrap();
         let reduced = ReducedEmd::with_asymmetric(&cost, r1, r2).unwrap();
         let pipeline = Pipeline::new(
             vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
-            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
+            EmdDistance::new(&database).unwrap(),
         )
         .unwrap();
-        let expected = brute_force_knn(&query, &database, &cost, k).unwrap();
+        let expected = brute_force_knn(&query, database.histograms(), &cost, k).unwrap();
         let (got, _) = pipeline.knn(&query, k).unwrap();
         prop_assert_eq!(canonical(&got), canonical(&expected));
     }

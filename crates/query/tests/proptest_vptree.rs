@@ -6,7 +6,7 @@
 
 use emd_core::{ground, Histogram};
 use emd_query::scan::{brute_force_knn, brute_force_range};
-use emd_query::VpTree;
+use emd_query::{Database, VpTree};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -32,9 +32,9 @@ proptest! {
         k in 1usize..6,
     ) {
         let cost = Arc::new(ground::linear(DIM).unwrap());
-        let database = Arc::new(database);
-        let tree = VpTree::build(database.clone(), cost.clone()).unwrap();
-        let expected = brute_force_knn(&query, &database, &cost, k).unwrap();
+        let database = Database::new(database, cost.clone()).unwrap();
+        let tree = VpTree::build(&database).unwrap();
+        let expected = brute_force_knn(&query, database.histograms(), &cost, k).unwrap();
         let (got, stats) = tree.knn(&query, k).unwrap();
         let e: Vec<i64> = expected.iter().map(|n| (n.distance * 1e9).round() as i64).collect();
         let g: Vec<i64> = got.iter().map(|n| (n.distance * 1e9).round() as i64).collect();
@@ -51,9 +51,9 @@ proptest! {
         epsilon in 0.0_f64..3.0,
     ) {
         let cost = Arc::new(ground::linear(DIM).unwrap());
-        let database = Arc::new(database);
-        let tree = VpTree::build(database.clone(), cost.clone()).unwrap();
-        let expected = brute_force_range(&query, &database, &cost, epsilon).unwrap();
+        let database = Database::new(database, cost.clone()).unwrap();
+        let tree = VpTree::build(&database).unwrap();
+        let expected = brute_force_range(&query, database.histograms(), &cost, epsilon).unwrap();
         let (got, _) = tree.range(&query, epsilon).unwrap();
         prop_assert_eq!(
             got.iter().map(|n| n.id).collect::<Vec<_>>(),

@@ -6,7 +6,9 @@
 //! ```
 
 use flexemd::data::gaussian::{self, GaussianParams};
-use flexemd::query::{EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::query::{
+    Database, EmdDistance, Filter, Pipeline, Query, ReducedEmdFilter, ReducedImFilter,
+};
 use flexemd::reduction::kmedoids::kmedoids_reduction;
 use flexemd::reduction::{CombiningReduction, ReducedEmd};
 use rand::rngs::StdRng;
@@ -24,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = gaussian::generate(&params, &mut rng);
     let (dataset, queries) = dataset.split_queries(5);
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms);
+    let database = Database::new(dataset.histograms, cost.clone())?;
     let query = &queries[0];
 
     // Symmetric reduction to d' = 8 via k-medoids.
@@ -36,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(ReducedImFilter::new(&database, reduced.clone())?),
         Box::new(ReducedEmdFilter::new(&database, reduced)?),
     ];
-    let chain = Pipeline::new(stages, EmdDistance::new(database.clone(), cost.clone())?)?;
+    let chain = Pipeline::new(stages, EmdDistance::new(&database)?)?;
     let (neighbors, stats) = chain.knn(query, 5)?;
     println!(
         "Figure 10 chain (Red-IM -> Red-EMD -> EMD), N = {}:",
@@ -58,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let asymmetric = ReducedEmd::with_asymmetric(&cost, r1, r)?;
     let pipeline = Pipeline::new(
         vec![Box::new(ReducedEmdFilter::new(&database, asymmetric)?)],
-        EmdDistance::new(database.clone(), cost.clone())?,
+        EmdDistance::new(&database)?,
     )?;
     let (asym_neighbors, asym_stats) = pipeline.knn(query, 5)?;
     println!("\nasymmetric filter (query 32-d, database 8-d):");
@@ -71,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  identical results  yes (completeness, Theorem 1)");
 
     // --- Ground truth ----------------------------------------------------
-    let scan = Pipeline::sequential(EmdDistance::new(database, cost)?)?;
+    let scan = Pipeline::sequential(EmdDistance::new(&database)?)?;
     let (truth, scan_stats) = scan.knn(query, 5)?;
     assert_eq!(
         truth.iter().map(|n| n.id).collect::<Vec<_>>(),
@@ -80,6 +82,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nsequential scan needed {} refinements; the chain needed {}.",
         scan_stats.refinements, stats.refinements
+    );
+
+    // --- Parallel batch execution ----------------------------------------
+    // The same plan answers a whole workload across worker threads; the
+    // results are bit-identical to issuing the queries one at a time.
+    let executor = chain.into_executor();
+    let workload: Vec<Query> = queries.iter().map(|q| Query::knn(q.clone(), 5)).collect();
+    let (sequential, _) = executor.run_batch(&workload, 1)?;
+    let (parallel, batch_stats) = executor.run_batch(&workload, 4)?;
+    assert_eq!(sequential, parallel, "threads never change answers");
+    println!(
+        "\nbatch of {} queries on 4 threads: {} total refinements, identical answers",
+        workload.len(),
+        batch_stats.refinements
     );
     Ok(())
 }

@@ -11,7 +11,7 @@
 //! ```
 
 use flexemd::data::color::{self, ColorParams};
-use flexemd::query::{EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::query::{Database, EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
 use flexemd::reduction::fb::{fb_all, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::kmedoids::kmedoids_reduction;
@@ -46,14 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dataset, queries) = dataset.split_queries(8);
     let labels = dataset.labels.clone();
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms);
+    let database = Database::new(dataset.histograms, cost.clone())?;
 
     // Preprocessing (one-off, Section 3.4): sample flows, optimize the
     // reduction to d' = 18 starting from the k-medoids clustering.
     let d_red = 18;
     println!("sampling EMD flows (|S| = 24) and optimizing a {d_red}-d reduction...");
     let started = Instant::now();
-    let sample: Vec<_> = draw_sample(&database, 24, &mut rng)
+    let sample: Vec<_> = draw_sample(database.histograms(), 24, &mut rng)
         .into_iter()
         .cloned()
         .collect();
@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(ReducedImFilter::new(&database, reduced.clone())?),
         Box::new(ReducedEmdFilter::new(&database, reduced)?),
     ];
-    let pipeline = Pipeline::new(stages, EmdDistance::new(database.clone(), cost)?)?;
+    let pipeline = Pipeline::new(stages, EmdDistance::new(&database)?)?;
 
     println!("\nrunning {} 10-NN queries:", queries.len());
     let mut class_hits = 0usize;

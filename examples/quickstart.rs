@@ -5,7 +5,7 @@
 //! ```
 
 use flexemd::core::{emd, ground, Histogram};
-use flexemd::query::{EmdDistance, Pipeline, ReducedEmdFilter};
+use flexemd::query::{Database, EmdDistance, Pipeline, ReducedEmdFilter};
 use flexemd::reduction::{CombiningReduction, ReducedEmd};
 use std::sync::Arc;
 
@@ -34,11 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 3. Complete k-NN search through the filter ---------------------
-    let database = Arc::new(vec![x.clone(), y, z]);
-    let cost = Arc::new(cost);
+    // One immutable snapshot shared by every stage of the plan.
+    let database = Database::new(vec![x.clone(), y, z], Arc::new(cost))?;
     let pipeline = Pipeline::new(
         vec![Box::new(ReducedEmdFilter::new(&database, reduced)?)],
-        EmdDistance::new(database, cost)?,
+        EmdDistance::new(&database)?,
     )?;
     let (neighbors, stats) = pipeline.knn(&x, 2)?;
     println!("2-NN of x:");

@@ -12,7 +12,7 @@
 //! ```
 
 use flexemd::data::tiling::{self, TilingParams};
-use flexemd::query::{EmdDistance, Pipeline, ReducedEmdFilter};
+use flexemd::query::{Database, EmdDistance, Pipeline, ReducedEmdFilter};
 use flexemd::reduction::fb::{fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = tiling::generate(&params, &mut rng);
     let (dataset, queries) = dataset.split_queries(10);
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms);
+    let database = Database::new(dataset.histograms, cost.clone())?;
 
     // The rigid 2x2 block merge of [14] only offers d' = 24 on a 12x8
     // grid; the paper's reductions can target ANY d' — here 24 for a
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building reductions (grid is fixed to d'=24; flexible ones also try d'=16)...");
     let grid = block_merge(12, 8, 2, 2)?; // the rigid factor-4 merge of [14]
     let kmed = kmedoids_reduction(&cost, 24, &mut rng)?.reduction;
-    let sample: Vec<_> = draw_sample(&database, 20, &mut rng)
+    let sample: Vec<_> = draw_sample(database.histograms(), 20, &mut rng)
         .into_iter()
         .cloned()
         .collect();
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reduced = ReducedEmd::new(&cost, reduction)?;
         let pipeline = Pipeline::new(
             vec![Box::new(ReducedEmdFilter::new(&database, reduced)?)],
-            EmdDistance::new(database.clone(), cost.clone())?,
+            EmdDistance::new(&database)?,
         )?;
         let mut total = 0usize;
         for query in &queries {

@@ -16,7 +16,7 @@
 
 use flexemd::core::Histogram;
 use flexemd::data::{io as dataio, Dataset};
-use flexemd::query::{EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::query::{Database, EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
 use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
@@ -283,7 +283,8 @@ fn query(options: &Options) -> Result<(), String> {
     }
 
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms.clone());
+    let database =
+        Database::new(dataset.histograms.clone(), cost.clone()).map_err(|e| e.to_string())?;
     let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
     let mut stages: Vec<Box<dyn Filter>> = Vec::new();
     if options.flag("chain") {
@@ -296,11 +297,13 @@ fn query(options: &Options) -> Result<(), String> {
     ));
     let pipeline = Pipeline::new(
         stages,
-        EmdDistance::new(database.clone(), cost).map_err(|e| e.to_string())?,
+        EmdDistance::new(&database).map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
 
-    let query = &database[query_index];
+    let query = database
+        .get(query_index)
+        .ok_or_else(|| format!("--query index {query_index} out of range"))?;
     let started = std::time::Instant::now();
     let (neighbors, stats) = pipeline.knn(query, k).map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();

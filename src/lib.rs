@@ -40,25 +40,29 @@
 //! # }
 //! ```
 //!
-//! Complete k-NN retrieval through a filter pipeline:
+//! Complete k-NN retrieval through a filter pipeline over a shared
+//! database snapshot:
 //!
 //! ```
 //! use flexemd::core::{ground, Histogram};
-//! use flexemd::query::{EmdDistance, Pipeline, ReducedEmdFilter};
+//! use flexemd::query::{Database, EmdDistance, Pipeline, ReducedEmdFilter};
 //! use flexemd::reduction::{CombiningReduction, ReducedEmd};
 //! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let database = Arc::new(vec![
-//!     Histogram::new(vec![1.0, 0.0, 0.0, 0.0])?,
-//!     Histogram::new(vec![0.0, 0.0, 0.5, 0.5])?,
-//!     Histogram::new(vec![0.25, 0.25, 0.25, 0.25])?,
-//! ]);
 //! let cost = Arc::new(ground::linear(4)?);
+//! let database = Database::new(
+//!     vec![
+//!         Histogram::new(vec![1.0, 0.0, 0.0, 0.0])?,
+//!         Histogram::new(vec![0.0, 0.0, 0.5, 0.5])?,
+//!         Histogram::new(vec![0.25, 0.25, 0.25, 0.25])?,
+//!     ],
+//!     cost.clone(),
+//! )?;
 //! let reduced = ReducedEmd::new(&cost, CombiningReduction::new(vec![0, 0, 1, 1], 2)?)?;
 //! let pipeline = Pipeline::new(
 //!     vec![Box::new(ReducedEmdFilter::new(&database, reduced)?)],
-//!     EmdDistance::new(database, cost)?,
+//!     EmdDistance::new(&database)?,
 //! )?;
 //! let (neighbors, stats) = pipeline.knn(&Histogram::new(vec![0.9, 0.1, 0.0, 0.0])?, 2)?;
 //! assert_eq!(neighbors[0].id, 0); // no false dismissals: exact results

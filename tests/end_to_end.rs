@@ -8,7 +8,9 @@ use flexemd::core::{emd, Histogram};
 use flexemd::data::gaussian::{self, GaussianParams};
 use flexemd::data::tiling::{self, TilingParams};
 use flexemd::query::scan::brute_force_knn;
-use flexemd::query::{EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::query::{
+    Database, EmdDistance, Filter, Pipeline, Query, ReducedEmdFilter, ReducedImFilter,
+};
 use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
@@ -33,10 +35,10 @@ fn tiling_corpus_full_pipeline_is_complete() {
     let dataset = tiling::generate(&params, &mut rng);
     let (dataset, queries) = dataset.split_queries(4);
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms);
+    let database = Database::new(dataset.histograms, cost.clone()).unwrap();
 
     // Preprocessing.
-    let sample: Vec<Histogram> = draw_sample(&database, 8, &mut rng)
+    let sample: Vec<Histogram> = draw_sample(database.histograms(), 8, &mut rng)
         .into_iter()
         .cloned()
         .collect();
@@ -61,13 +63,9 @@ fn tiling_corpus_full_pipeline_is_complete() {
             Box::new(ReducedImFilter::new(&database, reduced.clone()).unwrap()),
             Box::new(ReducedEmdFilter::new(&database, reduced).unwrap()),
         ];
-        let pipeline = Pipeline::new(
-            stages,
-            EmdDistance::new(database.clone(), cost.clone()).unwrap(),
-        )
-        .unwrap();
+        let pipeline = Pipeline::new(stages, EmdDistance::new(&database).unwrap()).unwrap();
         for query in &queries {
-            let expected = brute_force_knn(query, &database, &cost, 5).unwrap();
+            let expected = brute_force_knn(query, database.histograms(), &cost, 5).unwrap();
             let (got, stats) = pipeline.knn(query, 5).unwrap();
             let expected_d: Vec<i64> = expected
                 .iter()
@@ -81,6 +79,15 @@ fn tiling_corpus_full_pipeline_is_complete() {
             assert!(stats.refinements <= database.len());
             assert!(stats.refinements >= 5);
         }
+
+        // The same plan answers the whole workload in a threaded batch,
+        // bit-identical to the sequential loop above.
+        let executor = pipeline.into_executor();
+        let workload: Vec<Query> = queries.iter().map(|q| Query::knn(q.clone(), 5)).collect();
+        let (sequential, seq_stats) = executor.run_batch(&workload, 1).unwrap();
+        let (parallel, par_stats) = executor.run_batch(&workload, 3).unwrap();
+        assert_eq!(sequential, parallel, "strategy {name}: batch diverged");
+        assert_eq!(seq_stats, par_stats);
     }
 }
 
@@ -188,15 +195,16 @@ fn calibrated_range_queries_return_at_least_k() {
     let dataset = gaussian::generate(&params, &mut rng);
     let (dataset, queries) = dataset.split_queries(3);
     let cost = Arc::new(dataset.cost.clone());
-    let database = Arc::new(dataset.histograms);
+    let database = Database::new(dataset.histograms, cost.clone()).unwrap();
 
-    let workload = flexemd::data::Workload::range_from_knn(queries, &database, &cost, 5).unwrap();
+    let workload =
+        flexemd::data::Workload::range_from_knn(queries, database.histograms(), &cost, 5).unwrap();
 
     let reduction = kmedoidize(&cost, 5);
     let reduced = ReducedEmd::new(&cost, reduction).unwrap();
     let pipeline = Pipeline::new(
         vec![Box::new(ReducedEmdFilter::new(&database, reduced).unwrap())],
-        EmdDistance::new(database.clone(), cost).unwrap(),
+        EmdDistance::new(&database).unwrap(),
     )
     .unwrap();
 
