@@ -1,13 +1,15 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [IDS...] [--full] [--smoke] [--json PATH]
+//! experiments [IDS...] [--full] [--smoke] [--json PATH] [--metrics json|PATH]
 //!
-//!   IDS      experiment ids (e1..e12, a1..a4); default: all
-//!   --full   paper-scale corpora (much slower than the default quick run)
-//!   --smoke  CI mode: tiny corpus, runs the batch-executor parity check
-//!            (E12) and exits non-zero if threaded != sequential
-//!   --json   additionally write the tables as JSON to PATH
+//!   IDS       experiment ids (e1..e13, a1..a4); default: all
+//!   --full    paper-scale corpora (much slower than the default quick run)
+//!   --smoke   CI mode: tiny corpus, runs the batch-executor parity check
+//!             (E12) and exits non-zero if threaded != sequential
+//!   --json    additionally write the tables as JSON to PATH
+//!   --metrics record an emd-obs registry over the whole run and dump it
+//!             as schema-versioned JSON ("json" = stdout, else a path)
 //! ```
 
 // CLI glue: panicking on a malformed run is the desired behavior.
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
     let mut run_all = false;
     let mut full = false;
     let mut json_path: Option<String> = None;
+    let mut metrics: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,8 +68,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics" => match args.next() {
+                Some(sink) => metrics = Some(sink),
+                None => {
+                    eprintln!("--metrics requires \"json\" or a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: experiments [IDS...] [--full] [--smoke] [--json PATH]");
+                eprintln!(
+                    "usage: experiments [IDS...] [--full] [--smoke] [--json PATH] [--metrics json|PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             "all" => run_all = true,
@@ -81,6 +93,7 @@ fn main() -> ExitCode {
         if full { "full" } else { "quick" }
     );
 
+    let recording = metrics.as_ref().map(|_| emd_obs::Recording::start());
     let mut tables: Vec<Table> = Vec::new();
     let started = Instant::now();
     let flush = || {
@@ -90,8 +103,8 @@ fn main() -> ExitCode {
     if run_all || ids.is_empty() {
         // Run one at a time so progress is visible as it happens.
         for id in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2",
-            "a3", "a4",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1",
+            "a2", "a3", "a4",
         ] {
             let table = experiments::by_id(id, &scale, quick).expect("known id");
             println!("\n{table}");
@@ -117,6 +130,18 @@ fn main() -> ExitCode {
         "\n# suite finished in {:.1}s",
         started.elapsed().as_secs_f64()
     );
+
+    if let (Some(sink), Some(recording)) = (metrics, recording) {
+        let rendered = recording.finish().to_json_string();
+        if sink == "json" {
+            println!("{rendered}");
+        } else if let Err(e) = std::fs::write(&sink, rendered) {
+            eprintln!("failed to write {sink}: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            println!("# wrote metrics to {sink}");
+        }
+    }
 
     if let Some(path) = json_path {
         match serde_json::to_vec_pretty(&tables).map(|bytes| std::fs::write(&path, bytes)) {

@@ -6,6 +6,7 @@ use crate::setup::{
     build_reduction, chained_executor, color_bench, flow_sample, mean_tightness_ratio, measure_knn,
     red_emd_executor, refiner, scan_executor, tiling_bench, Bench, Scale, Strategy,
 };
+use emd_obs::DurationHistogram;
 use emd_query::{Database, Executor, Filter, FullLbImFilter, Query, QueryPlan, ReducedEmdFilter};
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};
 use emd_reduction::flow_sample::draw_sample;
@@ -671,6 +672,110 @@ pub fn e12(scale: &Scale, _quick: bool) -> Table {
     table
 }
 
+/// E13: observability. Runs the E12 workload once without a metrics
+/// scope and once under [`emd_obs::Recording`], asserts the answers are
+/// bit-identical, and reads the stage/solver breakdown off the harvested
+/// registry — the same numbers `flexemd query --metrics json` exports.
+pub fn e13(scale: &Scale, _quick: bool) -> Table {
+    let mut table = Table::new(
+        "E13",
+        "observability: metrics registry breakdown (gaussian, 32-d, d'=8, k=10)",
+        &["metric", "value"],
+    );
+    let bench = gaussian_bench(scale);
+    let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
+    let executor = chained_executor(&bench, reduction);
+    let workload: Vec<Query> = bench
+        .queries
+        .iter()
+        .map(|q| Query::knn(q.clone(), K_DEFAULT))
+        .collect();
+    table.note(format!(
+        "database {} ({} objects), {} queries; registry schema {}",
+        bench.name,
+        bench.database.len(),
+        workload.len(),
+        emd_obs::SCHEMA
+    ));
+
+    // Warm-up, then the disabled path (no scope anywhere: every record
+    // call is one relaxed load + branch).
+    let (baseline, _) = executor.run_batch(&workload, 1).expect("consistent plan");
+    let started = Instant::now();
+    let (off_results, _) = executor.run_batch(&workload, 1).expect("consistent plan");
+    let off = started.elapsed();
+
+    // The recorded path.
+    let recording = emd_obs::Recording::start();
+    let started = Instant::now();
+    let (on_results, _) = executor.run_batch(&workload, 1).expect("consistent plan");
+    let on = started.elapsed();
+    let registry = recording.finish();
+
+    assert_eq!(baseline, off_results, "disabled run changed answers");
+    assert_eq!(baseline, on_results, "recording changed answers");
+
+    let n = workload.len().max(1) as f64;
+    let per_query = |value: u64| fnum(value as f64 / n);
+    table.row(vec![
+        "queries recorded".to_owned(),
+        registry.counter("query.queries").to_string(),
+    ]);
+    for (name, value) in registry.counters() {
+        if let Some(stage) = name
+            .strip_prefix("query.stage.")
+            .and_then(|rest| rest.strip_suffix(".evaluations"))
+        {
+            table.row(vec![
+                format!("{stage} evaluations/query"),
+                per_query(*value),
+            ]);
+        }
+    }
+    for (label, counter) in [
+        ("EMD refinements/query", "query.refinements"),
+        ("exact EMD solves/query", "core.emd.solves"),
+        ("simplex solver calls/query", "transport.solve.calls"),
+        ("simplex pivots/query", "transport.simplex.pivots"),
+        (
+            "degenerate Vogel cells/query",
+            "transport.vogel.degenerate_cells",
+        ),
+    ] {
+        table.row(vec![label.to_owned(), per_query(registry.counter(counter))]);
+    }
+    for (label, histogram) in [
+        ("query.execute span", "query.execute"),
+        ("query.knop span", "query.knop"),
+        ("transport.solve span", "transport.solve"),
+    ] {
+        if let Some(mean) = registry
+            .histogram(histogram)
+            .and_then(DurationHistogram::mean_nanos)
+        {
+            table.row(vec![format!("{label} mean [us]"), fnum(mean / 1e3)]);
+        }
+    }
+    table.row(vec![
+        "ms/query, metrics off".to_owned(),
+        fnum(off.as_secs_f64() * 1e3 / n),
+    ]);
+    table.row(vec![
+        "ms/query, metrics on".to_owned(),
+        fnum(on.as_secs_f64() * 1e3 / n),
+    ]);
+    table.row(vec![
+        "recording overhead [%]".to_owned(),
+        fnum((on.as_secs_f64() / off.as_secs_f64().max(1e-12) - 1.0) * 100.0),
+    ]);
+    table.note(
+        "answers are asserted bit-identical with metrics off and on; \
+         the off path costs one relaxed atomic load per record call",
+    );
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -686,6 +791,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e10(scale, quick),
         e11(scale, quick),
         e12(scale, quick),
+        e13(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -708,6 +814,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e10" => Some(e10(scale, quick)),
         "e11" => Some(e11(scale, quick)),
         "e12" => Some(e12(scale, quick)),
+        "e13" => Some(e13(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),
@@ -753,6 +860,15 @@ mod tests {
     fn a2_smoke() {
         let table = a2(&tiny(), true);
         assert_eq!(table.rows.len(), 2);
+    }
+
+    #[test]
+    fn e13_reports_registry_breakdown() {
+        let table = e13(&tiny(), true);
+        let text = table.to_string();
+        assert!(text.contains("queries recorded"));
+        assert!(text.contains("simplex pivots/query"));
+        assert!(text.contains(emd_obs::SCHEMA));
     }
 
     #[test]

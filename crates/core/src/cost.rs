@@ -1,3 +1,6 @@
+//! The ground-distance cost matrix `C = [c_ij]` of Definition 1,
+//! including the rectangular case the reduced EMD needs.
+
 use crate::error::CoreError;
 
 /// The ground-distance matrix `C = [c_ij]` of Definition 1.

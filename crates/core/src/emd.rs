@@ -63,6 +63,7 @@ pub fn emd_rectangular(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Resul
 }
 
 fn solve_stripped(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<EmdReport, CoreError> {
+    emd_obs::counter_add("core.emd.solves", 1);
     if cost.rows() != x.dim() || cost.cols() != y.dim() {
         return Err(CoreError::DimensionMismatch {
             expected_rows: cost.rows(),

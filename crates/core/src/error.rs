@@ -1,3 +1,5 @@
+//! Error types for `emd-core`.
+
 use std::fmt;
 
 /// Errors reported by `emd-core`.

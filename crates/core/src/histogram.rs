@@ -1,3 +1,6 @@
+//! Normalized non-negative feature vectors — the histogram operands of
+//! Definition 1.
+
 use crate::error::CoreError;
 use crate::MASS_EPS;
 

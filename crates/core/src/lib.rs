@@ -18,6 +18,15 @@
 //! * [`lower_bounds`] — LB_IM (independent minimization), the Rubner
 //!   centroid bound, and a scaled-L1 bound; all are complete filters for
 //!   multistep query processing.
+//!
+//! ## Observability
+//!
+//! Under an active `emd-obs` recording scope, every exact EMD solve bumps
+//! the `core.emd.solves` counter (this is the refinement cost the paper's
+//! reductions exist to avoid) and each lower-bound evaluation bumps its
+//! own counter (`core.lb_im.evaluations`, `core.lb_centroid.evaluations`,
+//! `core.lb_scaled_l1.evaluations`, `core.lb_anchor.evaluations`),
+//! giving the per-filter breakdown behind `flexemd query --metrics json`.
 
 pub mod certify;
 mod cost;

@@ -1,3 +1,6 @@
+//! Rubner's centroid lower bound: distance between weighted centroids
+//! under a norm-induced ground distance.
+
 use crate::error::CoreError;
 use crate::ground::Metric;
 use crate::histogram::Histogram;
@@ -75,6 +78,7 @@ impl CentroidBound {
     /// Returns [`CoreError::DimensionMismatch`] when either operand's
     /// dimensionality differs from the number of bin positions.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
+        emd_obs::counter_add("core.lb_centroid.evaluations", 1);
         if x.dim() != self.positions.len() || y.dim() != self.positions.len() {
             return Err(CoreError::DimensionMismatch {
                 expected_rows: self.positions.len(),

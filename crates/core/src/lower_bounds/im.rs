@@ -1,3 +1,6 @@
+//! LB_IM, the independent-minimization lower bound: the EMD linear
+//! program relaxed row- and column-wise.
+
 use crate::cost::CostMatrix;
 use crate::error::CoreError;
 use crate::histogram::Histogram;
@@ -64,6 +67,7 @@ impl LbIm {
     /// Returns [`CoreError::DimensionMismatch`] when the operand shapes disagree
     /// with the cost matrix.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
+        emd_obs::counter_add("core.lb_im.evaluations", 1);
         if x.dim() != self.cost.rows() || y.dim() != self.cost.cols() {
             return Err(CoreError::DimensionMismatch {
                 expected_rows: self.cost.rows(),

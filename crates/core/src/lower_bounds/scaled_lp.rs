@@ -1,3 +1,5 @@
+//! A nearly-free scaled-L1 lower bound on the EMD.
+
 use crate::cost::CostMatrix;
 use crate::error::CoreError;
 use crate::histogram::Histogram;
@@ -52,6 +54,7 @@ impl ScaledL1 {
     /// Returns [`CoreError::DimensionMismatch`] when the operand shapes disagree
     /// with the bound's dimensionality.
     pub fn bound(&self, x: &Histogram, y: &Histogram) -> Result<f64, CoreError> {
+        emd_obs::counter_add("core.lb_scaled_l1.evaluations", 1);
         if x.dim() != self.dim || y.dim() != self.dim {
             return Err(CoreError::DimensionMismatch {
                 expected_rows: self.dim,

@@ -1,3 +1,6 @@
+//! The bundled corpus type shared by every generator: histograms,
+//! labels, ground-distance matrix and optional bin positions.
+
 use emd_core::{CostMatrix, Histogram};
 
 /// A bundled retrieval corpus: feature histograms, their class labels, the

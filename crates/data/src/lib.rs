@@ -24,6 +24,9 @@
 //!   epsilon calibration (Definition 6).
 //! * [`Dataset`] / [`io`] — a bundled corpus (histograms + labels + ground
 //!   distance) with JSON (de)serialization.
+//!
+//! Data generation is seeded and deterministic; it performs no queries
+//! and carries no `emd-obs` instrumentation.
 
 pub mod color;
 mod dataset;

@@ -11,7 +11,7 @@
 //! [`Arc::make_mut`]: taking a [`DynamicSnapshot`] is O(live) in ids and
 //! copies **no histogram data**, and later mutations copy-on-write
 //! without disturbing outstanding snapshots. Queries execute through the
-//! shared engine [`Executor`](crate::Executor) — the KNOP refinement loop
+//! shared engine [`Executor`] — the KNOP refinement loop
 //! lives only in [`knop`](crate::knop), not here.
 
 use crate::engine::{Executor, QueryPlan};

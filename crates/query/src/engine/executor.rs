@@ -117,6 +117,7 @@ impl Executor {
     ) -> Result<(Vec<Vec<Neighbor>>, QueryStats), QueryError> {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
+            emd_obs::gauge_set("query.batch.threads", 1.0);
             let mut results = Vec::with_capacity(queries.len());
             let mut total = QueryStats::default();
             for query in queries {
@@ -130,13 +131,26 @@ impl Executor {
         // Contiguous chunks keep per-query results trivially reorderable:
         // thread t owns queries [t * chunk, (t + 1) * chunk).
         let chunk = queries.len().div_ceil(threads);
-        type ChunkResult = Result<(Vec<Vec<Neighbor>>, QueryStats), QueryError>;
+        // Metric scopes are thread-local, so workers record into their own
+        // registries which the caller absorbs in chunk order below —
+        // counter totals are then identical to a sequential run at any
+        // thread count (histogram sums still reflect wall-clock).
+        let record_metrics = emd_obs::recording();
+        type ChunkResult = Result<
+            (
+                Vec<Vec<Neighbor>>,
+                QueryStats,
+                Option<emd_obs::MetricsRegistry>,
+            ),
+            QueryError,
+        >;
         let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
             // Spawn every chunk before joining any: joining lazily off the
             // spawn iterator would serialize the batch.
             let mut handles = Vec::with_capacity(threads);
             for chunk_queries in queries.chunks(chunk) {
                 handles.push(scope.spawn(move || -> ChunkResult {
+                    let recording = record_metrics.then(emd_obs::Recording::start);
                     let mut results = Vec::with_capacity(chunk_queries.len());
                     let mut total = QueryStats::default();
                     for query in chunk_queries {
@@ -144,7 +158,7 @@ impl Executor {
                         total.accumulate(&stats);
                         results.push(neighbors);
                     }
-                    Ok((results, total))
+                    Ok((results, total, recording.map(emd_obs::Recording::finish)))
                 }));
             }
             let mut collected = Vec::with_capacity(handles.len());
@@ -159,11 +173,15 @@ impl Executor {
             collected
         });
 
+        emd_obs::gauge_set("query.batch.threads", threads as f64);
         let mut results = Vec::with_capacity(queries.len());
         let mut total = QueryStats::default();
         for chunk_result in chunk_results {
-            let (chunk_neighbors, chunk_stats) = chunk_result?;
+            let (chunk_neighbors, chunk_stats, chunk_registry) = chunk_result?;
             total.accumulate(&chunk_stats);
+            if let Some(registry) = &chunk_registry {
+                emd_obs::absorb(registry);
+            }
             results.extend(chunk_neighbors);
         }
         Ok((results, total))
@@ -174,6 +192,8 @@ impl Executor {
         query: &Histogram,
         mode: QueryMode,
     ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let _query_span = emd_obs::span("query.execute");
+        emd_obs::counter_add("query.queries", 1);
         match mode {
             QueryMode::Knn(0) => return Err(QueryError::ZeroK),
             QueryMode::Range(epsilon) if epsilon.is_nan() || epsilon < 0.0 => {
@@ -181,28 +201,36 @@ impl Executor {
             }
             _ => {}
         }
-        let mut refiner = self.plan.refiner().prepare(query)?;
+        let mut refiner = {
+            let _span = emd_obs::span("query.refiner.prepare");
+            self.plan.refiner().prepare(query)?
+        };
 
-        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> = self
-            .plan
-            .stages()
-            .iter()
-            .map(|stage| stage.prepare(query))
-            .collect::<Result<_, _>>()?;
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> =
+            Vec::with_capacity(self.plan.stages().len());
+        for stage in self.plan.stages() {
+            let _span = emd_obs::span_with(|| format!("query.stage.{}.prepare", stage.name()));
+            prepared.push(stage.prepare(query)?);
+        }
 
         let Some((first, rest)) = prepared.split_first_mut() else {
             // Zero-stage plan — the sequential scan: refine every object
             // once and read the answer off the exact ranking.
-            let neighbors = scan_ranking(refiner.as_mut(), self.plan.len(), mode)?;
+            let neighbors = {
+                let _span = emd_obs::span("query.scan");
+                scan_ranking(refiner.as_mut(), self.plan.len(), mode)?
+            };
             let stats = QueryStats {
                 filter_evaluations: Vec::new(),
                 refinements: refiner.evaluations(),
                 results: neighbors.len(),
             };
+            publish_stats(&stats);
             return Ok((neighbors, stats));
         };
 
         let (neighbors, refinements) = {
+            let _span = emd_obs::span("query.knop");
             let mut ranking: Box<dyn Ranking + '_> =
                 Box::new(EagerRanking::new(first.as_mut(), self.plan.len())?);
             for stage in rest {
@@ -227,8 +255,28 @@ impl Executor {
             refinements,
             results: neighbors.len(),
         };
+        publish_stats(&stats);
         Ok((neighbors, stats))
     }
+}
+
+/// Mirror a query's [`QueryStats`] into the ambient metrics registry, so
+/// registry consumers see the same per-stage evaluation counts the stats
+/// façade reports. The filters keep their own cheap counters
+/// ([`PreparedFilter::evaluations`]) — publishing after the fact keeps the
+/// per-candidate hot path free of registry lookups.
+fn publish_stats(stats: &QueryStats) {
+    if !emd_obs::recording() {
+        return;
+    }
+    for (name, evaluations) in &stats.filter_evaluations {
+        emd_obs::counter_add(
+            &format!("query.stage.{name}.evaluations"),
+            *evaluations as u64,
+        );
+    }
+    emd_obs::counter_add("query.refinements", stats.refinements as u64);
+    emd_obs::counter_add("query.results", stats.results as u64);
 }
 
 /// Read a query answer directly off an exact-distance ranking (the

@@ -1,3 +1,5 @@
+//! Error types for `emd-query`.
+
 use std::fmt;
 
 /// Errors reported by `emd-query`.

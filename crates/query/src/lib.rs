@@ -30,6 +30,22 @@
 //! * [`dynamic`] — a mutable index with copy-on-write snapshots that
 //!   execute through the same engine.
 //! * [`scan`] — brute-force oracles, implemented as zero-stage plans.
+//!
+//! ## Observability
+//!
+//! The [`Executor`] is the integration point for the `emd-obs` metrics
+//! layer: under an active recording scope every query is wrapped in a
+//! `query.execute` span with nested spans per stage preparation
+//! (`query.stage.<name>.prepare`) and around the KNOP loop
+//! (`query.knop`), and the per-stage evaluation counts that feed
+//! [`QueryStats`] are mirrored into registry counters
+//! (`query.stage.<name>.evaluations`, `query.refinements`,
+//! `query.results`). [`Executor::run_batch`] installs one scope per
+//! worker thread and absorbs the per-thread registries in chunk order, so
+//! merged counter totals are identical to a sequential run at any thread
+//! count. Recording never changes answers — results are bit-identical
+//! with metrics on and off (property-tested in
+//! `tests/metrics_observability.rs`).
 
 pub mod dynamic;
 pub mod engine;

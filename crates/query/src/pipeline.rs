@@ -8,8 +8,8 @@
 //! sequential scan.
 //!
 //! Since the engine refactor, `Pipeline` is a thin convenience façade: it
-//! assembles a [`QueryPlan`](crate::QueryPlan) and delegates every query
-//! to an [`Executor`](crate::Executor), which owns the single KNOP
+//! assembles a [`QueryPlan`] and delegates every query
+//! to an [`Executor`], which owns the single KNOP
 //! refinement loop shared by all entry points.
 
 use crate::engine::{Executor, QueryPlan};

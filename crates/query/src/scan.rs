@@ -5,8 +5,8 @@
 //! multistep pipelines; benches use them as the no-filter baseline cost.
 //!
 //! Since the engine refactor they are front-ends over a *zero-stage*
-//! [`QueryPlan`](crate::QueryPlan) run by the shared
-//! [`Executor`](crate::Executor) — the same sequential-scan path every
+//! [`QueryPlan`] run by the shared
+//! [`Executor`] — the same sequential-scan path every
 //! zero-stage pipeline takes, so the oracles and the engine cannot drift
 //! apart.
 

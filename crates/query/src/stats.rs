@@ -1,3 +1,7 @@
+//! Per-query cost accounting: the `QueryStats` façade every execution
+//! path reports through (and, under an `emd-obs` recording scope, the
+//! numbers the executor mirrors into the metrics registry).
+
 /// Per-query cost accounting.
 ///
 /// The paper's evaluation reports the number of expensive refinements

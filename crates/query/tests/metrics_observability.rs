@@ -1,0 +1,162 @@
+//! Observability must never change answers: queries executed under a
+//! metrics recording scope return bit-identical neighbors to unscoped
+//! execution, and the `run_batch` per-thread registry merge produces
+//! counter totals invariant under the thread count.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{ground, Histogram};
+use emd_query::{Database, EmdDistance, Executor, Filter, Query, QueryPlan, ReducedEmdFilter};
+use emd_reduction::{CombiningReduction, ReducedEmd};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, DIM).prop_filter_map("positive mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+/// The paper's canonical chain for these tests: one Red-EMD stage over a
+/// 3-bin combining reduction, refined by the exact EMD.
+fn chained_executor(database: &Database) -> Executor {
+    let r = CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+    let reduced = ReducedEmd::new(database.cost(), r).unwrap();
+    let stages: Vec<Box<dyn Filter>> =
+        vec![Box::new(ReducedEmdFilter::new(database, reduced).unwrap())];
+    let refiner = Box::new(EmdDistance::new(database).unwrap());
+    Executor::new(QueryPlan::new(stages, refiner).unwrap())
+}
+
+fn fixed_database(n: usize) -> Database {
+    let cost = Arc::new(ground::linear(DIM).unwrap());
+    let histograms: Vec<Histogram> = (0..n)
+        .map(|i| {
+            let mut bins = [1.0; DIM];
+            // bounds: i % DIM and (i / DIM) % DIM are both < DIM
+            bins[i % DIM] += (i + 1) as f64;
+            bins[(i / DIM) % DIM] += 2.0;
+            let total: f64 = bins.iter().sum();
+            Histogram::new(bins.iter().map(|b| b / total).collect()).unwrap()
+        })
+        .collect();
+    Database::new(histograms, cost).unwrap()
+}
+
+fn fixed_workload(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let mut bins = [1.0; DIM];
+            // bounds: (i * 2 + 1) % DIM < DIM
+            bins[(i * 2 + 1) % DIM] += i as f64;
+            let total: f64 = bins.iter().sum();
+            let histogram = Histogram::new(bins.iter().map(|b| b / total).collect()).unwrap();
+            if i % 2 == 0 {
+                Query::knn(histogram, 1 + i % 3)
+            } else {
+                Query::range(histogram, (i as f64).mul_add(0.25, 0.5))
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recording metrics is invisible to the computation: identical ids
+    /// and the exact same f64 distances with and without a scope.
+    #[test]
+    fn metrics_scope_never_changes_answers(
+        database in prop::collection::vec(histogram(), 4..12),
+        query in histogram(),
+        k in 1usize..5,
+        epsilon in 0.0_f64..2.5,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let executor = chained_executor(&database);
+
+        let (plain_knn, plain_knn_stats) = executor.knn(&query, k).unwrap();
+        let (plain_range, plain_range_stats) = executor.range(&query, epsilon).unwrap();
+
+        let recording = emd_obs::Recording::start();
+        let (scoped_knn, scoped_knn_stats) = executor.knn(&query, k).unwrap();
+        let (scoped_range, scoped_range_stats) = executor.range(&query, epsilon).unwrap();
+        let registry = recording.finish();
+
+        // Bit-identical results and identical stats façade output.
+        prop_assert_eq!(plain_knn, scoped_knn);
+        prop_assert_eq!(plain_range, scoped_range);
+        prop_assert_eq!(&plain_knn_stats, &scoped_knn_stats);
+        prop_assert_eq!(&plain_range_stats, &scoped_range_stats);
+
+        // And the registry mirrors the stats façade exactly.
+        prop_assert_eq!(registry.counter("query.queries"), 2);
+        let expected_refinements =
+            (plain_knn_stats.refinements + plain_range_stats.refinements) as u64;
+        prop_assert_eq!(registry.counter("query.refinements"), expected_refinements);
+        let expected_stage: usize = plain_knn_stats
+            .filter_evaluations
+            .iter()
+            .chain(plain_range_stats.filter_evaluations.iter())
+            .map(|(_, n)| n)
+            .sum();
+        prop_assert_eq!(
+            registry.counter("query.stage.red-emd(d'=3/3).evaluations"),
+            expected_stage as u64
+        );
+    }
+}
+
+/// Registry counters recorded through `run_batch` are invariant under the
+/// thread count: workers record into thread-local registries and the
+/// caller absorbs them in chunk order, so the merged totals match the
+/// sequential run exactly. (Histogram *sums* reflect wall-clock and are
+/// deliberately excluded; their observation counts are compared.)
+#[test]
+fn batch_registry_merge_is_thread_count_invariant() {
+    let database = fixed_database(24);
+    let executor = chained_executor(&database);
+    let workload = fixed_workload(12);
+
+    let totals = |threads: usize| -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+        let recording = emd_obs::Recording::start();
+        let (results, _) = executor.run_batch(&workload, threads).unwrap();
+        let registry = recording.finish();
+        assert_eq!(results.len(), workload.len());
+        let histogram_counts = registry
+            .histograms()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.count()))
+            .collect();
+        (registry.counters().clone(), histogram_counts)
+    };
+
+    let (baseline_counters, baseline_histograms) = totals(1);
+    assert!(
+        baseline_counters.contains_key("query.queries"),
+        "sequential batch must record query counters"
+    );
+    assert!(
+        baseline_histograms.contains_key("query.execute"),
+        "sequential batch must record span histograms"
+    );
+    for threads in [2, 3, 5, 8] {
+        let (counters, histograms) = totals(threads);
+        assert_eq!(
+            baseline_counters, counters,
+            "counter totals diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline_histograms, histograms,
+            "span observation counts diverged at {threads} threads"
+        );
+    }
+}

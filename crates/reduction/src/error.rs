@@ -1,3 +1,5 @@
+//! Error types for `emd-reduction`.
+
 use std::fmt;
 
 /// Errors reported by `emd-reduction`.

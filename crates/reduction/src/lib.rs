@@ -26,6 +26,11 @@
 //!   paper generalizes.
 //! * [`pca`] — a PCA-guided combining reduction, standing in for the
 //!   paper's (negative) PCA experiment; see DESIGN.md.
+//!
+//! Reduction construction is offline preprocessing, so this crate carries
+//! no `emd-obs` instrumentation of its own; the flow samples it draws run
+//! exact EMDs through `emd-core`, whose `core.emd.solves` counter makes
+//! that preprocessing cost visible when recorded.
 
 mod error;
 pub mod exhaustive;

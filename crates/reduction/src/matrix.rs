@@ -1,3 +1,6 @@
+//! Combining reduction matrices (Definition 3): each original dimension
+//! joins exactly one reduced dimension, none left empty.
+
 use crate::error::ReductionError;
 use emd_core::Histogram;
 

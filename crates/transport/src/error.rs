@@ -1,3 +1,5 @@
+//! Error types for the transportation solvers.
+
 use std::fmt;
 
 /// Errors reported by the transportation solvers.

@@ -27,6 +27,17 @@
 //! Both solvers accept rectangular cost matrices (`m` sources, `n` targets),
 //! which the paper needs for reduced EMDs with differing query/database
 //! dimensionalities (`R1 != R2`).
+//!
+//! ## Observability
+//!
+//! When an `emd-obs` recording scope is active (see `emd_obs::Recording`),
+//! every simplex solve reports into it: the `transport.solve` span times
+//! the whole solve, and the counters `transport.solve.calls`,
+//! `transport.simplex.pivots`, `transport.simplex.bland_pivots`,
+//! `transport.simplex.degenerate_pivots` and
+//! `transport.vogel.degenerate_cells` attribute LP-level work to the
+//! queries that triggered it. Without a scope each record call costs one
+//! relaxed atomic load.
 
 pub mod certify;
 mod error;

@@ -1,3 +1,7 @@
+//! The balanced transportation problem instance consumed by both
+//! solvers: supplies, demands and a row-major cost tableau, validated
+//! for balance at construction.
+
 use crate::error::{Side, TransportError};
 use crate::BALANCE_EPS;
 

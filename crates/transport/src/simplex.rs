@@ -62,6 +62,8 @@ pub fn solve_with_options(
     problem: &TransportProblem,
     options: SimplexOptions,
 ) -> Result<Solution, TransportError> {
+    let _solve_span = emd_obs::span("transport.solve");
+    emd_obs::counter_add("transport.solve.calls", 1);
     let m = problem.num_sources();
     let n = problem.num_targets();
 
@@ -98,6 +100,10 @@ pub fn solve_with_options(
             crate::certify::debug_certify_solution(problem, &solution, "simplex");
             return Ok(solution);
         };
+        emd_obs::counter_add("transport.simplex.pivots", 1);
+        if use_bland {
+            emd_obs::counter_add("transport.simplex.bland_pivots", 1);
+        }
 
         // The entering edge (ei, ej) closes a cycle with the tree path from
         // demand node of ej back to supply node ei. Walking the cycle from
@@ -140,6 +146,7 @@ pub fn solve_with_options(
 
         if theta <= EPS {
             degenerate_run += 1;
+            emd_obs::counter_add("transport.simplex.degenerate_pivots", 1);
         } else {
             degenerate_run = 0;
         }

@@ -1,3 +1,7 @@
+//! Initial basic feasible solutions for the transportation simplex:
+//! Vogel's approximation method (the production default) and the
+//! north-west corner rule (a cost-blind baseline for tests).
+
 use crate::problem::TransportProblem;
 
 /// An initial basic feasible solution for the transportation simplex.
@@ -73,6 +77,16 @@ pub fn initial_basis(problem: &TransportProblem) -> InitialBasis {
     }
 
     let basis = InitialBasis { cells };
+    if emd_obs::enabled() {
+        // Zero-flow cells are the degenerate padding that keeps the basis
+        // a spanning tree of m + n - 1 edges; report them as basis repairs.
+        let degenerate = basis
+            .cells
+            .iter()
+            .filter(|&&(_, _, flow)| flow <= crate::EPS)
+            .count();
+        emd_obs::counter_add("transport.vogel.degenerate_cells", degenerate as u64);
+    }
     crate::certify::debug_certify_basis(problem, &basis);
     basis
 }

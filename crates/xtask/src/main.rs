@@ -20,6 +20,9 @@
 //!    literals needs a `// float: exact` justification, `partial_cmp` is
 //!    banned in favor of `total_cmp`, and `f64::NAN`/`f32::NAN` needs a
 //!    `// float: nan` justification.
+//! 6. **Module docs** — every library-crate `.rs` file should open with a
+//!    `//!` module doc comment; files without one are counted against the
+//!    `[missing-module-docs]` ratchet budget.
 //!
 //! The scanner is line-based: it strips `//` comments (outside string
 //! literals) and skips `#[cfg(test)]` blocks by brace counting. That is
@@ -36,7 +39,7 @@ use std::process::ExitCode;
 
 /// Library crates subject to the panic ban, indexing audit and
 /// `# Errors` docs lint.
-const LIBRARY_CRATES: [&str; 5] = ["transport", "core", "reduction", "query", "data"];
+const LIBRARY_CRATES: [&str; 6] = ["transport", "core", "reduction", "query", "data", "obs"];
 
 /// Solver hot paths subject to the float-discipline lint, relative to the
 /// workspace root.
@@ -88,14 +91,19 @@ fn run_lint(write_budget: bool) -> Result<(), String> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut marker_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut index_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut doc_counts: BTreeMap<String, usize> = BTreeMap::new();
 
     for krate in LIBRARY_CRATES {
         let src = root.join("crates").join(krate).join("src");
         let mut markers = 0usize;
         let mut indexing = 0usize;
+        let mut missing_docs = 0usize;
         for file in rust_files(&src)? {
             let text = fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            if !has_module_docs(&text) {
+                missing_docs += 1;
+            }
             let lines = scan_lines(&text);
             markers += check_panics(&file, &lines, &mut findings);
             indexing += check_indexing(&lines);
@@ -103,6 +111,7 @@ fn run_lint(write_budget: bool) -> Result<(), String> {
         }
         marker_counts.insert(krate.to_owned(), markers);
         index_counts.insert(krate.to_owned(), indexing);
+        doc_counts.insert(krate.to_owned(), missing_docs);
     }
 
     for rel in HOT_PATHS {
@@ -117,12 +126,18 @@ fn run_lint(write_budget: bool) -> Result<(), String> {
 
     let budget_path = root.join("lint-budget.toml");
     if write_budget {
-        let rendered = render_budget(&marker_counts, &index_counts);
+        let rendered = render_budget(&marker_counts, &index_counts, &doc_counts);
         fs::write(&budget_path, rendered)
             .map_err(|e| format!("cannot write {}: {e}", budget_path.display()))?;
         println!("wrote {}", budget_path.display());
     } else {
-        check_budget(&budget_path, &marker_counts, &index_counts, &mut findings)?;
+        check_budget(
+            &budget_path,
+            &marker_counts,
+            &index_counts,
+            &doc_counts,
+            &mut findings,
+        )?;
     }
 
     if findings.is_empty() {
@@ -591,7 +606,11 @@ fn check_preambles(root: &Path, findings: &mut Vec<Finding>) -> Result<(), Strin
     Ok(())
 }
 
-fn render_budget(markers: &BTreeMap<String, usize>, indexing: &BTreeMap<String, usize>) -> String {
+fn render_budget(
+    markers: &BTreeMap<String, usize>,
+    indexing: &BTreeMap<String, usize>,
+    missing_docs: &BTreeMap<String, usize>,
+) -> String {
     let mut out = String::from(
         "# Ratchet budgets for `cargo xtask lint`.\n\
          #\n\
@@ -610,13 +629,39 @@ fn render_budget(markers: &BTreeMap<String, usize>, indexing: &BTreeMap<String, 
     for (krate, count) in indexing {
         let _ = writeln!(out, "{krate} = {count}");
     }
+    let _ = writeln!(out, "\n[missing-module-docs]");
+    for (krate, count) in missing_docs {
+        let _ = writeln!(out, "{krate} = {count}");
+    }
     out
+}
+
+/// Whether a source file opens with a `//!` module doc comment. Leading
+/// blank lines, plain `//` comments (e.g. license headers) and inner
+/// attributes are allowed before it; the first code line ends the search.
+fn has_module_docs(text: &str) -> bool {
+    for raw in text.lines() {
+        let line = raw.trim_start();
+        if line.starts_with("//!") {
+            return true;
+        }
+        if line.is_empty()
+            || line.starts_with("//")
+            || line.starts_with("#!")
+            || line.starts_with("#[")
+        {
+            continue;
+        }
+        return false;
+    }
+    false
 }
 
 fn check_budget(
     path: &Path,
     markers: &BTreeMap<String, usize>,
     indexing: &BTreeMap<String, usize>,
+    missing_docs: &BTreeMap<String, usize>,
     findings: &mut Vec<Finding>,
 ) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| {
@@ -629,6 +674,7 @@ fn check_budget(
     for (section, actual) in [
         ("panic-markers", markers),
         ("unjustified-indexing", indexing),
+        ("missing-module-docs", missing_docs),
     ] {
         let Some(recorded) = budget.get(section) else {
             findings.push(Finding {
@@ -763,10 +809,13 @@ mod tests {
         markers.insert("core".to_owned(), 0usize);
         let mut indexing = BTreeMap::new();
         indexing.insert("core".to_owned(), 12usize);
-        let rendered = render_budget(&markers, &indexing);
+        let mut missing_docs = BTreeMap::new();
+        missing_docs.insert("core".to_owned(), 0usize);
+        let rendered = render_budget(&markers, &indexing, &missing_docs);
         let parsed = parse_budget(&rendered).unwrap();
         assert_eq!(parsed["panic-markers"]["core"], 0);
         assert_eq!(parsed["unjustified-indexing"]["core"], 12);
+        assert_eq!(parsed["missing-module-docs"]["core"], 0);
     }
 
     #[test]

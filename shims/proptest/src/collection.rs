@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact size or a size range.
+/// A length specification for [`vec()`]: an exact size or a size range.
 pub trait SizeRange {
     /// Pick a concrete length.
     fn pick(&self, rng: &mut StdRng) -> usize;
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,

@@ -7,12 +7,15 @@
 //! flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
 //!                  --dims D --out reduction.json [--sample N] [--seed S]
 //! flexemd query    --data data.json --reduction reduction.json
-//!                  [--k K] [--query I] [--chain]
+//!                  [--k K] [--query I] [--chain] [--metrics json|PATH]
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `reduce` builds and stores a
 //! combining reduction for it; `query` runs a complete k-NN query through
 //! the filter-and-refine pipeline and reports what the filter saved.
+//! `--metrics` records an `emd-obs` registry over the query — per-stage
+//! spans, solver counters, lower-bound evaluations — and dumps it as
+//! schema-versioned JSON (`json` = stdout, anything else = a file path).
 
 use flexemd::core::Histogram;
 use flexemd::data::{io as dataio, Dataset};
@@ -72,7 +75,7 @@ USAGE:
   flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
                    --dims D --out reduction.json [--sample N] [--seed S]
   flexemd query    --data data.json --reduction reduction.json
-                   [--k K] [--query I] [--chain]";
+                   [--k K] [--query I] [--chain] [--metrics json|PATH]";
 
 /// Parsed `--key value` options (every option takes a value except
 /// `--chain`).
@@ -304,9 +307,14 @@ fn query(options: &Options) -> Result<(), String> {
     let query = database
         .get(query_index)
         .ok_or_else(|| format!("--query index {query_index} out of range"))?;
+    let metrics = options.values.get("metrics").cloned();
+    let recording = metrics
+        .as_ref()
+        .map(|_| flexemd::obs::Recording::with_events());
     let started = std::time::Instant::now();
     let (neighbors, stats) = pipeline.knn(query, k).map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
+    let registry = recording.map(flexemd::obs::Recording::finish);
 
     println!(
         "{}-NN of object {query_index} (class {}):",
@@ -329,6 +337,16 @@ fn query(options: &Options) -> Result<(), String> {
         100.0 * stats.refinements as f64 / database.len() as f64
     );
     println!("query time: {:.1} ms", elapsed.as_secs_f64() * 1e3);
+
+    if let (Some(sink), Some(registry)) = (metrics, registry) {
+        let rendered = registry.to_json_string();
+        if sink == "json" {
+            println!("{rendered}");
+        } else {
+            std::fs::write(&sink, rendered).map_err(|e| e.to_string())?;
+            println!("wrote metrics to {sink}");
+        }
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! * [`reduction`] — flexible lower-bounding dimensionality reduction
 //! * [`data`] — synthetic multimedia data sets and workloads
 //! * [`query`] — multistep filter-and-refine query processing (KNOP)
+//! * [`obs`] — metrics registry and span tracing for the whole stack
 //!
 //! # Example
 //!
@@ -73,6 +74,7 @@
 
 pub use emd_core as core;
 pub use emd_data as data;
+pub use emd_obs as obs;
 pub use emd_query as query;
 pub use emd_reduction as reduction;
 pub use emd_transport as transport;

@@ -79,6 +79,50 @@ fn full_workflow() {
     assert!(query_text.contains("#1"), "{query_text}");
     assert!(query_text.contains("refinements"), "{query_text}");
 
+    // The same query with --metrics json appends the schema-versioned
+    // registry dump: stage spans, solver counters, per-span event log.
+    let metrics = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--chain", "--metrics", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        metrics.status.success(),
+        "query --metrics failed: {}",
+        String::from_utf8_lossy(&metrics.stderr)
+    );
+    let metrics_text = String::from_utf8_lossy(&metrics.stdout).to_string();
+    assert!(
+        metrics_text.contains("\"schema\": \"flexemd-metrics/v1\""),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("\"query.queries\": 1"),
+        "{metrics_text}"
+    );
+    assert!(metrics_text.contains("transport.solve"), "{metrics_text}");
+    assert!(metrics_text.contains("\"events\""), "{metrics_text}");
+
+    // --metrics with a path writes the same document to a file.
+    let metrics_file = dir.join("metrics.json");
+    let to_file = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--metrics"])
+        .arg(&metrics_file)
+        .output()
+        .unwrap();
+    assert!(to_file.status.success());
+    let written = std::fs::read_to_string(&metrics_file).unwrap();
+    assert!(written.contains("\"schema\": \"flexemd-metrics/v1\""));
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
