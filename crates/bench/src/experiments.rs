@@ -7,7 +7,9 @@ use crate::setup::{
     red_emd_executor, refiner, scan_executor, tiling_bench, Bench, Scale, Strategy,
 };
 use emd_obs::DurationHistogram;
-use emd_query::{Database, Executor, Filter, FullLbImFilter, Query, QueryPlan, ReducedEmdFilter};
+use emd_query::{
+    Database, EmdDistance, Executor, Filter, FullLbImFilter, Query, QueryPlan, ReducedEmdFilter,
+};
 use emd_reduction::fb::{fb_all, fb_mod, FbOptions};
 use emd_reduction::flow_sample::draw_sample;
 use emd_reduction::kmedoids::kmedoids_reduction;
@@ -776,6 +778,134 @@ pub fn e13(scale: &Scale, _quick: bool) -> Table {
     table
 }
 
+/// E14: the persistent index store. For growing corpora, compares
+/// cold-starting a query pipeline by `Database::open` on a checksummed
+/// segment directory against a full rebuild from the JSON dataset (load,
+/// re-validate, recompute `C'`, re-reduce every histogram), asserting the
+/// two pipelines answer a probe query bit-identically.
+pub fn e14(scale: &Scale, quick: bool) -> Table {
+    use emd_data::gaussian::{self, GaussianParams};
+    use emd_query::ReducedImFilter;
+    use emd_reduction::PersistedReduction;
+
+    let mut table = Table::new(
+        "E14",
+        "index store: cold-start open vs rebuild from JSON (gaussian, 32-d, d'=8)",
+        &[
+            "objects",
+            "index [KiB]",
+            "rebuild [ms]",
+            "open [ms]",
+            "speedup",
+            "identical",
+        ],
+    );
+    let d_red = 8;
+    let k = K_DEFAULT;
+    let base = scale.tiling_per_class.max(2);
+    let per_class_sizes = if quick {
+        vec![base / 2, base]
+    } else {
+        vec![base / 2, base, base * 2]
+    };
+    let scratch = std::env::temp_dir().join(format!("flexemd-e14-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch directory");
+    table.note(
+        "rebuild = JSON load + validate + recompute C' + re-reduce arena; \
+         open = verify checksummed segments and re-check invariants",
+    );
+
+    for per_class in per_class_sizes {
+        let params = GaussianParams {
+            dim: 32,
+            num_classes: 6,
+            per_class,
+            ..GaussianParams::default()
+        };
+        let dataset = gaussian::generate(&params, &mut StdRng::seed_from_u64(SEED));
+        let json_path = scratch.join(format!("corpus-{per_class}.json"));
+        emd_data::io::save(&dataset, &json_path).expect("write dataset JSON");
+        let index_dir = scratch.join(format!("index-{per_class}"));
+
+        // Build once and persist the index.
+        let cost = std::sync::Arc::new(dataset.cost.clone());
+        let database = Database::new(dataset.histograms.clone(), cost.clone())
+            .expect("dataset is self-consistent");
+        let kmed = kmedoids_reduction(&cost, d_red, &mut StdRng::seed_from_u64(SEED))
+            .expect("clustering converges")
+            .reduction;
+        let reduced = ReducedEmd::new(&cost, kmed).expect("validated reduction");
+        let bundle = PersistedReduction::precompute("kmed", reduced, database.histograms())
+            .expect("matching dimensions");
+        database
+            .save(&index_dir, &dataset.name, &[bundle])
+            .expect("save index");
+        let index_bytes: u64 = std::fs::read_dir(&index_dir)
+            .expect("index directory")
+            .map(|entry| entry.and_then(|e| e.metadata()).map_or(0, |m| m.len()))
+            .sum();
+
+        // Cold path A: rebuild everything from the JSON artifact.
+        let started = Instant::now();
+        let loaded = emd_data::io::load(&json_path).expect("read dataset JSON");
+        let rebuilt_cost = std::sync::Arc::new(loaded.cost.clone());
+        let rebuilt_db = Database::new(loaded.histograms, rebuilt_cost.clone())
+            .expect("dataset is self-consistent");
+        let rebuilt_kmed =
+            kmedoids_reduction(&rebuilt_cost, d_red, &mut StdRng::seed_from_u64(SEED))
+                .expect("clustering converges")
+                .reduction;
+        let rebuilt_reduced = ReducedEmd::new(&rebuilt_cost, rebuilt_kmed).expect("validated");
+        let rebuilt_bundle =
+            PersistedReduction::precompute("kmed", rebuilt_reduced, rebuilt_db.histograms())
+                .expect("matching dimensions");
+        let rebuild_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Cold path B: open the persisted index.
+        let started = Instant::now();
+        let opened = Database::open(&index_dir).expect("open index");
+        let open_ms = started.elapsed().as_secs_f64() * 1e3;
+        let opened_bundle = opened
+            .reductions
+            .into_iter()
+            .next()
+            .expect("index holds the reduction");
+
+        // Both cold starts must produce the same pipeline: probe with one
+        // chained k-NN query and compare bit-for-bit.
+        let probe = rebuilt_db.get(0).expect("non-empty database").clone();
+        let build_executor = |db: &Database, bundle: PersistedReduction| {
+            let stages: Vec<Box<dyn Filter>> = vec![
+                Box::new(ReducedImFilter::from_persisted(db, bundle.clone()).expect("consistent")),
+                Box::new(ReducedEmdFilter::from_persisted(db, bundle).expect("consistent")),
+            ];
+            let refiner = Box::new(EmdDistance::new(db).expect("consistent"));
+            Executor::new(QueryPlan::new(stages, refiner).expect("consistent"))
+        };
+        let (rebuilt_answer, rebuilt_stats) = build_executor(&rebuilt_db, rebuilt_bundle)
+            .knn(&probe, k)
+            .expect("consistent plan");
+        let (opened_answer, opened_stats) = build_executor(&opened.database, opened_bundle)
+            .knn(&probe, k)
+            .expect("consistent plan");
+        let identical = rebuilt_answer == opened_answer
+            && rebuilt_stats.filter_evaluations == opened_stats.filter_evaluations
+            && rebuilt_stats.refinements == opened_stats.refinements;
+        assert!(identical, "persisted pipeline diverged from rebuild");
+
+        table.row(vec![
+            rebuilt_db.len().to_string(),
+            fnum(index_bytes as f64 / 1024.0),
+            fnum(rebuild_ms),
+            fnum(open_ms),
+            fnum(rebuild_ms / open_ms.max(1e-9)),
+            identical.to_string(),
+        ]);
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -792,6 +922,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e11(scale, quick),
         e12(scale, quick),
         e13(scale, quick),
+        e14(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -815,6 +946,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e11" => Some(e11(scale, quick)),
         "e12" => Some(e12(scale, quick)),
         "e13" => Some(e13(scale, quick)),
+        "e14" => Some(e14(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),

@@ -7,15 +7,27 @@ use crate::dataset::Dataset;
 use crate::workload::Workload;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// IO/parse error wrapper.
+/// IO/parse error wrapper. Every variant names the file it failed on —
+/// a bare "No such file or directory" from a pipeline that touches a
+/// dataset, a workload and an index is useless without the path.
 #[derive(Debug)]
 pub enum IoError {
     /// Filesystem failure.
-    Io(io::Error),
+    Io {
+        /// The file the operation touched.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: io::Error,
+    },
     /// JSON (de)serialization failure.
-    Json(serde_json::Error),
+    Json {
+        /// The file being (de)serialized.
+        path: PathBuf,
+        /// The underlying parse/serialize error.
+        source: serde_json::Error,
+    },
     /// The payload parsed but is internally inconsistent.
     Invalid(String),
 }
@@ -23,24 +35,40 @@ pub enum IoError {
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            IoError::Json { path, source } => {
+                write!(f, "json error in {}: {source}", path.display())
+            }
             IoError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
-
-impl From<io::Error> for IoError {
-    fn from(e: io::Error) -> Self {
-        IoError::Io(e)
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io { source, .. } => Some(source),
+            IoError::Json { source, .. } => Some(source),
+            IoError::Invalid(_) => None,
+        }
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
+impl IoError {
+    fn io(path: &Path, source: io::Error) -> Self {
+        IoError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    fn json(path: &Path, source: serde_json::Error) -> Self {
+        IoError::Json {
+            path: path.to_path_buf(),
+            source,
+        }
     }
 }
 
@@ -51,7 +79,8 @@ impl From<serde_json::Error> for IoError {
 /// Returns [`IoError`] when serialization fails or the file cannot be
 /// written.
 pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
-    Ok(fs::write(path, serde_json::to_vec(dataset)?)?)
+    let bytes = serde_json::to_vec(dataset).map_err(|e| IoError::json(path, e))?;
+    fs::write(path, bytes).map_err(|e| IoError::io(path, e))
 }
 
 /// Load and validate a dataset from JSON.
@@ -61,7 +90,8 @@ pub fn save(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
 /// Returns [`IoError`] when the file cannot be read, is not valid JSON, or
 /// fails [`Dataset::validate`].
 pub fn load(path: &Path) -> Result<Dataset, IoError> {
-    let dataset: Dataset = serde_json::from_slice(&fs::read(path)?)?;
+    let bytes = fs::read(path).map_err(|e| IoError::io(path, e))?;
+    let dataset: Dataset = serde_json::from_slice(&bytes).map_err(|e| IoError::json(path, e))?;
     dataset.validate().map_err(IoError::Invalid)?;
     Ok(dataset)
 }
@@ -73,7 +103,8 @@ pub fn load(path: &Path) -> Result<Dataset, IoError> {
 /// Returns [`IoError`] when serialization fails or the file cannot be
 /// written.
 pub fn save_workload(workload: &Workload, path: &Path) -> Result<(), IoError> {
-    Ok(fs::write(path, serde_json::to_vec(workload)?)?)
+    let bytes = serde_json::to_vec(workload).map_err(|e| IoError::json(path, e))?;
+    fs::write(path, bytes).map_err(|e| IoError::io(path, e))
 }
 
 /// Load a workload from JSON.
@@ -82,7 +113,8 @@ pub fn save_workload(workload: &Workload, path: &Path) -> Result<(), IoError> {
 ///
 /// Returns [`IoError`] when the file cannot be read or is not valid JSON.
 pub fn load_workload(path: &Path) -> Result<Workload, IoError> {
-    Ok(serde_json::from_slice(&fs::read(path)?)?)
+    let bytes = fs::read(path).map_err(|e| IoError::io(path, e))?;
+    serde_json::from_slice(&bytes).map_err(|e| IoError::json(path, e))
 }
 
 #[cfg(test)]
@@ -113,18 +145,30 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_garbage() {
+    fn load_rejects_garbage_and_names_the_file() {
         let dir = std::env::temp_dir().join("flexemd-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.json");
         std::fs::write(&path, b"{not json").unwrap();
-        assert!(matches!(load(&path).unwrap_err(), IoError::Json(_)));
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, IoError::Json { .. }));
+        assert!(err.to_string().contains("garbage.json"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn load_missing_file() {
+    fn load_missing_file_names_the_path() {
         let path = std::env::temp_dir().join("flexemd-io-test/nope.json");
-        assert!(matches!(load(&path).unwrap_err(), IoError::Io(_)));
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, IoError::Io { .. }));
+        assert!(err.to_string().contains("nope.json"), "{err}");
+    }
+
+    #[test]
+    fn error_source_is_exposed() {
+        use std::error::Error;
+        let path = std::env::temp_dir().join("flexemd-io-test/nope.json");
+        let err = load(&path).unwrap_err();
+        assert!(err.source().is_some());
     }
 }

@@ -12,6 +12,9 @@
 
 use crate::error::QueryError;
 use emd_core::{CostMatrix, Histogram};
+use emd_reduction::PersistedReduction;
+use emd_store::StoreError;
+use std::path::Path;
 use std::sync::Arc;
 
 /// An immutable snapshot of a histogram database plus its ground-distance
@@ -97,6 +100,66 @@ impl Database {
     pub(crate) fn arena(&self) -> &Arc<[Histogram]> {
         &self.histograms
     }
+
+    /// Persist this snapshot — together with any precomputed reduction
+    /// bundles — as a `flexemd-store/v1` index directory at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the directory or a segment file
+    /// cannot be written. (Storage failures are not [`QueryError`]s:
+    /// that type is `Clone + PartialEq` for plan bookkeeping, which
+    /// `std::io::Error` cannot satisfy.)
+    pub fn save(
+        &self,
+        dir: &Path,
+        name: &str,
+        reductions: &[PersistedReduction],
+    ) -> Result<(), StoreError> {
+        emd_store::save_index(dir, name, &self.histograms, &self.cost, reductions)
+    }
+
+    /// Open a `flexemd-store/v1` index directory, re-validating every
+    /// invariant [`Database::new`] enforces (plus segment checksums and
+    /// reduction consistency) before any query can run against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the manifest or a segment is
+    /// missing, damaged (truncation, checksum mismatch, version skew)
+    /// or internally inconsistent.
+    pub fn open(dir: &Path) -> Result<OpenedIndex, StoreError> {
+        let stored = emd_store::open_index(dir)?;
+        // `open_index` already checked arena-vs-cost shape agreement —
+        // the same invariant `Database::new` re-checks here; a failure
+        // at this point would be a store-layer bug, not bad data.
+        let database = Database::new(stored.histograms, Arc::new(stored.cost)).map_err(|e| {
+            StoreError::Invalid {
+                path: dir.to_path_buf(),
+                section: "histograms".to_owned(),
+                reason: e.to_string(),
+            }
+        })?;
+        Ok(OpenedIndex {
+            name: stored.name,
+            database,
+            reductions: stored.reductions,
+        })
+    }
+}
+
+/// A validated index loaded from disk: the snapshot plus its persisted
+/// reduction bundles, ready to assemble into a plan via
+/// [`ReducedEmdFilter::from_persisted`](crate::ReducedEmdFilter::from_persisted)
+/// / [`ReducedImFilter::from_persisted`](crate::ReducedImFilter::from_persisted).
+#[derive(Debug)]
+pub struct OpenedIndex {
+    /// Index name from the manifest.
+    pub name: String,
+    /// The database snapshot.
+    pub database: Database,
+    /// Reduction bundles, in manifest (pipeline) order.
+    pub reductions: Vec<PersistedReduction>,
 }
 
 #[cfg(test)]
@@ -128,5 +191,37 @@ mod tests {
     fn rejects_mismatched_histograms() {
         let cost = Arc::new(ground::linear(3).unwrap());
         assert!(Database::new(vec![Histogram::unit(4, 0).unwrap()], cost).is_err());
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        use emd_reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
+
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("emd-query-db-roundtrip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cost = Arc::new(ground::linear(4).unwrap());
+        let db = Database::new(
+            vec![
+                Histogram::unit(4, 0).unwrap(),
+                Histogram::unit(4, 3).unwrap(),
+            ],
+            cost.clone(),
+        )
+        .unwrap();
+        let reduced =
+            ReducedEmd::new(&cost, CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap()).unwrap();
+        let bundle = PersistedReduction::precompute("kmed:2", reduced, db.histograms()).unwrap();
+        db.save(&dir, "demo", &[bundle]).unwrap();
+
+        let opened = Database::open(&dir).unwrap();
+        assert_eq!(opened.name, "demo");
+        assert_eq!(opened.database.len(), 2);
+        assert_eq!(opened.database.dim(), 4);
+        assert_eq!(opened.database.histograms(), db.histograms());
+        assert_eq!(opened.reductions.len(), 1);
+        assert_eq!(opened.reductions[0].reduced_database().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,6 @@ mod database;
 mod executor;
 mod plan;
 
-pub use database::Database;
+pub use database::{Database, OpenedIndex};
 pub use executor::Executor;
 pub use plan::{Query, QueryMode, QueryPlan, StageEstimate};

@@ -19,8 +19,33 @@ use crate::error::QueryError;
 use emd_core::ground::Metric;
 use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
 use emd_core::{emd_rectangular, CostMatrix, Histogram};
-use emd_reduction::ReducedEmd;
+use emd_reduction::{PersistedReduction, ReducedEmd};
 use std::sync::Arc;
+
+/// Check that a persisted bundle matches the snapshot it will filter:
+/// same object count, and reductions built for the snapshot's
+/// dimensionality. The store's open path already validated the bundle
+/// internally; this guards against pairing a bundle with the *wrong*
+/// (e.g. freshly rebuilt, differently sized) snapshot.
+fn check_persisted(database: &Database, bundle: &PersistedReduction) -> Result<(), QueryError> {
+    if bundle.reduced_database().len() != database.len() {
+        return Err(QueryError::Reduction(format!(
+            "persisted bundle `{}` indexes {} objects, snapshot holds {}",
+            bundle.name(),
+            bundle.reduced_database().len(),
+            database.len()
+        )));
+    }
+    let original = bundle.reduced().r2().original_dim();
+    if original != database.dim() {
+        return Err(QueryError::Reduction(format!(
+            "persisted bundle `{}` reduces {original} dimensions, snapshot has {}",
+            bundle.name(),
+            database.dim()
+        )));
+    }
+    Ok(())
+}
 
 /// A database-indexed distance function, instantiable per query.
 ///
@@ -175,6 +200,34 @@ impl ReducedEmdFilter {
         })
     }
 
+    /// Index a database snapshot from a persisted bundle, reusing the
+    /// precomputed reduced arena instead of re-reducing every object.
+    /// The stage name is derived from the reduction dimensionalities
+    /// exactly as in [`ReducedEmdFilter::new`], so statistics from a
+    /// disk-opened plan merge with (and are comparable to) an in-memory
+    /// plan's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Reduction`] when the bundle's object count
+    /// or original dimensionality disagrees with `database`.
+    pub fn from_persisted(
+        database: &Database,
+        bundle: PersistedReduction,
+    ) -> Result<Self, QueryError> {
+        check_persisted(database, &bundle)?;
+        let (_, reduced, reduced_database) = bundle.into_parts();
+        Ok(ReducedEmdFilter {
+            name: format!(
+                "red-emd(d'={}/{})",
+                reduced.r1().reduced_dim(),
+                reduced.r2().reduced_dim()
+            ),
+            reduced,
+            reduced_database: reduced_database.into(),
+        })
+    }
+
     /// The underlying reduced EMD (reductions + reduced cost matrix).
     pub fn reduced(&self) -> &ReducedEmd {
         &self.reduced
@@ -253,6 +306,33 @@ impl ReducedImFilter {
             .iter()
             .map(|h| reduced.reduce_second(h))
             .collect::<Result<Vec<_>, _>>()?;
+        let bound = LbIm::new(reduced.reduced_cost().clone());
+        Ok(ReducedImFilter {
+            name: format!(
+                "red-im(d'={}/{})",
+                reduced.r1().reduced_dim(),
+                reduced.r2().reduced_dim()
+            ),
+            bound,
+            reduced,
+            reduced_database: reduced_database.into(),
+        })
+    }
+
+    /// Index a database snapshot from a persisted bundle, reusing the
+    /// precomputed reduced arena. Stage-name and semantics match
+    /// [`ReducedImFilter::new`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Reduction`] when the bundle's object count
+    /// or original dimensionality disagrees with `database`.
+    pub fn from_persisted(
+        database: &Database,
+        bundle: PersistedReduction,
+    ) -> Result<Self, QueryError> {
+        check_persisted(database, &bundle)?;
+        let (_, reduced, reduced_database) = bundle.into_parts();
         let bound = LbIm::new(reduced.reduced_cost().clone());
         Ok(ReducedImFilter {
             name: format!(

@@ -59,7 +59,7 @@ mod stats;
 pub mod vptree;
 
 pub use dynamic::DynamicIndex;
-pub use engine::{Database, Executor, Query, QueryMode, QueryPlan, StageEstimate};
+pub use engine::{Database, Executor, OpenedIndex, Query, QueryMode, QueryPlan, StageEstimate};
 pub use error::QueryError;
 pub use filters::{
     AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,

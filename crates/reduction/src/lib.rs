@@ -40,11 +40,13 @@ pub mod grid;
 pub mod kmedoids;
 mod matrix;
 pub mod pca;
+mod persist;
 mod reduced_cost;
 mod reduced_emd;
 pub mod tightness;
 
 pub use error::ReductionError;
 pub use matrix::CombiningReduction;
+pub use persist::PersistedReduction;
 pub use reduced_cost::reduce_cost_matrix;
 pub use reduced_emd::ReducedEmd;

@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # emd-store
+//!
+//! Persistent index store for the flexemd engine: checksummed on-disk
+//! segments for database snapshots, reduction matrices, reduced cost
+//! matrices and precomputed reduced histogram arenas, tied together by a
+//! JSON manifest (`flexemd-store/v1`).
+//!
+//! Section 4 of the paper treats reduction as **offline preprocessing**:
+//! the filter step of multistep query processing works purely on
+//! pre-reduced data. This crate makes that preprocessing a durable
+//! artifact — build the index once, then *open* it (O(read)) instead of
+//! rebuilding it (O(reduce + LP)) on every process start.
+//!
+//! Layering:
+//!
+//! * [`segment`] — the binary container: magic, version, typed sections,
+//!   per-section CRC32; [`SegmentWriter`] / [`SegmentReader`].
+//! * [`sections`] — typed payload codecs that decode **through the
+//!   engine constructors**, so stored data re-passes histogram mass
+//!   normalization, cost-matrix and Definition 3 validation on open.
+//! * [`manifest`] — the `index.json` document naming the segments.
+//! * [`index`] — directory-level [`save_index`] / [`open_index`]
+//!   returning validated [`StoredIndex`] artifacts.
+//!
+//! The error contract is central: **corruption never surfaces as a
+//! wrong query answer**. Truncation, bit flips, version skew, missing
+//! sections, cross-section disagreement and a tampered reduced cost
+//! matrix each map to a typed [`StoreError`] on the open path.
+//!
+//! Like `emd-obs`, this crate has zero external dependencies — the
+//! manifest JSON is read by a small recursive-descent parser in
+//! [`json`] rather than a serialization framework.
+//!
+//! When an obs recording is active, opening an index emits a
+//! `store.open` span and `store.bytes_read` / `store.sections_verified`
+//! counters.
+
+pub mod crc32;
+mod error;
+pub mod index;
+pub mod json;
+pub mod manifest;
+pub mod sections;
+pub mod segment;
+
+pub use error::StoreError;
+pub use index::{open_index, save_index, StoredIndex, DATABASE_SEGMENT};
+pub use manifest::{Manifest, ManifestReduction, MANIFEST_FILE, SCHEMA};
+pub use segment::{SectionKind, SegmentReader, SegmentWriter};

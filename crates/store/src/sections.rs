@@ -1,0 +1,355 @@
+//! Typed payload codecs for segment sections.
+//!
+//! Each codec pairs an `encode_*` function producing the little-endian
+//! payload bytes with a `decode_*` function that parses them **through
+//! the engine's own constructors** — [`Histogram::new`] (mass
+//! normalization tolerance), [`CostMatrix::new`] (shape and
+//! non-negativity), [`CombiningReduction::new`] (Definition 3
+//! well-formedness) — so a payload that passes its CRC but violates an
+//! invariant still fails the open path with a typed
+//! [`StoreError::Invalid`] instead of reaching a query.
+//!
+//! Floats are stored as their IEEE-754 bit patterns via
+//! `f64::to_le_bytes`, making write→read round trips bit-identical.
+
+use std::path::Path;
+
+use emd_core::{CostMatrix, Histogram};
+use emd_reduction::CombiningReduction;
+
+use crate::error::StoreError;
+
+/// Little-endian reader over one (already checksum-verified) payload.
+///
+/// A shortfall here means the *encoder* and declared counts disagree —
+/// structural corruption the CRC could not catch — so everything maps
+/// to [`StoreError::Invalid`] with the section name attached.
+struct Payload<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    path: &'a Path,
+    section: &'a str,
+}
+
+impl<'a> Payload<'a> {
+    fn new(path: &'a Path, section: &'a str, bytes: &'a [u8]) -> Self {
+        Payload {
+            bytes,
+            offset: 0,
+            path,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        let available = self.bytes.len() - self.offset;
+        if n > available {
+            return Err(StoreError::invalid(
+                self.path,
+                self.section,
+                format!("payload too short for {what}: need {n} bytes, {available} left"),
+            ));
+        }
+        // bounds: the shortfall check above guarantees offset + n <= len.
+        let slice = &self.bytes[self.offset..self.offset + n];
+        self.offset += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let bytes = self.take(8, what)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// A `u64` that must fit the platform's `usize` (count or dimension).
+    fn length(&mut self, what: &str) -> Result<usize, StoreError> {
+        let value = self.u64(what)?;
+        usize::try_from(value).map_err(|_| {
+            StoreError::invalid(
+                self.path,
+                self.section,
+                format!("{what} {value} exceeds the platform word size"),
+            )
+        })
+    }
+
+    fn f64s(&mut self, count: usize, what: &str) -> Result<Vec<f64>, StoreError> {
+        let byte_len = count.checked_mul(8).ok_or_else(|| {
+            StoreError::invalid(
+                self.path,
+                self.section,
+                format!("{what} count {count} overflows the payload length"),
+            )
+        })?;
+        let bytes = self.take(byte_len, what)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(8) {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(chunk);
+            out.push(f64::from_le_bytes(raw));
+        }
+        Ok(out)
+    }
+
+    fn u32s(&mut self, count: usize, what: &str) -> Result<Vec<u32>, StoreError> {
+        let byte_len = count.checked_mul(4).ok_or_else(|| {
+            StoreError::invalid(
+                self.path,
+                self.section,
+                format!("{what} count {count} overflows the payload length"),
+            )
+        })?;
+        let bytes = self.take(byte_len, what)?;
+        let mut out = Vec::with_capacity(count);
+        for chunk in bytes.chunks_exact(4) {
+            let mut raw = [0u8; 4];
+            raw.copy_from_slice(chunk);
+            out.push(u32::from_le_bytes(raw));
+        }
+        Ok(out)
+    }
+
+    /// Require the payload to be fully consumed.
+    fn finish(self) -> Result<(), StoreError> {
+        let leftover = self.bytes.len() - self.offset;
+        if leftover != 0 {
+            return Err(StoreError::invalid(
+                self.path,
+                self.section,
+                format!("{leftover} unexpected trailing payload bytes"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn invalid(&self, reason: impl std::fmt::Display) -> StoreError {
+        StoreError::invalid(self.path, self.section, reason.to_string())
+    }
+}
+
+/// Encode an arena of equal-dimensional histograms.
+///
+/// Layout: `count: u64 | dim: u64 | count * dim * f64` (row-major).
+/// `dim` is passed explicitly so an empty arena still records the
+/// dimensionality the caller expects back on decode.
+pub fn encode_histogram_arena(dim: usize, items: &[Histogram]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + items.len() * dim * 8);
+    out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(dim as u64).to_le_bytes());
+    for histogram in items {
+        for &mass in histogram.bins() {
+            out.extend_from_slice(&mass.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a histogram arena, re-validating every histogram through
+/// [`Histogram::new`]. Returns the recorded dimensionality alongside the
+/// histograms so callers can check shape agreement even when the arena
+/// is empty.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Invalid`] when the payload is structurally
+/// short, carries trailing bytes, or any histogram violates the
+/// non-negativity / finiteness / unit-mass invariants.
+pub fn decode_histogram_arena(
+    path: &Path,
+    section: &str,
+    payload: &[u8],
+) -> Result<(usize, Vec<Histogram>), StoreError> {
+    let mut p = Payload::new(path, section, payload);
+    let count = p.length("histogram count")?;
+    let dim = p.length("histogram dimensionality")?;
+    let mut items = Vec::with_capacity(count);
+    for index in 0..count {
+        let bins = p.f64s(dim, "histogram bins")?;
+        let histogram = Histogram::new(bins)
+            .map_err(|e| p.invalid(format!("histogram {index} rejected: {e}")))?;
+        items.push(histogram);
+    }
+    p.finish()?;
+    Ok((dim, items))
+}
+
+/// Encode a cost matrix.
+///
+/// Layout: `rows: u64 | cols: u64 | rows * cols * f64` (row-major).
+pub fn encode_cost_matrix(matrix: &CostMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + matrix.entries().len() * 8);
+    out.extend_from_slice(&(matrix.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(matrix.cols() as u64).to_le_bytes());
+    for &entry in matrix.entries() {
+        out.extend_from_slice(&entry.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a cost matrix through [`CostMatrix::new`].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Invalid`] when the payload is structurally
+/// short, carries trailing bytes, or the entries violate the shape /
+/// non-negativity / finiteness invariants.
+pub fn decode_cost_matrix(
+    path: &Path,
+    section: &str,
+    payload: &[u8],
+) -> Result<CostMatrix, StoreError> {
+    let mut p = Payload::new(path, section, payload);
+    let rows = p.length("cost rows")?;
+    let cols = p.length("cost cols")?;
+    let cells = rows.checked_mul(cols).ok_or_else(|| {
+        StoreError::invalid(path, section, format!("cost shape {rows}x{cols} overflows"))
+    })?;
+    let entries = p.f64s(cells, "cost entries")?;
+    let matrix = CostMatrix::new(rows, cols, entries)
+        .map_err(|e| p.invalid(format!("cost rejected: {e}")))?;
+    p.finish()?;
+    Ok(matrix)
+}
+
+/// Encode a combining reduction (Definition 3 assignment vector).
+///
+/// Layout: `original_dim: u64 | reduced_dim: u64 | original_dim * u32`.
+pub fn encode_reduction(reduction: &CombiningReduction) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + reduction.original_dim() * 4);
+    out.extend_from_slice(&(reduction.original_dim() as u64).to_le_bytes());
+    out.extend_from_slice(&(reduction.reduced_dim() as u64).to_le_bytes());
+    for &target in reduction.assignment() {
+        out.extend_from_slice(&target.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a combining reduction through [`CombiningReduction::new`],
+/// which re-checks the Definition 3 restrictions (every assignment in
+/// range, no empty reduced dimension, `0 < d' <= d`).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Invalid`] when the payload is structurally
+/// short, carries trailing bytes, or the assignment violates
+/// Definition 3.
+pub fn decode_reduction(
+    path: &Path,
+    section: &str,
+    payload: &[u8],
+) -> Result<CombiningReduction, StoreError> {
+    let mut p = Payload::new(path, section, payload);
+    let original_dim = p.length("original dimensionality")?;
+    let reduced_dim = p.length("reduced dimensionality")?;
+    let assignment: Vec<usize> = p
+        .u32s(original_dim, "assignment vector")?
+        .into_iter()
+        .map(|t| t as usize)
+        .collect();
+    let reduction = CombiningReduction::new(assignment, reduced_dim)
+        .map_err(|e| p.invalid(format!("reduction rejected: {e}")))?;
+    p.finish()?;
+    Ok(reduction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn path() -> PathBuf {
+        PathBuf::from("/test.seg")
+    }
+
+    #[test]
+    fn histogram_arena_roundtrip_is_bit_identical() {
+        let items = vec![
+            Histogram::new(vec![0.25, 0.75]).unwrap(),
+            Histogram::new(vec![0.5, 0.5]).unwrap(),
+        ];
+        let payload = encode_histogram_arena(2, &items);
+        let (dim, back) = decode_histogram_arena(&path(), "histograms", &payload).unwrap();
+        assert_eq!(dim, 2);
+        assert_eq!(back.len(), 2);
+        for (a, b) in items.iter().zip(&back) {
+            for (x, y) in a.bins().iter().zip(b.bins()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_arena_keeps_dimensionality() {
+        let payload = encode_histogram_arena(7, &[]);
+        let (dim, back) = decode_histogram_arena(&path(), "histograms", &payload).unwrap();
+        assert_eq!(dim, 7);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn denormalized_histogram_is_rejected() {
+        // Bypass Histogram::new by hand-crafting the payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&0.9f64.to_le_bytes());
+        payload.extend_from_slice(&0.9f64.to_le_bytes());
+        let err = decode_histogram_arena(&path(), "histograms", &payload).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn cost_matrix_roundtrip() {
+        let c = CostMatrix::new(2, 3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0]).unwrap();
+        let payload = encode_cost_matrix(&c);
+        let back = decode_cost_matrix(&path(), "cost", &payload).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn negative_cost_is_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(matches!(
+            decode_cost_matrix(&path(), "cost", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn reduction_roundtrip() {
+        let r = CombiningReduction::new(vec![0, 0, 1, 2, 1], 3).unwrap();
+        let payload = encode_reduction(&r);
+        let back = decode_reduction(&path(), "r1", &payload).unwrap();
+        assert_eq!(back.assignment(), r.assignment());
+        assert_eq!(back.reduced_dim(), 3);
+    }
+
+    #[test]
+    fn empty_reduced_dimension_is_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_reduction(&path(), "r1", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let c = CostMatrix::new(1, 1, vec![0.0]).unwrap();
+        let mut payload = encode_cost_matrix(&c);
+        payload.push(0);
+        assert!(matches!(
+            decode_cost_matrix(&path(), "cost", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,67 @@
+//! Tests for the zero-dependency JSON parser behind the index manifest.
+//! They live as an integration test (the `json` module is public) so the
+//! brace-heavy JSON literals stay out of the library source tree.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_store::json::{parse, write_escaped, Value};
+use std::collections::BTreeMap;
+
+#[test]
+fn parses_manifest_shape() {
+    let text = r#"{
+        "schema": "flexemd-store/v1",
+        "name": "demo",
+        "database": "database.seg",
+        "reductions": [
+            {"name": "kmed:6", "segment": "reduction-0.seg"},
+            {"name": "fb-all:12", "segment": "reduction-1.seg"}
+        ]
+    }"#;
+    let value = parse(text).unwrap();
+    let object = value.as_object().unwrap();
+    assert_eq!(object["schema"].as_str(), Some("flexemd-store/v1"));
+    let reductions = object["reductions"].as_array().unwrap();
+    assert_eq!(reductions.len(), 2);
+    assert_eq!(
+        reductions[1].as_object().unwrap()["segment"].as_str(),
+        Some("reduction-1.seg")
+    );
+}
+
+#[test]
+fn parses_scalars_and_nesting() {
+    assert_eq!(parse("null").unwrap(), Value::Null);
+    assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+    assert_eq!(parse("-2.5e1").unwrap(), Value::Number(-25.0));
+    assert_eq!(
+        parse(r#"[1, [2, {"a": 3}]]"#).unwrap(),
+        Value::Array(vec![
+            Value::Number(1.0),
+            Value::Array(vec![
+                Value::Number(2.0),
+                Value::Object(BTreeMap::from([("a".to_owned(), Value::Number(3.0))])),
+            ]),
+        ])
+    );
+}
+
+#[test]
+fn escape_roundtrip() {
+    let nasty = "quote \" slash \\ newline \n tab \t unicode é";
+    let mut rendered = String::new();
+    write_escaped(&mut rendered, nasty);
+    assert_eq!(parse(&rendered).unwrap().as_str(), Some(nasty));
+}
+
+#[test]
+fn rejects_malformed_documents() {
+    assert!(parse("{").is_err());
+    assert!(parse("[1,]").is_err());
+    assert!(parse(r#"{"a": 1 "b": 2}"#).is_err());
+    assert!(parse("1 2").is_err());
+    assert!(parse(r#""unterminated"#).is_err());
+    assert!(parse(r#"{"dup": 1, "dup": 2}"#).is_err());
+    assert!(parse("nul").is_err());
+}

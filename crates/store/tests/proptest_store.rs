@@ -1,0 +1,306 @@
+//! Property tests for the persistent index store: random valid indexes
+//! round-trip bit-identically, and *any* single-byte corruption or
+//! mid-section truncation of a segment file surfaces as a typed
+//! [`StoreError`] — never as a successful open with wrong data.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{CostMatrix, Histogram};
+use emd_reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
+use emd_store::{open_index, save_index, SectionKind, SegmentReader, SegmentWriter, StoreError};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DIM: usize = 5;
+
+/// Fresh scratch directory per proptest case — cases run concurrently,
+/// so a shared directory would race.
+fn scratch_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "emd-store-prop-{}-{label}-{id}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, DIM).prop_filter_map("positive mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+fn cost_matrix() -> impl Strategy<Value = CostMatrix> {
+    prop::collection::vec(0.0_f64..10.0, DIM * DIM)
+        .prop_map(|entries| CostMatrix::new(DIM, DIM, entries).expect("non-negative and finite"))
+}
+
+fn reduction() -> impl Strategy<Value = CombiningReduction> {
+    (1..=DIM).prop_flat_map(|k| {
+        (
+            Just(k),
+            prop::collection::vec(0..k, DIM),
+            prop::sample::subsequence((0..DIM).collect::<Vec<_>>(), k),
+        )
+            .prop_map(|(k, mut assignment, seeds)| {
+                for (group, &dimension) in seeds.iter().enumerate() {
+                    assignment[dimension] = group;
+                }
+                CombiningReduction::new(assignment, k).expect("valid by construction")
+            })
+    })
+}
+
+/// A random, fully valid index: database + one precomputed reduction.
+fn index_parts() -> impl Strategy<Value = (Vec<Histogram>, CostMatrix, CombiningReduction)> {
+    (
+        prop::collection::vec(histogram(), 1..8),
+        cost_matrix(),
+        reduction(),
+    )
+}
+
+fn build_bundle(
+    cost: &CostMatrix,
+    r: CombiningReduction,
+    database: &[Histogram],
+) -> PersistedReduction {
+    let reduced = ReducedEmd::new(cost, r).expect("valid reduction");
+    PersistedReduction::precompute("prop", reduced, database).expect("matching dimensions")
+}
+
+fn assert_bits_eq(left: &[Histogram], right: &[Histogram]) {
+    assert_eq!(left.len(), right.len());
+    for (a, b) in left.iter().zip(right) {
+        let a: Vec<u64> = a.bins().iter().map(|w| w.to_bits()).collect();
+        let b: Vec<u64> = b.bins().iter().map(|w| w.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid index round-trips through disk bit-identically:
+    /// histograms, cost matrix, reduction assignments, the reduced cost
+    /// matrix C', and the precomputed reduced arena.
+    #[test]
+    fn save_open_roundtrip_is_bit_identical(
+        (database, cost, r) in index_parts(),
+    ) {
+        let dir = scratch_dir("roundtrip");
+        let bundle = build_bundle(&cost, r, &database);
+        save_index(
+            &dir,
+            "prop-corpus",
+            &database,
+            &cost,
+            std::slice::from_ref(&bundle),
+        )
+        .unwrap();
+        let stored = open_index(&dir).unwrap();
+
+        prop_assert_eq!(stored.name, "prop-corpus");
+        assert_bits_eq(&stored.histograms, &database);
+        prop_assert_eq!(&stored.cost, &cost);
+        prop_assert_eq!(stored.reductions.len(), 1);
+        let reopened = &stored.reductions[0];
+        prop_assert_eq!(reopened.name(), bundle.name());
+        prop_assert_eq!(
+            reopened.reduced().r2().assignment(),
+            bundle.reduced().r2().assignment()
+        );
+        let got: Vec<u64> = reopened
+            .reduced()
+            .reduced_cost()
+            .entries()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
+        let want: Vec<u64> = bundle
+            .reduced()
+            .reduced_cost()
+            .entries()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
+        prop_assert_eq!(got, want);
+        assert_bits_eq(reopened.reduced_database(), bundle.reduced_database());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flipping any single byte of any segment file makes `open_index`
+    /// fail with a typed error — corruption never opens successfully.
+    #[test]
+    fn any_single_byte_flip_in_a_segment_is_detected(
+        (database, cost, r) in index_parts(),
+        offset_seed in 0usize..10_000,
+        mask in 1u8..=255,
+        flip_database_segment in prop::sample::select(vec![false, true]),
+    ) {
+        let dir = scratch_dir("flip");
+        let bundle = build_bundle(&cost, r, &database);
+        save_index(&dir, "prop-corpus", &database, &cost, &[bundle]).unwrap();
+
+        let victim = if flip_database_segment {
+            dir.join("database.seg")
+        } else {
+            dir.join("reduction-0.seg")
+        };
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let offset = offset_seed % bytes.len();
+        bytes[offset] ^= mask;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let result = open_index(&dir);
+        prop_assert!(
+            result.is_err(),
+            "byte {} xor {:#04x} in {} opened successfully",
+            offset,
+            mask,
+            victim.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating any segment file at any point makes `open_index` fail —
+    /// a partial file never opens as a smaller-but-valid index.
+    #[test]
+    fn any_truncation_of_a_segment_is_detected(
+        (database, cost, r) in index_parts(),
+        cut_seed in 0usize..10_000,
+        truncate_database_segment in prop::sample::select(vec![false, true]),
+    ) {
+        let dir = scratch_dir("trunc");
+        let bundle = build_bundle(&cost, r, &database);
+        save_index(&dir, "prop-corpus", &database, &cost, &[bundle]).unwrap();
+
+        let victim = if truncate_database_segment {
+            dir.join("database.seg")
+        } else {
+            dir.join("reduction-0.seg")
+        };
+        let bytes = std::fs::read(&victim).unwrap();
+        let keep = cut_seed % bytes.len(); // strictly shorter than the file
+        std::fs::write(&victim, &bytes[..keep]).unwrap();
+
+        let result = open_index(&dir);
+        prop_assert!(
+            result.is_err(),
+            "truncation to {} of {} bytes in {} opened successfully",
+            keep,
+            bytes.len(),
+            victim.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The raw segment container round-trips arbitrary section payloads
+    /// byte-for-byte.
+    #[test]
+    fn segment_container_roundtrips_arbitrary_payloads(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..256), 1..6),
+    ) {
+        let dir = scratch_dir("container");
+        let path = dir.join("raw.seg");
+        let mut writer = SegmentWriter::create(&path).unwrap();
+        for (i, payload) in payloads.iter().enumerate() {
+            writer
+                .section(SectionKind::HistogramArena, &format!("s{i}"), payload)
+                .unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = SegmentReader::open(&path).unwrap();
+        prop_assert_eq!(reader.sections().len(), payloads.len());
+        for (i, payload) in payloads.iter().enumerate() {
+            prop_assert_eq!(reader.section(&format!("s{i}")).unwrap().payload(), &payload[..]);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Deterministic corruption sweep: flip one byte in *every* section of a
+/// saved index (header fields, names, payloads) and truncate mid-section,
+/// asserting the error is a typed [`StoreError`] every time.
+#[test]
+fn per_section_flip_and_midsection_truncation_never_open() {
+    let dir = scratch_dir("sweep");
+    let database: Vec<Histogram> = (0..4)
+        .map(|i| {
+            let mut w = vec![0.1; DIM];
+            w[i % DIM] += 0.5;
+            let total: f64 = w.iter().sum();
+            Histogram::new(w.into_iter().map(|x| x / total).collect()).unwrap()
+        })
+        .collect();
+    let cost = CostMatrix::from_fn(DIM, |i, j| (i as f64 - j as f64).abs()).unwrap();
+    let r = CombiningReduction::new(vec![0, 0, 1, 1, 2], 3).unwrap();
+    let bundle = build_bundle(&cost, r, &database);
+    save_index(&dir, "sweep-corpus", &database, &cost, &[bundle]).unwrap();
+
+    for segment in ["database.seg", "reduction-0.seg"] {
+        let victim = dir.join(segment);
+        let pristine = std::fs::read(&victim).unwrap();
+
+        // Walk the section table of the pristine file so the sweep hits
+        // one byte in every section header, name, and payload.
+        let reader = SegmentReader::open(&victim).unwrap();
+        let mut probe_offsets = vec![0usize, 9, 13]; // magic, version, count
+        let mut cursor = 16usize; // fixed file header
+        for section in reader.sections() {
+            probe_offsets.push(cursor); // kind tag
+            probe_offsets.push(cursor + 4); // name length
+            probe_offsets.push(cursor + 8); // payload length
+            probe_offsets.push(cursor + 16); // stored crc
+            probe_offsets.push(cursor + 20); // first name byte
+            let payload_start = cursor + 20 + section.name().len();
+            probe_offsets.push(payload_start); // first payload byte
+            probe_offsets.push(payload_start + section.payload().len() - 1);
+            cursor = payload_start + section.payload().len();
+
+            // Truncate mid-section: cut inside this section's payload.
+            let cut = payload_start + section.payload().len() / 2;
+            std::fs::write(&victim, &pristine[..cut]).unwrap();
+            let err = open_index(&dir).expect_err("mid-section truncation must not open");
+            assert_stored_error(&err);
+        }
+        drop(reader);
+
+        for offset in probe_offsets {
+            let mut corrupted = pristine.clone();
+            corrupted[offset] ^= 0x5a;
+            std::fs::write(&victim, &corrupted).unwrap();
+            let err = open_index(&dir)
+                .expect_err(&format!("flip at {offset} in {segment} must not open"));
+            assert_stored_error(&err);
+        }
+
+        std::fs::write(&victim, &pristine).unwrap();
+        open_index(&dir).expect("restored index opens again");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every corruption error is one of the typed variants — never a panic,
+/// and the assertion documents the full closed set.
+fn assert_stored_error(err: &StoreError) {
+    match err {
+        StoreError::Io { .. }
+        | StoreError::BadMagic { .. }
+        | StoreError::VersionSkew { .. }
+        | StoreError::Truncated { .. }
+        | StoreError::ChecksumMismatch { .. }
+        | StoreError::UnknownSection { .. }
+        | StoreError::MissingSection { .. }
+        | StoreError::Invalid { .. }
+        | StoreError::Manifest { .. } => {}
+    }
+}

@@ -39,7 +39,15 @@ use std::process::ExitCode;
 
 /// Library crates subject to the panic ban, indexing audit and
 /// `# Errors` docs lint.
-const LIBRARY_CRATES: [&str; 6] = ["transport", "core", "reduction", "query", "data", "obs"];
+const LIBRARY_CRATES: [&str; 7] = [
+    "transport",
+    "core",
+    "reduction",
+    "query",
+    "data",
+    "obs",
+    "store",
+];
 
 /// Solver hot paths subject to the float-discipline lint, relative to the
 /// workspace root.

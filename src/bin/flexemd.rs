@@ -1,18 +1,26 @@
 //! `flexemd` — command-line front end for EMD similarity search.
 //!
 //! ```text
-//! flexemd generate --kind tiling|color|gaussian --out data.json
-//!                  [--classes N] [--per-class N] [--seed S]
-//! flexemd info     --data data.json
-//! flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
-//!                  --dims D --out reduction.json [--sample N] [--seed S]
-//! flexemd query    --data data.json --reduction reduction.json
-//!                  [--k K] [--query I] [--chain] [--metrics json|PATH]
+//! flexemd generate    --kind tiling|color|gaussian --out data.json
+//!                     [--classes N] [--per-class N] [--seed S]
+//! flexemd info        --data data.json
+//! flexemd reduce      --data data.json --method kmed|fb-mod|fb-all|grid
+//!                     --dims D --out reduction.json [--sample N] [--seed S]
+//! flexemd build-index --data data.json --reductions kmed:6[,fb-all:3,...]
+//!                     --out index-dir [--sample N] [--seed S]
+//! flexemd query       --data data.json --reduction reduction.json
+//!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
+//! flexemd query       --index index-dir
+//!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `reduce` builds and stores a
 //! combining reduction for it; `query` runs a complete k-NN query through
 //! the filter-and-refine pipeline and reports what the filter saved.
+//! `build-index` persists the database snapshot plus precomputed
+//! reduction bundles as a checksummed `flexemd-store/v1` directory, and
+//! `query --index` opens that directory instead of rebuilding — with
+//! identical results and identical per-stage candidate counts.
 //! `--metrics` records an `emd-obs` registry over the query — per-stage
 //! spans, solver counters, lower-bound evaluations — and dumps it as
 //! schema-versioned JSON (`json` = stdout, anything else = a file path).
@@ -24,7 +32,7 @@ use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
 use flexemd::reduction::kmedoids::kmedoids_reduction_restarts;
-use flexemd::reduction::{CombiningReduction, ReducedEmd};
+use flexemd::reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
         "generate" => generate(&options),
         "info" => info(&options),
         "reduce" => reduce(&options),
+        "build-index" => build_index(&options),
         "query" => query(&options),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -69,13 +78,17 @@ const USAGE: &str = "\
 flexemd — EMD similarity search with flexible dimensionality reduction
 
 USAGE:
-  flexemd generate --kind tiling|color|gaussian --out data.json
-                   [--classes N] [--per-class N] [--seed S]
-  flexemd info     --data data.json
-  flexemd reduce   --data data.json --method kmed|fb-mod|fb-all|grid
-                   --dims D --out reduction.json [--sample N] [--seed S]
-  flexemd query    --data data.json --reduction reduction.json
-                   [--k K] [--query I] [--chain] [--metrics json|PATH]";
+  flexemd generate    --kind tiling|color|gaussian --out data.json
+                      [--classes N] [--per-class N] [--seed S]
+  flexemd info        --data data.json
+  flexemd reduce      --data data.json --method kmed|fb-mod|fb-all|grid
+                      --dims D --out reduction.json [--sample N] [--seed S]
+  flexemd build-index --data data.json --reductions kmed:6[,fb-all:3,...]
+                      --out index-dir [--sample N] [--seed S]
+  flexemd query       --data data.json --reduction reduction.json
+                      [--k K] [--query I] [--chain] [--metrics json|PATH]
+  flexemd query       --index index-dir
+                      [--k K] [--query I] [--chain] [--metrics json|PATH]";
 
 /// Parsed `--key value` options (every option takes a value except
 /// `--chain`).
@@ -202,16 +215,20 @@ fn info(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn reduce(options: &Options) -> Result<(), String> {
-    let dataset = load_dataset(&options.path("data")?)?;
-    let method = options.required("method")?;
-    let dims = options.numeric("dims", 0usize)?;
-    let out = options.path("out")?;
-    let sample_size = options.numeric("sample", 24usize)?;
-    let seed = options.numeric("seed", 42u64)?;
+/// Build one combining reduction deterministically. `reduce` and
+/// `build-index` both call this with the same defaults, so a persisted
+/// index holds bit-identical reductions to the JSON artifacts — the
+/// parity tests rely on that.
+fn build_reduction(
+    dataset: &Dataset,
+    method: &str,
+    dims: usize,
+    sample_size: usize,
+    seed: u64,
+) -> Result<CombiningReduction, String> {
     if dims == 0 || dims > dataset.dim() {
         return Err(format!(
-            "--dims must be between 1 and {} (got {dims})",
+            "reduced dimensionality must be between 1 and {} (got {dims})",
             dataset.dim()
         ));
     }
@@ -234,15 +251,15 @@ fn reduce(options: &Options) -> Result<(), String> {
             .map_err(|e| e.to_string())
     };
 
-    let reduction = match method {
-        "kmed" => kmed()?,
+    match method {
+        "kmed" => kmed(),
         "fb-mod" => {
             let flows = flows(&mut rng)?;
-            fb_mod(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction
+            Ok(fb_mod(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction)
         }
         "fb-all" => {
             let flows = flows(&mut rng)?;
-            fb_all(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction
+            Ok(fb_all(kmed()?, &flows, &dataset.cost, FbOptions::default()).reduction)
         }
         "grid" => {
             // Infer a tiling from the corpus name ("tiling-WxH").
@@ -253,10 +270,20 @@ fn reduce(options: &Options) -> Result<(), String> {
                 .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
                 .ok_or("--method grid needs a tiling corpus (name `tiling-WxH`)")?;
             let block = ((width * height) as f64 / dims as f64).sqrt().ceil() as usize;
-            block_merge(width, height, block.max(1), block.max(1)).map_err(|e| e.to_string())?
+            block_merge(width, height, block.max(1), block.max(1)).map_err(|e| e.to_string())
         }
-        other => return Err(format!("unknown reduction method `{other}`")),
-    };
+        other => Err(format!("unknown reduction method `{other}`")),
+    }
+}
+
+fn reduce(options: &Options) -> Result<(), String> {
+    let dataset = load_dataset(&options.path("data")?)?;
+    let method = options.required("method")?;
+    let dims = options.numeric("dims", 0usize)?;
+    let out = options.path("out")?;
+    let sample_size = options.numeric("sample", 24usize)?;
+    let seed = options.numeric("seed", 42u64)?;
+    let reduction = build_reduction(&dataset, method, dims, sample_size, seed)?;
 
     let json = serde_json::to_vec(&reduction).map_err(|e| e.to_string())?;
     std::fs::write(&out, json).map_err(|e| e.to_string())?;
@@ -270,34 +297,110 @@ fn reduce(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn query(options: &Options) -> Result<(), String> {
+fn build_index(options: &Options) -> Result<(), String> {
     let dataset = load_dataset(&options.path("data")?)?;
-    let reduction: CombiningReduction = serde_json::from_slice(
-        &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
-    let k = options.numeric("k", 10usize)?;
-    let query_index = options.numeric("query", 0usize)?;
-    if query_index >= dataset.len() {
-        return Err(format!(
-            "--query index {query_index} out of range (corpus has {})",
-            dataset.len()
-        ));
-    }
+    let specs = options.required("reductions")?.to_owned();
+    let out = options.path("out")?;
+    let sample_size = options.numeric("sample", 24usize)?;
+    let seed = options.numeric("seed", 42u64)?;
 
     let cost = Arc::new(dataset.cost.clone());
     let database =
         Database::new(dataset.histograms.clone(), cost.clone()).map_err(|e| e.to_string())?;
-    let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
-    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
-    if options.flag("chain") {
+
+    let mut bundles = Vec::new();
+    for spec in specs.split(',') {
+        let (method, dims) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad reduction spec `{spec}` (expected `method:dims`)"))?;
+        let dims: usize = dims
+            .parse()
+            .map_err(|_| format!("bad dimension count in reduction spec `{spec}`"))?;
+        let reduction = build_reduction(&dataset, method, dims, sample_size, seed)?;
+        let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+        bundles.push(
+            PersistedReduction::precompute(spec, reduced, database.histograms())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+
+    database
+        .save(&out, &dataset.name, &bundles)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote index for {} ({} objects, {} dimensions, {} reduction{}) to {}",
+        dataset.name,
+        database.len(),
+        dataset.dim(),
+        bundles.len(),
+        if bundles.len() == 1 { "" } else { "s" },
+        out.display()
+    );
+    for bundle in &bundles {
+        println!(
+            "  {:<12} {} -> {} dimensions",
+            bundle.name(),
+            bundle.reduced().r2().original_dim(),
+            bundle.reduced().r2().reduced_dim()
+        );
+    }
+    Ok(())
+}
+
+fn query(options: &Options) -> Result<(), String> {
+    let k = options.numeric("k", 10usize)?;
+    let query_index = options.numeric("query", 0usize)?;
+    let chain = options.flag("chain");
+
+    // Either open a persisted index or rebuild the pipeline from JSON
+    // artifacts. Both paths produce identical stages (same reductions,
+    // same stage names), so results and per-stage candidate counts match.
+    let (database, stages, labels) = if let Some(index_dir) = options.values.get("index") {
+        let opened = Database::open(Path::new(index_dir)).map_err(|e| e.to_string())?;
+        let database = opened.database;
+        let mut reductions = opened.reductions.into_iter();
+        let bundle = reductions
+            .next()
+            .ok_or_else(|| format!("index {index_dir} holds no reductions"))?;
+        let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+        if chain {
+            stages.push(Box::new(
+                ReducedImFilter::from_persisted(&database, bundle.clone())
+                    .map_err(|e| e.to_string())?,
+            ));
+        }
         stages.push(Box::new(
-            ReducedImFilter::new(&database, reduced.clone()).map_err(|e| e.to_string())?,
+            ReducedEmdFilter::from_persisted(&database, bundle).map_err(|e| e.to_string())?,
+        ));
+        (database, stages, None)
+    } else {
+        let dataset = load_dataset(&options.path("data")?)?;
+        let reduction: CombiningReduction = serde_json::from_slice(
+            &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        let cost = Arc::new(dataset.cost.clone());
+        let database =
+            Database::new(dataset.histograms.clone(), cost.clone()).map_err(|e| e.to_string())?;
+        let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+        let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+        if chain {
+            stages.push(Box::new(
+                ReducedImFilter::new(&database, reduced.clone()).map_err(|e| e.to_string())?,
+            ));
+        }
+        stages.push(Box::new(
+            ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
+        ));
+        (database, stages, Some(dataset.labels))
+    };
+
+    if query_index >= database.len() {
+        return Err(format!(
+            "--query index {query_index} out of range (corpus has {})",
+            database.len()
         ));
     }
-    stages.push(Box::new(
-        ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
-    ));
     let pipeline = Pipeline::new(
         stages,
         EmdDistance::new(&database).map_err(|e| e.to_string())?,
@@ -316,15 +419,23 @@ fn query(options: &Options) -> Result<(), String> {
     let elapsed = started.elapsed();
     let registry = recording.map(flexemd::obs::Recording::finish);
 
-    println!(
-        "{}-NN of object {query_index} (class {}):",
-        k, dataset.labels[query_index]
-    );
+    // Persisted indexes store no class labels, so index-mode output omits
+    // the class annotations.
+    match &labels {
+        Some(labels) => println!(
+            "{}-NN of object {query_index} (class {}):",
+            k, labels[query_index]
+        ),
+        None => println!("{k}-NN of object {query_index}:"),
+    }
     for n in &neighbors {
-        println!(
-            "  #{:<5} distance {:<10.5} class {}",
-            n.id, n.distance, dataset.labels[n.id]
-        );
+        match &labels {
+            Some(labels) => println!(
+                "  #{:<5} distance {:<10.5} class {}",
+                n.id, n.distance, labels[n.id]
+            ),
+            None => println!("  #{:<5} distance {:<10.5}", n.id, n.distance),
+        }
     }
     println!();
     for (stage, evaluations) in &stats.filter_evaluations {

@@ -16,6 +16,7 @@
 //! * [`reduction`] — flexible lower-bounding dimensionality reduction
 //! * [`data`] — synthetic multimedia data sets and workloads
 //! * [`query`] — multistep filter-and-refine query processing (KNOP)
+//! * [`store`] — checksummed on-disk index segments (`flexemd-store/v1`)
 //! * [`obs`] — metrics registry and span tracing for the whole stack
 //!
 //! # Example
@@ -77,4 +78,5 @@ pub use emd_data as data;
 pub use emd_obs as obs;
 pub use emd_query as query;
 pub use emd_reduction as reduction;
+pub use emd_store as store;
 pub use emd_transport as transport;

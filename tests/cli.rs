@@ -127,6 +127,137 @@ fn full_workflow() {
 }
 
 #[test]
+fn index_workflow_matches_in_memory() {
+    let dir = temp_dir().join("index-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("corpus.json");
+    let reduction = dir.join("reduction.json");
+    let index = dir.join("index");
+
+    let generate = flexemd()
+        .args(["generate", "--kind", "gaussian", "--out"])
+        .arg(&data)
+        .args(["--classes", "3", "--per-class", "12", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(generate.status.success());
+
+    // `reduce` and `build-index` share defaults (seed 42, sample 24), so
+    // the persisted index holds the identical reduction.
+    let reduce = flexemd()
+        .arg("reduce")
+        .arg("--data")
+        .arg(&data)
+        .args(["--method", "kmed", "--dims", "6", "--out"])
+        .arg(&reduction)
+        .output()
+        .unwrap();
+    assert!(
+        reduce.status.success(),
+        "reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+    let build = flexemd()
+        .arg("build-index")
+        .arg("--data")
+        .arg(&data)
+        .args(["--reductions", "kmed:6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        build.status.success(),
+        "build-index failed: {}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    assert!(index.join("index.json").exists());
+
+    let in_memory = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "4", "--query", "2", "--chain"])
+        .output()
+        .unwrap();
+    assert!(
+        in_memory.status.success(),
+        "in-memory query failed: {}",
+        String::from_utf8_lossy(&in_memory.stderr)
+    );
+    let from_index = flexemd()
+        .arg("query")
+        .arg("--index")
+        .arg(&index)
+        .args(["--k", "4", "--query", "2", "--chain"])
+        .output()
+        .unwrap();
+    assert!(
+        from_index.status.success(),
+        "index query failed: {}",
+        String::from_utf8_lossy(&from_index.stderr)
+    );
+
+    // Neighbor ids + distances must be identical (index mode prints no
+    // class labels, so compare the first three whitespace-split fields),
+    // and the filter stages must report identical candidate counts.
+    let extract = |raw: &[u8]| -> (Vec<String>, Vec<String>) {
+        let text = String::from_utf8_lossy(raw).to_string();
+        let neighbors = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .map(|l| l.split_whitespace().take(3).collect::<Vec<_>>().join(" "))
+            .collect();
+        let stages = text
+            .lines()
+            .filter(|l| l.contains("evaluations") || l.contains("refinements"))
+            .map(str::to_owned)
+            .collect();
+        (neighbors, stages)
+    };
+    let (mem_neighbors, mem_stages) = extract(&in_memory.stdout);
+    let (idx_neighbors, idx_stages) = extract(&from_index.stdout);
+    assert_eq!(mem_neighbors.len(), 4);
+    assert_eq!(mem_neighbors, idx_neighbors);
+    assert_eq!(mem_stages, idx_stages);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_index_missing_dataset_is_one_line_diagnostic() {
+    let out = flexemd()
+        .args([
+            "build-index",
+            "--data",
+            "/nonexistent/corpus.json",
+            "--reductions",
+            "kmed:4",
+            "--out",
+            "/tmp/flexemd-cli-unused-index",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("/nonexistent/corpus.json"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+}
+
+#[test]
+fn query_missing_index_is_one_line_diagnostic() {
+    let out = flexemd()
+        .args(["query", "--index", "/nonexistent/index-dir"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("/nonexistent/index-dir"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+}
+
+#[test]
 fn rejects_bad_input() {
     let unknown = flexemd().arg("frobnicate").output().unwrap();
     assert!(!unknown.status.success());
