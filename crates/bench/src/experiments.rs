@@ -906,6 +906,143 @@ pub fn e14(scale: &Scale, quick: bool) -> Table {
     table
 }
 
+/// E15: execution governance. Part 1 sweeps per-query wall-clock
+/// deadlines over the E12 corpus: every outcome is either exact or a
+/// degraded ranking, asserted sorted ascending by its lower bounds —
+/// never an error, never a panic. Part 2 measures the cost of the
+/// governance plumbing itself: `knn_budgeted` under an unlimited budget
+/// against plain `knn` (bit-identical answers asserted, min-of-3
+/// timing), with a ≤2% overhead target for the budget checks threaded
+/// through the solver loops.
+pub fn e15(scale: &Scale, _quick: bool) -> Table {
+    use emd_query::{Budget, QueryOutcome};
+    use std::time::Duration;
+
+    let mut table = Table::new(
+        "E15",
+        "execution governance: deadline sweep and budget-check overhead (gaussian, 32-d, d'=8, k=10)",
+        &["run", "exact", "degraded", "mean ranked", "ms/query"],
+    );
+    let bench = gaussian_bench(scale);
+    let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
+    let executor = chained_executor(&bench, reduction);
+    let n = bench.queries.len().max(1) as f64;
+    table.note(format!(
+        "database {} ({} objects), {} queries; each query gets a fresh wall-clock deadline",
+        bench.name,
+        bench.database.len(),
+        bench.queries.len()
+    ));
+
+    // Part 1: deadline sweep. Degraded rankings must be ordered by their
+    // lower bounds — the engine's principled-degradation contract.
+    for (label, deadline) in [
+        ("unlimited", None),
+        ("100 ms", Some(Duration::from_millis(100))),
+        ("1 ms", Some(Duration::from_millis(1))),
+        ("0 ms", Some(Duration::ZERO)),
+    ] {
+        let mut exact = 0usize;
+        let mut degraded = 0usize;
+        let mut ranked = 0usize;
+        let started = Instant::now();
+        for query in &bench.queries {
+            let budget =
+                deadline.map_or_else(Budget::unlimited, |d| Budget::unlimited().with_deadline(d));
+            let (outcome, _) = executor
+                .knn_budgeted(query, K_DEFAULT, &budget)
+                .expect("budget firing degrades, it never errors");
+            match outcome {
+                QueryOutcome::Exact(_) => exact += 1,
+                QueryOutcome::Degraded(result) => {
+                    degraded += 1;
+                    ranked += result.candidates.len();
+                    for pair in result.candidates.windows(2) {
+                        assert!(
+                            pair[0].bound <= pair[1].bound,
+                            "degraded ranking out of bound order"
+                        );
+                    }
+                }
+            }
+        }
+        let ms = started.elapsed().as_secs_f64() * 1e3 / n;
+        table.row(vec![
+            label.to_owned(),
+            exact.to_string(),
+            degraded.to_string(),
+            if degraded == 0 {
+                "-".to_owned()
+            } else {
+                fnum(ranked as f64 / degraded as f64)
+            },
+            fnum(ms),
+        ]);
+    }
+
+    // Part 2: governance overhead when nothing is limited. First assert
+    // bit-identity, then time both paths interleaved, min-of-5 (same
+    // protocol as the E13 overhead row: best-of sheds scheduler noise).
+    let unlimited = Budget::unlimited();
+    for query in &bench.queries {
+        let (plain, _) = executor.knn(query, K_DEFAULT).expect("consistent plan");
+        let (outcome, _) = executor
+            .knn_budgeted(query, K_DEFAULT, &unlimited)
+            .expect("consistent plan");
+        assert_eq!(
+            outcome.exact(),
+            Some(plain.as_slice()),
+            "unlimited budget changed answers"
+        );
+    }
+    let mut plain_best = f64::INFINITY;
+    let mut budgeted_best = f64::INFINITY;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for query in &bench.queries {
+            let _ = executor.knn(query, K_DEFAULT).expect("consistent plan");
+        }
+        plain_best = plain_best.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        for query in &bench.queries {
+            let (outcome, _) = executor
+                .knn_budgeted(query, K_DEFAULT, &unlimited)
+                .expect("consistent plan");
+            assert!(!outcome.is_degraded(), "unlimited budget degraded");
+        }
+        budgeted_best = budgeted_best.min(started.elapsed().as_secs_f64());
+    }
+    table.row(vec![
+        "knn, no budget (min of 5)".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        fnum(plain_best * 1e3 / n),
+    ]);
+    table.row(vec![
+        "knn_budgeted, unlimited (min of 5)".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        fnum(budgeted_best * 1e3 / n),
+    ]);
+    table.row(vec![
+        "budget-check overhead [%]".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        "-".to_owned(),
+        fnum((budgeted_best / plain_best.max(1e-12) - 1.0) * 100.0),
+    ]);
+    table.note(
+        "unlimited-budget answers are asserted bit-identical to plain knn; \
+         overhead target <= 2% (the unlimited path short-circuits to the \
+         unbudgeted executor)",
+    );
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -923,6 +1060,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e12(scale, quick),
         e13(scale, quick),
         e14(scale, quick),
+        e15(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -947,6 +1085,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e12" => Some(e12(scale, quick)),
         "e13" => Some(e13(scale, quick)),
         "e14" => Some(e14(scale, quick)),
+        "e15" => Some(e15(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),
@@ -1001,6 +1140,26 @@ mod tests {
         assert!(text.contains("queries recorded"));
         assert!(text.contains("simplex pivots/query"));
         assert!(text.contains(emd_obs::SCHEMA));
+    }
+
+    #[test]
+    fn e15_zero_deadline_degrades_every_query() {
+        let table = e15(&tiny(), true);
+        let text = table.to_string();
+        assert!(text.contains("budget-check overhead"));
+        let zero_row = table
+            .rows
+            .iter()
+            .find(|row| row[0] == "0 ms")
+            .expect("0 ms sweep row");
+        assert_eq!(zero_row[1], "0", "0 ms deadline left exact answers");
+        assert_eq!(zero_row[2], "3", "0 ms deadline must degrade all queries");
+        let unlimited_row = table
+            .rows
+            .iter()
+            .find(|row| row[0] == "unlimited")
+            .expect("unlimited sweep row");
+        assert_eq!(unlimited_row[2], "0", "unlimited budget degraded");
     }
 
     #[test]

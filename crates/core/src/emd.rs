@@ -8,7 +8,7 @@
 use crate::cost::CostMatrix;
 use crate::error::CoreError;
 use crate::histogram::Histogram;
-use emd_transport::{solve, TransportProblem};
+use emd_transport::{solve_budgeted, Budget, SimplexOptions, TransportError, TransportProblem};
 
 /// Result of an EMD computation that also reports the optimal flows.
 #[derive(Debug, Clone)]
@@ -62,7 +62,48 @@ pub fn emd_rectangular(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Resul
     Ok(solve_stripped(x, y, cost)?.distance)
 }
 
+/// [`emd`] under an execution [`Budget`]: the underlying simplex probes the
+/// budget and bails out instead of spinning. With `Budget::unlimited()` the
+/// result is bit-identical to [`emd`].
+///
+/// # Errors
+///
+/// Same failure modes as [`emd`], plus [`CoreError::BudgetExhausted`] when
+/// the budget's deadline, pivot cap, or cancellation fires mid-solve.
+pub fn emd_budgeted(
+    x: &Histogram,
+    y: &Histogram,
+    cost: &CostMatrix,
+    budget: &Budget,
+) -> Result<f64, CoreError> {
+    Ok(solve_stripped_budgeted(x, y, cost, budget)?.distance)
+}
+
+/// [`emd_rectangular`] under an execution [`Budget`]; see [`emd_budgeted`].
+///
+/// # Errors
+///
+/// Same failure modes as [`emd_rectangular`], plus
+/// [`CoreError::BudgetExhausted`] when the budget fires mid-solve.
+pub fn emd_rectangular_budgeted(
+    x: &Histogram,
+    y: &Histogram,
+    cost: &CostMatrix,
+    budget: &Budget,
+) -> Result<f64, CoreError> {
+    Ok(solve_stripped_budgeted(x, y, cost, budget)?.distance)
+}
+
 fn solve_stripped(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<EmdReport, CoreError> {
+    solve_stripped_budgeted(x, y, cost, &Budget::unlimited())
+}
+
+fn solve_stripped_budgeted(
+    x: &Histogram,
+    y: &Histogram,
+    cost: &CostMatrix,
+    budget: &Budget,
+) -> Result<EmdReport, CoreError> {
     emd_obs::counter_add("core.emd.solves", 1);
     if cost.rows() != x.dim() || cost.cols() != y.dim() {
         return Err(CoreError::DimensionMismatch {
@@ -104,7 +145,12 @@ fn solve_stripped(x: &Histogram, y: &Histogram, cost: &CostMatrix) -> Result<Emd
 
     let problem = TransportProblem::new(supplies, demands, costs)
         .map_err(|e| CoreError::Solver(e.to_string()))?;
-    let solution = solve(&problem).map_err(|e| CoreError::Solver(e.to_string()))?;
+    let solution =
+        solve_budgeted(&problem, SimplexOptions::default(), budget).map_err(|e| match e {
+            // Budget exhaustion stays typed so upper layers can degrade.
+            TransportError::BudgetExhausted { reason } => CoreError::BudgetExhausted(reason),
+            other => CoreError::Solver(other.to_string()),
+        })?;
 
     let flows = solution
         .flows
@@ -235,6 +281,43 @@ mod tests {
         let d_xy = emd(&x, &y, &c).unwrap();
         let d_yx = emd(&y, &x, &c).unwrap();
         assert!((d_xy - d_yx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budgeted_emd_matches_unbudgeted_when_unlimited() {
+        let x = h(&[0.1, 0.4, 0.0, 0.3, 0.2]);
+        let y = h(&[0.3, 0.0, 0.3, 0.0, 0.4]);
+        let c = ground::linear(5).unwrap();
+        let plain = emd(&x, &y, &c).unwrap();
+        let budgeted = emd_budgeted(&x, &y, &c, &Budget::unlimited()).unwrap();
+        assert_eq!(plain.to_bits(), budgeted.to_bits());
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_typed() {
+        let x = h(&[0.1, 0.4, 0.0, 0.3, 0.2]);
+        let y = h(&[0.3, 0.0, 0.3, 0.0, 0.4]);
+        let c = ground::linear(5).unwrap();
+        let token = emd_transport::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err = emd_budgeted(&x, &y, &c, &budget).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::BudgetExhausted(emd_transport::BudgetReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn identity_shortcut_skips_the_budget() {
+        // Identical operands short-circuit before the LP, so even an
+        // exhausted budget returns the exact zero distance.
+        let x = h(&[0.25, 0.25, 0.5]);
+        let c = ground::linear(3).unwrap();
+        let token = emd_transport::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        assert_eq!(emd_budgeted(&x, &x, &c, &budget).unwrap(), 0.0);
     }
 
     #[test]

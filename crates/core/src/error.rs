@@ -54,6 +54,10 @@ pub enum CoreError {
     },
     /// The underlying LP solver failed (numerical pathology).
     Solver(String),
+    /// The execution budget (deadline, pivot cap, or cancellation) was
+    /// exhausted mid-computation. Kept typed (not folded into
+    /// [`Solver`](Self::Solver)) so query layers can degrade gracefully.
+    BudgetExhausted(emd_transport::BudgetReason),
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +88,9 @@ impl fmt::Display for CoreError {
                 write!(f, "cost buffer of {len} entries cannot be {rows}x{cols}")
             }
             CoreError::Solver(msg) => write!(f, "LP solver failure: {msg}"),
+            CoreError::BudgetExhausted(reason) => {
+                write!(f, "execution budget exhausted: {reason}")
+            }
         }
     }
 }

@@ -39,10 +39,17 @@ pub mod lower_bounds;
 pub mod upper_bound;
 
 pub use cost::CostMatrix;
-pub use emd::{emd, emd_1d_manhattan, emd_rectangular, emd_with_flows, EmdReport};
+pub use emd::{
+    emd, emd_1d_manhattan, emd_budgeted, emd_rectangular, emd_rectangular_budgeted, emd_with_flows,
+    EmdReport,
+};
 pub use error::CoreError;
 pub use histogram::Histogram;
 pub use upper_bound::{emd_upper_greedy, emd_upper_vogel};
+
+// Execution-budget types, re-exported so downstream crates (reduction,
+// query) can thread budgets without a direct `emd-transport` dependency.
+pub use emd_transport::{Budget, BudgetReason, CancelToken};
 
 /// Tolerance for mass normalization checks: histograms must total 1 within
 /// this bound. Matches the balance tolerance of the LP layer.

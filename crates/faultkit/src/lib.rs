@@ -1,0 +1,304 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # emd-faultkit
+//!
+//! Deterministic, zero-dependency fault injection for the flexemd stack.
+//!
+//! Production failure paths — a disk read that errors mid-open, a solver
+//! that runs out of budget, a worker thread that panics — are rare in tests
+//! precisely because tests run on healthy machines. This crate makes those
+//! paths *reachable on demand*: a [`FaultInjector`] is threaded (behind an
+//! `Option`/default no-op) through the store reader, the transport solver
+//! entry, and the batch executor, and a [`FailPlan`] decides, purely from
+//! per-site atomic counters, whether the *k*-th occurrence of a site should
+//! fail.
+//!
+//! Everything is deterministic: the same plan against the same call
+//! sequence injects the same faults, so every injected failure is a
+//! reproducible test case. [`FailPlan::from_seed`] derives a plan from a
+//! single `u64` so property tests can sweep fault schedules the same way
+//! they sweep inputs.
+//!
+//! The crate deliberately knows nothing about the rest of the workspace:
+//! sites and faults are plain enums, and consumers map [`Fault`]s onto
+//! their own typed errors (`StoreError::Io`, `TransportError::BudgetExhausted`,
+//! `QueryError::WorkerPanicked`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A place in the engine where a fault can be injected.
+///
+/// Each site corresponds to one instrumented code path; consumers call
+/// [`FaultInjector::check`] with the site they are about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// A store-layer file read (manifest or segment). Occurrences are
+    /// counted in the order the reader issues them.
+    StoreRead,
+    /// Entry into a transport solve (simplex or SSP). Occurrences are
+    /// counted per [`FaultInjector`] across all solves it observes.
+    Solve,
+    /// A batch-executor worker, identified by its chunk index.
+    Worker(usize),
+}
+
+/// The fault an injector asks a site to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an I/O error (store reads).
+    Io,
+    /// Report the solver budget as exhausted (transport solves).
+    BudgetExhausted,
+    /// Panic inside the worker (batch executor); the payload is an
+    /// [`InjectedPanic`] so harnesses can tell injected panics from real
+    /// ones.
+    Panic,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io => write!(f, "io"),
+            Self::BudgetExhausted => write!(f, "budget-exhausted"),
+            Self::Panic => write!(f, "panic"),
+        }
+    }
+}
+
+/// Decides whether the operation at `site` should fail.
+///
+/// Implementations must be cheap and thread-safe: the check sits on hot
+/// paths (solver entries, segment reads) guarded only by an `Option`.
+pub trait FaultInjector: Send + Sync + std::fmt::Debug {
+    /// Called immediately before the instrumented operation runs.
+    ///
+    /// Returns `Some(fault)` if this occurrence should fail, `None` to let
+    /// it proceed. Implementations may advance internal counters on every
+    /// call, so a site must be checked exactly once per occurrence.
+    fn check(&self, site: Site) -> Option<Fault>;
+}
+
+/// The no-op injector: never injects anything.
+///
+/// Used as the default wherever a `&dyn FaultInjector` is required but no
+/// plan is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn check(&self, _site: Site) -> Option<Fault> {
+        None
+    }
+}
+
+/// Panic payload used by injected worker panics.
+///
+/// Harnesses (the CLI panic hook, the executor's `catch_unwind`) downcast
+/// panic payloads to this type to distinguish an injected panic from a
+/// genuine bug, so only injected panics are silenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The worker (chunk index) the panic was injected into.
+    pub worker: usize,
+}
+
+impl InjectedPanic {
+    /// Builds the payload for a panic injected into worker `worker`.
+    #[must_use]
+    pub fn new(worker: usize) -> Self {
+        Self { worker }
+    }
+}
+
+impl std::fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected panic in worker {}", self.worker)
+    }
+}
+
+/// A deterministic fault schedule: fail the `k`-th read, exhaust the
+/// `j`-th solve, panic in worker `w`.
+///
+/// Occurrence indices are 1-based (`fail_read(1)` fails the first read).
+/// Counters are per-plan atomics, so one plan tracks one engine run; build
+/// a fresh plan (or the same seed again) to replay the schedule.
+#[derive(Debug, Default)]
+pub struct FailPlan {
+    fail_read: Option<u64>,
+    exhaust_solve: Option<u64>,
+    panic_worker: Option<usize>,
+    reads: AtomicU64,
+    solves: AtomicU64,
+}
+
+impl FailPlan {
+    /// An empty plan that injects nothing until configured.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail the `k`-th store read (1-based) with [`Fault::Io`].
+    #[must_use]
+    pub fn fail_read(mut self, k: u64) -> Self {
+        self.fail_read = Some(k);
+        self
+    }
+
+    /// Inject [`Fault::BudgetExhausted`] at the `j`-th transport solve
+    /// (1-based).
+    #[must_use]
+    pub fn exhaust_solve(mut self, j: u64) -> Self {
+        self.exhaust_solve = Some(j);
+        self
+    }
+
+    /// Panic in batch worker `w` (every query that worker runs).
+    #[must_use]
+    pub fn panic_worker(mut self, w: usize) -> Self {
+        self.panic_worker = Some(w);
+        self
+    }
+
+    /// Derives a plan from a seed, for property-test sweeps.
+    ///
+    /// The seed is expanded with a splitmix64 chain into three independent
+    /// draws: which read to fail (1..=8), which solve to exhaust (1..=8),
+    /// and which worker to panic (0..=3). Each failpoint is armed with
+    /// probability 1/2, so seeds cover every subset of the three faults.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut draw = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = Self::new();
+        let (arm_read, read_k) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_solve, solve_j) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_panic, worker_w) = (draw() % 2 == 0, draw() % 4);
+        if arm_read {
+            plan = plan.fail_read(read_k);
+        }
+        if arm_solve {
+            plan = plan.exhaust_solve(solve_j);
+        }
+        if arm_panic {
+            plan = plan.panic_worker(usize::try_from(worker_w).unwrap_or(0));
+        }
+        plan
+    }
+
+    /// True if the plan has no armed failpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fail_read.is_none() && self.exhaust_solve.is_none() && self.panic_worker.is_none()
+    }
+
+    /// Number of store reads observed so far.
+    #[must_use]
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of transport solves observed so far.
+    #[must_use]
+    pub fn solves_seen(&self) -> u64 {
+        self.solves.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultInjector for FailPlan {
+    fn check(&self, site: Site) -> Option<Fault> {
+        match site {
+            Site::StoreRead => {
+                let seen = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.fail_read == Some(seen)).then_some(Fault::Io)
+            }
+            Site::Solve => {
+                let seen = self.solves.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.exhaust_solve == Some(seen)).then_some(Fault::BudgetExhausted)
+            }
+            Site::Worker(w) => (self.panic_worker == Some(w)).then_some(Fault::Panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_never_fires() {
+        for site in [Site::StoreRead, Site::Solve, Site::Worker(0)] {
+            assert_eq!(NoFaults.check(site), None);
+        }
+    }
+
+    #[test]
+    fn fail_read_hits_exactly_the_kth_read() {
+        let plan = FailPlan::new().fail_read(3);
+        assert_eq!(plan.check(Site::StoreRead), None);
+        assert_eq!(plan.check(Site::StoreRead), None);
+        assert_eq!(plan.check(Site::StoreRead), Some(Fault::Io));
+        assert_eq!(plan.check(Site::StoreRead), None);
+        assert_eq!(plan.reads_seen(), 4);
+    }
+
+    #[test]
+    fn exhaust_solve_hits_exactly_the_jth_solve() {
+        let plan = FailPlan::new().exhaust_solve(2);
+        assert_eq!(plan.check(Site::Solve), None);
+        assert_eq!(plan.check(Site::Solve), Some(Fault::BudgetExhausted));
+        assert_eq!(plan.check(Site::Solve), None);
+        assert_eq!(plan.solves_seen(), 3);
+    }
+
+    #[test]
+    fn panic_worker_targets_one_worker_repeatedly() {
+        let plan = FailPlan::new().panic_worker(1);
+        assert_eq!(plan.check(Site::Worker(0)), None);
+        assert_eq!(plan.check(Site::Worker(1)), Some(Fault::Panic));
+        assert_eq!(plan.check(Site::Worker(1)), Some(Fault::Panic));
+        assert_eq!(plan.check(Site::Worker(2)), None);
+    }
+
+    #[test]
+    fn sites_are_counted_independently() {
+        let plan = FailPlan::new().fail_read(1).exhaust_solve(1);
+        assert_eq!(plan.check(Site::Solve), Some(Fault::BudgetExhausted));
+        assert_eq!(plan.check(Site::StoreRead), Some(Fault::Io));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        for seed in 0..64u64 {
+            let a = FailPlan::from_seed(seed);
+            let b = FailPlan::from_seed(seed);
+            assert_eq!(a.fail_read, b.fail_read);
+            assert_eq!(a.exhaust_solve, b.exhaust_solve);
+            assert_eq!(a.panic_worker, b.panic_worker);
+        }
+    }
+
+    #[test]
+    fn from_seed_covers_armed_and_empty_plans() {
+        let plans: Vec<FailPlan> = (0..256u64).map(FailPlan::from_seed).collect();
+        assert!(plans.iter().any(FailPlan::is_empty));
+        assert!(plans.iter().any(|p| p.fail_read.is_some()));
+        assert!(plans.iter().any(|p| p.exhaust_solve.is_some()));
+        assert!(plans.iter().any(|p| p.panic_worker.is_some()));
+    }
+
+    #[test]
+    fn injected_panic_formats_worker() {
+        assert_eq!(
+            InjectedPanic::new(3).to_string(),
+            "injected panic in worker 3"
+        );
+    }
+}

@@ -129,7 +129,23 @@ impl Database {
     /// missing, damaged (truncation, checksum mismatch, version skew)
     /// or internally inconsistent.
     pub fn open(dir: &Path) -> Result<OpenedIndex, StoreError> {
-        let stored = emd_store::open_index(dir)?;
+        Self::open_with(dir, &emd_faultkit::NoFaults)
+    }
+
+    /// [`Database::open`] with a deterministic fault injector probed
+    /// before every file read in the open path (see
+    /// [`emd_store::open_index_with`]). Production callers use
+    /// [`Database::open`]; this entry point exists for the
+    /// fault-injection test harness.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Database::open`], plus injected IO faults.
+    pub fn open_with(
+        dir: &Path,
+        faults: &dyn emd_faultkit::FaultInjector,
+    ) -> Result<OpenedIndex, StoreError> {
+        let stored = emd_store::open_index_with(dir, faults)?;
         // `open_index` already checked arena-vs-cost shape agreement —
         // the same invariant `Database::new` re-checks here; a failure
         // at this point would be a store-layer bug, not bad data.

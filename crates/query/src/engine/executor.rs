@@ -14,14 +14,31 @@
 //! [`QueryStats::accumulate`], and results are bit-identical to the
 //! sequential path because each query runs the exact same single-query
 //! code on an immutable shared plan.
+//!
+//! ## Execution governance
+//!
+//! [`Executor::run_budgeted`] threads an execution [`Budget`] (wall-clock
+//! deadline, solver pivot cap, cooperative cancellation) through filter
+//! preparation and the KNOP loop. When the budget fires the executor
+//! returns [`QueryOutcome::Degraded`] — the candidate ranking ordered by
+//! the tightest lower bound computed so far — instead of an error or a
+//! silently truncated "exact" answer. Batch execution isolates panics
+//! per query ([`Executor::run_batch_isolated`]): a panicking worker turns
+//! into [`QueryError::WorkerPanicked`] for its own queries only, and
+//! surviving queries' results and chunk-order stats merge are unchanged.
 
 use crate::error::QueryError;
 use crate::filters::PreparedFilter;
 use crate::knop;
+use crate::outcome::{sort_candidates, Candidate, DegradedResult, QueryOutcome};
 use crate::ranking::{ChainedRanking, EagerRanking, Ranking};
 use crate::stats::QueryStats;
 use crate::Neighbor;
-use emd_core::Histogram;
+use emd_core::{Budget, BudgetReason, Histogram};
+use emd_faultkit::{Fault, FaultInjector, InjectedPanic, Site};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use super::plan::{Query, QueryMode, QueryPlan};
 
@@ -29,12 +46,26 @@ use super::plan::{Query, QueryMode, QueryPlan};
 #[derive(Debug)]
 pub struct Executor {
     plan: QueryPlan,
+    /// Deterministic fault injector consulted at `Site::Worker` probes in
+    /// batch execution (testing only; `None` in production).
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Executor {
     /// Wrap a plan for execution.
     pub fn new(plan: QueryPlan) -> Self {
-        Executor { plan }
+        Executor { plan, faults: None }
+    }
+
+    /// Install a deterministic fault injector; batch workers probe it at
+    /// [`Site::Worker`] before each query and honor [`Fault::Panic`] by
+    /// panicking with an [`InjectedPanic`] payload (which panic isolation
+    /// then converts into [`QueryError::WorkerPanicked`]). Used by the
+    /// fault-injection test harness.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<dyn FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The underlying plan.
@@ -97,6 +128,58 @@ impl Executor {
         self.execute(&query.histogram, query.mode)
     }
 
+    /// Run one [`Query`] under an execution [`Budget`].
+    ///
+    /// With an unlimited budget this takes the exact same code path as
+    /// [`Executor::run`] and wraps the answer in [`QueryOutcome::Exact`] —
+    /// results are bit-identical. When the budget fires mid-query the
+    /// outcome is [`QueryOutcome::Degraded`]: the candidate ranking
+    /// ordered by the tightest lower bound computed so far, with refined
+    /// candidates flagged `exact`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError`] under the same conditions as
+    /// [`Executor::run`]; budget exhaustion is *not* an error here — it
+    /// degrades.
+    pub fn run_budgeted(
+        &self,
+        query: &Query,
+        budget: &Budget,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        self.execute_budgeted(&query.histogram, query.mode, budget)
+    }
+
+    /// Budgeted k-nearest-neighbor query; see [`Executor::run_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::knn`], except budget exhaustion
+    /// degrades instead of erroring.
+    pub fn knn_budgeted(
+        &self,
+        query: &Histogram,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        self.execute_budgeted(query, QueryMode::Knn(k), budget)
+    }
+
+    /// Budgeted range query; see [`Executor::run_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::range`], except budget exhaustion
+    /// degrades instead of erroring.
+    pub fn range_budgeted(
+        &self,
+        query: &Histogram,
+        epsilon: f64,
+        budget: &Budget,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        self.execute_budgeted(query, QueryMode::Range(epsilon), budget)
+    }
+
     /// Run a batch of queries across `threads` std scoped threads,
     /// returning per-query results in input order plus the merged
     /// statistics.
@@ -109,23 +192,53 @@ impl Executor {
     /// # Errors
     ///
     /// Returns the first [`QueryError`] (by query index) any query
-    /// produced.
+    /// produced. Unlike older revisions, a panicking worker no longer
+    /// poisons the whole batch: it surfaces as
+    /// [`QueryError::WorkerPanicked`] on the affected queries (and this
+    /// wrapper then reports the first of them).
     pub fn run_batch(
         &self,
         queries: &[Query],
         threads: usize,
     ) -> Result<(Vec<Vec<Neighbor>>, QueryStats), QueryError> {
+        let (results, total) = self.run_batch_isolated(queries, threads);
+        let mut neighbors = Vec::with_capacity(results.len());
+        for result in results {
+            neighbors.push(result?);
+        }
+        Ok((neighbors, total))
+    }
+
+    /// Run a batch of queries with per-query panic isolation, returning
+    /// one `Result` per query in input order plus the merged statistics of
+    /// every query that succeeded.
+    ///
+    /// Each query executes inside `catch_unwind`; a panic (a solver bug, a
+    /// poisoned invariant, an injected [`Fault::Panic`]) is converted into
+    /// [`QueryError::WorkerPanicked`] for that query only. Surviving
+    /// queries — including later queries on the same worker thread — run
+    /// to completion, and their stats merge in chunk order exactly as in
+    /// the non-isolated path, so totals for survivors are bit-identical.
+    pub fn run_batch_isolated(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> (Vec<Result<Vec<Neighbor>, QueryError>>, QueryStats) {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
             emd_obs::gauge_set("query.batch.threads", 1.0);
             let mut results = Vec::with_capacity(queries.len());
             let mut total = QueryStats::default();
             for query in queries {
-                let (neighbors, stats) = self.run(query)?;
-                total.accumulate(&stats);
-                results.push(neighbors);
+                match self.run_isolated(query, 0) {
+                    Ok((neighbors, stats)) => {
+                        total.accumulate(&stats);
+                        results.push(Ok(neighbors));
+                    }
+                    Err(error) => results.push(Err(error)),
+                }
             }
-            return Ok((results, total));
+            return (results, total);
         }
 
         // Contiguous chunks keep per-query results trivially reorderable:
@@ -136,38 +249,47 @@ impl Executor {
         // counter totals are then identical to a sequential run at any
         // thread count (histogram sums still reflect wall-clock).
         let record_metrics = emd_obs::recording();
-        type ChunkResult = Result<
-            (
-                Vec<Vec<Neighbor>>,
-                QueryStats,
-                Option<emd_obs::MetricsRegistry>,
-            ),
-            QueryError,
-        >;
-        let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+        type ChunkOutput = (
+            Vec<Result<Vec<Neighbor>, QueryError>>,
+            QueryStats,
+            Option<emd_obs::MetricsRegistry>,
+        );
+        let chunk_results: Vec<ChunkOutput> = std::thread::scope(|scope| {
             // Spawn every chunk before joining any: joining lazily off the
             // spawn iterator would serialize the batch.
             let mut handles = Vec::with_capacity(threads);
-            for chunk_queries in queries.chunks(chunk) {
-                handles.push(scope.spawn(move || -> ChunkResult {
+            for (worker, chunk_queries) in queries.chunks(chunk).enumerate() {
+                handles.push(scope.spawn(move || -> ChunkOutput {
                     let recording = record_metrics.then(emd_obs::Recording::start);
                     let mut results = Vec::with_capacity(chunk_queries.len());
                     let mut total = QueryStats::default();
                     for query in chunk_queries {
-                        let (neighbors, stats) = self.run(query)?;
-                        total.accumulate(&stats);
-                        results.push(neighbors);
+                        match self.run_isolated(query, worker) {
+                            Ok((neighbors, stats)) => {
+                                total.accumulate(&stats);
+                                results.push(Ok(neighbors));
+                            }
+                            Err(error) => results.push(Err(error)),
+                        }
                     }
-                    Ok((results, total, recording.map(emd_obs::Recording::finish)))
+                    (results, total, recording.map(emd_obs::Recording::finish))
                 }));
             }
             let mut collected = Vec::with_capacity(handles.len());
-            for handle in handles {
+            for (worker, handle) in handles.into_iter().enumerate() {
                 collected.push(match handle.join() {
-                    Ok(result) => result,
-                    Err(_) => Err(QueryError::Reduction(
-                        "batch worker thread panicked".to_owned(),
-                    )),
+                    Ok(output) => output,
+                    Err(payload) => {
+                        // Per-query catch_unwind makes this unreachable for
+                        // query panics; a join failure means the worker loop
+                        // itself died, so attribute the whole chunk.
+                        let error = QueryError::WorkerPanicked {
+                            worker,
+                            detail: panic_detail(payload.as_ref()),
+                        };
+                        let len = queries.len().min((worker + 1) * chunk) - worker * chunk;
+                        (vec![Err(error); len], QueryStats::default(), None)
+                    }
                 });
             }
             collected
@@ -176,15 +298,43 @@ impl Executor {
         emd_obs::gauge_set("query.batch.threads", threads as f64);
         let mut results = Vec::with_capacity(queries.len());
         let mut total = QueryStats::default();
-        for chunk_result in chunk_results {
-            let (chunk_neighbors, chunk_stats, chunk_registry) = chunk_result?;
+        for (chunk_neighbors, chunk_stats, chunk_registry) in chunk_results {
             total.accumulate(&chunk_stats);
             if let Some(registry) = &chunk_registry {
                 emd_obs::absorb(registry);
             }
             results.extend(chunk_neighbors);
         }
-        Ok((results, total))
+        (results, total)
+    }
+
+    /// Run one query inside `catch_unwind`, converting any panic into
+    /// [`QueryError::WorkerPanicked`] attributed to `worker`. Probes the
+    /// installed fault injector (if any) first, honoring
+    /// [`Fault::Panic`] with a typed [`InjectedPanic`] payload.
+    fn run_isolated(
+        &self,
+        query: &Query,
+        worker: usize,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(injector) = &self.faults {
+                if let Some(Fault::Panic) = injector.check(Site::Worker(worker)) {
+                    std::panic::panic_any(InjectedPanic::new(worker)); // lint: allow(panic)
+                }
+            }
+            self.run(query)
+        }));
+        match result {
+            Ok(answer) => answer,
+            Err(payload) => {
+                emd_obs::counter_add("query.worker_panics", 1);
+                Err(QueryError::WorkerPanicked {
+                    worker,
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        }
     }
 
     fn execute(
@@ -257,6 +407,208 @@ impl Executor {
         };
         publish_stats(&stats);
         Ok((neighbors, stats))
+    }
+
+    fn execute_budgeted(
+        &self,
+        query: &Histogram,
+        mode: QueryMode,
+        budget: &Budget,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        if budget.is_unlimited() {
+            // Bit-identical guarantee: with nothing to enforce, take the
+            // exact unbudgeted path.
+            let (neighbors, stats) = self.execute(query, mode)?;
+            return Ok((QueryOutcome::Exact(neighbors), stats));
+        }
+        let _query_span = emd_obs::span("query.execute");
+        emd_obs::counter_add("query.queries", 1);
+        match mode {
+            QueryMode::Knn(0) => return Err(QueryError::ZeroK),
+            QueryMode::Range(epsilon) if epsilon.is_nan() || epsilon < 0.0 => {
+                return Err(QueryError::InvalidEpsilon(epsilon));
+            }
+            _ => {}
+        }
+        let mut refiner = {
+            let _span = emd_obs::span("query.refiner.prepare");
+            self.plan.refiner().prepare_budgeted(query, budget)?
+        };
+
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> =
+            Vec::with_capacity(self.plan.stages().len());
+        for stage in self.plan.stages() {
+            let _span = emd_obs::span_with(|| format!("query.stage.{}.prepare", stage.name()));
+            prepared.push(stage.prepare_budgeted(query, budget)?);
+        }
+
+        let finish = |outcome: QueryOutcome,
+                      refinements: usize,
+                      evaluations: Vec<(String, usize)>|
+         -> (QueryOutcome, QueryStats) {
+            let results = match &outcome {
+                QueryOutcome::Exact(neighbors) => neighbors.len(),
+                QueryOutcome::Degraded(result) => result.candidates.len(),
+            };
+            let stats = QueryStats {
+                filter_evaluations: evaluations,
+                refinements,
+                results,
+            };
+            publish_stats(&stats);
+            if let QueryOutcome::Degraded(result) = &outcome {
+                emd_obs::counter_add("query.degraded", 1);
+                if result.reason == BudgetReason::Deadline {
+                    emd_obs::counter_add("query.deadline_exceeded", 1);
+                }
+            }
+            (outcome, stats)
+        };
+
+        if prepared.is_empty() {
+            // Zero-stage plan — the sequential scan. Materialize the exact
+            // ranking one refinement at a time so the bounds computed
+            // before a budget firing survive into the degraded answer.
+            let _span = emd_obs::span("query.scan");
+            let mut computed: Vec<(usize, f64)> = Vec::new();
+            let mut fired: Option<BudgetReason> = None;
+            for id in 0..self.plan.len() {
+                if let Err(reason) = budget.check() {
+                    fired = Some(reason);
+                    break;
+                }
+                match refiner.distance(id) {
+                    Ok(distance) => computed.push((id, distance)),
+                    Err(QueryError::BudgetExhausted(reason)) => {
+                        fired = Some(reason);
+                        break;
+                    }
+                    Err(error) => return Err(error),
+                }
+            }
+            let refinements = refiner.evaluations();
+            let outcome = match fired {
+                Some(reason) => {
+                    let mut candidates: Vec<Candidate> = computed
+                        .into_iter()
+                        .map(|(id, bound)| Candidate {
+                            id,
+                            bound,
+                            exact: true,
+                        })
+                        .collect();
+                    sort_candidates(&mut candidates);
+                    match mode {
+                        QueryMode::Knn(k) => candidates.truncate(k),
+                        QueryMode::Range(epsilon) => {
+                            candidates.retain(|c| c.bound <= epsilon);
+                        }
+                    }
+                    QueryOutcome::Degraded(DegradedResult { candidates, reason })
+                }
+                None => {
+                    let mut ranking = EagerRanking::from_computed(computed);
+                    let mut neighbors = Vec::new();
+                    while let Some((id, distance)) = ranking.next()? {
+                        match mode {
+                            QueryMode::Knn(k) if neighbors.len() >= k => break,
+                            QueryMode::Range(epsilon) if distance > epsilon => break,
+                            _ => neighbors.push(Neighbor { id, distance }),
+                        }
+                    }
+                    QueryOutcome::Exact(neighbors)
+                }
+            };
+            return Ok(finish(outcome, refinements, Vec::new()));
+        }
+
+        let (outcome, refinements) = {
+            let _span = emd_obs::span("query.knop");
+            // Materialize the first filter stage by hand (instead of
+            // EagerRanking::new) so a budget firing mid-materialization
+            // still yields the bounds computed so far.
+            let len = self.plan.len();
+            let mut computed: Vec<(usize, f64)> = Vec::with_capacity(len);
+            let mut fired: Option<BudgetReason> = None;
+            if let Some(first) = prepared.first_mut() {
+                for id in 0..len {
+                    if let Err(reason) = budget.check() {
+                        fired = Some(reason);
+                        break;
+                    }
+                    match first.distance(id) {
+                        Ok(distance) => computed.push((id, distance)),
+                        Err(QueryError::BudgetExhausted(reason)) => {
+                            fired = Some(reason);
+                            break;
+                        }
+                        Err(error) => return Err(error),
+                    }
+                }
+            }
+            if let Some(reason) = fired {
+                // Nothing refined yet: every computed bound is a filter
+                // lower bound of the exact distance.
+                let mut candidates: Vec<Candidate> = computed
+                    .into_iter()
+                    .map(|(id, bound)| Candidate {
+                        id,
+                        bound,
+                        exact: false,
+                    })
+                    .collect();
+                sort_candidates(&mut candidates);
+                match mode {
+                    QueryMode::Knn(k) => candidates.truncate(k),
+                    QueryMode::Range(epsilon) => candidates.retain(|c| c.bound <= epsilon),
+                }
+                (
+                    QueryOutcome::Degraded(DegradedResult { candidates, reason }),
+                    0,
+                )
+            } else {
+                let mut stages = prepared.iter_mut();
+                // First stage was consumed into `computed` above.
+                let _first = stages.next();
+                let mut ranking: Box<dyn Ranking + '_> =
+                    Box::new(EagerRanking::from_computed(computed));
+                for stage in stages {
+                    ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
+                }
+                match mode {
+                    QueryMode::Knn(k) => {
+                        knop::knn_budgeted(ranking.as_mut(), refiner.as_mut(), k, budget)?
+                    }
+                    QueryMode::Range(epsilon) => {
+                        knop::range_budgeted(ranking.as_mut(), refiner.as_mut(), epsilon, budget)?
+                    }
+                }
+            }
+        };
+
+        let evaluations: Vec<(String, usize)> = self
+            .plan
+            .stages()
+            .iter()
+            .zip(prepared.iter())
+            .map(|(stage, p)| (stage.name().to_owned(), p.evaluations()))
+            .collect();
+        Ok(finish(outcome, refinements, evaluations))
+    }
+}
+
+/// Render a panic payload to text, preferring the typed
+/// [`InjectedPanic`] marker, then the conventional `&str` / `String`
+/// payloads of `panic!`.
+fn panic_detail(payload: &(dyn Any + Send)) -> String {
+    if let Some(injected) = payload.downcast_ref::<InjectedPanic>() {
+        injected.to_string()
+    } else if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
 }
 

@@ -17,6 +17,20 @@ pub enum QueryError {
     InvalidEpsilon(f64),
     /// An object id outside the indexed database was evaluated.
     UnknownObject(usize),
+    /// The execution budget (deadline, pivot cap, or cancellation) fired
+    /// mid-query. The executor converts this into a degraded
+    /// [`QueryOutcome`](crate::QueryOutcome) wherever partial results
+    /// exist; it only surfaces as an error from unbudgeted entry points.
+    BudgetExhausted(emd_core::BudgetReason),
+    /// A batch worker thread panicked while running this query. Only the
+    /// queries of the panicking worker receive this error; surviving
+    /// workers' results and stats are unaffected.
+    WorkerPanicked {
+        /// Chunk index of the worker that panicked.
+        worker: usize,
+        /// Panic payload rendered to text (best effort).
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -35,6 +49,12 @@ impl fmt::Display for QueryError {
             QueryError::UnknownObject(id) => {
                 write!(f, "object id {id} is outside the indexed database")
             }
+            QueryError::BudgetExhausted(reason) => {
+                write!(f, "execution budget exhausted: {reason}")
+            }
+            QueryError::WorkerPanicked { worker, detail } => {
+                write!(f, "batch worker {worker} panicked: {detail}")
+            }
         }
     }
 }
@@ -50,12 +70,22 @@ impl std::error::Error for QueryError {
 
 impl From<emd_core::CoreError> for QueryError {
     fn from(e: emd_core::CoreError) -> Self {
-        QueryError::Core(e)
+        match e {
+            // Keep budget exhaustion typed all the way up: the degradation
+            // logic must distinguish it from genuine solver failures.
+            emd_core::CoreError::BudgetExhausted(reason) => QueryError::BudgetExhausted(reason),
+            other => QueryError::Core(other),
+        }
     }
 }
 
 impl From<emd_reduction::ReductionError> for QueryError {
     fn from(e: emd_reduction::ReductionError) -> Self {
-        QueryError::Reduction(e.to_string())
+        match e {
+            emd_reduction::ReductionError::Core(emd_core::CoreError::BudgetExhausted(reason)) => {
+                QueryError::BudgetExhausted(reason)
+            }
+            other => QueryError::Reduction(other.to_string()),
+        }
     }
 }

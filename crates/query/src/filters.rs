@@ -18,7 +18,7 @@ use crate::engine::Database;
 use crate::error::QueryError;
 use emd_core::ground::Metric;
 use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
-use emd_core::{emd_rectangular, CostMatrix, Histogram};
+use emd_core::{emd_rectangular_budgeted, Budget, CostMatrix, Histogram};
 use emd_reduction::{PersistedReduction, ReducedEmd};
 use std::sync::Arc;
 
@@ -62,6 +62,26 @@ pub trait Filter: Send + Sync {
     }
     /// Build the per-query evaluator.
     fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError>;
+    /// Build the per-query evaluator under an execution [`Budget`].
+    ///
+    /// Solver-backed filters ([`EmdDistance`], [`ReducedEmdFilter`])
+    /// override this to probe the budget inside every LP solve, surfacing
+    /// [`QueryError::BudgetExhausted`] from
+    /// [`PreparedFilter::distance`]. Closed-form filters evaluate in
+    /// microseconds and ignore the budget (the KNOP loop checks it between
+    /// candidates), which is what this default does.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Filter::prepare`].
+    fn prepare_budgeted(
+        &self,
+        query: &Histogram,
+        budget: &Budget,
+    ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        let _ = budget;
+        self.prepare(query)
+    }
 }
 
 /// Per-query filter state; evaluates single objects.
@@ -130,11 +150,20 @@ impl Filter for EmdDistance {
     }
 
     fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        self.prepare_budgeted(query, &Budget::unlimited())
+    }
+
+    fn prepare_budgeted(
+        &self,
+        query: &Histogram,
+        budget: &Budget,
+    ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
         check_dim(query, self.database.cost().rows())?;
         Ok(Box::new(PreparedEmd {
             query: query.clone(),
             database: self.database.histograms(),
             cost: self.database.cost(),
+            budget: budget.clone(),
             evaluations: 0,
         }))
     }
@@ -144,16 +173,18 @@ struct PreparedEmd<'a> {
     query: Histogram,
     database: &'a [Histogram],
     cost: &'a CostMatrix,
+    budget: Budget,
     evaluations: usize,
 }
 
 impl PreparedFilter for PreparedEmd<'_> {
     fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        Ok(emd_rectangular(
+        Ok(emd_rectangular_budgeted(
             &self.query,
             object(self.database, id)?,
             self.cost,
+            &self.budget,
         )?)
     }
 
@@ -249,10 +280,19 @@ impl Filter for ReducedEmdFilter {
     }
 
     fn prepare(&self, query: &Histogram) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
+        self.prepare_budgeted(query, &Budget::unlimited())
+    }
+
+    fn prepare_budgeted(
+        &self,
+        query: &Histogram,
+        budget: &Budget,
+    ) -> Result<Box<dyn PreparedFilter + '_>, QueryError> {
         let reduced_query = self.reduced.reduce_first(query)?;
         Ok(Box::new(PreparedReducedEmd {
             reduced_query,
             filter: self,
+            budget: budget.clone(),
             evaluations: 0,
         }))
     }
@@ -261,15 +301,17 @@ impl Filter for ReducedEmdFilter {
 struct PreparedReducedEmd<'a> {
     reduced_query: Histogram,
     filter: &'a ReducedEmdFilter,
+    budget: Budget,
     evaluations: usize,
 }
 
 impl PreparedFilter for PreparedReducedEmd<'_> {
     fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        Ok(self.filter.reduced.distance_reduced(
+        Ok(self.filter.reduced.distance_reduced_budgeted(
             &self.reduced_query,
             object(&self.filter.reduced_database, id)?,
+            &self.budget,
         )?)
     }
 

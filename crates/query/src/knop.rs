@@ -14,8 +14,10 @@
 
 use crate::error::QueryError;
 use crate::filters::PreparedFilter;
+use crate::outcome::{sort_candidates, Candidate, DegradedResult, QueryOutcome};
 use crate::ranking::Ranking;
 use crate::Neighbor;
+use emd_core::{Budget, BudgetReason};
 
 /// k-NN by filter ranking + refinement (Figure 11).
 ///
@@ -107,6 +109,214 @@ pub fn range(
     }
     hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
     Ok((hits, refinements))
+}
+
+/// Builds the degraded candidate ranking at the moment a budget fired:
+/// refined neighbors keep their exact distance (`exact: true`), the
+/// candidate whose refinement was interrupted and every already-computed
+/// filter bound still inside the ranking join with `exact: false`. Sorted
+/// ascending by bound, ties by id.
+fn degraded_candidates(
+    refined: &[Neighbor],
+    pending: Option<(usize, f64)>,
+    ranking: &mut dyn Ranking,
+) -> Vec<Candidate> {
+    let mut candidates: Vec<Candidate> = refined
+        .iter()
+        .map(|n| Candidate {
+            id: n.id,
+            bound: n.distance,
+            exact: true,
+        })
+        .collect();
+    if let Some((id, bound)) = pending {
+        candidates.push(Candidate {
+            id,
+            bound,
+            exact: false,
+        });
+    }
+    candidates.extend(
+        ranking
+            .drain_computed()
+            .into_iter()
+            .map(|(id, bound)| Candidate {
+                id,
+                bound,
+                exact: false,
+            }),
+    );
+    sort_candidates(&mut candidates);
+    candidates
+}
+
+/// [`knn`] under an execution [`Budget`].
+///
+/// Identical to [`knn`] until the budget fires (checked between candidates
+/// here, and inside every solver call via the budgeted filters); then it
+/// returns [`QueryOutcome::Degraded`] carrying the current candidate
+/// ranking — refined results with exact distances, unrefined candidates
+/// with their tightest computed lower bound — truncated to the best `k`.
+/// With `Budget::unlimited()` the result is bit-identical to [`knn`].
+///
+/// # Errors
+///
+/// Returns [`QueryError::ZeroK`] for `k = 0` and propagates non-budget
+/// ranking or refiner failures; budget exhaustion is *not* an error but a
+/// degraded outcome.
+pub fn knn_budgeted(
+    ranking: &mut dyn Ranking,
+    refiner: &mut dyn PreparedFilter,
+    k: usize,
+    budget: &Budget,
+) -> Result<(QueryOutcome, usize), QueryError> {
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
+    let degrade = |reason: BudgetReason,
+                   mut refined: Vec<Neighbor>,
+                   pending: Option<(usize, f64)>,
+                   ranking: &mut dyn Ranking| {
+        refined.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        let mut candidates = degraded_candidates(&refined, pending, ranking);
+        candidates.truncate(k);
+        QueryOutcome::Degraded(DegradedResult { candidates, reason })
+    };
+    let mut neighbors: Vec<Neighbor> = Vec::with_capacity(k + 1);
+    let mut refinements = 0usize;
+
+    // Phase 1: refine k initial candidates from the ranking.
+    while neighbors.len() < k {
+        if let Err(reason) = budget.check() {
+            return Ok((degrade(reason, neighbors, None, ranking), refinements));
+        }
+        let pulled = match ranking.next() {
+            Ok(pulled) => pulled,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                return Ok((degrade(reason, neighbors, None, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((id, filter_distance)) = pulled else {
+            neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+            return Ok((QueryOutcome::Exact(neighbors), refinements));
+        };
+        let distance = match refiner.distance(id) {
+            Ok(distance) => distance,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                let pending = Some((id, filter_distance));
+                return Ok((degrade(reason, neighbors, pending, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        refinements += 1;
+        emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
+        neighbors.push(Neighbor { id, distance });
+    }
+    neighbors.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+
+    // Phase 2: keep pulling while the filter distance can still beat the
+    // current k-th exact distance.
+    loop {
+        if let Err(reason) = budget.check() {
+            return Ok((degrade(reason, neighbors, None, ranking), refinements));
+        }
+        let pulled = match ranking.next() {
+            Ok(pulled) => pulled,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                return Ok((degrade(reason, neighbors, None, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((id, filter_distance)) = pulled else {
+            break;
+        };
+        // bounds: phase 1 established neighbors.len() == k >= 1
+        let kth = neighbors[k - 1].distance;
+        if filter_distance > kth {
+            break;
+        }
+        let distance = match refiner.distance(id) {
+            Ok(distance) => distance,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                let pending = Some((id, filter_distance));
+                return Ok((degrade(reason, neighbors, pending, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        refinements += 1;
+        emd_core::certify::debug_check_lower_bound("knn filter ranking", filter_distance, distance);
+        if distance < kth {
+            let position = neighbors.partition_point(|n| n.distance <= distance);
+            neighbors.insert(position, Neighbor { id, distance });
+            neighbors.pop();
+        }
+    }
+    Ok((QueryOutcome::Exact(neighbors), refinements))
+}
+
+/// [`range`] under an execution [`Budget`]; see [`knn_budgeted`] for the
+/// degradation model. Degraded candidates are limited to those whose bound
+/// is within `epsilon` (no other object can be a hit).
+///
+/// # Errors
+///
+/// Propagates non-budget ranking or refiner failures; budget exhaustion is
+/// a degraded outcome, not an error.
+pub fn range_budgeted(
+    ranking: &mut dyn Ranking,
+    refiner: &mut dyn PreparedFilter,
+    epsilon: f64,
+    budget: &Budget,
+) -> Result<(QueryOutcome, usize), QueryError> {
+    let degrade = |reason: BudgetReason,
+                   mut hits: Vec<Neighbor>,
+                   pending: Option<(usize, f64)>,
+                   ranking: &mut dyn Ranking| {
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        let mut candidates = degraded_candidates(&hits, pending, ranking);
+        candidates.retain(|c| c.bound <= epsilon);
+        QueryOutcome::Degraded(DegradedResult { candidates, reason })
+    };
+    let mut hits: Vec<Neighbor> = Vec::new();
+    let mut refinements = 0usize;
+    loop {
+        if let Err(reason) = budget.check() {
+            return Ok((degrade(reason, hits, None, ranking), refinements));
+        }
+        let pulled = match ranking.next() {
+            Ok(pulled) => pulled,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                return Ok((degrade(reason, hits, None, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((id, filter_distance)) = pulled else {
+            break;
+        };
+        if filter_distance > epsilon {
+            break;
+        }
+        let distance = match refiner.distance(id) {
+            Ok(distance) => distance,
+            Err(QueryError::BudgetExhausted(reason)) => {
+                let pending = Some((id, filter_distance));
+                return Ok((degrade(reason, hits, pending, ranking), refinements));
+            }
+            Err(e) => return Err(e),
+        };
+        refinements += 1;
+        emd_core::certify::debug_check_lower_bound(
+            "range filter ranking",
+            filter_distance,
+            distance,
+        );
+        if distance <= epsilon {
+            hits.push(Neighbor { id, distance });
+        }
+    }
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    Ok((QueryOutcome::Exact(hits), refinements))
 }
 
 #[cfg(test)]
@@ -241,5 +451,131 @@ mod tests {
             knn(&mut ranking, exact_prepared.as_mut(), 0),
             Err(QueryError::ZeroK)
         ));
+    }
+
+    /// A refiner that reports budget exhaustion starting at the n-th call.
+    struct ExhaustingTable<'a> {
+        table: &'a [f64],
+        evaluations: usize,
+        fail_from: usize,
+    }
+
+    impl PreparedFilter for ExhaustingTable<'_> {
+        fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
+            self.evaluations += 1;
+            if self.evaluations >= self.fail_from {
+                return Err(QueryError::BudgetExhausted(BudgetReason::PivotCap));
+            }
+            self.table
+                .get(id)
+                .copied()
+                .ok_or(QueryError::UnknownObject(id))
+        }
+        fn evaluations(&self) -> usize {
+            self.evaluations
+        }
+    }
+
+    #[test]
+    fn budgeted_knn_with_unlimited_budget_matches_knn() {
+        let (filter, exact) = setup();
+        let mut fp1 = filter.prepare(&query()).unwrap();
+        let mut ep1 = exact.prepare(&query()).unwrap();
+        let mut ranking1 = EagerRanking::new(fp1.as_mut(), 6).unwrap();
+        let (plain, plain_ref) = knn(&mut ranking1, ep1.as_mut(), 3).unwrap();
+
+        let mut fp2 = filter.prepare(&query()).unwrap();
+        let mut ep2 = exact.prepare(&query()).unwrap();
+        let mut ranking2 = EagerRanking::new(fp2.as_mut(), 6).unwrap();
+        let (outcome, budgeted_ref) =
+            knn_budgeted(&mut ranking2, ep2.as_mut(), 3, &Budget::unlimited()).unwrap();
+        assert_eq!(outcome.exact(), Some(plain.as_slice()));
+        assert_eq!(plain_ref, budgeted_ref);
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_before_any_refinement() {
+        let (filter, exact) = setup();
+        let mut fp = filter.prepare(&query()).unwrap();
+        let mut ep = exact.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(fp.as_mut(), 6).unwrap();
+        let token = emd_core::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let (outcome, refinements) = knn_budgeted(&mut ranking, ep.as_mut(), 3, &budget).unwrap();
+        assert_eq!(refinements, 0);
+        let degraded = outcome.degraded().expect("must degrade");
+        assert_eq!(degraded.reason, BudgetReason::Cancelled);
+        // Best 3 filter bounds: object 3 (0.0), 1 (0.5), 4 (1.0).
+        let ids: Vec<_> = degraded.candidates.iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![3, 1, 4]);
+        assert!(degraded.candidates.iter().all(|c| !c.exact));
+    }
+
+    #[test]
+    fn mid_refinement_exhaustion_keeps_exact_prefix() {
+        let (filter, exact) = setup();
+        let mut fp = filter.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(fp.as_mut(), 6).unwrap();
+        // First two refinements succeed, the third reports exhaustion.
+        let mut refiner = ExhaustingTable {
+            table: &exact.table,
+            evaluations: 0,
+            fail_from: 3,
+        };
+        let (outcome, refinements) =
+            knn_budgeted(&mut ranking, &mut refiner, 4, &Budget::unlimited()).unwrap();
+        assert_eq!(refinements, 2);
+        let degraded = outcome.degraded().expect("must degrade");
+        assert_eq!(degraded.reason, BudgetReason::PivotCap);
+        assert_eq!(degraded.candidates.len(), 4);
+        // Refined candidates (objects 3 and 1, exact 0.2 and 1.5) carry
+        // exact distances; the rest are filter bounds.
+        for candidate in &degraded.candidates {
+            match candidate.id {
+                3 => assert!(candidate.exact && (candidate.bound - 0.2).abs() < 1e-12),
+                1 => assert!(candidate.exact && (candidate.bound - 1.5).abs() < 1e-12),
+                _ => assert!(!candidate.exact),
+            }
+        }
+        // Ordered ascending by bound.
+        for pair in degraded.candidates.windows(2) {
+            assert!(pair[0].bound <= pair[1].bound);
+        }
+    }
+
+    #[test]
+    fn budgeted_range_degrades_within_epsilon() {
+        let (filter, exact) = setup();
+        let mut fp = filter.prepare(&query()).unwrap();
+        let mut ranking = EagerRanking::new(fp.as_mut(), 6).unwrap();
+        let mut refiner = ExhaustingTable {
+            table: &exact.table,
+            evaluations: 0,
+            fail_from: 2,
+        };
+        let (outcome, refinements) =
+            range_budgeted(&mut ranking, &mut refiner, 2.5, &Budget::unlimited()).unwrap();
+        assert_eq!(refinements, 1);
+        let degraded = outcome.degraded().expect("must degrade");
+        assert!(degraded.candidates.iter().all(|c| c.bound <= 2.5));
+        assert!(degraded.candidates.iter().any(|c| c.exact));
+    }
+
+    #[test]
+    fn budgeted_range_with_unlimited_budget_matches_range() {
+        let (filter, exact) = setup();
+        let mut fp1 = filter.prepare(&query()).unwrap();
+        let mut ep1 = exact.prepare(&query()).unwrap();
+        let mut ranking1 = EagerRanking::new(fp1.as_mut(), 6).unwrap();
+        let (plain, plain_ref) = range(&mut ranking1, ep1.as_mut(), 2.5).unwrap();
+
+        let mut fp2 = filter.prepare(&query()).unwrap();
+        let mut ep2 = exact.prepare(&query()).unwrap();
+        let mut ranking2 = EagerRanking::new(fp2.as_mut(), 6).unwrap();
+        let (outcome, budgeted_ref) =
+            range_budgeted(&mut ranking2, ep2.as_mut(), 2.5, &Budget::unlimited()).unwrap();
+        assert_eq!(outcome.exact(), Some(plain.as_slice()));
+        assert_eq!(plain_ref, budgeted_ref);
     }
 }

@@ -52,6 +52,7 @@ pub mod engine;
 mod error;
 pub mod filters;
 pub mod knop;
+pub mod outcome;
 pub mod pipeline;
 pub mod ranking;
 pub mod scan;
@@ -61,6 +62,10 @@ pub mod vptree;
 pub use dynamic::DynamicIndex;
 pub use engine::{Database, Executor, OpenedIndex, Query, QueryMode, QueryPlan, StageEstimate};
 pub use error::QueryError;
+pub use outcome::{Candidate, DegradedResult, QueryOutcome};
+// Budget types re-exported so downstream users can build budgets without
+// depending on emd-transport directly.
+pub use emd_core::{Budget, BudgetReason, CancelToken};
 pub use filters::{
     AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,
     ReducedEmdFilter, ReducedImFilter, ScaledL1Filter,

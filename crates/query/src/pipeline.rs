@@ -106,6 +106,22 @@ impl Pipeline {
     ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
         self.executor.range(query, epsilon)
     }
+
+    /// k-NN under an execution [`Budget`](crate::Budget); see
+    /// [`Executor::knn_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::knn`], except budget exhaustion
+    /// degrades the outcome instead of erroring.
+    pub fn knn_budgeted(
+        &self,
+        query: &Histogram,
+        k: usize,
+        budget: &crate::Budget,
+    ) -> Result<(crate::QueryOutcome, QueryStats), QueryError> {
+        self.executor.knn_budgeted(query, k, budget)
+    }
 }
 
 #[cfg(test)]

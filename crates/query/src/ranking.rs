@@ -23,6 +23,18 @@ pub trait Ranking {
     ///
     /// Returns [`QueryError`] when the underlying filter evaluation fails.
     fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError>;
+
+    /// Drains every not-yet-emitted candidate whose filter bound is
+    /// *already computed*, without any further filter evaluation.
+    ///
+    /// Used to build degraded answers when an execution budget fires: the
+    /// returned `(id, bound)` pairs are valid lower bounds of the exact
+    /// distance (the chain condition), obtained for free. Order is
+    /// unspecified; callers sort. The default returns nothing, which is
+    /// always sound.
+    fn drain_computed(&mut self) -> Vec<(usize, f64)> {
+        Vec::new()
+    }
 }
 
 /// Total-ordered f64 wrapper for heap keys (distances are never NaN:
@@ -59,18 +71,30 @@ impl EagerRanking {
     ///
     /// Returns [`QueryError`] when any filter evaluation fails.
     pub fn new(filter: &mut dyn PreparedFilter, len: usize) -> Result<Self, QueryError> {
-        let mut sorted = Vec::with_capacity(len);
+        let mut computed = Vec::with_capacity(len);
         for id in 0..len {
-            sorted.push((id, filter.distance(id)?));
+            computed.push((id, filter.distance(id)?));
         }
-        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
-        Ok(EagerRanking { sorted })
+        Ok(Self::from_computed(computed))
+    }
+
+    /// Build a ranking from already-computed `(id, distance)` pairs (used
+    /// by the budgeted executor, which materializes the first stage itself
+    /// so partially computed bounds survive a budget firing).
+    pub(crate) fn from_computed(mut computed: Vec<(usize, f64)>) -> Self {
+        computed.sort_by(|a, b| b.1.total_cmp(&a.1).then(b.0.cmp(&a.0)));
+        EagerRanking { sorted: computed }
     }
 }
 
 impl Ranking for EagerRanking {
     fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError> {
         Ok(self.sorted.pop())
+    }
+
+    fn drain_computed(&mut self) -> Vec<(usize, f64)> {
+        // Everything was evaluated at construction; hand over the rest.
+        std::mem::take(&mut self.sorted)
     }
 }
 
@@ -143,6 +167,22 @@ impl Ranking for ChainedRanking<'_> {
                 self.heap.push(Reverse((Key(tight), id)));
             }
         }
+    }
+
+    fn drain_computed(&mut self) -> Vec<(usize, f64)> {
+        // Heap entries carry this stage's (tight) bound; the peeked
+        // frontier and the base's leftovers carry base-stage bounds. All
+        // are valid lower bounds by the chaining condition.
+        let mut out: Vec<(usize, f64)> = self
+            .heap
+            .drain()
+            .map(|Reverse((Key(distance), id))| (id, distance))
+            .collect();
+        if let Some(item) = self.frontier.take() {
+            out.push(item);
+        }
+        out.extend(self.base.drain_computed());
+        out
     }
 }
 

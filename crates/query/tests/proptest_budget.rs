@@ -1,0 +1,180 @@
+//! Properties of budgeted execution: degraded rankings are principled
+//! (every bound is a valid lower bound of the exact EMD, ordered
+//! ascending, exact flags truthful), and an unlimited budget is
+//! bit-identical to the unbudgeted path.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{emd_rectangular, ground, Budget, CancelToken, Histogram};
+use emd_query::{
+    Database, EmdDistance, Executor, Filter, QueryOutcome, QueryPlan, ReducedEmdFilter,
+    ReducedImFilter,
+};
+use emd_reduction::{CombiningReduction, ReducedEmd};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, DIM).prop_filter_map("positive mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+/// The paper's standard two-stage chain (`Red-IM -> Red-EMD`) over an
+/// exact-EMD refiner: both solver-backed stages consult the budget.
+fn executor(database: &Database) -> Executor {
+    let reduced = ReducedEmd::new(
+        database.cost(),
+        CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap(),
+    )
+    .unwrap();
+    let stages: Vec<Box<dyn Filter>> = vec![
+        Box::new(ReducedImFilter::new(database, reduced.clone()).unwrap()),
+        Box::new(ReducedEmdFilter::new(database, reduced).unwrap()),
+    ];
+    let refiner = Box::new(EmdDistance::new(database).unwrap());
+    Executor::new(QueryPlan::new(stages, refiner).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under any pivot cap, a budgeted k-NN query either returns the
+    /// exact answer (bit-identical to the unbudgeted run) or degrades to
+    /// a ranking in which every bound is a valid lower bound of the
+    /// exact EMD, exact flags are truthful, and the order is ascending
+    /// `(bound, id)`.
+    #[test]
+    fn degraded_rankings_are_principled(
+        database in prop::collection::vec(histogram(), 4..12),
+        query in histogram(),
+        k in 1usize..5,
+        cap in 0u64..48,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let executor = executor(&database);
+        let (exact, _) = executor.knn(&query, k).unwrap();
+
+        let budget = Budget::unlimited().with_pivot_cap(cap);
+        let (outcome, _) = executor.knn_budgeted(&query, k, &budget).unwrap();
+        match outcome {
+            QueryOutcome::Exact(neighbors) => {
+                // The budget never fired: the answer is the exact answer,
+                // down to the last distance bit.
+                prop_assert_eq!(neighbors.len(), exact.len());
+                for (a, b) in neighbors.iter().zip(&exact) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                }
+            }
+            QueryOutcome::Degraded(result) => {
+                prop_assert!(result.candidates.len() <= k);
+                for pair in result.candidates.windows(2) {
+                    let earlier = (pair[0].bound, pair[0].id);
+                    let later = (pair[1].bound, pair[1].id);
+                    prop_assert!(earlier < later, "ranking not ascending: {earlier:?} vs {later:?}");
+                }
+                for candidate in &result.candidates {
+                    let object = database.get(candidate.id).unwrap();
+                    let distance = emd_rectangular(&query, object, database.cost()).unwrap();
+                    if candidate.exact {
+                        prop_assert_eq!(
+                            candidate.bound.to_bits(),
+                            distance.to_bits(),
+                            "exact-flagged bound must be the exact distance"
+                        );
+                    } else {
+                        prop_assert!(
+                            candidate.bound <= distance + 1e-9,
+                            "lower bound {} exceeds exact distance {} for object {}",
+                            candidate.bound, distance, candidate.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unlimited budgets take the exact unbudgeted code path: results are
+    /// bit-identical and never degraded.
+    #[test]
+    fn unlimited_budget_is_bit_identical(
+        database in prop::collection::vec(histogram(), 4..10),
+        query in histogram(),
+        k in 1usize..5,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let executor = executor(&database);
+        let (exact, exact_stats) = executor.knn(&query, k).unwrap();
+        let (outcome, stats) = executor.knn_budgeted(&query, k, &Budget::unlimited()).unwrap();
+        let neighbors = outcome.exact().expect("unlimited budget cannot degrade");
+        prop_assert_eq!(neighbors.len(), exact.len());
+        for (a, b) in neighbors.iter().zip(&exact) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        prop_assert_eq!(stats, exact_stats);
+    }
+
+    /// Degraded range answers only ever contain candidates whose bound is
+    /// within epsilon, and bounds stay valid lower bounds.
+    #[test]
+    fn degraded_range_respects_epsilon(
+        database in prop::collection::vec(histogram(), 4..10),
+        query in histogram(),
+        epsilon in 0.0_f64..3.0,
+        cap in 0u64..32,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let executor = executor(&database);
+        let budget = Budget::unlimited().with_pivot_cap(cap);
+        let (outcome, _) = executor.range_budgeted(&query, epsilon, &budget).unwrap();
+        if let QueryOutcome::Degraded(result) = outcome {
+            for candidate in &result.candidates {
+                prop_assert!(candidate.bound <= epsilon);
+                let object = database.get(candidate.id).unwrap();
+                let distance = emd_rectangular(&query, object, database.cost()).unwrap();
+                if candidate.exact {
+                    prop_assert_eq!(candidate.bound.to_bits(), distance.to_bits());
+                } else {
+                    prop_assert!(candidate.bound <= distance + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// A pre-cancelled budget degrades before any refinement: every
+    /// candidate is a non-exact filter bound (or the ranking is empty),
+    /// and re-running without a budget still yields the exact answer.
+    #[test]
+    fn cancellation_degrades_and_execution_recovers(
+        database in prop::collection::vec(histogram(), 4..10),
+        query in histogram(),
+        k in 1usize..5,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let executor = executor(&database);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let (outcome, _) = executor.knn_budgeted(&query, k, &budget).unwrap();
+        let result = outcome.degraded().expect("cancelled budget must degrade");
+        prop_assert_eq!(result.reason, emd_core::BudgetReason::Cancelled);
+        prop_assert!(result.candidates.iter().all(|c| !c.exact));
+
+        // Same executor, no budget: exact answer, full size.
+        let (exact, _) = executor.knn(&query, k).unwrap();
+        prop_assert_eq!(exact.len(), k.min(database.len()));
+    }
+}

@@ -4,7 +4,7 @@
 use crate::matrix::CombiningReduction;
 use crate::reduced_cost::reduce_cost_matrix;
 use crate::ReductionError;
-use emd_core::{emd_rectangular, CostMatrix, Histogram};
+use emd_core::{emd_rectangular, emd_rectangular_budgeted, Budget, CostMatrix, Histogram};
 
 /// A prepared reduced EMD: reduction matrices plus the optimal reduced
 /// cost matrix, ready to evaluate on histogram pairs.
@@ -112,6 +112,30 @@ impl ReducedEmd {
     /// reduced cost matrix or the small LP fails to solve.
     pub fn distance_reduced(&self, rx: &Histogram, ry: &Histogram) -> Result<f64, ReductionError> {
         Ok(emd_rectangular(rx, ry, &self.reduced_cost)?)
+    }
+
+    /// [`distance_reduced`](Self::distance_reduced) under an execution
+    /// [`Budget`]: the small LP probes the budget and bails out instead of
+    /// spinning. With `Budget::unlimited()` the result is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`distance_reduced`](Self::distance_reduced),
+    /// plus a typed `CoreError::BudgetExhausted` (wrapped in
+    /// [`ReductionError::Core`](crate::ReductionError)) when the budget
+    /// fires mid-solve.
+    pub fn distance_reduced_budgeted(
+        &self,
+        rx: &Histogram,
+        ry: &Histogram,
+        budget: &Budget,
+    ) -> Result<f64, ReductionError> {
+        Ok(emd_rectangular_budgeted(
+            rx,
+            ry,
+            &self.reduced_cost,
+            budget,
+        )?)
     }
 }
 

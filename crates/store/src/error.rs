@@ -100,6 +100,14 @@ impl StoreError {
         }
     }
 
+    /// Helper: the [`io::Error`] standing in for a fault-injected read —
+    /// deliberately indistinguishable in type from a real filesystem
+    /// failure, so the injection harness exercises the exact production
+    /// error path.
+    pub(crate) fn injected_read_fault() -> io::Error {
+        io::Error::other("injected read fault")
+    }
+
     /// Helper: an invariant violation inside `section` of `path`.
     pub(crate) fn invalid(
         path: impl Into<PathBuf>,

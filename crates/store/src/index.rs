@@ -156,18 +156,41 @@ pub fn save_index(
 /// engine invariant (shape disagreement, reduced cost mismatch,
 /// arena-length mismatch).
 pub fn open_index(dir: &Path) -> Result<StoredIndex, StoreError> {
+    open_index_with(dir, &emd_faultkit::NoFaults)
+}
+
+/// [`open_index`] with a deterministic fault injector probed before every
+/// file read (the manifest, then each segment in manifest order). An
+/// injected [`Fault::Io`](emd_faultkit::Fault) surfaces as the same
+/// [`StoreError::Io`] a real filesystem failure would, so the
+/// fault-injection harness can walk every read in the open path and
+/// assert each one maps to a typed error.
+///
+/// # Errors
+///
+/// Same failure modes as [`open_index`], plus injected IO faults.
+pub fn open_index_with(
+    dir: &Path,
+    faults: &dyn emd_faultkit::FaultInjector,
+) -> Result<StoredIndex, StoreError> {
     let _span = emd_obs::span("store.open");
     let manifest_path = dir.join(MANIFEST_FILE);
+    if let Some(emd_faultkit::Fault::Io) = faults.check(emd_faultkit::Site::StoreRead) {
+        return Err(StoreError::io(
+            &manifest_path,
+            StoreError::injected_read_fault(),
+        ));
+    }
     let manifest_text =
         std::fs::read_to_string(&manifest_path).map_err(|e| StoreError::io(&manifest_path, e))?;
     let manifest = Manifest::parse(&manifest_path, &manifest_text)?;
 
-    let (histograms, cost) = open_database_segment(&dir.join(&manifest.database))?;
+    let (histograms, cost) = open_database_segment(&dir.join(&manifest.database), faults)?;
 
     let mut reductions = Vec::with_capacity(manifest.reductions.len());
     for entry in &manifest.reductions {
         let path = dir.join(&entry.segment);
-        let bundle = open_reduction_segment(&path, &entry.name, &cost, histograms.len())?;
+        let bundle = open_reduction_segment(&path, &entry.name, &cost, histograms.len(), faults)?;
         reductions.push(bundle);
     }
 
@@ -181,8 +204,11 @@ pub fn open_index(dir: &Path) -> Result<StoredIndex, StoreError> {
 
 /// Open the database segment: histogram arena + original cost matrix,
 /// with the `Database::new` shape-agreement check.
-fn open_database_segment(path: &Path) -> Result<(Vec<Histogram>, CostMatrix), StoreError> {
-    let reader = SegmentReader::open(path)?;
+fn open_database_segment(
+    path: &Path,
+    faults: &dyn emd_faultkit::FaultInjector,
+) -> Result<(Vec<Histogram>, CostMatrix), StoreError> {
+    let reader = SegmentReader::open_with(path, faults)?;
     let arena = reader.typed_section(SectionKind::HistogramArena, SECTION_HISTOGRAMS)?;
     let (dim, histograms) =
         sections::decode_histogram_arena(path, SECTION_HISTOGRAMS, arena.payload())?;
@@ -208,8 +234,9 @@ fn open_reduction_segment(
     name: &str,
     cost: &CostMatrix,
     database_len: usize,
+    faults: &dyn emd_faultkit::FaultInjector,
 ) -> Result<PersistedReduction, StoreError> {
-    let reader = SegmentReader::open(path)?;
+    let reader = SegmentReader::open_with(path, faults)?;
     let r1_section = reader.typed_section(SectionKind::Reduction, SECTION_R1)?;
     let r1 = sections::decode_reduction(path, SECTION_R1, r1_section.payload())?;
     let r2_section = reader.typed_section(SectionKind::Reduction, SECTION_R2)?;

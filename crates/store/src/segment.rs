@@ -376,7 +376,27 @@ impl SegmentReader {
     /// payload fails CRC verification, and [`StoreError::Invalid`] for
     /// non-UTF-8 section names.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::open_with(path, &emd_faultkit::NoFaults)
+    }
+
+    /// [`SegmentReader::open`] with a deterministic fault injector probed
+    /// before the file read. An injected [`Fault::Io`](emd_faultkit::Fault)
+    /// surfaces as the same [`StoreError::Io`] a real read failure would —
+    /// the fault-injection test harness uses this to prove every IO
+    /// failure point maps to a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`SegmentReader::open`], plus the injected
+    /// IO fault.
+    pub fn open_with(
+        path: &Path,
+        faults: &dyn emd_faultkit::FaultInjector,
+    ) -> Result<Self, StoreError> {
         let _span = emd_obs::span_with(|| format!("store.read_segment({})", path.display()));
+        if let Some(emd_faultkit::Fault::Io) = faults.check(emd_faultkit::Site::StoreRead) {
+            return Err(StoreError::io(path, StoreError::injected_read_fault()));
+        }
         let buf = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
         emd_obs::counter_add("store.bytes_read", buf.len() as u64);
         let mut cursor = Cursor {

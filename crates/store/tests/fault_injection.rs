@@ -1,0 +1,131 @@
+//! Deterministic fault injection on the index open path.
+//!
+//! The open path performs one read per file: the manifest, the database
+//! segment, then each reduction segment in manifest order. These tests
+//! walk a `FailPlan` across every read position and assert that each
+//! injected fault surfaces as the typed [`StoreError::Io`] a real
+//! filesystem failure would produce — and that the very next open (no
+//! faults) succeeds, i.e. injection never corrupts on-disk state.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{ground, Histogram};
+use emd_faultkit::{FailPlan, FaultInjector, NoFaults, Site};
+use emd_reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
+use emd_store::{open_index, open_index_with, save_index, StoreError};
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("emd-store-faults-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a small index directory: manifest + database segment + one
+/// reduction segment = exactly three reads on the open path.
+fn build_index(dir: &Path) {
+    let cost = ground::linear(4).unwrap();
+    let histograms = vec![
+        Histogram::new(vec![1.0, 0.0, 0.0, 0.0]).unwrap(),
+        Histogram::new(vec![0.0, 0.5, 0.5, 0.0]).unwrap(),
+        Histogram::new(vec![0.25, 0.25, 0.25, 0.25]).unwrap(),
+    ];
+    let reduced =
+        ReducedEmd::new(&cost, CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap()).unwrap();
+    let bundle = PersistedReduction::precompute("kmed:2", reduced, &histograms).unwrap();
+    save_index(dir, "faulty", &histograms, &cost, &[bundle]).unwrap();
+}
+
+#[test]
+fn every_read_position_surfaces_a_typed_io_error() {
+    let dir = temp_dir("sweep");
+    build_index(&dir);
+
+    // Reads: 1 = manifest, 2 = database segment, 3 = reduction segment.
+    for k in 1..=3u64 {
+        let plan = FailPlan::new().fail_read(k);
+        let err = open_index_with(&dir, &plan).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Io { .. }),
+            "read {k}: expected StoreError::Io, got {err}"
+        );
+        assert_eq!(plan.reads_seen(), k, "injection stops at the failed read");
+
+        // The fault was transient and purely in-process: the same
+        // directory opens cleanly immediately afterwards.
+        let index = open_index(&dir).unwrap();
+        assert_eq!(index.name, "faulty");
+        assert_eq!(index.histograms.len(), 3);
+        assert_eq!(index.reductions.len(), 1);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_beyond_the_last_read_never_fires() {
+    let dir = temp_dir("beyond");
+    build_index(&dir);
+
+    let plan = FailPlan::new().fail_read(4);
+    let index = open_index_with(&dir, &plan).unwrap();
+    assert_eq!(index.name, "faulty");
+    assert_eq!(plan.reads_seen(), 3, "open path performs exactly 3 reads");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_faults_injector_is_transparent() {
+    let dir = temp_dir("transparent");
+    build_index(&dir);
+
+    let plain = open_index(&dir).unwrap();
+    let probed = open_index_with(&dir, &NoFaults).unwrap();
+    assert_eq!(plain.name, probed.name);
+    assert_eq!(plain.histograms.len(), probed.histograms.len());
+    assert_eq!(plain.cost, probed.cost);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_plans_are_deterministic_over_the_open_path() {
+    let dir = temp_dir("seeded");
+    build_index(&dir);
+
+    for seed in 0..32u64 {
+        let first = {
+            let plan = FailPlan::from_seed(seed);
+            open_index_with(&dir, &plan).map(|index| index.name)
+        };
+        let second = {
+            let plan = FailPlan::from_seed(seed);
+            open_index_with(&dir, &plan).map(|index| index.name)
+        };
+        match (first, second) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "seed {seed}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "seed {seed}"),
+            (a, b) => panic!("seed {seed} diverged: {a:?} vs {b:?}"),
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn worker_and_solve_sites_do_not_perturb_store_reads() {
+    let dir = temp_dir("othersites");
+    build_index(&dir);
+
+    // A plan arming only solver/worker failpoints must leave the store
+    // untouched.
+    let plan = FailPlan::new().exhaust_solve(1).panic_worker(0);
+    assert!(plan.check(Site::Solve).is_some());
+    let index = open_index_with(&dir, &plan).unwrap();
+    assert_eq!(index.histograms.len(), 3);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

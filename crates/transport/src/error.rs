@@ -1,5 +1,6 @@
 //! Error types for the transportation solvers.
 
+use crate::budget::BudgetReason;
 use std::fmt;
 
 /// Errors reported by the transportation solvers.
@@ -54,6 +55,14 @@ pub enum TransportError {
         /// Description of the violated invariant.
         detail: &'static str,
     },
+    /// The execution budget (deadline, pivot cap, or cancellation) was
+    /// exhausted before the solve converged. Unlike
+    /// [`IterationLimit`](Self::IterationLimit) this is not a pathology:
+    /// callers use it to degrade gracefully to already-computed bounds.
+    BudgetExhausted {
+        /// Which limit stopped the solve.
+        reason: BudgetReason,
+    },
 }
 
 /// Which side of the tableau an error refers to.
@@ -104,6 +113,9 @@ impl fmt::Display for TransportError {
             }
             TransportError::Internal { detail } => {
                 write!(f, "internal solver invariant violated: {detail}")
+            }
+            TransportError::BudgetExhausted { reason } => {
+                write!(f, "execution budget exhausted: {reason}")
             }
         }
     }

@@ -28,6 +28,17 @@
 //! which the paper needs for reduced EMDs with differing query/database
 //! dimensionalities (`R1 != R2`).
 //!
+//! ## Budgets
+//!
+//! [`solve_budgeted`] accepts a [`Budget`] (wall-clock deadline, shared
+//! pivot cap, cooperative [`CancelToken`]); the pivot loop probes it every
+//! [`budget::CHECK_INTERVAL`] pivots and returns
+//! [`TransportError::BudgetExhausted`] instead of spinning. The unbudgeted
+//! entry points delegate with `Budget::unlimited()` and stay bit-identical.
+//! Independently of any user budget, both solvers carry a hard iteration
+//! cap of `100 * (m + n)^2 + 4096` so a degenerate-cycling instance can
+//! never hang.
+//!
 //! ## Observability
 //!
 //! When an `emd-obs` recording scope is active (see `emd_obs::Recording`),
@@ -39,6 +50,7 @@
 //! queries that triggered it. Without a scope each record call costs one
 //! relaxed atomic load.
 
+pub mod budget;
 pub mod certify;
 mod error;
 mod problem;
@@ -47,10 +59,11 @@ pub mod ssp;
 mod tree;
 mod vogel;
 
+pub use budget::{Budget, BudgetReason, CancelToken};
 pub use certify::{certify_basis, certify_solution, CertificateViolation};
 pub use error::TransportError;
 pub use problem::{Solution, TransportProblem};
-pub use simplex::{solve, solve_with_options, SimplexOptions};
+pub use simplex::{hard_iteration_cap, solve, solve_budgeted, solve_with_options, SimplexOptions};
 pub use vogel::{initial_basis, InitialBasis};
 
 /// Absolute tolerance used throughout the crate for feasibility and

@@ -11,17 +11,33 @@
 //!    flow is shifted around the cycle until a basic cell hits zero, which
 //!    leaves the basis.
 
+use crate::budget::{Budget, BudgetReason, CHECK_INTERVAL};
 use crate::error::TransportError;
 use crate::problem::{Solution, TransportProblem};
 use crate::tree::BasisTree;
 use crate::vogel;
 use crate::EPS;
 
+/// Hard pivot cap applied regardless of [`SimplexOptions::max_iterations`]:
+/// `100 * (m + n)^2 + 4096`. Any requested limit is clamped to it, so a
+/// degenerate-cycling instance can never hang the process — it reports
+/// [`TransportError::IterationLimit`] instead. The default per-solve limit
+/// (`64 * (m + n) + 4096`) sits far below this cap for every tableau size,
+/// so normal solves are unaffected.
+#[must_use]
+pub fn hard_iteration_cap(m: usize, n: usize) -> usize {
+    100usize
+        .saturating_mul(m + n)
+        .saturating_mul(m + n)
+        .saturating_add(4096)
+}
+
 /// Tunables for [`solve_with_options`].
 #[derive(Debug, Clone, Copy)]
 pub struct SimplexOptions {
-    /// Hard cap on pivot iterations; `None` chooses `64 * (m + n) + 4096`,
-    /// far above what non-pathological instances need.
+    /// Cap on pivot iterations; `None` chooses `64 * (m + n) + 4096`,
+    /// far above what non-pathological instances need. Either way the
+    /// effective limit is clamped to [`hard_iteration_cap`].
     pub max_iterations: Option<usize>,
     /// Number of consecutive degenerate pivots after which the pricing rule
     /// switches from most-negative to Bland's anti-cycling rule.
@@ -62,8 +78,38 @@ pub fn solve_with_options(
     problem: &TransportProblem,
     options: SimplexOptions,
 ) -> Result<Solution, TransportError> {
+    solve_budgeted(problem, options, &Budget::unlimited())
+}
+
+/// Maps a failed budget probe to its typed error, counting it.
+fn budget_exhausted(reason: BudgetReason) -> TransportError {
+    emd_obs::counter_add("transport.budget_exhausted", 1);
+    TransportError::BudgetExhausted { reason }
+}
+
+/// Solve a transportation problem under an execution [`Budget`].
+///
+/// The budget is probed at solve entry and every
+/// [`CHECK_INTERVAL`](crate::budget::CHECK_INTERVAL) pivots; pivots are
+/// charged to the budget's shared pool so a cap spans all solves holding a
+/// clone. With `Budget::unlimited()` this is exactly
+/// [`solve_with_options`]: same pivots, same result, bit-identical.
+///
+/// # Errors
+///
+/// Returns [`TransportError::BudgetExhausted`] when the budget's deadline,
+/// pivot cap, or cancellation fires mid-solve;
+/// [`TransportError::IterationLimit`] when the per-solve pivot limit in
+/// `options` is exhausted before reaching optimality; and
+/// [`TransportError::Internal`] if a pivot cycle is structurally malformed.
+pub fn solve_budgeted(
+    problem: &TransportProblem,
+    options: SimplexOptions,
+    budget: &Budget,
+) -> Result<Solution, TransportError> {
     let _solve_span = emd_obs::span("transport.solve");
     emd_obs::counter_add("transport.solve.calls", 1);
+    budget.note_solve().map_err(budget_exhausted)?;
     let m = problem.num_sources();
     let n = problem.num_targets();
 
@@ -79,8 +125,11 @@ pub fn solve_with_options(
     let mut tree = BasisTree::new(m, n, &initial.cells);
     let max_iterations = options
         .max_iterations
-        .unwrap_or_else(|| 64 * (m + n) + 4096);
+        .unwrap_or_else(|| 64 * (m + n) + 4096)
+        .min(hard_iteration_cap(m, n));
     let tol = options.optimality_tolerance;
+    let limited = !budget.is_unlimited();
+    let mut pending_pivots: u64 = 0;
 
     // Scratch buffers reused across iterations.
     let mut u: Vec<f64> = Vec::new();
@@ -96,10 +145,22 @@ pub fn solve_with_options(
         let use_bland = degenerate_run >= options.degenerate_pivot_limit;
         let entering = find_entering(problem, &u, &v, tol, use_bland);
         let Some((ei, ej)) = entering else {
+            // Optimum reached: settle the uncharged pivot remainder so the
+            // shared pool stays accurate, but never fail a finished solve.
+            budget.settle_pivots(pending_pivots);
             let solution = extract_solution(problem, &tree);
             crate::certify::debug_certify_solution(problem, &solution, "simplex");
             return Ok(solution);
         };
+        if limited {
+            pending_pivots += 1;
+            if pending_pivots >= CHECK_INTERVAL {
+                budget
+                    .charge_pivots(pending_pivots)
+                    .map_err(budget_exhausted)?;
+                pending_pivots = 0;
+            }
+        }
         emd_obs::counter_add("transport.simplex.pivots", 1);
         if use_bland {
             emd_obs::counter_add("transport.simplex.bland_pivots", 1);
@@ -152,6 +213,7 @@ pub fn solve_with_options(
         }
     }
 
+    budget.settle_pivots(pending_pivots);
     Err(TransportError::IterationLimit {
         iterations: max_iterations,
     })
@@ -337,5 +399,100 @@ mod tests {
         let s = solve_unwrap(vec![0.5, 0.5], vec![0.5, 0.5], vec![0.0, 1.0, 1.0, 0.0]);
         assert!(s.flows.iter().all(|&(_, _, f)| f > 0.0));
         assert!(s.objective.abs() < 1e-12);
+    }
+
+    fn textbook_problem() -> TransportProblem {
+        TransportProblem::new(
+            vec![15.0, 25.0, 10.0],
+            vec![5.0, 15.0, 15.0, 15.0],
+            vec![
+                10.0, 2.0, 20.0, 11.0, //
+                12.0, 7.0, 9.0, 20.0, //
+                4.0, 14.0, 16.0, 18.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let problem = textbook_problem();
+        let plain = solve(&problem).unwrap();
+        let budgeted =
+            solve_budgeted(&problem, SimplexOptions::default(), &Budget::unlimited()).unwrap();
+        assert_eq!(plain.objective.to_bits(), budgeted.objective.to_bits());
+        assert_eq!(plain.flows, budgeted.flows);
+    }
+
+    #[test]
+    fn cancelled_budget_fails_at_entry() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err =
+            solve_budgeted(&textbook_problem(), SimplexOptions::default(), &budget).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::BudgetExhausted {
+                reason: BudgetReason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_entry() {
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let err =
+            solve_budgeted(&textbook_problem(), SimplexOptions::default(), &budget).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::BudgetExhausted {
+                reason: BudgetReason::Deadline
+            }
+        );
+    }
+
+    #[test]
+    fn pivot_pool_spans_successive_solves() {
+        // One solve settles its pivots into the shared pool without
+        // failing; the next solve's entry probe sees the exhausted cap.
+        let problem = textbook_problem();
+        let budget = Budget::unlimited().with_pivot_cap(1);
+        let first = solve_budgeted(&problem, SimplexOptions::default(), &budget).unwrap();
+        assert!(budget.pivots_used() >= 1, "textbook instance must pivot");
+        assert!(first.objective <= 455.0 + 1e-9);
+        // Each successful solve settles its pivots into the shared pool; once
+        // the pool exceeds the cap, the next solve fails at its entry probe.
+        let mut exhausted = None;
+        for _ in 0..8 {
+            if let Err(err) = solve_budgeted(&problem, SimplexOptions::default(), &budget) {
+                exhausted = Some(err);
+                break;
+            }
+        }
+        assert_eq!(
+            exhausted,
+            Some(TransportError::BudgetExhausted {
+                reason: BudgetReason::PivotCap
+            })
+        );
+    }
+
+    #[test]
+    fn requested_iteration_limit_is_clamped_to_hard_cap() {
+        // Even an effectively unbounded request cannot exceed the hard cap,
+        // so a degenerate-cycling instance reports IterationLimit with the
+        // clamped budget instead of hanging.
+        let problem = textbook_problem();
+        let solution = solve_with_options(
+            &problem,
+            SimplexOptions {
+                max_iterations: Some(usize::MAX),
+                ..SimplexOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(solution.check_feasible(&problem, 1e-9));
+        assert_eq!(hard_iteration_cap(3, 4), 100 * 49 + 4096);
     }
 }

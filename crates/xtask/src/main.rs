@@ -23,6 +23,10 @@
 //! 6. **Module docs** — every library-crate `.rs` file should open with a
 //!    `//!` module doc comment; files without one are counted against the
 //!    `[missing-module-docs]` ratchet budget.
+//! 7. **Failure-path zero-panic** — code that reports or injects failures
+//!    (`error.rs`, `budget.rs`, `outcome.rs`, and everything in the
+//!    `faultkit` crate) must never itself panic: every panic pattern there
+//!    is a finding outright, with no marker escape and no budget.
 //!
 //! The scanner is line-based: it strips `//` comments (outside string
 //! literals) and skips `#[cfg(test)]` blocks by brace counting. That is
@@ -39,7 +43,7 @@ use std::process::ExitCode;
 
 /// Library crates subject to the panic ban, indexing audit and
 /// `# Errors` docs lint.
-const LIBRARY_CRATES: [&str; 7] = [
+const LIBRARY_CRATES: [&str; 8] = [
     "transport",
     "core",
     "reduction",
@@ -47,6 +51,7 @@ const LIBRARY_CRATES: [&str; 7] = [
     "data",
     "obs",
     "store",
+    "faultkit",
 ];
 
 /// Solver hot paths subject to the float-discipline lint, relative to the
@@ -113,7 +118,7 @@ fn run_lint(write_budget: bool) -> Result<(), String> {
                 missing_docs += 1;
             }
             let lines = scan_lines(&text);
-            markers += check_panics(&file, &lines, &mut findings);
+            markers += check_panics(&file, &lines, is_failure_path(krate, &file), &mut findings);
             indexing += check_indexing(&lines);
             check_errors_docs(&file, &lines, &mut findings);
         }
@@ -349,17 +354,46 @@ const PANIC_PATTERNS: [(&str, &str); 6] = [
     ("unimplemented!(", "unimplemented! panics"),
 ];
 
+/// Whether a file sits on a failure path, where the panic ban is absolute:
+/// error types, budget plumbing, degraded-outcome types, and the whole
+/// fault-injection crate. Code that reports or injects failures must never
+/// itself be able to fail.
+fn is_failure_path(krate: &str, file: &Path) -> bool {
+    if krate == "faultkit" {
+        return true;
+    }
+    matches!(
+        file.file_name().and_then(|n| n.to_str()),
+        Some("error.rs" | "budget.rs" | "outcome.rs")
+    )
+}
+
 /// Panic ban. Returns the number of `// lint: allow(panic)` markers that
 /// excused a site (for the budget ratchet); unmarked sites become
-/// findings.
-fn check_panics(path: &Path, lines: &[ScanLine], findings: &mut Vec<Finding>) -> usize {
+/// findings. With `strict` (failure-path files) every site is a finding —
+/// markers do not excuse and are not counted.
+fn check_panics(
+    path: &Path,
+    lines: &[ScanLine],
+    strict: bool,
+    findings: &mut Vec<Finding>,
+) -> usize {
     let mut markers = 0usize;
     for (index, line) in lines.iter().enumerate() {
         for (pattern, why) in PANIC_PATTERNS {
             if !line.code.contains(pattern) {
                 continue;
             }
-            if has_marker(lines, index, "lint: allow(panic)") {
+            if strict {
+                findings.push(Finding {
+                    path: path.to_owned(),
+                    line: line.number,
+                    message: format!(
+                        "{why} in failure-path code; panics are banned outright \
+                         here (no marker escape) — return a value instead"
+                    ),
+                });
+            } else if has_marker(lines, index, "lint: allow(panic)") {
                 markers += 1;
             } else {
                 findings.push(Finding {
@@ -786,10 +820,45 @@ mod tests {
         let text = "fn a() { x.unwrap(); }\n// lint: allow(panic): fine\nfn b() { y.unwrap(); }\n";
         let lines = scan_lines(text);
         let mut findings = Vec::new();
-        let markers = check_panics(Path::new("t.rs"), &lines, &mut findings);
+        let markers = check_panics(Path::new("t.rs"), &lines, false, &mut findings);
         assert_eq!(markers, 1);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn failure_path_files_get_no_marker_escape() {
+        let text = "// lint: allow(panic): nope\nfn a() { x.unwrap(); }\n";
+        let lines = scan_lines(text);
+        let mut findings = Vec::new();
+        let markers = check_panics(Path::new("error.rs"), &lines, true, &mut findings);
+        assert_eq!(markers, 0);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("failure-path"));
+    }
+
+    #[test]
+    fn failure_path_classification() {
+        assert!(is_failure_path(
+            "query",
+            Path::new("crates/query/src/error.rs")
+        ));
+        assert!(is_failure_path(
+            "transport",
+            Path::new("crates/transport/src/budget.rs")
+        ));
+        assert!(is_failure_path(
+            "query",
+            Path::new("crates/query/src/outcome.rs")
+        ));
+        assert!(is_failure_path(
+            "faultkit",
+            Path::new("crates/faultkit/src/lib.rs")
+        ));
+        assert!(!is_failure_path(
+            "query",
+            Path::new("crates/query/src/knop.rs")
+        ));
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!                     --out index-dir [--sample N] [--seed S]
 //! flexemd query       --data data.json --reduction reduction.json
 //!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
+//!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
 //! flexemd query       --index index-dir
 //!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
+//!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `reduce` builds and stores a
@@ -24,10 +26,21 @@
 //! `--metrics` records an `emd-obs` registry over the query — per-stage
 //! spans, solver counters, lower-bound evaluations — and dumps it as
 //! schema-versioned JSON (`json` = stdout, anything else = a file path).
+//!
+//! `--deadline-ms` / `--max-pivots` put the query under an execution
+//! budget: if it fires, the best-effort ranking prints under a one-line
+//! `DEGRADED (<reason>)` banner and the process still exits 0. `--faults`
+//! injects deterministic failures (`read:K,solve:J,panic:W`) for
+//! resilience testing; an injected worker panic exits nonzero with a
+//! one-line diagnostic.
 
 use flexemd::core::Histogram;
 use flexemd::data::{io as dataio, Dataset};
-use flexemd::query::{Database, EmdDistance, Filter, Pipeline, ReducedEmdFilter, ReducedImFilter};
+use flexemd::faultkit::{FailPlan, InjectedPanic};
+use flexemd::query::{
+    Budget, Database, EmdDistance, Filter, Pipeline, Query, QueryOutcome, ReducedEmdFilter,
+    ReducedImFilter,
+};
 use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
@@ -87,8 +100,17 @@ USAGE:
                       --out index-dir [--sample N] [--seed S]
   flexemd query       --data data.json --reduction reduction.json
                       [--k K] [--query I] [--chain] [--metrics json|PATH]
+                      [--deadline-ms N] [--max-pivots N] [--faults SPEC]
   flexemd query       --index index-dir
-                      [--k K] [--query I] [--chain] [--metrics json|PATH]";
+                      [--k K] [--query I] [--chain] [--metrics json|PATH]
+                      [--deadline-ms N] [--max-pivots N] [--faults SPEC]
+
+Budgets: --deadline-ms / --max-pivots bound a query's wall clock / solver
+work; when a budget fires, the best-effort ranking prints under a
+`DEGRADED (<reason>)` banner and the exit code stays 0.
+Faults: SPEC is a comma list of read:K (fail the K-th index-file read),
+solve:J (exhaust the budget at the J-th solve), panic:W (panic in batch
+worker W) — deterministic failpoints for resilience testing.";
 
 /// Parsed `--key value` options (every option takes a value except
 /// `--chain`).
@@ -129,6 +151,16 @@ impl Options {
                 .parse()
                 .map_err(|_| format!("--{key} expects a number, got `{raw}`")),
             None => Ok(default),
+        }
+    }
+
+    fn optional_numeric<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.values.get(key) {
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key} expects a number, got `{raw}`")),
+            None => Ok(None),
         }
     }
 
@@ -347,16 +379,78 @@ fn build_index(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--faults` spec (`read:K,solve:J,panic:W`, any subset) into a
+/// deterministic failpoint plan, reporting whether a worker panic is
+/// armed (those route through the batch path, which isolates panics).
+fn parse_faults(spec: &str) -> Result<(FailPlan, bool), String> {
+    let mut plan = FailPlan::new();
+    let mut has_panic = false;
+    for part in spec.split(',') {
+        let (site, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault `{part}` (expected `site:index`)"))?;
+        match site {
+            "read" => {
+                let k = value
+                    .parse()
+                    .map_err(|_| format!("bad read index in fault `{part}`"))?;
+                plan = plan.fail_read(k);
+            }
+            "solve" => {
+                let j = value
+                    .parse()
+                    .map_err(|_| format!("bad solve index in fault `{part}`"))?;
+                plan = plan.exhaust_solve(j);
+            }
+            "panic" => {
+                let w = value
+                    .parse()
+                    .map_err(|_| format!("bad worker index in fault `{part}`"))?;
+                plan = plan.panic_worker(w);
+                has_panic = true;
+            }
+            other => return Err(format!("unknown fault site `{other}` in `{part}`")),
+        }
+    }
+    Ok((plan, has_panic))
+}
+
+/// Suppress the default panic-hook backtrace for *injected* panics only;
+/// the isolation layer converts them into typed errors, so the hook
+/// noise would drown the one-line diagnostic. Genuine panics still print.
+fn quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+            previous(info);
+        }
+    }));
+}
+
 fn query(options: &Options) -> Result<(), String> {
     let k = options.numeric("k", 10usize)?;
     let query_index = options.numeric("query", 0usize)?;
     let chain = options.flag("chain");
+    let deadline_ms: Option<u64> = options.optional_numeric("deadline-ms")?;
+    let max_pivots: Option<u64> = options.optional_numeric("max-pivots")?;
+    let (fault_plan, panic_armed) = match options.values.get("faults") {
+        Some(spec) => {
+            let (plan, has_panic) = parse_faults(spec)?;
+            quiet_injected_panics();
+            (Some(Arc::new(plan)), has_panic)
+        }
+        None => (None, false),
+    };
 
     // Either open a persisted index or rebuild the pipeline from JSON
     // artifacts. Both paths produce identical stages (same reductions,
     // same stage names), so results and per-stage candidate counts match.
     let (database, stages, labels) = if let Some(index_dir) = options.values.get("index") {
-        let opened = Database::open(Path::new(index_dir)).map_err(|e| e.to_string())?;
+        let opened = match &fault_plan {
+            Some(plan) => Database::open_with(Path::new(index_dir), plan.as_ref()),
+            None => Database::open(Path::new(index_dir)),
+        }
+        .map_err(|e| e.to_string())?;
         let database = opened.database;
         let mut reductions = opened.reductions.into_iter();
         let bundle = reductions
@@ -410,12 +504,43 @@ fn query(options: &Options) -> Result<(), String> {
     let query = database
         .get(query_index)
         .ok_or_else(|| format!("--query index {query_index} out of range"))?;
+
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = max_pivots {
+        budget = budget.with_pivot_cap(cap);
+    }
+    if let Some(plan) = &fault_plan {
+        budget = budget.with_faults(plan.clone());
+    }
+
     let metrics = options.values.get("metrics").cloned();
     let recording = metrics
         .as_ref()
         .map(|_| flexemd::obs::Recording::with_events());
     let started = std::time::Instant::now();
-    let (neighbors, stats) = pipeline.knn(query, k).map_err(|e| e.to_string())?;
+    let (outcome, stats) = if panic_armed {
+        // Worker failpoints only fire in the batch path: run the query as
+        // a batch of one with panic isolation, so an injected panic
+        // surfaces as a typed one-line diagnostic (nonzero exit), not a
+        // crashed process.
+        let executor = pipeline
+            .into_executor()
+            .with_faults(fault_plan.unwrap_or_else(|| Arc::new(FailPlan::new())));
+        let workload = [Query::knn(query.clone(), k)];
+        let (mut results, stats) = executor.run_batch_isolated(&workload, 1);
+        match results.pop() {
+            Some(Ok(neighbors)) => (QueryOutcome::Exact(neighbors), stats),
+            Some(Err(e)) => return Err(e.to_string()),
+            None => return Err("batch produced no result".to_owned()),
+        }
+    } else {
+        pipeline
+            .knn_budgeted(query, k, &budget)
+            .map_err(|e| e.to_string())?
+    };
     let elapsed = started.elapsed();
     let registry = recording.map(flexemd::obs::Recording::finish);
 
@@ -428,13 +553,31 @@ fn query(options: &Options) -> Result<(), String> {
         ),
         None => println!("{k}-NN of object {query_index}:"),
     }
-    for n in &neighbors {
-        match &labels {
-            Some(labels) => println!(
-                "  #{:<5} distance {:<10.5} class {}",
-                n.id, n.distance, labels[n.id]
-            ),
-            None => println!("  #{:<5} distance {:<10.5}", n.id, n.distance),
+    match &outcome {
+        QueryOutcome::Exact(neighbors) => {
+            for n in neighbors {
+                match &labels {
+                    Some(labels) => println!(
+                        "  #{:<5} distance {:<10.5} class {}",
+                        n.id, n.distance, labels[n.id]
+                    ),
+                    None => println!("  #{:<5} distance {:<10.5}", n.id, n.distance),
+                }
+            }
+        }
+        QueryOutcome::Degraded(result) => {
+            println!(
+                "DEGRADED ({}): best-effort ranking by tightest known lower bound",
+                result.reason
+            );
+            for c in &result.candidates {
+                println!(
+                    "  #{:<5} bound    {:<10.5} {}",
+                    c.id,
+                    c.bound,
+                    if c.exact { "exact" } else { "lower bound" }
+                );
+            }
         }
     }
     println!();

@@ -18,6 +18,7 @@
 //! * [`query`] — multistep filter-and-refine query processing (KNOP)
 //! * [`store`] — checksummed on-disk index segments (`flexemd-store/v1`)
 //! * [`obs`] — metrics registry and span tracing for the whole stack
+//! * [`faultkit`] — deterministic fault injection for resilience testing
 //!
 //! # Example
 //!
@@ -75,6 +76,7 @@
 
 pub use emd_core as core;
 pub use emd_data as data;
+pub use emd_faultkit as faultkit;
 pub use emd_obs as obs;
 pub use emd_query as query;
 pub use emd_reduction as reduction;

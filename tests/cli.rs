@@ -257,6 +257,204 @@ fn query_missing_index_is_one_line_diagnostic() {
     assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
 }
 
+/// Shared fixture for the governance tests: corpus + reduction in a
+/// directory of their own.
+fn corpus_and_reduction(
+    name: &str,
+) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+    let dir = temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("corpus.json");
+    let reduction = dir.join("reduction.json");
+    let generate = flexemd()
+        .args(["generate", "--kind", "gaussian", "--out"])
+        .arg(&data)
+        .args(["--classes", "3", "--per-class", "10", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(generate.status.success());
+    let reduce = flexemd()
+        .arg("reduce")
+        .arg("--data")
+        .arg(&data)
+        .args(["--method", "kmed", "--dims", "6", "--out"])
+        .arg(&reduction)
+        .output()
+        .unwrap();
+    assert!(
+        reduce.status.success(),
+        "reduce failed: {}",
+        String::from_utf8_lossy(&reduce.stderr)
+    );
+    (dir, data, reduction)
+}
+
+#[test]
+fn zero_deadline_degrades_with_banner_and_exit_zero() {
+    let (dir, data, reduction) = corpus_and_reduction("deadline");
+
+    // A deadline of 0 ms fires at the first budget probe: deterministic
+    // degradation, still a successful exit.
+    let out = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--deadline-ms", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "degraded query must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let banners = stdout
+        .lines()
+        .filter(|l| l.starts_with("DEGRADED (deadline)"))
+        .count();
+    assert_eq!(banners, 1, "exactly one banner line: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pivot_cap_degrades_to_lower_bound_ranking() {
+    let (dir, data, reduction) = corpus_and_reduction("pivots");
+
+    let out = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--max-pivots", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "degraded query must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("DEGRADED (pivot cap)"), "{stdout}");
+    // Degraded rows render bounds, not exact distances.
+    assert!(stdout.contains("bound"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generous_budget_matches_unbudgeted_output() {
+    let (dir, data, reduction) = corpus_and_reduction("generous");
+
+    let run = |extra: &[&str]| -> String {
+        let out = flexemd()
+            .arg("query")
+            .arg("--data")
+            .arg(&data)
+            .arg("--reduction")
+            .arg(&reduction)
+            .args(["--k", "3", "--query", "1"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "query failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let unbudgeted = run(&[]);
+    let budgeted = run(&["--deadline-ms", "60000", "--max-pivots", "100000000"]);
+    assert_eq!(
+        unbudgeted, budgeted,
+        "generous budget must not change results"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_worker_panic_is_one_line_nonzero_exit() {
+    let (dir, data, reduction) = corpus_and_reduction("panic");
+
+    let out = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--k", "3", "--query", "1", "--faults", "panic:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "worker panic must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("worker 0 panicked"), "{stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "one-line diagnostic: {stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_read_fault_fails_index_open_then_clean_open_works() {
+    let (dir, data, _reduction) = corpus_and_reduction("readfault");
+    let index = dir.join("index");
+
+    let build = flexemd()
+        .arg("build-index")
+        .arg("--data")
+        .arg(&data)
+        .args(["--reductions", "kmed:6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        build.status.success(),
+        "build-index failed: {}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    let faulted = flexemd()
+        .arg("query")
+        .arg("--index")
+        .arg(&index)
+        .args(["--k", "3", "--query", "1", "--faults", "read:1"])
+        .output()
+        .unwrap();
+    assert!(!faulted.status.success(), "injected read fault must fail");
+    let stderr = String::from_utf8_lossy(&faulted.stderr).to_string();
+    assert!(stderr.contains("injected read fault"), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+
+    // Clean open right after: injection never touches the directory.
+    let clean = flexemd()
+        .arg("query")
+        .arg("--index")
+        .arg(&index)
+        .args(["--k", "3", "--query", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        clean.status.success(),
+        "clean query failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn rejects_bad_input() {
     let unknown = flexemd().arg("frobnicate").output().unwrap();
