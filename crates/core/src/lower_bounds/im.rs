@@ -37,15 +37,17 @@ impl LbIm {
         let mut row_order = Vec::with_capacity(rows);
         for i in 0..rows {
             let row = cost.row(i);
-            let mut order: Vec<u32> = (0..cols as u32).collect();
-            order.sort_by(|&a, &b| row[a as usize].total_cmp(&row[b as usize]));
-            row_order.push(order);
+            let mut order: Vec<usize> = (0..cols).collect();
+            order.sort_by(|&a, &b| row[a].total_cmp(&row[b]));
+            // lint: allow(lossy-cast): dim < 2^32, so bin indices fit u32 exactly
+            row_order.push(order.into_iter().map(|j| j as u32).collect());
         }
         let mut col_order = Vec::with_capacity(cols);
         for j in 0..cols {
-            let mut order: Vec<u32> = (0..rows as u32).collect();
-            order.sort_by(|&a, &b| cost.at(a as usize, j).total_cmp(&cost.at(b as usize, j)));
-            col_order.push(order);
+            let mut order: Vec<usize> = (0..rows).collect();
+            order.sort_by(|&a, &b| cost.at(a, j).total_cmp(&cost.at(b, j)));
+            // lint: allow(lossy-cast): dim < 2^32, so bin indices fit u32 exactly
+            col_order.push(order.into_iter().map(|i| i as u32).collect());
         }
         LbIm {
             cost,
@@ -89,12 +91,14 @@ impl LbIm {
             let mut remaining = mass;
             let row = self.cost.row(i);
             for &j in &self.row_order[i] {
-                let capacity = y.mass(j as usize);
+                // lint: allow(lossy-cast): u32 bin index widens losslessly to usize
+                let j = j as usize;
+                let capacity = y.mass(j);
                 if capacity <= 0.0 {
                     continue;
                 }
                 let shipped = remaining.min(capacity);
-                total += shipped * row[j as usize];
+                total += shipped * row[j];
                 remaining -= shipped;
                 if remaining <= 0.0 {
                     break;
@@ -111,12 +115,14 @@ impl LbIm {
         for (j, mass) in y.nonzero() {
             let mut remaining = mass;
             for &i in &self.col_order[j] {
-                let capacity = x.mass(i as usize);
+                // lint: allow(lossy-cast): u32 bin index widens losslessly to usize
+                let i = i as usize;
+                let capacity = x.mass(i);
                 if capacity <= 0.0 {
                     continue;
                 }
                 let shipped = remaining.min(capacity);
-                total += shipped * self.cost.at(i as usize, j);
+                total += shipped * self.cost.at(i, j);
                 remaining -= shipped;
                 if remaining <= 0.0 {
                     break;

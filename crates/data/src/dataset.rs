@@ -32,6 +32,62 @@ serde::impl_serde_struct!(Dataset {
     positions,
 });
 
+/// The first internal inconsistency found by [`Dataset::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// `histograms` and `labels` have different lengths.
+    LabelCountMismatch {
+        /// Number of histograms in the corpus.
+        histograms: usize,
+        /// Number of labels in the corpus.
+        labels: usize,
+    },
+    /// The ground-distance matrix is not square.
+    CostNotSquare,
+    /// A histogram's dimensionality disagrees with the cost matrix.
+    DimMismatch {
+        /// Index of the offending histogram.
+        index: usize,
+        /// Its dimensionality.
+        found: usize,
+        /// The corpus dimensionality implied by the cost matrix.
+        expected: usize,
+    },
+    /// `positions` is present but does not have one entry per bin.
+    PositionCountMismatch {
+        /// Number of positions supplied.
+        positions: usize,
+        /// Number of bins in the corpus.
+        bins: usize,
+    },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::LabelCountMismatch { histograms, labels } => {
+                write!(f, "{histograms} histograms but {labels} labels")
+            }
+            ValidateError::CostNotSquare => write!(f, "cost matrix must be square"),
+            ValidateError::DimMismatch {
+                index,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "histogram {index} has dimensionality {found} != {expected}"
+                )
+            }
+            ValidateError::PositionCountMismatch { positions, bins } => {
+                write!(f, "{positions} positions for {bins} bins")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 impl Dataset {
     /// Number of objects.
     pub fn len(&self) -> usize {
@@ -53,29 +109,33 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first inconsistency found:
-    /// a shape mismatch, a non-normalized histogram, or an invalid cost entry.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency found as a [`ValidateError`]:
+    /// a shape mismatch, a non-square cost matrix, or a position/bin
+    /// count disagreement.
+    pub fn validate(&self) -> Result<(), ValidateError> {
         if self.histograms.len() != self.labels.len() {
-            return Err(format!(
-                "{} histograms but {} labels",
-                self.histograms.len(),
-                self.labels.len()
-            ));
+            return Err(ValidateError::LabelCountMismatch {
+                histograms: self.histograms.len(),
+                labels: self.labels.len(),
+            });
         }
         if !self.cost.is_square() {
-            return Err("cost matrix must be square".into());
+            return Err(ValidateError::CostNotSquare);
         }
         let dim = self.cost.rows();
         if let Some(bad) = self.histograms.iter().position(|h| h.dim() != dim) {
-            return Err(format!(
-                "histogram {bad} has dimensionality {} != {dim}",
-                self.histograms[bad].dim()
-            ));
+            return Err(ValidateError::DimMismatch {
+                index: bad,
+                found: self.histograms[bad].dim(),
+                expected: dim,
+            });
         }
         if let Some(positions) = &self.positions {
             if positions.len() != dim {
-                return Err(format!("{} positions for {dim} bins", positions.len()));
+                return Err(ValidateError::PositionCountMismatch {
+                    positions: positions.len(),
+                    bins: dim,
+                });
             }
         }
         Ok(())

@@ -3,7 +3,7 @@
 //! Corpora and workloads are stored as JSON so experiment runs are
 //! reproducible and individual artifacts can be inspected by hand.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, ValidateError};
 use crate::workload::Workload;
 use std::fs;
 use std::io;
@@ -29,7 +29,7 @@ pub enum IoError {
         source: serde_json::Error,
     },
     /// The payload parsed but is internally inconsistent.
-    Invalid(String),
+    Invalid(ValidateError),
 }
 
 impl std::fmt::Display for IoError {
@@ -41,7 +41,7 @@ impl std::fmt::Display for IoError {
             IoError::Json { path, source } => {
                 write!(f, "json error in {}: {source}", path.display())
             }
-            IoError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+            IoError::Invalid(source) => write!(f, "invalid dataset: {source}"),
         }
     }
 }
@@ -51,7 +51,7 @@ impl std::error::Error for IoError {
         match self {
             IoError::Io { source, .. } => Some(source),
             IoError::Json { source, .. } => Some(source),
-            IoError::Invalid(_) => None,
+            IoError::Invalid(source) => Some(source),
         }
     }
 }

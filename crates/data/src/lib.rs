@@ -36,5 +36,5 @@ pub mod tiling;
 mod util;
 pub mod workload;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, ValidateError};
 pub use workload::Workload;

@@ -213,6 +213,7 @@ impl DynamicIndex {
     ///
     /// Returns [`QueryError`] on `k = 0`, an empty index, a query shape
     /// mismatch, or if an exact EMD refinement fails.
+    // lint: allow(unbudgeted): convenience twin; budgets enter via run_budgeted.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -231,6 +232,7 @@ impl DynamicIndex {
     ///
     /// Returns [`QueryError`] on a negative or non-finite `epsilon`, an
     /// empty index, a query shape mismatch, or a refinement failure.
+    // lint: allow(unbudgeted): convenience twin; budgets enter via run_budgeted.
     pub fn range(
         &self,
         query: &Histogram,
@@ -274,6 +276,7 @@ impl DynamicSnapshot {
     ///
     /// Returns [`QueryError`] under the same conditions as
     /// [`Executor::knn`].
+    // lint: allow(unbudgeted): convenience twin; budgets enter via run_budgeted.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -289,6 +292,7 @@ impl DynamicSnapshot {
     ///
     /// Returns [`QueryError`] under the same conditions as
     /// [`Executor::range`].
+    // lint: allow(unbudgeted): convenience twin; budgets enter via run_budgeted.
     pub fn range(
         &self,
         query: &Histogram,

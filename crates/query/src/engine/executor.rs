@@ -96,6 +96,7 @@ impl Executor {
     ///
     /// Returns [`QueryError`] for `k = 0`, a query shape mismatch, or a
     /// filter/refiner failure mid-query.
+    // lint: allow(unbudgeted): convenience twin of run_budgeted with Budget::unlimited().
     pub fn knn(
         &self,
         query: &Histogram,
@@ -110,6 +111,7 @@ impl Executor {
     ///
     /// Returns [`QueryError`] for a negative or non-finite `epsilon`, a
     /// query shape mismatch, or a filter/refiner failure mid-query.
+    // lint: allow(unbudgeted): convenience twin of run_budgeted with Budget::unlimited().
     pub fn range(
         &self,
         query: &Histogram,
@@ -124,6 +126,7 @@ impl Executor {
     ///
     /// Returns [`QueryError`] under the same conditions as [`Executor::knn`]
     /// and [`Executor::range`].
+    // lint: allow(unbudgeted): convenience twin of run_budgeted with Budget::unlimited().
     pub fn run(&self, query: &Query) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
         self.execute(&query.histogram, query.mode)
     }
@@ -196,6 +199,7 @@ impl Executor {
     /// poisons the whole batch: it surfaces as
     /// [`QueryError::WorkerPanicked`] on the affected queries (and this
     /// wrapper then reports the first of them).
+    // lint: allow(unbudgeted): batch wrapper; per-query budgets ride run_budgeted.
     pub fn run_batch(
         &self,
         queries: &[Query],
@@ -219,6 +223,13 @@ impl Executor {
     /// queries — including later queries on the same worker thread — run
     /// to completion, and their stats merge in chunk order exactly as in
     /// the non-isolated path, so totals for survivors are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// The call itself never fails; each query's slot carries its own
+    /// [`QueryError`], including [`QueryError::WorkerPanicked`] for
+    /// panics caught in that worker.
+    // lint: allow(unbudgeted): batch wrapper; per-query budgets ride run_budgeted.
     pub fn run_batch_isolated(
         &self,
         queries: &[Query],
@@ -254,6 +265,8 @@ impl Executor {
             QueryStats,
             Option<emd_obs::MetricsRegistry>,
         );
+        // lint: allow(nondeterminism): chunk outputs join in spawn order, so
+        // batch results and counter totals match a sequential run exactly.
         let chunk_results: Vec<ChunkOutput> = std::thread::scope(|scope| {
             // Spawn every chunk before joining any: joining lazily off the
             // spawn iterator would serialize the batch.

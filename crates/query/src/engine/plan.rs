@@ -35,6 +35,7 @@ pub struct Query {
 
 impl Query {
     /// A k-nearest-neighbor query.
+    // lint: allow(unbudgeted): plan constructor; executes nothing itself.
     pub fn knn(histogram: Histogram, k: usize) -> Self {
         Query {
             histogram,
@@ -43,6 +44,7 @@ impl Query {
     }
 
     /// A range query.
+    // lint: allow(unbudgeted): plan constructor; executes nothing itself.
     pub fn range(histogram: Histogram, epsilon: f64) -> Self {
         Query {
             histogram,

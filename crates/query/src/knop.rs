@@ -29,6 +29,7 @@ use emd_core::{Budget, BudgetReason};
 ///
 /// Returns [`QueryError::ZeroK`] for `k = 0` and propagates ranking or
 /// refiner failures.
+// lint: allow(unbudgeted): inner kernel; the executor meters it via Budget probes.
 pub fn knn(
     ranking: &mut dyn Ranking,
     refiner: &mut dyn PreparedFilter,
@@ -85,6 +86,7 @@ pub fn knn(
 /// # Errors
 ///
 /// Propagates ranking or refiner failures.
+// lint: allow(unbudgeted): inner kernel; the executor meters it via Budget probes.
 pub fn range(
     ranking: &mut dyn Ranking,
     refiner: &mut dyn PreparedFilter,

@@ -85,6 +85,7 @@ impl Pipeline {
     ///
     /// Returns [`QueryError`] on `k = 0`, a query shape mismatch, or when
     /// a filter or the exact refiner fails mid-query.
+    // lint: allow(unbudgeted): convenience twin; knn_budgeted threads a Budget.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -99,6 +100,7 @@ impl Pipeline {
     ///
     /// Returns [`QueryError`] on a query shape mismatch, a negative
     /// `epsilon`, or a filter/refiner failure mid-query.
+    // lint: allow(unbudgeted): convenience twin; range_budgeted threads a Budget.
     pub fn range(
         &self,
         query: &Histogram,

@@ -102,6 +102,7 @@ impl VpTree {
     ///
     /// Returns [`QueryError`] on query shape mismatch or when a distance
     /// computation fails during traversal.
+    // lint: allow(unbudgeted): baseline structure for comparison experiments only.
     pub fn knn(
         &self,
         query: &Histogram,
@@ -131,6 +132,7 @@ impl VpTree {
     ///
     /// Returns [`QueryError`] on query shape mismatch, a negative `epsilon`, or
     /// a failed distance computation during traversal.
+    // lint: allow(unbudgeted): baseline structure for comparison experiments only.
     pub fn range(
         &self,
         query: &Histogram,

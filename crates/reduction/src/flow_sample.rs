@@ -101,6 +101,8 @@ impl FlowSample {
 
         let mut accumulator = FlowAccumulator::new(dim);
         #[allow(clippy::expect_used)]
+        // lint: allow(nondeterminism): partials merge in fixed chunk order, so
+        // the accumulated flow matrix is bit-identical at any thread count.
         let partials = std::thread::scope(|scope| {
             let chunk = pairs.len().div_ceil(threads);
             pairs

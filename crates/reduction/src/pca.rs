@@ -39,7 +39,7 @@ pub fn pca(sample: &[Histogram], m: usize) -> Result<Pca, ReductionError> {
     if sample.len() < 2 {
         return Err(ReductionError::SampleTooSmall(sample.len()));
     }
-    let d = sample[0].dim();
+    let d = sample[0].dim(); // bounds: sample.len() >= 2 was checked above
     for h in sample {
         if h.dim() != d {
             return Err(ReductionError::DimensionMismatch {
@@ -52,18 +52,18 @@ pub fn pca(sample: &[Histogram], m: usize) -> Result<Pca, ReductionError> {
     let mut mean = vec![0.0; d];
     for h in sample {
         for (i, &x) in h.bins().iter().enumerate() {
-            mean[i] += x / n;
+            mean[i] += x / n; // bounds: every histogram was checked to have dim d = mean.len()
         }
     }
     let mut covariance = vec![0.0; d * d];
     for h in sample {
         for i in 0..d {
-            let di = h.mass(i) - mean[i];
+            let di = h.mass(i) - mean[i]; // bounds: i < d sizes mean and the covariance rows
             if di == 0.0 {
                 continue;
             }
             for j in 0..d {
-                covariance[i * d + j] += di * (h.mass(j) - mean[j]) / n;
+                covariance[i * d + j] += di * (h.mass(j) - mean[j]) / n; // bounds: i, j < d index the d*d covariance buffer
             }
         }
     }
@@ -80,7 +80,7 @@ pub fn pca(sample: &[Histogram], m: usize) -> Result<Pca, ReductionError> {
         // Deflate: work -= value * v v^T.
         for i in 0..d {
             for j in 0..d {
-                work[i * d + j] -= value * vector[i] * vector[j];
+                work[i * d + j] -= value * vector[i] * vector[j]; // bounds: i, j < d index the d*d work buffer
             }
         }
         components.push(vector);
@@ -104,7 +104,7 @@ fn dominant_eigenpair(matrix: &[f64], d: usize, seed: usize) -> (Vec<f64>, f64) 
     let mut product = vec![0.0; d];
     for _ in 0..200 {
         for i in 0..d {
-            product[i] = matrix[i * d..(i + 1) * d]
+            product[i] = matrix[i * d..(i + 1) * d] // bounds: i < d and the matrix holds d*d entries
                 .iter()
                 .zip(v.iter())
                 .map(|(m, x)| m * x)
@@ -146,7 +146,7 @@ pub fn pca_guided_reduction(
     if sample.is_empty() {
         return Err(ReductionError::SampleTooSmall(0));
     }
-    let d = sample[0].dim();
+    let d = sample[0].dim(); // bounds: sample.is_empty() was rejected above
     if k == 0 || k > d {
         return Err(ReductionError::InvalidTargetDimension {
             original_dim: d,
@@ -160,7 +160,7 @@ pub fn pca_guided_reduction(
     let loadings: Vec<Vec<f64>> = (0..d)
         .map(|i| {
             (0..m)
-                .map(|c| decomposition.components[c][i] * decomposition.eigenvalues[c].sqrt())
+                .map(|c| decomposition.components[c][i] * decomposition.eigenvalues[c].sqrt()) // bounds: c < m components, i < d loadings per component
                 .collect()
         })
         .collect();
@@ -174,7 +174,7 @@ fn kmeans(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<usize> {
     let dim = points.first().map_or(0, Vec::len);
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);
-    let mut centers: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points[i].clone()).collect();
+    let mut centers: Vec<Vec<f64>> = indices[..k].iter().map(|&i| points[i].clone()).collect(); // bounds: kmeans callers guarantee k <= points.len() = n
     let mut assignment = vec![0usize; n];
 
     for _ in 0..100 {
@@ -188,7 +188,9 @@ fn kmeans(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<usize> {
                 })
                 .map(|(c, _)| c)
                 .unwrap_or(0);
+            // bounds: i iterates 0..rows = assignment.len()
             if assignment[i] != nearest {
+                // bounds: i < n = assignment.len(); nearest < k centers
                 assignment[i] = nearest;
                 changed = true;
             }
@@ -198,29 +200,31 @@ fn kmeans(points: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<usize> {
         let mut counts = vec![0usize; k];
         let mut sums = vec![vec![0.0; dim]; k];
         for (i, point) in points.iter().enumerate() {
-            counts[assignment[i]] += 1;
+            counts[assignment[i]] += 1; // bounds: assignments are < k and points have dim axes
             for (axis, &x) in point.iter().enumerate() {
-                sums[assignment[i]][axis] += x;
+                sums[assignment[i]][axis] += x; // bounds: assignments are < k and points have dim axes
             }
         }
         for c in 0..k {
+            // bounds: c < k = counts.len()
             if counts[c] == 0 {
+                // bounds: c < k sizes counts, sums and centers
                 let farthest = (0..n)
-                    .filter(|&i| counts[assignment[i]] > 1)
+                    .filter(|&i| counts[assignment[i]] > 1) // bounds: assignments are < k; i ranges over 0..n
                     .max_by(|&a, &b| {
-                        squared_distance(&points[a], &centers[assignment[a]])
+                        squared_distance(&points[a], &centers[assignment[a]]) // bounds: a, b < n and assignments are < k
                             .total_cmp(&squared_distance(&points[b], &centers[assignment[b]]))
                     });
                 if let Some(i) = farthest {
-                    counts[assignment[i]] -= 1;
+                    counts[assignment[i]] -= 1; // bounds: i < n and c < k index assignment/counts/centers
                     counts[c] = 1;
-                    assignment[i] = c;
+                    assignment[i] = c; // bounds: i < n and c < k index assignment/counts/centers
                     centers[c] = points[i].clone();
                     changed = true;
                 }
             } else {
                 for axis in 0..dim {
-                    centers[c][axis] = sums[c][axis] / counts[c] as f64;
+                    centers[c][axis] = sums[c][axis] / counts[c] as f64; // bounds: c < k and axis < dim size the center buffers
                 }
             }
         }

@@ -14,8 +14,8 @@ fn table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
+        for (i, entry) in (0u32..).zip(table.iter_mut()) {
+            let mut crc = i;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 {
                     (crc >> 1) ^ POLYNOMIAL
@@ -46,6 +46,7 @@ impl Hasher {
     pub fn update(&mut self, bytes: &[u8]) {
         let table = table();
         for &byte in bytes {
+            // lint: allow(lossy-cast): masked to 8 bits, so u32 -> usize is exact
             let index = ((self.state ^ u32::from(byte)) & 0xFF) as usize;
             // bounds: index is masked to 0..256 and the table has 256 entries.
             self.state = (self.state >> 8) ^ table[index];

@@ -6,6 +6,11 @@
 //! writer) beats pulling a serialization stack into the storage layer.
 //! Errors are plain strings with a byte offset; [`crate::manifest`]
 //! wraps them into [`crate::StoreError::Manifest`] with the file path.
+//!
+//! lint: allow(error-taxonomy, file): the parser's `Err(String)` sites are
+//! internal diagnostics converted to the typed `StoreError::Manifest` at
+//! the crate boundary; a per-production error enum would add ~15 variants
+//! for zero caller benefit.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -113,6 +113,8 @@ impl Budget {
     /// Adds a wall-clock deadline `timeout` from now.
     #[must_use]
     pub fn with_deadline(self, timeout: Duration) -> Self {
+        // lint: allow(nondeterminism): the wall clock IS the deadline contract;
+        // results stay deterministic because expiry degrades, never reorders.
         self.with_deadline_at(Instant::now() + timeout)
     }
 
@@ -178,6 +180,8 @@ impl Budget {
             }
         }
         if let Some(deadline) = self.deadline {
+            // lint: allow(nondeterminism): deadline probe; callers surface
+            // expiry as a degraded Outcome, never as a different answer.
             if Instant::now() >= deadline {
                 return Err(BudgetReason::Deadline);
             }
@@ -221,6 +225,7 @@ impl Budget {
     /// Returns [`BudgetReason::Injected`] when an attached fault plan fires
     /// at this solve occurrence, otherwise whatever [`check`](Self::check)
     /// reports.
+    // lint: allow(unbudgeted): this method lives on Budget itself.
     pub fn note_solve(&self) -> Result<(), BudgetReason> {
         if let Some(faults) = &self.faults {
             if matches!(faults.check(Site::Solve), Some(Fault::BudgetExhausted)) {

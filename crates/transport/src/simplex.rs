@@ -63,6 +63,7 @@ impl Default for SimplexOptions {
 /// Propagates any [`TransportError`] from the solve: degenerate inputs rejected
 /// by validation, iteration-limit exhaustion, or an internal invariant
 /// violation.
+// lint: allow(unbudgeted): convenience wrapper; the budgeted twin is solve_budgeted.
 pub fn solve(problem: &TransportProblem) -> Result<Solution, TransportError> {
     solve_with_options(problem, SimplexOptions::default())
 }
@@ -74,6 +75,7 @@ pub fn solve(problem: &TransportProblem) -> Result<Solution, TransportError> {
 /// Returns [`TransportError::IterationLimit`] when the pivot budget in
 /// `options` is exhausted before reaching optimality, and
 /// [`TransportError::Internal`] if a pivot cycle is structurally malformed.
+// lint: allow(unbudgeted): convenience wrapper; the budgeted twin is solve_budgeted.
 pub fn solve_with_options(
     problem: &TransportProblem,
     options: SimplexOptions,

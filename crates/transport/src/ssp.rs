@@ -60,6 +60,7 @@ impl PartialOrd for HeapEntry {
 /// `debug_assert`; in release builds the solver is total for every problem
 /// accepted by [`TransportProblem::new`]. The `Result` return keeps the
 /// signature aligned with [`crate::solve`] for cross-checking.
+// lint: allow(unbudgeted): cross-check oracle for the simplex, never on a serving path.
 pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError> {
     let m = problem.num_sources();
     let n = problem.num_targets();
@@ -76,14 +77,18 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
     let mut graph: Vec<Vec<Arc>> = vec![Vec::new(); num_nodes];
 
     let add_arc = |graph: &mut Vec<Vec<Arc>>, from: usize, to: usize, cap: f64, cost: f64| {
+        // bounds: from/to are node ids < num_nodes = graph.len()
         let rev_from = graph[to].len();
+        // bounds: from/to are node ids < num_nodes = graph.len()
         let rev_to = graph[from].len();
+        // bounds: from/to are node ids < num_nodes = graph.len()
         graph[from].push(Arc {
             to,
             rev: rev_from,
             capacity: cap,
             cost,
         });
+        // bounds: from/to are node ids < num_nodes = graph.len()
         graph[to].push(Arc {
             to: from,
             rev: rev_to,
@@ -103,10 +108,12 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
         }
     }
     for i in 0..m {
+        // bounds: i < m = supplies().len()
         if problem.supplies()[i] <= 0.0 {
             continue;
         }
         for j in 0..n {
+            // bounds: j < n = demands().len()
             if problem.demands()[j] <= 0.0 {
                 continue;
             }
@@ -143,6 +150,7 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
         // Dijkstra with reduced costs.
         dist.iter_mut().for_each(|d| *d = f64::INFINITY);
         prev.iter_mut().for_each(|p| *p = (usize::MAX, usize::MAX));
+        // bounds: source = 0 and dist has num_nodes entries
         dist[source] = 0.0;
         let mut heap = BinaryHeap::new();
         heap.push(HeapEntry {
@@ -150,17 +158,23 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
             node: source,
         });
         while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            // bounds: heap entries carry node ids < num_nodes
             if d > dist[node] {
                 continue;
             }
+            // bounds: node id < num_nodes = graph.len()
             for (arc_index, arc) in graph[node].iter().enumerate() {
                 if arc.capacity <= crate::EPS {
                     continue;
                 }
+                // bounds: node ids < num_nodes size every per-node array
                 let reduced = arc.cost + potentials[node] - potentials[arc.to];
                 let candidate = d + reduced.max(0.0);
+                // bounds: node ids < num_nodes size every per-node array
                 if candidate < dist[arc.to] - 1e-15 {
+                    // bounds: node ids < num_nodes size every per-node array
                     dist[arc.to] = candidate;
+                    // bounds: node ids < num_nodes size every per-node array
                     prev[arc.to] = (node, arc_index);
                     heap.push(HeapEntry {
                         dist: candidate,
@@ -169,11 +183,14 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
                 }
             }
         }
+        // bounds: sink < num_nodes = dist.len()
         if !dist[sink].is_finite() {
             break; // All remaining mass is zero within tolerance.
         }
         for node in 0..num_nodes {
+            // bounds: node < num_nodes sizes dist and potentials
             if dist[node].is_finite() {
+                // bounds: node < num_nodes sizes dist and potentials
                 potentials[node] += dist[node];
             }
         }
@@ -181,7 +198,9 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
         let mut bottleneck = total_mass - shipped;
         let mut node = sink;
         while node != source {
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             let (p, arc_index) = prev[node];
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             bottleneck = bottleneck.min(graph[p][arc_index].capacity);
             node = p;
         }
@@ -191,10 +210,15 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
         // Apply augmentation.
         let mut node = sink;
         while node != source {
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             let (p, arc_index) = prev[node];
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             let rev = graph[p][arc_index].rev;
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             graph[p][arc_index].capacity -= bottleneck;
+            // bounds: rev indexes the paired reverse arc in the adjacency list
             graph[node][rev].capacity += bottleneck;
+            // bounds: prev holds (node id, arc index) pairs set during Dijkstra
             objective += bottleneck * graph[p][arc_index].cost;
             node = p;
         }
@@ -205,9 +229,11 @@ pub fn solve_ssp(problem: &TransportProblem) -> Result<Solution, TransportError>
     let mut flows = Vec::new();
     for i in 0..m {
         let from = 1 + i;
+        // bounds: from = 1 + i < num_nodes = graph.len()
         for arc in &graph[from] {
             if arc.to > m && arc.to <= m + n && arc.cost >= 0.0 {
                 let j = arc.to - 1 - m;
+                // bounds: arc.to and arc.rev index the paired reverse arc
                 let flow = graph[arc.to][arc.rev].capacity;
                 if flow > crate::EPS {
                     flows.push((i, j, flow));

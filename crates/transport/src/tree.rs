@@ -53,13 +53,13 @@ impl BasisTree {
 
     #[inline]
     pub fn edge(&self, id: usize) -> &Edge {
-        debug_assert!(self.edges[id].alive);
+        debug_assert!(self.edges[id].alive); // bounds: edge ids are minted by insert, < edges.len()
         &self.edges[id]
     }
 
     #[inline]
     pub fn edge_flow_mut(&mut self, id: usize) -> &mut f64 {
-        debug_assert!(self.edges[id].alive);
+        debug_assert!(self.edges[id].alive); // bounds: edge ids are minted by insert, < edges.len()
         &mut self.edges[id].flow
     }
 
@@ -72,7 +72,7 @@ impl BasisTree {
         };
         let id = match self.free.pop() {
             Some(slot) => {
-                self.edges[slot] = edge;
+                self.edges[slot] = edge; // bounds: slot came off the free list, < edges.len()
                 slot
             }
             None => {
@@ -80,22 +80,22 @@ impl BasisTree {
                 self.edges.len() - 1
             }
         };
-        self.adjacency[row].push(id);
+        self.adjacency[row].push(id); // bounds: row < m <= adjacency.len()
         let demand = self.demand_node(col);
-        self.adjacency[demand].push(id);
+        self.adjacency[demand].push(id); // bounds: demand = m + col < m + n = adjacency.len()
         id
     }
 
     pub fn remove(&mut self, id: usize) {
-        let Edge { row, col, .. } = self.edges[id];
+        let Edge { row, col, .. } = self.edges[id]; // bounds: edge ids are minted by insert, < edges.len()
         debug_assert!(self.edges[id].alive);
-        self.edges[id].alive = false;
+        self.edges[id].alive = false; // bounds: edge ids are minted by insert, < edges.len()
         self.free.push(id);
         let demand = self.demand_node(col);
         for node in [row, demand] {
-            let list = &mut self.adjacency[node];
-            // `insert` registers every edge with both endpoints, so the
-            // lookup cannot miss; the fallback keeps this path panic-free.
+            let list = &mut self.adjacency[node]; // bounds: node is row or m + col, both < m + n
+                                                  // `insert` registers every edge with both endpoints, so the
+                                                  // lookup cannot miss; the fallback keeps this path panic-free.
             if let Some(pos) = list.iter().position(|&e| e == id) {
                 list.swap_remove(pos);
             } else {
@@ -130,19 +130,25 @@ impl BasisTree {
         // float: nan — deliberate poison: any dual read before assignment must be visible
         v.resize(self.n, f64::NAN);
         stack.clear();
-        u[0] = 0.0;
+        u[0] = 0.0; // bounds: u was resized to m >= 1 just above
         stack.push(0);
         while let Some(node) = stack.pop() {
+            // bounds: node ids < node_count() size adjacency
             for &id in &self.adjacency[node] {
+                // bounds: node ids and edge ids are in-range by construction
                 let edge = &self.edges[id];
                 let (supply, demand) = (edge.row, edge.col);
                 if node < self.m {
                     // node is the supply endpoint; propagate to the demand.
+                    // bounds: demand = m + col < m + n = v-offset range
                     if v[demand].is_nan() {
+                        // bounds: (supply, demand) is a tableau cell: < m, < n
                         v[demand] = cost(supply, demand) - u[supply];
                         stack.push(self.demand_node(demand));
                     }
+                // bounds: supply row ids < m = u.len()
                 } else if u[supply].is_nan() {
+                    // bounds: (supply, demand) is a tableau cell: < m, < n
                     u[supply] = cost(supply, demand) - v[demand];
                     stack.push(supply);
                 }
@@ -169,19 +175,23 @@ impl BasisTree {
         parent.resize(self.m + self.n, (UNSEEN, UNSEEN));
         queue.clear();
         queue.push(start);
-        parent[start] = (start, UNSEEN);
+        parent[start] = (start, UNSEEN); // bounds: start/goal are node ids < m + n; parent was resized above
         let mut head = 0;
         'bfs: while head < queue.len() {
-            let node = queue[head];
+            let node = queue[head]; // bounds: head < queue.len() per the loop condition
             head += 1;
+            // bounds: node ids < node_count() size adjacency
             for &id in &self.adjacency[node] {
+                // bounds: node ids and edge ids are in-range by construction
                 let edge = &self.edges[id];
                 let other = if node < self.m {
                     self.demand_node(edge.col)
                 } else {
                     edge.row
                 };
+                // bounds: edge endpoints are node ids < parent.len()
                 if parent[other].0 == UNSEEN {
+                    // bounds: other is a node id < m + n
                     parent[other] = (node, id);
                     if other == goal {
                         break 'bfs;
@@ -190,11 +200,11 @@ impl BasisTree {
                 }
             }
         }
-        debug_assert!(parent[goal].0 != UNSEEN, "tree must connect all nodes");
+        debug_assert!(parent[goal].0 != UNSEEN, "tree must connect all nodes"); // bounds: goal is a node id < m + n
         let mut path = Vec::new();
         let mut node = goal;
         while node != start {
-            let (prev, id) = parent[node];
+            let (prev, id) = parent[node]; // bounds: parent links stay within 0..m + n
             path.push(id);
             node = prev;
         }

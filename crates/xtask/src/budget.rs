@@ -1,0 +1,164 @@
+//! The `lint-budget.toml` ratchet: per-class, per-crate counts of
+//! budgeted (annotated or tolerated) lint sites. The lint fails when a
+//! crate *exceeds* its budget (new debt) and when it comes in *under*
+//! (cleanups must lower the recorded number — budgets only decrease).
+
+use crate::report::{LintClass, LintReport};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Parsed budget file: `section name → crate → allowed count`.
+pub type Budgets = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Parse the two-level `[section] \n key = value` budget format.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input.
+pub fn parse(text: &str) -> Result<Budgets, String> {
+    let mut sections: Budgets = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = Some(name.to_owned());
+            sections.entry(name.to_owned()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-budget.toml:{}: expected `key = value`",
+                index + 1
+            ));
+        };
+        let Some(section) = &current else {
+            return Err(format!(
+                "lint-budget.toml:{}: entry before any [section]",
+                index + 1
+            ));
+        };
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("lint-budget.toml:{}: bad count: {e}", index + 1))?;
+        if let Some(entries) = sections.get_mut(section) {
+            entries.insert(key.trim().to_owned(), count);
+        }
+    }
+    Ok(sections)
+}
+
+/// Render the budget file from a report's budgeted counts, preserving
+/// the header comment and section order of [`LintClass::BUDGETED`].
+pub fn render(report: &LintReport) -> String {
+    let mut out = String::from(
+        "# Ratchet budgets for `cargo xtask lint`.\n\
+         #\n\
+         # Each entry records how many budgeted lint sites a crate carries\n\
+         # today: sites excused by an in-source annotation (library crates)\n\
+         # or tolerated outright (the bench and xtask tool crates, where\n\
+         # panic/indexing/docs sites are counted without markers). The lint\n\
+         # fails if a crate EXCEEDS its budget (new debt) and also if it\n\
+         # comes in UNDER budget (so cleanups must lower the recorded\n\
+         # number - the budget only ever decreases). Regenerate with\n\
+         # `cargo xtask lint --write-budget` after deliberate cleanups.\n",
+    );
+    for class in LintClass::BUDGETED {
+        let _ = writeln!(out, "\n[{}]", class.name());
+        if let Some(by_crate) = report.budgeted.get(class.name()) {
+            for (krate, count) in by_crate {
+                let _ = writeln!(out, "{krate} = {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Compare a report's budgeted counts against the recorded budgets,
+/// appending ratchet findings to the report itself.
+///
+/// # Errors
+///
+/// Returns a message when the budget file cannot be read or parsed.
+pub fn check(path: &Path, report: &mut LintReport) -> Result<Budgets, String> {
+    let text = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {} (run `cargo xtask lint --write-budget` once): {e}",
+            path.display()
+        )
+    })?;
+    let budgets = parse(&text)?;
+    let mut ratchet_findings: Vec<String> = Vec::new();
+    for class in LintClass::BUDGETED {
+        let section = class.name();
+        let Some(recorded) = budgets.get(section) else {
+            ratchet_findings.push(format!("budget file lacks a [{section}] section"));
+            continue;
+        };
+        let actual = report.budgeted.get(section).cloned().unwrap_or_default();
+        for (krate, &count) in &actual {
+            match recorded.get(krate) {
+                None => {
+                    ratchet_findings
+                        .push(format!("[{section}] lacks an entry for crate `{krate}`"));
+                }
+                Some(&allowed) if count > allowed => ratchet_findings.push(format!(
+                    "[{section}] {krate}: {count} sites exceed the budget of {allowed}; \
+                     fix the new sites instead of raising the budget"
+                )),
+                Some(&allowed) if count < allowed => ratchet_findings.push(format!(
+                    "[{section}] {krate}: only {count} sites remain but the budget says \
+                     {allowed}; ratchet the budget down to {count}"
+                )),
+                Some(_) => {}
+            }
+        }
+        // Budget entries for crates the scan no longer produces are
+        // stale (e.g. a renamed crate) — surface them.
+        for krate in recorded.keys() {
+            if !actual.contains_key(krate) {
+                ratchet_findings.push(format!(
+                    "[{section}] has an entry for unknown crate `{krate}`"
+                ));
+            }
+        }
+    }
+    for message in ratchet_findings {
+        report.finding(path, 1, LintClass::Preamble, message);
+    }
+    Ok(budgets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_roundtrip() {
+        let mut report = LintReport::default();
+        report.ensure_crate("core");
+        report.budgeted_site(
+            std::path::Path::new("crates/core/src/emd.rs"),
+            3,
+            LintClass::UnjustifiedIndexing,
+            "core",
+        );
+        let rendered = render(&report);
+        let parsed = parse(&rendered).expect("parses");
+        assert_eq!(parsed["unjustified-indexing"]["core"], 1);
+        assert_eq!(parsed["panic-markers"]["core"], 0);
+        assert_eq!(parsed.len(), LintClass::BUDGETED.len());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("loose = 1").is_err());
+        assert!(parse("[s]\nbad").is_err());
+        assert!(parse("[s]\nx = notanumber").is_err());
+    }
+}

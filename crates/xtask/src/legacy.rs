@@ -1,0 +1,393 @@
+//! The pre-engine line/regex scanner, kept verbatim-in-spirit as the
+//! *comparison baseline*: `tests/legacy_comparison.rs` asserts that the
+//! token-stream passes report findings identical to — or strictly
+//! stricter than — these on the live tree. Not used by `cargo xtask
+//! lint` itself.
+//!
+//! Known failure modes (the reason the engine exists): multi-line block
+//! comments, raw strings and macro bodies are invisible to a line
+//! scanner, so patterns inside them can both mask and fabricate
+//! findings. The token lexer closes those holes.
+
+/// One scanned source line: 1-based number, code with comments stripped,
+/// and the comment text (if any) for marker lookups.
+pub struct ScanLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code half, string-literal contents blanked.
+    pub code: String,
+    /// Comment half (from `//` onward).
+    pub comment: String,
+}
+
+/// Split source into non-test lines with code and comment separated.
+/// `#[cfg(test)]` blocks are skipped by brace counting; doc comments and
+/// `#[...]` attribute lines yield empty code.
+pub fn scan_lines(text: &str) -> Vec<ScanLine> {
+    let mut out = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((index, raw)) = lines.next() {
+        let trimmed = raw.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            let mut depth: i64 = 0;
+            let mut opened = raw.contains('{');
+            depth += brace_delta(raw);
+            while !(opened && depth <= 0) {
+                let Some((_, next)) = lines.next() else { break };
+                if next.contains('{') {
+                    opened = true;
+                }
+                depth += brace_delta(next);
+            }
+            continue;
+        }
+        let (code, comment) = split_comment(raw);
+        let code = if trimmed.starts_with("///")
+            || trimmed.starts_with("//!")
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#![")
+        {
+            String::new()
+        } else {
+            code
+        };
+        out.push(ScanLine {
+            number: index + 1,
+            code,
+            comment,
+        });
+    }
+    out
+}
+
+/// Net `{`/`}` delta of a line, ignoring braces inside string literals
+/// and comments.
+fn brace_delta(line: &str) -> i64 {
+    let (code, _) = split_comment(line);
+    let mut delta = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Split a line into (code, comment), respecting string literals so a
+/// `//` inside a string does not start a comment. Characters inside
+/// string literals are blanked in the code half so pattern searches do
+/// not match message text.
+pub fn split_comment(line: &str) -> (String, String) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            if c == '\\' {
+                code.push_str("__");
+                i += 2;
+                continue;
+            }
+            if c == '"' {
+                in_string = false;
+                code.push('"');
+            } else {
+                code.push('_');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                code.push('"');
+                i += 1;
+            }
+            '\'' => {
+                if i + 2 < bytes.len() && bytes[i + 1] as char == '\\' {
+                    code.push_str("'__");
+                    i += 3;
+                    while i < bytes.len() && bytes[i] as char != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
+                    code.push_str("'_'");
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] as char == '/' => {
+                return (code, line[i..].to_owned());
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, String::new())
+}
+
+/// Whether line `index` (or the line before it) carries `marker` in a
+/// comment.
+fn has_marker(lines: &[ScanLine], index: usize, marker: &str) -> bool {
+    lines.get(index).is_some_and(|l| l.comment.contains(marker))
+        || (index > 0
+            && lines
+                .get(index - 1)
+                .is_some_and(|l| l.comment.contains(marker)))
+}
+
+const PANIC_PATTERNS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Panic sites: `(marked_lines, unmarked_lines)` — at most one per line.
+pub fn panic_sites(lines: &[ScanLine]) -> (Vec<usize>, Vec<usize>) {
+    let mut marked = Vec::new();
+    let mut unmarked = Vec::new();
+    for (index, line) in lines.iter().enumerate() {
+        if !PANIC_PATTERNS.iter().any(|p| line.code.contains(p)) {
+            continue;
+        }
+        if has_marker(lines, index, "lint: allow(panic)") {
+            marked.push(line.number);
+        } else {
+            unmarked.push(line.number);
+        }
+    }
+    (marked, unmarked)
+}
+
+/// Lines with an unjustified index expression.
+pub fn unjustified_indexing_lines(lines: &[ScanLine]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (index, line) in lines.iter().enumerate() {
+        if !has_index_expression(&line.code) {
+            continue;
+        }
+        if has_marker(lines, index, "bounds:") || has_marker(lines, index, "lint: allow(indexing)")
+        {
+            continue;
+        }
+        out.push(line.number);
+    }
+    out
+}
+
+/// Whether the code half of a line contains `expr[...]` indexing: a `[`
+/// immediately preceded by an identifier character, `)` or `]`.
+pub fn has_index_expression(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether a source file opens with a `//!` module doc comment.
+pub fn has_module_docs(text: &str) -> bool {
+    for raw in text.lines() {
+        let line = raw.trim_start();
+        if line.starts_with("//!") {
+            return true;
+        }
+        if line.is_empty()
+            || line.starts_with("//")
+            || line.starts_with("#!")
+            || line.starts_with("#[")
+        {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lines declaring a `pub fn` returning `Result` without `# Errors`
+/// docs (the old doc-block reconstruction).
+pub fn undocumented_fallible_lines(lines: &[ScanLine]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut doc: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let raw_comment = lines[i].comment.trim_start();
+        let code = lines[i].code.trim_start();
+        if raw_comment.starts_with("///") && code.is_empty() {
+            doc.push(raw_comment.to_owned());
+            i += 1;
+            continue;
+        }
+        if code.is_empty() && raw_comment.is_empty() {
+            i += 1;
+            continue;
+        }
+        if code.starts_with("pub fn ") || code.starts_with("pub const fn ") {
+            let mut signature = code.to_owned();
+            let mut j = i;
+            while !signature.contains('{') && !signature.contains(';') && j + 1 < lines.len() {
+                j += 1;
+                signature.push(' ');
+                signature.push_str(lines[j].code.trim());
+            }
+            let header = signature.split('{').next().unwrap_or(&signature);
+            let returns_result = header.contains("-> Result<")
+                || header.contains("-> std::io::Result<")
+                || header.contains("-> io::Result<");
+            let documented = doc.iter().any(|d| d.contains("# Errors"));
+            if returns_result && !documented {
+                out.push(lines[i].number);
+            }
+            doc.clear();
+            i = j + 1;
+            continue;
+        }
+        doc.clear();
+        i += 1;
+    }
+    out
+}
+
+/// Lines violating float discipline (equality against a literal,
+/// `partial_cmp`, NaN constants) without their markers.
+pub fn float_discipline_lines(lines: &[ScanLine]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (index, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if float_literal_equality(code) && !has_marker(lines, index, "float: exact") {
+            out.push(line.number);
+        }
+        if code.contains(".partial_cmp(") && !has_marker(lines, index, "float: partial") {
+            out.push(line.number);
+        }
+        if (code.contains("f64::NAN") || code.contains("f32::NAN"))
+            && !has_marker(lines, index, "float: nan")
+        {
+            out.push(line.number);
+        }
+    }
+    out
+}
+
+/// Whether the line compares against a float literal with `==` or `!=`.
+fn float_literal_equality(code: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut start = 0usize;
+        while let Some(found) = code[start..].find(op) {
+            let pos = start + found;
+            let before = code[..pos].chars().next_back();
+            if matches!(before, Some('<') | Some('>') | Some('=') | Some('!')) {
+                start = pos + op.len();
+                continue;
+            }
+            let after = code[pos + op.len()..].trim_start();
+            let mut rhs_float = looks_like_float_literal(after);
+            let lhs = code[..pos].trim_end();
+            if !rhs_float {
+                rhs_float = ends_with_float_literal(lhs);
+            }
+            if rhs_float {
+                return true;
+            }
+            start = pos + op.len();
+        }
+    }
+    false
+}
+
+fn looks_like_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let mut seen_dot = false;
+    for c in chars {
+        if c == '.' {
+            seen_dot = true;
+        } else if !(c.is_ascii_digit() || c == '_' || seen_dot && "e+-f0123456789".contains(c)) {
+            break;
+        }
+    }
+    seen_dot
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    let Some(dot) = s.rfind('.') else {
+        return false;
+    };
+    let (head, tail) = s.split_at(dot);
+    let tail = &tail[1..];
+    if tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    head.chars().next_back().is_some_and(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_splitting_respects_strings() {
+        let (code, comment) = split_comment(r#"let s = "no // comment"; // real"#);
+        assert!(!code.contains("no"));
+        assert!(code.contains('"'));
+        assert_eq!(comment, "// real");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let text =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let lines = scan_lines(text);
+        let joined: Vec<&str> = lines.iter().map(|l| l.code.as_str()).collect();
+        assert!(joined.iter().any(|l| l.contains("fn a")));
+        assert!(joined.iter().any(|l| l.contains("fn c")));
+        assert!(!joined.iter().any(|l| l.contains("fn b")));
+    }
+
+    #[test]
+    fn panic_sites_split_marked_and_unmarked() {
+        let text = "fn a() { x.unwrap(); }\n// lint: allow(panic): fine\nfn b() { y.unwrap(); }\n";
+        let (marked, unmarked) = panic_sites(&scan_lines(text));
+        assert_eq!(marked, vec![3]);
+        assert_eq!(unmarked, vec![1]);
+    }
+
+    #[test]
+    fn index_expressions_are_detected() {
+        assert!(has_index_expression("let x = data[i];"));
+        assert!(!has_index_expression("fn f(x: &[f64]) {}"));
+        assert!(!has_index_expression("let v = vec![0.0; n];"));
+    }
+
+    #[test]
+    fn float_equality_is_detected() {
+        assert!(float_literal_equality("if drift == 0.0 {"));
+        assert!(float_literal_equality("if 0.0 != x {"));
+        assert!(!float_literal_equality("if i == 0 {"));
+        assert!(!float_literal_equality("if x <= 0.0 {"));
+    }
+}

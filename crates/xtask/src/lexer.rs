@@ -1,0 +1,569 @@
+//! A small, zero-dependency Rust lexer for the lint engine.
+//!
+//! The lexer is *total*: every byte of the input belongs to exactly one
+//! token, unrecognized characters become one-char [`TokenKind::Unknown`]
+//! tokens, and unterminated literals or comments extend to end of input
+//! instead of failing. Concatenating the lexemes of the token stream
+//! therefore reproduces the source byte for byte (property-tested in
+//! `tests/proptest_lexer.rs`), and the lexer never panics on arbitrary
+//! input.
+//!
+//! Fidelity notes (what the lint passes need, nothing more):
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`, `/**`, `/*!`) are single trivia tokens;
+//! - string-ish literals — `"…"`, `b"…"`, `c"…"`, raw strings
+//!   `r#"…"#`/`br#"…"#`/`cr#"…"#` with any hash depth, char and byte-char
+//!   literals — are opaque tokens, so `//` or `[` inside them can never
+//!   confuse a pass;
+//! - lifetimes are distinguished from char literals by lookahead;
+//! - numbers are split into [`TokenKind::Int`] and [`TokenKind::Float`]
+//!   (including `1.`, exponents and type suffixes; `1.max(2)` stays an
+//!   int followed by a method call);
+//! - multi-char operators (`==`, `!=`, `::`, `->`, …) are single
+//!   [`TokenKind::Punct`] tokens, matched greedily.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace of any length.
+    Whitespace,
+    /// `// …` to end of line (doc variants `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nested, possibly unterminated (doc variants included).
+    BlockComment,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Integer literal (`42`, `0xff_u32`, …).
+    Int,
+    /// Float literal (`1.0`, `1.`, `2e-3`, `1.5f64`, …).
+    Float,
+    /// Non-raw string or byte/C string literal.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`, `cr#"…"#`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// One operator or delimiter, multi-char operators kept whole.
+    Punct,
+    /// Any character the lexer does not recognize (consumed singly).
+    Unknown,
+}
+
+/// One token: classification plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the lexeme.
+    pub start: usize,
+    /// Byte offset one past the last byte of the lexeme.
+    pub end: usize,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The lexeme as a slice of the source this token was lexed from.
+    ///
+    /// Returns `""` when the span is out of bounds or off a char
+    /// boundary for `src` (only possible when `src` is not the string
+    /// the token came from).
+    pub fn lexeme<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether this token is whitespace or a comment.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "&&", "||", "==", "!=", "<=", ">=", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "<-",
+];
+
+/// Lexer state: a cursor over the source with line tracking.
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, nth: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(nth)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, mut pred: impl FnMut(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.src[self.pos..].starts_with(prefix)
+    }
+}
+
+/// Whether `c` can start an identifier.
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Whether `c` can continue an identifier.
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lex `src` into a total token stream (see the module docs).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cursor = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while cursor.pos < src.len() {
+        let start = cursor.pos;
+        let line = cursor.line;
+        let kind = next_kind(&mut cursor);
+        debug_assert!(cursor.pos > start, "lexer must always make progress");
+        if cursor.pos == start {
+            // Defensive: never loop forever even if a branch forgot to
+            // advance (unreachable by construction, checked in tests).
+            cursor.bump();
+        }
+        tokens.push(Token {
+            kind,
+            start,
+            end: cursor.pos,
+            line,
+        });
+    }
+    tokens
+}
+
+/// Consume one token's worth of characters, returning its kind.
+fn next_kind(cursor: &mut Cursor<'_>) -> TokenKind {
+    let Some(first) = cursor.peek() else {
+        return TokenKind::Unknown;
+    };
+    if first.is_whitespace() {
+        cursor.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+    if cursor.starts_with("//") {
+        cursor.eat_while(|c| c != '\n');
+        return TokenKind::LineComment;
+    }
+    if cursor.starts_with("/*") {
+        return lex_block_comment(cursor);
+    }
+    if let Some(kind) = try_lex_string_prefix(cursor) {
+        return kind;
+    }
+    if first == '"' {
+        return lex_string(cursor);
+    }
+    if first == '\'' {
+        return lex_quote(cursor);
+    }
+    if first.is_ascii_digit() {
+        return lex_number(cursor);
+    }
+    if is_ident_start(first) {
+        cursor.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+    for op in OPERATORS {
+        if cursor.starts_with(op) {
+            for _ in 0..op.len() {
+                cursor.bump();
+            }
+            return TokenKind::Punct;
+        }
+    }
+    cursor.bump();
+    if first.is_ascii_punctuation() {
+        TokenKind::Punct
+    } else {
+        TokenKind::Unknown
+    }
+}
+
+/// `/* … */` with nesting; unterminated comments run to end of input.
+fn lex_block_comment(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.bump();
+    cursor.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cursor.starts_with("/*") {
+            cursor.bump();
+            cursor.bump();
+            depth += 1;
+        } else if cursor.starts_with("*/") {
+            cursor.bump();
+            cursor.bump();
+            depth -= 1;
+        } else if cursor.bump().is_none() {
+            break;
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// String-ish literals introduced by a prefix letter: `r"…"`, `r#"…"#`,
+/// `r#ident`, `b"…"`, `b'…'`, `br#"…"#`, `c"…"`, `cr#"…"#`.
+///
+/// Returns `None` when the cursor is not at such a prefix (the caller
+/// then lexes a plain identifier).
+fn try_lex_string_prefix(cursor: &mut Cursor<'_>) -> Option<TokenKind> {
+    let rest = &cursor.src[cursor.pos..];
+    let prefix_len = if rest.starts_with("br") || rest.starts_with("cr") {
+        2
+    } else if rest.starts_with('r') || rest.starts_with('b') || rest.starts_with('c') {
+        1
+    } else {
+        return None;
+    };
+    let after: &str = rest.get(prefix_len..)?;
+    let raw = rest.as_bytes().get(prefix_len.wrapping_sub(1)) == Some(&b'r');
+    if raw {
+        // Count hashes; a quote must follow for this to be a raw string.
+        let hashes = after.bytes().take_while(|&b| b == b'#').count();
+        match after.as_bytes().get(hashes) {
+            Some(b'"') => {
+                for _ in 0..prefix_len {
+                    cursor.bump();
+                }
+                return Some(lex_raw_string(cursor, hashes));
+            }
+            // `r#ident`: raw identifier.
+            Some(&b) if prefix_len == 1 && hashes == 1 && is_ident_start(b as char) => {
+                cursor.bump();
+                cursor.bump();
+                cursor.eat_while(is_ident_continue);
+                return Some(TokenKind::Ident);
+            }
+            _ => return None,
+        }
+    }
+    // Non-raw prefixed literal: b"…", c"…", b'…'.
+    match after.as_bytes().first() {
+        Some(b'"') => {
+            for _ in 0..prefix_len {
+                cursor.bump();
+            }
+            Some(lex_string(cursor))
+        }
+        Some(b'\'') if rest.starts_with('b') => {
+            cursor.bump();
+            Some(lex_quote(cursor))
+        }
+        _ => None,
+    }
+}
+
+/// Raw string body: cursor sits on the opening hashes/quote.
+fn lex_raw_string(cursor: &mut Cursor<'_>, hashes: usize) -> TokenKind {
+    for _ in 0..hashes {
+        cursor.bump();
+    }
+    cursor.bump(); // opening quote
+    loop {
+        match cursor.bump() {
+            None => return TokenKind::RawStr,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cursor.peek() == Some('#') {
+                    cursor.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return TokenKind::RawStr;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Non-raw string body: cursor sits on the opening quote.
+fn lex_string(cursor: &mut Cursor<'_>) -> TokenKind {
+    cursor.bump();
+    loop {
+        match cursor.bump() {
+            None | Some('"') => return TokenKind::Str,
+            Some('\\') => {
+                cursor.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// A `'`: either a char literal or a lifetime, decided by lookahead.
+fn lex_quote(cursor: &mut Cursor<'_>) -> TokenKind {
+    match cursor.peek_at(1) {
+        // '\…' is always a char literal.
+        Some('\\') => {
+            cursor.bump(); // '
+            cursor.bump(); // backslash
+            cursor.bump(); // escaped char
+                           // Consume to the closing quote (handles '\u{1f600}').
+            cursor.eat_while(|c| c != '\'' && c != '\n');
+            cursor.bump();
+            TokenKind::Char
+        }
+        // 'x' — a one-char literal closed immediately.
+        Some(c) if cursor.peek_at(2) == Some('\'') && c != '\'' => {
+            cursor.bump();
+            cursor.bump();
+            cursor.bump();
+            TokenKind::Char
+        }
+        // 'ident — a lifetime (or `'static`).
+        Some(c) if is_ident_start(c) => {
+            cursor.bump();
+            cursor.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        _ => {
+            cursor.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Numeric literal: decimal or based int, optionally becoming a float via
+/// a fractional part or exponent; trailing type suffixes are consumed.
+fn lex_number(cursor: &mut Cursor<'_>) -> TokenKind {
+    let based = cursor.starts_with("0x")
+        || cursor.starts_with("0X")
+        || cursor.starts_with("0o")
+        || cursor.starts_with("0b")
+        || cursor.starts_with("0O")
+        || cursor.starts_with("0B");
+    if based {
+        cursor.bump();
+        cursor.bump();
+        cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Int;
+    }
+    cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+    let mut is_float = false;
+    if cursor.peek() == Some('.') {
+        // `1.5` and `1.` are floats; `1.max(2)`, `1..n` and `1.e` (field
+        // access) are not — the dot stays a separate token there.
+        match cursor.peek_at(1) {
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                cursor.bump();
+                cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+            Some(c) if is_ident_start(c) || c == '.' => {}
+            _ => {
+                is_float = true;
+                cursor.bump();
+            }
+        }
+    }
+    if matches!(cursor.peek(), Some('e' | 'E')) {
+        // An exponent makes it a float only when digits (optionally
+        // signed) actually follow; `2e` alone is `2` then ident `e`… but
+        // rustc lexes `2e` as a malformed literal — for lint purposes we
+        // only need spans, so require a digit to commit.
+        let signed = matches!(cursor.peek_at(1), Some('+' | '-'));
+        let digit_at = if signed { 2 } else { 1 };
+        if cursor.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            cursor.bump();
+            if signed {
+                cursor.bump();
+            }
+            cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u32`, `f64`, …) — `1.0f64` keeps float-ness, `1u8`
+    // stays an int.
+    if cursor.peek().is_some_and(is_ident_start) {
+        let float_suffix = cursor.starts_with("f32") || cursor.starts_with("f64");
+        cursor.eat_while(is_ident_continue);
+        if float_suffix {
+            is_float = true;
+        }
+    }
+    if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.lexeme(src)))
+            .collect()
+    }
+
+    fn roundtrips(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.lexeme(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src =
+            "let s = \"// not a comment [i]\"; // real [j]\n/* block /* nested */ unwrap() */ x";
+        let tokens = kinds(src);
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("real")));
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+        roundtrips(src);
+    }
+
+    #[test]
+    fn raw_strings_consume_hashes() {
+        let src = r####"let x = r#"quote " inside"# + br##"double ## deep"##;"####;
+        let tokens = kinds(src);
+        let raws: Vec<&str> = tokens
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::RawStr)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(raws.len(), 2);
+        assert!(raws[0].starts_with("r#\"") && raws[0].ends_with("\"#"));
+        assert!(raws[1].starts_with("br##\"") && raws[1].ends_with("\"##"));
+        roundtrips(src);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let tokens = kinds("let r#match = r#fn;");
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#match"));
+        roundtrips("let r#match = r#fn;");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let tokens = kinds(src);
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'x'"));
+        roundtrips(src);
+    }
+
+    #[test]
+    fn escaped_chars_close_correctly() {
+        let src = r"let nl = '\n'; let q = '\''; let u = '\u{1f600}';";
+        let chars: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\''", r"'\u{1f600}'"]);
+        roundtrips(src);
+    }
+
+    #[test]
+    fn numbers_split_int_and_float() {
+        let src = "1 1.5 1. 2e-3 0xff_u32 1_000 7.max(2) 1..n 1.0f64 3u8";
+        let tokens = kinds(src);
+        let of = |kind: TokenKind| -> Vec<&str> {
+            tokens
+                .iter()
+                .filter(|(k, _)| *k == kind)
+                .map(|(_, t)| *t)
+                .collect()
+        };
+        assert_eq!(of(TokenKind::Float), vec!["1.5", "1.", "2e-3", "1.0f64"]);
+        assert_eq!(
+            of(TokenKind::Int),
+            vec!["1", "0xff_u32", "1_000", "7", "2", "1", "3u8"]
+        );
+        roundtrips(src);
+    }
+
+    #[test]
+    fn operators_are_single_tokens() {
+        let src = "a == b != c -> d => e :: f ..= g";
+        let puncts: Vec<&str> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "=>", "::", "..="]);
+        roundtrips(src);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed /* deeper",
+            "'",
+            "b'",
+            "r#",
+            "1e",
+            "0x",
+        ] {
+            roundtrips(src);
+        }
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let idents: Vec<(u32, &str)> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.lexeme(src)))
+            .collect();
+        assert_eq!(idents, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+}

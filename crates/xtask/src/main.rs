@@ -1,912 +1,60 @@
-//! Repo-local static analysis: `cargo xtask lint`.
+//! CLI driver for the repo-local static-analysis engine:
+//! `cargo xtask lint [--write-budget] [--json PATH|-]`.
 //!
-//! Implements the custom lints clippy cannot express for this workspace:
-//!
-//! 1. **Panic ban** — no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`
-//!    in library-crate non-test code. Sites may carry a
-//!    `// lint: allow(panic)` marker; marked sites are counted against a
-//!    per-crate budget in `lint-budget.toml` that must only decrease.
-//! 2. **Indexing audit** — `expr[i]` indexing in library non-test code
-//!    needs a `// bounds:` justification (same or preceding line) or a
-//!    `// lint: allow(indexing)` marker; unjustified sites are budgeted
-//!    the same way.
-//! 3. **`# Errors` docs** — every `pub fn` returning `Result` in a
-//!    library crate must document its failure modes under an `# Errors`
-//!    doc heading.
-//! 4. **Lint preamble** — every workspace crate must opt into the
-//!    workspace lint table (`[lints] workspace = true`) and carry
-//!    `#![forbid(unsafe_code)]` in its entry file.
-//! 5. **Float discipline** — in solver hot paths, `==`/`!=` against float
-//!    literals needs a `// float: exact` justification, `partial_cmp` is
-//!    banned in favor of `total_cmp`, and `f64::NAN`/`f32::NAN` needs a
-//!    `// float: nan` justification.
-//! 6. **Module docs** — every library-crate `.rs` file should open with a
-//!    `//!` module doc comment; files without one are counted against the
-//!    `[missing-module-docs]` ratchet budget.
-//! 7. **Failure-path zero-panic** — code that reports or injects failures
-//!    (`error.rs`, `budget.rs`, `outcome.rs`, and everything in the
-//!    `faultkit` crate) must never itself panic: every panic pattern there
-//!    is a finding outright, with no marker escape and no budget.
-//!
-//! The scanner is line-based: it strips `//` comments (outside string
-//! literals) and skips `#[cfg(test)]` blocks by brace counting. That is
-//! deliberately simple — the lints gate idioms, not semantics, and the
-//! few false-positive shapes are handled by the marker escape hatches.
+//! The lints themselves live in the `xtask` library crate (lexer, pass
+//! engine, budgets, JSON report) so the test suite and the comparison
+//! baseline can exercise them directly; this binary only parses
+//! arguments and maps the outcome to an exit code.
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// Library crates subject to the panic ban, indexing audit and
-/// `# Errors` docs lint.
-const LIBRARY_CRATES: [&str; 8] = [
-    "transport",
-    "core",
-    "reduction",
-    "query",
-    "data",
-    "obs",
-    "store",
-    "faultkit",
-];
-
-/// Solver hot paths subject to the float-discipline lint, relative to the
-/// workspace root.
-const HOT_PATHS: [&str; 12] = [
-    "crates/transport/src/simplex.rs",
-    "crates/transport/src/ssp.rs",
-    "crates/transport/src/vogel.rs",
-    "crates/transport/src/tree.rs",
-    "crates/transport/src/problem.rs",
-    "crates/transport/src/certify.rs",
-    "crates/core/src/emd.rs",
-    "crates/core/src/upper_bound.rs",
-    "crates/core/src/lower_bounds/im.rs",
-    "crates/core/src/lower_bounds/centroid.rs",
-    "crates/core/src/lower_bounds/dual.rs",
-    "crates/core/src/lower_bounds/scaled_lp.rs",
-];
+use xtask::engine::{run_lint, Options};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mode = args.first().map(String::as_str);
-    match mode {
+    match args.first().map(String::as_str) {
         Some("lint") => {
-            let write_budget = args.iter().any(|a| a == "--write-budget");
-            match run_lint(write_budget) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(report) => {
-                    eprint!("{report}");
+            let mut options = Options::default();
+            let mut rest = args.iter().skip(1);
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--write-budget" => options.write_budget = true,
+                    "--json" => match rest.next() {
+                        Some(path) => options.json = Some(path.clone()),
+                        None => {
+                            eprintln!("--json requires a path (or `-` for stdout)");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    other => {
+                        eprintln!("unknown flag `{other}`");
+                        eprintln!("usage: cargo xtask lint [--write-budget] [--json PATH|-]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let json_on_stdout = options.json.as_deref() == Some("-");
+            match run_lint(&options) {
+                Ok(summary) => {
+                    // Keep stdout pure JSON under `--json -` so the
+                    // report can be piped straight into a parser.
+                    if json_on_stdout {
+                        eprintln!("{summary}");
+                    } else {
+                        println!("{summary}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(failure_report) => {
+                    eprint!("{failure_report}");
                     ExitCode::FAILURE
                 }
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--write-budget]");
+            eprintln!("usage: cargo xtask lint [--write-budget] [--json PATH|-]");
             ExitCode::FAILURE
         }
-    }
-}
-
-/// A single lint finding, printed `path:line: message`.
-struct Finding {
-    path: PathBuf,
-    line: usize,
-    message: String,
-}
-
-fn run_lint(write_budget: bool) -> Result<(), String> {
-    let root = workspace_root()?;
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut marker_counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut index_counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut doc_counts: BTreeMap<String, usize> = BTreeMap::new();
-
-    for krate in LIBRARY_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut markers = 0usize;
-        let mut indexing = 0usize;
-        let mut missing_docs = 0usize;
-        for file in rust_files(&src)? {
-            let text = fs::read_to_string(&file)
-                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            if !has_module_docs(&text) {
-                missing_docs += 1;
-            }
-            let lines = scan_lines(&text);
-            markers += check_panics(&file, &lines, is_failure_path(krate, &file), &mut findings);
-            indexing += check_indexing(&lines);
-            check_errors_docs(&file, &lines, &mut findings);
-        }
-        marker_counts.insert(krate.to_owned(), markers);
-        index_counts.insert(krate.to_owned(), indexing);
-        doc_counts.insert(krate.to_owned(), missing_docs);
-    }
-
-    for rel in HOT_PATHS {
-        let file = root.join(rel);
-        let text = fs::read_to_string(&file)
-            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let lines = scan_lines(&text);
-        check_float_discipline(&file, &lines, &mut findings);
-    }
-
-    check_preambles(&root, &mut findings)?;
-
-    let budget_path = root.join("lint-budget.toml");
-    if write_budget {
-        let rendered = render_budget(&marker_counts, &index_counts, &doc_counts);
-        fs::write(&budget_path, rendered)
-            .map_err(|e| format!("cannot write {}: {e}", budget_path.display()))?;
-        println!("wrote {}", budget_path.display());
-    } else {
-        check_budget(
-            &budget_path,
-            &marker_counts,
-            &index_counts,
-            &doc_counts,
-            &mut findings,
-        )?;
-    }
-
-    if findings.is_empty() {
-        println!(
-            "xtask lint: clean ({} library crates, {} hot-path files)",
-            LIBRARY_CRATES.len(),
-            HOT_PATHS.len()
-        );
-        Ok(())
-    } else {
-        let mut report = String::new();
-        for f in &findings {
-            let _ = writeln!(report, "{}:{}: {}", f.path.display(), f.line, f.message);
-        }
-        let _ = writeln!(report, "xtask lint: {} finding(s)", findings.len());
-        Err(report)
-    }
-}
-
-/// Locate the workspace root: the directory holding the `[workspace]`
-/// manifest, walking up from the current directory.
-fn workspace_root() -> Result<PathBuf, String> {
-    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
-    loop {
-        let manifest = dir.join("Cargo.toml");
-        if manifest.is_file() {
-            let text = fs::read_to_string(&manifest)
-                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
-            if text.contains("[workspace]") {
-                return Ok(dir);
-            }
-        }
-        if !dir.pop() {
-            return Err("no workspace root above the current directory".into());
-        }
-    }
-}
-
-/// Recursively collect `.rs` files under `dir`, sorted for stable output.
-fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(current) = stack.pop() {
-        let entries = fs::read_dir(&current)
-            .map_err(|e| format!("cannot list {}: {e}", current.display()))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| format!("cannot list {}: {e}", current.display()))?;
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                files.push(path);
-            }
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-/// One scanned source line: 1-based number, code with comments stripped,
-/// and the comment text (if any) for marker lookups.
-struct ScanLine {
-    number: usize,
-    code: String,
-    comment: String,
-}
-
-/// Split source into non-test lines with code and comment separated.
-/// `#[cfg(test)]` blocks are skipped by brace counting; doc comments and
-/// `#[...]` attribute lines yield empty code.
-fn scan_lines(text: &str) -> Vec<ScanLine> {
-    let mut out = Vec::new();
-    let mut lines = text.lines().enumerate().peekable();
-    while let Some((index, raw)) = lines.next() {
-        let trimmed = raw.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            // Skip attribute lines until the block opens, then skip the
-            // whole block by brace counting.
-            let mut depth: i64 = 0;
-            let mut opened = raw.contains('{');
-            depth += brace_delta(raw);
-            while !(opened && depth <= 0) {
-                let Some((_, next)) = lines.next() else { break };
-                if next.contains('{') {
-                    opened = true;
-                }
-                depth += brace_delta(next);
-            }
-            continue;
-        }
-        let (code, comment) = split_comment(raw);
-        let code = if trimmed.starts_with("///")
-            || trimmed.starts_with("//!")
-            || trimmed.starts_with("#[")
-            || trimmed.starts_with("#![")
-        {
-            String::new()
-        } else {
-            code
-        };
-        out.push(ScanLine {
-            number: index + 1,
-            code,
-            comment,
-        });
-    }
-    out
-}
-
-/// Net `{`/`}` delta of a line, ignoring braces inside string literals
-/// and comments.
-fn brace_delta(line: &str) -> i64 {
-    let (code, _) = split_comment(line);
-    let mut delta = 0i64;
-    for c in code.chars() {
-        match c {
-            '{' => delta += 1,
-            '}' => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
-
-/// Split a line into (code, comment), respecting string literals so a
-/// `//` inside a string does not start a comment. Characters inside
-/// string literals are blanked in the code half so pattern searches do
-/// not match message text.
-fn split_comment(line: &str) -> (String, String) {
-    let bytes = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut in_string = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if in_string {
-            if c == '\\' {
-                code.push_str("__");
-                i += 2;
-                continue;
-            }
-            if c == '"' {
-                in_string = false;
-                code.push('"');
-            } else {
-                code.push('_');
-            }
-            i += 1;
-            continue;
-        }
-        match c {
-            '"' => {
-                in_string = true;
-                code.push('"');
-                i += 1;
-            }
-            '\'' => {
-                // Char literal (or lifetime). Skip 'x' / '\x' forms.
-                if i + 2 < bytes.len() && bytes[i + 1] as char == '\\' {
-                    code.push_str("'__");
-                    i += 3;
-                    while i < bytes.len() && bytes[i] as char != '\'' {
-                        i += 1;
-                    }
-                    i += 1;
-                } else if i + 2 < bytes.len() && bytes[i + 2] as char == '\'' {
-                    code.push_str("'_'");
-                    i += 3;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] as char == '/' => {
-                return (code, line[i..].to_owned());
-            }
-            _ => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    (code, String::new())
-}
-
-/// Whether line `index` (or the line before it) carries `marker` in a
-/// comment.
-fn has_marker(lines: &[ScanLine], index: usize, marker: &str) -> bool {
-    if lines[index].comment.contains(marker) {
-        return true;
-    }
-    index > 0 && lines[index - 1].comment.contains(marker)
-}
-
-const PANIC_PATTERNS: [(&str, &str); 6] = [
-    (".unwrap()", "unwrap() can panic"),
-    (".expect(", "expect() can panic"),
-    ("panic!(", "explicit panic!"),
-    ("unreachable!(", "unreachable! can panic"),
-    ("todo!(", "todo! panics"),
-    ("unimplemented!(", "unimplemented! panics"),
-];
-
-/// Whether a file sits on a failure path, where the panic ban is absolute:
-/// error types, budget plumbing, degraded-outcome types, and the whole
-/// fault-injection crate. Code that reports or injects failures must never
-/// itself be able to fail.
-fn is_failure_path(krate: &str, file: &Path) -> bool {
-    if krate == "faultkit" {
-        return true;
-    }
-    matches!(
-        file.file_name().and_then(|n| n.to_str()),
-        Some("error.rs" | "budget.rs" | "outcome.rs")
-    )
-}
-
-/// Panic ban. Returns the number of `// lint: allow(panic)` markers that
-/// excused a site (for the budget ratchet); unmarked sites become
-/// findings. With `strict` (failure-path files) every site is a finding —
-/// markers do not excuse and are not counted.
-fn check_panics(
-    path: &Path,
-    lines: &[ScanLine],
-    strict: bool,
-    findings: &mut Vec<Finding>,
-) -> usize {
-    let mut markers = 0usize;
-    for (index, line) in lines.iter().enumerate() {
-        for (pattern, why) in PANIC_PATTERNS {
-            if !line.code.contains(pattern) {
-                continue;
-            }
-            if strict {
-                findings.push(Finding {
-                    path: path.to_owned(),
-                    line: line.number,
-                    message: format!(
-                        "{why} in failure-path code; panics are banned outright \
-                         here (no marker escape) — return a value instead"
-                    ),
-                });
-            } else if has_marker(lines, index, "lint: allow(panic)") {
-                markers += 1;
-            } else {
-                findings.push(Finding {
-                    path: path.to_owned(),
-                    line: line.number,
-                    message: format!(
-                        "{why} in library code; return a Result or mark the \
-                         site `// lint: allow(panic): <reason>`"
-                    ),
-                });
-            }
-            break; // one finding per line
-        }
-    }
-    markers
-}
-
-/// Indexing audit: count index expressions without a `// bounds:`
-/// justification or `// lint: allow(indexing)` marker. Only counted (and
-/// ratcheted via the budget), not reported individually — brackets are
-/// ubiquitous in numeric code and the budget stops *growth*.
-fn check_indexing(lines: &[ScanLine]) -> usize {
-    let mut count = 0usize;
-    for (index, line) in lines.iter().enumerate() {
-        if !has_index_expression(&line.code) {
-            continue;
-        }
-        if has_marker(lines, index, "bounds:") || has_marker(lines, index, "lint: allow(indexing)")
-        {
-            continue;
-        }
-        count += 1;
-    }
-    count
-}
-
-/// Whether the code half of a line contains `expr[...]` indexing: a `[`
-/// immediately preceded by an identifier character, `)` or `]`. Excludes
-/// slice-type syntax (`&[f64]`), array literals (`[0.0; n]`) and
-/// attribute-like shapes, which never have that prefix.
-fn has_index_expression(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'[' || i == 0 {
-            continue;
-        }
-        let prev = bytes[i - 1] as char;
-        if prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
-            return true;
-        }
-    }
-    false
-}
-
-/// `# Errors` docs: every `pub fn` returning a `Result` must carry an
-/// `# Errors` section in its doc comment.
-fn check_errors_docs(path: &Path, lines: &[ScanLine], findings: &mut Vec<Finding>) {
-    // Reconstruct doc blocks from the raw comments (doc lines have empty
-    // code but keep their comment text — `///` lives in `comment` only
-    // when the line starts with it; recover from the original numbers).
-    let mut doc: Vec<String> = Vec::new();
-    let mut i = 0usize;
-    while i < lines.len() {
-        let raw_comment = lines[i].comment.trim_start();
-        let code = lines[i].code.trim_start();
-        if raw_comment.starts_with("///") && code.is_empty() {
-            doc.push(raw_comment.to_owned());
-            i += 1;
-            continue;
-        }
-        if code.is_empty() && raw_comment.is_empty() {
-            // attribute or blank line between docs and item: keep docs
-            i += 1;
-            continue;
-        }
-        if let Some(rest) = code.strip_prefix("pub fn ").or_else(|| {
-            code.strip_prefix("pub const fn ")
-                .or_else(|| code.strip_prefix("pub(crate) fn "))
-        }) {
-            // Gather the signature until its body opens or it ends.
-            let mut signature = code.to_owned();
-            let mut j = i;
-            while !signature.contains('{') && !signature.contains(';') && j + 1 < lines.len() {
-                j += 1;
-                signature.push(' ');
-                signature.push_str(lines[j].code.trim());
-            }
-            let header = signature.split('{').next().unwrap_or(&signature);
-            let returns_result = header.contains("-> Result<")
-                || header.contains("-> std::io::Result<")
-                || header.contains("-> io::Result<");
-            let documented = doc.iter().any(|d| d.contains("# Errors"));
-            if returns_result && !documented && !code.starts_with("pub(crate)") {
-                let name = rest.split(['(', '<']).next().unwrap_or(rest);
-                findings.push(Finding {
-                    path: path.to_owned(),
-                    line: lines[i].number,
-                    message: format!("public fallible fn `{name}` lacks an `# Errors` doc section"),
-                });
-            }
-            doc.clear();
-            i = j + 1;
-            continue;
-        }
-        doc.clear();
-        i += 1;
-    }
-}
-
-/// Float discipline in solver hot paths.
-fn check_float_discipline(path: &Path, lines: &[ScanLine], findings: &mut Vec<Finding>) {
-    for (index, line) in lines.iter().enumerate() {
-        let code = &line.code;
-        if float_literal_equality(code) && !has_marker(lines, index, "float: exact") {
-            findings.push(Finding {
-                path: path.to_owned(),
-                line: line.number,
-                message: "`==`/`!=` against a float literal; use a tolerance or mark \
-                          `// float: exact — <reason>`"
-                    .into(),
-            });
-        }
-        if code.contains(".partial_cmp(") && !has_marker(lines, index, "float: partial") {
-            findings.push(Finding {
-                path: path.to_owned(),
-                line: line.number,
-                message: "partial_cmp on floats can observe NaN; use total_cmp or mark \
-                          `// float: partial — <reason>`"
-                    .into(),
-            });
-        }
-        if (code.contains("f64::NAN") || code.contains("f32::NAN"))
-            && !has_marker(lines, index, "float: nan")
-        {
-            findings.push(Finding {
-                path: path.to_owned(),
-                line: line.number,
-                message: "NaN constant in a solver hot path; mark the sentinel \
-                          `// float: nan — <reason>`"
-                    .into(),
-            });
-        }
-    }
-}
-
-/// Whether the line compares against a float literal with `==` or `!=`.
-fn float_literal_equality(code: &str) -> bool {
-    for op in ["==", "!="] {
-        let mut start = 0usize;
-        while let Some(found) = code[start..].find(op) {
-            let pos = start + found;
-            // Exclude `<=`, `>=` and `!=` matched inside `==` handling.
-            let before = code[..pos].chars().next_back();
-            if matches!(before, Some('<') | Some('>') | Some('=') | Some('!')) {
-                start = pos + op.len();
-                continue;
-            }
-            let after = code[pos + op.len()..].trim_start();
-            let mut rhs_float = looks_like_float_literal(after);
-            let lhs = code[..pos].trim_end();
-            if !rhs_float {
-                rhs_float = ends_with_float_literal(lhs);
-            }
-            if rhs_float {
-                return true;
-            }
-            start = pos + op.len();
-        }
-    }
-    false
-}
-
-fn looks_like_float_literal(s: &str) -> bool {
-    let s = s.strip_prefix('-').unwrap_or(s);
-    let mut chars = s.chars();
-    let Some(first) = chars.next() else {
-        return false;
-    };
-    if !first.is_ascii_digit() {
-        return false;
-    }
-    // Digits followed by a decimal point: 0.0, 1., 12.5e-3 ...
-    let mut seen_dot = false;
-    for c in chars {
-        if c == '.' {
-            seen_dot = true;
-        } else if !(c.is_ascii_digit() || c == '_' || seen_dot && "e+-f0123456789".contains(c)) {
-            break;
-        }
-    }
-    seen_dot
-}
-
-fn ends_with_float_literal(s: &str) -> bool {
-    let Some(dot) = s.rfind('.') else {
-        return false;
-    };
-    let (head, tail) = s.split_at(dot);
-    let tail = &tail[1..];
-    if tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
-        return false;
-    }
-    head.chars().next_back().is_some_and(|c| c.is_ascii_digit())
-}
-
-/// Lint preamble: every workspace crate opts into `[lints] workspace`
-/// and forbids unsafe code in its entry file.
-fn check_preambles(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
-    let mut crate_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
-    for group in ["crates", "shims"] {
-        let dir = root.join(group);
-        let entries =
-            fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
-            if entry.path().is_dir() {
-                crate_dirs.push(entry.path());
-            }
-        }
-    }
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        let manifest_path = dir.join("Cargo.toml");
-        let manifest = fs::read_to_string(&manifest_path)
-            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
-        if !(manifest.contains("[lints]") && manifest.contains("workspace = true")) {
-            findings.push(Finding {
-                path: manifest_path.clone(),
-                line: 1,
-                message: "crate does not opt into the workspace lint table \
-                          (`[lints] workspace = true`)"
-                    .into(),
-            });
-        }
-        let entry_file = ["src/lib.rs", "src/main.rs"]
-            .iter()
-            .map(|rel| dir.join(rel))
-            .find(|p| p.is_file());
-        let Some(entry_file) = entry_file else {
-            continue; // virtual manifest or non-standard layout
-        };
-        let text = fs::read_to_string(&entry_file)
-            .map_err(|e| format!("cannot read {}: {e}", entry_file.display()))?;
-        if !text.contains("#![forbid(unsafe_code)]") {
-            findings.push(Finding {
-                path: entry_file,
-                line: 1,
-                message: "entry file lacks `#![forbid(unsafe_code)]`".into(),
-            });
-        }
-    }
-    Ok(())
-}
-
-fn render_budget(
-    markers: &BTreeMap<String, usize>,
-    indexing: &BTreeMap<String, usize>,
-    missing_docs: &BTreeMap<String, usize>,
-) -> String {
-    let mut out = String::from(
-        "# Ratchet budgets for `cargo xtask lint`.\n\
-         #\n\
-         # Each entry records how many excused lint sites a crate carries\n\
-         # today. The lint fails if a crate EXCEEDS its budget (new debt)\n\
-         # and also if it comes in UNDER budget (so cleanups must lower\n\
-         # the recorded number — the budget only ever decreases).\n\
-         # Regenerate with `cargo xtask lint --write-budget` after\n\
-         # deliberate cleanups.\n\n",
-    );
-    let _ = writeln!(out, "[panic-markers]");
-    for (krate, count) in markers {
-        let _ = writeln!(out, "{krate} = {count}");
-    }
-    let _ = writeln!(out, "\n[unjustified-indexing]");
-    for (krate, count) in indexing {
-        let _ = writeln!(out, "{krate} = {count}");
-    }
-    let _ = writeln!(out, "\n[missing-module-docs]");
-    for (krate, count) in missing_docs {
-        let _ = writeln!(out, "{krate} = {count}");
-    }
-    out
-}
-
-/// Whether a source file opens with a `//!` module doc comment. Leading
-/// blank lines, plain `//` comments (e.g. license headers) and inner
-/// attributes are allowed before it; the first code line ends the search.
-fn has_module_docs(text: &str) -> bool {
-    for raw in text.lines() {
-        let line = raw.trim_start();
-        if line.starts_with("//!") {
-            return true;
-        }
-        if line.is_empty()
-            || line.starts_with("//")
-            || line.starts_with("#!")
-            || line.starts_with("#[")
-        {
-            continue;
-        }
-        return false;
-    }
-    false
-}
-
-fn check_budget(
-    path: &Path,
-    markers: &BTreeMap<String, usize>,
-    indexing: &BTreeMap<String, usize>,
-    missing_docs: &BTreeMap<String, usize>,
-    findings: &mut Vec<Finding>,
-) -> Result<(), String> {
-    let text = fs::read_to_string(path).map_err(|e| {
-        format!(
-            "cannot read {} (run `cargo xtask lint --write-budget` once): {e}",
-            path.display()
-        )
-    })?;
-    let budget = parse_budget(&text)?;
-    for (section, actual) in [
-        ("panic-markers", markers),
-        ("unjustified-indexing", indexing),
-        ("missing-module-docs", missing_docs),
-    ] {
-        let Some(recorded) = budget.get(section) else {
-            findings.push(Finding {
-                path: path.to_owned(),
-                line: 1,
-                message: format!("budget file lacks a [{section}] section"),
-            });
-            continue;
-        };
-        for (krate, &count) in actual {
-            match recorded.get(krate) {
-                None => findings.push(Finding {
-                    path: path.to_owned(),
-                    line: 1,
-                    message: format!("[{section}] lacks an entry for crate `{krate}`"),
-                }),
-                Some(&allowed) if count > allowed => findings.push(Finding {
-                    path: path.to_owned(),
-                    line: 1,
-                    message: format!(
-                        "[{section}] {krate}: {count} sites exceed the budget of {allowed}; \
-                         fix the new sites instead of raising the budget"
-                    ),
-                }),
-                Some(&allowed) if count < allowed => findings.push(Finding {
-                    path: path.to_owned(),
-                    line: 1,
-                    message: format!(
-                        "[{section}] {krate}: only {count} sites remain but the budget says \
-                         {allowed}; ratchet the budget down to {count}"
-                    ),
-                }),
-                Some(_) => {}
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Parse the two-level `[section] \n key = value` budget format.
-fn parse_budget(text: &str) -> Result<BTreeMap<String, BTreeMap<String, usize>>, String> {
-    let mut sections: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
-    let mut current: Option<String> = None;
-    for (index, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            current = Some(name.to_owned());
-            sections.entry(name.to_owned()).or_default();
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            return Err(format!(
-                "lint-budget.toml:{}: expected `key = value`",
-                index + 1
-            ));
-        };
-        let Some(section) = &current else {
-            return Err(format!(
-                "lint-budget.toml:{}: entry before any [section]",
-                index + 1
-            ));
-        };
-        let count: usize = value
-            .trim()
-            .parse()
-            .map_err(|e| format!("lint-budget.toml:{}: bad count: {e}", index + 1))?;
-        if let Some(entries) = sections.get_mut(section) {
-            entries.insert(key.trim().to_owned(), count);
-        }
-    }
-    Ok(sections)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn comment_splitting_respects_strings() {
-        let (code, comment) = split_comment(r#"let s = "no // comment"; // real"#);
-        assert!(!code.contains("no"));
-        assert!(code.contains('"'));
-        assert_eq!(comment, "// real");
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_skipped() {
-        let text = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n";
-        let lines = scan_lines(text);
-        let joined: Vec<&str> = lines.iter().map(|l| l.code.as_str()).collect();
-        assert!(joined.iter().any(|l| l.contains("fn a")));
-        assert!(joined.iter().any(|l| l.contains("fn c")));
-        assert!(!joined.iter().any(|l| l.contains("fn b")));
-    }
-
-    #[test]
-    fn panic_sites_need_markers() {
-        let text = "fn a() { x.unwrap(); }\n// lint: allow(panic): fine\nfn b() { y.unwrap(); }\n";
-        let lines = scan_lines(text);
-        let mut findings = Vec::new();
-        let markers = check_panics(Path::new("t.rs"), &lines, false, &mut findings);
-        assert_eq!(markers, 1);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].line, 1);
-    }
-
-    #[test]
-    fn failure_path_files_get_no_marker_escape() {
-        let text = "// lint: allow(panic): nope\nfn a() { x.unwrap(); }\n";
-        let lines = scan_lines(text);
-        let mut findings = Vec::new();
-        let markers = check_panics(Path::new("error.rs"), &lines, true, &mut findings);
-        assert_eq!(markers, 0);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("failure-path"));
-    }
-
-    #[test]
-    fn failure_path_classification() {
-        assert!(is_failure_path(
-            "query",
-            Path::new("crates/query/src/error.rs")
-        ));
-        assert!(is_failure_path(
-            "transport",
-            Path::new("crates/transport/src/budget.rs")
-        ));
-        assert!(is_failure_path(
-            "query",
-            Path::new("crates/query/src/outcome.rs")
-        ));
-        assert!(is_failure_path(
-            "faultkit",
-            Path::new("crates/faultkit/src/lib.rs")
-        ));
-        assert!(!is_failure_path(
-            "query",
-            Path::new("crates/query/src/knop.rs")
-        ));
-    }
-
-    #[test]
-    fn index_expressions_are_detected() {
-        assert!(has_index_expression("let x = data[i];"));
-        assert!(has_index_expression("rows[i] += f;"));
-        assert!(!has_index_expression("fn f(x: &[f64]) {}"));
-        assert!(!has_index_expression("let v = vec![0.0; n];"));
-        assert!(!has_index_expression("let a = [1, 2, 3];"));
-    }
-
-    #[test]
-    fn float_equality_is_detected() {
-        assert!(float_literal_equality("if drift == 0.0 {"));
-        assert!(float_literal_equality("if 0.0 != x {"));
-        assert!(float_literal_equality("a.b == 1.5"));
-        assert!(!float_literal_equality("if i == 0 {"));
-        assert!(!float_literal_equality("if x <= 0.0 {"));
-        assert!(!float_literal_equality("if x >= 1.0 {"));
-    }
-
-    #[test]
-    fn budget_roundtrip() {
-        let mut markers = BTreeMap::new();
-        markers.insert("core".to_owned(), 0usize);
-        let mut indexing = BTreeMap::new();
-        indexing.insert("core".to_owned(), 12usize);
-        let mut missing_docs = BTreeMap::new();
-        missing_docs.insert("core".to_owned(), 0usize);
-        let rendered = render_budget(&markers, &indexing, &missing_docs);
-        let parsed = parse_budget(&rendered).unwrap();
-        assert_eq!(parsed["panic-markers"]["core"], 0);
-        assert_eq!(parsed["unjustified-indexing"]["core"], 12);
-        assert_eq!(parsed["missing-module-docs"]["core"], 0);
-    }
-
-    #[test]
-    fn errors_docs_required_for_public_result_fns() {
-        let text = "/// Does things.\npub fn f() -> Result<(), E> { Ok(()) }\n";
-        let lines = scan_lines(text);
-        let mut findings = Vec::new();
-        check_errors_docs(Path::new("t.rs"), &lines, &mut findings);
-        assert_eq!(findings.len(), 1);
-
-        let text = "/// Does things.\n///\n/// # Errors\n///\n/// Never.\npub fn f() -> Result<(), E> { Ok(()) }\n";
-        let lines = scan_lines(text);
-        let mut findings = Vec::new();
-        check_errors_docs(Path::new("t.rs"), &lines, &mut findings);
-        assert!(findings.is_empty());
     }
 }

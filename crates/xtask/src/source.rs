@@ -1,0 +1,420 @@
+//! Per-file lint context: the token stream plus the derived views the
+//! passes share — code-token indices with `#[cfg(test)]` regions masked
+//! out, per-line comment text for annotation lookups, and doc-comment
+//! blocks.
+//!
+//! ## Annotation grammar
+//!
+//! Passes are steered by structured comments ("annotations"):
+//!
+//! - `// lint: allow(<class>): <reason>` — excuse the site on the same
+//!   or next line; the site is counted against the crate's budget for
+//!   `<class>` in `lint-budget.toml`.
+//! - `// lint: allow(<class>, file): <reason>` — excuse every site of
+//!   `<class>` in this file (each still counts against the budget).
+//! - `// bounds: <why in range>` — justify an index expression.
+//! - `// float: exact — <reason>` / `// float: partial — <reason>` /
+//!   `// float: nan — <reason>` — float-discipline escapes.
+//!
+//! A same-line annotation covers that line; a line-comment on the line
+//! directly above covers the line below it.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A lexed source file with the derived lookup structures passes need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path the file was read from (workspace-relative or absolute).
+    pub path: PathBuf,
+    /// Full source text.
+    pub text: String,
+    /// Total token stream (trivia included), in source order.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-trivia tokens outside `#[cfg(test)]`
+    /// regions — the stream the lint passes walk.
+    pub code: Vec<usize>,
+    /// Comment text per 1-based line (all comments on the line joined).
+    comments: BTreeMap<u32, String>,
+}
+
+impl SourceFile {
+    /// Lex `text` and build the derived views.
+    pub fn new(path: PathBuf, text: String) -> Self {
+        let tokens = lex(&text);
+        let mut comments: BTreeMap<u32, String> = BTreeMap::new();
+        for token in &tokens {
+            if matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                let entry = comments.entry(token.line).or_default();
+                entry.push_str(token.lexeme(&text));
+                entry.push(' ');
+            }
+        }
+        let code = code_indices(&tokens, &text);
+        SourceFile {
+            path,
+            text,
+            tokens,
+            code,
+            comments,
+        }
+    }
+
+    /// The lexeme of the token at stream index `index`.
+    pub fn lexeme(&self, index: usize) -> &str {
+        self.tokens
+            .get(index)
+            .map(|t| t.lexeme(&self.text))
+            .unwrap_or("")
+    }
+
+    /// The code token at code-position `pos` (see [`SourceFile::code`]).
+    pub fn code_token(&self, pos: usize) -> Option<&Token> {
+        self.code.get(pos).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// The lexeme of the code token at code-position `pos`.
+    pub fn code_lexeme(&self, pos: usize) -> &str {
+        self.code.get(pos).map(|&i| self.lexeme(i)).unwrap_or("")
+    }
+
+    /// Whether the code token at `pos` is the identifier `name`.
+    pub fn is_ident(&self, pos: usize, name: &str) -> bool {
+        self.code_token(pos)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+            && self.code_lexeme(pos) == name
+    }
+
+    /// Whether the code token at `pos` is the punctuation `op`.
+    pub fn is_punct(&self, pos: usize, op: &str) -> bool {
+        self.code_token(pos)
+            .is_some_and(|t| t.kind == TokenKind::Punct)
+            && self.code_lexeme(pos) == op
+    }
+
+    /// Whether `line` — or the contiguous run of comment lines directly
+    /// above it — carries `needle` inside a comment. This is the
+    /// annotation lookup used by every marker; walking the whole comment
+    /// block lets a marker's reason wrap onto continuation lines.
+    pub fn has_marker(&self, line: u32, needle: &str) -> bool {
+        if self.comment_on(line).contains(needle) {
+            return true;
+        }
+        let mut above = line;
+        while above > 1 && self.comments.contains_key(&(above - 1)) {
+            above -= 1;
+            if self.comment_on(above).contains(needle) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any comment in the file carries `needle` (file-level
+    /// annotations such as `lint: allow(<class>, file)`).
+    pub fn has_file_marker(&self, needle: &str) -> bool {
+        self.comments.values().any(|text| text.contains(needle))
+    }
+
+    /// All comment text on `line` (empty when none).
+    fn comment_on(&self, line: u32) -> &str {
+        self.comments.get(&line).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether the file opens with a `//!` (or `/*!`) module doc comment
+    /// before any code; plain comments and inner/outer attributes may
+    /// precede it.
+    pub fn has_module_docs(&self) -> bool {
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            let token = &self.tokens[i];
+            let lexeme = token.lexeme(&self.text);
+            match token.kind {
+                TokenKind::Whitespace => {}
+                TokenKind::LineComment if lexeme.starts_with("//!") => return true,
+                TokenKind::BlockComment if lexeme.starts_with("/*!") => return true,
+                TokenKind::LineComment | TokenKind::BlockComment => {}
+                TokenKind::Punct if lexeme == "#" => {
+                    // Skip `#[…]` / `#![…]` attributes: advance to the
+                    // matching close bracket.
+                    i += 1;
+                    if self
+                        .tokens
+                        .get(i)
+                        .is_some_and(|t| t.lexeme(&self.text) == "!")
+                    {
+                        i += 1;
+                    }
+                    let mut depth = 0usize;
+                    while i < self.tokens.len() {
+                        match self.tokens[i].lexeme(&self.text) {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth = depth.saturating_sub(1);
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                _ => return false,
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Doc-comment text (`///` lines and `/**` blocks) immediately above
+    /// the code token at code-position `pos`, skipping attributes and
+    /// blank lines between the docs and the item.
+    pub fn docs_above(&self, pos: usize) -> String {
+        let Some(&token_index) = self.code.get(pos) else {
+            return String::new();
+        };
+        let mut docs: Vec<&str> = Vec::new();
+        let mut i = token_index;
+        while i > 0 {
+            i -= 1;
+            let token = &self.tokens[i];
+            let lexeme = token.lexeme(&self.text);
+            match token.kind {
+                TokenKind::Whitespace => {}
+                TokenKind::LineComment if lexeme.starts_with("///") => docs.push(lexeme),
+                TokenKind::BlockComment if lexeme.starts_with("/**") => docs.push(lexeme),
+                // Plain comments and attribute tokens may sit between an
+                // item and its docs; attributes lex as `#`, `[`, …, `]`
+                // code tokens which all land here.
+                TokenKind::LineComment | TokenKind::BlockComment => {}
+                _ if is_attribute_token(self, i) => {}
+                _ => break,
+            }
+        }
+        docs.reverse();
+        docs.join("\n")
+    }
+}
+
+/// Whether the token at `index` belongs to an attribute (`#[…]` or
+/// `#![…]`) — a shallow scan backwards for an unclosed `#[`.
+fn is_attribute_token(file: &SourceFile, index: usize) -> bool {
+    let lexeme = file.tokens[index].lexeme(&file.text);
+    if lexeme == "#" || lexeme == "]" || lexeme == "[" || lexeme == "!" {
+        return true;
+    }
+    // Inside the brackets: walk back to the nearest `[`/`]`; an
+    // unmatched `[` preceded by `#` (or `#!`) means we are inside an
+    // attribute.
+    let mut depth = 0i64;
+    let mut i = index;
+    while i > 0 {
+        i -= 1;
+        match file.tokens[i].lexeme(&file.text) {
+            "]" => depth += 1,
+            "[" => {
+                if depth == 0 {
+                    let mut j = i;
+                    while j > 0 {
+                        j -= 1;
+                        let prev = &file.tokens[j];
+                        if prev.is_trivia() {
+                            continue;
+                        }
+                        let prev_lexeme = prev.lexeme(&file.text);
+                        return prev_lexeme == "#"
+                            || (prev_lexeme == "!" && is_hash_before(file, j));
+                    }
+                    return false;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether the nearest non-trivia token before `index` is `#`.
+fn is_hash_before(file: &SourceFile, index: usize) -> bool {
+    let mut i = index;
+    while i > 0 {
+        i -= 1;
+        let token = &file.tokens[i];
+        if token.is_trivia() {
+            continue;
+        }
+        return token.lexeme(&file.text) == "#";
+    }
+    false
+}
+
+/// Indices of non-trivia tokens outside `#[cfg(test)]` regions.
+///
+/// A `#[cfg(test)]` attribute masks itself, any further attributes that
+/// follow it, and the next item — everything up to the matching close
+/// brace of the item's body (or the terminating `;` for bodyless items).
+fn code_indices(tokens: &[Token], text: &str) -> Vec<usize> {
+    let mut code = Vec::with_capacity(tokens.len());
+    let non_trivia: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let lex = |i: usize| tokens[non_trivia[i]].lexeme(text);
+    let mut skip_until: Option<usize> = None; // non_trivia position bound
+    let mut pos = 0usize;
+    let mut masked = vec![false; non_trivia.len()];
+    while pos < non_trivia.len() {
+        if is_cfg_test_at(&non_trivia, tokens, text, pos) {
+            // Mask from here through the end of the item that follows.
+            let mut end = pos + 7; // past `# [ cfg ( test ) ]`
+                                   // Skip any further attributes.
+            while end < non_trivia.len() && lex(end) == "#" {
+                let mut depth = 0usize;
+                end += 1;
+                while end < non_trivia.len() {
+                    match lex(end) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end += 1;
+                }
+            }
+            // Consume the item: to the matching `}` of its first brace
+            // block, or to a `;` that appears before any brace.
+            let mut depth = 0usize;
+            let mut opened = false;
+            while end < non_trivia.len() {
+                match lex(end) {
+                    "{" => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            end += 1;
+                            break;
+                        }
+                    }
+                    ";" if !opened => {
+                        end += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+            skip_until = Some(end);
+        }
+        if let Some(bound) = skip_until {
+            if pos < bound {
+                masked[pos] = true;
+            } else {
+                skip_until = None;
+            }
+        }
+        pos += 1;
+    }
+    for (ntp, &token_index) in non_trivia.iter().enumerate() {
+        if !masked[ntp] {
+            code.push(token_index);
+        }
+    }
+    code
+}
+
+/// Whether non-trivia position `pos` starts the exact token sequence
+/// `# [ cfg ( test ) ]`.
+fn is_cfg_test_at(non_trivia: &[usize], tokens: &[Token], text: &str, pos: usize) -> bool {
+    const SEQ: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    if pos + SEQ.len() > non_trivia.len() {
+        return false;
+    }
+    SEQ.iter().enumerate().all(|(offset, expected)| {
+        non_trivia
+            .get(pos + offset)
+            .is_some_and(|&i| tokens[i].lexeme(text) == *expected)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from("test.rs"), text.to_owned())
+    }
+
+    fn code_lexemes(f: &SourceFile) -> Vec<&str> {
+        (0..f.code.len()).map(|p| f.code_lexeme(p)).collect()
+    }
+
+    #[test]
+    fn cfg_test_mods_are_masked() {
+        let f = file(
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\nfn c() {}\n",
+        );
+        let lexemes = code_lexemes(&f);
+        assert!(lexemes.contains(&"a"));
+        assert!(lexemes.contains(&"c"));
+        assert!(!lexemes.contains(&"b"));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_masked() {
+        let f = file("#[cfg(test)]\n#[allow(dead_code)]\nfn gone() { boo!(); }\nfn kept() {}\n");
+        let lexemes = code_lexemes(&f);
+        assert!(!lexemes.contains(&"gone"));
+        assert!(lexemes.contains(&"kept"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_is_masked() {
+        let f = file("#[cfg(test)]\nuse crate::test_helpers::make;\nfn kept() {}\n");
+        let lexemes = code_lexemes(&f);
+        assert!(!lexemes.contains(&"make"));
+        assert!(lexemes.contains(&"kept"));
+    }
+
+    #[test]
+    fn markers_cover_same_and_previous_line() {
+        let f = file("// lint: allow(panic): fine\nfn a() {}\nfn b() {} // bounds: always\n");
+        assert!(f.has_marker(2, "lint: allow(panic)"));
+        assert!(f.has_marker(3, "bounds:"));
+        assert!(!f.has_marker(2, "bounds:"));
+    }
+
+    #[test]
+    fn module_docs_detection() {
+        assert!(file("//! Docs.\nfn a() {}\n").has_module_docs());
+        assert!(file("// license\n#![forbid(unsafe_code)]\n//! Docs.\n").has_module_docs());
+        assert!(!file("fn a() {}\n").has_module_docs());
+        assert!(!file("// plain comment only\nfn a() {}\n").has_module_docs());
+    }
+
+    #[test]
+    fn docs_above_collects_the_block() {
+        let f = file("/// Line one.\n/// # Errors\n#[inline]\npub fn f() -> Result<(), E> {}\n");
+        let pub_pos = (0..f.code.len())
+            .find(|&p| f.code_lexeme(p) == "pub")
+            .expect("pub token");
+        let docs = f.docs_above(pub_pos);
+        assert!(docs.contains("Line one"));
+        assert!(docs.contains("# Errors"));
+    }
+
+    #[test]
+    fn strings_do_not_hide_markers_or_create_them() {
+        let f = file("let s = \"// lint: allow(panic)\";\nx.unwrap();\n");
+        assert!(!f.has_marker(2, "lint: allow(panic)"));
+    }
+}

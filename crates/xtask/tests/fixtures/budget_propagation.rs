@@ -1,0 +1,30 @@
+//! Fixture: budget-propagation audit — a bare `solve` (finding), a
+//! budgeted `solve_budgeted` (clean), an annotated `knn` (budgeted), a
+//! cancel-aware `run` (clean) and a non-solver helper (ignored).
+
+pub struct Budget;
+pub struct CancelToken;
+
+pub fn solve(problem: &[f64]) -> f64 {
+    problem.iter().sum()
+}
+
+pub fn solve_budgeted(problem: &[f64], budget: &Budget) -> f64 {
+    let _ = budget;
+    problem.iter().sum()
+}
+
+// lint: allow(unbudgeted): fixture-approved fast path
+pub fn knn(problem: &[f64], k: usize) -> f64 {
+    let _ = k;
+    problem.iter().sum()
+}
+
+pub fn run(problem: &[f64], cancel: &CancelToken) -> f64 {
+    let _ = cancel;
+    problem.iter().sum()
+}
+
+pub fn helper(problem: &[f64]) -> f64 {
+    problem.iter().sum()
+}

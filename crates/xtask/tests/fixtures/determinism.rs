@@ -1,0 +1,28 @@
+//! Fixture: determinism audit — an unannotated HashMap (finding), an
+//! annotated Instant::now (budgeted), and decoys (string, comment, test
+//! code) that must not count.
+
+pub fn unannotated() -> usize {
+    let map = std::collections::HashMap::<u32, u32>::new();
+    map.len()
+}
+
+pub fn annotated() -> bool {
+    // lint: allow(nondeterminism): fixture-approved wall-clock read
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() > 0
+}
+
+pub fn decoys() -> &'static str {
+    // HashMap in a comment is fine.
+    "and HashMap in a string is fine too"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_masked() {
+        let set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        assert!(set.is_empty());
+    }
+}

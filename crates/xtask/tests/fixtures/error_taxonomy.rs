@@ -1,0 +1,27 @@
+//! Fixture: error-taxonomy audit — a string Err and a format! Err
+//! (findings), an annotated string Err (budgeted), and a typed Err plus
+//! decoys that must not count.
+
+pub fn stringly(flag: bool) -> Result<(), String> {
+    if flag {
+        return Err("stringly".to_string());
+    }
+    Err(format!("also stringly: {flag}"))
+}
+
+pub fn annotated() -> Result<(), String> {
+    // lint: allow(error-taxonomy): fixture-approved diagnostic
+    Err(String::from("excused"))
+}
+
+pub enum TypedError {
+    Bad,
+}
+
+pub fn typed() -> Result<(), TypedError> {
+    Err(TypedError::Bad)
+}
+
+pub fn decoy() -> &'static str {
+    "Err(\"inside a string\") must not count"
+}

@@ -1,0 +1,30 @@
+//! Fixture: errors-docs audit — `undocumented` (finding), `documented`
+//! (clean), `nested_result` (finding: Result buried in a tuple, which the
+//! token engine sees and the line scanner missed), private fn (clean).
+
+/// Does a thing.
+pub fn undocumented() -> Result<(), String> {
+    Ok(())
+}
+
+/// Does a thing.
+///
+/// # Errors
+///
+/// Never, in practice.
+pub fn documented() -> Result<(), String> {
+    Ok(())
+}
+
+/// Returns a value and a fallible channel.
+pub fn nested_result() -> (u32, Result<(), String>) {
+    (1, Ok(()))
+}
+
+fn private_fallible() -> Result<(), String> {
+    Ok(())
+}
+
+pub fn consume() {
+    let _ = private_fallible();
+}

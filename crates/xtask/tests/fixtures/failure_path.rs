@@ -1,0 +1,11 @@
+//! Fixture: failure-path audit — in Forbidden files even a marked panic
+//! is a finding; both sites below must be reported.
+
+pub fn marked_is_still_banned() -> u32 {
+    // lint: allow(panic): markers do not excuse failure-path code
+    "7".parse().unwrap()
+}
+
+pub fn unmarked() {
+    panic!("failure paths must return values");
+}

@@ -1,0 +1,30 @@
+//! Fixture: float-discipline audit — an exact float comparison, a
+//! partial_cmp and a NaN sentinel (findings), then marked twins of each
+//! (clean).
+
+pub fn exact_compare(x: f64) -> bool {
+    x == 0.5
+}
+
+pub fn marked_compare(x: f64) -> bool {
+    // float: exact — fixture sentinel is assigned, never computed
+    x == 0.5
+}
+
+pub fn partial(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn marked_partial(a: f64, b: f64) -> bool {
+    // float: partial — fixture knows both operands are finite
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn nan_sentinel() -> f64 {
+    f64::NAN
+}
+
+pub fn marked_nan() -> f64 {
+    // float: nan — fixture poison value
+    f64::NAN
+}

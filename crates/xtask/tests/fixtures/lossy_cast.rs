@@ -1,0 +1,21 @@
+//! Fixture: lossy-cast audit — an unannotated numeric cast (finding), an
+//! annotated one (budgeted), and non-numeric casts that must not count.
+
+pub fn unannotated(len: usize) -> u32 {
+    len as u32
+}
+
+pub fn annotated(len: usize) -> u32 {
+    // lint: allow(lossy-cast): fixture-approved, len < 2^32 by contract
+    len as u32
+}
+
+pub fn not_numeric(x: u8) -> char {
+    x as char
+}
+
+pub fn widening_is_still_audited(x: u32) -> u64 {
+    // Deliberate: the audit flags every numeric-to-numeric cast so the
+    // annotation records why each one is safe.
+    u64::from(x)
+}

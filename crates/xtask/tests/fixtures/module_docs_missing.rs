@@ -1,0 +1,4 @@
+// A plain comment is not a module doc; this file counts against the
+// missing-module-docs budget.
+
+pub fn lonely() {}

@@ -1,0 +1,25 @@
+//! Fixture: panic-marker audit — one unmarked site (line 9), one marked
+//! site (line 12), plus string/comment/test decoys that must not count.
+
+pub fn decoys() -> usize {
+    let msg = "never .unwrap() inside a string"; // or .expect( in a comment
+    msg.len()
+}
+
+pub fn unmarked() -> u32 {
+    "7".parse().unwrap()
+}
+
+pub fn marked() -> u32 {
+    // lint: allow(panic): fixture-approved
+    "7".parse().expect("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_masked() {
+        super::marked();
+        let _ = "x".parse::<u32>().unwrap();
+    }
+}
