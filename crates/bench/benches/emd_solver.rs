@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{tiling_bench, Scale};
-use emd_core::{emd, ground, Histogram};
+use emd_core::{emd, emd_in_context, emd_rectangular_budgeted, ground, EmdContext, Histogram};
+use emd_transport::{solve_warm, Budget, SimplexOptions, SolverWorkspace, TransportProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -56,5 +57,116 @@ fn emd_on_realistic_features(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, emd_vs_dimensionality, emd_on_realistic_features);
+/// A KNOP-like candidate sequence: one fixed supply marginal (the query)
+/// against a drifting run of demand marginals (candidates pulled in
+/// ascending filter-distance order resemble their predecessors).
+fn drifting_sequence(dim: usize, steps: usize) -> (Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(dim as u64 ^ 0x5eed);
+    let raw: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.05_f64..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    let supplies: Vec<f64> = raw.iter().map(|s| s / total).collect();
+    let costs: Vec<f64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0.01_f64..4.0))
+        .collect();
+    let mut base: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.05_f64..1.0)).collect();
+    let mut demand_sets = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        for mass in &mut base {
+            *mass *= 1.0 + rng.gen_range(-0.02_f64..0.02);
+        }
+        let total: f64 = base.iter().sum();
+        demand_sets.push(base.iter().map(|d| d / total).collect());
+    }
+    (supplies, demand_sets, costs)
+}
+
+/// Cold-start (fresh workspace per solve — the pre-warm code path) vs a
+/// single reused workspace across the whole candidate run.
+fn solver_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_cold_vs_warm");
+    for dim in [16usize, 32] {
+        let (supplies, demand_sets, costs) = drifting_sequence(dim, 16);
+        let problems: Vec<TransportProblem> = demand_sets
+            .iter()
+            .map(|demands| {
+                TransportProblem::new(supplies.clone(), demands.clone(), costs.clone())
+                    .expect("valid instance")
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("cold", dim), &dim, |b, _| {
+            b.iter(|| {
+                for problem in &problems {
+                    let mut ws = SolverWorkspace::new();
+                    black_box(
+                        solve_warm(
+                            problem,
+                            SimplexOptions::default(),
+                            &Budget::unlimited(),
+                            &mut ws,
+                        )
+                        .expect("valid instance"),
+                    );
+                }
+            })
+        });
+        let mut ws = SolverWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("warm", dim), &dim, |b, _| {
+            b.iter(|| {
+                for problem in &problems {
+                    black_box(
+                        solve_warm(
+                            problem,
+                            SimplexOptions::default(),
+                            &Budget::unlimited(),
+                            &mut ws,
+                        )
+                        .expect("valid instance"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Allocation economics at the EMD layer: the context-free entry point
+/// (fresh buffers + workspace per call) vs [`emd_in_context`] reusing one
+/// [`EmdContext`] across the run.
+fn emd_alloc_vs_reuse(c: &mut Criterion) {
+    let dim = 32usize;
+    let mut rng = StdRng::seed_from_u64(0xa110c);
+    let costs: Vec<f64> = (0..dim * dim)
+        .map(|_| rng.gen_range(0.01_f64..4.0))
+        .collect();
+    let cost = emd_core::CostMatrix::new(dim, dim, costs).expect("valid dims");
+    let query = random_histogram(dim, &mut rng);
+    let candidates: Vec<Histogram> = (0..12).map(|_| random_histogram(dim, &mut rng)).collect();
+    let budget = Budget::unlimited();
+
+    let mut group = c.benchmark_group("emd_alloc_vs_reuse");
+    group.bench_function("fresh_buffers", |b| {
+        b.iter(|| {
+            for y in &candidates {
+                black_box(emd_rectangular_budgeted(&query, y, &cost, &budget).expect("valid"));
+            }
+        })
+    });
+    let mut ctx = EmdContext::new();
+    group.bench_function("reused_context", |b| {
+        b.iter(|| {
+            for y in &candidates {
+                black_box(emd_in_context(&query, y, &cost, &budget, &mut ctx).expect("valid"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    emd_vs_dimensionality,
+    emd_on_realistic_features,
+    solver_cold_vs_warm,
+    emd_alloc_vs_reuse
+);
 criterion_main!(benches);

@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emd_bench::setup::{
-    build_reduction, chained_executor, flow_sample, scan_executor, tiling_bench, Scale, Strategy,
+    build_reduction, chained_executor, chained_executor_mode, flow_sample, scan_executor,
+    tiling_bench, Scale, Strategy,
 };
 use std::hint::black_box;
 
@@ -40,5 +41,31 @@ fn knn_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, knn_query);
+/// The same chained plan with warm-start solver contexts on (default)
+/// and forced off — the end-to-end payoff of reusing one workspace per
+/// prepared query across KNOP's refinement stream (backs E16).
+fn knn_warm_vs_cold(c: &mut Criterion) {
+    let scale = Scale {
+        tiling_per_class: 12,
+        color_per_class: 4,
+        queries: 4,
+        sample: 10,
+    };
+    let bench = tiling_bench(&scale, 8);
+    let flows = flow_sample(&bench, scale.sample, 9);
+    let query = &bench.queries[0];
+
+    let mut group = c.benchmark_group("knn_warm_vs_cold");
+    group.sample_size(10);
+    for (label, warm) in [("cold", false), ("warm", true)] {
+        let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 16, 11);
+        let executor = chained_executor_mode(&bench, reduction, warm);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(executor.knn(query, 10).expect("valid query")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, knn_query, knn_warm_vs_cold);
 criterion_main!(benches);

@@ -3,8 +3,9 @@
 
 use crate::report::{fnum, Table};
 use crate::setup::{
-    build_reduction, chained_executor, color_bench, flow_sample, mean_tightness_ratio, measure_knn,
-    red_emd_executor, refiner, scan_executor, tiling_bench, Bench, Scale, Strategy,
+    build_reduction, chained_executor, chained_executor_mode, checked, color_bench, flow_sample,
+    mean_tightness_ratio, measure_knn, red_emd_executor, refiner, scan_executor, tiling_bench,
+    Bench, Scale, Strategy,
 };
 use emd_obs::DurationHistogram;
 use emd_query::{
@@ -16,7 +17,7 @@ use emd_reduction::kmedoids::kmedoids_reduction;
 use emd_reduction::pca::pca_guided_reduction;
 use emd_reduction::{CombiningReduction, ReducedEmd};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 const SEED: u64 = 20080609; // SIGMOD'08 started June 9, 2008.
@@ -1043,6 +1044,256 @@ pub fn e15(scale: &Scale, _quick: bool) -> Table {
     table
 }
 
+/// One measured workload of the E16 warm-start report (`BENCH_PR7.json`).
+struct WarmColdRow {
+    /// Workload label, e.g. `"E4-style tiling"`.
+    workload: String,
+    /// Histogram dimensionality.
+    dim: usize,
+    /// Reduced dimensionality d' of the chained plan.
+    d_red: usize,
+    /// Database size.
+    objects: usize,
+    /// Query count.
+    queries: usize,
+    /// Neighbors requested per query.
+    k: usize,
+    /// Best-of-reps mean response time, cold mode (fresh workspace per solve).
+    cold_ms_per_query: f64,
+    /// Best-of-reps mean response time, warm mode (reused per-query context).
+    warm_ms_per_query: f64,
+    /// `cold_ms_per_query / warm_ms_per_query`.
+    speedup: f64,
+    /// Mean simplex pivots per query, cold mode.
+    cold_pivots_per_query: f64,
+    /// Mean simplex pivots per query, warm mode.
+    warm_pivots_per_query: f64,
+    /// Total warm-basis refit attempts over the timed warm passes.
+    warm_attempts: u64,
+    /// Refit attempts that produced a feasible starting basis.
+    warm_hits: u64,
+    /// `warm_hits / warm_attempts`.
+    warm_hit_rate: f64,
+    /// Warm-vs-cold answers (ids, distance bits, stats) matched exactly.
+    bit_identical: bool,
+}
+
+serde::impl_serde_struct!(WarmColdRow {
+    workload,
+    dim,
+    d_red,
+    objects,
+    queries,
+    k,
+    cold_ms_per_query,
+    warm_ms_per_query,
+    speedup,
+    cold_pivots_per_query,
+    warm_pivots_per_query,
+    warm_attempts,
+    warm_hits,
+    warm_hit_rate,
+    bit_identical,
+});
+
+/// The schema-versioned payload E16 writes to the repository root.
+struct WarmColdReport {
+    /// Schema tag, always `"flexemd-bench/v1"`.
+    schema: String,
+    /// Producing experiment id (`"E16"`).
+    experiment: String,
+    /// Human-readable summary of the methodology.
+    description: String,
+    /// One entry per measured workload.
+    rows: Vec<WarmColdRow>,
+}
+
+serde::impl_serde_struct!(WarmColdReport {
+    schema,
+    experiment,
+    description,
+    rows,
+});
+
+/// A tie-broken copy of a bench: every non-zero ground-distance entry
+/// gets a deterministic relative jitter of at most 1e-4. Grid and linear
+/// ground distances are integer-valued, so ties between transport bases
+/// are common and warm/cold solves may legitimately settle on different
+/// (equally optimal) bases whose objectives differ in the last ulp. The
+/// jitter makes every LP's optimal basis generically unique, so E16 can
+/// assert *bit-identical* answers rather than a tolerance — while keeping
+/// the corpus geometry (and hence filter selectivity) E4/E12-style to
+/// within 0.01%.
+fn tie_broken(bench: &Bench, seed: u64) -> Bench {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries: Vec<f64> = bench
+        .cost
+        .entries()
+        .iter()
+        .map(|&c| {
+            if c == 0.0 {
+                0.0
+            } else {
+                c * (1.0 + rng.gen_range(0.0_f64..1e-4))
+            }
+        })
+        .collect();
+    let cost = std::sync::Arc::new(checked(
+        emd_core::CostMatrix::new(bench.cost.rows(), bench.cost.cols(), entries),
+        "jittered copy of a valid matrix stays valid",
+    ));
+    Bench {
+        name: format!("{} [tie-broken]", bench.name),
+        database: checked(
+            Database::new(bench.database.histograms().to_vec(), cost.clone()),
+            "same histograms over the same dimensions",
+        ),
+        cost,
+        queries: bench.queries.clone(),
+        positions: bench.positions.clone(),
+    }
+}
+
+/// Measure one chained KNOP workload cold (warm starts forced off — the
+/// pre-warm code path) and warm (per-query solver contexts) in the same
+/// run: an untimed parity pass asserts bit-identical answers, then
+/// best-of-3 timed passes under [`emd_obs::Recording`] scopes collect
+/// response times, pivot counts, and the warm-start hit rate.
+fn warm_cold_row(
+    bench: &Bench,
+    workload: &str,
+    d_red: usize,
+    k: usize,
+    sample: usize,
+) -> WarmColdRow {
+    let flows = flow_sample(bench, sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::FbAllKMed, bench, &flows, d_red, SEED ^ 0xbead);
+    let cold = chained_executor_mode(bench, reduction.clone(), false);
+    let warm = chained_executor_mode(bench, reduction, true);
+
+    let mut bit_identical = true;
+    for query in &bench.queries {
+        let (cold_neighbors, cold_stats) = checked(cold.knn(query, k), "consistent cold plan");
+        let (warm_neighbors, warm_stats) = checked(warm.knn(query, k), "consistent warm plan");
+        bit_identical &= cold_stats == warm_stats
+            && cold_neighbors.len() == warm_neighbors.len()
+            && cold_neighbors
+                .iter()
+                .zip(&warm_neighbors)
+                .all(|(c, w)| c.id == w.id && c.distance.to_bits() == w.distance.to_bits());
+    }
+    assert!(bit_identical, "warm-vs-cold answers diverged on {workload}");
+
+    const REPS: usize = 3;
+    let per_query_solves = (bench.queries.len().max(1) * REPS) as f64;
+    let recording = emd_obs::Recording::start();
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let pass = measure_knn(&cold, &bench.queries, k).time_per_query;
+        cold_ms = cold_ms.min(pass.as_secs_f64() * 1e3);
+    }
+    let cold_registry = recording.finish();
+    let recording = emd_obs::Recording::start();
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let pass = measure_knn(&warm, &bench.queries, k).time_per_query;
+        warm_ms = warm_ms.min(pass.as_secs_f64() * 1e3);
+    }
+    let warm_registry = recording.finish();
+
+    let warm_attempts = warm_registry.counter("transport.warm.attempts");
+    let warm_hits = warm_registry.counter("transport.warm.hits");
+    WarmColdRow {
+        workload: workload.to_owned(),
+        dim: bench.dim(),
+        d_red,
+        objects: bench.database.len(),
+        queries: bench.queries.len(),
+        k,
+        cold_ms_per_query: cold_ms,
+        warm_ms_per_query: warm_ms,
+        speedup: cold_ms / warm_ms.max(1e-12),
+        cold_pivots_per_query: cold_registry.counter("transport.simplex.pivots") as f64
+            / per_query_solves,
+        warm_pivots_per_query: warm_registry.counter("transport.simplex.pivots") as f64
+            / per_query_solves,
+        warm_attempts,
+        warm_hits,
+        warm_hit_rate: warm_hits as f64 / warm_attempts.max(1) as f64,
+        bit_identical,
+    }
+}
+
+/// E16: warm-start solver workspaces. Cold-vs-warm response times on the
+/// E4-style (tiling, 96-d) and E12-style (gaussian, 32-d) chained KNOP
+/// workloads, measured A/B in the same run with bit-identical answers
+/// asserted, plus the solver-level economics (pivots per query, warm-start
+/// hit rate) and a k=1 overhead row. Writes `BENCH_PR7.json`
+/// (schema `flexemd-bench/v1`) to the repository root.
+pub fn e16(scale: &Scale, _quick: bool) -> Table {
+    let mut table = Table::new(
+        "E16",
+        "warm-start solver workspaces: cold vs warm (chained KNOP plans)",
+        &[
+            "workload",
+            "k",
+            "cold ms/q",
+            "warm ms/q",
+            "speedup",
+            "cold piv/q",
+            "warm piv/q",
+            "hit rate",
+            "identical",
+        ],
+    );
+    let tiling = tie_broken(&tiling_bench(scale, SEED), SEED ^ 0x71e);
+    let gaussian = tie_broken(&gaussian_bench(scale), SEED ^ 0x9a55);
+    let rows = vec![
+        warm_cold_row(&tiling, "E4-style tiling", 16, K_DEFAULT, scale.sample),
+        warm_cold_row(&gaussian, "E12-style gaussian", 8, K_DEFAULT, scale.sample),
+        warm_cold_row(&gaussian, "E12-style gaussian", 8, 1, scale.sample),
+    ];
+    for row in &rows {
+        table.row(vec![
+            row.workload.clone(),
+            row.k.to_string(),
+            fnum(row.cold_ms_per_query),
+            fnum(row.warm_ms_per_query),
+            fnum(row.speedup),
+            fnum(row.cold_pivots_per_query),
+            fnum(row.warm_pivots_per_query),
+            fnum(row.warm_hit_rate),
+            row.bit_identical.to_string(),
+        ]);
+    }
+    table.note(
+        "cold = fresh solver workspace and buffers per candidate (the pre-warm \
+         code path); warm = one reused context per prepared query; answers \
+         asserted bit-identical in the same run, best-of-3 timing",
+    );
+    table.note(
+        "ground distances carry a deterministic <=0.01% tie-breaking jitter so \
+         every LP has a unique optimal basis and bit-parity is exact",
+    );
+    let report = WarmColdReport {
+        schema: "flexemd-bench/v1".to_owned(),
+        experiment: "E16".to_owned(),
+        description: "Warm-start solver workspaces: chained KNOP (Red-IM -> Red-EMD -> EMD) \
+                      measured with warm-start contexts forced off (cold) and on (warm) in \
+                      the same run; answers asserted bit-identical; best-of-3 timing; pivot \
+                      counts and warm hit rates from the emd-obs registry."
+            .to_owned(),
+        rows,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json");
+    match serde_json::to_vec_pretty(&report).map(|bytes| std::fs::write(&path, bytes)) {
+        Ok(Ok(())) => table.note(format!("wrote {}", path.display())),
+        Ok(Err(error)) => table.note(format!("could not write BENCH_PR7.json: {error}")),
+        Err(error) => table.note(format!("could not serialize BENCH_PR7.json: {error}")),
+    }
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -1061,6 +1312,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e13(scale, quick),
         e14(scale, quick),
         e15(scale, quick),
+        e16(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -1086,6 +1338,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e13" => Some(e13(scale, quick)),
         "e14" => Some(e14(scale, quick)),
         "e15" => Some(e15(scale, quick)),
+        "e16" => Some(e16(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),

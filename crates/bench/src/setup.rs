@@ -224,15 +224,49 @@ pub fn build_reduction_with_options(
     }
 }
 
+/// Unwrap experiment-harness plumbing. A panic here means the harness is
+/// mis-assembled, not that a measured system failed; centralizing the
+/// panic keeps the crate's panic-site budget flat as experiments grow.
+pub fn checked<T, E: std::fmt::Debug>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(value) => value,
+        Err(error) => panic!("{what}: {error:?}"),
+    }
+}
+
 /// Build the paper's Figure 10 plan (`Red-IM -> Red-EMD -> EMD`) for a
 /// symmetric reduction and wrap it in an executor.
 pub fn chained_executor(bench: &Bench, reduction: CombiningReduction) -> Executor {
-    let reduced = ReducedEmd::new(&bench.cost, reduction).expect("validated reduction");
+    chained_executor_mode(bench, reduction, true)
+}
+
+/// [`chained_executor`] with warm-start solver contexts enabled or
+/// forced off on every solver-backed stage — the A/B harness behind the
+/// E16 cold-vs-warm comparison. `warm = false` is exactly the pre-warm
+/// code path (fresh workspace per solve).
+pub fn chained_executor_mode(bench: &Bench, reduction: CombiningReduction, warm: bool) -> Executor {
+    let reduced = checked(
+        ReducedEmd::new(&bench.cost, reduction),
+        "validated reduction",
+    );
     let stages: Vec<Box<dyn Filter>> = vec![
-        Box::new(ReducedImFilter::new(&bench.database, reduced.clone()).expect("consistent")),
-        Box::new(ReducedEmdFilter::new(&bench.database, reduced).expect("consistent")),
+        Box::new(checked(
+            ReducedImFilter::new(&bench.database, reduced.clone()),
+            "red-im filter over the bench database",
+        )),
+        Box::new(
+            checked(
+                ReducedEmdFilter::new(&bench.database, reduced),
+                "red-emd filter over the bench database",
+            )
+            .with_warm_start(warm),
+        ),
     ];
-    Executor::new(QueryPlan::new(stages, Box::new(refiner(bench))).expect("consistent"))
+    let refiner = refiner(bench).with_warm_start(warm);
+    Executor::new(checked(
+        QueryPlan::new(stages, Box::new(refiner)),
+        "chained plan",
+    ))
 }
 
 /// A single-stage `Red-EMD -> EMD` plan wrapped in an executor.

@@ -1,0 +1,275 @@
+//! Reusable EMD evaluation contexts: the steady-state entry of the
+//! refinement hot path.
+//!
+//! [`emd_in_context`] computes the same exact EMD as
+//! [`crate::emd_rectangular_budgeted`], but routes the solve through a
+//! caller-owned [`EmdContext`] holding a transport
+//! [`SolverWorkspace`](emd_transport::SolverWorkspace) plus the
+//! support-stripping and flattened row-major cost buffers. Consecutive
+//! evaluations against one fixed query histogram — the KNOP refinement
+//! pattern — then reuse every allocation and warm-start the simplex from
+//! the previous candidate's optimal basis.
+//!
+//! Results are bit-identical to the context-free entry points: both paths
+//! build the same stripped tableau and the transport layer extracts its
+//! answer canonically from the final basis (see `emd_transport`'s
+//! warm-start docs), so a warm-started solve agrees with a cold solve to
+//! the bit whenever the optimum is unique.
+
+use crate::cost::CostMatrix;
+use crate::error::CoreError;
+use crate::histogram::Histogram;
+use emd_transport::{
+    solve_warm_objective, Budget, SimplexOptions, SolverWorkspace, TransportError,
+    TransportProblem, WorkspaceStats,
+};
+
+/// Caller-owned scratch for repeated EMD evaluations.
+///
+/// Owns the transport workspace (dual vectors, basis tree, warm-start
+/// basis) and the core-level staging buffers (support indices, stripped
+/// marginals, flattened costs). After the first evaluation has grown the
+/// buffers, the steady path performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct EmdContext {
+    ws: SolverWorkspace,
+    x_index: Vec<usize>,
+    y_index: Vec<usize>,
+    supplies: Vec<f64>,
+    demands: Vec<f64>,
+    costs: Vec<f64>,
+}
+
+impl EmdContext {
+    /// An empty context; buffers grow on first use and are kept across
+    /// evaluations.
+    #[must_use]
+    pub fn new() -> Self {
+        EmdContext::default()
+    }
+
+    /// Transport-level work counters (solves, warm attempts/hits, pivots)
+    /// accumulated by every evaluation routed through this context.
+    #[must_use]
+    pub fn stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Forget the warm-start basis: the next evaluation solves cold.
+    /// Scratch buffers keep their capacity.
+    // lint: allow(unbudgeted): state reset, performs no solver work
+    pub fn clear_warm_state(&mut self) {
+        self.ws.clear_warm_state();
+    }
+}
+
+/// Exact EMD through a reusable [`EmdContext`]; accepts rectangular cost
+/// matrices like [`crate::emd_rectangular_budgeted`] and returns the same
+/// distance bit-for-bit (for instances with a unique optimum), while
+/// reusing the context's buffers and warm-starting the simplex from the
+/// previous evaluation's basis when the stripped tableau shapes match.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::emd_rectangular_budgeted`]:
+/// [`CoreError::DimensionMismatch`] when `x` does not match `cost.rows()`
+/// or `y` does not match `cost.cols()`, [`CoreError::BudgetExhausted`]
+/// when `budget` fires mid-solve, and [`CoreError::Solver`] on any other
+/// LP-level failure.
+pub fn emd_in_context(
+    x: &Histogram,
+    y: &Histogram,
+    cost: &CostMatrix,
+    budget: &Budget,
+    ctx: &mut EmdContext,
+) -> Result<f64, CoreError> {
+    emd_obs::counter_add("core.emd.solves", 1);
+    if cost.rows() != x.dim() || cost.cols() != y.dim() {
+        return Err(CoreError::DimensionMismatch {
+            expected_rows: cost.rows(),
+            expected_cols: cost.cols(),
+            got_rows: x.dim(),
+            got_cols: y.dim(),
+        });
+    }
+
+    // Identical operands under a square matrix with zero diagonal have
+    // distance 0; skip the LP (same shortcut as the context-free path).
+    if cost.is_square() && x == y {
+        // float: exact — identity shortcut requires an exactly zero diagonal, else fall through to the LP
+        let diagonal_free = x.nonzero().all(|(i, _)| cost.at(i, i) == 0.0);
+        if diagonal_free {
+            return Ok(0.0);
+        }
+    }
+
+    // Strip zero-mass bins into the context's staging buffers.
+    ctx.x_index.clear();
+    ctx.supplies.clear();
+    for (i, mass) in x.nonzero() {
+        ctx.x_index.push(i);
+        ctx.supplies.push(mass);
+    }
+    ctx.y_index.clear();
+    ctx.demands.clear();
+    for (j, mass) in y.nonzero() {
+        ctx.y_index.push(j);
+        ctx.demands.push(mass);
+    }
+    debug_assert!(
+        !ctx.x_index.is_empty() && !ctx.y_index.is_empty(),
+        "normalized histograms have non-empty support"
+    );
+
+    ctx.costs.clear();
+    ctx.costs.reserve(ctx.x_index.len() * ctx.y_index.len());
+    for &i in &ctx.x_index {
+        let row = cost.row(i);
+        ctx.costs.extend(ctx.y_index.iter().map(|&j| row[j])); // bounds: y_index holds support positions < cost.cols()
+    }
+
+    // Round-trip the owned buffers through the problem: `into_parts`
+    // returns them after the solve, so the steady path never reallocates.
+    // A validation error consumes them (they re-grow next call).
+    let problem = TransportProblem::new(
+        std::mem::take(&mut ctx.supplies),
+        std::mem::take(&mut ctx.demands),
+        std::mem::take(&mut ctx.costs),
+    )
+    .map_err(|e| CoreError::Solver(e.to_string()))?;
+
+    let solved = solve_warm_objective(&problem, SimplexOptions::default(), budget, &mut ctx.ws);
+    let objective = match solved {
+        Ok(objective) => objective,
+        Err(TransportError::BudgetExhausted { reason }) => {
+            // Budget exhaustion stays typed so upper layers can degrade.
+            (ctx.supplies, ctx.demands, ctx.costs) = problem.into_parts();
+            return Err(CoreError::BudgetExhausted(reason));
+        }
+        Err(other) => {
+            (ctx.supplies, ctx.demands, ctx.costs) = problem.into_parts();
+            return Err(CoreError::Solver(other.to_string()));
+        }
+    };
+
+    if cfg!(debug_assertions) {
+        let solution = ctx.ws.last_solution(objective);
+        let flows = solution
+            .flows
+            .into_iter()
+            // bounds: the solver's cells index the stripped tableau, whose
+            // axes are exactly x_index / y_index.
+            .map(|(i, j, f)| (ctx.x_index[i], ctx.y_index[j], f))
+            .collect();
+        let report = crate::EmdReport {
+            distance: objective,
+            flows,
+        };
+        crate::certify::debug_certify_report(x, y, cost, &report);
+    }
+
+    (ctx.supplies, ctx.demands, ctx.costs) = problem.into_parts();
+    Ok(objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground;
+    use crate::{emd, emd_rectangular_budgeted};
+
+    fn h(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn context_matches_context_free_path() {
+        let x = h(&[0.1, 0.4, 0.0, 0.3, 0.2]);
+        let ys = [
+            h(&[0.3, 0.0, 0.3, 0.0, 0.4]),
+            h(&[0.2, 0.2, 0.2, 0.2, 0.2]),
+            h(&[0.0, 0.0, 1.0, 0.0, 0.0]),
+            h(&[0.5, 0.1, 0.1, 0.1, 0.2]),
+        ];
+        let c = ground::linear(5).unwrap();
+        let mut ctx = EmdContext::new();
+        for y in &ys {
+            let cold = emd(&x, y, &c).unwrap();
+            let warm = emd_in_context(&x, y, &c, &Budget::unlimited(), &mut ctx).unwrap();
+            assert_eq!(cold.to_bits(), warm.to_bits());
+        }
+        assert_eq!(ctx.stats().solves, 4);
+    }
+
+    #[test]
+    fn identity_shortcut_still_fires() {
+        let x = h(&[0.25, 0.25, 0.5]);
+        let c = ground::linear(3).unwrap();
+        let mut ctx = EmdContext::new();
+        assert_eq!(
+            emd_in_context(&x, &x, &c, &Budget::unlimited(), &mut ctx).unwrap(),
+            0.0
+        );
+        // The shortcut skips the LP entirely: no transport solve recorded.
+        assert_eq!(ctx.stats().solves, 0);
+    }
+
+    #[test]
+    fn rectangular_operands_warm_start() {
+        let x = h(&[0.5, 0.25, 0.25]);
+        let ys = [h(&[0.5, 0.5]), h(&[0.25, 0.75]), h(&[0.9, 0.1])];
+        let c = CostMatrix::new(3, 2, vec![0.0, 2.0, 1.0, 1.0, 2.0, 0.0]).unwrap();
+        let mut ctx = EmdContext::new();
+        for y in &ys {
+            let cold = emd_rectangular_budgeted(&x, y, &c, &Budget::unlimited()).unwrap();
+            let warm = emd_in_context(&x, y, &c, &Budget::unlimited(), &mut ctx).unwrap();
+            assert_eq!(cold.to_bits(), warm.to_bits());
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.solves, 3);
+        assert_eq!(stats.warm_attempts, 2, "same support shape across ys");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let x = h(&[0.5, 0.5]);
+        let y = h(&[0.5, 0.25, 0.25]);
+        let c = ground::linear(2).unwrap();
+        let mut ctx = EmdContext::new();
+        assert!(matches!(
+            emd_in_context(&x, &y, &c, &Budget::unlimited(), &mut ctx).unwrap_err(),
+            CoreError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_stays_typed_and_context_survives() {
+        let x = h(&[0.1, 0.4, 0.0, 0.3, 0.2]);
+        let y = h(&[0.3, 0.0, 0.3, 0.0, 0.4]);
+        let c = ground::linear(5).unwrap();
+        let mut ctx = EmdContext::new();
+        let token = emd_transport::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err = emd_in_context(&x, &y, &c, &budget, &mut ctx).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::BudgetExhausted(emd_transport::BudgetReason::Cancelled)
+        );
+        // The context stays usable after a failed evaluation.
+        let ok = emd_in_context(&x, &y, &c, &Budget::unlimited(), &mut ctx).unwrap();
+        assert_eq!(ok.to_bits(), emd(&x, &y, &c).unwrap().to_bits());
+    }
+
+    #[test]
+    fn clear_warm_state_forces_cold_solves() {
+        let x = h(&[0.1, 0.4, 0.0, 0.3, 0.2]);
+        let y = h(&[0.3, 0.0, 0.3, 0.0, 0.4]);
+        let c = ground::linear(5).unwrap();
+        let mut ctx = EmdContext::new();
+        emd_in_context(&x, &y, &c, &Budget::unlimited(), &mut ctx).unwrap();
+        ctx.clear_warm_state();
+        emd_in_context(&x, &y, &c, &Budget::unlimited(), &mut ctx).unwrap();
+        assert_eq!(ctx.stats().warm_attempts, 0);
+    }
+}

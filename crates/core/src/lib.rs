@@ -15,6 +15,10 @@
 //! * [`emd`] / [`emd_with_flows`] — the exact EMD via the transportation
 //!   simplex of `emd-transport`, with zero-mass bins stripped before
 //!   solving.
+//! * [`EmdContext`] / [`emd_in_context`] — the same exact EMD through a
+//!   caller-owned context that reuses every buffer and warm-starts the
+//!   simplex from the previous evaluation's basis (the refinement hot
+//!   path of the query layer).
 //! * [`lower_bounds`] — LB_IM (independent minimization), the Rubner
 //!   centroid bound, and a scaled-L1 bound; all are complete filters for
 //!   multistep query processing.
@@ -29,6 +33,7 @@
 //! giving the per-filter breakdown behind `flexemd query --metrics json`.
 
 pub mod certify;
+mod context;
 mod cost;
 mod emd;
 mod error;
@@ -38,6 +43,7 @@ mod histogram;
 pub mod lower_bounds;
 pub mod upper_bound;
 
+pub use context::{emd_in_context, EmdContext};
 pub use cost::CostMatrix;
 pub use emd::{
     emd, emd_1d_manhattan, emd_budgeted, emd_rectangular, emd_rectangular_budgeted, emd_with_flows,

@@ -15,6 +15,19 @@
 //! sequential path because each query runs the exact same single-query
 //! code on an immutable shared plan.
 //!
+//! ## Warm-start contexts
+//!
+//! The solver-backed stages ([`EmdDistance`](crate::EmdDistance) and
+//! [`ReducedEmdFilter`](crate::ReducedEmdFilter)) build one
+//! `EmdContext` per prepared query, so every candidate evaluated for
+//! that query reuses the solver's buffers and warm-starts from the
+//! previous candidate's optimal basis. Preparation happens inside the
+//! worker that owns the query, which gives batch execution one context
+//! per in-flight query per worker with no sharing across threads —
+//! worker counts cannot affect results, and the observability merge
+//! below absorbs the transport warm-start counters chunk-order
+//! deterministically like every other counter.
+//!
 //! ## Execution governance
 //!
 //! [`Executor::run_budgeted`] threads an execution [`Budget`] (wall-clock

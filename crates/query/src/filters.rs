@@ -18,7 +18,9 @@ use crate::engine::Database;
 use crate::error::QueryError;
 use emd_core::ground::Metric;
 use emd_core::lower_bounds::{CentroidBound, LbIm, ScaledL1};
-use emd_core::{emd_rectangular_budgeted, Budget, CostMatrix, Histogram};
+use emd_core::{
+    emd_in_context, emd_rectangular_budgeted, Budget, CostMatrix, EmdContext, Histogram,
+};
 use emd_reduction::{PersistedReduction, ReducedEmd};
 use std::sync::Arc;
 
@@ -112,10 +114,14 @@ fn object(database: &[Histogram], id: usize) -> Result<&Histogram, QueryError> {
 pub struct EmdDistance {
     name: String,
     database: Database,
+    warm_start: bool,
 }
 
 impl EmdDistance {
-    /// Index a database snapshot for exact EMD evaluation.
+    /// Index a database snapshot for exact EMD evaluation. Prepared
+    /// evaluators carry a per-query [`EmdContext`], so consecutive
+    /// candidates warm-start each other; disable with
+    /// [`EmdDistance::with_warm_start`].
     ///
     /// # Errors
     ///
@@ -126,7 +132,18 @@ impl EmdDistance {
         Ok(EmdDistance {
             name: format!("emd(d={})", database.cost().rows()),
             database: database.clone(),
+            warm_start: true,
         })
+    }
+
+    /// Enable or disable per-query solver contexts. With `false`, every
+    /// evaluation allocates and solves cold — the pre-context behavior,
+    /// kept for A/B regression tests and benchmarks.
+    #[must_use]
+    // lint: allow(unbudgeted): builder flag, performs no solver work
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// The ground-distance matrix.
@@ -164,6 +181,7 @@ impl Filter for EmdDistance {
             database: self.database.histograms(),
             cost: self.database.cost(),
             budget: budget.clone(),
+            context: self.warm_start.then(EmdContext::new),
             evaluations: 0,
         }))
     }
@@ -174,18 +192,31 @@ struct PreparedEmd<'a> {
     database: &'a [Histogram],
     cost: &'a CostMatrix,
     budget: Budget,
+    /// `Some` when warm starts are enabled: one solver context per
+    /// prepared query, reused (and warm-started) across candidates.
+    context: Option<EmdContext>,
     evaluations: usize,
 }
 
 impl PreparedFilter for PreparedEmd<'_> {
     fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        Ok(emd_rectangular_budgeted(
-            &self.query,
-            object(self.database, id)?,
-            self.cost,
-            &self.budget,
-        )?)
+        let y = object(self.database, id)?;
+        match &mut self.context {
+            Some(ctx) => Ok(emd_in_context(
+                &self.query,
+                y,
+                self.cost,
+                &self.budget,
+                ctx,
+            )?),
+            None => Ok(emd_rectangular_budgeted(
+                &self.query,
+                y,
+                self.cost,
+                &self.budget,
+            )?),
+        }
     }
 
     fn evaluations(&self) -> usize {
@@ -205,6 +236,7 @@ pub struct ReducedEmdFilter {
     name: String,
     reduced: ReducedEmd,
     reduced_database: Arc<[Histogram]>,
+    warm_start: bool,
 }
 
 impl ReducedEmdFilter {
@@ -228,7 +260,18 @@ impl ReducedEmdFilter {
             ),
             reduced,
             reduced_database: reduced_database.into(),
+            warm_start: true,
         })
+    }
+
+    /// Enable or disable per-query solver contexts. With `false`, every
+    /// evaluation allocates and solves cold — the pre-context behavior,
+    /// kept for A/B regression tests and benchmarks.
+    #[must_use]
+    // lint: allow(unbudgeted): builder flag, performs no solver work
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 
     /// Index a database snapshot from a persisted bundle, reusing the
@@ -256,6 +299,7 @@ impl ReducedEmdFilter {
             ),
             reduced,
             reduced_database: reduced_database.into(),
+            warm_start: true,
         })
     }
 
@@ -293,6 +337,7 @@ impl Filter for ReducedEmdFilter {
             reduced_query,
             filter: self,
             budget: budget.clone(),
+            context: self.warm_start.then(EmdContext::new),
             evaluations: 0,
         }))
     }
@@ -302,17 +347,29 @@ struct PreparedReducedEmd<'a> {
     reduced_query: Histogram,
     filter: &'a ReducedEmdFilter,
     budget: Budget,
+    /// `Some` when warm starts are enabled: one solver context per
+    /// prepared query, reused (and warm-started) across candidates.
+    context: Option<EmdContext>,
     evaluations: usize,
 }
 
 impl PreparedFilter for PreparedReducedEmd<'_> {
     fn distance(&mut self, id: usize) -> Result<f64, QueryError> {
         self.evaluations += 1;
-        Ok(self.filter.reduced.distance_reduced_budgeted(
-            &self.reduced_query,
-            object(&self.filter.reduced_database, id)?,
-            &self.budget,
-        )?)
+        let ry = object(&self.filter.reduced_database, id)?;
+        match &mut self.context {
+            Some(ctx) => Ok(self.filter.reduced.distance_reduced_in_context(
+                &self.reduced_query,
+                ry,
+                &self.budget,
+                ctx,
+            )?),
+            None => Ok(self.filter.reduced.distance_reduced_budgeted(
+                &self.reduced_query,
+                ry,
+                &self.budget,
+            )?),
+        }
     }
 
     fn evaluations(&self) -> usize {

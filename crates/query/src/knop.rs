@@ -11,6 +11,12 @@
 //! the workspace; every entry point — [`Pipeline`](crate::Pipeline),
 //! [`DynamicIndex`](crate::DynamicIndex), the brute-force oracles — runs
 //! it through the [`Executor`](crate::Executor).
+//!
+//! The loop itself holds no solver state: consecutive refinements of the
+//! same query warm-start each other because the *prepared refiner* (and
+//! each solver-backed filter stage) carries a per-query `EmdContext`
+//! that reuses the transport workspace and the previous candidate's
+//! optimal basis across `distance` calls.
 
 use crate::error::QueryError;
 use crate::filters::PreparedFilter;

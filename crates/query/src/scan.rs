@@ -9,6 +9,13 @@
 //! [`Executor`] — the same sequential-scan path every
 //! zero-stage pipeline takes, so the oracles and the engine cannot drift
 //! apart.
+//!
+//! The refiner runs with warm-start contexts forced **off**: an oracle
+//! must not depend on the order it visits candidates, and on cost
+//! matrices with tied optima a warm-started solve may settle on a
+//! different (equally optimal) basis whose objective differs in the last
+//! ulp. Cold solves are the deterministic reference those comparisons
+//! need.
 
 use crate::engine::{Database, Executor, QueryPlan};
 use crate::error::QueryError;
@@ -20,7 +27,7 @@ use std::sync::Arc;
 fn scan_executor(database: &[Histogram], cost: &CostMatrix) -> Result<Executor, QueryError> {
     let db = Database::new(database.to_vec(), Arc::new(cost.clone()))?;
     Ok(Executor::new(QueryPlan::sequential(Box::new(
-        EmdDistance::new(&db)?,
+        EmdDistance::new(&db)?.with_warm_start(false),
     ))?))
 }
 

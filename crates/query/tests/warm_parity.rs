@@ -1,0 +1,142 @@
+//! Query-level warm-start regression: `Executor::knn` answers (ids,
+//! distances, refinement counts, per-stage stats) must be **bit-identical**
+//! between the default warm-start mode and a forced
+//! cold-start-every-candidate mode, sequentially and batched at 1 and 4
+//! threads.
+//!
+//! The corpus uses full-support histograms under a continuous random cost
+//! matrix, so every LP has a generically unique optimal basis and
+//! bit-parity is exact, not a tolerance statement.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{CostMatrix, Histogram};
+use emd_query::{
+    Database, EmdDistance, Executor, Filter, Query, QueryPlan, ReducedEmdFilter, ReducedImFilter,
+};
+use emd_reduction::{CombiningReduction, ReducedEmd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const DIM: usize = 16;
+const OBJECTS: usize = 48;
+const QUERIES: usize = 6;
+const K: usize = 5;
+const SEED: u64 = 20080609;
+
+fn random_histogram(rng: &mut StdRng) -> Histogram {
+    // Strictly positive bins: full support, so every stripped tableau for
+    // one query has the same shape and warm starts actually engage.
+    let bins: Vec<f64> = (0..DIM).map(|_| rng.gen_range(0.05_f64..1.0)).collect();
+    Histogram::normalized(bins).unwrap()
+}
+
+/// A continuous random cost matrix — no ties, hence a unique optimal
+/// basis for every LP and well-defined warm/cold bit-parity.
+fn random_cost(rng: &mut StdRng) -> CostMatrix {
+    let costs: Vec<f64> = (0..DIM * DIM)
+        .map(|_| rng.gen_range(0.01_f64..4.0))
+        .collect();
+    CostMatrix::new(DIM, DIM, costs).unwrap()
+}
+
+fn corpus() -> (Database, Vec<Histogram>, ReducedEmd) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let cost = random_cost(&mut rng);
+    let objects: Vec<Histogram> = (0..OBJECTS).map(|_| random_histogram(&mut rng)).collect();
+    let queries: Vec<Histogram> = (0..QUERIES).map(|_| random_histogram(&mut rng)).collect();
+    let database = Database::new(objects, Arc::new(cost)).unwrap();
+    let assignment: Vec<usize> = (0..DIM).map(|i| i / 2).collect();
+    let reduction = CombiningReduction::new(assignment, DIM / 2).unwrap();
+    let reduced = ReducedEmd::new(database.cost(), reduction).unwrap();
+    (database, queries, reduced)
+}
+
+/// Build the Figure 10 chain (Red-IM -> Red-EMD -> exact EMD refiner)
+/// with warm-start contexts enabled or forced off on every solver-backed
+/// stage.
+fn executor(database: &Database, reduced: &ReducedEmd, warm: bool) -> Executor {
+    let stages: Vec<Box<dyn Filter>> = vec![
+        Box::new(ReducedImFilter::new(database, reduced.clone()).unwrap()),
+        Box::new(
+            ReducedEmdFilter::new(database, reduced.clone())
+                .unwrap()
+                .with_warm_start(warm),
+        ),
+    ];
+    let refiner = Box::new(EmdDistance::new(database).unwrap().with_warm_start(warm));
+    Executor::new(QueryPlan::new(stages, refiner).unwrap())
+}
+
+#[test]
+fn knn_results_bit_identical_warm_vs_cold_sequential() {
+    let (database, queries, reduced) = corpus();
+    let warm = executor(&database, &reduced, true);
+    let cold = executor(&database, &reduced, false);
+    for query in &queries {
+        let (warm_neighbors, warm_stats) = warm.knn(query, K).unwrap();
+        let (cold_neighbors, cold_stats) = cold.knn(query, K).unwrap();
+        assert_eq!(warm_neighbors.len(), cold_neighbors.len());
+        for (w, c) in warm_neighbors.iter().zip(&cold_neighbors) {
+            assert_eq!(w.id, c.id);
+            assert_eq!(
+                w.distance.to_bits(),
+                c.distance.to_bits(),
+                "distance bits diverged for object {}",
+                w.id
+            );
+        }
+        assert_eq!(
+            warm_stats, cold_stats,
+            "refinement counts and per-stage evaluations must match"
+        );
+    }
+}
+
+#[test]
+fn knn_results_bit_identical_warm_vs_cold_batched() {
+    let (database, queries, reduced) = corpus();
+    let warm = executor(&database, &reduced, true);
+    let cold = executor(&database, &reduced, false);
+    let batch: Vec<Query> = queries.iter().map(|q| Query::knn(q.clone(), K)).collect();
+    for threads in [1usize, 4] {
+        let (warm_results, warm_stats) = warm.run_batch(&batch, threads).unwrap();
+        let (cold_results, cold_stats) = cold.run_batch(&batch, threads).unwrap();
+        assert_eq!(warm_results.len(), cold_results.len());
+        for (w_neighbors, c_neighbors) in warm_results.iter().zip(&cold_results) {
+            assert_eq!(w_neighbors.len(), c_neighbors.len());
+            for (w, c) in w_neighbors.iter().zip(c_neighbors) {
+                assert_eq!(w.id, c.id);
+                assert_eq!(w.distance.to_bits(), c.distance.to_bits());
+            }
+        }
+        assert_eq!(
+            warm_stats, cold_stats,
+            "merged batch stats must match at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn warm_contexts_actually_warm_start() {
+    // Sanity check the regression is non-vacuous: the warm executor's
+    // transport layer must report warm attempts and hits under an obs
+    // recording scope, and the cold executor must report none.
+    let (database, queries, reduced) = corpus();
+    for (warm, expect_warm) in [(true, true), (false, false)] {
+        let executor = executor(&database, &reduced, warm);
+        let recording = emd_obs::Recording::start();
+        executor.knn(&queries[0], K).unwrap();
+        let registry = recording.finish();
+        let attempts = registry.counter("transport.warm.attempts");
+        let hits = registry.counter("transport.warm.hits");
+        if expect_warm {
+            assert!(attempts > 0, "warm mode recorded no warm attempts");
+            assert!(hits > 0, "warm mode recorded no warm hits");
+        } else {
+            assert_eq!(attempts, 0, "cold mode must never attempt a warm start");
+        }
+    }
+}

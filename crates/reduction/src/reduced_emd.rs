@@ -4,7 +4,10 @@
 use crate::matrix::CombiningReduction;
 use crate::reduced_cost::reduce_cost_matrix;
 use crate::ReductionError;
-use emd_core::{emd_rectangular, emd_rectangular_budgeted, Budget, CostMatrix, Histogram};
+use emd_core::{
+    emd_in_context, emd_rectangular, emd_rectangular_budgeted, Budget, CostMatrix, EmdContext,
+    Histogram,
+};
 
 /// A prepared reduced EMD: reduction matrices plus the optimal reduced
 /// cost matrix, ready to evaluate on histogram pairs.
@@ -136,6 +139,26 @@ impl ReducedEmd {
             &self.reduced_cost,
             budget,
         )?)
+    }
+
+    /// [`distance_reduced_budgeted`](Self::distance_reduced_budgeted)
+    /// through a reusable [`EmdContext`]: consecutive evaluations against
+    /// one fixed reduced query reuse the context's buffers and warm-start
+    /// the small LP from the previous candidate's basis. Bit-identical to
+    /// the context-free entry for instances with a unique optimum.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as
+    /// [`distance_reduced_budgeted`](Self::distance_reduced_budgeted).
+    pub fn distance_reduced_in_context(
+        &self,
+        rx: &Histogram,
+        ry: &Histogram,
+        budget: &Budget,
+        ctx: &mut EmdContext,
+    ) -> Result<f64, ReductionError> {
+        Ok(emd_in_context(rx, ry, &self.reduced_cost, budget, ctx)?)
     }
 }
 

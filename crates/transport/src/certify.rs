@@ -139,8 +139,8 @@ fn check_conservation(
                 flow: f,
             });
         }
-        row_sums[i] += f;
-        col_sums[j] += f;
+        row_sums[i] += f; // bounds: (i, j) was validated as a tableau cell above
+        col_sums[j] += f; // bounds: j < num_targets = col_sums.len()
     }
     for (index, (&actual, &expected)) in row_sums.iter().zip(problem.supplies()).enumerate() {
         if (actual - expected).abs() > tol {

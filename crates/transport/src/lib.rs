@@ -39,6 +39,19 @@
 //! cap of `100 * (m + n)^2 + 4096` so a degenerate-cycling instance can
 //! never hang.
 //!
+//! ## Warm starts
+//!
+//! [`solve_warm`] takes a caller-owned [`SolverWorkspace`] that keeps the
+//! duals, basis tree, cycle scratch and the final basis of the previous
+//! solve. When consecutive solves share a tableau shape (the KNOP
+//! refinement pattern: one query marginal against many candidates), the
+//! previous optimal basis is re-fit to the new marginals by leaf peeling
+//! and the pivot loop starts from it, skipping Vogel entirely; an
+//! infeasible refit falls back to a cold start. Because every entry point
+//! extracts its answer canonically from the final basis (sorted cells,
+//! flows re-derived from the marginals), warm and cold solves of the same
+//! instance are bit-identical whenever the optimum is unique.
+//!
 //! ## Observability
 //!
 //! When an `emd-obs` recording scope is active (see `emd_obs::Recording`),
@@ -47,8 +60,10 @@
 //! `transport.simplex.pivots`, `transport.simplex.bland_pivots`,
 //! `transport.simplex.degenerate_pivots` and
 //! `transport.vogel.degenerate_cells` attribute LP-level work to the
-//! queries that triggered it. Without a scope each record call costs one
-//! relaxed atomic load.
+//! queries that triggered it. Warm starts add `transport.warm.attempts`
+//! and `transport.warm.hits` (the same tallies are available without a
+//! scope via [`SolverWorkspace::stats`]). Without a scope each record
+//! call costs one relaxed atomic load.
 
 pub mod budget;
 pub mod certify;
@@ -58,13 +73,18 @@ mod simplex;
 pub mod ssp;
 mod tree;
 mod vogel;
+mod workspace;
 
 pub use budget::{Budget, BudgetReason, CancelToken};
 pub use certify::{certify_basis, certify_solution, CertificateViolation};
 pub use error::TransportError;
 pub use problem::{Solution, TransportProblem};
-pub use simplex::{hard_iteration_cap, solve, solve_budgeted, solve_with_options, SimplexOptions};
+pub use simplex::{
+    hard_iteration_cap, solve, solve_budgeted, solve_warm, solve_warm_objective,
+    solve_with_options, SimplexOptions,
+};
 pub use vogel::{initial_basis, InitialBasis};
+pub use workspace::{SolverWorkspace, WorkspaceStats};
 
 /// Absolute tolerance used throughout the crate for feasibility and
 /// optimality tests on `f64` quantities.

@@ -166,6 +166,15 @@ impl TransportProblem {
     pub fn total_mass(&self) -> f64 {
         self.supplies.iter().sum()
     }
+
+    /// Decompose the problem back into `(supplies, demands, costs)`,
+    /// returning the buffers passed to [`TransportProblem::new`]. Lets a
+    /// caller that owns reusable buffers (e.g. `emd-core`'s `EmdContext`)
+    /// round-trip them through a solve without reallocating.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (self.supplies, self.demands, self.costs)
+    }
 }
 
 /// An optimal solution to a [`TransportProblem`].

@@ -1,6 +1,9 @@
 //! The transportation simplex (MODI / u-v method).
 //!
-//! Starting from a Vogel initial basis, each iteration
+//! Starting from an initial basic feasible solution — a Vogel basis on a
+//! cold start, or the previous solve's basis re-fit to the new marginals
+//! (directly, or via a short dual-simplex repair when the refit is
+//! primal-infeasible) on a warm start — each iteration
 //!
 //! 1. computes dual variables `u`, `v` from the basis tree,
 //! 2. searches for a non-basic cell with negative reduced cost
@@ -10,12 +13,23 @@
 //! 3. pivots: the entering cell closes a unique cycle in the basis tree;
 //!    flow is shifted around the cycle until a basic cell hits zero, which
 //!    leaves the basis.
+//!
+//! ## Canonical extraction
+//!
+//! All entry points extract the solution the same way: the final basis
+//! cells are sorted by `(row, col)`, flows are re-derived from the
+//! marginals by the workspace's leaf-peeling refit, and the objective is
+//! summed in sorted-cell order. The answer therefore depends only on the
+//! final basis, never on the pivot history, which is what makes
+//! warm-started solves ([`solve_warm`]) bit-identical to cold solves
+//! whenever both reach the same optimal basis.
 
 use crate::budget::{Budget, BudgetReason, CHECK_INTERVAL};
 use crate::error::TransportError;
 use crate::problem::{Solution, TransportProblem};
 use crate::tree::BasisTree;
 use crate::vogel;
+use crate::workspace::{PivotScratch, SolverWorkspace};
 use crate::EPS;
 
 /// Hard pivot cap applied regardless of [`SimplexOptions::max_iterations`]:
@@ -97,6 +111,9 @@ fn budget_exhausted(reason: BudgetReason) -> TransportError {
 /// clone. With `Budget::unlimited()` this is exactly
 /// [`solve_with_options`]: same pivots, same result, bit-identical.
 ///
+/// Equivalent to [`solve_warm`] with a fresh [`SolverWorkspace`]: always a
+/// cold Vogel start, no buffer reuse across calls.
+///
 /// # Errors
 ///
 /// Returns [`TransportError::BudgetExhausted`] when the budget's deadline,
@@ -109,22 +126,357 @@ pub fn solve_budgeted(
     options: SimplexOptions,
     budget: &Budget,
 ) -> Result<Solution, TransportError> {
+    solve_warm(problem, options, budget, &mut SolverWorkspace::new())
+}
+
+/// Solve a transportation problem, reusing the workspace's buffers and
+/// re-optimizing from its previous basis when possible.
+///
+/// When `workspace` holds the basis of an earlier solve with the same
+/// tableau shape, that spanning tree is re-fit to the new marginals by
+/// leaf peeling. If the refit is feasible the pivot loop starts from it —
+/// usually a few pivots from optimal when the instances are related (e.g.
+/// consecutive KNOP candidates sharing the query marginal). An infeasible
+/// refit goes through dual-simplex repair (`dual_repair`): the shared
+/// cost matrix keeps the old basis dual-feasible, so a short dual run
+/// restores primal feasibility, typically landing on the new optimum
+/// outright. Only when the repair exceeds its pivot cap does the solve
+/// fall back to a cold Vogel start. Either way the result is the exact
+/// optimum; thanks to canonical extraction it is bit-identical to
+/// [`solve_budgeted`] whenever both solves reach the same optimal basis
+/// (always the case for instances with a unique optimum).
+///
+/// # Errors
+///
+/// Same failure modes as [`solve_budgeted`]: a typed
+/// [`TransportError::BudgetExhausted`] when `budget` fires mid-solve
+/// (including mid-warm-solve), [`TransportError::IterationLimit`], or
+/// [`TransportError::Internal`]. On error the workspace keeps the basis
+/// of the last *successful* solve.
+pub fn solve_warm(
+    problem: &TransportProblem,
+    options: SimplexOptions,
+    budget: &Budget,
+    workspace: &mut SolverWorkspace,
+) -> Result<Solution, TransportError> {
+    let objective = solve_warm_objective(problem, options, budget, workspace)?;
+    Ok(workspace.last_solution(objective))
+}
+
+/// [`solve_warm`] without materializing the flow triples: returns the
+/// optimal objective only, leaving the canonical cells and flows in the
+/// workspace (readable via [`SolverWorkspace::last_solution`]). This is
+/// the steady-state entry of the EMD hot path — after the workspace has
+/// grown to the tableau size it performs no heap allocation beyond the
+/// cold-start Vogel basis.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve_warm`].
+pub fn solve_warm_objective(
+    problem: &TransportProblem,
+    options: SimplexOptions,
+    budget: &Budget,
+    workspace: &mut SolverWorkspace,
+) -> Result<f64, TransportError> {
     let _solve_span = emd_obs::span("transport.solve");
     emd_obs::counter_add("transport.solve.calls", 1);
     budget.note_solve().map_err(budget_exhausted)?;
     let m = problem.num_sources();
     let n = problem.num_targets();
+    workspace.stats.solves += 1;
 
-    // Trivial tableaus need no pivoting: with a single row or column the
-    // initial basis is the unique (hence optimal) solution.
-    let initial = vogel::initial_basis(problem);
-    if m == 1 || n == 1 {
-        let solution = solution_from_cells(problem, &initial.cells);
-        crate::certify::debug_certify_solution(problem, &solution, "simplex (trivial tableau)");
-        return Ok(solution);
+    // Seed a basic feasible solution: the previous basis re-fit to the
+    // new marginals when possible, a cold Vogel basis otherwise.
+    let mut seeded_warm = false;
+    let mut tree_seeded = false;
+    if workspace.has_warm_basis(m, n) {
+        workspace.stats.warm_attempts += 1;
+        emd_obs::counter_add("transport.warm.attempts", 1);
+        let ws = &mut *workspace;
+        ws.cells.clear();
+        ws.cells.extend_from_slice(&ws.warm_cells);
+        if workspace.refit(m, n, problem.supplies(), problem.demands()) {
+            workspace.stats.warm_hits += 1;
+            emd_obs::counter_add("transport.warm.hits", 1);
+            // Degenerate cells can re-fit to a tiny negative flow; clamp
+            // so the pivot ratio test never sees a negative basic flow.
+            for flow in &mut workspace.flows {
+                *flow = flow.max(0.0);
+            }
+            seeded_warm = true;
+        } else if m > 1 && n > 1 {
+            // The refit is primal-infeasible, but successive candidates
+            // share the cost matrix, so the old optimal basis is still
+            // dual-feasible: a short dual-simplex run restores primal
+            // feasibility (and typically optimality with it) far cheaper
+            // than a cold Vogel start plus primal pivots.
+            let ws = &mut *workspace;
+            ws.tree.reset(
+                m,
+                n,
+                ws.cells
+                    .iter()
+                    .zip(&ws.flows)
+                    .map(|(&(row, col), &flow)| (row, col, flow)),
+            );
+            if let Some(pivots) = dual_repair(problem, budget, &mut ws.tree, &mut ws.pivot)? {
+                ws.stats.pivots += pivots;
+                ws.stats.repair_pivots += pivots;
+                ws.stats.warm_hits += 1;
+                emd_obs::counter_add("transport.warm.hits", 1);
+                seeded_warm = true;
+                tree_seeded = true;
+            }
+        }
+    }
+    if !seeded_warm {
+        let initial = vogel::initial_basis(problem);
+        workspace.cells.clear();
+        workspace.flows.clear();
+        for &(row, col, flow) in &initial.cells {
+            workspace.cells.push((row, col));
+            workspace.flows.push(flow);
+        }
     }
 
-    let mut tree = BasisTree::new(m, n, &initial.cells);
+    // Trivial tableaus (single row or column) have a unique basis, which
+    // is therefore optimal: skip the pivot loop entirely.
+    if m > 1 && n > 1 {
+        let ws = &mut *workspace;
+        if !tree_seeded {
+            ws.tree.reset(
+                m,
+                n,
+                ws.cells
+                    .iter()
+                    .zip(&ws.flows)
+                    .map(|(&(row, col), &flow)| (row, col, flow)),
+            );
+        }
+        let pivots = pivot_to_optimum(problem, options, budget, &mut ws.tree, &mut ws.pivot)?;
+        ws.stats.pivots += pivots;
+        ws.cells.clear();
+        // Splitting the borrow: live_edges borrows tree, cells is disjoint.
+        let (tree, cells) = (&ws.tree, &mut ws.cells);
+        for id in tree.live_edges() {
+            let edge = tree.edge(id);
+            cells.push((edge.row, edge.col));
+        }
+    }
+
+    // Canonical extraction: sorted cells, flows re-derived from the
+    // marginals, objective summed in sorted order.
+    workspace.cells.sort_unstable();
+    let feasible = workspace.refit(m, n, problem.supplies(), problem.demands());
+    debug_assert!(feasible, "optimal basis must re-fit feasibly");
+    let mut objective = 0.0;
+    for (&(row, col), &flow) in workspace.cells.iter().zip(&workspace.flows) {
+        if flow > EPS {
+            objective += flow * problem.cost(row, col);
+        }
+    }
+
+    // Remember the basis for the next solve of this shape.
+    workspace.warm_shape = Some((m, n));
+    let ws = &mut *workspace;
+    ws.warm_cells.clear();
+    ws.warm_cells.extend_from_slice(&ws.cells);
+
+    if cfg!(debug_assertions) {
+        let solution = workspace.last_solution(objective);
+        crate::certify::debug_certify_solution(problem, &solution, "simplex");
+    }
+    Ok(objective)
+}
+
+/// Restore primal feasibility of a re-fit warm basis by dual-simplex
+/// pivots on the basis tree.
+///
+/// The tree holds a spanning-tree basis whose flows (derived from the new
+/// marginals by leaf peeling) may be negative. Each iteration picks the
+/// most negative basic edge as the *leaving* edge `L = (r, c)`; deleting
+/// it splits the tree into the component of `r` and the component of `c`.
+/// The *entering* edge is the minimum-reduced-cost cell `(i, j)` with `i`
+/// in `c`'s component and `j`'s demand node in `r`'s component — the
+/// unique orientation whose cycle pushes flow **onto** `L`, driving it to
+/// exactly zero with `theta = -flow(L) > 0`. When the previous solve used
+/// the same cost matrix the basis is dual-feasible (all reduced costs
+/// non-negative) and this is the textbook dual simplex: primal
+/// feasibility is restored in a handful of pivots and the result is
+/// already optimal. With different costs it still terminates at a
+/// feasible basis for the primal loop to finish from.
+///
+/// Returns `Ok(Some(pivots))` once every basic flow is non-negative
+/// (tiny negatives within [`EPS`] clamped), `Ok(None)` when the repair
+/// cap is exceeded or no entering candidate exists — the caller then
+/// falls back to a cold Vogel start — and a typed error when `budget`
+/// fires mid-repair.
+fn dual_repair(
+    problem: &TransportProblem,
+    budget: &Budget,
+    tree: &mut BasisTree,
+    scratch: &mut PivotScratch,
+) -> Result<Option<u64>, TransportError> {
+    let m = problem.num_sources();
+    let n = problem.num_targets();
+    // Repairs beyond this bound mean the old basis carries no useful
+    // information for the new marginals; Vogel is cheaper at that point.
+    let max_repairs = 4 * (m + n) + 16;
+    let limited = !budget.is_unlimited();
+    let mut pending_pivots: u64 = 0;
+    let mut performed: u64 = 0;
+
+    // Duals are computed once and then maintained incrementally: a dual
+    // pivot with entering reduced cost `rc` shifts every dual on the
+    // marked component by `rc` (supplies up, demands down), which keeps
+    // `u[i] + v[j] = cost(i, j)` on every surviving basic cell without
+    // re-traversing the tree. The primal loop recomputes duals from
+    // scratch afterwards, so the accumulated rounding never reaches the
+    // optimality test.
+    tree.duals(
+        |i, j| problem.cost(i, j),
+        &mut scratch.u,
+        &mut scratch.v,
+        &mut scratch.stack,
+    );
+
+    for _ in 0..max_repairs {
+        // Most negative basic flow leaves; first-minimal keeps the scan
+        // deterministic under ties.
+        let mut leaving: Option<usize> = None;
+        let mut worst = -EPS;
+        for id in tree.live_edges() {
+            let flow = tree.edge(id).flow;
+            if flow < worst {
+                worst = flow;
+                leaving = Some(id);
+            }
+        }
+        let Some(leaving) = leaving else {
+            // Primal-feasible: clamp the tiny negatives the scan ignored
+            // so the ratio test never sees a negative basic flow.
+            for id in 0..tree.num_slots() {
+                if tree.is_live(id) {
+                    let flow = tree.edge_flow_mut(id);
+                    *flow = flow.max(0.0);
+                }
+            }
+            budget.settle_pivots(pending_pivots);
+            return Ok(Some(performed));
+        };
+        if limited {
+            pending_pivots += 1;
+            if pending_pivots >= CHECK_INTERVAL {
+                budget
+                    .charge_pivots(pending_pivots)
+                    .map_err(budget_exhausted)?;
+                pending_pivots = 0;
+            }
+        }
+
+        let (leave_col, theta) = {
+            let edge = tree.edge(leaving);
+            (edge.col, -edge.flow)
+        };
+        // Component of the demand endpoint of L, with L deleted.
+        tree.mark_component(
+            tree.demand_node(leave_col),
+            leaving,
+            &mut scratch.side,
+            &mut scratch.queue,
+        );
+        // Entering candidates cross the cut against L's orientation: row
+        // in c's component, demand node in r's component. The eligible
+        // columns are gathered once so the hot inner loop is a flat pass
+        // over that list; strict '<' keeps the first minimum in row-major
+        // order.
+        scratch.stack.clear();
+        scratch
+            .stack
+            .extend((0..n).filter(|&j| !scratch.side[m + j])); // bounds: m + j < m + n = side.len()
+        let mut entering: Option<(usize, usize)> = None;
+        let mut best = f64::INFINITY;
+        for (i, (row, &ui)) in problem.costs().chunks_exact(n).zip(&scratch.u).enumerate() {
+            // bounds: i < m <= side.len()
+            if !scratch.side[i] {
+                continue;
+            }
+            for &j in &scratch.stack {
+                // bounds: j < n = row.len() = v.len(), gathered just above
+                let reduced = row[j] - ui - scratch.v[j];
+                if reduced < best {
+                    best = reduced;
+                    entering = Some((i, j));
+                }
+            }
+        }
+        let Some((ei, ej)) = entering else {
+            // Structurally impossible for connected tableaus with positive
+            // marginals; bail to the cold path rather than loop.
+            budget.settle_pivots(pending_pivots);
+            return Ok(None);
+        };
+        emd_obs::counter_add("transport.simplex.pivots", 1);
+        emd_obs::counter_add("transport.warm.repair_pivots", 1);
+        performed += 1;
+
+        // The cycle of the entering edge crosses the cut exactly once —
+        // through L, oriented so L's flow gains theta and lands on zero.
+        // Signs alternate exactly as in the primal pivot, but without the
+        // non-negativity clamp: other edges may legitimately go negative
+        // and be repaired by a later iteration.
+        tree.path_into(
+            tree.demand_node(ej),
+            ei,
+            &mut scratch.parent,
+            &mut scratch.queue,
+            &mut scratch.path,
+        );
+        for (k, &id) in scratch.path.iter().enumerate() {
+            let flow = tree.edge_flow_mut(id);
+            if k % 2 == 0 {
+                *flow -= theta;
+            } else {
+                *flow += theta;
+            }
+        }
+        tree.remove(leaving);
+        tree.insert(ei, ej, theta);
+        // Re-anchor the duals of the absorbed component: shifting supplies
+        // up and demands down by the entering reduced cost restores
+        // `u + v = cost` on the new basic cell and leaves every other
+        // basic cell's equation untouched.
+        for (i, ui) in scratch.u.iter_mut().enumerate() {
+            // bounds: i < m <= side.len()
+            if scratch.side[i] {
+                *ui += best;
+            }
+        }
+        for (j, vj) in scratch.v.iter_mut().enumerate() {
+            // bounds: m + j < m + n = side.len()
+            if scratch.side[m + j] {
+                *vj -= best;
+            }
+        }
+    }
+
+    budget.settle_pivots(pending_pivots);
+    Ok(None)
+}
+
+/// Run MODI pivots on `tree` until optimality. Returns the pivot count;
+/// the tree then holds an optimal basis (flows included, though callers
+/// re-derive them canonically).
+fn pivot_to_optimum(
+    problem: &TransportProblem,
+    options: SimplexOptions,
+    budget: &Budget,
+    tree: &mut BasisTree,
+    scratch: &mut PivotScratch,
+) -> Result<u64, TransportError> {
+    let m = problem.num_sources();
+    let n = problem.num_targets();
     let max_iterations = options
         .max_iterations
         .unwrap_or_else(|| 64 * (m + n) + 4096)
@@ -132,27 +484,26 @@ pub fn solve_budgeted(
     let tol = options.optimality_tolerance;
     let limited = !budget.is_unlimited();
     let mut pending_pivots: u64 = 0;
-
-    // Scratch buffers reused across iterations.
-    let mut u: Vec<f64> = Vec::new();
-    let mut v: Vec<f64> = Vec::new();
-    let mut stack: Vec<usize> = Vec::new();
-    let mut parent: Vec<(usize, usize)> = Vec::new();
-    let mut queue: Vec<usize> = Vec::new();
+    let mut performed: u64 = 0;
 
     let mut degenerate_run = 0usize;
-    for _ in 0..max_iterations {
-        tree.duals(|i, j| problem.cost(i, j), &mut u, &mut v, &mut stack);
+    // `performed` doubles as the loop control so the pivot count and the
+    // iteration cap can never drift apart.
+    while performed < u64::try_from(max_iterations).unwrap_or(u64::MAX) {
+        tree.duals(
+            |i, j| problem.cost(i, j),
+            &mut scratch.u,
+            &mut scratch.v,
+            &mut scratch.stack,
+        );
 
         let use_bland = degenerate_run >= options.degenerate_pivot_limit;
-        let entering = find_entering(problem, &u, &v, tol, use_bland);
+        let entering = find_entering(problem.costs(), &scratch.u, &scratch.v, tol, use_bland);
         let Some((ei, ej)) = entering else {
             // Optimum reached: settle the uncharged pivot remainder so the
             // shared pool stays accurate, but never fail a finished solve.
             budget.settle_pivots(pending_pivots);
-            let solution = extract_solution(problem, &tree);
-            crate::certify::debug_certify_solution(problem, &solution, "simplex");
-            return Ok(solution);
+            return Ok(performed);
         };
         if limited {
             pending_pivots += 1;
@@ -164,6 +515,7 @@ pub fn solve_budgeted(
             }
         }
         emd_obs::counter_add("transport.simplex.pivots", 1);
+        performed += 1;
         if use_bland {
             emd_obs::counter_add("transport.simplex.bland_pivots", 1);
         }
@@ -172,11 +524,17 @@ pub fn solve_budgeted(
         // demand node of ej back to supply node ei. Walking the cycle from
         // the entering edge, signs alternate starting with '-' on the first
         // path edge (it shares the demand node with the entering '+' edge).
-        let path = tree.path(tree.demand_node(ej), ei, &mut parent, &mut queue);
+        tree.path_into(
+            tree.demand_node(ej),
+            ei,
+            &mut scratch.parent,
+            &mut scratch.queue,
+            &mut scratch.path,
+        );
 
         let mut theta = f64::INFINITY;
         let mut leaving: Option<usize> = None;
-        for (k, &id) in path.iter().enumerate() {
+        for (k, &id) in scratch.path.iter().enumerate() {
             if k % 2 == 0 {
                 let flow = tree.edge(id).flow;
                 // Strict '<' keeps the first minimal edge, which together
@@ -196,7 +554,7 @@ pub fn solve_budgeted(
             });
         };
 
-        for (k, &id) in path.iter().enumerate() {
+        for (k, &id) in scratch.path.iter().enumerate() {
             let flow = tree.edge_flow_mut(id);
             if k % 2 == 0 {
                 *flow = (*flow - theta).max(0.0);
@@ -221,27 +579,28 @@ pub fn solve_budgeted(
     })
 }
 
-/// Price the non-basic cells. Returns the entering cell or `None` at
-/// optimality. Cells currently in the basis have reduced cost ~0 and are
-/// naturally skipped by the negativity test.
-// Indexed loops mirror the (i, j) tableau coordinates of the MODI method.
-#[allow(clippy::needless_range_loop)]
+/// Price the non-basic cells over the flat row-major cost buffer. Returns
+/// the entering cell or `None` at optimality. Cells currently in the basis
+/// have reduced cost ~0 and are naturally skipped by the negativity test.
+///
+/// The scan walks `costs` contiguously (`chunks_exact` rows zipped with
+/// the dual slices), so the inner loop carries no bounds checks and
+/// autovectorizes; the comparison order is identical to the classic
+/// doubly-indexed formulation, preserving Dantzig/Bland tie-breaking
+/// bit-for-bit.
 fn find_entering(
-    problem: &TransportProblem,
+    costs: &[f64],
     u: &[f64],
     v: &[f64],
     tol: f64,
     bland: bool,
 ) -> Option<(usize, usize)> {
-    let m = problem.num_sources();
-    let n = problem.num_targets();
+    let n = v.len();
     let mut best: Option<(usize, usize)> = None;
     let mut best_reduced = -tol;
-    for i in 0..m {
-        let row = problem.cost_row(i);
-        let ui = u[i];
-        for j in 0..n {
-            let reduced = row[j] - ui - v[j];
+    for (i, (row, &ui)) in costs.chunks_exact(n).zip(u).enumerate() {
+        for (j, (&c, &vj)) in row.iter().zip(v).enumerate() {
+            let reduced = c - ui - vj;
             if reduced < best_reduced {
                 if bland {
                     // First (lexicographically smallest) improving cell.
@@ -253,31 +612,6 @@ fn find_entering(
         }
     }
     best
-}
-
-fn extract_solution(problem: &TransportProblem, tree: &BasisTree) -> Solution {
-    let mut flows = Vec::new();
-    let mut objective = 0.0;
-    for id in tree.live_edges() {
-        let edge = tree.edge(id);
-        if edge.flow > EPS {
-            objective += edge.flow * problem.cost(edge.row, edge.col);
-            flows.push((edge.row, edge.col, edge.flow));
-        }
-    }
-    Solution { objective, flows }
-}
-
-fn solution_from_cells(problem: &TransportProblem, cells: &[(usize, usize, f64)]) -> Solution {
-    let mut flows = Vec::new();
-    let mut objective = 0.0;
-    for &(i, j, f) in cells {
-        if f > EPS {
-            objective += f * problem.cost(i, j);
-            flows.push((i, j, f));
-        }
-    }
-    Solution { objective, flows }
 }
 
 #[cfg(test)]
@@ -403,6 +737,20 @@ mod tests {
         assert!(s.objective.abs() < 1e-12);
     }
 
+    #[test]
+    fn flows_are_sorted_by_cell() {
+        // Canonical extraction reports flows in (row, col) order.
+        let s = solve_unwrap(
+            vec![0.3, 0.3, 0.4],
+            vec![0.2, 0.5, 0.3],
+            vec![4.0, 1.0, 3.0, 2.0, 5.0, 2.0, 3.0, 3.0, 1.0],
+        );
+        let cells: Vec<_> = s.flows.iter().map(|&(i, j, _)| (i, j)).collect();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        assert_eq!(cells, sorted);
+    }
+
     fn textbook_problem() -> TransportProblem {
         TransportProblem::new(
             vec![15.0, 25.0, 10.0],
@@ -424,6 +772,104 @@ mod tests {
             solve_budgeted(&problem, SimplexOptions::default(), &Budget::unlimited()).unwrap();
         assert_eq!(plain.objective.to_bits(), budgeted.objective.to_bits());
         assert_eq!(plain.flows, budgeted.flows);
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_on_repeat() {
+        // Solving the same instance twice through one workspace: the
+        // second solve re-optimizes from the stored optimal basis (zero
+        // pivots) and must return bit-identical results.
+        let problem = textbook_problem();
+        let mut ws = SolverWorkspace::new();
+        let cold = solve_warm(
+            &problem,
+            SimplexOptions::default(),
+            &Budget::unlimited(),
+            &mut ws,
+        )
+        .unwrap();
+        let pivots_cold = ws.stats().pivots;
+        let warm = solve_warm(
+            &problem,
+            SimplexOptions::default(),
+            &Budget::unlimited(),
+            &mut ws,
+        )
+        .unwrap();
+        assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
+        assert_eq!(cold.flows, warm.flows);
+        let stats = ws.stats();
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.warm_attempts, 1);
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(
+            stats.pivots, pivots_cold,
+            "re-solving from the optimal basis needs no pivots"
+        );
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_across_demand_changes() {
+        // Same supply marginal, different demand marginals: the KNOP
+        // access pattern. Warm results must equal cold results to the bit.
+        let supplies = vec![0.25, 0.35, 0.4];
+        let costs = vec![
+            0.31, 0.77, 0.13, 0.52, //
+            0.64, 0.08, 0.95, 0.23, //
+            0.47, 0.59, 0.36, 0.81,
+        ];
+        let demand_sets = [
+            vec![0.2, 0.3, 0.4, 0.1],
+            vec![0.4, 0.1, 0.25, 0.25],
+            vec![0.05, 0.45, 0.3, 0.2],
+            vec![0.3, 0.3, 0.3, 0.1],
+        ];
+        let mut ws = SolverWorkspace::new();
+        for demands in &demand_sets {
+            let problem =
+                TransportProblem::new(supplies.clone(), demands.clone(), costs.clone()).unwrap();
+            let cold = solve(&problem).unwrap();
+            let warm = solve_warm(
+                &problem,
+                SimplexOptions::default(),
+                &Budget::unlimited(),
+                &mut ws,
+            )
+            .unwrap();
+            assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
+            assert_eq!(cold.flows, warm.flows);
+        }
+        assert_eq!(ws.stats().warm_attempts, 3);
+    }
+
+    #[test]
+    fn warm_falls_back_to_cold_on_shape_change() {
+        let mut ws = SolverWorkspace::new();
+        let p1 = textbook_problem();
+        solve_warm(
+            &p1,
+            SimplexOptions::default(),
+            &Budget::unlimited(),
+            &mut ws,
+        )
+        .unwrap();
+        // Different shape: no warm attempt, still correct.
+        let p2 = TransportProblem::new(
+            vec![0.5, 0.5],
+            vec![0.2, 0.3, 0.5],
+            vec![1.0, 2.0, 3.0, 3.0, 2.0, 1.0],
+        )
+        .unwrap();
+        let warm = solve_warm(
+            &p2,
+            SimplexOptions::default(),
+            &Budget::unlimited(),
+            &mut ws,
+        )
+        .unwrap();
+        assert!((warm.objective - 1.3).abs() < 1e-12);
+        assert_eq!(ws.stats().warm_attempts, 0);
+        assert!(ws.has_warm_basis(2, 3));
     }
 
     #[test]

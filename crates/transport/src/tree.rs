@@ -16,7 +16,7 @@ pub(crate) struct Edge {
 }
 
 /// The simplex basis as an adjacency-list spanning tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct BasisTree {
     m: usize,
     n: usize,
@@ -27,19 +27,33 @@ pub(crate) struct BasisTree {
 }
 
 impl BasisTree {
+    #[cfg(test)]
     pub fn new(m: usize, n: usize, cells: &[(usize, usize, f64)]) -> Self {
-        let mut tree = BasisTree {
-            m,
-            n,
-            edges: Vec::with_capacity(cells.len()),
-            free: Vec::new(),
-            adjacency: vec![Vec::new(); m + n],
-        };
-        for &(row, col, flow) in cells {
-            tree.insert(row, col, flow);
-        }
-        debug_assert_eq!(tree.num_edges(), m + n - 1);
+        let mut tree = BasisTree::default();
+        tree.reset(m, n, cells.iter().copied());
         tree
+    }
+
+    /// Rebuild the tree in place for a (possibly different) tableau
+    /// shape, reusing the edge and per-node adjacency allocations of the
+    /// previous basis.
+    pub fn reset(&mut self, m: usize, n: usize, cells: impl Iterator<Item = (usize, usize, f64)>) {
+        self.m = m;
+        self.n = n;
+        self.edges.clear();
+        self.free.clear();
+        for list in &mut self.adjacency {
+            list.clear();
+        }
+        if self.adjacency.len() < m + n {
+            self.adjacency.resize(m + n, Vec::new());
+        } else {
+            self.adjacency.truncate(m + n);
+        }
+        for (row, col, flow) in cells {
+            self.insert(row, col, flow);
+        }
+        debug_assert_eq!(self.num_edges(), m + n - 1);
     }
 
     #[inline]
@@ -49,6 +63,17 @@ impl BasisTree {
 
     pub fn num_edges(&self) -> usize {
         self.edges.len() - self.free.len()
+    }
+
+    /// Number of edge slots ever minted, live and dead alike.
+    pub fn num_slots(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether slot `id` holds a live edge.
+    #[inline]
+    pub fn is_live(&self, id: usize) -> bool {
+        self.edges[id].alive // bounds: callers iterate ids < num_slots()
     }
 
     #[inline]
@@ -160,16 +185,59 @@ impl BasisTree {
         );
     }
 
-    /// Find the unique tree path from `start` to `goal` and return its edge
-    /// ids in path order. `parent` and `queue` are caller-provided scratch
-    /// buffers to avoid per-call allocation.
-    pub fn path(
+    /// Mark the component of `start` in the forest obtained by deleting
+    /// edge `skip` from the tree: `side[node]` is set `true` for every
+    /// node reachable from `start` without traversing `skip`. Used by the
+    /// dual-simplex repair to find the cut an entering edge must cross.
+    pub fn mark_component(
+        &self,
+        start: usize,
+        skip: usize,
+        side: &mut Vec<bool>,
+        queue: &mut Vec<usize>,
+    ) {
+        side.clear();
+        side.resize(self.m + self.n, false);
+        queue.clear();
+        queue.push(start);
+        side[start] = true; // bounds: start is a node id < m + n; side was resized above
+        let mut head = 0;
+        while head < queue.len() {
+            let node = queue[head]; // bounds: head < queue.len() per the loop condition
+            head += 1;
+            // bounds: node ids < node_count() size adjacency
+            for &id in &self.adjacency[node] {
+                if id == skip {
+                    continue;
+                }
+                // bounds: node ids and edge ids are in-range by construction
+                let edge = &self.edges[id];
+                let other = if node < self.m {
+                    self.demand_node(edge.col)
+                } else {
+                    edge.row
+                };
+                // bounds: edge endpoints are node ids < side.len()
+                if !side[other] {
+                    side[other] = true; // bounds: other is a node id < m + n = side.len()
+                    queue.push(other);
+                }
+            }
+        }
+    }
+
+    /// Find the unique tree path from `start` to `goal` and write its edge
+    /// ids in path order into `path`. `parent` and `queue` are
+    /// caller-provided scratch buffers, so the cycle search performs no
+    /// allocation once they have grown to the tableau size.
+    pub fn path_into(
         &self,
         start: usize,
         goal: usize,
         parent: &mut Vec<(usize, usize)>,
         queue: &mut Vec<usize>,
-    ) -> Vec<usize> {
+        path: &mut Vec<usize>,
+    ) {
         const UNSEEN: usize = usize::MAX;
         parent.clear();
         parent.resize(self.m + self.n, (UNSEEN, UNSEEN));
@@ -201,7 +269,7 @@ impl BasisTree {
             }
         }
         debug_assert!(parent[goal].0 != UNSEEN, "tree must connect all nodes"); // bounds: goal is a node id < m + n
-        let mut path = Vec::new();
+        path.clear();
         let mut node = goal;
         while node != start {
             let (prev, id) = parent[node]; // bounds: parent links stay within 0..m + n
@@ -209,7 +277,6 @@ impl BasisTree {
             node = prev;
         }
         path.reverse();
-        path
     }
 }
 
@@ -238,13 +305,30 @@ mod tests {
     #[test]
     fn path_connects_endpoints() {
         let tree = small_tree();
-        let (mut parent, mut queue) = (Vec::new(), Vec::new());
+        let (mut parent, mut queue, mut path) = (Vec::new(), Vec::new(), Vec::new());
         // Path from supply 1 (node 1) to demand 0 (node 2):
         // (1,1) -> (0,1) -> (0,0)
-        let path = tree.path(1, 2, &mut parent, &mut queue);
+        tree.path_into(1, 2, &mut parent, &mut queue, &mut path);
         assert_eq!(path.len(), 3);
         let rows: Vec<_> = path.iter().map(|&id| tree.edge(id).row).collect();
         assert_eq!(rows, vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn reset_reuses_storage_across_shapes() {
+        let mut tree = small_tree();
+        tree.reset(
+            2,
+            3,
+            [(0, 0, 0.2), (0, 1, 0.3), (1, 1, 0.0), (1, 2, 0.5)].into_iter(),
+        );
+        assert_eq!(tree.num_edges(), 4);
+        assert_eq!(tree.demand_node(2), 4);
+        // Shrinking works too, and ids restart from zero.
+        tree.reset(2, 2, [(0, 0, 0.5), (1, 0, 0.25), (1, 1, 0.25)].into_iter());
+        assert_eq!(tree.num_edges(), 3);
+        assert_eq!(tree.edge(0).row, 0);
+        assert_eq!(tree.edge(2).col, 1);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   held against a shrinking budget.
 //! - **Result-affecting crates** (`core`, `transport`, `reduction`,
 //!   `query`, `store`) additionally get the determinism audit.
-//! - **`transport` and `query`** get the budget-propagation audit.
+//! - **`transport`, `query` and `core`** get the budget-propagation
+//!   audit (core's context-reuse entry points sit on the solver hot
+//!   path).
 //! - Float discipline runs over the solver hot-path file list; the
 //!   lossy-cast audit over the checksum/accounting/bound file list.
 
@@ -43,17 +45,19 @@ pub const TOOL_CRATES: [&str; 2] = ["bench", "xtask"];
 pub const RESULT_AFFECTING_CRATES: [&str; 5] = ["core", "transport", "reduction", "query", "store"];
 
 /// Crates whose public solver entry points must propagate budgets.
-pub const BUDGET_AUDIT_CRATES: [&str; 2] = ["transport", "query"];
+pub const BUDGET_AUDIT_CRATES: [&str; 3] = ["transport", "query", "core"];
 
 /// Solver hot paths subject to the float-discipline lint, relative to
 /// the workspace root.
-pub const HOT_PATHS: [&str; 12] = [
+pub const HOT_PATHS: [&str; 14] = [
     "crates/transport/src/simplex.rs",
     "crates/transport/src/ssp.rs",
     "crates/transport/src/vogel.rs",
     "crates/transport/src/tree.rs",
     "crates/transport/src/problem.rs",
     "crates/transport/src/certify.rs",
+    "crates/transport/src/workspace.rs",
+    "crates/core/src/context.rs",
     "crates/core/src/emd.rs",
     "crates/core/src/upper_bound.rs",
     "crates/core/src/lower_bounds/im.rs",
@@ -259,6 +263,10 @@ pub struct Options {
     pub write_budget: bool,
     /// Where to write the `flexemd-lint/v1` JSON report (`-` = stdout).
     pub json: Option<String>,
+    /// Print the `path:line` of every budgeted site of this class, so
+    /// ratchet work ("shrink crate X's debt by N") is actionable without
+    /// re-deriving the scanner's rules by hand.
+    pub sites: Option<String>,
 }
 
 /// Full lint run: scan, budget ratchet (or rewrite), JSON dump.
@@ -285,6 +293,13 @@ pub fn run_lint(options: &Options) -> Result<String, String> {
             print!("{json}");
         } else {
             fs::write(target, json).map_err(|e| format!("cannot write {target}: {e}"))?;
+        }
+    }
+    if let Some(class) = &options.sites {
+        for site in &report.sites {
+            if site.class.name() == class {
+                println!("{}:{}: [{class}]", site.path.display(), site.line);
+            }
         }
     }
     if report.findings.is_empty() {

@@ -1,5 +1,5 @@
 //! CLI driver for the repo-local static-analysis engine:
-//! `cargo xtask lint [--write-budget] [--json PATH|-]`.
+//! `cargo xtask lint [--write-budget] [--json PATH|-] [--sites CLASS]`.
 //!
 //! The lints themselves live in the `xtask` library crate (lexer, pass
 //! engine, budgets, JSON report) so the test suite and the comparison
@@ -27,9 +27,20 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     },
+                    "--sites" => {
+                        match rest.next() {
+                            Some(class) => options.sites = Some(class.clone()),
+                            None => {
+                                eprintln!("--sites requires a lint class name (e.g. unjustified-indexing)");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
                     other => {
                         eprintln!("unknown flag `{other}`");
-                        eprintln!("usage: cargo xtask lint [--write-budget] [--json PATH|-]");
+                        eprintln!(
+                            "usage: cargo xtask lint [--write-budget] [--json PATH|-] [--sites CLASS]"
+                        );
                         return ExitCode::FAILURE;
                     }
                 }
@@ -53,7 +64,7 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: cargo xtask lint [--write-budget] [--json PATH|-]");
+            eprintln!("usage: cargo xtask lint [--write-budget] [--json PATH|-] [--sites CLASS]");
             ExitCode::FAILURE
         }
     }

@@ -289,9 +289,17 @@ pub fn errors_docs_pass(file: &SourceFile, report: &mut LintReport) {
 const SOLVER_ENTRY_PREFIXES: [&str; 7] =
     ["knn", "range", "run", "refine", "execute", "knop", "query"];
 
+/// Name substrings that mark a public fn as a solver/refinement entry
+/// point wherever they appear: `solve` kernels plus the warm-start and
+/// context-reuse surface (`solve_warm`, `emd_in_context`, ...), which
+/// sit on the same hot path and must carry a budget or declare why not.
+const SOLVER_ENTRY_SUBSTRINGS: [&str; 3] = ["solve", "warm", "context"];
+
 /// Whether a public fn name looks like a solver/refinement entry point.
 fn is_solver_entry(name: &str) -> bool {
-    name.contains("solve")
+    SOLVER_ENTRY_SUBSTRINGS
+        .iter()
+        .any(|needle| name.contains(needle))
         || SOLVER_ENTRY_PREFIXES
             .iter()
             .any(|prefix| name == *prefix || name.starts_with(&format!("{prefix}_")))
