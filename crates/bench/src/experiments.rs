@@ -1068,6 +1068,9 @@ struct WarmColdRow {
     cold_pivots_per_query: f64,
     /// Mean simplex pivots per query, warm mode.
     warm_pivots_per_query: f64,
+    /// Mean dual-repair pivots per query, warm mode (counted separately
+    /// from simplex pivots; earlier revisions double-counted them).
+    warm_repair_pivots_per_query: f64,
     /// Total warm-basis refit attempts over the timed warm passes.
     warm_attempts: u64,
     /// Refit attempts that produced a feasible starting basis.
@@ -1090,6 +1093,7 @@ serde::impl_serde_struct!(WarmColdRow {
     speedup,
     cold_pivots_per_query,
     warm_pivots_per_query,
+    warm_repair_pivots_per_query,
     warm_attempts,
     warm_hits,
     warm_hit_rate,
@@ -1217,6 +1221,8 @@ fn warm_cold_row(
             / per_query_solves,
         warm_pivots_per_query: warm_registry.counter("transport.simplex.pivots") as f64
             / per_query_solves,
+        warm_repair_pivots_per_query: warm_registry.counter("transport.warm.repair_pivots") as f64
+            / per_query_solves,
         warm_attempts,
         warm_hits,
         warm_hit_rate: warm_hits as f64 / warm_attempts.max(1) as f64,
@@ -1242,6 +1248,7 @@ pub fn e16(scale: &Scale, _quick: bool) -> Table {
             "speedup",
             "cold piv/q",
             "warm piv/q",
+            "repair piv/q",
             "hit rate",
             "identical",
         ],
@@ -1262,6 +1269,7 @@ pub fn e16(scale: &Scale, _quick: bool) -> Table {
             fnum(row.speedup),
             fnum(row.cold_pivots_per_query),
             fnum(row.warm_pivots_per_query),
+            fnum(row.warm_repair_pivots_per_query),
             fnum(row.warm_hit_rate),
             row.bit_identical.to_string(),
         ]);
@@ -1294,6 +1302,317 @@ pub fn e16(scale: &Scale, _quick: bool) -> Table {
     table
 }
 
+/// One measured database size of the E17 scalability report
+/// (`BENCH_PR8.json`).
+struct ScalabilityRow {
+    /// Database size n.
+    objects: usize,
+    /// Clusters built by greedy k-center (`ceil(sqrt(n))`).
+    clusters: usize,
+    /// Query count.
+    queries: usize,
+    /// Neighbors requested per query.
+    k: usize,
+    /// Histogram dimensionality.
+    dim: usize,
+    /// Reduced dimensionality d'.
+    d_red: usize,
+    /// Mean stage-1 lower-bound evaluations per query, full-scan plan
+    /// (always exactly n: the Red-EMD filter evaluates every object).
+    scan_stage1_per_query: f64,
+    /// Mean stage-1 lower-bound evaluations per query, clustered source
+    /// (pivot distances plus members of expanded clusters only).
+    clustered_stage1_per_query: f64,
+    /// `clustered_stage1_per_query / scan_stage1_per_query`.
+    stage1_ratio: f64,
+    /// Mean clusters expanded per query (bound below the stopping radius).
+    clusters_visited_per_query: f64,
+    /// Mean clusters never expanded per query (triangle-pruned).
+    clusters_pruned_per_query: f64,
+    /// Mean exact EMD refinements per query (identical for both plans).
+    refinements_per_query: f64,
+    /// Mean response time, full-scan plan.
+    scan_ms_per_query: f64,
+    /// Mean response time, clustered source.
+    clustered_ms_per_query: f64,
+    /// Wall-clock cost of building the clustered index.
+    build_ms: f64,
+    /// Scan-vs-clustered answers (ids and distance bits) matched exactly.
+    bit_identical: bool,
+}
+
+serde::impl_serde_struct!(ScalabilityRow {
+    objects,
+    clusters,
+    queries,
+    k,
+    dim,
+    d_red,
+    scan_stage1_per_query,
+    clustered_stage1_per_query,
+    stage1_ratio,
+    clusters_visited_per_query,
+    clusters_pruned_per_query,
+    refinements_per_query,
+    scan_ms_per_query,
+    clustered_ms_per_query,
+    build_ms,
+    bit_identical,
+});
+
+/// The schema-versioned payload E17 writes to the repository root.
+struct ScalabilityReport {
+    /// Schema tag, always `"flexemd-bench/v1"`.
+    schema: String,
+    /// Producing experiment id (`"E17"`).
+    experiment: String,
+    /// Human-readable summary of the methodology.
+    description: String,
+    /// One entry per database size, ascending.
+    rows: Vec<ScalabilityRow>,
+}
+
+serde::impl_serde_struct!(ScalabilityReport {
+    schema,
+    experiment,
+    description,
+    rows,
+});
+
+/// Synthetic clustered corpus for the E17 scalability sweep: `groups`
+/// well-separated modes on a 64-bin chain whose ground distance is
+/// saturated at `tau = 4`. Group `g` concentrates its mass on the
+/// four-bin window `[4g, 4g+3]` with up to ~15% spilling into the next
+/// bin, so contiguous four-bin blocks reduce each group to (nearly) one
+/// reduced bin: intra-group reduced distances are small, inter-group
+/// distances saturate, and triangle pruning has real separation to work
+/// with. Returns `(database, held-out queries)`.
+fn separated_corpus(
+    objects: usize,
+    queries: usize,
+    seed: u64,
+) -> (Database, Vec<emd_core::Histogram>) {
+    const DIM: usize = 64;
+    const GROUPS: usize = 16;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bases: Vec<[f64; 5]> = (0..GROUPS)
+        .map(|_| {
+            [
+                rng.gen_range(0.2..1.0),
+                rng.gen_range(0.2..1.0),
+                rng.gen_range(0.2..1.0),
+                rng.gen_range(0.2..1.0),
+                rng.gen_range(0.0..0.15),
+            ]
+        })
+        .collect();
+    let draw = |group: usize, rng: &mut StdRng| {
+        let mut bins = vec![0.0_f64; DIM];
+        let start = 4 * group;
+        // group is taken modulo GROUPS, so the lookup always succeeds.
+        for (offset, &base) in bases.get(group).into_iter().flatten().enumerate() {
+            if let Some(slot) = bins.get_mut(start + offset) {
+                *slot = base * rng.gen_range(0.8..1.2);
+            }
+        }
+        checked(
+            emd_core::Histogram::normalized(bins),
+            "window weights are positive",
+        )
+    };
+    let mut all: Vec<emd_core::Histogram> = (0..objects + queries)
+        .map(|i| draw(i % GROUPS, &mut rng))
+        .collect();
+    let query_set = all.split_off(objects);
+    let cost = std::sync::Arc::new(checked(
+        emd_core::ground::linear(DIM).and_then(|c| emd_core::ground::saturated(&c, 4.0)),
+        "chain ground distance saturates cleanly",
+    ));
+    let database = checked(Database::new(all, cost), "corpus is self-consistent");
+    (database, query_set)
+}
+
+/// Measure one database size of the E17 sweep: the same
+/// `Red-EMD -> EMD` query answered by a full-scan plan and by a
+/// [`ClusteredIndex`](emd_query::ClusteredIndex) candidate source, with
+/// answers asserted bit-identical and stage-1 evaluation counts taken
+/// from [`QueryStats`](emd_query::QueryStats) (cluster visit/prune
+/// counts from the `emd-obs` registry).
+fn scalability_row(objects: usize, queries: usize, k: usize) -> ScalabilityRow {
+    const D_RED: usize = 16;
+    let (database, query_set) = separated_corpus(objects, queries, SEED ^ objects as u64);
+    let assignments: Vec<usize> = (0..database.dim()).map(|bin| bin / 4).collect();
+    let reduction = checked(
+        CombiningReduction::new(assignments, D_RED),
+        "contiguous blocks form a valid reduction",
+    );
+    let reduced = checked(
+        ReducedEmd::new(database.cost_arc(), reduction),
+        "saturated chain reduces cleanly",
+    );
+
+    let scan_plan = checked(
+        QueryPlan::new(
+            vec![Box::new(checked(
+                ReducedEmdFilter::new(&database, reduced.clone()),
+                "reduction matches the corpus",
+            )) as Box<dyn Filter>],
+            Box::new(checked(
+                EmdDistance::new(&database),
+                "refiner over a valid snapshot",
+            )),
+        ),
+        "single-stage plan is well-formed",
+    );
+    let scan = Executor::new(scan_plan);
+
+    let started = Instant::now();
+    let index = checked(
+        emd_query::ClusteredIndex::build(&database, reduced, 1.0),
+        "separated corpus clusters cleanly",
+    );
+    let build_ms = started.elapsed().as_secs_f64() * 1e3;
+    let clusters = index.clusters();
+    let clustered_plan = checked(
+        QueryPlan::new(
+            Vec::new(),
+            Box::new(checked(
+                EmdDistance::new(&database),
+                "refiner over a valid snapshot",
+            )),
+        )
+        .and_then(|plan| plan.with_source(Box::new(index))),
+        "source indexes the same snapshot",
+    );
+    let clustered = Executor::new(clustered_plan);
+
+    let mut bit_identical = true;
+    for query in &query_set {
+        let (scan_neighbors, _) = checked(scan.knn(query, k), "consistent scan plan");
+        let (clustered_neighbors, _) =
+            checked(clustered.knn(query, k), "consistent clustered plan");
+        bit_identical &= scan_neighbors.len() == clustered_neighbors.len()
+            && scan_neighbors
+                .iter()
+                .zip(&clustered_neighbors)
+                .all(|(s, c)| s.id == c.id && s.distance.to_bits() == c.distance.to_bits());
+    }
+    assert!(
+        bit_identical,
+        "scan-vs-clustered answers diverged at n = {objects}"
+    );
+
+    let scan_measurement = measure_knn(&scan, &query_set, k);
+    let recording = emd_obs::Recording::start();
+    let clustered_measurement = measure_knn(&clustered, &query_set, k);
+    let registry = recording.finish();
+
+    let per_query = query_set.len().max(1) as f64;
+    let stage1 = |m: &crate::setup::WorkloadMeasurement| {
+        m.stage_evaluations.first().map_or(0.0, |(_, n)| *n)
+    };
+    let scan_stage1 = stage1(&scan_measurement);
+    let clustered_stage1 = stage1(&clustered_measurement);
+    ScalabilityRow {
+        objects,
+        clusters,
+        queries: query_set.len(),
+        k,
+        dim: database.dim(),
+        d_red: D_RED,
+        scan_stage1_per_query: scan_stage1,
+        clustered_stage1_per_query: clustered_stage1,
+        stage1_ratio: clustered_stage1 / scan_stage1.max(1.0),
+        clusters_visited_per_query: registry.counter("index.clusters_visited") as f64 / per_query,
+        clusters_pruned_per_query: registry.counter("index.clusters_pruned") as f64 / per_query,
+        refinements_per_query: clustered_measurement.refinements,
+        scan_ms_per_query: scan_measurement.time_per_query.as_secs_f64() * 1e3,
+        clustered_ms_per_query: clustered_measurement.time_per_query.as_secs_f64() * 1e3,
+        build_ms,
+        bit_identical,
+    }
+}
+
+/// E17: sublinear stage-1 candidate generation. Greedy k-center
+/// clustering over the reduced space vs the full Red-EMD scan on a
+/// synthetic well-separated corpus, swept over database sizes, with
+/// bit-identical answers asserted at every size. Writes
+/// `BENCH_PR8.json` (schema `flexemd-bench/v1`) to the repository root.
+pub fn e17(scale: &Scale, quick: bool) -> Table {
+    let mut table = Table::new(
+        "E17",
+        "clustered candidate source vs full Red-EMD scan (separated 64-d corpus)",
+        &[
+            "n",
+            "clusters",
+            "scan lb/q",
+            "clustered lb/q",
+            "ratio",
+            "visited/q",
+            "pruned/q",
+            "refine/q",
+            "scan ms/q",
+            "clustered ms/q",
+            "build ms",
+            "identical",
+        ],
+    );
+    let sizes: &[usize] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[10_000, 30_000, 100_000]
+    };
+    let queries = scale.queries.min(20);
+    let rows: Vec<ScalabilityRow> = sizes
+        .iter()
+        .map(|&n| scalability_row(n, queries, K_DEFAULT))
+        .collect();
+    for row in &rows {
+        table.row(vec![
+            row.objects.to_string(),
+            row.clusters.to_string(),
+            fnum(row.scan_stage1_per_query),
+            fnum(row.clustered_stage1_per_query),
+            fnum(row.stage1_ratio),
+            fnum(row.clusters_visited_per_query),
+            fnum(row.clusters_pruned_per_query),
+            fnum(row.refinements_per_query),
+            fnum(row.scan_ms_per_query),
+            fnum(row.clustered_ms_per_query),
+            fnum(row.build_ms),
+            row.bit_identical.to_string(),
+        ]);
+    }
+    table.note(
+        "both plans refine with the exact EMD through the same KNOP loop; \
+         stage-1 counts are lower-bound evaluations in the reduced space \
+         (the scan computes all n, the clustered source computes pivot \
+         distances plus members of expanded clusters); answers asserted \
+         bit-identical at every size",
+    );
+    table.note("acceptance: ratio <= 0.5 at the largest n (checked in CI against BENCH_PR8.json)");
+    let report = ScalabilityReport {
+        schema: "flexemd-bench/v1".to_owned(),
+        experiment: "E17".to_owned(),
+        description: "Sublinear stage-1 candidates: greedy k-center clustering with \
+                      triangle-inequality pruning over the reduced space vs the full \
+                      Red-EMD scan, swept over database sizes on a 16-mode separated \
+                      64-d corpus (saturated chain ground distance, contiguous 4-bin \
+                      block reduction to d' = 16); answers bit-identical; stage-1 \
+                      evaluation counts from QueryStats, cluster visit/prune counts \
+                      from the emd-obs registry."
+            .to_owned(),
+        rows,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json");
+    match serde_json::to_vec_pretty(&report).map(|bytes| std::fs::write(&path, bytes)) {
+        Ok(Ok(())) => table.note(format!("wrote {}", path.display())),
+        Ok(Err(error)) => table.note(format!("could not write BENCH_PR8.json: {error}")),
+        Err(error) => table.note(format!("could not serialize BENCH_PR8.json: {error}")),
+    }
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -1313,6 +1632,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e14(scale, quick),
         e15(scale, quick),
         e16(scale, quick),
+        e17(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -1339,6 +1659,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e14" => Some(e14(scale, quick)),
         "e15" => Some(e15(scale, quick)),
         "e16" => Some(e16(scale, quick)),
+        "e17" => Some(e17(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),

@@ -1,0 +1,993 @@
+//! Cluster-pruned metric index over the reduced-space arena.
+//!
+//! Every stage-1 filter so far paid O(n) reduced-EMD evaluations per
+//! query. This module breaks that ceiling: because the reduced EMD is a
+//! *metric* whenever the reduced ground distance is (PAPER.md's metric
+//! preservation lemma), the reduced arena can be partitioned into
+//! clusters — each with a pivot and a covering radius — and the triangle
+//! inequality prunes whole clusters with a **single** pivot evaluation:
+//!
+//! ```text
+//! d(q, o) >= d(q, pivot) - radius      for every member o,
+//! ```
+//!
+//! so `max(0, d(q, pivot) - radius)` is a sound lower bound for every
+//! member, and (by the reduction's lower-bound property) of the exact
+//! EMD as well — the chain condition KNOP needs.
+//!
+//! The minima of Definition 5 do not always preserve the triangle
+//! inequality (merging a chain into three blocks puts the outer pair at
+//! ground distance 3 with two 1-hops between them), so the index prunes
+//! with the EMD over the **metric closure** of the reduced cost: every
+//! entry replaced by its all-pairs shortest-path distance. The closure
+//! only lowers entries, so `EMD_closure <= Red-EMD <= EMD` keeps the
+//! bound chain intact, and shortest-path distances satisfy the triangle
+//! inequality by construction. When the reduced cost is already a metric
+//! the closure is bit-identical to it and nothing changes.
+//!
+//! Construction is greedy k-center (minimum-maximum, Gonzalez): pick the
+//! object farthest from all chosen pivots as the next pivot, `~sqrt(n) ·
+//! factor` times. A triangle shortcut (`d(new pivot, old pivot) >= 2 ·
+//! d(o, old pivot)` implies the new pivot cannot steal `o`) keeps
+//! construction well below the naive `k·n` solves on clustered data.
+//!
+//! At query time [`ClusteredIndex`] is a
+//! [`CandidateSource`]: its stream holds a best-first heap mixing
+//! *cluster* entries (keyed by the pruning bound) and *member* entries
+//! (keyed by their evaluated reduced EMD), expanding a cluster —
+//! brute-forcing its members — only when its bound reaches the frontier.
+//! Cluster entries order before member entries on equal keys, so
+//! candidates are emitted in exactly the ascending `(distance, id)`
+//! order a full scan produces — answers are bit-identical; only the
+//! number of reduced-EMD evaluations changes. Clusters whose bound
+//! exceeds KNOP's stopping frontier are never expanded: that is the
+//! sublinear win measured by experiment E17.
+//!
+//! The clustering persists through `emd-store` ([`ClusteredIndex::to_stored`]
+//! / [`ClusteredIndex::from_stored`]) so `build-index --cluster` pays
+//! construction once. Budgets propagate through the traversal: a firing
+//! surfaces as [`QueryError::BudgetExhausted`] from the stream, with all
+//! already-computed bounds — including unexpanded clusters' members at
+//! their cluster bound — surrendered to the degraded answer.
+
+use crate::engine::source::{CandidateSource, CandidateStream};
+use crate::engine::Database;
+use crate::error::QueryError;
+use crate::filters::check_persisted;
+use crate::ranking::{Key, Ranking};
+use emd_core::{emd_in_context, Budget, CostMatrix, EmdContext, Histogram};
+use emd_reduction::{PersistedReduction, ReducedEmd};
+use emd_store::StoredClustering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Tolerance for symmetry/zero-diagonal checks on the reduced cost, and
+/// for the debug metric assertion on its closure.
+const METRIC_TOL: f64 = 1e-9;
+
+/// Heap entry kinds: clusters expand before members on equal keys, which
+/// is what makes the emission order identical to a full scan's.
+const ENTRY_CLUSTER: u8 = 0;
+const ENTRY_MEMBER: u8 = 1;
+
+/// A greedy k-center clustering of the reduced arena, queryable as a
+/// [`CandidateSource`] with triangle-inequality cluster pruning.
+///
+/// # Examples
+///
+/// Build over a snapshot, stream candidates, and round-trip the
+/// clustering through its stored form:
+///
+/// ```
+/// use emd_core::{ground, Histogram};
+/// use emd_query::{CandidateSource, ClusteredIndex, Database};
+/// use emd_reduction::{CombiningReduction, ReducedEmd};
+/// use std::sync::Arc;
+///
+/// let cost = Arc::new(ground::linear(4).unwrap());
+/// let database = Database::new(
+///     vec![
+///         Histogram::unit(4, 0).unwrap(),
+///         Histogram::unit(4, 1).unwrap(),
+///         Histogram::unit(4, 3).unwrap(),
+///     ],
+///     cost.clone(),
+/// )
+/// .unwrap();
+/// // Symmetric 4 -> 2 reduction: the reduced EMD stays a metric.
+/// let reduction = CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap();
+/// let reduced = ReducedEmd::new(&cost, reduction).unwrap();
+///
+/// let index = ClusteredIndex::build(&database, reduced, 1.0).unwrap();
+/// assert!(index.clusters() >= 1 && index.clusters() <= index.len());
+///
+/// let query = Histogram::unit(4, 0).unwrap();
+/// let mut stream = index.prepare(&query).unwrap();
+/// let (first, distance) = stream.next().unwrap().unwrap();
+/// assert_eq!((first, distance), (0, 0.0));
+///
+/// // The geometry persists: stored form rebuilds the same index.
+/// let stored = index.to_stored();
+/// assert_eq!(stored.pivots.len(), index.clusters());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusteredIndex {
+    name: String,
+    reduced: ReducedEmd,
+    /// Metric closure of the reduced ground distance — the cost every
+    /// construction and query-time distance in this index uses.
+    pruning_cost: Arc<CostMatrix>,
+    reduced_database: Arc<[Histogram]>,
+    pivots: Vec<u32>,
+    assignments: Vec<u32>,
+    radii: Vec<f64>,
+    /// Member ids per cluster, ascending (includes the pivot).
+    members: Vec<Vec<u32>>,
+}
+
+impl ClusteredIndex {
+    /// Build the clustering from scratch: reduce every database object,
+    /// then run greedy k-center into `ceil(sqrt(n) * factor)` clusters
+    /// (clamped to `[1, n]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::EmptyDatabase`] for an empty snapshot,
+    /// [`QueryError::Reduction`] when `factor` is not positive and
+    /// finite, when the reduction is asymmetric, or when the reduced
+    /// ground distance is not a metric (triangle pruning would be
+    /// unsound), and any solver error from the construction distances.
+    pub fn build(
+        database: &Database,
+        reduced: ReducedEmd,
+        factor: f64,
+    ) -> Result<Self, QueryError> {
+        let arena = database
+            .histograms()
+            .iter()
+            .map(|h| reduced.reduce_second(h))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::assemble(reduced, arena.into(), factor)
+    }
+
+    /// Build the clustering over a bundle's precomputed reduced arena
+    /// (no re-reduction) — the `build-index --cluster` path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ClusteredIndex::build`], plus
+    /// [`QueryError::Reduction`] when `bundle` does not match `database`.
+    pub fn from_persisted(
+        database: &Database,
+        bundle: &PersistedReduction,
+        factor: f64,
+    ) -> Result<Self, QueryError> {
+        check_persisted(database, bundle)?;
+        Self::assemble(
+            bundle.reduced().clone(),
+            bundle.reduced_database().to_vec().into(),
+            factor,
+        )
+    }
+
+    /// Reattach a persisted clustering to its bundle without re-running
+    /// construction — the index-open path. The geometry is revalidated
+    /// structurally (ranges, pivot self-assignment, finite radii) but
+    /// radii are trusted, mirroring the store's contract for the reduced
+    /// arena itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Reduction`] when `bundle` does not match
+    /// `database`, when the reduction is asymmetric or non-metric, or
+    /// when `stored` is structurally inconsistent with the arena.
+    pub fn from_stored(
+        database: &Database,
+        bundle: &PersistedReduction,
+        stored: &StoredClustering,
+    ) -> Result<Self, QueryError> {
+        check_persisted(database, bundle)?;
+        let reduced = bundle.reduced().clone();
+        let pruning_cost = pruning_cost_for(&reduced)?;
+        let arena: Arc<[Histogram]> = bundle.reduced_database().to_vec().into();
+        validate_stored(stored, arena.len())?;
+        let members = members_of(&stored.assignments, stored.pivots.len());
+        Ok(ClusteredIndex {
+            name: index_name(&reduced, &pruning_cost, stored.pivots.len()),
+            reduced,
+            pruning_cost,
+            reduced_database: arena,
+            pivots: stored.pivots.clone(),
+            assignments: stored.assignments.clone(),
+            radii: stored.radii.clone(),
+            members,
+        })
+    }
+
+    /// The clustering geometry in its storable form (pivots,
+    /// assignments, radii), for [`Database::save_with_clusterings`].
+    pub fn to_stored(&self) -> StoredClustering {
+        StoredClustering {
+            pivots: self.pivots.clone(),
+            assignments: self.assignments.clone(),
+            radii: self.radii.clone(),
+        }
+    }
+
+    /// Number of clusters (pivots).
+    pub fn clusters(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Pivot object ids, in cluster order.
+    pub fn pivots(&self) -> &[u32] {
+        &self.pivots
+    }
+
+    /// Cluster assignment per object id.
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// Covering radius per cluster (max member distance to the pivot).
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// The reduced EMD the clustering was built under.
+    pub fn reduced(&self) -> &ReducedEmd {
+        &self.reduced
+    }
+
+    /// The cost matrix pruning distances are computed under: the metric
+    /// closure of the reduced ground distance (bit-identical to it when
+    /// the reduced cost is already a metric).
+    pub fn pruning_cost(&self) -> &CostMatrix {
+        &self.pruning_cost
+    }
+
+    fn assemble(
+        reduced: ReducedEmd,
+        arena: Arc<[Histogram]>,
+        factor: f64,
+    ) -> Result<Self, QueryError> {
+        let pruning_cost = pruning_cost_for(&reduced)?;
+        let n = arena.len();
+        if n == 0 {
+            return Err(QueryError::EmptyDatabase);
+        }
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(QueryError::Reduction(format!(
+                "cluster factor {factor} must be positive and finite"
+            )));
+        }
+        let target = ((n as f64).sqrt() * factor).ceil() as usize;
+        let k = target.clamp(1, n);
+        let (pivots, assignments, radii) = greedy_k_center(&pruning_cost, &arena, k)?;
+        let members = members_of(&assignments, pivots.len());
+        Ok(ClusteredIndex {
+            name: index_name(&reduced, &pruning_cost, pivots.len()),
+            reduced,
+            pruning_cost,
+            reduced_database: arena,
+            pivots,
+            assignments,
+            radii,
+            members,
+        })
+    }
+
+    fn stream(
+        &self,
+        query: &Histogram,
+        budget: Budget,
+    ) -> Result<Box<dyn CandidateStream + '_>, QueryError> {
+        let reduced_query = self.reduced.reduce_first(query)?;
+        Ok(Box::new(ClusterStream {
+            index: self,
+            reduced_query,
+            budget,
+            context: EmdContext::new(),
+            heap: BinaryHeap::new(),
+            next_cluster: 0,
+            evaluations: 0,
+            emitted: 0,
+            visited: 0,
+        }))
+    }
+}
+
+impl CandidateSource for ClusteredIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.reduced_database.len()
+    }
+
+    fn prepare(&self, query: &Histogram) -> Result<Box<dyn CandidateStream + '_>, QueryError> {
+        self.stream(query, Budget::unlimited())
+    }
+
+    fn prepare_budgeted(
+        &self,
+        query: &Histogram,
+        budget: &Budget,
+    ) -> Result<Box<dyn CandidateStream + '_>, QueryError> {
+        self.stream(query, budget.clone())
+    }
+}
+
+fn index_name(reduced: &ReducedEmd, pruning_cost: &CostMatrix, clusters: usize) -> String {
+    let closed = pruning_cost.entries() != reduced.reduced_cost().entries();
+    format!(
+        "clustered(d'={}, k={}{})",
+        reduced.r1().reduced_dim(),
+        clusters,
+        if closed { ", closed" } else { "" }
+    )
+}
+
+/// The cost every distance in the index is computed under: the metric
+/// closure (all-pairs shortest paths) of the reduced ground distance.
+///
+/// Triangle pruning needs a metric, but the minima of Definition 5 do
+/// not always deliver one. Replacing each entry by its shortest-path
+/// distance restores the triangle inequality without breaking the bound
+/// chain: closure entries never exceed the originals, so the EMD under
+/// the closure lower-bounds the reduced EMD (and hence the exact EMD).
+/// Symmetry cannot be repaired the same way, so an asymmetric reduction
+/// or reduced cost is still rejected.
+fn pruning_cost_for(reduced: &ReducedEmd) -> Result<Arc<CostMatrix>, QueryError> {
+    if reduced.r1().assignment() != reduced.r2().assignment() {
+        return Err(QueryError::Reduction(
+            "clustered index requires a symmetric reduction (identical query- and \
+             database-side assignments); asymmetric reduced distances are not a metric"
+                .to_owned(),
+        ));
+    }
+    let cost = reduced.reduced_cost();
+    let dim = cost.rows();
+    for i in 0..dim {
+        if cost.at(i, i).abs() > METRIC_TOL {
+            return Err(QueryError::Reduction(format!(
+                "reduced cost has non-zero diagonal entry {} at bin {i}; \
+                 pruning distances would not vanish on identical operands",
+                cost.at(i, i)
+            )));
+        }
+        for j in 0..i {
+            if (cost.at(i, j) - cost.at(j, i)).abs() > METRIC_TOL {
+                return Err(QueryError::Reduction(format!(
+                    "reduced cost is asymmetric at ({i}, {j}); \
+                     triangle-inequality pruning would be unsound"
+                )));
+            }
+        }
+    }
+    let mut entries = cost.entries().to_vec();
+    // Floyd-Warshall over the complete graph on reduced bins. The loop
+    // order is fixed, so the closure is deterministic and reopen paths
+    // rebuild bit-identical pruning distances.
+    for k in 0..dim {
+        for i in 0..dim {
+            let through = entries.get(i * dim + k).copied().unwrap_or(f64::INFINITY);
+            for j in 0..dim {
+                let candidate =
+                    through + entries.get(k * dim + j).copied().unwrap_or(f64::INFINITY);
+                if let Some(entry) = entries.get_mut(i * dim + j) {
+                    if candidate < *entry {
+                        *entry = candidate;
+                    }
+                }
+            }
+        }
+    }
+    let closure = CostMatrix::new(dim, dim, entries)?;
+    debug_assert!(
+        closure.is_metric(METRIC_TOL),
+        "shortest-path closure of a symmetric zero-diagonal cost is a metric"
+    );
+    Ok(Arc::new(closure))
+}
+
+/// Structural validation of an externally supplied stored clustering
+/// (the store codec performs the same checks on decode; `StoredClustering`
+/// has public fields, so revalidate before trusting the geometry).
+fn validate_stored(stored: &StoredClustering, objects: usize) -> Result<(), QueryError> {
+    let clusters = stored.pivots.len();
+    if stored.assignments.len() != objects {
+        return Err(QueryError::Reduction(format!(
+            "clustering assigns {} objects, arena holds {objects}",
+            stored.assignments.len()
+        )));
+    }
+    if stored.radii.len() != clusters {
+        return Err(QueryError::Reduction(format!(
+            "clustering has {clusters} pivots but {} radii",
+            stored.radii.len()
+        )));
+    }
+    if objects > 0 && (clusters == 0 || clusters > objects) {
+        return Err(QueryError::Reduction(format!(
+            "clustering has {clusters} clusters for {objects} objects"
+        )));
+    }
+    for (cluster, &pivot) in stored.pivots.iter().enumerate() {
+        let owner = stored.assignments.get(pivot as usize).copied();
+        if owner != Some(cluster as u32) {
+            return Err(QueryError::Reduction(format!(
+                "pivot {pivot} of cluster {cluster} is not assigned to its own cluster"
+            )));
+        }
+    }
+    for (id, &a) in stored.assignments.iter().enumerate() {
+        if a as usize >= clusters {
+            return Err(QueryError::Reduction(format!(
+                "object {id} assigned to cluster {a} of {clusters}"
+            )));
+        }
+    }
+    for (cluster, &radius) in stored.radii.iter().enumerate() {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(QueryError::Reduction(format!(
+                "cluster {cluster} has invalid radius {radius}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Pivot ids, per-object cluster assignments, and covering radii — the
+/// geometry triple greedy k-center produces and the store persists.
+type ClusterGeometry = (Vec<u32>, Vec<u32>, Vec<f64>);
+
+/// Greedy k-center (Gonzalez): `pivots`, `assignments`, covering
+/// `radii`. Deterministic — the first pivot is object 0 and ties go to
+/// the smallest id.
+fn greedy_k_center(
+    cost: &CostMatrix,
+    arena: &[Histogram],
+    k: usize,
+) -> Result<ClusterGeometry, QueryError> {
+    let budget = Budget::unlimited();
+    let mut context = EmdContext::new();
+    let n = arena.len();
+    let Some(first) = arena.first() else {
+        return Err(QueryError::EmptyDatabase);
+    };
+    // d_near[o] = distance of o to its nearest chosen pivot.
+    let mut d_near: Vec<f64> = Vec::with_capacity(n);
+    for h in arena {
+        d_near.push(emd_in_context(first, h, cost, &budget, &mut context)?);
+    }
+    let mut assignments: Vec<u32> = vec![0; n];
+    let mut pivots: Vec<u32> = vec![0];
+    while pivots.len() < k {
+        // Next pivot: the object farthest from all chosen pivots.
+        let mut next = 0usize;
+        let mut farthest = f64::NEG_INFINITY;
+        for (id, &d) in d_near.iter().enumerate() {
+            if d > farthest {
+                farthest = d;
+                next = id;
+            }
+        }
+        if farthest <= 0.0 {
+            // Every object coincides with a pivot; more clusters would
+            // only produce empty ones.
+            break;
+        }
+        let next_h = arena.get(next).ok_or(QueryError::UnknownObject(next))?;
+        // Pivot-to-pivot distances feed the triangle shortcut below.
+        let mut pivot_distances: Vec<f64> = Vec::with_capacity(pivots.len());
+        for &p in &pivots {
+            let ph = arena
+                .get(p as usize)
+                .ok_or(QueryError::UnknownObject(p as usize))?;
+            pivot_distances.push(emd_in_context(next_h, ph, cost, &budget, &mut context)?);
+        }
+        let t = pivots.len() as u32;
+        for ((h, a), dn) in arena
+            .iter()
+            .zip(assignments.iter_mut())
+            .zip(d_near.iter_mut())
+        {
+            // d(new, o) >= d(new, old pivot) - d(o, old pivot) >= d(o, old
+            // pivot) when the pivot gap is at least twice d_near: the new
+            // pivot cannot steal o, skip the solve.
+            let gap = pivot_distances
+                .get(*a as usize)
+                .copied()
+                .unwrap_or(f64::NEG_INFINITY);
+            if gap >= 2.0 * *dn {
+                continue;
+            }
+            let d = emd_in_context(next_h, h, cost, &budget, &mut context)?;
+            if d < *dn {
+                *dn = d;
+                *a = t;
+            }
+        }
+        pivots.push(next as u32);
+    }
+    let mut radii = vec![0.0f64; pivots.len()];
+    for (a, dn) in assignments.iter().zip(d_near.iter()) {
+        if let Some(r) = radii.get_mut(*a as usize) {
+            if *dn > *r {
+                *r = *dn;
+            }
+        }
+    }
+    Ok((pivots, assignments, radii))
+}
+
+/// Group object ids by cluster (ascending within each cluster).
+fn members_of(assignments: &[u32], clusters: usize) -> Vec<Vec<u32>> {
+    let mut members = vec![Vec::new(); clusters];
+    for (id, &a) in assignments.iter().enumerate() {
+        if let Some(list) = members.get_mut(a as usize) {
+            list.push(id as u32);
+        }
+    }
+    members
+}
+
+/// Per-query traversal state: a best-first heap over cluster bounds and
+/// evaluated member distances.
+///
+/// Soundness of the emission order: when a member entry `(d, id)` is at
+/// the top, every cluster entry with bound `<= d` has already been
+/// expanded (cluster entries order first on ties), and every member at
+/// distance `<= d` belongs to some cluster whose bound is `<= d` — so
+/// all of them are already in the heap and the pop order is globally
+/// ascending `(distance, id)`, exactly like a materialized scan.
+struct ClusterStream<'a> {
+    index: &'a ClusteredIndex,
+    reduced_query: Histogram,
+    budget: Budget,
+    context: EmdContext,
+    heap: BinaryHeap<Reverse<(Key, u8, u32)>>,
+    /// Clusters whose pivot has not been evaluated yet (lazy bounding, so
+    /// a budget firing mid-bounding degrades instead of erroring).
+    next_cluster: usize,
+    evaluations: usize,
+    emitted: usize,
+    visited: usize,
+}
+
+impl ClusterStream<'_> {
+    fn distance_to(&mut self, object: u32) -> Result<f64, QueryError> {
+        let index = self.index;
+        let h = index
+            .reduced_database
+            .get(object as usize)
+            .ok_or(QueryError::UnknownObject(object as usize))?;
+        self.evaluations += 1;
+        Ok(emd_in_context(
+            &self.reduced_query,
+            h,
+            &index.pruning_cost,
+            &self.budget,
+            &mut self.context,
+        )?)
+    }
+
+    /// Bound every cluster: one pivot evaluation each. The pivot itself
+    /// is pushed as a member entry (its distance is exact already), so
+    /// expansion never re-evaluates it.
+    fn bound_clusters(&mut self) -> Result<(), QueryError> {
+        let index = self.index;
+        while self.next_cluster < index.pivots.len() {
+            self.budget.check().map_err(QueryError::BudgetExhausted)?;
+            let cluster = self.next_cluster;
+            let Some(&pivot) = index.pivots.get(cluster) else {
+                break;
+            };
+            let Some(&radius) = index.radii.get(cluster) else {
+                break;
+            };
+            let d = self.distance_to(pivot)?;
+            let bound = (d - radius).max(0.0);
+            self.heap
+                .push(Reverse((Key(bound), ENTRY_CLUSTER, cluster as u32)));
+            self.heap.push(Reverse((Key(d), ENTRY_MEMBER, pivot)));
+            self.next_cluster += 1;
+        }
+        Ok(())
+    }
+
+    /// Brute-force one cluster: evaluate every member except the
+    /// already-evaluated pivot.
+    fn expand(&mut self, cluster: usize) -> Result<(), QueryError> {
+        self.budget.check().map_err(QueryError::BudgetExhausted)?;
+        self.visited += 1;
+        let index = self.index;
+        let pivot = index.pivots.get(cluster).copied();
+        let Some(members) = index.members.get(cluster) else {
+            return Ok(());
+        };
+        for &m in members {
+            if Some(m) == pivot {
+                continue;
+            }
+            let d = self.distance_to(m)?;
+            self.heap.push(Reverse((Key(d), ENTRY_MEMBER, m)));
+        }
+        Ok(())
+    }
+}
+
+impl Ranking for ClusterStream<'_> {
+    fn next(&mut self) -> Result<Option<(usize, f64)>, QueryError> {
+        self.bound_clusters()?;
+        loop {
+            let Some(Reverse((Key(key), kind, id))) = self.heap.pop() else {
+                return Ok(None);
+            };
+            if kind == ENTRY_CLUSTER {
+                self.expand(id as usize)?;
+            } else {
+                self.emitted += 1;
+                return Ok(Some((id as usize, key)));
+            }
+        }
+    }
+
+    fn drain_computed(&mut self) -> Vec<(usize, f64)> {
+        let index = self.index;
+        let mut out = Vec::new();
+        for Reverse((Key(key), kind, id)) in self.heap.drain() {
+            if kind == ENTRY_CLUSTER {
+                // An unexpanded cluster's bound covers all its members,
+                // for free; its pivot rides its own member entry.
+                let pivot = index.pivots.get(id as usize).copied();
+                if let Some(members) = index.members.get(id as usize) {
+                    for &m in members {
+                        if Some(m) == pivot {
+                            continue;
+                        }
+                        out.push((m as usize, key));
+                    }
+                }
+            } else {
+                out.push((id as usize, key));
+            }
+        }
+        out
+    }
+}
+
+impl CandidateStream for ClusterStream<'_> {
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+impl Drop for ClusterStream<'_> {
+    fn drop(&mut self) {
+        let total = self.index.pivots.len();
+        emd_obs::counter_add("index.clusters_visited", self.visited as u64);
+        emd_obs::counter_add(
+            "index.clusters_pruned",
+            total.saturating_sub(self.visited) as u64,
+        );
+        emd_obs::counter_add("index.candidates_emitted", self.emitted as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emd_core::ground;
+    use emd_reduction::CombiningReduction;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_database(n: usize, dim: usize, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let histograms = (0..n)
+            .map(|_| {
+                let bins: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+                Histogram::normalized(bins).unwrap()
+            })
+            .collect();
+        // Saturated chain: min-reduction over contiguous blocks keeps the
+        // reduced costs in {0, 1, 2}, which satisfies the triangle
+        // inequality (an unsaturated chain would not — blocks two hops
+        // apart sit at ground distance 3 > 1 + 1).
+        let cost = ground::saturated(&ground::linear(dim).unwrap(), 2.0).unwrap();
+        Database::new(histograms, Arc::new(cost)).unwrap()
+    }
+
+    fn reduction(dim: usize, reduced_dim: usize) -> CombiningReduction {
+        let assignment: Vec<usize> = (0..dim).map(|i| i * reduced_dim / dim).collect();
+        CombiningReduction::new(assignment, reduced_dim).unwrap()
+    }
+
+    fn index_over(database: &Database, reduced_dim: usize, factor: f64) -> ClusteredIndex {
+        let reduced =
+            ReducedEmd::new(database.cost_arc(), reduction(database.dim(), reduced_dim)).unwrap();
+        ClusteredIndex::build(database, reduced, factor).unwrap()
+    }
+
+    /// Reference order: reduced distance of every object, ascending
+    /// (distance, id).
+    fn scan_order(index: &ClusteredIndex, query: &Histogram) -> Vec<(usize, f64)> {
+        let reduced_query = index.reduced.reduce_first(query).unwrap();
+        let budget = Budget::unlimited();
+        let mut context = EmdContext::new();
+        let mut order: Vec<(usize, f64)> = index
+            .reduced_database
+            .iter()
+            .enumerate()
+            .map(|(id, h)| {
+                let d = emd_in_context(
+                    &reduced_query,
+                    h,
+                    &index.pruning_cost,
+                    &budget,
+                    &mut context,
+                )
+                .unwrap();
+                (id, d)
+            })
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        order
+    }
+
+    #[test]
+    fn structure_is_a_valid_partition() {
+        let database = random_database(60, 8, 11);
+        let index = index_over(&database, 4, 1.0);
+        assert!(index.clusters() >= 1 && index.clusters() <= 60);
+        assert_eq!(index.assignments().len(), 60);
+        assert_eq!(index.radii().len(), index.clusters());
+        // Pivots belong to their own clusters; members cover 0..n once.
+        for (cluster, &pivot) in index.pivots().iter().enumerate() {
+            assert_eq!(index.assignments()[pivot as usize] as usize, cluster);
+        }
+        let mut seen: Vec<u32> = index.members.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..60).collect::<Vec<u32>>());
+        // Radii cover: every member within its cluster's radius.
+        let budget = Budget::unlimited();
+        let mut context = EmdContext::new();
+        for (id, &a) in index.assignments().iter().enumerate() {
+            let pivot = index.pivots()[a as usize] as usize;
+            let d = index
+                .reduced
+                .distance_reduced_in_context(
+                    &index.reduced_database[id],
+                    &index.reduced_database[pivot],
+                    &budget,
+                    &mut context,
+                )
+                .unwrap();
+            assert!(
+                d <= index.radii()[a as usize] + 1e-9,
+                "object {id}: {d} > radius {}",
+                index.radii()[a as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn stream_emits_full_scan_order() {
+        let database = random_database(50, 8, 7);
+        let index = index_over(&database, 4, 1.0);
+        let queries = [
+            Histogram::unit(8, 0).unwrap(),
+            Histogram::unit(8, 5).unwrap(),
+        ];
+        for query in &queries {
+            let expected = scan_order(&index, query);
+            let mut stream = index.prepare(query).unwrap();
+            let mut got = Vec::new();
+            while let Some(item) = stream.next().unwrap() {
+                got.push(item);
+            }
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(g.0, e.0);
+                assert_eq!(g.1.to_bits(), e.1.to_bits(), "object {}", g.0);
+            }
+        }
+    }
+
+    /// Tight, well-separated groups around three distant chain bins.
+    fn separated_database(seed: u64) -> Database {
+        let mut histograms = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for center in [1usize, 8, 15] {
+            for _ in 0..20 {
+                let mut bins = vec![0.0005; 18];
+                bins[center] += 0.9 + rng.gen_range(0.0..0.05);
+                histograms.push(Histogram::normalized(bins).unwrap());
+            }
+        }
+        let cost = ground::saturated(&ground::linear(18).unwrap(), 2.0).unwrap();
+        Database::new(histograms, Arc::new(cost)).unwrap()
+    }
+
+    #[test]
+    fn early_stop_evaluates_fewer_objects_on_clustered_data() {
+        // Pulling only the first few candidates must not bound-expand
+        // every cluster.
+        let database = separated_database(13);
+        let index = index_over(&database, 6, 1.0);
+        let query = database.get(0).unwrap().clone();
+        let mut stream = index.prepare(&query).unwrap();
+        for _ in 0..5 {
+            stream.next().unwrap().unwrap();
+        }
+        assert!(
+            stream.evaluations() < database.len(),
+            "expected pruning: {} evaluations for {} objects",
+            stream.evaluations(),
+            database.len()
+        );
+    }
+
+    #[test]
+    fn budget_firing_surfaces_with_computed_bounds() {
+        // Well-separated data keeps distant clusters unexpanded after the
+        // first pull, so solves remain for the exhausted pool to fail.
+        let database = separated_database(19);
+        let index = index_over(&database, 6, 1.0);
+        let query = database.get(0).unwrap().clone();
+        // The pool is shared across clones: let the stream bound the
+        // clusters under a generous cap, then exhaust the pool from the
+        // outside so the next pull must surface the firing.
+        let budget = Budget::unlimited().with_pivot_cap(1_000_000);
+        let mut stream = index.prepare_budgeted(&query, &budget).unwrap();
+        stream.next().unwrap().unwrap();
+        budget.settle_pivots(1_000_000);
+        // Already-computed entries may still emit for free, but expanding
+        // any remaining cluster needs solves, which must fire.
+        let fired = loop {
+            match stream.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => break false,
+                Err(QueryError::BudgetExhausted(_)) => break true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert!(fired, "an exhausted pivot pool must fire before completion");
+        let drained = stream.drain_computed();
+        // Whatever was computed is surrendered with non-negative bounds.
+        for (id, bound) in &drained {
+            assert!(*id < 60);
+            assert!(bound.is_finite() && *bound >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_non_metric_reductions() {
+        let database = random_database(10, 8, 3);
+        let r1 = reduction(8, 4);
+        let r2 = reduction(8, 2);
+        let reduced = ReducedEmd::with_asymmetric(database.cost_arc(), r1, r2).unwrap();
+        assert!(matches!(
+            ClusteredIndex::build(&database, reduced, 1.0),
+            Err(QueryError::Reduction(_))
+        ));
+    }
+
+    #[test]
+    fn non_metric_reduced_cost_is_closed_not_rejected() {
+        // An unsaturated chain merged into thirds puts the outer blocks
+        // at ground distance 4 with two 1-hops between them: not a
+        // metric. The index repairs it with the shortest-path closure
+        // instead of rejecting.
+        let mut rng = StdRng::seed_from_u64(5);
+        let histograms = (0..20)
+            .map(|_| {
+                let bins: Vec<f64> = (0..9).map(|_| rng.gen_range(0.0..1.0)).collect();
+                Histogram::normalized(bins).unwrap()
+            })
+            .collect();
+        let database = Database::new(histograms, Arc::new(ground::linear(9).unwrap())).unwrap();
+        let reduced = ReducedEmd::new(database.cost_arc(), reduction(9, 3)).unwrap();
+        assert!(!reduced.reduced_cost().is_metric(1e-9));
+
+        let index = ClusteredIndex::build(&database, reduced, 1.0).unwrap();
+        assert!(index.name().contains("closed"));
+        assert!(index.pruning_cost().is_metric(1e-9));
+        // The closure only lowers entries, preserving the bound chain.
+        for (c, o) in index
+            .pruning_cost()
+            .entries()
+            .iter()
+            .zip(index.reduced().reduced_cost().entries())
+        {
+            assert!(c <= o);
+        }
+        // Emission is still bit-identical to a scan under the closure.
+        let query = Histogram::unit(9, 4).unwrap();
+        let expected = scan_order(&index, &query);
+        let mut stream = index.prepare(&query).unwrap();
+        for e in &expected {
+            let got = stream.next().unwrap().unwrap();
+            assert_eq!(got.0, e.0);
+            assert_eq!(got.1.to_bits(), e.1.to_bits());
+        }
+        assert!(stream.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_factors_and_empty_databases() {
+        let database = random_database(10, 8, 3);
+        let reduced = ReducedEmd::new(database.cost_arc(), reduction(8, 4)).unwrap();
+        for factor in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(ClusteredIndex::build(&database, reduced.clone(), factor).is_err());
+        }
+        let empty = Database::new(Vec::new(), database.cost_arc().clone()).unwrap();
+        assert!(matches!(
+            ClusteredIndex::build(&empty, reduced, 1.0),
+            Err(QueryError::EmptyDatabase)
+        ));
+    }
+
+    #[test]
+    fn stored_roundtrip_rebuilds_identical_geometry() {
+        let database = random_database(40, 8, 23);
+        let reduced = ReducedEmd::new(database.cost_arc(), reduction(8, 4)).unwrap();
+        let bundle =
+            PersistedReduction::precompute("kmed:4", reduced, database.histograms()).unwrap();
+        let index = ClusteredIndex::from_persisted(&database, &bundle, 1.0).unwrap();
+        let stored = index.to_stored();
+        let reopened = ClusteredIndex::from_stored(&database, &bundle, &stored).unwrap();
+        assert_eq!(reopened.pivots(), index.pivots());
+        assert_eq!(reopened.assignments(), index.assignments());
+        assert_eq!(reopened.radii().len(), index.radii().len());
+        for (a, b) in reopened.radii().iter().zip(index.radii().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And it queries identically.
+        let query = Histogram::unit(8, 1).unwrap();
+        let mut s1 = index.prepare(&query).unwrap();
+        let mut s2 = reopened.prepare(&query).unwrap();
+        loop {
+            let (a, b) = (s1.next().unwrap(), s2.next().unwrap());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn from_stored_rejects_tampered_geometry() {
+        let database = random_database(20, 8, 29);
+        let reduced = ReducedEmd::new(database.cost_arc(), reduction(8, 4)).unwrap();
+        let bundle =
+            PersistedReduction::precompute("kmed:4", reduced, database.histograms()).unwrap();
+        let index = ClusteredIndex::from_persisted(&database, &bundle, 1.0).unwrap();
+        let good = index.to_stored();
+
+        let mut wrong_count = good.clone();
+        wrong_count.assignments.pop();
+        assert!(ClusteredIndex::from_stored(&database, &bundle, &wrong_count).is_err());
+
+        let mut foreign_pivot = good.clone();
+        if let Some(p) = foreign_pivot.pivots.first_mut() {
+            *p = 19;
+        }
+        // Either the pivot now collides with another cluster's member or
+        // its self-assignment breaks; both must be rejected unless object
+        // 19 already was pivot 0's member assigned to cluster 0.
+        if foreign_pivot.assignments[19] != 0 {
+            assert!(ClusteredIndex::from_stored(&database, &bundle, &foreign_pivot).is_err());
+        }
+
+        let mut bad_radius = good;
+        if let Some(r) = bad_radius.radii.first_mut() {
+            *r = f64::NAN;
+        }
+        assert!(ClusteredIndex::from_stored(&database, &bundle, &bad_radius).is_err());
+    }
+}

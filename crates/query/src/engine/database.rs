@@ -13,7 +13,7 @@
 use crate::error::QueryError;
 use emd_core::{CostMatrix, Histogram};
 use emd_reduction::PersistedReduction;
-use emd_store::StoreError;
+use emd_store::{StoreError, StoredClustering};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -104,6 +104,28 @@ impl Database {
     /// Persist this snapshot — together with any precomputed reduction
     /// bundles — as a `flexemd-store/v1` index directory at `dir`.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emd_query::Database;
+    /// use emd_core::{ground, Histogram};
+    /// use std::sync::Arc;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("flexemd-doc-save-{}", std::process::id()));
+    /// let cost = Arc::new(ground::linear(3)?);
+    /// let db = Database::new(
+    ///     vec![Histogram::unit(3, 0)?, Histogram::unit(3, 2)?],
+    ///     cost,
+    /// )?;
+    /// db.save(&dir, "demo", &[])?;
+    ///
+    /// let opened = Database::open(&dir)?;
+    /// assert_eq!(opened.name, "demo");
+    /// assert_eq!(opened.database.len(), 2);
+    /// std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError`] when the directory or a segment file
@@ -117,6 +139,33 @@ impl Database {
         reductions: &[PersistedReduction],
     ) -> Result<(), StoreError> {
         emd_store::save_index(dir, name, &self.histograms, &self.cost, reductions)
+    }
+
+    /// [`Database::save`] plus per-reduction clustering geometry:
+    /// `clusterings` is parallel to `reductions`, with `Some` for bundles
+    /// that carry a [`ClusteredIndex`](crate::ClusteredIndex) (exported
+    /// via [`ClusteredIndex::to_stored`](crate::ClusteredIndex::to_stored))
+    /// and `None` for those that do not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when a segment cannot be written or when
+    /// `clusterings` and `reductions` disagree in length.
+    pub fn save_with_clusterings(
+        &self,
+        dir: &Path,
+        name: &str,
+        reductions: &[PersistedReduction],
+        clusterings: &[Option<StoredClustering>],
+    ) -> Result<(), StoreError> {
+        emd_store::save_index_with(
+            dir,
+            name,
+            &self.histograms,
+            &self.cost,
+            reductions,
+            clusterings,
+        )
     }
 
     /// Open a `flexemd-store/v1` index directory, re-validating every
@@ -160,6 +209,7 @@ impl Database {
             name: stored.name,
             database,
             reductions: stored.reductions,
+            clusterings: stored.clusterings,
         })
     }
 }
@@ -176,6 +226,11 @@ pub struct OpenedIndex {
     pub database: Database,
     /// Reduction bundles, in manifest (pipeline) order.
     pub reductions: Vec<PersistedReduction>,
+    /// Clustering geometry per reduction bundle (parallel to
+    /// `reductions`): `Some` where the index was saved with a
+    /// [`ClusteredIndex`](crate::ClusteredIndex), rehydrated via
+    /// [`ClusteredIndex::from_stored`](crate::ClusteredIndex::from_stored).
+    pub clusterings: Vec<Option<StoredClustering>>,
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 //! into [`QueryError::WorkerPanicked`] for its own queries only, and
 //! surviving queries' results and chunk-order stats merge are unchanged.
 
+use crate::engine::source::{CandidateSource, SourceRanking};
 use crate::error::QueryError;
 use crate::filters::PreparedFilter;
 use crate::knop;
@@ -377,6 +378,9 @@ impl Executor {
             }
             _ => {}
         }
+        if let Some(source) = self.plan.source() {
+            return self.execute_from_source(source, query, mode);
+        }
         let mut refiner = {
             let _span = emd_obs::span("query.refiner.prepare");
             self.plan.refiner().prepare(query)?
@@ -456,6 +460,9 @@ impl Executor {
             }
             _ => {}
         }
+        if let Some(source) = self.plan.source() {
+            return self.execute_from_source_budgeted(source, query, mode, budget);
+        }
         let mut refiner = {
             let _span = emd_obs::span("query.refiner.prepare");
             self.plan.refiner().prepare_budgeted(query, budget)?
@@ -468,28 +475,7 @@ impl Executor {
             prepared.push(stage.prepare_budgeted(query, budget)?);
         }
 
-        let finish = |outcome: QueryOutcome,
-                      refinements: usize,
-                      evaluations: Vec<(String, usize)>|
-         -> (QueryOutcome, QueryStats) {
-            let results = match &outcome {
-                QueryOutcome::Exact(neighbors) => neighbors.len(),
-                QueryOutcome::Degraded(result) => result.candidates.len(),
-            };
-            let stats = QueryStats {
-                filter_evaluations: evaluations,
-                refinements,
-                results,
-            };
-            publish_stats(&stats);
-            if let QueryOutcome::Degraded(result) = &outcome {
-                emd_obs::counter_add("query.degraded", 1);
-                if result.reason == BudgetReason::Deadline {
-                    emd_obs::counter_add("query.deadline_exceeded", 1);
-                }
-            }
-            (outcome, stats)
-        };
+        let finish = finish_outcome;
 
         if prepared.is_empty() {
             // Zero-stage plan — the sequential scan. Materialize the exact
@@ -621,6 +607,151 @@ impl Executor {
             .collect();
         Ok(finish(outcome, refinements, evaluations))
     }
+
+    /// Source-driven execution: the plan's [`CandidateSource`] stream
+    /// replaces the materialized first stage; any filter stages chain on
+    /// top of it, and the KNOP loop is unchanged.
+    fn execute_from_source(
+        &self,
+        source: &dyn CandidateSource,
+        query: &Histogram,
+        mode: QueryMode,
+    ) -> Result<(Vec<Neighbor>, QueryStats), QueryError> {
+        let mut refiner = {
+            let _span = emd_obs::span("query.refiner.prepare");
+            self.plan.refiner().prepare(query)?
+        };
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> =
+            Vec::with_capacity(self.plan.stages().len());
+        for stage in self.plan.stages() {
+            let _span = emd_obs::span_with(|| format!("query.stage.{}.prepare", stage.name()));
+            prepared.push(stage.prepare(query)?);
+        }
+        let mut stream = {
+            let _span = emd_obs::span_with(|| format!("query.source.{}.prepare", source.name()));
+            source.prepare(query)?
+        };
+
+        let (neighbors, refinements) = {
+            let _span = emd_obs::span("query.knop");
+            let mut ranking: Box<dyn Ranking + '_> = Box::new(SourceRanking::new(stream.as_mut()));
+            for stage in prepared.iter_mut() {
+                ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
+            }
+            match mode {
+                QueryMode::Knn(k) => knop::knn(ranking.as_mut(), refiner.as_mut(), k)?,
+                QueryMode::Range(epsilon) => {
+                    knop::range(ranking.as_mut(), refiner.as_mut(), epsilon)?
+                }
+            }
+        };
+
+        let stats = QueryStats {
+            filter_evaluations: source_evaluations(
+                source,
+                stream.evaluations(),
+                &self.plan,
+                &prepared,
+            ),
+            refinements,
+            results: neighbors.len(),
+        };
+        publish_stats(&stats);
+        Ok((neighbors, stats))
+    }
+
+    /// Budgeted twin of [`Executor::execute_from_source`]. The stream
+    /// probes the budget as it traverses: a firing surfaces as
+    /// [`QueryError::BudgetExhausted`] from the ranking, which the KNOP
+    /// loop converts into a degraded outcome built from
+    /// `drain_computed` — including the source's already-computed bounds.
+    fn execute_from_source_budgeted(
+        &self,
+        source: &dyn CandidateSource,
+        query: &Histogram,
+        mode: QueryMode,
+        budget: &Budget,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        let mut refiner = {
+            let _span = emd_obs::span("query.refiner.prepare");
+            self.plan.refiner().prepare_budgeted(query, budget)?
+        };
+        let mut prepared: Vec<Box<dyn PreparedFilter + '_>> =
+            Vec::with_capacity(self.plan.stages().len());
+        for stage in self.plan.stages() {
+            let _span = emd_obs::span_with(|| format!("query.stage.{}.prepare", stage.name()));
+            prepared.push(stage.prepare_budgeted(query, budget)?);
+        }
+        let mut stream = {
+            let _span = emd_obs::span_with(|| format!("query.source.{}.prepare", source.name()));
+            source.prepare_budgeted(query, budget)?
+        };
+
+        let (outcome, refinements) = {
+            let _span = emd_obs::span("query.knop");
+            let mut ranking: Box<dyn Ranking + '_> = Box::new(SourceRanking::new(stream.as_mut()));
+            for stage in prepared.iter_mut() {
+                ranking = Box::new(ChainedRanking::new(ranking, stage.as_mut()));
+            }
+            match mode {
+                QueryMode::Knn(k) => {
+                    knop::knn_budgeted(ranking.as_mut(), refiner.as_mut(), k, budget)?
+                }
+                QueryMode::Range(epsilon) => {
+                    knop::range_budgeted(ranking.as_mut(), refiner.as_mut(), epsilon, budget)?
+                }
+            }
+        };
+
+        let evaluations = source_evaluations(source, stream.evaluations(), &self.plan, &prepared);
+        Ok(finish_outcome(outcome, refinements, evaluations))
+    }
+}
+
+/// Stats rows for a source-driven execution: the source first (its
+/// lower-bound evaluations are the stage-1 cost), then the chained
+/// stages in plan order.
+fn source_evaluations(
+    source: &dyn CandidateSource,
+    stream_evaluations: usize,
+    plan: &QueryPlan,
+    prepared: &[Box<dyn PreparedFilter + '_>],
+) -> Vec<(String, usize)> {
+    let mut evaluations = Vec::with_capacity(1 + prepared.len());
+    evaluations.push((source.name().to_owned(), stream_evaluations));
+    evaluations.extend(
+        plan.stages()
+            .iter()
+            .zip(prepared.iter())
+            .map(|(stage, p)| (stage.name().to_owned(), p.evaluations())),
+    );
+    evaluations
+}
+
+/// Wrap a KNOP outcome into stats, mirroring counters for degraded
+/// answers (shared by the legacy budgeted path and the source path).
+fn finish_outcome(
+    outcome: QueryOutcome,
+    refinements: usize,
+    evaluations: Vec<(String, usize)>,
+) -> (QueryOutcome, QueryStats) {
+    let results = match &outcome {
+        QueryOutcome::Exact(neighbors) => neighbors.len(),
+        QueryOutcome::Degraded(result) => result.candidates.len(),
+    };
+    let stats = QueryStats {
+        filter_evaluations: evaluations,
+        refinements,
+        results,
+    };
+    publish_stats(&stats);
+    if let QueryOutcome::Degraded(result) = &outcome {
+        emd_obs::counter_add("query.degraded", 1);
+        if result.reason == BudgetReason::Deadline {
+            emd_obs::counter_add("query.deadline_exceeded", 1);
+        }
+    }
+    (outcome, stats)
 }
 
 /// Render a panic payload to text, preferring the typed

@@ -21,7 +21,9 @@
 mod database;
 mod executor;
 mod plan;
+pub mod source;
 
 pub use database::{Database, OpenedIndex};
 pub use executor::Executor;
 pub use plan::{Query, QueryMode, QueryPlan, StageEstimate};
+pub use source::{CandidateSource, CandidateStream, FilterScanSource};

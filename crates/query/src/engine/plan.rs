@@ -8,6 +8,7 @@
 //! an ad-hoc `Vec<Box<dyn Filter>>` scattered across the pipeline, the
 //! dynamic index and the bench harness is now a plan.
 
+use crate::engine::source::CandidateSource;
 use crate::error::QueryError;
 use crate::filters::Filter;
 use crate::stats::QueryStats;
@@ -70,6 +71,9 @@ pub struct StageEstimate {
 /// half of the engine. Build one, hand it to an
 /// [`Executor`](crate::Executor).
 pub struct QueryPlan {
+    /// Optional stage-1 candidate source (index scan); `None` means the
+    /// first filter stage is materialized as a full scan.
+    source: Option<Box<dyn CandidateSource>>,
     stages: Vec<Box<dyn Filter>>,
     refiner: Box<dyn Filter>,
     estimates: Vec<StageEstimate>,
@@ -78,6 +82,7 @@ pub struct QueryPlan {
 impl std::fmt::Debug for QueryPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryPlan")
+            .field("source", &self.source.as_ref().map(|s| s.name()))
             .field("stages", &self.stage_names())
             .field("refiner", &self.refiner.name())
             .field("estimates", &self.estimates)
@@ -111,6 +116,7 @@ impl QueryPlan {
             }
         }
         Ok(QueryPlan {
+            source: None,
             stages,
             refiner,
             estimates: Vec::new(),
@@ -126,6 +132,38 @@ impl QueryPlan {
     /// objects.
     pub fn sequential(refiner: Box<dyn Filter>) -> Result<Self, QueryError> {
         Self::new(Vec::new(), refiner)
+    }
+
+    /// Attach a stage-1 [`CandidateSource`] (e.g. a
+    /// [`ClusteredIndex`](crate::ClusteredIndex) or
+    /// [`FilterScanSource`](crate::FilterScanSource)): the executor pulls
+    /// candidates from the source's stream instead of materializing the
+    /// first filter stage, and any `stages` of this plan are chained *on
+    /// top* of the source in the usual Figure 12 way. The source's
+    /// emitted bound must lower-bound the first stage (or the refiner,
+    /// for a stage-less plan) — the same unchecked modelling obligation
+    /// as the stage chain itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Reduction`] when the source indexes a
+    /// database of a different size than the refiner.
+    pub fn with_source(mut self, source: Box<dyn CandidateSource>) -> Result<Self, QueryError> {
+        if source.len() != self.refiner.len() {
+            return Err(QueryError::Reduction(format!(
+                "source {} indexes {} objects, refiner {}",
+                source.name(),
+                source.len(),
+                self.refiner.len()
+            )));
+        }
+        self.source = Some(source);
+        Ok(self)
+    }
+
+    /// The attached stage-1 candidate source, if any.
+    pub fn source(&self) -> Option<&dyn CandidateSource> {
+        self.source.as_deref()
     }
 
     /// Names of the filter stages, in chain order.

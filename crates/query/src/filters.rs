@@ -29,7 +29,10 @@ use std::sync::Arc;
 /// dimensionality. The store's open path already validated the bundle
 /// internally; this guards against pairing a bundle with the *wrong*
 /// (e.g. freshly rebuilt, differently sized) snapshot.
-fn check_persisted(database: &Database, bundle: &PersistedReduction) -> Result<(), QueryError> {
+pub(crate) fn check_persisted(
+    database: &Database,
+    bundle: &PersistedReduction,
+) -> Result<(), QueryError> {
     if bundle.reduced_database().len() != database.len() {
         return Err(QueryError::Reduction(format!(
             "persisted bundle `{}` indexes {} objects, snapshot holds {}",

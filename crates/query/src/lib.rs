@@ -25,6 +25,13 @@
 //! * [`knop`] — the optimal multistep k-NN algorithm (Figure 11, after
 //!   Seidl & Kriegel) and the corresponding complete range query; the
 //!   only refinement loop in the workspace.
+//! * [`engine::source`] — the [`CandidateSource`] abstraction: pluggable
+//!   stage-1 candidate generators (full scan, VP-tree, clustered index)
+//!   that stream candidates in ascending lower-bound order into the same
+//!   KNOP loop.
+//! * [`cluster`] — [`ClusteredIndex`], a pivot-based cluster index over
+//!   the reduced space with triangle-inequality pruning; the sublinear
+//!   stage-1 candidate generator.
 //! * [`pipeline`] — the [`Pipeline`] façade (Figure 10 configurations)
 //!   over plan + executor.
 //! * [`dynamic`] — a mutable index with copy-on-write snapshots that
@@ -47,6 +54,7 @@
 //! with metrics on and off (property-tested in
 //! `tests/metrics_observability.rs`).
 
+pub mod cluster;
 pub mod dynamic;
 pub mod engine;
 mod error;
@@ -59,20 +67,27 @@ pub mod scan;
 mod stats;
 pub mod vptree;
 
+pub use cluster::ClusteredIndex;
 pub use dynamic::DynamicIndex;
-pub use engine::{Database, Executor, OpenedIndex, Query, QueryMode, QueryPlan, StageEstimate};
+pub use engine::{
+    CandidateSource, CandidateStream, Database, Executor, FilterScanSource, OpenedIndex, Query,
+    QueryMode, QueryPlan, StageEstimate,
+};
 pub use error::QueryError;
 pub use outcome::{Candidate, DegradedResult, QueryOutcome};
 // Budget types re-exported so downstream users can build budgets without
 // depending on emd-transport directly.
 pub use emd_core::{Budget, BudgetReason, CancelToken};
+// Clustering geometry codec re-exported so index builders can persist a
+// ClusteredIndex without depending on emd-store directly.
+pub use emd_store::StoredClustering;
 pub use filters::{
     AnchorFilter, CentroidFilter, EmdDistance, Filter, FullLbImFilter, PreparedFilter,
     ReducedEmdFilter, ReducedImFilter, ScaledL1Filter,
 };
 pub use pipeline::Pipeline;
 pub use stats::QueryStats;
-pub use vptree::VpTree;
+pub use vptree::{VpTree, VpTreeSource};
 
 /// A retrieval result: database object id plus its exact distance.
 #[derive(Debug, Clone, Copy, PartialEq)]

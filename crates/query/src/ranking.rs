@@ -38,9 +38,10 @@ pub trait Ranking {
 }
 
 /// Total-ordered f64 wrapper for heap keys (distances are never NaN:
-/// filters validate inputs at construction).
+/// filters validate inputs at construction). Shared with the candidate
+/// sources, whose traversal heaps need the same total order.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Key(f64);
+pub(crate) struct Key(pub(crate) f64);
 
 impl Eq for Key {}
 

@@ -1,0 +1,247 @@
+//! Property-based validation of the clustered candidate source: for
+//! random databases (including ones whose min-reduced ground distance is
+//! *not* a metric and must be closed), a plan driven by
+//! [`ClusteredIndex`] answers k-NN and range queries bit-identically to
+//! the full Red-EMD scan plan, budgeted execution stays principled, and
+//! the persisted geometry round-trips into an index with the same
+//! answers.
+
+// Test helpers outside #[test] fns still get test-style panic latitude.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use emd_core::{emd_rectangular, ground, Budget, Histogram};
+use emd_query::{
+    ClusteredIndex, Database, EmdDistance, Executor, Filter, QueryOutcome, QueryPlan,
+    ReducedEmdFilter,
+};
+use emd_reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0_f64..1.0, DIM).prop_filter_map("positive mass", |raw| {
+        let total: f64 = raw.iter().sum();
+        (total > 1e-6)
+            .then(|| Histogram::new(raw.iter().map(|x| x / total).collect()).ok())
+            .flatten()
+    })
+}
+
+/// The shared reduction of every plan in this suite: contiguous pairs,
+/// `d' = 3`. Min-reducing the plain 6-bin chain over these blocks
+/// violates the triangle inequality, so every property here exercises
+/// the metric-closure construction path.
+fn reduced(database: &Database) -> ReducedEmd {
+    ReducedEmd::new(
+        database.cost(),
+        CombiningReduction::new(vec![0, 0, 1, 1, 2, 2], 3).unwrap(),
+    )
+    .unwrap()
+}
+
+/// Full-scan comparison plan: one Red-EMD stage over a cold exact-EMD
+/// refiner. Warm starts are off so refined distances are independent of
+/// refinement order and cross-plan answers can be compared bit-for-bit.
+fn scan_executor(database: &Database) -> Executor {
+    let stages: Vec<Box<dyn Filter>> = vec![Box::new(
+        ReducedEmdFilter::new(database, reduced(database))
+            .unwrap()
+            .with_warm_start(false),
+    )];
+    let refiner = Box::new(EmdDistance::new(database).unwrap().with_warm_start(false));
+    Executor::new(QueryPlan::new(stages, refiner).unwrap())
+}
+
+/// Clustered plan: the same snapshot behind a [`ClusteredIndex`]
+/// candidate source (no filter stages) over the same cold refiner.
+fn clustered_executor(database: &Database, factor: f64) -> Executor {
+    let index = ClusteredIndex::build(database, reduced(database), factor).unwrap();
+    let refiner = Box::new(EmdDistance::new(database).unwrap().with_warm_start(false));
+    let plan = QueryPlan::new(Vec::new(), refiner)
+        .unwrap()
+        .with_source(Box::new(index))
+        .unwrap();
+    Executor::new(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Clustered k-NN answers equal the full-scan plan's answers down to
+    /// the last distance bit, for any cluster-count factor.
+    #[test]
+    fn clustered_knn_is_bit_identical_to_scan(
+        database in prop::collection::vec(histogram(), 3..24),
+        query in histogram(),
+        k in 1usize..6,
+        factor in prop::sample::select(vec![0.5_f64, 1.0, 2.0]),
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let scan = scan_executor(&database);
+        let clustered = clustered_executor(&database, factor);
+
+        let (expected, _) = scan.knn(&query, k).unwrap();
+        let (got, _) = clustered.knn(&query, k).unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.id, e.id);
+            prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+        }
+    }
+
+    /// Clustered range answers equal the full-scan plan's answers —
+    /// same hit set, same bits (boundary inclusion must match).
+    #[test]
+    fn clustered_range_is_bit_identical_to_scan(
+        database in prop::collection::vec(histogram(), 3..20),
+        query in histogram(),
+        epsilon in 0.0_f64..3.0,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let scan = scan_executor(&database);
+        let clustered = clustered_executor(&database, 1.0);
+
+        let (expected, _) = scan.range(&query, epsilon).unwrap();
+        let (got, _) = clustered.range(&query, epsilon).unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.id, e.id);
+            prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+        }
+    }
+
+    /// An unlimited budget through the clustered source never degrades
+    /// and matches the unbudgeted clustered run bit-for-bit.
+    #[test]
+    fn clustered_unlimited_budget_is_bit_identical(
+        database in prop::collection::vec(histogram(), 3..16),
+        query in histogram(),
+        k in 1usize..5,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let clustered = clustered_executor(&database, 1.0);
+
+        let (exact, exact_stats) = clustered.knn(&query, k).unwrap();
+        let (outcome, stats) =
+            clustered.knn_budgeted(&query, k, &Budget::unlimited()).unwrap();
+        let neighbors = outcome.exact().expect("unlimited budget cannot degrade");
+        prop_assert_eq!(neighbors.len(), exact.len());
+        for (a, b) in neighbors.iter().zip(&exact) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        prop_assert_eq!(stats, exact_stats);
+    }
+
+    /// Under any pivot cap, budgeted clustered k-NN either matches the
+    /// exact answer bit-for-bit or degrades to a principled ranking:
+    /// ascending `(bound, id)`, every bound a valid lower bound of the
+    /// exact EMD, exact flags truthful.
+    #[test]
+    fn clustered_degraded_rankings_are_principled(
+        database in prop::collection::vec(histogram(), 4..12),
+        query in histogram(),
+        k in 1usize..5,
+        cap in 0u64..48,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let clustered = clustered_executor(&database, 1.0);
+        let (exact, _) = clustered.knn(&query, k).unwrap();
+
+        let budget = Budget::unlimited().with_pivot_cap(cap);
+        let (outcome, _) = clustered.knn_budgeted(&query, k, &budget).unwrap();
+        match outcome {
+            QueryOutcome::Exact(neighbors) => {
+                prop_assert_eq!(neighbors.len(), exact.len());
+                for (a, b) in neighbors.iter().zip(&exact) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+                }
+            }
+            QueryOutcome::Degraded(result) => {
+                prop_assert!(result.candidates.len() <= k);
+                for pair in result.candidates.windows(2) {
+                    let earlier = (pair[0].bound, pair[0].id);
+                    let later = (pair[1].bound, pair[1].id);
+                    prop_assert!(earlier < later, "ranking not ascending: {earlier:?} vs {later:?}");
+                }
+                for candidate in &result.candidates {
+                    let object = database.get(candidate.id).unwrap();
+                    let distance = emd_rectangular(&query, object, database.cost()).unwrap();
+                    if candidate.exact {
+                        prop_assert_eq!(
+                            candidate.bound.to_bits(),
+                            distance.to_bits(),
+                            "exact-flagged bound must be the exact distance"
+                        );
+                    } else {
+                        prop_assert!(
+                            candidate.bound <= distance + 1e-9,
+                            "lower bound {} exceeds exact distance {} for object {}",
+                            candidate.bound, distance, candidate.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exporting the clustering and reattaching it to its bundle
+    /// reproduces the geometry bit-for-bit and answers queries
+    /// identically to the freshly built index.
+    #[test]
+    fn stored_roundtrip_preserves_geometry_and_answers(
+        database in prop::collection::vec(histogram(), 3..16),
+        query in histogram(),
+        k in 1usize..5,
+    ) {
+        let cost = Arc::new(ground::linear(DIM).unwrap());
+        let database = Database::new(database, cost).unwrap();
+        let bundle = PersistedReduction::precompute(
+            "pairs:3",
+            reduced(&database),
+            database.histograms(),
+        )
+        .unwrap();
+        let built = ClusteredIndex::from_persisted(&database, &bundle, 1.0).unwrap();
+        let stored = built.to_stored();
+        let reopened = ClusteredIndex::from_stored(&database, &bundle, &stored).unwrap();
+
+        prop_assert_eq!(reopened.pivots(), built.pivots());
+        prop_assert_eq!(reopened.assignments(), built.assignments());
+        prop_assert_eq!(
+            reopened.radii().iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            built.radii().iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+
+        let refiner = |db: &Database| {
+            Box::new(EmdDistance::new(db).unwrap().with_warm_start(false))
+        };
+        let built_exec = Executor::new(
+            QueryPlan::new(Vec::new(), refiner(&database))
+                .unwrap()
+                .with_source(Box::new(built))
+                .unwrap(),
+        );
+        let reopened_exec = Executor::new(
+            QueryPlan::new(Vec::new(), refiner(&database))
+                .unwrap()
+                .with_source(Box::new(reopened))
+                .unwrap(),
+        );
+        let (expected, expected_stats) = built_exec.knn(&query, k).unwrap();
+        let (got, got_stats) = reopened_exec.knn(&query, k).unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.id, e.id);
+            prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+        }
+        prop_assert_eq!(got_stats, expected_stats);
+    }
+}

@@ -44,6 +44,8 @@ const SECTION_R2: &str = "r2";
 const SECTION_REDUCED_COST: &str = "reduced-cost";
 /// Section name of the precomputed reduced arena in a reduction segment.
 const SECTION_REDUCED_ARENA: &str = "reduced-histograms";
+/// Section name of the optional clustering in a reduction segment.
+const SECTION_CLUSTERING: &str = "clustering";
 
 /// A fully validated index loaded from disk.
 #[derive(Debug)]
@@ -56,6 +58,10 @@ pub struct StoredIndex {
     pub cost: CostMatrix,
     /// Reduction bundles, in manifest (pipeline) order.
     pub reductions: Vec<PersistedReduction>,
+    /// Optional clustering per reduction bundle, parallel to
+    /// [`StoredIndex::reductions`]. `None` when the bundle was saved
+    /// without one.
+    pub clusterings: Vec<Option<sections::StoredClustering>>,
 }
 
 /// Segment file name of reduction `index`.
@@ -76,6 +82,29 @@ pub fn save_index(
     histograms: &[Histogram],
     cost: &CostMatrix,
     reductions: &[PersistedReduction],
+) -> Result<(), StoreError> {
+    save_index_with(dir, name, histograms, cost, reductions, &[])
+}
+
+/// [`save_index`] with an optional clustering per reduction bundle.
+///
+/// `clusterings` is read positionally: `clusterings[i]`, when present
+/// and `Some`, is written as an extra `clustering` section of reduction
+/// segment `i`. A slice shorter than `reductions` (including the empty
+/// slice [`save_index`] passes) leaves the remaining bundles
+/// clustering-free.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] when the directory or a file cannot be
+/// written.
+pub fn save_index_with(
+    dir: &Path,
+    name: &str,
+    histograms: &[Histogram],
+    cost: &CostMatrix,
+    reductions: &[PersistedReduction],
+    clusterings: &[Option<sections::StoredClustering>],
 ) -> Result<(), StoreError> {
     let _span = emd_obs::span("store.save");
     std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
@@ -123,6 +152,13 @@ pub fn save_index(
                 bundle.reduced_database(),
             ),
         )?;
+        if let Some(clustering) = clusterings.get(index).and_then(Option::as_ref) {
+            writer.section(
+                SectionKind::Clustering,
+                SECTION_CLUSTERING,
+                &sections::encode_clustering(clustering),
+            )?;
+        }
         writer.finish()?;
         entries.push(ManifestReduction {
             name: bundle.name().to_owned(),
@@ -188,10 +224,13 @@ pub fn open_index_with(
     let (histograms, cost) = open_database_segment(&dir.join(&manifest.database), faults)?;
 
     let mut reductions = Vec::with_capacity(manifest.reductions.len());
+    let mut clusterings = Vec::with_capacity(manifest.reductions.len());
     for entry in &manifest.reductions {
         let path = dir.join(&entry.segment);
-        let bundle = open_reduction_segment(&path, &entry.name, &cost, histograms.len(), faults)?;
+        let (bundle, clustering) =
+            open_reduction_segment(&path, &entry.name, &cost, histograms.len(), faults)?;
         reductions.push(bundle);
+        clusterings.push(clustering);
     }
 
     Ok(StoredIndex {
@@ -199,7 +238,29 @@ pub fn open_index_with(
         histograms,
         cost,
         reductions,
+        clusterings,
     })
+}
+
+/// Fail closed on section names this version does not know. Section
+/// names are outside the per-section payload checksum, so a bit flip in
+/// the name of an *optional* section (the clustering) would otherwise
+/// make it silently invisible rather than surfacing as corruption.
+fn reject_unexpected_sections(
+    path: &Path,
+    reader: &SegmentReader,
+    expected: &[&str],
+) -> Result<(), StoreError> {
+    for section in reader.sections() {
+        if !expected.contains(&section.name()) {
+            return Err(StoreError::invalid(
+                path,
+                section.name(),
+                "unexpected section name for a flexemd-store/v1 segment",
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Open the database segment: histogram arena + original cost matrix,
@@ -209,6 +270,7 @@ fn open_database_segment(
     faults: &dyn emd_faultkit::FaultInjector,
 ) -> Result<(Vec<Histogram>, CostMatrix), StoreError> {
     let reader = SegmentReader::open_with(path, faults)?;
+    reject_unexpected_sections(path, &reader, &[SECTION_HISTOGRAMS, SECTION_COST])?;
     let arena = reader.typed_section(SectionKind::HistogramArena, SECTION_HISTOGRAMS)?;
     let (dim, histograms) =
         sections::decode_histogram_arena(path, SECTION_HISTOGRAMS, arena.payload())?;
@@ -228,15 +290,26 @@ fn open_database_segment(
 }
 
 /// Open one reduction segment and reassemble the bundle through
-/// [`PersistedReduction::from_parts`].
+/// [`PersistedReduction::from_parts`], plus its optional clustering.
 fn open_reduction_segment(
     path: &PathBuf,
     name: &str,
     cost: &CostMatrix,
     database_len: usize,
     faults: &dyn emd_faultkit::FaultInjector,
-) -> Result<PersistedReduction, StoreError> {
+) -> Result<(PersistedReduction, Option<sections::StoredClustering>), StoreError> {
     let reader = SegmentReader::open_with(path, faults)?;
+    reject_unexpected_sections(
+        path,
+        &reader,
+        &[
+            SECTION_R1,
+            SECTION_R2,
+            SECTION_REDUCED_COST,
+            SECTION_REDUCED_ARENA,
+            SECTION_CLUSTERING,
+        ],
+    )?;
     let r1_section = reader.typed_section(SectionKind::Reduction, SECTION_R1)?;
     let r1 = sections::decode_reduction(path, SECTION_R1, r1_section.payload())?;
     let r2_section = reader.typed_section(SectionKind::Reduction, SECTION_R2)?;
@@ -268,8 +341,28 @@ fn open_reduction_segment(
             ),
         ));
     }
-    PersistedReduction::from_parts(name, cost, r1, r2, &reduced_cost, reduced_database)
-        .map_err(|e| StoreError::invalid(path, SECTION_REDUCED_COST, e.to_string()))
+    let clustering = match reader.maybe_section(SectionKind::Clustering, SECTION_CLUSTERING)? {
+        Some(section) => {
+            let clustering =
+                sections::decode_clustering(path, SECTION_CLUSTERING, section.payload())?;
+            if clustering.assignments.len() != database_len {
+                return Err(StoreError::invalid(
+                    path,
+                    SECTION_CLUSTERING,
+                    format!(
+                        "clustering assigns {} objects, database holds {database_len}",
+                        clustering.assignments.len()
+                    ),
+                ));
+            }
+            Some(clustering)
+        }
+        None => None,
+    };
+    let bundle =
+        PersistedReduction::from_parts(name, cost, r1, r2, &reduced_cost, reduced_database)
+            .map_err(|e| StoreError::invalid(path, SECTION_REDUCED_COST, e.to_string()))?;
+    Ok((bundle, clustering))
 }
 
 #[cfg(test)]
@@ -374,6 +467,69 @@ mod tests {
         assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
         std::fs::remove_dir_all(&dir_a).unwrap();
         std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn clustering_roundtrip_is_bit_identical() {
+        let dir = temp_dir("clustered");
+        let (histograms, cost, reductions) = fixture();
+        let clustering = sections::StoredClustering {
+            pivots: vec![0, 1],
+            assignments: vec![0, 1, 1],
+            radii: vec![0.0, 0.125],
+        };
+        save_index_with(
+            &dir,
+            "demo",
+            &histograms,
+            &cost,
+            &reductions,
+            &[Some(clustering.clone())],
+        )
+        .unwrap();
+
+        let index = open_index(&dir).unwrap();
+        assert_eq!(index.clusterings.len(), 1);
+        let back = index.clusterings.first().unwrap().as_ref().unwrap();
+        assert_eq!(back.pivots, clustering.pivots);
+        assert_eq!(back.assignments, clustering.assignments);
+        for (a, b) in clustering.radii.iter().zip(&back.radii) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_without_clustering_opens_with_none() {
+        let dir = temp_dir("unclustered");
+        let (histograms, cost, reductions) = fixture();
+        save_index(&dir, "demo", &histograms, &cost, &reductions).unwrap();
+        let index = open_index(&dir).unwrap();
+        assert_eq!(index.clusterings, vec![None]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clustering_object_count_mismatch_is_detected() {
+        let dir = temp_dir("clustered-mismatch");
+        let (histograms, cost, reductions) = fixture();
+        let clustering = sections::StoredClustering {
+            pivots: vec![0],
+            assignments: vec![0, 0],
+            radii: vec![0.5],
+        };
+        save_index_with(
+            &dir,
+            "demo",
+            &histograms,
+            &cost,
+            &reductions,
+            &[Some(clustering)],
+        )
+        .unwrap();
+        let err = open_index(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub mod sections;
 pub mod segment;
 
 pub use error::StoreError;
-pub use index::{open_index, open_index_with, save_index, StoredIndex, DATABASE_SEGMENT};
+pub use index::{
+    open_index, open_index_with, save_index, save_index_with, StoredIndex, DATABASE_SEGMENT,
+};
 pub use manifest::{Manifest, ManifestReduction, MANIFEST_FILE, SCHEMA};
+pub use sections::StoredClustering;
 pub use segment::{SectionKind, SegmentReader, SegmentWriter};

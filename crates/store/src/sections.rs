@@ -254,6 +254,121 @@ pub fn decode_reduction(
     Ok(reduction)
 }
 
+/// A persisted greedy k-center clustering over one reduction's
+/// precomputed arena.
+///
+/// Three parallel structures: `pivots[c]` and `radii[c]` describe
+/// cluster `c` (pivot object id and covering radius under the reduced
+/// EMD); `assignments[i]` names the cluster of database object `i`.
+/// This type carries only structurally validated data — whether the
+/// radii genuinely cover the members is re-established by the query
+/// layer when a clustering is attached to a live index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredClustering {
+    /// Database object id of each cluster's pivot, indexed by cluster.
+    pub pivots: Vec<u32>,
+    /// Cluster id of each database object, indexed by object.
+    pub assignments: Vec<u32>,
+    /// Covering radius of each cluster (max member reduced EMD to the
+    /// pivot), indexed by cluster.
+    pub radii: Vec<f64>,
+}
+
+/// Encode a clustering.
+///
+/// Layout: `clusters: u64 | objects: u64 | clusters * u32 (pivots) |
+/// objects * u32 (assignments) | clusters * f64 (radii)`. Radii are
+/// stored as IEEE-754 bit patterns, so a save → open round trip is
+/// bit-identical.
+pub fn encode_clustering(clustering: &StoredClustering) -> Vec<u8> {
+    let clusters = clustering.pivots.len();
+    let objects = clustering.assignments.len();
+    let mut out = Vec::with_capacity(16 + clusters * 12 + objects * 4);
+    out.extend_from_slice(&(clusters as u64).to_le_bytes());
+    out.extend_from_slice(&(objects as u64).to_le_bytes());
+    for &pivot in &clustering.pivots {
+        out.extend_from_slice(&pivot.to_le_bytes());
+    }
+    for &cluster in &clustering.assignments {
+        out.extend_from_slice(&cluster.to_le_bytes());
+    }
+    for &radius in &clustering.radii {
+        out.extend_from_slice(&radius.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a clustering, re-checking every structural invariant: each
+/// pivot is a valid object id assigned to its own cluster, each
+/// assignment names a valid cluster, and every radius is finite and
+/// non-negative.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Invalid`] when the payload is structurally
+/// short, carries trailing bytes, or violates any invariant above.
+pub fn decode_clustering(
+    path: &Path,
+    section: &str,
+    payload: &[u8],
+) -> Result<StoredClustering, StoreError> {
+    let mut p = Payload::new(path, section, payload);
+    let clusters = p.length("cluster count")?;
+    let objects = p.length("object count")?;
+    if objects > 0 && (clusters == 0 || clusters > objects) {
+        return Err(p.invalid(format!(
+            "{clusters} clusters cannot partition {objects} objects"
+        )));
+    }
+    if objects == 0 && clusters != 0 {
+        return Err(p.invalid(format!("{clusters} clusters over an empty database")));
+    }
+    let pivots = p.u32s(clusters, "pivot ids")?;
+    let assignments = p.u32s(objects, "assignment vector")?;
+    let radii = p.f64s(clusters, "covering radii")?;
+    p.finish()?;
+    let path_err = |reason: String| StoreError::invalid(path, section, reason);
+    for (cluster, &pivot) in pivots.iter().enumerate() {
+        if pivot as usize >= objects {
+            return Err(path_err(format!(
+                "cluster {cluster} pivot {pivot} exceeds the {objects}-object database"
+            )));
+        }
+        match assignments.get(pivot as usize) {
+            Some(&home) if home as usize == cluster => {}
+            Some(&home) => {
+                return Err(path_err(format!(
+                    "cluster {cluster} pivot {pivot} is assigned to cluster {home}"
+                )));
+            }
+            None => {
+                return Err(path_err(format!(
+                    "cluster {cluster} pivot {pivot} has no assignment entry"
+                )));
+            }
+        }
+    }
+    for (object, &cluster) in assignments.iter().enumerate() {
+        if cluster as usize >= clusters {
+            return Err(path_err(format!(
+                "object {object} is assigned to cluster {cluster}, only {clusters} exist"
+            )));
+        }
+    }
+    for (cluster, &radius) in radii.iter().enumerate() {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(path_err(format!(
+                "cluster {cluster} covering radius {radius} is not a finite non-negative value"
+            )));
+        }
+    }
+    Ok(StoredClustering {
+        pivots,
+        assignments,
+        radii,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +453,82 @@ mod tests {
         payload.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             decode_reduction(&path(), "r1", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+    }
+
+    fn clustering_fixture() -> StoredClustering {
+        StoredClustering {
+            pivots: vec![0, 3],
+            assignments: vec![0, 0, 1, 1, 0],
+            radii: vec![0.25, 0.5],
+        }
+    }
+
+    #[test]
+    fn clustering_roundtrip_is_bit_identical() {
+        let clustering = clustering_fixture();
+        let payload = encode_clustering(&clustering);
+        let back = decode_clustering(&path(), "clustering", &payload).unwrap();
+        assert_eq!(back.pivots, clustering.pivots);
+        assert_eq!(back.assignments, clustering.assignments);
+        for (a, b) in clustering.radii.iter().zip(&back.radii) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn clustering_with_out_of_range_assignment_is_rejected() {
+        let mut clustering = clustering_fixture();
+        clustering.assignments = vec![0, 0, 1, 1, 7];
+        let payload = encode_clustering(&clustering);
+        let err = decode_clustering(&path(), "clustering", &payload).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn clustering_with_foreign_pivot_is_rejected() {
+        // Pivot 3 sits in cluster 1; claiming it as cluster 0's pivot
+        // breaks the pivot-owns-its-cluster invariant.
+        let mut clustering = clustering_fixture();
+        clustering.pivots = vec![3, 3];
+        let payload = encode_clustering(&clustering);
+        let err = decode_clustering(&path(), "clustering", &payload).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn clustering_with_non_finite_radius_is_rejected() {
+        let mut clustering = clustering_fixture();
+        clustering.radii = vec![0.25, f64::NAN];
+        let payload = encode_clustering(&clustering);
+        let err = decode_clustering(&path(), "clustering", &payload).unwrap_err();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_clustering_roundtrips() {
+        let clustering = StoredClustering {
+            pivots: vec![],
+            assignments: vec![],
+            radii: vec![],
+        };
+        let payload = encode_clustering(&clustering);
+        let back = decode_clustering(&path(), "clustering", &payload).unwrap();
+        assert!(back.pivots.is_empty());
+        assert!(back.assignments.is_empty());
+    }
+
+    #[test]
+    fn clustering_with_more_clusters_than_objects_is_rejected() {
+        let clustering = StoredClustering {
+            pivots: vec![0, 0, 0],
+            assignments: vec![0],
+            radii: vec![0.0, 0.0, 0.0],
+        };
+        let payload = encode_clustering(&clustering);
+        assert!(matches!(
+            decode_clustering(&path(), "clustering", &payload),
             Err(StoreError::Invalid { .. })
         ));
     }

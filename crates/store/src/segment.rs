@@ -62,6 +62,9 @@ pub enum SectionKind {
     CostMatrix,
     /// A combining reduction's assignment vector (Definition 3).
     Reduction,
+    /// A greedy k-center clustering (pivots, assignments, radii) over a
+    /// reduction's precomputed arena.
+    Clustering,
 }
 
 impl SectionKind {
@@ -71,6 +74,7 @@ impl SectionKind {
             SectionKind::HistogramArena => 1,
             SectionKind::CostMatrix => 2,
             SectionKind::Reduction => 3,
+            SectionKind::Clustering => 4,
         }
     }
 
@@ -80,6 +84,7 @@ impl SectionKind {
             1 => Some(SectionKind::HistogramArena),
             2 => Some(SectionKind::CostMatrix),
             3 => Some(SectionKind::Reduction),
+            4 => Some(SectionKind::Clustering),
             _ => None,
         }
     }
@@ -522,6 +527,32 @@ impl SegmentReader {
             ));
         }
         Ok(section)
+    }
+
+    /// Look up an *optional* section by name and codec kind.
+    ///
+    /// Returns `Ok(None)` when no section carries `name` — the accessor
+    /// for sections whose absence is a valid state (e.g. a reduction
+    /// segment saved without a clustering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Invalid`] when a section named `name`
+    /// exists but carries the wrong kind tag.
+    pub fn maybe_section(
+        &self,
+        kind: SectionKind,
+        name: &str,
+    ) -> Result<Option<&Section>, StoreError> {
+        match self.sections.iter().find(|s| s.name == name) {
+            None => Ok(None),
+            Some(section) if section.kind == kind => Ok(Some(section)),
+            Some(section) => Err(StoreError::invalid(
+                &self.path,
+                name,
+                format!("expected kind {:?}, found {:?}", kind, section.kind),
+            )),
+        }
     }
 }
 

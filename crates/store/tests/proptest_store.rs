@@ -8,7 +8,10 @@
 
 use emd_core::{CostMatrix, Histogram};
 use emd_reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
-use emd_store::{open_index, save_index, SectionKind, SegmentReader, SegmentWriter, StoreError};
+use emd_store::{
+    open_index, save_index, save_index_with, SectionKind, SegmentReader, SegmentWriter, StoreError,
+    StoredClustering,
+};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -225,6 +228,148 @@ proptest! {
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    /// A clustering-carrying index round-trips bit-identically: pivots,
+    /// assignments, and radius bit patterns all survive save -> open.
+    #[test]
+    fn clustering_roundtrip_is_bit_identical(
+        (database, cost, r) in index_parts(),
+        seed in 0u64..1_000,
+    ) {
+        let dir = scratch_dir("cluster-roundtrip");
+        let bundle = build_bundle(&cost, r, &database);
+        let clusters = 1 + (seed as usize) % database.len();
+        let stored_clustering = StoredClustering {
+            pivots: (0..clusters as u32).collect(),
+            assignments: (0..database.len())
+                .map(|object| {
+                    if object < clusters {
+                        object as u32 // pivots own their clusters
+                    } else {
+                        ((object as u64 * 7 + seed) % clusters as u64) as u32
+                    }
+                })
+                .collect(),
+            radii: (0..clusters)
+                .map(|cluster| (cluster as f64).mul_add(0.37, (seed % 13) as f64 * 0.11))
+                .collect(),
+        };
+        save_index_with(
+            &dir,
+            "prop-corpus",
+            &database,
+            &cost,
+            std::slice::from_ref(&bundle),
+            &[Some(stored_clustering.clone())],
+        )
+        .unwrap();
+
+        let stored = open_index(&dir).unwrap();
+        prop_assert_eq!(stored.clusterings.len(), 1);
+        let reopened = stored.clusterings[0].as_ref().expect("clustering saved");
+        prop_assert_eq!(&reopened.pivots, &stored_clustering.pivots);
+        prop_assert_eq!(&reopened.assignments, &stored_clustering.assignments);
+        prop_assert_eq!(
+            reopened.radii.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            stored_clustering.radii.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any single-byte flip anywhere in a clustering-carrying reduction
+    /// segment is detected at open time.
+    #[test]
+    fn any_single_byte_flip_in_a_clustering_segment_is_detected(
+        (database, cost, r) in index_parts(),
+        stored_clustering_seed in 0usize..4,
+        offset_seed in 0usize..10_000,
+        mask in 1u8..=255,
+    ) {
+        let dir = scratch_dir("cluster-flip");
+        let bundle = build_bundle(&cost, r, &database);
+        let clusters = 1 + stored_clustering_seed % database.len();
+        let stored_clustering = StoredClustering {
+            pivots: (0..clusters as u32).collect(),
+            assignments: (0..database.len())
+                .map(|object| (object % clusters) as u32)
+                .collect(),
+            radii: vec![0.25; clusters],
+        };
+        save_index_with(
+            &dir,
+            "prop-corpus",
+            &database,
+            &cost,
+            std::slice::from_ref(&bundle),
+            &[Some(stored_clustering)],
+        )
+        .unwrap();
+
+        let victim = dir.join("reduction-0.seg");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let offset = offset_seed % bytes.len();
+        bytes[offset] ^= mask;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let result = open_index(&dir);
+        prop_assert!(
+            result.is_err(),
+            "byte {} xor {:#04x} in {} opened successfully",
+            offset,
+            mask,
+            victim.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Exhaustive single-byte corruption of a clustering-carrying reduction
+/// segment: flipping *every* byte of the file, one at a time, must fail
+/// `open_index` with a typed error — the clustering section enjoys the
+/// same checksum protection as every other section.
+#[test]
+fn every_byte_flip_in_a_clustering_section_never_opens() {
+    let dir = scratch_dir("cluster-sweep");
+    let database: Vec<Histogram> = (0..4)
+        .map(|i| {
+            let mut w = vec![0.1; DIM];
+            w[i % DIM] += 0.5;
+            let total: f64 = w.iter().sum();
+            Histogram::new(w.into_iter().map(|x| x / total).collect()).unwrap()
+        })
+        .collect();
+    let cost = CostMatrix::from_fn(DIM, |i, j| (i as f64 - j as f64).abs()).unwrap();
+    let r = CombiningReduction::new(vec![0, 0, 1, 1, 2], 3).unwrap();
+    let bundle = build_bundle(&cost, r, &database);
+    let stored_clustering = StoredClustering {
+        pivots: vec![0, 1],
+        assignments: vec![0, 1, 0, 1],
+        radii: vec![0.5, 1.5],
+    };
+    save_index_with(
+        &dir,
+        "sweep-corpus",
+        &database,
+        &cost,
+        std::slice::from_ref(&bundle),
+        &[Some(stored_clustering)],
+    )
+    .unwrap();
+
+    let victim = dir.join("reduction-0.seg");
+    let pristine = std::fs::read(&victim).unwrap();
+    for offset in 0..pristine.len() {
+        let mut corrupted = pristine.clone();
+        corrupted[offset] ^= 0x5a;
+        std::fs::write(&victim, &corrupted).unwrap();
+        let err = open_index(&dir).expect_err(&format!("flip at byte {offset} must not open"));
+        assert_stored_error(&err);
+    }
+
+    std::fs::write(&victim, &pristine).unwrap();
+    let stored = open_index(&dir).expect("restored index opens again");
+    assert!(stored.clusterings[0].is_some());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Deterministic corruption sweep: flip one byte in *every* section of a

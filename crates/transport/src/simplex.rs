@@ -417,7 +417,9 @@ fn dual_repair(
             budget.settle_pivots(pending_pivots);
             return Ok(None);
         };
-        emd_obs::counter_add("transport.simplex.pivots", 1);
+        // Repair pivots count only under their own counter: adding them
+        // to `transport.simplex.pivots` too would double-charge warm
+        // solves in any report that reads both.
         emd_obs::counter_add("transport.warm.repair_pivots", 1);
         performed += 1;
 

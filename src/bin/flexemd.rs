@@ -8,11 +8,14 @@
 //!                     --dims D --out reduction.json [--sample N] [--seed S]
 //! flexemd build-index --data data.json --reductions kmed:6[,fb-all:3,...]
 //!                     --out index-dir [--sample N] [--seed S]
+//!                     [--cluster] [--cluster-factor F]
 //! flexemd query       --data data.json --reduction reduction.json
 //!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
+//!                     [--source scan|clustered|vptree]
 //!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
 //! flexemd query       --index index-dir
 //!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
+//!                     [--source scan|clustered|vptree]
 //!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
 //! ```
 //!
@@ -23,6 +26,12 @@
 //! reduction bundles as a checksummed `flexemd-store/v1` directory, and
 //! `query --index` opens that directory instead of rebuilding — with
 //! identical results and identical per-stage candidate counts.
+//! `build-index --cluster` additionally runs greedy k-center clustering
+//! over each reduced arena and persists the geometry (pivots,
+//! assignments, radii); `query --source clustered` then streams
+//! candidates from the cluster-pruned index instead of scanning, and
+//! `--source vptree` from a VP-tree over the exact metric — both with
+//! bit-identical answers to `--source scan` (the default).
 //! `--metrics` records an `emd-obs` registry over the query — per-stage
 //! spans, solver counters, lower-bound evaluations — and dumps it as
 //! schema-versioned JSON (`json` = stdout, anything else = a file path).
@@ -38,8 +47,8 @@ use flexemd::core::Histogram;
 use flexemd::data::{io as dataio, Dataset};
 use flexemd::faultkit::{FailPlan, InjectedPanic};
 use flexemd::query::{
-    Budget, Database, EmdDistance, Filter, Pipeline, Query, QueryOutcome, ReducedEmdFilter,
-    ReducedImFilter,
+    Budget, CandidateSource, ClusteredIndex, Database, EmdDistance, Executor, Filter, Query,
+    QueryOutcome, QueryPlan, ReducedEmdFilter, ReducedImFilter, VpTree, VpTreeSource,
 };
 use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
 use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
@@ -98,12 +107,22 @@ USAGE:
                       --dims D --out reduction.json [--sample N] [--seed S]
   flexemd build-index --data data.json --reductions kmed:6[,fb-all:3,...]
                       --out index-dir [--sample N] [--seed S]
+                      [--cluster] [--cluster-factor F]
   flexemd query       --data data.json --reduction reduction.json
                       [--k K] [--query I] [--chain] [--metrics json|PATH]
+                      [--source scan|clustered|vptree]
                       [--deadline-ms N] [--max-pivots N] [--faults SPEC]
   flexemd query       --index index-dir
                       [--k K] [--query I] [--chain] [--metrics json|PATH]
+                      [--source scan|clustered|vptree]
                       [--deadline-ms N] [--max-pivots N] [--faults SPEC]
+
+Indexes: build-index --cluster persists greedy k-center clustering
+geometry over each reduced arena (about sqrt(n) * F clusters, default
+F = 1.0); query --source clustered prunes whole clusters via the
+triangle inequality before touching members, --source vptree walks a
+VP-tree over the exact EMD, and --source scan (default) is the full
+filter scan. All three return bit-identical answers.
 
 Budgets: --deadline-ms / --max-pivots bound a query's wall clock / solver
 work; when a budget fires, the best-effort ranking prints under a
@@ -113,7 +132,7 @@ solve:J (exhaust the budget at the J-th solve), panic:W (panic in batch
 worker W) — deterministic failpoints for resilience testing.";
 
 /// Parsed `--key value` options (every option takes a value except
-/// `--chain`).
+/// `--chain` and `--cluster`).
 struct Options {
     values: HashMap<String, String>,
 }
@@ -126,7 +145,7 @@ impl Options {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{arg}`"));
             };
-            if key == "chain" {
+            if key == "chain" || key == "cluster" {
                 values.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -335,6 +354,8 @@ fn build_index(options: &Options) -> Result<(), String> {
     let out = options.path("out")?;
     let sample_size = options.numeric("sample", 24usize)?;
     let seed = options.numeric("seed", 42u64)?;
+    let cluster = options.flag("cluster");
+    let cluster_factor = options.numeric("cluster-factor", 1.0f64)?;
 
     let cost = Arc::new(dataset.cost.clone());
     let database =
@@ -356,9 +377,29 @@ fn build_index(options: &Options) -> Result<(), String> {
         );
     }
 
-    database
-        .save(&out, &dataset.name, &bundles)
-        .map_err(|e| e.to_string())?;
+    let mut clusterings = Vec::new();
+    if cluster {
+        for bundle in &bundles {
+            let index = ClusteredIndex::from_persisted(&database, bundle, cluster_factor)
+                .map_err(|e| format!("clustering {}: {e}", bundle.name()))?;
+            println!(
+                "clustered {:<12} into {} clusters",
+                bundle.name(),
+                index.clusters()
+            );
+            clusterings.push(Some(index.to_stored()));
+        }
+    }
+
+    if cluster {
+        database
+            .save_with_clusterings(&out, &dataset.name, &bundles, &clusterings)
+            .map_err(|e| e.to_string())?;
+    } else {
+        database
+            .save(&out, &dataset.name, &bundles)
+            .map_err(|e| e.to_string())?;
+    }
     println!(
         "wrote index for {} ({} objects, {} dimensions, {} reduction{}) to {}",
         dataset.name,
@@ -427,10 +468,35 @@ fn quiet_injected_panics() {
     }));
 }
 
+/// Everything `query` assembles before building the plan: the snapshot,
+/// legacy filter stages, an optional stage-1 candidate source, and the
+/// class labels (present only for JSON corpora).
+type PreparedCorpus = (
+    Database,
+    Vec<Box<dyn Filter>>,
+    Option<Box<dyn CandidateSource>>,
+    Option<Vec<u32>>,
+);
+
 fn query(options: &Options) -> Result<(), String> {
     let k = options.numeric("k", 10usize)?;
     let query_index = options.numeric("query", 0usize)?;
     let chain = options.flag("chain");
+    let source_kind = options
+        .values
+        .get("source")
+        .map_or("scan", String::as_str)
+        .to_owned();
+    if !matches!(source_kind.as_str(), "scan" | "clustered" | "vptree") {
+        return Err(format!(
+            "unknown candidate source `{source_kind}` (expected scan, clustered or vptree)"
+        ));
+    }
+    if chain && source_kind != "scan" {
+        // An index source already emits Red-EMD (or exact) bounds;
+        // stacking the looser Red-IM stage on top would invert the chain.
+        return Err("--chain only applies to --source scan".to_owned());
+    }
     let deadline_ms: Option<u64> = options.optional_numeric("deadline-ms")?;
     let max_pivots: Option<u64> = options.optional_numeric("max-pivots")?;
     let (fault_plan, panic_armed) = match options.values.get("faults") {
@@ -445,49 +511,101 @@ fn query(options: &Options) -> Result<(), String> {
     // Either open a persisted index or rebuild the pipeline from JSON
     // artifacts. Both paths produce identical stages (same reductions,
     // same stage names), so results and per-stage candidate counts match.
-    let (database, stages, labels) = if let Some(index_dir) = options.values.get("index") {
-        let opened = match &fault_plan {
-            Some(plan) => Database::open_with(Path::new(index_dir), plan.as_ref()),
-            None => Database::open(Path::new(index_dir)),
-        }
-        .map_err(|e| e.to_string())?;
-        let database = opened.database;
-        let mut reductions = opened.reductions.into_iter();
-        let bundle = reductions
-            .next()
-            .ok_or_else(|| format!("index {index_dir} holds no reductions"))?;
-        let mut stages: Vec<Box<dyn Filter>> = Vec::new();
-        if chain {
-            stages.push(Box::new(
-                ReducedImFilter::from_persisted(&database, bundle.clone())
-                    .map_err(|e| e.to_string())?,
-            ));
-        }
-        stages.push(Box::new(
-            ReducedEmdFilter::from_persisted(&database, bundle).map_err(|e| e.to_string())?,
-        ));
-        (database, stages, None)
-    } else {
-        let dataset = load_dataset(&options.path("data")?)?;
-        let reduction: CombiningReduction = serde_json::from_slice(
-            &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
-        )
-        .map_err(|e| e.to_string())?;
-        let cost = Arc::new(dataset.cost.clone());
-        let database =
-            Database::new(dataset.histograms.clone(), cost.clone()).map_err(|e| e.to_string())?;
-        let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
-        let mut stages: Vec<Box<dyn Filter>> = Vec::new();
-        if chain {
-            stages.push(Box::new(
-                ReducedImFilter::new(&database, reduced.clone()).map_err(|e| e.to_string())?,
-            ));
-        }
-        stages.push(Box::new(
-            ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
-        ));
-        (database, stages, Some(dataset.labels))
-    };
+    let (database, stages, source, labels): PreparedCorpus =
+        if let Some(index_dir) = options.values.get("index") {
+            let opened = match &fault_plan {
+                Some(plan) => Database::open_with(Path::new(index_dir), plan.as_ref()),
+                None => Database::open(Path::new(index_dir)),
+            }
+            .map_err(|e| e.to_string())?;
+            let database = opened.database;
+            let mut reductions = opened.reductions.into_iter();
+            let bundle = reductions
+                .next()
+                .ok_or_else(|| format!("index {index_dir} holds no reductions"))?;
+            let clustering = opened.clusterings.into_iter().next().flatten();
+            match source_kind.as_str() {
+                "clustered" => {
+                    // Persisted geometry reattaches without re-clustering; an
+                    // index built without --cluster falls back to building the
+                    // clustering here, from the persisted reduced arena.
+                    let index = match clustering {
+                        Some(stored) => ClusteredIndex::from_stored(&database, &bundle, &stored),
+                        None => ClusteredIndex::from_persisted(&database, &bundle, 1.0),
+                    }
+                    .map_err(|e| e.to_string())?;
+                    (database, Vec::new(), Some(Box::new(index) as _), None)
+                }
+                "vptree" => {
+                    let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
+                    (
+                        database,
+                        Vec::new(),
+                        Some(Box::new(VpTreeSource::new(tree)) as _),
+                        None,
+                    )
+                }
+                _ => {
+                    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+                    if chain {
+                        stages.push(Box::new(
+                            ReducedImFilter::from_persisted(&database, bundle.clone())
+                                .map_err(|e| e.to_string())?,
+                        ));
+                    }
+                    stages.push(Box::new(
+                        ReducedEmdFilter::from_persisted(&database, bundle)
+                            .map_err(|e| e.to_string())?,
+                    ));
+                    (database, stages, None, None)
+                }
+            }
+        } else {
+            let dataset = load_dataset(&options.path("data")?)?;
+            let labels = dataset.labels.clone();
+            let reduction: CombiningReduction = serde_json::from_slice(
+                &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            let cost = Arc::new(dataset.cost.clone());
+            let database =
+                Database::new(dataset.histograms, cost.clone()).map_err(|e| e.to_string())?;
+            let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+            match source_kind.as_str() {
+                "clustered" => {
+                    let index = ClusteredIndex::build(&database, reduced, 1.0)
+                        .map_err(|e| e.to_string())?;
+                    (
+                        database,
+                        Vec::new(),
+                        Some(Box::new(index) as _),
+                        Some(labels),
+                    )
+                }
+                "vptree" => {
+                    let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
+                    (
+                        database,
+                        Vec::new(),
+                        Some(Box::new(VpTreeSource::new(tree)) as _),
+                        Some(labels),
+                    )
+                }
+                _ => {
+                    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+                    if chain {
+                        stages.push(Box::new(
+                            ReducedImFilter::new(&database, reduced.clone())
+                                .map_err(|e| e.to_string())?,
+                        ));
+                    }
+                    stages.push(Box::new(
+                        ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
+                    ));
+                    (database, stages, None, Some(labels))
+                }
+            }
+        };
 
     if query_index >= database.len() {
         return Err(format!(
@@ -495,11 +613,15 @@ fn query(options: &Options) -> Result<(), String> {
             database.len()
         ));
     }
-    let pipeline = Pipeline::new(
+    let mut plan = QueryPlan::new(
         stages,
-        EmdDistance::new(&database).map_err(|e| e.to_string())?,
+        Box::new(EmdDistance::new(&database).map_err(|e| e.to_string())?),
     )
     .map_err(|e| e.to_string())?;
+    if let Some(source) = source {
+        plan = plan.with_source(source).map_err(|e| e.to_string())?;
+    }
+    let executor = Executor::new(plan);
 
     let query = database
         .get(query_index)
@@ -526,9 +648,8 @@ fn query(options: &Options) -> Result<(), String> {
         // a batch of one with panic isolation, so an injected panic
         // surfaces as a typed one-line diagnostic (nonzero exit), not a
         // crashed process.
-        let executor = pipeline
-            .into_executor()
-            .with_faults(fault_plan.unwrap_or_else(|| Arc::new(FailPlan::new())));
+        let executor =
+            executor.with_faults(fault_plan.unwrap_or_else(|| Arc::new(FailPlan::new())));
         let workload = [Query::knn(query.clone(), k)];
         let (mut results, stats) = executor.run_batch_isolated(&workload, 1);
         match results.pop() {
@@ -537,7 +658,7 @@ fn query(options: &Options) -> Result<(), String> {
             None => return Err("batch produced no result".to_owned()),
         }
     } else {
-        pipeline
+        executor
             .knn_budgeted(query, k, &budget)
             .map_err(|e| e.to_string())?
     };
