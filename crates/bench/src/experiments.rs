@@ -16,6 +16,7 @@ use emd_reduction::flow_sample::draw_sample;
 use emd_reduction::kmedoids::kmedoids_reduction;
 use emd_reduction::pca::pca_guided_reduction;
 use emd_reduction::{CombiningReduction, ReducedEmd};
+use emd_serve::{LoadgenConfig, QuerySpec, ServeConfig, Server, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -1613,6 +1614,239 @@ pub fn e17(scale: &Scale, quick: bool) -> Table {
     table
 }
 
+/// One measured sweep point of the E18 serving-load report
+/// (`BENCH_PR9.json`).
+struct ServeLoadRow {
+    /// Sweep this point belongs to: `"threads"` or `"deadline"`.
+    sweep: String,
+    /// Closed-loop client threads.
+    threads: usize,
+    /// Requests issued over the run.
+    requests: usize,
+    /// Per-request deadline in milliseconds; `-1` = unlimited.
+    deadline_ms: f64,
+    /// Exact `200` responses.
+    ok: usize,
+    /// Degraded `200` responses.
+    degraded: usize,
+    /// `429` shed responses.
+    shed: usize,
+    /// `5xx` responses and transport failures.
+    server_errors: usize,
+    /// `degraded / (ok + degraded)`.
+    degraded_rate: f64,
+    /// Answered requests per second of wall clock.
+    throughput_rps: f64,
+    /// Mean latency over answered requests, microseconds.
+    mean_us: f64,
+    /// Median latency, microseconds.
+    p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    p99_us: u64,
+}
+
+serde::impl_serde_struct!(ServeLoadRow {
+    sweep,
+    threads,
+    requests,
+    deadline_ms,
+    ok,
+    degraded,
+    shed,
+    server_errors,
+    degraded_rate,
+    throughput_rps,
+    mean_us,
+    p50_us,
+    p99_us,
+});
+
+/// The schema-versioned payload E18 writes to the repository root.
+struct ServeLoadReport {
+    /// Schema tag, always `"flexemd-bench/v1"`.
+    schema: String,
+    /// Producing experiment id (`"E18"`).
+    experiment: String,
+    /// Human-readable summary of the methodology.
+    description: String,
+    /// One entry per sweep point.
+    rows: Vec<ServeLoadRow>,
+}
+
+serde::impl_serde_struct!(ServeLoadReport {
+    schema,
+    experiment,
+    description,
+    rows,
+});
+
+/// Drive one loadgen workload against the live server and fold the
+/// report into a sweep row.
+fn serve_load_point(
+    addr: std::net::SocketAddr,
+    sweep: &str,
+    threads: usize,
+    requests: usize,
+    deadline_ms: Option<u64>,
+) -> Result<ServeLoadRow, emd_serve::ServeError> {
+    let spec = QuerySpec {
+        k: Some(K_DEFAULT),
+        deadline_ms,
+        ..QuerySpec::default()
+    };
+    let config = LoadgenConfig {
+        addr: addr.to_string(),
+        threads,
+        requests,
+        spec,
+        seed: SEED,
+        io_timeout: std::time::Duration::from_secs(60),
+    };
+    let report = emd_serve::loadgen::run(&config)?;
+    Ok(ServeLoadRow {
+        sweep: sweep.to_owned(),
+        threads,
+        requests,
+        deadline_ms: deadline_ms.map_or(-1.0, |ms| ms as f64),
+        ok: report.ok,
+        degraded: report.degraded,
+        shed: report.shed,
+        server_errors: report.server_errors,
+        degraded_rate: report.degraded_rate(),
+        throughput_rps: report.throughput_rps,
+        mean_us: report.latency.mean_us,
+        p50_us: report.latency.p50_us,
+        p99_us: report.latency.p99_us,
+    })
+}
+
+/// Serving under load: an in-process `flexemd serve` instance over the
+/// E4-style Gaussian corpus with a chained `Red-EMD -> EMD` plan, driven
+/// by the closed-loop load generator. Two sweeps share the server:
+/// throughput vs client thread count (unlimited budgets), then a
+/// deadline sweep at fixed concurrency showing the degraded-rate /
+/// latency tradeoff of per-request admission budgets.
+pub fn e18(scale: &Scale, quick: bool) -> Table {
+    let mut table = Table::new(
+        "E18",
+        "Query serving under load: thread and deadline sweeps",
+        &[
+            "sweep",
+            "thr",
+            "deadline",
+            "req",
+            "ok",
+            "degr",
+            "shed",
+            "err",
+            "degr-rate",
+            "rps",
+            "p50 us",
+            "p99 us",
+        ],
+    );
+    let bench = gaussian_bench(scale);
+    let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::FbAllKMed, &bench, &flows, 8, SEED ^ 0xbead);
+    let executor = chained_executor(&bench, reduction);
+    let snapshot = Snapshot {
+        executor,
+        database: bench.database.clone(),
+        name: bench.name.clone(),
+        faults: None,
+    };
+    let config = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(snapshot, config) {
+        Ok(server) => server,
+        Err(error) => {
+            table.note(format!("could not start the query server: {error}"));
+            return table;
+        }
+    };
+    let addr = server.addr();
+    table.note(format!(
+        "corpus {} ({} objects, d={}), chained FB-All+KMed plan (d'=8), 4 server workers, \
+         k={K_DEFAULT}, deterministic seeded workload",
+        bench.name,
+        bench.database.len(),
+        bench.dim(),
+    ));
+
+    let requests = if quick { 64 } else { 256 };
+    let mut rows: Vec<ServeLoadRow> = Vec::new();
+    let points: Vec<(&str, usize, Option<u64>)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| ("threads", threads, None))
+        .chain(
+            [None, Some(20), Some(5), Some(1), Some(0)]
+                .iter()
+                .map(|&deadline| ("deadline", 4usize, deadline)),
+        )
+        .collect();
+    for (sweep, threads, deadline_ms) in points {
+        match serve_load_point(addr, sweep, threads, requests, deadline_ms) {
+            Ok(row) => rows.push(row),
+            Err(error) => table.note(format!(
+                "sweep {sweep} (threads={threads}, deadline={deadline_ms:?}) failed: {error}"
+            )),
+        }
+    }
+    if let Err(error) = server.drain_and_join() {
+        table.note(format!("drain failed: {error}"));
+    }
+
+    for row in &rows {
+        let deadline = if row.deadline_ms < 0.0 {
+            "none".to_owned()
+        } else {
+            format!("{} ms", row.deadline_ms)
+        };
+        table.row(vec![
+            row.sweep.clone(),
+            row.threads.to_string(),
+            deadline,
+            row.requests.to_string(),
+            row.ok.to_string(),
+            row.degraded.to_string(),
+            row.shed.to_string(),
+            row.server_errors.to_string(),
+            fnum(row.degraded_rate),
+            fnum(row.throughput_rps),
+            row.p50_us.to_string(),
+            row.p99_us.to_string(),
+        ]);
+    }
+    table.note(
+        "thread sweep: unlimited budgets, closed loop (each client waits for its response); \
+         deadline sweep: 4 clients, per-request wall-clock budgets lowered through the same \
+         QuerySpec the CLI uses — tighter deadlines trade exactness (degraded-rate rises) \
+         for tail latency",
+    );
+    let report = ServeLoadReport {
+        schema: "flexemd-bench/v1".to_owned(),
+        experiment: "E18".to_owned(),
+        description: "Closed-loop load generation against a live flexemd serve instance \
+                      (std-only HTTP/1.1, 4 workers, bounded accept queue) over the E4-style \
+                      32-d Gaussian corpus with a chained FB-All+KMed plan (d' = 8): \
+                      throughput vs client thread count with unlimited budgets, then a \
+                      per-request deadline sweep at 4 clients showing the degraded-rate / \
+                      latency tradeoff; responses carry exact/degraded flags and the workload \
+                      is a deterministic splitmix64 stream."
+            .to_owned(),
+        rows,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json");
+    match serde_json::to_vec_pretty(&report).map(|bytes| std::fs::write(&path, bytes)) {
+        Ok(Ok(())) => table.note(format!("wrote {}", path.display())),
+        Ok(Err(error)) => table.note(format!("could not write BENCH_PR9.json: {error}")),
+        Err(error) => table.note(format!("could not serialize BENCH_PR9.json: {error}")),
+    }
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -1633,6 +1867,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e15(scale, quick),
         e16(scale, quick),
         e17(scale, quick),
+        e18(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -1660,6 +1895,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e15" => Some(e15(scale, quick)),
         "e16" => Some(e16(scale, quick)),
         "e17" => Some(e17(scale, quick)),
+        "e18" => Some(e18(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),

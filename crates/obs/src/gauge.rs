@@ -1,0 +1,187 @@
+//! Process-wide atomic gauges with RAII add/sub guards.
+//!
+//! The thread-scoped recording model of this crate fits request-shaped
+//! work (record into a scope, harvest at the end), but a long-running
+//! server also needs *instantaneous* values that many threads update and
+//! one scraper reads: in-flight requests, queue depth, drained state.
+//! [`Gauge`] is that primitive — a named, clonable handle over an
+//! `AtomicI64` that any thread can [`add`](Gauge::add) to or
+//! [`sub`](Gauge::sub) from, with an RAII [`GaugeGuard`] for the
+//! dominant "increment now, decrement on every exit path" pattern, and
+//! [`publish`](Gauge::publish) to mirror the current value into a
+//! [`MetricsRegistry`] at scrape time.
+//!
+//! Unlike scope-recorded metrics, a `Gauge` lives outside any recording
+//! scope: creating or updating one never touches the thread-local
+//! registries, so it is safe on paths (an accept loop, a connection
+//! handed between threads) where no scope exists.
+
+use crate::registry::MetricsRegistry;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A named process-wide gauge: a clonable handle over a shared atomic
+/// value. Clones observe and update the same value.
+///
+/// ```
+/// let inflight = emd_obs::Gauge::new("serve.inflight");
+/// {
+///     let _permit = inflight.guard(1);
+///     assert_eq!(inflight.value(), 1);
+/// }
+/// assert_eq!(inflight.value(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    name: Arc<str>,
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A new gauge starting at zero.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Gauge {
+            name: Arc::from(name),
+            value: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// The gauge's registry name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add `n` to the gauge, returning the updated value.
+    pub fn add(&self, n: i64) -> i64 {
+        self.value.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Subtract `n` from the gauge, returning the updated value.
+    pub fn sub(&self, n: i64) -> i64 {
+        self.value.fetch_sub(n, Ordering::Relaxed) - n
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Add `n` now and subtract it when the returned guard drops. The
+    /// guard is `Send`, so it can travel with the work it accounts for
+    /// (e.g. a connection handed from an accept loop to a worker).
+    #[must_use = "dropping the guard immediately reverts the add"]
+    pub fn guard(&self, n: i64) -> GaugeGuard {
+        self.add(n);
+        GaugeGuard {
+            gauge: self.clone(),
+            n,
+        }
+    }
+
+    /// Write the current value into `registry` under this gauge's name
+    /// (scrape-time mirroring; see the module docs).
+    pub fn publish(&self, registry: &mut MetricsRegistry) {
+        registry.gauge_set(&self.name, self.value() as f64);
+    }
+}
+
+/// RAII reversal of a [`Gauge::guard`] add: subtracts on drop, on every
+/// exit path including panics.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Gauge,
+    n: i64,
+}
+
+impl GaugeGuard {
+    /// The gauge this guard accounts against.
+    #[must_use]
+    pub fn gauge(&self) -> &Gauge {
+        &self.gauge
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.sub(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_and_value() {
+        let gauge = Gauge::new("test.gauge");
+        assert_eq!(gauge.value(), 0);
+        assert_eq!(gauge.add(3), 3);
+        assert_eq!(gauge.sub(1), 2);
+        assert_eq!(gauge.value(), 2);
+        assert_eq!(gauge.name(), "test.gauge");
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let gauge = Gauge::new("test.shared");
+        let clone = gauge.clone();
+        gauge.add(5);
+        assert_eq!(clone.value(), 5);
+        clone.sub(2);
+        assert_eq!(gauge.value(), 3);
+    }
+
+    #[test]
+    fn guard_reverts_on_drop() {
+        let gauge = Gauge::new("test.guarded");
+        {
+            let _outer = gauge.guard(1);
+            let _inner = gauge.guard(2);
+            assert_eq!(gauge.value(), 3);
+        }
+        assert_eq!(gauge.value(), 0);
+    }
+
+    #[test]
+    fn guard_reverts_on_panic() {
+        let gauge = Gauge::new("test.panicky");
+        let result = std::panic::catch_unwind({
+            let gauge = gauge.clone();
+            move || {
+                let _permit = gauge.guard(1);
+                panic!("boom");
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(gauge.value(), 0);
+    }
+
+    #[test]
+    fn guards_account_across_threads() {
+        let gauge = Gauge::new("test.threads");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let guard = gauge.guard(1);
+                    scope.spawn(move || drop(guard))
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("worker");
+            }
+        });
+        assert_eq!(gauge.value(), 0);
+    }
+
+    #[test]
+    fn publish_mirrors_into_a_registry() {
+        let gauge = Gauge::new("test.published");
+        gauge.add(7);
+        let mut registry = MetricsRegistry::new();
+        gauge.publish(&mut registry);
+        assert_eq!(registry.gauge("test.published"), Some(7.0));
+    }
+}

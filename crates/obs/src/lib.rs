@@ -55,9 +55,11 @@
 //! ([`SCHEMA`]) JSON document with keys in sorted (deterministic) order;
 //! see `DESIGN.md` §7 for the schema.
 
+mod gauge;
 mod registry;
 mod tracer;
 
+pub use gauge::{Gauge, GaugeGuard};
 pub use registry::{DurationHistogram, MetricsRegistry, SpanEvent, SCHEMA};
 pub use tracer::{span, span_with, Span, Tracer};
 

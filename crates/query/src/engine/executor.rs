@@ -335,6 +335,50 @@ impl Executor {
         (results, total)
     }
 
+    /// Run one [`Query`] under a [`Budget`] with panic isolation: the
+    /// long-running-server entry point. The query executes inside
+    /// `catch_unwind`, so a panicking solve (a bug, a poisoned
+    /// invariant, an injected [`Fault::Panic`]) surfaces as
+    /// [`QueryError::WorkerPanicked`] attributed to `worker` — the
+    /// caller keeps serving. `worker` is an arbitrary caller-chosen
+    /// ordinal (the serve layer passes a per-request sequence number, so
+    /// an armed [`Site::Worker`] failpoint targets exactly one request).
+    ///
+    /// Budget exhaustion is *not* an error: it returns
+    /// [`QueryOutcome::Degraded`] exactly as [`Executor::run_budgeted`]
+    /// does, and with an unlimited budget results are bit-identical to
+    /// the unbudgeted path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run_budgeted`], plus
+    /// [`QueryError::WorkerPanicked`] for panics caught in this call.
+    pub fn run_budgeted_isolated(
+        &self,
+        query: &Query,
+        budget: &Budget,
+        worker: usize,
+    ) -> Result<(QueryOutcome, QueryStats), QueryError> {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(injector) = &self.faults {
+                if let Some(Fault::Panic) = injector.check(Site::Worker(worker)) {
+                    std::panic::panic_any(InjectedPanic::new(worker)); // lint: allow(panic)
+                }
+            }
+            self.run_budgeted(query, budget)
+        }));
+        match result {
+            Ok(answer) => answer,
+            Err(payload) => {
+                emd_obs::counter_add("query.worker_panics", 1);
+                Err(QueryError::WorkerPanicked {
+                    worker,
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        }
+    }
+
     /// Run one query inside `catch_unwind`, converting any panic into
     /// [`QueryError::WorkerPanicked`] attributed to `worker`. Probes the
     /// installed fault injector (if any) first, honoring

@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 /// Library crates subject to the marker-required panic ban, indexing
 /// audit, `# Errors` docs and error-taxonomy audits.
-pub const LIBRARY_CRATES: [&str; 8] = [
+pub const LIBRARY_CRATES: [&str; 9] = [
     "transport",
     "core",
     "reduction",
@@ -35,6 +35,7 @@ pub const LIBRARY_CRATES: [&str; 8] = [
     "obs",
     "store",
     "faultkit",
+    "serve",
 ];
 
 /// Tool crates: scanned with counted (markerless) budget semantics.

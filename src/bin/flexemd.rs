@@ -14,9 +14,16 @@
 //!                     [--source scan|clustered|vptree]
 //!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
 //! flexemd query       --index index-dir
-//!                     [--k K] [--query I] [--chain] [--metrics json|PATH]
-//!                     [--source scan|clustered|vptree]
+//!                     [--k K | --range EPS] [--query I] [--chain]
+//!                     [--metrics json|PATH] [--source scan|clustered|vptree]
 //!                     [--deadline-ms N] [--max-pivots N] [--faults SPEC]
+//! flexemd serve       --index index-dir [--addr HOST:PORT] [--workers N]
+//!                     [--max-inflight N] [--queue-depth N]
+//!                     [--source scan|clustered|vptree] [--chain]
+//!                     [--drain-stdin] [--faults SPEC]
+//! flexemd loadgen     --addr HOST:PORT [--threads N] [--requests N]
+//!                     [--k K | --range EPS] [--deadline-ms N]
+//!                     [--max-pivots N] [--seed S] [--smoke] [--out PATH]
 //! ```
 //!
 //! `generate` writes a synthetic corpus; `reduce` builds and stores a
@@ -42,12 +49,20 @@
 //! injects deterministic failures (`read:K,solve:J,panic:W`) for
 //! resilience testing; an injected worker panic exits nonzero with a
 //! one-line diagnostic.
+//!
+//! `serve` keeps the opened snapshot resident and answers the same
+//! queries over HTTP (`POST /v1/knn`, `POST /v1/range`, `GET /healthz`,
+//! `GET /metrics`) with per-request budgets, 429 shedding beyond
+//! `--max-inflight`, and per-request panic isolation; drain with
+//! `POST /admin/drain` (or close stdin under `--drain-stdin`). `loadgen`
+//! drives a running server with a deterministic closed-loop workload and
+//! prints a schema-versioned throughput/latency report.
 
 use flexemd::core::Histogram;
 use flexemd::data::{io as dataio, Dataset};
 use flexemd::faultkit::{FailPlan, InjectedPanic};
 use flexemd::query::{
-    Budget, CandidateSource, ClusteredIndex, Database, EmdDistance, Executor, Filter, Query,
+    CandidateSource, ClusteredIndex, Database, EmdDistance, Executor, Filter, QueryMode,
     QueryOutcome, QueryPlan, ReducedEmdFilter, ReducedImFilter, VpTree, VpTreeSource,
 };
 use flexemd::reduction::fb::{fb_all, fb_mod, FbOptions};
@@ -55,6 +70,9 @@ use flexemd::reduction::flow_sample::{draw_sample, FlowSample};
 use flexemd::reduction::grid::block_merge;
 use flexemd::reduction::kmedoids::kmedoids_reduction_restarts;
 use flexemd::reduction::{CombiningReduction, PersistedReduction, ReducedEmd};
+use flexemd::serve::{
+    loadgen::LoadgenConfig, LoadgenReport, QuerySpec, ServeConfig, Server, Snapshot,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -81,6 +99,8 @@ fn main() -> ExitCode {
         "reduce" => reduce(&options),
         "build-index" => build_index(&options),
         "query" => query(&options),
+        "serve" => serve(&options),
+        "loadgen" => loadgen(&options),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -113,9 +133,24 @@ USAGE:
                       [--source scan|clustered|vptree]
                       [--deadline-ms N] [--max-pivots N] [--faults SPEC]
   flexemd query       --index index-dir
-                      [--k K] [--query I] [--chain] [--metrics json|PATH]
-                      [--source scan|clustered|vptree]
+                      [--k K | --range EPS] [--query I] [--chain]
+                      [--metrics json|PATH] [--source scan|clustered|vptree]
                       [--deadline-ms N] [--max-pivots N] [--faults SPEC]
+  flexemd serve       --index index-dir [--addr HOST:PORT] [--workers N]
+                      [--max-inflight N] [--queue-depth N]
+                      [--source scan|clustered|vptree] [--chain]
+                      [--drain-stdin] [--faults SPEC]
+  flexemd loadgen     --addr HOST:PORT [--threads N] [--requests N]
+                      [--k K | --range EPS] [--deadline-ms N]
+                      [--max-pivots N] [--seed S] [--smoke] [--out PATH]
+
+Serving: serve answers POST /v1/knn and /v1/range (JSON bodies carrying
+query_id or weights plus k/epsilon/deadline_ms/max_pivots), GET /healthz
+and GET /metrics; connections beyond --max-inflight are shed with 429 +
+Retry-After, per-request panics isolate to a 500 for that request, and
+POST /admin/drain (or stdin EOF under --drain-stdin) drains gracefully.
+loadgen drives a running server with a seeded closed-loop workload and
+prints a flexemd-bench/v1 JSON report (--smoke = small fixed workload).
 
 Indexes: build-index --cluster persists greedy k-center clustering
 geometry over each reduced arena (about sqrt(n) * F clusters, default
@@ -131,8 +166,8 @@ Faults: SPEC is a comma list of read:K (fail the K-th index-file read),
 solve:J (exhaust the budget at the J-th solve), panic:W (panic in batch
 worker W) — deterministic failpoints for resilience testing.";
 
-/// Parsed `--key value` options (every option takes a value except
-/// `--chain` and `--cluster`).
+/// Parsed `--key value` options (every option takes a value except the
+/// boolean flags `--chain`, `--cluster`, `--smoke` and `--drain-stdin`).
 struct Options {
     values: HashMap<String, String>,
 }
@@ -145,7 +180,7 @@ impl Options {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{arg}`"));
             };
-            if key == "chain" || key == "cluster" {
+            if matches!(key, "chain" | "cluster" | "smoke" | "drain-stdin") {
                 values.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -170,16 +205,6 @@ impl Options {
                 .parse()
                 .map_err(|_| format!("--{key} expects a number, got `{raw}`")),
             None => Ok(default),
-        }
-    }
-
-    fn optional_numeric<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
-        match self.values.get(key) {
-            Some(raw) => raw
-                .parse()
-                .map(Some)
-                .map_err(|_| format!("--{key} expects a number, got `{raw}`")),
-            None => Ok(None),
         }
     }
 
@@ -468,19 +493,23 @@ fn quiet_injected_panics() {
     }));
 }
 
-/// Everything `query` assembles before building the plan: the snapshot,
-/// legacy filter stages, an optional stage-1 candidate source, and the
-/// class labels (present only for JSON corpora).
-type PreparedCorpus = (
-    Database,
-    Vec<Box<dyn Filter>>,
-    Option<Box<dyn CandidateSource>>,
-    Option<Vec<u32>>,
-);
+/// Everything `query` and `serve` assemble before building a plan: the
+/// snapshot, legacy filter stages, an optional stage-1 candidate source,
+/// the corpus name, and class labels (present only for JSON corpora).
+struct Corpus {
+    name: String,
+    database: Database,
+    stages: Vec<Box<dyn Filter>>,
+    source: Option<Box<dyn CandidateSource>>,
+    labels: Option<Vec<u32>>,
+}
 
-fn query(options: &Options) -> Result<(), String> {
-    let k = options.numeric("k", 10usize)?;
-    let query_index = options.numeric("query", 0usize)?;
+/// Filter stages plus the optional stage-1 candidate source — the
+/// pipeline front end a corpus assembles ahead of the exact refiner.
+type PipelineFront = (Vec<Box<dyn Filter>>, Option<Box<dyn CandidateSource>>);
+
+/// Validate a `--source` value and its interaction with `--chain`.
+fn source_options(options: &Options) -> Result<(String, bool), String> {
     let chain = options.flag("chain");
     let source_kind = options
         .values
@@ -497,115 +526,170 @@ fn query(options: &Options) -> Result<(), String> {
         // stacking the looser Red-IM stage on top would invert the chain.
         return Err("--chain only applies to --source scan".to_owned());
     }
-    let deadline_ms: Option<u64> = options.optional_numeric("deadline-ms")?;
-    let max_pivots: Option<u64> = options.optional_numeric("max-pivots")?;
-    let (fault_plan, panic_armed) = match options.values.get("faults") {
+    Ok((source_kind, chain))
+}
+
+/// Parse `--faults`, installing the quiet panic hook when present.
+fn fault_options(options: &Options) -> Result<(Option<Arc<FailPlan>>, bool), String> {
+    match options.values.get("faults") {
         Some(spec) => {
             let (plan, has_panic) = parse_faults(spec)?;
             quiet_injected_panics();
-            (Some(Arc::new(plan)), has_panic)
+            Ok((Some(Arc::new(plan)), has_panic))
         }
-        None => (None, false),
-    };
+        None => Ok((None, false)),
+    }
+}
 
-    // Either open a persisted index or rebuild the pipeline from JSON
-    // artifacts. Both paths produce identical stages (same reductions,
-    // same stage names), so results and per-stage candidate counts match.
-    let (database, stages, source, labels): PreparedCorpus =
-        if let Some(index_dir) = options.values.get("index") {
-            let opened = match &fault_plan {
-                Some(plan) => Database::open_with(Path::new(index_dir), plan.as_ref()),
-                None => Database::open(Path::new(index_dir)),
+/// Either open a persisted index or rebuild the pipeline from JSON
+/// artifacts. Both paths produce identical stages (same reductions,
+/// same stage names), so results and per-stage candidate counts match.
+fn prepare_corpus(
+    options: &Options,
+    fault_plan: Option<&Arc<FailPlan>>,
+    source_kind: &str,
+    chain: bool,
+) -> Result<Corpus, String> {
+    if let Some(index_dir) = options.values.get("index") {
+        let opened = match fault_plan {
+            Some(plan) => Database::open_with(Path::new(index_dir), plan.as_ref()),
+            None => Database::open(Path::new(index_dir)),
+        }
+        .map_err(|e| e.to_string())?;
+        let name = opened.name;
+        let database = opened.database;
+        let mut reductions = opened.reductions.into_iter();
+        let bundle = reductions
+            .next()
+            .ok_or_else(|| format!("index {index_dir} holds no reductions"))?;
+        let clustering = opened.clusterings.into_iter().next().flatten();
+        let (stages, source): PipelineFront = match source_kind {
+            "clustered" => {
+                // Persisted geometry reattaches without re-clustering; an
+                // index built without --cluster falls back to building the
+                // clustering here, from the persisted reduced arena.
+                let index = match clustering {
+                    Some(stored) => ClusteredIndex::from_stored(&database, &bundle, &stored),
+                    None => ClusteredIndex::from_persisted(&database, &bundle, 1.0),
+                }
+                .map_err(|e| e.to_string())?;
+                (Vec::new(), Some(Box::new(index) as _))
             }
-            .map_err(|e| e.to_string())?;
-            let database = opened.database;
-            let mut reductions = opened.reductions.into_iter();
-            let bundle = reductions
-                .next()
-                .ok_or_else(|| format!("index {index_dir} holds no reductions"))?;
-            let clustering = opened.clusterings.into_iter().next().flatten();
-            match source_kind.as_str() {
-                "clustered" => {
-                    // Persisted geometry reattaches without re-clustering; an
-                    // index built without --cluster falls back to building the
-                    // clustering here, from the persisted reduced arena.
-                    let index = match clustering {
-                        Some(stored) => ClusteredIndex::from_stored(&database, &bundle, &stored),
-                        None => ClusteredIndex::from_persisted(&database, &bundle, 1.0),
-                    }
-                    .map_err(|e| e.to_string())?;
-                    (database, Vec::new(), Some(Box::new(index) as _), None)
-                }
-                "vptree" => {
-                    let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
-                    (
-                        database,
-                        Vec::new(),
-                        Some(Box::new(VpTreeSource::new(tree)) as _),
-                        None,
-                    )
-                }
-                _ => {
-                    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
-                    if chain {
-                        stages.push(Box::new(
-                            ReducedImFilter::from_persisted(&database, bundle.clone())
-                                .map_err(|e| e.to_string())?,
-                        ));
-                    }
+            "vptree" => {
+                let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
+                (Vec::new(), Some(Box::new(VpTreeSource::new(tree)) as _))
+            }
+            _ => {
+                let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+                if chain {
                     stages.push(Box::new(
-                        ReducedEmdFilter::from_persisted(&database, bundle)
+                        ReducedImFilter::from_persisted(&database, bundle.clone())
                             .map_err(|e| e.to_string())?,
                     ));
-                    (database, stages, None, None)
                 }
-            }
-        } else {
-            let dataset = load_dataset(&options.path("data")?)?;
-            let labels = dataset.labels.clone();
-            let reduction: CombiningReduction = serde_json::from_slice(
-                &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
-            )
-            .map_err(|e| e.to_string())?;
-            let cost = Arc::new(dataset.cost.clone());
-            let database =
-                Database::new(dataset.histograms, cost.clone()).map_err(|e| e.to_string())?;
-            let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
-            match source_kind.as_str() {
-                "clustered" => {
-                    let index = ClusteredIndex::build(&database, reduced, 1.0)
-                        .map_err(|e| e.to_string())?;
-                    (
-                        database,
-                        Vec::new(),
-                        Some(Box::new(index) as _),
-                        Some(labels),
-                    )
-                }
-                "vptree" => {
-                    let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
-                    (
-                        database,
-                        Vec::new(),
-                        Some(Box::new(VpTreeSource::new(tree)) as _),
-                        Some(labels),
-                    )
-                }
-                _ => {
-                    let mut stages: Vec<Box<dyn Filter>> = Vec::new();
-                    if chain {
-                        stages.push(Box::new(
-                            ReducedImFilter::new(&database, reduced.clone())
-                                .map_err(|e| e.to_string())?,
-                        ));
-                    }
-                    stages.push(Box::new(
-                        ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
-                    ));
-                    (database, stages, None, Some(labels))
-                }
+                stages.push(Box::new(
+                    ReducedEmdFilter::from_persisted(&database, bundle)
+                        .map_err(|e| e.to_string())?,
+                ));
+                (stages, None)
             }
         };
+        Ok(Corpus {
+            name,
+            database,
+            stages,
+            source,
+            labels: None,
+        })
+    } else {
+        let dataset = load_dataset(&options.path("data")?)?;
+        let name = dataset.name.clone();
+        let labels = dataset.labels.clone();
+        let reduction: CombiningReduction = serde_json::from_slice(
+            &std::fs::read(options.path("reduction")?).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        let cost = Arc::new(dataset.cost.clone());
+        let database =
+            Database::new(dataset.histograms, cost.clone()).map_err(|e| e.to_string())?;
+        let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+        let (stages, source): PipelineFront = match source_kind {
+            "clustered" => {
+                let index =
+                    ClusteredIndex::build(&database, reduced, 1.0).map_err(|e| e.to_string())?;
+                (Vec::new(), Some(Box::new(index) as _))
+            }
+            "vptree" => {
+                let tree = VpTree::build(&database).map_err(|e| e.to_string())?;
+                (Vec::new(), Some(Box::new(VpTreeSource::new(tree)) as _))
+            }
+            _ => {
+                let mut stages: Vec<Box<dyn Filter>> = Vec::new();
+                if chain {
+                    stages.push(Box::new(
+                        ReducedImFilter::new(&database, reduced.clone())
+                            .map_err(|e| e.to_string())?,
+                    ));
+                }
+                stages.push(Box::new(
+                    ReducedEmdFilter::new(&database, reduced).map_err(|e| e.to_string())?,
+                ));
+                (stages, None)
+            }
+        };
+        Ok(Corpus {
+            name,
+            database,
+            stages,
+            source,
+            labels: Some(labels),
+        })
+    }
+}
+
+/// Assemble stages + optional source into a ready [`Executor`].
+fn build_executor(
+    database: &Database,
+    stages: Vec<Box<dyn Filter>>,
+    source: Option<Box<dyn CandidateSource>>,
+) -> Result<Executor, String> {
+    let mut plan = QueryPlan::new(
+        stages,
+        Box::new(EmdDistance::new(database).map_err(|e| e.to_string())?),
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(source) = source {
+        plan = plan.with_source(source).map_err(|e| e.to_string())?;
+    }
+    Ok(Executor::new(plan))
+}
+
+/// The shared query-shape flags (`--k`, `--range`, `--deadline-ms`,
+/// `--max-pivots`) parsed through the same [`QuerySpec`] the server and
+/// load generator use — one vocabulary, one validation.
+fn query_spec(options: &Options) -> Result<QuerySpec, String> {
+    QuerySpec::from_raw(
+        options.values.get("k").map(String::as_str),
+        options.values.get("range").map(String::as_str),
+        options.values.get("deadline-ms").map(String::as_str),
+        options.values.get("max-pivots").map(String::as_str),
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn query(options: &Options) -> Result<(), String> {
+    let spec = query_spec(options)?;
+    let query_index = options.numeric("query", 0usize)?;
+    let (source_kind, chain) = source_options(options)?;
+    let (fault_plan, panic_armed) = fault_options(options)?;
+
+    let Corpus {
+        name: _,
+        database,
+        stages,
+        source,
+        labels,
+    } = prepare_corpus(options, fault_plan.as_ref(), &source_kind, chain)?;
 
     if query_index >= database.len() {
         return Err(format!(
@@ -613,30 +697,17 @@ fn query(options: &Options) -> Result<(), String> {
             database.len()
         ));
     }
-    let mut plan = QueryPlan::new(
-        stages,
-        Box::new(EmdDistance::new(&database).map_err(|e| e.to_string())?),
-    )
-    .map_err(|e| e.to_string())?;
-    if let Some(source) = source {
-        plan = plan.with_source(source).map_err(|e| e.to_string())?;
-    }
-    let executor = Executor::new(plan);
+    let executor = build_executor(&database, stages, source)?;
 
     let query = database
         .get(query_index)
         .ok_or_else(|| format!("--query index {query_index} out of range"))?;
 
-    let mut budget = Budget::unlimited();
-    if let Some(ms) = deadline_ms {
-        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
-    }
-    if let Some(cap) = max_pivots {
-        budget = budget.with_pivot_cap(cap);
-    }
+    let mut budget = spec.budget();
     if let Some(plan) = &fault_plan {
         budget = budget.with_faults(plan.clone());
     }
+    let request = spec.query_for(query.clone());
 
     let metrics = options.values.get("metrics").cloned();
     let recording = metrics
@@ -650,7 +721,7 @@ fn query(options: &Options) -> Result<(), String> {
         // crashed process.
         let executor =
             executor.with_faults(fault_plan.unwrap_or_else(|| Arc::new(FailPlan::new())));
-        let workload = [Query::knn(query.clone(), k)];
+        let workload = [request];
         let (mut results, stats) = executor.run_batch_isolated(&workload, 1);
         match results.pop() {
             Some(Ok(neighbors)) => (QueryOutcome::Exact(neighbors), stats),
@@ -659,20 +730,21 @@ fn query(options: &Options) -> Result<(), String> {
         }
     } else {
         executor
-            .knn_budgeted(query, k, &budget)
+            .run_budgeted(&request, &budget)
             .map_err(|e| e.to_string())?
     };
     let elapsed = started.elapsed();
     let registry = recording.map(flexemd::obs::Recording::finish);
 
+    let heading = match spec.mode() {
+        QueryMode::Knn(k) => format!("{k}-NN of object {query_index}"),
+        QueryMode::Range(epsilon) => format!("range(epsilon = {epsilon}) of object {query_index}"),
+    };
     // Persisted indexes store no class labels, so index-mode output omits
     // the class annotations.
     match &labels {
-        Some(labels) => println!(
-            "{}-NN of object {query_index} (class {}):",
-            k, labels[query_index]
-        ),
-        None => println!("{k}-NN of object {query_index}:"),
+        Some(labels) => println!("{heading} (class {}):", labels[query_index]),
+        None => println!("{heading}:"),
     }
     match &outcome {
         QueryOutcome::Exact(neighbors) => {
@@ -721,6 +793,97 @@ fn query(options: &Options) -> Result<(), String> {
             std::fs::write(&sink, rendered).map_err(|e| e.to_string())?;
             println!("wrote metrics to {sink}");
         }
+    }
+    Ok(())
+}
+
+fn serve(options: &Options) -> Result<(), String> {
+    let (source_kind, chain) = source_options(options)?;
+    let (fault_plan, _panic_armed) = fault_options(options)?;
+
+    let Corpus {
+        name,
+        database,
+        stages,
+        source,
+        labels: _,
+    } = prepare_corpus(options, fault_plan.as_ref(), &source_kind, chain)?;
+    let mut executor = build_executor(&database, stages, source)?;
+    if let Some(plan) = &fault_plan {
+        // Worker failpoints fire inside the server's isolation layer, so
+        // an injected panic costs one 500 response, not the process.
+        executor = executor.with_faults(plan.clone());
+    }
+    let objects = database.len();
+    let banner_name = if name.is_empty() {
+        "corpus".to_owned()
+    } else {
+        name.clone()
+    };
+    let snapshot = Snapshot {
+        executor,
+        database,
+        name,
+        faults: fault_plan.map(|plan| plan as Arc<dyn flexemd::faultkit::FaultInjector>),
+    };
+
+    let config = ServeConfig {
+        addr: options
+            .values
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+        workers: options.numeric("workers", 4usize)?,
+        max_inflight: options.numeric("max-inflight", 64usize)?,
+        queue_depth: options.numeric("queue-depth", 64usize)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(snapshot, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving {banner_name} ({objects} objects) on http://{}",
+        server.addr()
+    );
+    println!(
+        "routes: POST /v1/knn | POST /v1/range | GET /healthz | GET /metrics | POST /admin/drain"
+    );
+
+    if options.flag("drain-stdin") {
+        // Opt-in: treat stdin EOF as a drain request, so a supervising
+        // process (or Ctrl-D) can stop the server without signals.
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            handle.drain();
+        });
+    }
+
+    server.join().map_err(|e| e.to_string())?;
+    println!("drained; all workers stopped");
+    Ok(())
+}
+
+fn loadgen(options: &Options) -> Result<(), String> {
+    let smoke = options.flag("smoke");
+    let spec = query_spec(options)?;
+    let config = LoadgenConfig {
+        addr: options.required("addr")?.to_owned(),
+        threads: options.numeric("threads", if smoke { 2 } else { 4usize })?,
+        requests: options.numeric("requests", if smoke { 16 } else { 256usize })?,
+        spec,
+        seed: options.numeric("seed", 0x5EEDu64)?,
+        ..LoadgenConfig::default()
+    };
+    let report: LoadgenReport = flexemd::serve::loadgen::run(&config).map_err(|e| e.to_string())?;
+    let rendered = report.to_json_string();
+    match options.values.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+            println!("wrote loadgen report to {path}");
+        }
+        None => println!("{rendered}"),
     }
     Ok(())
 }

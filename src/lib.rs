@@ -19,6 +19,8 @@
 //! * [`store`] — checksummed on-disk index segments (`flexemd-store/v1`)
 //! * [`obs`] — metrics registry and span tracing for the whole stack
 //! * [`faultkit`] — deterministic fault injection for resilience testing
+//! * [`serve`] — long-running query server with admission control, plus
+//!   its closed-loop load generator
 //!
 //! # Example
 //!
@@ -80,5 +82,6 @@ pub use emd_faultkit as faultkit;
 pub use emd_obs as obs;
 pub use emd_query as query;
 pub use emd_reduction as reduction;
+pub use emd_serve as serve;
 pub use emd_store as store;
 pub use emd_transport as transport;

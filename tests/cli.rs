@@ -468,4 +468,232 @@ fn rejects_bad_input() {
 
     let no_command = flexemd().output().unwrap();
     assert!(!no_command.status.success());
+
+    // The shared QuerySpec vocabulary rejects contradictory shapes the
+    // same way on every verb.
+    let both = flexemd()
+        .args([
+            "query",
+            "--index",
+            "/nonexistent",
+            "--k",
+            "3",
+            "--range",
+            "1.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!both.status.success());
+    let stderr = String::from_utf8_lossy(&both.stderr).to_string();
+    assert!(stderr.contains("not both"), "{stderr}");
+}
+
+#[test]
+fn range_query_prints_range_heading() {
+    let (dir, data, reduction) = corpus_and_reduction("range-query");
+    let out = flexemd()
+        .arg("query")
+        .arg("--data")
+        .arg(&data)
+        .arg("--reduction")
+        .arg(&reduction)
+        .args(["--range", "2.5", "--query", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "range query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("range(epsilon = 2.5) of object 1"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Boot `flexemd serve` on an ephemeral port (with `--drain-stdin`, so
+/// dropping the stdin pipe drains it), returning the child process and
+/// the bound address parsed from its banner line.
+fn spawn_server(
+    index: &std::path::Path,
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead;
+    let mut child = flexemd()
+        .arg("serve")
+        .arg("--index")
+        .arg(index)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2", "--drain-stdin"])
+        .args(extra)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve boots");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("banner has no address: {banner}"))
+        .trim()
+        .to_owned();
+    // The reader must stay alive until the child exits: dropping it
+    // closes the pipe and the server's drain message would hit EPIPE.
+    (child, addr, reader)
+}
+
+/// One HTTP request against a spawned server, via the loadgen client.
+fn call(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    use std::net::ToSocketAddrs;
+    let addr = addr.to_socket_addrs().unwrap().next().unwrap();
+    flexemd::serve::loadgen::http_call(addr, method, path, body, std::time::Duration::from_secs(10))
+        .expect("request completes")
+}
+
+#[test]
+fn serve_answers_http_and_drains_on_stdin_eof() {
+    let (dir, data, _reduction) = corpus_and_reduction("serve-cli");
+    let index = dir.join("index");
+    let build = flexemd()
+        .arg("build-index")
+        .arg("--data")
+        .arg(&data)
+        .args(["--reductions", "kmed:6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        build.status.success(),
+        "build-index failed: {}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    let (mut child, addr, _stdout) = spawn_server(&index, &[]);
+
+    let (status, body) = call(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"objects\":30"), "{body}");
+
+    // A served kNN answer matches the direct `query --index` output:
+    // same neighbor ids in the same order.
+    let (status, body) = call(
+        &addr,
+        "POST",
+        "/v1/knn",
+        Some("{\"query_id\": 4, \"k\": 3}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let direct = flexemd()
+        .arg("query")
+        .arg("--index")
+        .arg(&index)
+        .args(["--k", "3", "--query", "4"])
+        .output()
+        .unwrap();
+    assert!(direct.status.success());
+    let direct_ids: Vec<String> = String::from_utf8_lossy(&direct.stdout)
+        .lines()
+        .filter_map(|line| {
+            let id = line.trim_start().strip_prefix('#')?;
+            Some(id.split_whitespace().next().unwrap_or("").to_owned())
+        })
+        .collect();
+    let served_ids: Vec<String> = body
+        .split("\"id\":")
+        .skip(1)
+        .map(|chunk| {
+            chunk
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .collect();
+    assert_eq!(served_ids, direct_ids, "served: {body}");
+
+    // Degraded request over HTTP: 200 with the deadline reason.
+    let (status, body) = call(
+        &addr,
+        "POST",
+        "/v1/knn",
+        Some("{\"query_id\": 0, \"k\": 3, \"deadline_ms\": 0}"),
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"degraded\":true"), "{body}");
+    assert!(body.contains("\"reason\":\"deadline\""), "{body}");
+
+    let (status, body) = call(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.requests"), "{body}");
+
+    // Closing stdin drains the server; the process exits 0.
+    drop(child.stdin.take());
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve did not drain cleanly");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_smoke_reports_and_zero_capacity_sheds() {
+    let (dir, data, _reduction) = corpus_and_reduction("loadgen-cli");
+    let index = dir.join("index");
+    let build = flexemd()
+        .arg("build-index")
+        .arg("--data")
+        .arg(&data)
+        .args(["--reductions", "kmed:6", "--out"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(build.status.success());
+
+    // Normal capacity: a smoke run answers everything.
+    let (mut child, addr, _stdout) = spawn_server(&index, &[]);
+    let report_path = dir.join("report.json");
+    let loadgen = flexemd()
+        .args(["loadgen", "--addr", &addr, "--smoke", "--k", "3", "--out"])
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    assert!(
+        report.contains("\"schema\":\"flexemd-bench/v1\""),
+        "{report}"
+    );
+    assert!(report.contains("\"ok\":16"), "{report}");
+    assert!(report.contains("\"shed\":0"), "{report}");
+    drop(child.stdin.take());
+    assert!(child.wait().unwrap().success());
+
+    // Zero capacity: every request sheds with 429, and the loadgen
+    // report says so instead of erroring.
+    let (mut child, addr, _stdout) = spawn_server(&index, &["--max-inflight", "0"]);
+    let loadgen = flexemd()
+        .args(["loadgen", "--addr", &addr, "--smoke", "--k", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    let report = String::from_utf8_lossy(&loadgen.stdout).to_string();
+    assert!(report.contains("\"shed\":16"), "{report}");
+    assert!(report.contains("\"ok\":0"), "{report}");
+    drop(child.stdin.take());
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
 }
