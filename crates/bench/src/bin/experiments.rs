@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [IDS...] [--full] [--smoke] [--json PATH] [--metrics json|PATH]
 //!
-//!   IDS       experiment ids (e1..e18, a1..a4); default: all
+//!   IDS       experiment ids (e1..e19, a1..a4); default: all
 //!   --full    paper-scale corpora (much slower than the default quick run)
 //!   --smoke   CI mode: tiny corpus, runs the batch-executor parity check
 //!             (E12) and exits non-zero if threaded != sequential

@@ -1754,6 +1754,7 @@ pub fn e18(scale: &Scale, quick: bool) -> Table {
         database: bench.database.clone(),
         name: bench.name.clone(),
         faults: None,
+        ingest: None,
     };
     let config = ServeConfig {
         workers: 4,
@@ -1847,6 +1848,289 @@ pub fn e18(scale: &Scale, quick: bool) -> Table {
     table
 }
 
+/// One measured point of the E19 streaming-ingest / crash-recovery
+/// report (`BENCH_PR10.json`).
+struct IngestRow {
+    /// Measurement family: `"ingest"`, `"recovery"` or `"query"`.
+    phase: String,
+    /// Point within the family (e.g. `"sync-each"`, `"replay-128"`).
+    mode: String,
+    /// Live objects in the index at measurement time.
+    objects: usize,
+    /// Bytes in the active WAL file at measurement time.
+    wal_bytes: u64,
+    /// Wall-clock for the measured operation, milliseconds.
+    elapsed_ms: f64,
+    /// Mean per-operation cost (insert / replayed record / query),
+    /// microseconds.
+    per_op_us: f64,
+}
+
+serde::impl_serde_struct!(IngestRow {
+    phase,
+    mode,
+    objects,
+    wal_bytes,
+    elapsed_ms,
+    per_op_us,
+});
+
+/// The schema-versioned payload E19 writes to the repository root.
+struct IngestReport {
+    /// Schema tag, always `"flexemd-bench/v1"`.
+    schema: String,
+    /// Producing experiment id (`"E19"`).
+    experiment: String,
+    /// Human-readable summary of the methodology.
+    description: String,
+    /// One entry per measurement point.
+    rows: Vec<IngestRow>,
+}
+
+serde::impl_serde_struct!(IngestReport {
+    schema,
+    experiment,
+    description,
+    rows,
+});
+
+/// A scratch directory for one E19 durable index, cleared on entry.
+fn e19_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexemd-bench-e19-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bytes in the active `wal-<epoch>.log` of a durable directory.
+fn wal_bytes(dir: &std::path::Path, epoch: u64) -> u64 {
+    std::fs::metadata(dir.join(format!("wal-{epoch}.log"))).map_or(0, |meta| meta.len())
+}
+
+/// Streaming ingest and crash recovery: the durability cost of the WAL
+/// (fsync-per-record vs batched group commit), recovery time as a
+/// function of replayed WAL length (and the compaction fast path that
+/// collapses it), and query latency on copy-on-write snapshots that stay
+/// bit-stable while ingest and compaction run underneath them.
+pub fn e19(scale: &Scale, quick: bool) -> Table {
+    let mut table = Table::new(
+        "E19",
+        "Streaming ingest: WAL durability cost, recovery replay, snapshot isolation",
+        &["phase", "mode", "objects", "wal bytes", "ms", "us/op"],
+    );
+    let bench = gaussian_bench(scale);
+    let histograms = bench.database.histograms();
+    let n = histograms.len().min(if quick { 96 } else { 256 });
+    let flows = flow_sample(&bench, scale.sample, SEED ^ 0xf10);
+    let reduction = build_reduction(Strategy::KMed, &bench, &flows, 8, SEED ^ 0xbead);
+    let reduced = |r: &CombiningReduction| {
+        checked(
+            ReducedEmd::new(&bench.cost, r.clone()),
+            "validated reduction",
+        )
+    };
+    table.note(format!(
+        "corpus {} (d={}), first {n} objects ingested per run, KMed reduction (d'=8)",
+        bench.name,
+        bench.dim(),
+    ));
+    let mut rows: Vec<IngestRow> = Vec::new();
+
+    // Phase 1 — ingest throughput: one fsync per acknowledged record vs
+    // group commit (append everything, sync once).
+    for (mode, sync_each) in [("sync-each", true), ("batched", false)] {
+        let dir = e19_dir(mode);
+        let mut index = checked(
+            emd_query::DurableIndex::create(&dir, bench.cost.clone(), reduced(&reduction)),
+            "create durable index",
+        );
+        let started = Instant::now();
+        for histogram in histograms.iter().take(n) {
+            if sync_each {
+                checked(index.insert(histogram.clone()), "durable insert");
+            } else {
+                checked(index.append_insert(histogram.clone()), "append insert");
+            }
+        }
+        checked(index.sync(), "final sync");
+        let elapsed = started.elapsed();
+        rows.push(IngestRow {
+            phase: "ingest".to_owned(),
+            mode: mode.to_owned(),
+            objects: index.len(),
+            wal_bytes: wal_bytes(&dir, index.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / n.max(1) as f64,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Phase 2 — recovery: reopen cost scales with the replayed WAL
+    // length; compaction folds the tail into a sealed segment and leaves
+    // a single compact-epoch record to replay.
+    let recovery_lengths = [n.div_ceil(4).max(1), n.div_ceil(2).max(1), n.max(1)];
+    for replayed in recovery_lengths {
+        let dir = e19_dir(&format!("recover-{replayed}"));
+        {
+            let mut index = checked(
+                emd_query::DurableIndex::create(&dir, bench.cost.clone(), reduced(&reduction)),
+                "create durable index",
+            );
+            for histogram in histograms.iter().take(replayed) {
+                checked(index.append_insert(histogram.clone()), "append insert");
+            }
+            checked(index.sync(), "final sync");
+        }
+        let started = Instant::now();
+        let (reopened, report) = checked(emd_query::DurableIndex::open(&dir), "reopen");
+        let elapsed = started.elapsed();
+        rows.push(IngestRow {
+            phase: "recovery".to_owned(),
+            mode: format!("replay-{}", report.replayed_records),
+            objects: reopened.len(),
+            wal_bytes: wal_bytes(&dir, reopened.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / report.replayed_records.max(1) as f64,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let dir = e19_dir("recover-compacted");
+        {
+            let mut index = checked(
+                emd_query::DurableIndex::create(&dir, bench.cost.clone(), reduced(&reduction)),
+                "create durable index",
+            );
+            for histogram in histograms.iter().take(n) {
+                checked(index.append_insert(histogram.clone()), "append insert");
+            }
+            checked(index.sync(), "final sync");
+            checked(index.compact(), "compact");
+        }
+        let started = Instant::now();
+        let (reopened, report) = checked(emd_query::DurableIndex::open(&dir), "reopen");
+        let elapsed = started.elapsed();
+        rows.push(IngestRow {
+            phase: "recovery".to_owned(),
+            mode: "after-compact".to_owned(),
+            objects: reopened.len(),
+            wal_bytes: wal_bytes(&dir, reopened.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / report.replayed_records.max(1) as f64,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Phase 3 — snapshot isolation: query a frozen pre-ingest snapshot,
+    // ingest and compact underneath it, query it again (must be
+    // bit-identical), then query a fresh post-compaction snapshot.
+    {
+        let dir = e19_dir("query");
+        let mut index = checked(
+            emd_query::DurableIndex::create(&dir, bench.cost.clone(), reduced(&reduction)),
+            "create durable index",
+        );
+        for histogram in histograms.iter().take(n) {
+            checked(index.append_insert(histogram.clone()), "append insert");
+        }
+        checked(index.sync(), "final sync");
+        let queries: Vec<_> = bench.queries.iter().take(8).collect();
+        let k = K_DEFAULT.min(n);
+        let run_queries = |snapshot: &emd_query::DurableSnapshot| {
+            let started = Instant::now();
+            let fingerprints: Vec<Vec<(u64, u64)>> = queries
+                .iter()
+                .map(|query| {
+                    checked(snapshot.knn(query, k), "snapshot knn")
+                        .0
+                        .iter()
+                        .map(|&(id, distance)| (id, distance.to_bits()))
+                        .collect()
+                })
+                .collect();
+            (started.elapsed(), fingerprints)
+        };
+        let frozen = checked(index.snapshot(), "pre-ingest snapshot");
+        let (elapsed, baseline) = run_queries(&frozen);
+        rows.push(IngestRow {
+            phase: "query".to_owned(),
+            mode: "frozen-snapshot".to_owned(),
+            objects: frozen.len(),
+            wal_bytes: wal_bytes(&dir, index.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / queries.len().max(1) as f64,
+        });
+        for histogram in histograms.iter().take(n.min(16)) {
+            checked(index.append_insert(histogram.clone()), "append insert");
+        }
+        checked(index.sync(), "final sync");
+        checked(index.compact(), "compact");
+        let (elapsed, after) = run_queries(&frozen);
+        let stable = baseline == after;
+        rows.push(IngestRow {
+            phase: "query".to_owned(),
+            mode: "frozen-after-compact".to_owned(),
+            objects: frozen.len(),
+            wal_bytes: wal_bytes(&dir, index.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / queries.len().max(1) as f64,
+        });
+        let fresh = checked(index.snapshot(), "post-compaction snapshot");
+        let (elapsed, _) = run_queries(&fresh);
+        rows.push(IngestRow {
+            phase: "query".to_owned(),
+            mode: "fresh-snapshot".to_owned(),
+            objects: fresh.len(),
+            wal_bytes: wal_bytes(&dir, index.epoch()),
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            per_op_us: elapsed.as_secs_f64() * 1e6 / queries.len().max(1) as f64,
+        });
+        table.note(format!(
+            "frozen snapshot bit-stable across {} concurrent inserts + compaction: {stable}",
+            n.min(16),
+        ));
+        assert!(stable, "pre-ingest snapshot moved under ingest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    for row in &rows {
+        table.row(vec![
+            row.phase.clone(),
+            row.mode.clone(),
+            row.objects.to_string(),
+            row.wal_bytes.to_string(),
+            fnum(row.elapsed_ms),
+            fnum(row.per_op_us),
+        ]);
+    }
+    table.note(
+        "ingest: sync-each pays one fsync per acknowledged record, batched appends \
+         everything and syncs once (group commit); recovery: reopen replays the WAL over \
+         the sealed segment, so compaction collapses replay to the single compact-epoch \
+         record; query: copy-on-write snapshots answer bit-identically while ingest and \
+         compaction run underneath",
+    );
+    let report = IngestReport {
+        schema: "flexemd-bench/v1".to_owned(),
+        experiment: "E19".to_owned(),
+        description: "Streaming ingest into the WAL-backed durable index over the 32-d \
+                      Gaussian corpus (KMed reduction, d' = 8): per-record fsync vs batched \
+                      group commit throughput, cold-open recovery time vs replayed WAL \
+                      length (including the post-compaction fast path), and exact k-NN \
+                      latency on copy-on-write snapshots frozen before concurrent inserts \
+                      and compaction — the frozen snapshot must answer bit-identically \
+                      before and after."
+            .to_owned(),
+        rows,
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR10.json");
+    match serde_json::to_vec_pretty(&report).map(|bytes| std::fs::write(&path, bytes)) {
+        Ok(Ok(())) => table.note(format!("wrote {}", path.display())),
+        Ok(Err(error)) => table.note(format!("could not write BENCH_PR10.json: {error}")),
+        Err(error) => table.note(format!("could not serialize BENCH_PR10.json: {error}")),
+    }
+    table
+}
+
 /// All experiments in order.
 pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
     vec![
@@ -1868,6 +2152,7 @@ pub fn all(scale: &Scale, quick: bool) -> Vec<Table> {
         e16(scale, quick),
         e17(scale, quick),
         e18(scale, quick),
+        e19(scale, quick),
         a1(scale, quick),
         a2(scale, quick),
         a3(scale, quick),
@@ -1896,6 +2181,7 @@ pub fn by_id(id: &str, scale: &Scale, quick: bool) -> Option<Table> {
         "e16" => Some(e16(scale, quick)),
         "e17" => Some(e17(scale, quick)),
         "e18" => Some(e18(scale, quick)),
+        "e19" => Some(e19(scale, quick)),
         "a1" => Some(a1(scale, quick)),
         "a2" => Some(a2(scale, quick)),
         "a3" => Some(a3(scale, quick)),

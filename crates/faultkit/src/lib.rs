@@ -41,6 +41,15 @@ pub enum Site {
     Solve,
     /// A batch-executor worker, identified by its chunk index.
     Worker(usize),
+    /// A WAL record append (the write of one framed record). Occurrences
+    /// are counted in append order.
+    WalAppend,
+    /// A WAL sync point (the fsync that makes appended records durable).
+    /// Occurrences are counted in sync order.
+    WalSync,
+    /// A compaction run (folding the WAL tail into a sealed segment).
+    /// Occurrences are counted per compaction attempt.
+    Compact,
 }
 
 /// The fault an injector asks a site to simulate.
@@ -128,8 +137,14 @@ pub struct FailPlan {
     fail_read: Option<u64>,
     exhaust_solve: Option<u64>,
     panic_worker: Option<usize>,
+    fail_wal_append: Option<u64>,
+    fail_wal_sync: Option<u64>,
+    fail_compact: Option<u64>,
     reads: AtomicU64,
     solves: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_syncs: AtomicU64,
+    compacts: AtomicU64,
 }
 
 impl FailPlan {
@@ -161,12 +176,37 @@ impl FailPlan {
         self
     }
 
+    /// Fail the `k`-th WAL record append (1-based) with [`Fault::Io`].
+    #[must_use]
+    pub fn fail_wal_append(mut self, k: u64) -> Self {
+        self.fail_wal_append = Some(k);
+        self
+    }
+
+    /// Fail the `k`-th WAL sync point (1-based) with [`Fault::Io`].
+    #[must_use]
+    pub fn fail_wal_sync(mut self, k: u64) -> Self {
+        self.fail_wal_sync = Some(k);
+        self
+    }
+
+    /// Fail the `k`-th compaction run (1-based) with [`Fault::Io`].
+    #[must_use]
+    pub fn fail_compact(mut self, k: u64) -> Self {
+        self.fail_compact = Some(k);
+        self
+    }
+
     /// Derives a plan from a seed, for property-test sweeps.
     ///
-    /// The seed is expanded with a splitmix64 chain into three independent
+    /// The seed is expanded with a splitmix64 chain into six independent
     /// draws: which read to fail (1..=8), which solve to exhaust (1..=8),
-    /// and which worker to panic (0..=3). Each failpoint is armed with
-    /// probability 1/2, so seeds cover every subset of the three faults.
+    /// which worker to panic (0..=3), which WAL append to fail (1..=8),
+    /// which WAL sync to fail (1..=8), and which compaction to fail
+    /// (1..=4). Each failpoint is armed with probability 1/2, so seeds
+    /// cover every subset of the six faults. The first three draws use
+    /// exactly the sequence earlier releases used, so a seed arms the
+    /// same read/solve/panic schedule it always did.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
         let mut state = seed;
@@ -181,6 +221,9 @@ impl FailPlan {
         let (arm_read, read_k) = (draw() % 2 == 0, draw() % 8 + 1);
         let (arm_solve, solve_j) = (draw() % 2 == 0, draw() % 8 + 1);
         let (arm_panic, worker_w) = (draw() % 2 == 0, draw() % 4);
+        let (arm_append, append_k) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_sync, sync_k) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_compact, compact_k) = (draw() % 2 == 0, draw() % 4 + 1);
         if arm_read {
             plan = plan.fail_read(read_k);
         }
@@ -190,13 +233,27 @@ impl FailPlan {
         if arm_panic {
             plan = plan.panic_worker(usize::try_from(worker_w).unwrap_or(0));
         }
+        if arm_append {
+            plan = plan.fail_wal_append(append_k);
+        }
+        if arm_sync {
+            plan = plan.fail_wal_sync(sync_k);
+        }
+        if arm_compact {
+            plan = plan.fail_compact(compact_k);
+        }
         plan
     }
 
     /// True if the plan has no armed failpoints.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.fail_read.is_none() && self.exhaust_solve.is_none() && self.panic_worker.is_none()
+        self.fail_read.is_none()
+            && self.exhaust_solve.is_none()
+            && self.panic_worker.is_none()
+            && self.fail_wal_append.is_none()
+            && self.fail_wal_sync.is_none()
+            && self.fail_compact.is_none()
     }
 
     /// Number of store reads observed so far.
@@ -209,6 +266,24 @@ impl FailPlan {
     #[must_use]
     pub fn solves_seen(&self) -> u64 {
         self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Number of WAL record appends observed so far.
+    #[must_use]
+    pub fn wal_appends_seen(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Number of WAL sync points observed so far.
+    #[must_use]
+    pub fn wal_syncs_seen(&self) -> u64 {
+        self.wal_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Number of compaction runs observed so far.
+    #[must_use]
+    pub fn compacts_seen(&self) -> u64 {
+        self.compacts.load(Ordering::Relaxed)
     }
 }
 
@@ -224,6 +299,18 @@ impl FaultInjector for FailPlan {
                 (self.exhaust_solve == Some(seen)).then_some(Fault::BudgetExhausted)
             }
             Site::Worker(w) => (self.panic_worker == Some(w)).then_some(Fault::Panic),
+            Site::WalAppend => {
+                let seen = self.wal_appends.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.fail_wal_append == Some(seen)).then_some(Fault::Io)
+            }
+            Site::WalSync => {
+                let seen = self.wal_syncs.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.fail_wal_sync == Some(seen)).then_some(Fault::Io)
+            }
+            Site::Compact => {
+                let seen = self.compacts.fetch_add(1, Ordering::Relaxed) + 1;
+                (self.fail_compact == Some(seen)).then_some(Fault::Io)
+            }
         }
     }
 }
@@ -234,7 +321,14 @@ mod tests {
 
     #[test]
     fn no_faults_never_fires() {
-        for site in [Site::StoreRead, Site::Solve, Site::Worker(0)] {
+        for site in [
+            Site::StoreRead,
+            Site::Solve,
+            Site::Worker(0),
+            Site::WalAppend,
+            Site::WalSync,
+            Site::Compact,
+        ] {
             assert_eq!(NoFaults.check(site), None);
         }
     }
@@ -275,6 +369,86 @@ mod tests {
     }
 
     #[test]
+    fn fail_wal_append_hits_exactly_the_kth_append() {
+        let plan = FailPlan::new().fail_wal_append(2);
+        assert_eq!(plan.check(Site::WalAppend), None);
+        assert_eq!(plan.check(Site::WalAppend), Some(Fault::Io));
+        assert_eq!(plan.check(Site::WalAppend), None);
+        assert_eq!(plan.wal_appends_seen(), 3);
+    }
+
+    #[test]
+    fn fail_wal_sync_hits_exactly_the_kth_sync() {
+        let plan = FailPlan::new().fail_wal_sync(3);
+        assert_eq!(plan.check(Site::WalSync), None);
+        assert_eq!(plan.check(Site::WalSync), None);
+        assert_eq!(plan.check(Site::WalSync), Some(Fault::Io));
+        assert_eq!(plan.check(Site::WalSync), None);
+        assert_eq!(plan.wal_syncs_seen(), 4);
+    }
+
+    #[test]
+    fn fail_compact_hits_exactly_the_kth_run() {
+        let plan = FailPlan::new().fail_compact(1);
+        assert_eq!(plan.check(Site::Compact), Some(Fault::Io));
+        assert_eq!(plan.check(Site::Compact), None);
+        assert_eq!(plan.compacts_seen(), 2);
+    }
+
+    #[test]
+    fn wal_sites_are_counted_independently_of_legacy_sites() {
+        let plan = FailPlan::new()
+            .fail_read(1)
+            .fail_wal_append(1)
+            .fail_wal_sync(1)
+            .fail_compact(1);
+        // WAL-site traffic must not advance the read counter and vice
+        // versa: each first occurrence still fires.
+        assert_eq!(plan.check(Site::WalAppend), Some(Fault::Io));
+        assert_eq!(plan.check(Site::WalSync), Some(Fault::Io));
+        assert_eq!(plan.check(Site::Compact), Some(Fault::Io));
+        assert_eq!(plan.check(Site::StoreRead), Some(Fault::Io));
+        assert_eq!(plan.reads_seen(), 1);
+        assert_eq!(plan.wal_appends_seen(), 1);
+    }
+
+    #[test]
+    fn from_seed_preserves_legacy_draw_sequence() {
+        // The first three (arm, value) pairs come from the same splitmix64
+        // positions as before the WAL sites existed, so any recorded seed
+        // still arms the identical read/solve/panic schedule.
+        let mut state = 7u64;
+        let mut draw = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let (arm_read, read_k) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_solve, solve_j) = (draw() % 2 == 0, draw() % 8 + 1);
+        let (arm_panic, worker_w) = (draw() % 2 == 0, draw() % 4);
+        let plan = FailPlan::from_seed(7);
+        assert_eq!(plan.fail_read, arm_read.then_some(read_k));
+        assert_eq!(plan.exhaust_solve, arm_solve.then_some(solve_j));
+        assert_eq!(
+            plan.panic_worker,
+            arm_panic.then_some(usize::try_from(worker_w).unwrap_or(0))
+        );
+    }
+
+    #[test]
+    fn from_seed_covers_wal_failpoints() {
+        let plans: Vec<FailPlan> = (0..256u64).map(FailPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| p.fail_wal_append.is_some()));
+        assert!(plans.iter().any(|p| p.fail_wal_sync.is_some()));
+        assert!(plans.iter().any(|p| p.fail_compact.is_some()));
+        assert!(plans
+            .iter()
+            .any(|p| p.fail_wal_append.is_none() && p.fail_wal_sync.is_none()));
+    }
+
+    #[test]
     fn from_seed_is_deterministic() {
         for seed in 0..64u64 {
             let a = FailPlan::from_seed(seed);
@@ -282,6 +456,9 @@ mod tests {
             assert_eq!(a.fail_read, b.fail_read);
             assert_eq!(a.exhaust_solve, b.exhaust_solve);
             assert_eq!(a.panic_worker, b.panic_worker);
+            assert_eq!(a.fail_wal_append, b.fail_wal_append);
+            assert_eq!(a.fail_wal_sync, b.fail_wal_sync);
+            assert_eq!(a.fail_compact, b.fail_compact);
         }
     }
 

@@ -82,6 +82,11 @@ impl DynamicIndex {
         })
     }
 
+    /// The ground-distance matrix this index was built over.
+    pub fn cost(&self) -> &Arc<CostMatrix> {
+        &self.cost
+    }
+
     /// Number of live (not deleted) objects.
     pub fn len(&self) -> usize {
         self.live
@@ -268,6 +273,13 @@ impl DynamicSnapshot {
     /// [`knn`](Self::knn)/[`range`](Self::range) for stable ids).
     pub fn executor(&self) -> &Executor {
         &self.executor
+    }
+
+    /// The stable (index) id stored at dense (engine) position `dense`
+    /// — the inverse view callers need when they run the raw
+    /// [`executor`](Self::executor) and must map its ids back.
+    pub fn stable_id(&self, dense: usize) -> Option<usize> {
+        self.ids.get(dense).copied()
     }
 
     /// Exact k-NN with stable ids.

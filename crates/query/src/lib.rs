@@ -55,6 +55,7 @@
 //! `tests/metrics_observability.rs`).
 
 pub mod cluster;
+pub mod durable;
 pub mod dynamic;
 pub mod engine;
 mod error;
@@ -68,6 +69,7 @@ mod stats;
 pub mod vptree;
 
 pub use cluster::ClusteredIndex;
+pub use durable::{CompactReport, DurableError, DurableIndex, DurableSnapshot, OpenReport};
 pub use dynamic::DynamicIndex;
 pub use engine::{
     CandidateSource, CandidateStream, Database, Executor, FilterScanSource, OpenedIndex, Query,

@@ -28,12 +28,14 @@
 
 pub mod error;
 pub mod http;
+pub mod ingest;
 pub mod loadgen;
 pub mod server;
 pub mod spec;
 
 pub use error::ServeError;
 pub use http::{Limits, Method, Request, Response};
+pub use ingest::IngestState;
 pub use loadgen::{LoadgenConfig, LoadgenReport, REPORT_SCHEMA};
 pub use server::{RunningServer, ServeConfig, Server, ShutdownHandle, Snapshot, RESPONSE_SCHEMA};
 pub use spec::{QuerySpec, DEFAULT_K};

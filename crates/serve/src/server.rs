@@ -102,6 +102,15 @@ pub struct Snapshot {
     /// faults additionally require building the executor with
     /// [`Executor::with_faults`].
     pub faults: Option<Arc<dyn emd_faultkit::FaultInjector>>,
+    /// A WAL-backed dynamic corpus. When present the server answers
+    /// queries from the ingest layer's current [`DurableSnapshot`]
+    /// (swapped after every durable write) instead of the static
+    /// `executor`/`database` pair, and enables `POST /v1/insert`,
+    /// `POST /v1/remove` and `POST /admin/compact`. `None` keeps the
+    /// classic read-only server.
+    ///
+    /// [`DurableSnapshot`]: emd_query::DurableSnapshot
+    pub ingest: Option<Arc<crate::ingest::IngestState>>,
 }
 
 /// Remotely triggerable drain switch; clones share the flag.
@@ -389,9 +398,12 @@ fn route_label(request: &Request) -> &'static str {
     match request.target.as_str() {
         "/v1/knn" => "knn",
         "/v1/range" => "range",
+        "/v1/insert" => "insert",
+        "/v1/remove" => "remove",
         "/healthz" => "healthz",
         "/metrics" => "metrics",
         "/admin/drain" => "drain",
+        "/admin/compact" => "compact",
         _ => "other",
     }
 }
@@ -413,7 +425,14 @@ fn handle_request(shared: &Shared, request_id: usize, request: &Request) -> Resp
         (Method::Post, "/v1/range") => {
             query_response(shared, request_id, request, RouteKind::Range)
         }
-        (_, "/healthz" | "/metrics" | "/admin/drain" | "/v1/knn" | "/v1/range") => Response::json(
+        (Method::Post, "/v1/insert") => insert_response(shared, request),
+        (Method::Post, "/v1/remove") => remove_response(shared, request),
+        (Method::Post, "/admin/compact") => compact_response(shared),
+        (
+            _,
+            "/healthz" | "/metrics" | "/admin/drain" | "/admin/compact" | "/v1/knn" | "/v1/range"
+            | "/v1/insert" | "/v1/remove",
+        ) => Response::json(
             405,
             "Method Not Allowed",
             error_body("wrong method for route"),
@@ -429,14 +448,17 @@ enum RouteKind {
 }
 
 fn health_response(shared: &Shared) -> Response {
+    let (objects, writable) = match &shared.snapshot.ingest {
+        Some(ingest) => (ingest.len(), true),
+        None => (shared.snapshot.database.len(), false),
+    };
     let mut body = String::new();
     body.push_str("{\"schema\":");
     json::write_escaped(&mut body, RESPONSE_SCHEMA);
     body.push_str(",\"status\":\"ok\",\"index\":");
     json::write_escaped(&mut body, &shared.snapshot.name);
     body.push_str(&format!(
-        ",\"objects\":{},\"workers\":{},\"draining\":{}}}",
-        shared.snapshot.database.len(),
+        ",\"objects\":{objects},\"writable\":{writable},\"workers\":{},\"draining\":{}}}",
         shared.worker_metrics.len(),
         shared.handle.is_draining()
     ));
@@ -495,6 +517,9 @@ fn run_query(
         }
         _ => {}
     }
+    if let Some(ingest) = &shared.snapshot.ingest {
+        return run_dynamic_query(shared, ingest, request_id, &spec, object);
+    }
     let histogram = query_histogram(shared, object)?;
     let query = spec.query_for(histogram);
     let mut budget = spec.budget();
@@ -506,6 +531,227 @@ fn run_query(
         .executor
         .run_budgeted_isolated(&query, &budget, request_id)?;
     Ok(Response::json(200, "OK", outcome_body(&outcome, &stats)))
+}
+
+/// Execute one query against the dynamic corpus: clone the current
+/// reader snapshot (never blocking the writer), run through its
+/// executor, and translate dense engine ids to client-visible external
+/// ids in the response.
+fn run_dynamic_query(
+    shared: &Shared,
+    ingest: &crate::ingest::IngestState,
+    request_id: usize,
+    spec: &QuerySpec,
+    object: &std::collections::BTreeMap<String, Value>,
+) -> Result<Response, ServeError> {
+    let histogram = dynamic_query_histogram(ingest, object)?;
+    let Some(snapshot) = ingest.snapshot() else {
+        return Ok(Response::json(
+            409,
+            "Conflict",
+            error_body("corpus is empty; insert objects before querying"),
+        ));
+    };
+    let query = spec.query_for(histogram);
+    let mut budget = spec.budget();
+    if let Some(faults) = &shared.snapshot.faults {
+        budget = budget.with_faults(Arc::clone(faults));
+    }
+    let (outcome, stats) = snapshot
+        .executor()
+        .run_budgeted_isolated(&query, &budget, request_id)?;
+    let outcome = externalize_outcome(outcome, &snapshot)?;
+    Ok(Response::json(200, "OK", outcome_body(&outcome, &stats)))
+}
+
+/// Rewrite a [`QueryOutcome`]'s dense engine ids as external ids.
+fn externalize_outcome(
+    outcome: QueryOutcome,
+    snapshot: &emd_query::DurableSnapshot,
+) -> Result<QueryOutcome, ServeError> {
+    let external = |dense: usize| -> Result<usize, ServeError> {
+        let id = snapshot
+            .external_id(dense)
+            .ok_or(ServeError::Query(QueryError::UnknownObject(dense)))?;
+        Ok(usize::try_from(id).unwrap_or(usize::MAX))
+    };
+    Ok(match outcome {
+        QueryOutcome::Exact(neighbors) => QueryOutcome::Exact(
+            neighbors
+                .into_iter()
+                .map(|n| {
+                    Ok(Neighbor {
+                        id: external(n.id)?,
+                        distance: n.distance,
+                    })
+                })
+                .collect::<Result<_, ServeError>>()?,
+        ),
+        QueryOutcome::Degraded(mut result) => {
+            for candidate in &mut result.candidates {
+                candidate.id = external(candidate.id)?;
+            }
+            QueryOutcome::Degraded(result)
+        }
+    })
+}
+
+/// Resolve the query histogram against the dynamic corpus: `query_id`
+/// is an external id, `weights` an explicit histogram.
+fn dynamic_query_histogram(
+    ingest: &crate::ingest::IngestState,
+    object: &std::collections::BTreeMap<String, Value>,
+) -> Result<Histogram, ServeError> {
+    match (object.get("query_id"), object.get("weights")) {
+        (Some(_), Some(_)) => Err(ServeError::BadRequest(
+            "specify `query_id` or `weights`, not both".to_owned(),
+        )),
+        (Some(Value::Number(n)), None) => {
+            if n.fract() != 0.0 || *n < 0.0 {
+                return Err(ServeError::BadRequest(
+                    "`query_id` must be a non-negative integer".to_owned(),
+                ));
+            }
+            let id = *n as u64;
+            ingest.get(id).ok_or_else(|| {
+                ServeError::BadRequest(format!("`query_id` {id} names no live object"))
+            })
+        }
+        (Some(_), None) => Err(ServeError::BadRequest(
+            "`query_id` must be a non-negative integer".to_owned(),
+        )),
+        (None, Some(value)) => parse_weights(value),
+        (None, None) => Err(ServeError::BadRequest(
+            "specify `query_id` or `weights`".to_owned(),
+        )),
+    }
+}
+
+/// Decode a `weights` JSON array into a validated [`Histogram`].
+fn parse_weights(value: &Value) -> Result<Histogram, ServeError> {
+    let Value::Array(items) = value else {
+        return Err(ServeError::BadRequest(
+            "`weights` must be an array of numbers".to_owned(),
+        ));
+    };
+    let mut bins = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Number(weight) = item else {
+            return Err(ServeError::BadRequest(
+                "`weights` must be an array of numbers".to_owned(),
+            ));
+        };
+        bins.push(*weight);
+    }
+    Histogram::new(bins).map_err(|e| ServeError::BadRequest(format!("bad `weights`: {e}")))
+}
+
+/// The 409 returned by write routes on a read-only (static) server.
+fn read_only_response() -> Response {
+    Response::json(
+        409,
+        "Conflict",
+        error_body("server runs a read-only corpus; restart with --wal to enable writes"),
+    )
+}
+
+/// `POST /v1/insert` — durably ingest one histogram. The `200` is sent
+/// only after the WAL record is fsynced and the reader snapshot swapped.
+fn insert_response(shared: &Shared, request: &Request) -> Response {
+    let Some(ingest) = &shared.snapshot.ingest else {
+        return read_only_response();
+    };
+    let result = (|| -> Result<Response, ServeError> {
+        let object = parse_body_object(request)?;
+        let Some(weights) = object.get("weights") else {
+            return Err(ServeError::BadRequest(
+                "insert requires `weights`".to_owned(),
+            ));
+        };
+        let histogram = parse_weights(weights)?;
+        let id = ingest
+            .insert(histogram)
+            .map_err(|e| ServeError::BadRequest(format!("insert failed: {e}")))?;
+        let mut body = String::new();
+        body.push_str("{\"schema\":");
+        json::write_escaped(&mut body, RESPONSE_SCHEMA);
+        body.push_str(&format!(
+            ",\"id\":{id},\"objects\":{},\"durable\":true}}",
+            ingest.len()
+        ));
+        Ok(Response::json(200, "OK", body))
+    })();
+    result.unwrap_or_else(|error| serve_error_response(&error))
+}
+
+/// `POST /v1/remove` — durably remove one object by external id.
+fn remove_response(shared: &Shared, request: &Request) -> Response {
+    let Some(ingest) = &shared.snapshot.ingest else {
+        return read_only_response();
+    };
+    let result = (|| -> Result<Response, ServeError> {
+        let object = parse_body_object(request)?;
+        let Some(Value::Number(n)) = object.get("id") else {
+            return Err(ServeError::BadRequest(
+                "remove requires a numeric `id`".to_owned(),
+            ));
+        };
+        if n.fract() != 0.0 || *n < 0.0 {
+            return Err(ServeError::BadRequest(
+                "`id` must be a non-negative integer".to_owned(),
+            ));
+        }
+        let removed = ingest
+            .remove(*n as u64)
+            .map_err(|e| ServeError::BadRequest(format!("remove failed: {e}")))?;
+        let mut body = String::new();
+        body.push_str("{\"schema\":");
+        json::write_escaped(&mut body, RESPONSE_SCHEMA);
+        body.push_str(&format!(
+            ",\"removed\":{removed},\"objects\":{}}}",
+            ingest.len()
+        ));
+        Ok(Response::json(200, "OK", body))
+    })();
+    result.unwrap_or_else(|error| serve_error_response(&error))
+}
+
+/// `POST /admin/compact` — fold the WAL into a sealed segment while
+/// readers keep answering from their frozen snapshots.
+fn compact_response(shared: &Shared) -> Response {
+    let Some(ingest) = &shared.snapshot.ingest else {
+        return read_only_response();
+    };
+    match ingest.compact() {
+        Ok(report) => {
+            let mut body = String::new();
+            body.push_str("{\"schema\":");
+            json::write_escaped(&mut body, RESPONSE_SCHEMA);
+            body.push_str(&format!(
+                ",\"epoch\":{},\"objects\":{},\"folded_wal_bytes\":{}}}",
+                report.epoch, report.sealed_objects, report.folded_wal_bytes
+            ));
+            Response::json(200, "OK", body)
+        }
+        Err(error) => Response::json(
+            500,
+            "Internal Server Error",
+            error_body(&format!("compaction failed: {error}")),
+        ),
+    }
+}
+
+/// Parse a request body as a JSON object.
+fn parse_body_object(
+    request: &Request,
+) -> Result<std::collections::BTreeMap<String, Value>, ServeError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".to_owned()))?;
+    let value = json::parse(text).map_err(ServeError::BadRequest)?;
+    value
+        .as_object()
+        .cloned()
+        .ok_or_else(|| ServeError::BadRequest("body must be a JSON object".to_owned()))
 }
 
 /// Resolve the query histogram: `"query_id"` (a corpus object) or

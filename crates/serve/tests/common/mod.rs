@@ -61,6 +61,7 @@ pub fn snapshot() -> Snapshot {
         database,
         name: "gaussian-test".to_owned(),
         faults: None,
+        ingest: None,
     }
 }
 

@@ -45,6 +45,7 @@ fn injected_solve_exhaustion_degrades_one_request_then_recovers() {
         database,
         name: "faulty".to_owned(),
         faults: Some(plan),
+        ingest: None,
     };
     let server = common::start(snapshot, 1);
     let addr = server.addr();
@@ -86,6 +87,7 @@ fn injected_worker_panic_is_one_500_and_the_server_survives() {
         executor,
         database,
         name: "panicky".to_owned(),
+        ingest: None,
         faults: None,
     };
     // One worker: requests execute in admission order, so the sequence
@@ -149,6 +151,7 @@ fn seeded_fault_plans_never_wedge_the_server() {
             database,
             name: format!("seeded-{seed}"),
             faults: Some(plan as Arc<dyn FaultInjector>),
+            ingest: None,
         };
         let server = common::start(snapshot, 2);
         let addr = server.addr();

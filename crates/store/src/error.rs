@@ -108,6 +108,13 @@ impl StoreError {
         io::Error::other("injected read fault")
     }
 
+    /// Helper: the [`io::Error`] standing in for a fault injected at a
+    /// WAL append or sync point; same contract as
+    /// [`StoreError::injected_read_fault`].
+    pub(crate) fn injected_wal_fault() -> io::Error {
+        io::Error::other("injected wal fault")
+    }
+
     /// Helper: an invariant violation inside `section` of `path`.
     pub(crate) fn invalid(
         path: impl Into<PathBuf>,

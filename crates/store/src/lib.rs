@@ -45,6 +45,7 @@ pub mod json;
 pub mod manifest;
 pub mod sections;
 pub mod segment;
+pub mod wal;
 
 pub use error::StoreError;
 pub use index::{
@@ -53,3 +54,4 @@ pub use index::{
 pub use manifest::{Manifest, ManifestReduction, MANIFEST_FILE, SCHEMA};
 pub use sections::StoredClustering;
 pub use segment::{SectionKind, SegmentReader, SegmentWriter};
+pub use wal::{TornTail, WalRecord, WalReplay, WalWriter};

@@ -369,6 +369,47 @@ pub fn decode_clustering(
     })
 }
 
+/// Encode a dense `position -> external id` map (sealed WAL segments).
+///
+/// Layout: `count: u64 | count * u64`.
+pub fn encode_id_map(ids: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + ids.len() * 8);
+    let count = u64::try_from(ids.len()).unwrap_or(u64::MAX);
+    out.extend_from_slice(&count.to_le_bytes());
+    for &id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a dense id map, rejecting duplicate external ids — a sealed
+/// segment where two positions claim the same client-visible id could
+/// answer queries with the wrong object.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Invalid`] when the payload is structurally
+/// short, carries trailing bytes, or maps one external id twice.
+pub fn decode_id_map(path: &Path, section: &str, payload: &[u8]) -> Result<Vec<u64>, StoreError> {
+    let mut p = Payload::new(path, section, payload);
+    let count = p.length("id count")?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(p.u64("external id")?);
+    }
+    p.finish()?;
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|pair| pair.first() == pair.last()) {
+        return Err(StoreError::invalid(
+            path,
+            section,
+            "id map assigns the same external id to two positions",
+        ));
+    }
+    Ok(ids)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +581,37 @@ mod tests {
         payload.push(0);
         assert!(matches!(
             decode_cost_matrix(&path(), "cost", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn id_map_roundtrip() {
+        let ids = vec![3u64, 0, 7, u64::MAX];
+        let payload = encode_id_map(&ids);
+        let decoded = decode_id_map(&path(), "external-ids", &payload).unwrap();
+        assert_eq!(decoded, ids);
+        assert_eq!(
+            decode_id_map(&path(), "external-ids", &encode_id_map(&[])).unwrap(),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn id_map_rejects_duplicates_and_trailing_bytes() {
+        let payload = encode_id_map(&[1, 2, 1]);
+        assert!(matches!(
+            decode_id_map(&path(), "external-ids", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+        let mut payload = encode_id_map(&[1, 2]);
+        payload.push(0);
+        assert!(matches!(
+            decode_id_map(&path(), "external-ids", &payload),
+            Err(StoreError::Invalid { .. })
+        ));
+        assert!(matches!(
+            decode_id_map(&path(), "external-ids", &payload[..9]),
             Err(StoreError::Invalid { .. })
         ));
     }

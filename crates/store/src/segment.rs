@@ -65,6 +65,8 @@ pub enum SectionKind {
     /// A greedy k-center clustering (pivots, assignments, radii) over a
     /// reduction's precomputed arena.
     Clustering,
+    /// A dense `position -> external id` map (sealed WAL segments).
+    IdMap,
 }
 
 impl SectionKind {
@@ -75,6 +77,7 @@ impl SectionKind {
             SectionKind::CostMatrix => 2,
             SectionKind::Reduction => 3,
             SectionKind::Clustering => 4,
+            SectionKind::IdMap => 5,
         }
     }
 
@@ -85,6 +88,7 @@ impl SectionKind {
             2 => Some(SectionKind::CostMatrix),
             3 => Some(SectionKind::Reduction),
             4 => Some(SectionKind::Clustering),
+            5 => Some(SectionKind::IdMap),
             _ => None,
         }
     }

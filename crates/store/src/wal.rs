@@ -1,0 +1,973 @@
+//! Write-ahead log for streaming ingest (`flexemd-store/v1` WAL).
+//!
+//! The segment files of [`crate::segment`] are immutable snapshots: they
+//! are written once, fsynced, and only ever read afterwards. A long-running
+//! service also needs the *mutable tail* — inserts and removes that arrived
+//! after the last snapshot — to survive a crash. This module is that tail:
+//! an append-only, checksummed log with the same little-endian, CRC32,
+//! fail-closed discipline as the segment container.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic  "FXEMDWAL"                                   8 bytes  |
+//! | version major (u16 LE) | version minor (u16 LE)     4 bytes  |
+//! +--------------------------------------------------------------+
+//! | record 0:                                                    |
+//! |   kind (u32 LE) | lsn (u64 LE)                     12 bytes  |
+//! |   payload len (u64 LE) | crc32 (u32 LE)            12 bytes  |
+//! |   payload (payload-len bytes)                                |
+//! +--------------------------------------------------------------+
+//! | record 1: ...                                                |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! The CRC32 of a record covers its *entire frame* — kind, LSN and payload
+//! length included — so a bit flip anywhere in a record is detected, not
+//! just flips inside the payload. LSNs start at 1 and are strictly
+//! contiguous; a gap or repeat in a record that passes its checksum is a
+//! hard [`StoreError::Invalid`], because random corruption cannot produce
+//! it.
+//!
+//! **Recovery policy** (the tentpole contract: typed error or clean
+//! prefix, never wrong answers, never a silent drop):
+//!
+//! * Damage that plausibly comes from a torn final write — a record header
+//!   or payload that runs past end-of-file, or a checksum failure on a
+//!   record whose declared frame ends exactly at end-of-file — recovers
+//!   the *clean prefix*: every record before the damage replays, and the
+//!   discarded byte count is reported in [`WalReplay::torn_tail`] so the
+//!   caller can log it and truncate before appending again.
+//! * Damage *followed by more bytes* — a mid-file checksum failure — is a
+//!   hard typed error ([`StoreError::ChecksumMismatch`]). Valid records
+//!   after a damaged one mean this is not a torn write; silently resuming
+//!   past it could resurrect a removed object or drop an acknowledged
+//!   insert, which is exactly the "wrong answers" the store contract bans.
+//!
+//! Durability is explicit: [`WalWriter::append`] only buffers; a record is
+//! durable — and may be acknowledged to a client — only after
+//! [`WalWriter::sync`] returns. Both paths carry faultkit probes
+//! ([`Site::WalAppend`], [`Site::WalSync`]) so crash schedules are
+//! reachable in tests.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use emd_core::Histogram;
+use emd_faultkit::{Fault, FaultInjector, NoFaults, Site};
+
+use crate::crc32;
+use crate::error::StoreError;
+
+/// Magic bytes every WAL file starts with.
+pub const WAL_MAGIC: [u8; 8] = *b"FXEMDWAL";
+
+/// Major WAL format version; a mismatch is [`StoreError::VersionSkew`].
+pub const WAL_VERSION_MAJOR: u16 = 1;
+
+/// Minor WAL format version; files with a larger minor are rejected.
+pub const WAL_VERSION_MINOR: u16 = 0;
+
+/// Byte length of the fixed file header (magic + version).
+pub const WAL_HEADER_LEN: u64 = 12;
+
+/// Byte length of one record frame header (kind + lsn + len + crc).
+pub const RECORD_HEADER_LEN: u64 = 24;
+
+/// On-disk tag of an insert record.
+const KIND_INSERT: u32 = 1;
+/// On-disk tag of a remove record.
+const KIND_REMOVE: u32 = 2;
+/// On-disk tag of a compaction-epoch record.
+const KIND_COMPACT_EPOCH: u32 = 3;
+
+/// Refuse to believe a single record's payload is larger than this
+/// (1 GiB); a bigger declared length is treated as damage, not an
+/// allocation request.
+const MAX_PAYLOAD_LEN: u64 = 1 << 30;
+
+/// `usize -> u64` widening for on-disk length fields and byte
+/// accounting; exact on every supported platform (`usize` is at most
+/// 64 bits wide, so the fallback arm is unreachable).
+fn widen(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// One logged mutation of the dynamic index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An object was inserted under a caller-visible stable id.
+    Insert {
+        /// The external id the service handed back to the client.
+        external_id: u64,
+        /// The inserted histogram, re-validated on replay.
+        histogram: Histogram,
+    },
+    /// The object with this external id was removed.
+    Remove {
+        /// The external id being tombstoned.
+        external_id: u64,
+    },
+    /// A compaction sealed every earlier record into a segment.
+    ///
+    /// The record is written as the *first* record of the post-compaction
+    /// WAL and carries the dense renumbering the in-memory
+    /// `DynamicIndex::compact` produced, so external ids held by clients
+    /// survive the restart: `external_ids[new_id]` is the external id now
+    /// stored at dense position `new_id` in the sealed segment.
+    CompactEpoch {
+        /// Monotonic compaction epoch (names the sealed segment file).
+        epoch: u64,
+        /// The next external id the allocator will hand out. Persisted so
+        /// ids never restart (and collide with ids clients still hold)
+        /// even when a compaction seals an empty index.
+        next_external: u64,
+        /// `new_id -> external_id` map for the sealed prefix.
+        external_ids: Vec<u64>,
+    },
+}
+
+impl WalRecord {
+    /// The on-disk kind tag of this record.
+    #[must_use]
+    pub fn kind(&self) -> u32 {
+        match self {
+            WalRecord::Insert { .. } => KIND_INSERT,
+            WalRecord::Remove { .. } => KIND_REMOVE,
+            WalRecord::CompactEpoch { .. } => KIND_COMPACT_EPOCH,
+        }
+    }
+
+    /// A short human-readable name for the record kind (CLI inspection).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WalRecord::Insert { .. } => "insert",
+            WalRecord::Remove { .. } => "remove",
+            WalRecord::CompactEpoch { .. } => "compact-epoch",
+        }
+    }
+
+    /// Encode this record's payload (everything after the frame header).
+    fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::Insert {
+                external_id,
+                histogram,
+            } => {
+                let bins = histogram.bins();
+                let mut out = Vec::with_capacity(16 + bins.len() * 8);
+                out.extend_from_slice(&external_id.to_le_bytes());
+                out.extend_from_slice(&widen(bins.len()).to_le_bytes());
+                for &mass in bins {
+                    out.extend_from_slice(&mass.to_le_bytes());
+                }
+                out
+            }
+            WalRecord::Remove { external_id } => external_id.to_le_bytes().to_vec(),
+            WalRecord::CompactEpoch {
+                epoch,
+                next_external,
+                external_ids,
+            } => {
+                let mut out = Vec::with_capacity(24 + external_ids.len() * 8);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&next_external.to_le_bytes());
+                out.extend_from_slice(&widen(external_ids.len()).to_le_bytes());
+                for &id in external_ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    /// Decode a record payload for `kind`, re-validating histograms
+    /// through [`Histogram::new`] exactly like segment decoding does.
+    fn decode_payload(kind: u32, payload: &[u8], path: &Path) -> Result<WalRecord, StoreError> {
+        let mut cursor = RecordCursor::new(path, payload);
+        let record = match kind {
+            KIND_INSERT => {
+                let external_id = cursor.u64("insert external id")?;
+                let dim = cursor.length("insert histogram dimensionality")?;
+                let bins = cursor.f64s(dim, "insert histogram bins")?;
+                let histogram = Histogram::new(bins).map_err(|e| {
+                    StoreError::invalid(path, "wal-record", format!("insert rejected: {e}"))
+                })?;
+                WalRecord::Insert {
+                    external_id,
+                    histogram,
+                }
+            }
+            KIND_REMOVE => WalRecord::Remove {
+                external_id: cursor.u64("remove external id")?,
+            },
+            KIND_COMPACT_EPOCH => {
+                let epoch = cursor.u64("compaction epoch")?;
+                let next_external = cursor.u64("next external id")?;
+                let count = cursor.length("compaction id-map length")?;
+                let mut external_ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    external_ids.push(cursor.u64("compaction id-map entry")?);
+                }
+                WalRecord::CompactEpoch {
+                    epoch,
+                    next_external,
+                    external_ids,
+                }
+            }
+            other => {
+                return Err(StoreError::UnknownSection {
+                    path: path.to_path_buf(),
+                    kind: other,
+                })
+            }
+        };
+        cursor.finish()?;
+        Ok(record)
+    }
+}
+
+/// Little-endian payload cursor with typed, path-carrying errors
+/// (the WAL twin of the private cursor in [`crate::sections`]).
+struct RecordCursor<'a> {
+    path: &'a Path,
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> RecordCursor<'a> {
+    fn new(path: &'a Path, bytes: &'a [u8]) -> Self {
+        RecordCursor {
+            path,
+            bytes,
+            offset: 0,
+        }
+    }
+
+    fn invalid(&self, reason: impl std::fmt::Display) -> StoreError {
+        StoreError::invalid(self.path, "wal-record", reason.to_string())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .offset
+            .checked_add(n)
+            .ok_or_else(|| self.invalid(format!("{what}: length overflows")))?;
+        let chunk = self
+            .bytes
+            .get(self.offset..end)
+            .ok_or_else(|| self.invalid(format!("{what}: payload too short")))?;
+        self.offset = end;
+        Ok(chunk)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let chunk = self.take(8, what)?;
+        let array: [u8; 8] = chunk
+            .try_into()
+            .map_err(|_| self.invalid(format!("{what}: short u64")))?;
+        Ok(u64::from_le_bytes(array))
+    }
+
+    fn length(&mut self, what: &str) -> Result<usize, StoreError> {
+        let raw = self.u64(what)?;
+        usize::try_from(raw).map_err(|_| self.invalid(format!("{what}: {raw} overflows usize")))
+    }
+
+    fn f64s(&mut self, count: usize, what: &str) -> Result<Vec<f64>, StoreError> {
+        let bytes_needed = count
+            .checked_mul(8)
+            .ok_or_else(|| self.invalid(format!("{what}: byte length overflows")))?;
+        let chunk = self.take(bytes_needed, what)?;
+        let mut out = Vec::with_capacity(count);
+        for piece in chunk.chunks_exact(8) {
+            let array: [u8; 8] = piece
+                .try_into()
+                .map_err(|_| self.invalid(format!("{what}: short f64")))?;
+            out.push(f64::from_le_bytes(array));
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), StoreError> {
+        if self.offset == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.invalid(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.offset
+            )))
+        }
+    }
+}
+
+/// Encode one full record frame (header + payload) for `lsn`.
+fn encode_frame(record: &WalRecord, lsn: u64) -> Vec<u8> {
+    let payload = record.encode_payload();
+    let mut frame = Vec::with_capacity(24 + payload.len());
+    frame.extend_from_slice(&record.kind().to_le_bytes());
+    frame.extend_from_slice(&lsn.to_le_bytes());
+    frame.extend_from_slice(&widen(payload.len()).to_le_bytes());
+    let mut hasher = crc32::Hasher::new();
+    // The checksum covers kind | lsn | payload-len | payload, so header
+    // bit flips fail verification just like payload flips.
+    hasher.update(&frame);
+    hasher.update(&payload);
+    frame.extend_from_slice(&hasher.finalize().to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Append handle for one WAL file: assigns LSNs, frames records, and
+/// makes them durable on explicit [`WalWriter::sync`] points.
+#[derive(Debug)]
+pub struct WalWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    next_lsn: u64,
+    /// Bytes appended since the last successful sync (obs reporting).
+    unsynced_bytes: u64,
+    faults: Arc<dyn FaultInjector>,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file),
+    /// write its header, and sync it so the empty log itself is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the file cannot be created,
+    /// written or synced.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        Self::create_with(path, Arc::new(NoFaults))
+    }
+
+    /// [`WalWriter::create`] with a fault injector for crash testing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the file cannot be created,
+    /// written or synced (including injected faults).
+    pub fn create_with(path: &Path, faults: Arc<dyn FaultInjector>) -> Result<Self, StoreError> {
+        let file = File::create(path).map_err(|e| StoreError::io(path, e))?;
+        let mut writer = WalWriter {
+            out: BufWriter::new(file),
+            path: path.to_path_buf(),
+            next_lsn: 1,
+            unsynced_bytes: 0,
+            faults,
+        };
+        writer.put(&WAL_MAGIC)?;
+        writer.put(&WAL_VERSION_MAJOR.to_le_bytes())?;
+        writer.put(&WAL_VERSION_MINOR.to_le_bytes())?;
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Reopen an existing WAL for appending after [`replay`].
+    ///
+    /// The file is truncated to `replay.valid_len` — discarding a torn
+    /// tail if one was reported — and the writer resumes at
+    /// `replay.next_lsn()`, so recovery and append form one atomic
+    /// hand-off: nothing between the valid prefix and the next record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the file cannot be opened,
+    /// truncated or positioned.
+    pub fn open_for_append(
+        path: &Path,
+        replay: &WalReplay,
+        faults: Arc<dyn FaultInjector>,
+    ) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        file.set_len(replay.valid_len)
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut out = BufWriter::new(file);
+        out.seek(SeekFrom::Start(replay.valid_len))
+            .map_err(|e| StoreError::io(path, e))?;
+        Ok(WalWriter {
+            out,
+            path: path.to_path_buf(),
+            next_lsn: replay.next_lsn(),
+            unsynced_bytes: 0,
+            faults,
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.out
+            .write_all(bytes)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.unsynced_bytes += widen(bytes.len());
+        Ok(())
+    }
+
+    /// The LSN the next appended record will receive.
+    #[must_use]
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Append one record, returning its assigned LSN.
+    ///
+    /// The record is only *buffered*: it is not durable — and must not be
+    /// acknowledged to a client — until [`WalWriter::sync`] succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure or when the
+    /// [`Site::WalAppend`] faultkit probe injects one.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, StoreError> {
+        if let Some(Fault::Io) = self.faults.check(Site::WalAppend) {
+            return Err(StoreError::io(&self.path, StoreError::injected_wal_fault()));
+        }
+        let lsn = self.next_lsn;
+        let frame = encode_frame(record, lsn);
+        self.put(&frame)?;
+        self.next_lsn += 1;
+        emd_obs::counter_add("wal.appends", 1);
+        Ok(lsn)
+    }
+
+    /// Flush buffered records and fsync the file: the explicit
+    /// durability point. Everything appended before a successful `sync`
+    /// survives a crash after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on flush/sync failure or when the
+    /// [`Site::WalSync`] faultkit probe injects one.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(Fault::Io) = self.faults.check(Site::WalSync) {
+            return Err(StoreError::io(&self.path, StoreError::injected_wal_fault()));
+        }
+        self.out
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.out
+            .get_ref()
+            .sync_all()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        emd_obs::counter_add("wal.synced_bytes", self.unsynced_bytes);
+        self.unsynced_bytes = 0;
+        Ok(())
+    }
+
+    /// The path this writer appends to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// A torn tail discarded during replay: damage at the end of the log
+/// consistent with a crash mid-write. Reported, never silent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// File offset of the first damaged byte (= length of the clean
+    /// prefix that was kept).
+    pub offset: u64,
+    /// Bytes discarded after `offset`.
+    pub discarded_bytes: u64,
+    /// What the damage looked like (for logs and `wal-inspect`).
+    pub reason: String,
+}
+
+/// The result of replaying a WAL: the decoded clean prefix plus how the
+/// file ended.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every valid record in LSN order, paired with its LSN.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Byte length of the valid prefix (header included); a writer
+    /// reopening this log truncates to this length.
+    pub valid_len: u64,
+    /// `Some` when a torn tail was discarded; `None` for a clean log.
+    pub torn_tail: Option<TornTail>,
+}
+
+impl WalReplay {
+    /// The LSN the next appended record must carry.
+    #[must_use]
+    pub fn next_lsn(&self) -> u64 {
+        self.records.last().map_or(1, |(lsn, _)| lsn + 1)
+    }
+}
+
+/// Replay a WAL from disk, enforcing the recovery policy described in
+/// the module docs: torn tails recover the clean prefix (reported via
+/// [`WalReplay::torn_tail`]); mid-file damage is a hard typed error.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] when the file cannot be read (including a
+/// fault injected at [`Site::StoreRead`]), [`StoreError::BadMagic`] /
+/// [`StoreError::VersionSkew`] for foreign or future files,
+/// [`StoreError::Truncated`] when even the file header is short,
+/// [`StoreError::ChecksumMismatch`] for mid-file damage,
+/// [`StoreError::UnknownSection`] for an unknown record kind that passes
+/// its checksum, and [`StoreError::Invalid`] for payloads that decode
+/// but violate engine invariants or LSN contiguity.
+pub fn replay(path: &Path) -> Result<WalReplay, StoreError> {
+    replay_with(path, Arc::new(NoFaults))
+}
+
+/// [`replay`] with a fault injector for crash testing.
+///
+/// # Errors
+///
+/// Same contract as [`replay`].
+pub fn replay_with(path: &Path, faults: Arc<dyn FaultInjector>) -> Result<WalReplay, StoreError> {
+    let _span = emd_obs::span_with(|| format!("wal.replay({})", path.display()));
+    if let Some(Fault::Io) = faults.check(Site::StoreRead) {
+        return Err(StoreError::io(path, StoreError::injected_read_fault()));
+    }
+    let mut file = File::open(path).map_err(|e| StoreError::io(path, e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| StoreError::io(path, e))?;
+    emd_obs::counter_add("store.bytes_read", widen(bytes.len()));
+    replay_bytes(path, &bytes)
+}
+
+/// Shape of the frame header at some offset, before checksum
+/// verification.
+struct FrameHeader {
+    kind: u32,
+    lsn: u64,
+    payload_len: u64,
+    crc: u32,
+}
+
+/// Read the 24-byte frame header at `offset`; `None` when fewer than 24
+/// bytes remain (torn header).
+fn frame_header(bytes: &[u8], offset: usize) -> Option<FrameHeader> {
+    let end = offset.checked_add(24)?;
+    let header = bytes.get(offset..end)?;
+    let kind = u32::from_le_bytes(header.get(0..4)?.try_into().ok()?);
+    let lsn = u64::from_le_bytes(header.get(4..12)?.try_into().ok()?);
+    let payload_len = u64::from_le_bytes(header.get(12..20)?.try_into().ok()?);
+    let crc = u32::from_le_bytes(header.get(20..24)?.try_into().ok()?);
+    Some(FrameHeader {
+        kind,
+        lsn,
+        payload_len,
+        crc,
+    })
+}
+
+/// Decode an in-memory WAL image (the core of [`replay`], separated so
+/// corruption tests can drive it byte-exactly).
+///
+/// # Errors
+///
+/// Same contract as [`replay`].
+pub fn replay_bytes(path: &Path, bytes: &[u8]) -> Result<WalReplay, StoreError> {
+    let header_len = usize::try_from(WAL_HEADER_LEN)
+        .map_err(|_| StoreError::invalid(path, "wal-header", "header length overflows usize"))?;
+    let Some(header) = bytes.get(..header_len) else {
+        return Err(StoreError::Truncated {
+            path: path.to_path_buf(),
+            what: "WAL file header".to_owned(),
+            expected: WAL_HEADER_LEN,
+            got: widen(bytes.len()),
+        });
+    };
+    let bad_header = || StoreError::invalid(path, "wal-header", "header shorter than declared");
+    if header.get(0..8).ok_or_else(bad_header)? != WAL_MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = |lo: usize| -> Result<u16, StoreError> {
+        let pair = header.get(lo..lo + 2).ok_or_else(bad_header)?;
+        Ok(u16::from_le_bytes(
+            pair.try_into().map_err(|_| bad_header())?,
+        ))
+    };
+    let major = version(8)?;
+    let minor = version(10)?;
+    if major != WAL_VERSION_MAJOR || minor > WAL_VERSION_MINOR {
+        return Err(StoreError::VersionSkew {
+            path: path.to_path_buf(),
+            major,
+            minor,
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut offset = header_len;
+    let mut torn_tail = None;
+    let mut expected_lsn = 1u64;
+    while offset < bytes.len() {
+        let torn = |reason: String| TornTail {
+            offset: widen(offset),
+            discarded_bytes: widen(bytes.len() - offset),
+            reason,
+        };
+        let Some(frame) = frame_header(bytes, offset) else {
+            torn_tail = Some(torn("record header runs past end of file".to_owned()));
+            break;
+        };
+        if frame.payload_len > MAX_PAYLOAD_LEN {
+            // An absurd length field cannot be verified against its
+            // checksum (the frame extent is off the end of any real
+            // file); treat it as tail damage rather than allocating.
+            torn_tail = Some(torn(format!(
+                "record declares implausible payload of {} bytes",
+                frame.payload_len
+            )));
+            break;
+        }
+        let payload_len = usize::try_from(frame.payload_len)
+            .map_err(|_| StoreError::invalid(path, "wal-record", "payload length overflows"))?;
+        let header_end = offset + 24;
+        let Some(frame_end) = header_end.checked_add(payload_len) else {
+            return Err(StoreError::invalid(
+                path,
+                "wal-record",
+                "record extent overflows",
+            ));
+        };
+        let (Some(checked_prefix), Some(payload)) = (
+            bytes.get(offset..offset + 20),
+            bytes.get(header_end..frame_end),
+        ) else {
+            torn_tail = Some(torn("record payload runs past end of file".to_owned()));
+            break;
+        };
+        let mut hasher = crc32::Hasher::new();
+        hasher.update(checked_prefix);
+        hasher.update(payload);
+        let computed = hasher.finalize();
+        if computed != frame.crc {
+            if frame_end == bytes.len() {
+                // The damaged record is the last thing in the file: the
+                // classic torn final write. Keep the clean prefix.
+                torn_tail = Some(torn(format!(
+                    "final record checksum mismatch (header {:#010x}, payload {computed:#010x})",
+                    frame.crc
+                )));
+                break;
+            }
+            // Bytes follow the damaged record — not a torn write.
+            return Err(StoreError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                section: format!("wal record at offset {offset}"),
+                expected: frame.crc,
+                got: computed,
+            });
+        }
+        if frame.lsn != expected_lsn {
+            return Err(StoreError::invalid(
+                path,
+                "wal-record",
+                format!("LSN {} where {expected_lsn} was expected", frame.lsn),
+            ));
+        }
+        let record = WalRecord::decode_payload(frame.kind, payload, path)?;
+        records.push((frame.lsn, record));
+        expected_lsn += 1;
+        offset = frame_end;
+    }
+
+    emd_obs::counter_add("wal.replayed_records", widen(records.len()));
+    Ok(WalReplay {
+        records,
+        valid_len: widen(offset),
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("flexemd-wal-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn histogram(bins: &[f64]) -> Histogram {
+        Histogram::new(bins.to_vec()).expect("valid test histogram")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                external_id: 0,
+                histogram: histogram(&[0.5, 0.25, 0.25]),
+            },
+            WalRecord::Insert {
+                external_id: 1,
+                histogram: histogram(&[0.0, 1.0, 0.0]),
+            },
+            WalRecord::Remove { external_id: 0 },
+            WalRecord::CompactEpoch {
+                epoch: 1,
+                next_external: 2,
+                external_ids: vec![1],
+            },
+            WalRecord::Insert {
+                external_id: 2,
+                histogram: histogram(&[0.25, 0.25, 0.5]),
+            },
+        ]
+    }
+
+    fn write_log(path: &Path, records: &[WalRecord]) {
+        let mut writer = WalWriter::create(path).expect("create WAL");
+        for record in records {
+            writer.append(record).expect("append");
+        }
+        writer.sync().expect("sync");
+    }
+
+    #[test]
+    fn roundtrip_replays_every_record_in_order() {
+        let path = tmp("roundtrip");
+        let records = sample_records();
+        write_log(&path, &records);
+        let replay = replay(&path).expect("replay");
+        assert!(replay.torn_tail.is_none());
+        assert_eq!(replay.records.len(), records.len());
+        for (i, ((lsn, got), want)) in replay.records.iter().zip(&records).enumerate() {
+            assert_eq!(*lsn, (i + 1) as u64, "LSNs are contiguous from 1");
+            assert_eq!(got, want);
+        }
+        assert_eq!(replay.next_lsn(), records.len() as u64 + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let path = tmp("empty");
+        write_log(&path, &[]);
+        let replay = replay(&path).expect("replay");
+        assert!(replay.records.is_empty());
+        assert!(replay.torn_tail.is_none());
+        assert_eq!(replay.valid_len, WAL_HEADER_LEN);
+        assert_eq!(replay.next_lsn(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_anywhere_yields_clean_prefix_or_typed_error() {
+        let path = tmp("truncate");
+        write_log(&path, &sample_records());
+        let full = std::fs::read(&path).expect("read log");
+        let clean = replay_bytes(&path, &full).expect("clean replay");
+        for cut in 0..full.len() {
+            let result = replay_bytes(&path, &full[..cut]);
+            match result {
+                Ok(replay) => {
+                    // Every replayed record must be a prefix of the
+                    // uncrashed replay — never an invented record.
+                    assert!(replay.records.len() <= clean.records.len());
+                    assert_eq!(
+                        replay.records,
+                        clean.records[..replay.records.len()],
+                        "cut at {cut} replayed a non-prefix"
+                    );
+                    // Records may only be dropped with a torn-tail
+                    // report; a cut exactly on a record boundary is the
+                    // one case with nothing to report.
+                    if replay.records.len() < clean.records.len() {
+                        assert!(
+                            replay.torn_tail.is_some() || replay.valid_len == cut as u64,
+                            "cut at {cut} dropped records silently"
+                        );
+                    }
+                    assert!(
+                        replay.valid_len <= cut as u64,
+                        "cut at {cut} claims bytes past the file end"
+                    );
+                }
+                Err(error) => {
+                    assert!(
+                        matches!(
+                            error,
+                            StoreError::Truncated { .. }
+                                | StoreError::BadMagic { .. }
+                                | StoreError::VersionSkew { .. }
+                        ),
+                        "cut at {cut} gave unexpected error {error}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_silent() {
+        let path = tmp("torn");
+        write_log(&path, &sample_records());
+        let full = std::fs::read(&path).expect("read log");
+        // Cut mid-way through the last record's payload.
+        let cut = full.len() - 3;
+        let replay = replay_bytes(&path, &full[..cut]).expect("prefix replay");
+        let tail = replay.torn_tail.expect("torn tail must be reported");
+        assert_eq!(tail.offset, replay.valid_len);
+        assert!(tail.discarded_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_flip_never_changes_an_accepted_record() {
+        let path = tmp("flip");
+        let records = sample_records();
+        write_log(&path, &records);
+        let full = std::fs::read(&path).expect("read log");
+        let clean = replay_bytes(&path, &full).expect("clean replay");
+        for i in 0..full.len() {
+            let mut damaged = full.clone();
+            damaged[i] ^= 0x40;
+            // A typed error is always acceptable; an accepted replay
+            // must be a clean prefix of the original — a flipped record
+            // may vanish (reported) but never replay altered.
+            if let Ok(replay) = replay_bytes(&path, &damaged) {
+                assert!(
+                    replay.records.len() < clean.records.len() || replay.records == clean.records,
+                    "flip at byte {i} changed an accepted record"
+                );
+                assert_eq!(replay.records, clean.records[..replay.records.len()]);
+                if replay.records.len() < clean.records.len() {
+                    assert!(
+                        replay.torn_tail.is_some(),
+                        "flip at byte {i} dropped records silently"
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn midfile_corruption_is_a_hard_error() {
+        let path = tmp("midfile");
+        write_log(&path, &sample_records());
+        let mut bytes = std::fs::read(&path).expect("read log");
+        // Flip a byte inside the first record's payload: valid records
+        // follow, so this must NOT be recovered as a prefix.
+        let header = usize::try_from(WAL_HEADER_LEN).expect("small");
+        let idx = header + 30;
+        bytes[idx] ^= 0x01;
+        let error = replay_bytes(&path, &bytes).expect_err("mid-file damage is fatal");
+        assert!(
+            matches!(error, StoreError::ChecksumMismatch { .. }),
+            "got {error}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_for_append_resumes_lsns_after_torn_tail() {
+        let path = tmp("resume");
+        write_log(&path, &sample_records());
+        let full = std::fs::read(&path).expect("read log");
+        std::fs::write(&path, &full[..full.len() - 3]).expect("tear the tail");
+        let replay1 = replay(&path).expect("replay torn log");
+        assert!(replay1.torn_tail.is_some());
+        let kept = replay1.records.len();
+        let mut writer = WalWriter::open_for_append(&path, &replay1, Arc::new(NoFaults))
+            .expect("reopen for append");
+        assert_eq!(writer.next_lsn(), (kept + 1) as u64);
+        writer
+            .append(&WalRecord::Remove { external_id: 42 })
+            .expect("append after recovery");
+        writer.sync().expect("sync");
+        let replay2 = replay(&path).expect("replay repaired log");
+        assert!(replay2.torn_tail.is_none());
+        assert_eq!(replay2.records.len(), kept + 1);
+        assert_eq!(
+            replay2.records.last().expect("appended record").1,
+            WalRecord::Remove { external_id: 42 }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lsn_gap_is_rejected() {
+        let path = tmp("lsn-gap");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&WAL_VERSION_MAJOR.to_le_bytes());
+        bytes.extend_from_slice(&WAL_VERSION_MINOR.to_le_bytes());
+        // A perfectly checksummed record carrying LSN 2 where 1 belongs.
+        bytes.extend_from_slice(&encode_frame(&WalRecord::Remove { external_id: 7 }, 2));
+        let error = replay_bytes(&path, &bytes).expect_err("LSN gap is fatal");
+        assert!(matches!(error, StoreError::Invalid { .. }), "got {error}");
+    }
+
+    #[test]
+    fn unknown_record_kind_is_rejected() {
+        let path = tmp("unknown-kind");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&99u32.to_le_bytes());
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        let mut hasher = crc32::Hasher::new();
+        hasher.update(&frame);
+        frame.extend_from_slice(&hasher.finalize().to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&WAL_VERSION_MAJOR.to_le_bytes());
+        bytes.extend_from_slice(&WAL_VERSION_MINOR.to_le_bytes());
+        bytes.extend_from_slice(&frame);
+        let error = replay_bytes(&path, &bytes).expect_err("unknown kind is fatal");
+        assert!(
+            matches!(error, StoreError::UnknownSection { kind: 99, .. }),
+            "got {error}"
+        );
+    }
+
+    #[test]
+    fn foreign_magic_and_future_version_are_rejected() {
+        let path = tmp("magic");
+        let error = replay_bytes(&path, b"NOTAWAL!....").expect_err("foreign file");
+        assert!(matches!(error, StoreError::BadMagic { .. }));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        let error = replay_bytes(&path, &bytes).expect_err("future version");
+        assert!(matches!(error, StoreError::VersionSkew { major: 2, .. }));
+    }
+
+    #[test]
+    fn injected_append_and_sync_faults_surface_as_io_errors() {
+        use emd_faultkit::FailPlan;
+        let path = tmp("faults");
+        {
+            let plan = Arc::new(FailPlan::new().fail_wal_append(2));
+            let mut writer = WalWriter::create_with(&path, plan).expect("create");
+            writer
+                .append(&WalRecord::Remove { external_id: 1 })
+                .expect("first append survives");
+            let error = writer
+                .append(&WalRecord::Remove { external_id: 2 })
+                .expect_err("second append injected");
+            assert!(matches!(error, StoreError::Io { .. }));
+        }
+        {
+            let plan = Arc::new(FailPlan::new().fail_wal_sync(2));
+            let mut writer = WalWriter::create_with(&path, plan).expect("create syncs once");
+            writer
+                .append(&WalRecord::Remove { external_id: 1 })
+                .expect("append survives");
+            let error = writer.sync().expect_err("second sync injected");
+            assert!(matches!(error, StoreError::Io { .. }));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -100,6 +100,8 @@ fn main() -> ExitCode {
         "build-index" => build_index(&options),
         "query" => query(&options),
         "serve" => serve(&options),
+        "ingest" => ingest(&options),
+        "wal-inspect" => wal_inspect(&options),
         "loadgen" => loadgen(&options),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -140,6 +142,12 @@ USAGE:
                       [--max-inflight N] [--queue-depth N]
                       [--source scan|clustered|vptree] [--chain]
                       [--drain-stdin] [--faults SPEC]
+  flexemd serve       --wal wal-dir [--addr HOST:PORT] [--workers N]
+                      [--max-inflight N] [--queue-depth N] [--drain-stdin]
+  flexemd ingest      --wal wal-dir --data data.json
+                      [--method kmed|fb-mod|fb-all|grid] [--dims D]
+                      [--sample N] [--seed S] [--sync-each] [--compact]
+  flexemd wal-inspect --wal wal-dir
   flexemd loadgen     --addr HOST:PORT [--threads N] [--requests N]
                       [--k K | --range EPS] [--deadline-ms N]
                       [--max-pivots N] [--seed S] [--smoke] [--out PATH]
@@ -151,6 +159,16 @@ Retry-After, per-request panics isolate to a 500 for that request, and
 POST /admin/drain (or stdin EOF under --drain-stdin) drains gracefully.
 loadgen drives a running server with a seeded closed-loop workload and
 prints a flexemd-bench/v1 JSON report (--smoke = small fixed workload).
+
+Streaming ingest: ingest creates (or reopens) a WAL-backed durable index
+directory and appends every corpus object — one fsync per record under
+--sync-each, one at the end otherwise; --compact folds the WAL into a
+sealed segment afterwards. serve --wal opens that directory writable and
+additionally answers POST /v1/insert, POST /v1/remove and
+POST /admin/compact; a 200 on the write routes is a durability
+acknowledgment (record fsynced, reader snapshot swapped). wal-inspect
+replays a directory's log read-only and prints every record plus any
+torn tail.
 
 Indexes: build-index --cluster persists greedy k-center clustering
 geometry over each reduced arena (about sqrt(n) * F clusters, default
@@ -167,7 +185,8 @@ solve:J (exhaust the budget at the J-th solve), panic:W (panic in batch
 worker W) — deterministic failpoints for resilience testing.";
 
 /// Parsed `--key value` options (every option takes a value except the
-/// boolean flags `--chain`, `--cluster`, `--smoke` and `--drain-stdin`).
+/// boolean flags `--chain`, `--cluster`, `--smoke`, `--drain-stdin`,
+/// `--sync-each` and `--compact`).
 struct Options {
     values: HashMap<String, String>,
 }
@@ -180,7 +199,10 @@ impl Options {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{arg}`"));
             };
-            if matches!(key, "chain" | "cluster" | "smoke" | "drain-stdin") {
+            if matches!(
+                key,
+                "chain" | "cluster" | "smoke" | "drain-stdin" | "sync-each" | "compact"
+            ) {
                 values.insert(key.to_owned(), "true".to_owned());
                 continue;
             }
@@ -797,7 +819,199 @@ fn query(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Open the durable index at `--wal` (which must exist; `flexemd ingest`
+/// creates it), reporting what replay found.
+fn open_durable(options: &Options) -> Result<flexemd::query::DurableIndex, String> {
+    let dir = options.path("wal")?;
+    let (index, report) = flexemd::query::DurableIndex::open(&dir).map_err(|e| e.to_string())?;
+    if let Some(torn) = &report.torn_tail {
+        eprintln!(
+            "warning: discarded torn WAL tail at byte {} ({} bytes, {})",
+            torn.offset, torn.discarded_bytes, torn.reason
+        );
+    }
+    println!(
+        "opened {} (epoch {}, {} sealed + {} replayed records, {} live objects)",
+        dir.display(),
+        report.epoch,
+        report.sealed_objects,
+        report.replayed_records,
+        index.len()
+    );
+    Ok(index)
+}
+
+fn ingest(options: &Options) -> Result<(), String> {
+    let dir = options.path("wal")?;
+    let dataset = load_dataset(&options.path("data")?)?;
+    let sync_each = options.flag("sync-each");
+
+    let mut index = if dir.join("CURRENT").exists() {
+        open_durable(options)?
+    } else {
+        // First ingest into this directory: derive the reduction here,
+        // exactly like `reduce`, and persist it in base.seg.
+        let method = options
+            .values
+            .get("method")
+            .map_or("kmed", String::as_str)
+            .to_owned();
+        let dims = options.numeric("dims", 2usize)?;
+        let sample_size = options.numeric("sample", 24usize)?;
+        let seed = options.numeric("seed", 42u64)?;
+        let reduction = build_reduction(&dataset, &method, dims, sample_size, seed)?;
+        let cost = Arc::new(dataset.cost.clone());
+        let reduced = ReducedEmd::new(&cost, reduction).map_err(|e| e.to_string())?;
+        flexemd::query::DurableIndex::create(&dir, cost, reduced).map_err(|e| e.to_string())?
+    };
+
+    let started = std::time::Instant::now();
+    let mut first_id = None;
+    for histogram in &dataset.histograms {
+        let id = if sync_each {
+            index.insert(histogram.clone()).map_err(|e| e.to_string())?
+        } else {
+            index
+                .append_insert(histogram.clone())
+                .map_err(|e| e.to_string())?
+        };
+        first_id.get_or_insert(id);
+    }
+    index.sync().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    println!(
+        "ingested {} objects (external ids {}..) in {:.1} ms ({}; {} live objects total)",
+        dataset.len(),
+        first_id.unwrap_or(0),
+        elapsed.as_secs_f64() * 1e3,
+        if sync_each {
+            "one fsync per record"
+        } else {
+            "single final fsync"
+        },
+        index.len()
+    );
+    if options.flag("compact") {
+        let report = index.compact().map_err(|e| e.to_string())?;
+        println!(
+            "compacted to epoch {} ({} objects sealed, {} WAL bytes folded)",
+            report.epoch, report.sealed_objects, report.folded_wal_bytes
+        );
+    }
+    Ok(())
+}
+
+fn wal_inspect(options: &Options) -> Result<(), String> {
+    use flexemd::store::wal::{self, WalRecord};
+    let dir = options.path("wal")?;
+    let checkpoint = dir.join(flexemd::query::durable::CHECKPOINT_FILE);
+    let text = std::fs::read_to_string(&checkpoint)
+        .map_err(|e| format!("{}: {e}", checkpoint.display()))?;
+    println!("checkpoint : {}", text.trim());
+    let epoch: u64 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|raw| raw.parse().ok())
+        .ok_or_else(|| format!("malformed checkpoint `{}`", text.trim()))?;
+    let wal_file = dir.join(format!("wal-{epoch}.log"));
+    let replay = wal::replay(&wal_file).map_err(|e| e.to_string())?;
+    println!("wal file   : {}", wal_file.display());
+    println!("records    : {}", replay.records.len());
+    println!("valid bytes: {}", replay.valid_len);
+    for (lsn, record) in &replay.records {
+        match record {
+            WalRecord::Insert {
+                external_id,
+                histogram,
+            } => println!(
+                "  lsn {lsn:>6}  insert         id {external_id} ({} bins)",
+                histogram.dim()
+            ),
+            WalRecord::Remove { external_id } => {
+                println!("  lsn {lsn:>6}  remove         id {external_id}");
+            }
+            WalRecord::CompactEpoch {
+                epoch,
+                next_external,
+                external_ids,
+            } => println!(
+                "  lsn {lsn:>6}  compact-epoch  epoch {epoch}, {} sealed ids, next id {next_external}",
+                external_ids.len()
+            ),
+        }
+    }
+    match &replay.torn_tail {
+        Some(torn) => println!(
+            "torn tail  : {} bytes at offset {} ({}) — discarded on next open",
+            torn.discarded_bytes, torn.offset, torn.reason
+        ),
+        None => println!("torn tail  : none"),
+    }
+    Ok(())
+}
+
+/// `serve --wal`: a writable server over a durable index directory.
+fn serve_dynamic(options: &Options) -> Result<(), String> {
+    let index = open_durable(options)?;
+    let objects = index.len();
+    let dim = index.cost().cols();
+    let cost = Arc::clone(index.cost());
+    let ingest_state =
+        Arc::new(flexemd::serve::IngestState::new(index).map_err(|e| e.to_string())?);
+
+    // The static executor/database pair is dead weight in dynamic mode
+    // (queries route through the ingest snapshot), but the Snapshot type
+    // requires them — a one-object placeholder satisfies the invariants.
+    let uniform = Histogram::new(vec![1.0 / dim as f64; dim]).map_err(|e| e.to_string())?;
+    let database = Database::new(vec![uniform], cost).map_err(|e| e.to_string())?;
+    let executor = build_executor(&database, Vec::new(), None)?;
+    let snapshot = Snapshot {
+        executor,
+        database,
+        name: "durable".to_owned(),
+        faults: None,
+        ingest: Some(ingest_state),
+    };
+
+    let config = ServeConfig {
+        addr: options
+            .values
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+        workers: options.numeric("workers", 4usize)?,
+        max_inflight: options.numeric("max-inflight", 64usize)?,
+        queue_depth: options.numeric("queue-depth", 64usize)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(snapshot, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving durable corpus ({objects} objects) writable on http://{}",
+        server.addr()
+    );
+    println!(
+        "routes: POST /v1/knn | /v1/range | /v1/insert | /v1/remove | /admin/compact | \
+         /admin/drain | GET /healthz | /metrics"
+    );
+    if options.flag("drain-stdin") {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            handle.drain();
+        });
+    }
+    server.join().map_err(|e| e.to_string())?;
+    println!("drained; all workers stopped");
+    Ok(())
+}
+
 fn serve(options: &Options) -> Result<(), String> {
+    if options.values.contains_key("wal") {
+        return serve_dynamic(options);
+    }
     let (source_kind, chain) = source_options(options)?;
     let (fault_plan, _panic_armed) = fault_options(options)?;
 
@@ -825,6 +1039,7 @@ fn serve(options: &Options) -> Result<(), String> {
         database,
         name,
         faults: fault_plan.map(|plan| plan as Arc<dyn flexemd::faultkit::FaultInjector>),
+        ingest: None,
     };
 
     let config = ServeConfig {

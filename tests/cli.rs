@@ -697,3 +697,152 @@ fn loadgen_smoke_reports_and_zero_capacity_sheds() {
     assert!(child.wait().unwrap().success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Boot `flexemd serve --wal` on an ephemeral port. Unlike
+/// [`spawn_server`], the banner is not the first stdout line (the open
+/// report prints before it), so scan until the address appears.
+fn spawn_wal_server(
+    wal: &std::path::Path,
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead;
+    let mut child = flexemd()
+        .arg("serve")
+        .arg("--wal")
+        .arg(wal)
+        .args(["--addr", "127.0.0.1:0", "--workers", "2", "--drain-stdin"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve --wal boots");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("banner line") > 0,
+            "server exited before printing its address"
+        );
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest.trim().to_owned();
+        }
+    };
+    (child, addr, reader)
+}
+
+#[test]
+fn ingest_wal_inspect_and_writable_serve_round_trip() {
+    let (dir, data, _reduction) = corpus_and_reduction("wal-cli");
+    let wal = dir.join("wal");
+
+    // First ingest creates the durable directory and derives a reduction.
+    let ingest = flexemd()
+        .arg("ingest")
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--data")
+        .arg(&data)
+        .args(["--method", "kmed", "--dims", "6", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        ingest.status.success(),
+        "ingest failed: {}",
+        String::from_utf8_lossy(&ingest.stderr)
+    );
+    let text = String::from_utf8_lossy(&ingest.stdout).to_string();
+    assert!(text.contains("ingested 30 objects"), "{text}");
+    assert!(wal.join("CURRENT").exists());
+
+    // Second ingest appends to the existing index and compacts.
+    let again = flexemd()
+        .arg("ingest")
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--data")
+        .arg(&data)
+        .args(["--sync-each", "--compact"])
+        .output()
+        .unwrap();
+    assert!(
+        again.status.success(),
+        "second ingest failed: {}",
+        String::from_utf8_lossy(&again.stderr)
+    );
+    let text = String::from_utf8_lossy(&again.stdout).to_string();
+    assert!(text.contains("60 live objects"), "{text}");
+    assert!(text.contains("compacted to epoch 1"), "{text}");
+
+    // wal-inspect prints the checkpoint and the mandatory compact-epoch
+    // record that heads every post-compaction WAL.
+    let inspect = flexemd()
+        .arg("wal-inspect")
+        .arg("--wal")
+        .arg(&wal)
+        .output()
+        .unwrap();
+    assert!(
+        inspect.status.success(),
+        "wal-inspect failed: {}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let text = String::from_utf8_lossy(&inspect.stdout).to_string();
+    assert!(text.contains("flexemd-durable/v1 1"), "{text}");
+    assert!(text.contains("compact-epoch"), "{text}");
+    assert!(text.contains("60 sealed ids"), "{text}");
+    assert!(text.contains("torn tail  : none"), "{text}");
+
+    // The served corpus is writable: query it, insert through it, and
+    // see the durable ack plus the grown object count.
+    let (mut child, addr, _stdout) = spawn_wal_server(&wal);
+    let (status, body) = call(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"objects\":60"), "{body}");
+    assert!(body.contains("\"writable\":true"), "{body}");
+
+    let (status, body) = call(
+        &addr,
+        "POST",
+        "/v1/knn",
+        Some("{\"query_id\": 4, \"k\": 3}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"neighbors\""), "{body}");
+
+    let dim = 32; // the gaussian generator's default bin count
+    let weights: Vec<String> = (0..dim)
+        .map(|i| {
+            if i == 0 {
+                "1.0".to_owned()
+            } else {
+                "0.0".to_owned()
+            }
+        })
+        .collect();
+    let insert_body = format!("{{\"weights\":[{}]}}", weights.join(","));
+    let (status, body) = call(&addr, "POST", "/v1/insert", Some(&insert_body));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"durable\":true"), "{body}");
+    assert!(body.contains("\"objects\":61"), "{body}");
+
+    drop(child.stdin.take());
+    assert!(child.wait().unwrap().success(), "serve --wal did not drain");
+
+    // The HTTP insert survives: wal-inspect now shows one insert record
+    // after the compact-epoch.
+    let inspect = flexemd()
+        .arg("wal-inspect")
+        .arg("--wal")
+        .arg(&wal)
+        .output()
+        .unwrap();
+    assert!(inspect.status.success());
+    let text = String::from_utf8_lossy(&inspect.stdout).to_string();
+    assert!(text.contains("insert"), "{text}");
+    assert!(text.contains("records    : 2"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
