@@ -8,6 +8,7 @@
 //! ```text
 //! <dir>/
 //!   CURRENT             the checkpoint: "flexemd-durable/v1 <epoch>"
+//!   LOCK                advisory exclusive lock (held while open)
 //!   base.seg            cost matrix + R1/R2 reductions (written once)
 //!   sealed-<epoch>.seg  dense histogram arena + external-id map
 //!   wal-<epoch>.log     every mutation since the sealed segment
@@ -31,6 +32,14 @@
 //! * **Ids**: clients only ever see *external* ids (`u64`, allocated
 //!   monotonically, never reused). Internal slot ids renumber freely on
 //!   compaction; [`DurableSnapshot`] translates.
+//! * **Single owner**: both [`DurableIndex::create`] and
+//!   [`DurableIndex::open`] take an advisory exclusive lock on
+//!   `<dir>/LOCK` and hold it for the index's lifetime — a second
+//!   process (or a second handle in the same process) opening the same
+//!   directory fails with a typed [`StoreError::Locked`] instead of
+//!   interleaving WAL appends and sweeping each other's epoch files.
+//!   The OS releases the lock when its owner dies, so a crash never
+//!   leaves a stale lock behind and kill-anywhere recovery still works.
 //!
 //! Copy-on-write isolation is inherited from [`DynamicIndex`]: a
 //! [`DurableSnapshot`] taken before a mutation keeps answering from the
@@ -63,6 +72,9 @@ pub const CHECKPOINT_FILE: &str = "CURRENT";
 
 /// File name of the base segment (cost matrix + reductions).
 pub const BASE_SEGMENT: &str = "base.seg";
+
+/// File name of the advisory directory lock.
+pub const LOCK_FILE: &str = "LOCK";
 
 /// Failures of the durable index: persistence errors keep their store
 /// typing, engine errors keep their query typing.
@@ -161,6 +173,26 @@ fn sealed_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("sealed-{epoch}.seg"))
 }
 
+/// Take the advisory exclusive lock on `<dir>/LOCK`. The lock lives in
+/// the returned handle: it is released when the handle drops or its
+/// process dies, so a crashed owner never blocks recovery — only a
+/// genuinely live concurrent owner is refused, with a typed
+/// [`StoreError::Locked`].
+fn lock_dir(dir: &Path) -> Result<File, StoreError> {
+    let path = dir.join(LOCK_FILE);
+    let file = File::options()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| io_err(&path, e))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Locked { path }),
+        Err(std::fs::TryLockError::Error(e)) => Err(io_err(&path, e)),
+    }
+}
+
 /// Fsync a directory so a just-renamed checkpoint survives power loss.
 fn sync_dir(dir: &Path) -> Result<(), StoreError> {
     let handle = File::open(dir).map_err(|e| io_err(dir, e))?;
@@ -223,6 +255,9 @@ pub struct DurableIndex {
     epoch: u64,
     walw: WalWriter,
     faults: Arc<dyn FaultInjector>,
+    /// Advisory exclusive lock on the directory; held (and declared
+    /// last, so it drops last) for the index's whole lifetime.
+    _lock: File,
 }
 
 impl DurableIndex {
@@ -234,7 +269,8 @@ impl DurableIndex {
     ///
     /// Returns [`DurableError::Query`] when the reduction disagrees with
     /// `cost`, and [`DurableError::Store`] when any file cannot be
-    /// written or synced.
+    /// written or synced — including [`StoreError::Locked`] when another
+    /// live handle already owns the directory.
     pub fn create(
         dir: &Path,
         cost: Arc<CostMatrix>,
@@ -255,6 +291,7 @@ impl DurableIndex {
         faults: Arc<dyn FaultInjector>,
     ) -> Result<Self, DurableError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let lock = lock_dir(dir)?;
         let index = DynamicIndex::new(Arc::clone(&cost), reduced.clone())?;
         let base = dir.join(BASE_SEGMENT);
         let mut writer = SegmentWriter::create(&base)?;
@@ -285,6 +322,7 @@ impl DurableIndex {
             epoch: 0,
             walw,
             faults,
+            _lock: lock,
         })
     }
 
@@ -296,8 +334,10 @@ impl DurableIndex {
     ///
     /// Returns [`DurableError::Store`] for every form of on-disk damage
     /// (missing files, checksum mismatches, mid-file corruption, records
-    /// that contradict the sealed segment) and [`DurableError::Query`]
-    /// when replayed data violates engine invariants.
+    /// that contradict the sealed segment) or when another live handle
+    /// owns the directory ([`StoreError::Locked`]), and
+    /// [`DurableError::Query`] when replayed data violates engine
+    /// invariants.
     pub fn open(dir: &Path) -> Result<(Self, OpenReport), DurableError> {
         Self::open_with(dir, Arc::new(NoFaults))
     }
@@ -312,6 +352,10 @@ impl DurableIndex {
         faults: Arc<dyn FaultInjector>,
     ) -> Result<(Self, OpenReport), DurableError> {
         let _span = emd_obs::span_with(|| format!("durable.open({})", dir.display()));
+        // Own the directory before reading anything: replay truncates
+        // torn tails and open sweeps orphans, neither of which may race
+        // a concurrent owner.
+        let lock = lock_dir(dir)?;
         let epoch = read_checkpoint(dir)?;
         let base = SegmentReader::open_with(&dir.join(BASE_SEGMENT), faults.as_ref())?;
         reject_unexpected(&base, &["cost", "r1", "r2"])?;
@@ -454,6 +498,7 @@ impl DurableIndex {
             epoch,
             walw,
             faults,
+            _lock: lock,
         };
         durable.sweep_orphans();
         Ok((
@@ -528,18 +573,24 @@ impl DurableIndex {
     /// Returns [`DurableError::Query`] when the histogram's shape or
     /// reduction is rejected (nothing is logged), and
     /// [`DurableError::Store`] when the WAL append fails (the in-memory
-    /// insert is rolled back).
+    /// insert is rolled back and the index stays consistent for later
+    /// writes — no external id is consumed).
     pub fn append_insert(&mut self, histogram: Histogram) -> Result<u64, DurableError> {
         let slot = self.index.insert(histogram.clone())?;
+        debug_assert_eq!(slot, self.external_of_slot.len());
         let external_id = self.next_external;
         if let Err(error) = self.walw.append(&WalRecord::Insert {
             external_id,
             histogram,
         }) {
+            // Roll back in memory. `DynamicIndex` never reuses slots, so
+            // the rolled-back slot stays tombstoned — record it as such
+            // to keep `external_of_slot` aligned with the slot space
+            // (a bare remove would shift every later slot's external id).
             self.index.remove(slot);
+            self.external_of_slot.push(None);
             return Err(error.into());
         }
-        debug_assert_eq!(slot, self.external_of_slot.len());
         self.external_of_slot.push(Some(external_id));
         self.slot_of_external.insert(external_id, slot);
         self.next_external = external_id + 1;
@@ -1085,6 +1136,56 @@ mod tests {
             ),
             "got {error}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_insert_keeps_id_space_aligned() {
+        use emd_faultkit::FailPlan;
+        let dir = tmp_dir("append-fault");
+        let cost = Arc::new(ground::linear(4).unwrap());
+        let r = reduced(&cost);
+        let plan = Arc::new(FailPlan::new().fail_wal_append(2));
+        let mut index = DurableIndex::create_with(&dir, cost, r, plan).unwrap();
+        let first = index.insert(h(&[1.0, 0.0, 0.0, 0.0])).unwrap();
+        let error = index
+            .insert(h(&[0.0, 1.0, 0.0, 0.0]))
+            .expect_err("second append injected");
+        assert!(matches!(error, DurableError::Store(StoreError::Io { .. })));
+        // The failed insert consumed no external id, and the rolled-back
+        // (tombstoned, never reused) slot must not shift later ids.
+        let second = index.insert(h(&[0.0, 0.0, 1.0, 0.0])).unwrap();
+        assert_eq!((first, second), (0, 1));
+        let probe = h(&[0.0, 0.0, 0.9, 0.1]);
+        let (hits, _) = index.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].0, 1, "external ids stay aligned after rollback");
+        // Compaction skips the tombstone and stays consistent...
+        let report = index.compact().unwrap();
+        assert_eq!(report.sealed_objects, 2);
+        let (hits, _) = index.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].0, 1, "alignment survives compaction");
+        // ...and so does a cold reopen (the failed append was never
+        // logged, so replay sees a dense history).
+        drop(index);
+        let (reopened, _) = DurableIndex::open(&dir).unwrap();
+        let (hits, _) = reopened.knn(&probe, 1).unwrap();
+        assert_eq!(hits[0].0, 1, "alignment survives reopen");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directory_lock_excludes_concurrent_owners() {
+        let dir = tmp_dir("lock");
+        let index = fresh(&dir);
+        let error = DurableIndex::open(&dir).expect_err("live owner must exclude a second open");
+        assert!(
+            matches!(error, DurableError::Store(StoreError::Locked { .. })),
+            "got {error}"
+        );
+        // Releasing the handle releases the lock.
+        drop(index);
+        let (reopened, _) = DurableIndex::open(&dir).unwrap();
+        drop(reopened);
         std::fs::remove_dir_all(&dir).ok();
     }
 

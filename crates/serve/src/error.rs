@@ -7,7 +7,8 @@
 //! instead of dropping the connection or (worse) panicking.
 
 use crate::http::HttpError;
-use emd_query::QueryError;
+use emd_query::{DurableError, QueryError};
+use emd_store::StoreError;
 
 /// Everything that can go wrong starting, running, or driving a server.
 #[derive(Debug)]
@@ -23,6 +24,11 @@ pub enum ServeError {
     /// A request body was structurally valid JSON but not a valid query
     /// document; the payload is a human-readable diagnostic.
     BadRequest(String),
+    /// A durable write failed inside the store layer (WAL append, fsync,
+    /// or compaction IO). This is the server's disk failing, never the
+    /// client's request — it maps to a 500, and after a failed sync the
+    /// write's durability is indeterminate until the index is reopened.
+    Durable(StoreError),
     /// The server is draining and no longer accepts work.
     Draining,
     /// A worker or accept thread ended abnormally (join failure).
@@ -39,6 +45,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Http(e) => write!(f, "http error: {e}"),
             ServeError::Query(e) => write!(f, "query error: {e}"),
             ServeError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+            ServeError::Durable(e) => write!(f, "durable store failure: {e}"),
             ServeError::Draining => write!(f, "server is draining"),
             ServeError::WorkerLost => write!(f, "a server thread ended abnormally"),
             ServeError::BadResponse(detail) => write!(f, "bad response: {detail}"),
@@ -51,6 +58,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Query(e) => Some(e),
+            ServeError::Durable(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +79,18 @@ impl From<HttpError> for ServeError {
 impl From<QueryError> for ServeError {
     fn from(e: QueryError) -> Self {
         ServeError::Query(e)
+    }
+}
+
+/// Split a durable-index failure along the client/server fault line:
+/// engine rejections keep their query typing (the request was bad),
+/// store failures become [`ServeError::Durable`] (the disk was bad).
+impl From<DurableError> for ServeError {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Query(query) => ServeError::Query(query),
+            DurableError::Store(store) => ServeError::Durable(store),
+        }
     }
 }
 

@@ -89,6 +89,10 @@ impl IngestState {
     ///
     /// Returns [`DurableError`] when validation, the WAL append, or the
     /// sync fails; the reader snapshot is left unswapped in that case.
+    /// After a *sync* failure the record's durability is indeterminate
+    /// (it may still have reached disk); reopening the directory
+    /// recovers the authoritative state. The server maps store-side
+    /// failures to 500, never 400.
     pub fn insert(&self, histogram: Histogram) -> Result<u64, DurableError> {
         let mut writer = unpoisoned(&self.writer);
         let external_id = writer.insert(histogram)?;

@@ -657,6 +657,9 @@ fn read_only_response() -> Response {
 
 /// `POST /v1/insert` — durably ingest one histogram. The `200` is sent
 /// only after the WAL record is fsynced and the reader snapshot swapped.
+/// A malformed body is the client's 400; a WAL append/fsync failure is
+/// the server's 500 (and leaves the write's durability indeterminate —
+/// see [`ServeError::Durable`]).
 fn insert_response(shared: &Shared, request: &Request) -> Response {
     let Some(ingest) = &shared.snapshot.ingest else {
         return read_only_response();
@@ -669,9 +672,7 @@ fn insert_response(shared: &Shared, request: &Request) -> Response {
             ));
         };
         let histogram = parse_weights(weights)?;
-        let id = ingest
-            .insert(histogram)
-            .map_err(|e| ServeError::BadRequest(format!("insert failed: {e}")))?;
+        let id = ingest.insert(histogram)?;
         let mut body = String::new();
         body.push_str("{\"schema\":");
         json::write_escaped(&mut body, RESPONSE_SCHEMA);
@@ -684,7 +685,8 @@ fn insert_response(shared: &Shared, request: &Request) -> Response {
     result.unwrap_or_else(|error| serve_error_response(&error))
 }
 
-/// `POST /v1/remove` — durably remove one object by external id.
+/// `POST /v1/remove` — durably remove one object by external id. Store
+/// failures map to 500 exactly like [`insert_response`].
 fn remove_response(shared: &Shared, request: &Request) -> Response {
     let Some(ingest) = &shared.snapshot.ingest else {
         return read_only_response();
@@ -701,9 +703,7 @@ fn remove_response(shared: &Shared, request: &Request) -> Response {
                 "`id` must be a non-negative integer".to_owned(),
             ));
         }
-        let removed = ingest
-            .remove(*n as u64)
-            .map_err(|e| ServeError::BadRequest(format!("remove failed: {e}")))?;
+        let removed = ingest.remove(*n as u64)?;
         let mut body = String::new();
         body.push_str("{\"schema\":");
         json::write_escaped(&mut body, RESPONSE_SCHEMA);
@@ -733,11 +733,7 @@ fn compact_response(shared: &Shared) -> Response {
             ));
             Response::json(200, "OK", body)
         }
-        Err(error) => Response::json(
-            500,
-            "Internal Server Error",
-            error_body(&format!("compaction failed: {error}")),
-        ),
+        Err(error) => serve_error_response(&error.into()),
     }
 }
 
@@ -899,6 +895,14 @@ fn serve_error_response(error: &ServeError) -> Response {
             }
             _ => Response::json(500, "Internal Server Error", error_body(&query.to_string())),
         },
+        ServeError::Durable(store) => Response::json(
+            500,
+            "Internal Server Error",
+            error_body(&format!(
+                "durable write failed: {store}; the write's durability is indeterminate \
+                 until the index directory is reopened"
+            )),
+        ),
         ServeError::Draining => {
             Response::json(503, "Service Unavailable", error_body("server is draining"))
         }

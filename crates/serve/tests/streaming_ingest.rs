@@ -254,12 +254,72 @@ fn concurrent_knn_under_ingest_keeps_pre_insert_snapshots_bit_stable() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Client faults and server faults land on opposite sides of the 4xx/5xx
+/// line: a malformed body is a 400, but a WAL append failure is the
+/// server's disk dying and must surface as a 500 whose body flags the
+/// write's durability as indeterminate.
+#[test]
+fn wal_failures_surface_as_500_not_400() {
+    let dir = unique_dir("wal-500");
+    let cost = Arc::new(ground::linear(DIM).unwrap());
+    let reduced =
+        ReducedEmd::new(&cost, CombiningReduction::new(vec![0, 0, 1, 1], 2).unwrap()).unwrap();
+    // The second WAL append (the second insert) fails at the store layer.
+    let faults = Arc::new(emd_faultkit::FailPlan::new().fail_wal_append(2));
+    let index = DurableIndex::create_with(&dir, cost, reduced, faults).unwrap();
+    let ingest = Arc::new(IngestState::new(index).unwrap());
+    let database = common::database();
+    let executor = common::executor(&database);
+    let snapshot = Snapshot {
+        executor,
+        database,
+        name: "wal-500-test".to_owned(),
+        faults: None,
+        ingest: Some(Arc::clone(&ingest)),
+    };
+    let server = common::start(snapshot, 1);
+    let addr = server.addr();
+
+    // A malformed body is the client's fault: 400.
+    let (status, _, body) = common::raw_call(
+        addr,
+        "POST",
+        "/v1/insert",
+        Some("{\"weights\":[2.0,0.0,0.0,0.0]}"),
+    );
+    assert_eq!(status, 400, "{body}");
+
+    // First well-formed insert succeeds and is durable.
+    let (status, _, body) =
+        common::raw_call(addr, "POST", "/v1/insert", Some(&insert_body(&[1.0, 0.0, 0.0, 0.0])));
+    assert_eq!(status, 200, "{body}");
+
+    // Second insert hits the injected WAL append failure: the server's
+    // disk, not the client's request — a 500 flagging indeterminate
+    // durability, never a 400.
+    let (status, _, body) =
+        common::raw_call(addr, "POST", "/v1/insert", Some(&insert_body(&[0.0, 1.0, 0.0, 0.0])));
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("indeterminate"), "{body}");
+
+    // The failure consumed no external id and left the index writable:
+    // the next insert succeeds with the next id.
+    let (status, _, body) =
+        common::raw_call(addr, "POST", "/v1/insert", Some(&insert_body(&[0.0, 0.0, 1.0, 0.0])));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(number(&parse_object(&body), "id") as u64, 1);
+
+    server.drain_and_join().unwrap();
+    drop(ingest);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Everything the server acknowledged with 200 survives a restart: drain
 /// the server, reopen the directory cold, and find every insert.
 #[test]
 fn acknowledged_writes_survive_restart() {
     let dir = unique_dir("restart");
-    let (snapshot, _ingest) = dynamic_snapshot(&dir);
+    let (snapshot, ingest) = dynamic_snapshot(&dir);
     let server = common::start(snapshot, 2);
     let addr = server.addr();
     let mut acknowledged = Vec::new();
@@ -275,6 +335,9 @@ fn acknowledged_writes_survive_restart() {
     assert_eq!(status, 200);
     server.drain_and_join().unwrap();
 
+    // Release the server-side owner: the durable directory is
+    // exclusively locked while any handle is alive.
+    drop(ingest);
     let (reopened, report) = DurableIndex::open(&dir).unwrap();
     assert!(report.torn_tail.is_none(), "clean shutdown leaves no tear");
     assert_eq!(reopened.len(), 4);

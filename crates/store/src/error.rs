@@ -89,6 +89,13 @@ pub enum StoreError {
         /// What went wrong while parsing or interpreting it.
         reason: String,
     },
+    /// Another live process holds the advisory lock on the index
+    /// directory. The lock dies with its owner, so this never reports a
+    /// stale lock left by a crash — only a genuinely concurrent owner.
+    Locked {
+        /// The lock file that could not be acquired.
+        path: PathBuf,
+    },
 }
 
 impl StoreError {
@@ -184,6 +191,11 @@ impl fmt::Display for StoreError {
             StoreError::Manifest { path, reason } => {
                 write!(f, "bad index manifest {}: {reason}", path.display())
             }
+            StoreError::Locked { path } => write!(
+                f,
+                "index directory is locked by another running process (lock file {})",
+                path.display()
+            ),
         }
     }
 }

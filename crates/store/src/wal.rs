@@ -42,6 +42,14 @@
 //!   after a damaged one mean this is not a torn write; silently resuming
 //!   past it could resurrect a removed object or drop an acknowledged
 //!   insert, which is exactly the "wrong answers" the store contract bans.
+//! * A record whose declared frame cannot even be checksummed — the
+//!   payload length is implausible or the declared extent runs past
+//!   end-of-file — *looks* like a torn tail, but a mid-file bit flip in
+//!   the length field produces the same shape. Before declaring a tear,
+//!   replay scans forward for any verifiable record frame (plausible
+//!   length, in-bounds extent, matching CRC32): acknowledged records
+//!   following the damage prove it is mid-file, and replay fails hard
+//!   ([`StoreError::Invalid`]) instead of truncating them away.
 //!
 //! Durability is explicit: [`WalWriter::append`] only buffers; a record is
 //! durable — and may be acknowledged to a client — only after
@@ -563,6 +571,48 @@ fn frame_header(bytes: &[u8], offset: usize) -> Option<FrameHeader> {
     })
 }
 
+/// Whether a verifiable record frame — plausible length, in-bounds
+/// extent, matching CRC32 — starts anywhere in `bytes[from..]`.
+///
+/// This is the torn-tail tiebreaker: a record whose declared frame
+/// cannot be checksummed (implausible or past-end-of-file length) is
+/// only a torn final write if nothing real follows it. A verifiable
+/// record after the damage proves a mid-file length-field flip, where
+/// truncating to the "clean prefix" would silently drop acknowledged
+/// durable records. A false positive would require a torn partial
+/// payload to embed a full CRC32-valid frame, which random damage
+/// cannot plausibly produce.
+fn valid_frame_follows(bytes: &[u8], from: usize) -> bool {
+    let header_len = 24usize;
+    let mut probe = from;
+    while probe.saturating_add(header_len) <= bytes.len() {
+        if let Some(frame) = frame_header(bytes, probe) {
+            if frame.payload_len <= MAX_PAYLOAD_LEN {
+                if let Ok(payload_len) = usize::try_from(frame.payload_len) {
+                    let frame_end = probe
+                        .checked_add(header_len)
+                        .and_then(|end| end.checked_add(payload_len));
+                    if let Some(frame_end) = frame_end {
+                        if let (Some(prefix), Some(payload)) = (
+                            bytes.get(probe..probe + 20),
+                            bytes.get(probe + header_len..frame_end),
+                        ) {
+                            let mut hasher = crc32::Hasher::new();
+                            hasher.update(prefix);
+                            hasher.update(payload);
+                            if hasher.finalize() == frame.crc {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        probe += 1;
+    }
+    false
+}
+
 /// Decode an in-memory WAL image (the core of [`replay`], separated so
 /// corruption tests can drive it byte-exactly).
 ///
@@ -619,7 +669,20 @@ pub fn replay_bytes(path: &Path, bytes: &[u8]) -> Result<WalReplay, StoreError> 
         if frame.payload_len > MAX_PAYLOAD_LEN {
             // An absurd length field cannot be verified against its
             // checksum (the frame extent is off the end of any real
-            // file); treat it as tail damage rather than allocating.
+            // file). It is tail damage only if nothing verifiable
+            // follows; otherwise a mid-file length flip is hiding
+            // acknowledged records and truncation would drop them.
+            if valid_frame_follows(bytes, offset + 1) {
+                return Err(StoreError::invalid(
+                    path,
+                    "wal-record",
+                    format!(
+                        "record at offset {offset} declares an implausible payload of {} bytes \
+                         while verifiable records follow — mid-file damage, not a torn tail",
+                        frame.payload_len
+                    ),
+                ));
+            }
             torn_tail = Some(torn(format!(
                 "record declares implausible payload of {} bytes",
                 frame.payload_len
@@ -640,6 +703,19 @@ pub fn replay_bytes(path: &Path, bytes: &[u8]) -> Result<WalReplay, StoreError> 
             bytes.get(offset..offset + 20),
             bytes.get(header_end..frame_end),
         ) else {
+            // Same tiebreaker as the implausible-length case: a frame
+            // that runs past end-of-file is a torn write only when no
+            // verifiable record follows it.
+            if valid_frame_follows(bytes, offset + 1) {
+                return Err(StoreError::invalid(
+                    path,
+                    "wal-record",
+                    format!(
+                        "record at offset {offset} runs past end of file while verifiable \
+                         records follow — mid-file damage, not a torn tail"
+                    ),
+                ));
+            }
             torn_tail = Some(torn("record payload runs past end of file".to_owned()));
             break;
         };
@@ -867,6 +943,48 @@ mod tests {
             matches!(error, StoreError::ChecksumMismatch { .. }),
             "got {error}"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn midfile_length_flip_is_a_hard_error_when_records_follow() {
+        let path = tmp("length-flip");
+        write_log(&path, &sample_records());
+        let header = usize::try_from(WAL_HEADER_LEN).expect("small");
+        // Record 0's payload-length field occupies header+12..header+20.
+        // An implausible (> MAX_PAYLOAD_LEN) length with acknowledged
+        // records following must be mid-file damage, never a torn tail
+        // that truncates those records away.
+        let mut implausible = std::fs::read(&path).expect("read log");
+        implausible[header + 18] = 0xff;
+        let error =
+            replay_bytes(&path, &implausible).expect_err("implausible length with records after");
+        assert!(matches!(error, StoreError::Invalid { .. }), "got {error}");
+
+        // A plausible-but-oversized length whose frame extent swallows
+        // the rest of the file is the same shape of damage.
+        let mut oversized = std::fs::read(&path).expect("read log");
+        oversized[header + 13] ^= 0x40; // + 0x4000 bytes: plausible, past EOF
+        let error =
+            replay_bytes(&path, &oversized).expect_err("oversized length with records after");
+        assert!(matches!(error, StoreError::Invalid { .. }), "got {error}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_length_with_nothing_following_is_a_torn_tail() {
+        let path = tmp("length-tail");
+        write_log(&path, &sample_records()[..1]);
+        let header = usize::try_from(WAL_HEADER_LEN).expect("small");
+        let mut bytes = std::fs::read(&path).expect("read log");
+        bytes[header + 18] = 0xff;
+        // Only the damaged record's own bytes follow the flipped length
+        // field — no verifiable frame — so this is a recoverable tear.
+        let replay = replay_bytes(&path, &bytes).expect("tail damage recovers");
+        assert!(replay.records.is_empty());
+        let tail = replay.torn_tail.expect("tear must be reported");
+        assert_eq!(tail.offset, WAL_HEADER_LEN);
+        assert_eq!(replay.valid_len, WAL_HEADER_LEN);
         std::fs::remove_file(&path).ok();
     }
 

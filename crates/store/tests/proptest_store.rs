@@ -446,6 +446,7 @@ fn assert_stored_error(err: &StoreError) {
         | StoreError::UnknownSection { .. }
         | StoreError::MissingSection { .. }
         | StoreError::Invalid { .. }
-        | StoreError::Manifest { .. } => {}
+        | StoreError::Manifest { .. }
+        | StoreError::Locked { .. } => {}
     }
 }
